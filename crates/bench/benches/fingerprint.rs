@@ -1,0 +1,63 @@
+//! E5/E10 benches: fingerprint probing, correlation detection and basis
+//! matching costs as the fingerprint length grows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prophet_fingerprint::{BasisStore, CorrelationDetector, Fingerprint};
+use prophet_vg::dist::{Distribution, Normal};
+use prophet_vg::rng::{SeedSequence, Xoshiro256StarStar};
+
+/// A synthetic parameterized stochastic function: N(base, 15) under a seed.
+fn probe(base: f64, len: usize) -> Fingerprint {
+    let noise = Normal::new(0.0, 15.0).unwrap();
+    let seq = SeedSequence::fingerprint_default(len);
+    Fingerprint::from_values(
+        seq.seeds()
+            .iter()
+            .map(|&s| {
+                let mut rng = Xoshiro256StarStar::seed_from_u64(s);
+                base + noise.sample(&mut rng)
+            })
+            .collect(),
+    )
+}
+
+fn bench_detect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10/detect");
+    let detector = CorrelationDetector::default();
+    for len in [8usize, 32, 128] {
+        let a = probe(100.0, len);
+        let b = probe(140.0, len); // exact offset under fixed seeds
+        group.bench_function(format!("offset_len_{len}"), |bch| {
+            bch.iter(|| detector.detect(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_basis_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5/basis_lookup");
+    for entries in [16usize, 128, 1024] {
+        let store: BasisStore<u64, Vec<f64>> =
+            BasisStore::new(CorrelationDetector::default(), entries.max(1));
+        for i in 0..entries {
+            // distinct bases far enough apart that only one matches well
+            store.insert(i as u64, probe(i as f64 * 1_000.0, 32), vec![0.0; 64]);
+        }
+        let query = probe(17.0 * 1_000.0 + 25.0, 32);
+        group.bench_function(format!("{entries}_entries"), |b| {
+            b.iter(|| store.find_correlated(std::hint::black_box(&query)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_probe_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10/probe_cost");
+    for len in [8usize, 32, 128] {
+        group.bench_function(format!("len_{len}"), |b| b.iter(|| probe(100.0, len)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detect, bench_basis_lookup, bench_probe_cost);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E9 benches: Markov-chain analysis cost and the simulation work that
+//! region estimators avoid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prophet_fingerprint::analyze_chain;
+use prophet_models::CapacityModel;
+use prophet_vg::SeedManager;
+
+fn step_matrix(worlds: usize, weeks: usize) -> Vec<Vec<f64>> {
+    let model = CapacityModel::default();
+    let seeds = SeedManager::new(0xE9);
+    let trajectories: Vec<Vec<f64>> = (0..worlds)
+        .map(|w| {
+            let mut rng = seeds.rng_for(w as u64, "CapacityModel", 0);
+            model.trajectory(weeks as i64, 16, 36, &mut rng)
+        })
+        .collect();
+    (0..=weeks).map(|i| trajectories.iter().map(|t| t[i]).collect()).collect()
+}
+
+fn bench_chain_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9/analyze_chain");
+    for worlds in [32usize, 128] {
+        let steps = step_matrix(worlds, 52);
+        group.bench_function(format!("{worlds}_worlds_52_steps"), |b| {
+            b.iter(|| analyze_chain(std::hint::black_box(&steps), 0.98))
+        });
+    }
+    group.finish();
+}
+
+/// Baseline the estimator competes with: simulating the full chain.
+fn bench_full_chain_simulation(c: &mut Criterion) {
+    let model = CapacityModel::default();
+    let seeds = SeedManager::new(0xE9);
+    let mut group = c.benchmark_group("e9/full_chain");
+    group.bench_function("52_weeks_one_world", |b| {
+        let mut world = 0u64;
+        b.iter(|| {
+            world = world.wrapping_add(1);
+            let mut rng = seeds.rng_for(world, "CapacityModel", 0);
+            model.trajectory(52, 16, 36, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+/// What the estimator costs instead: one affine application per region.
+fn bench_region_estimation(c: &mut Criterion) {
+    let steps = step_matrix(64, 52);
+    let regions = analyze_chain(&steps, 0.98);
+    let estimators: Vec<_> = regions.iter().map(|r| r.estimator()).collect();
+    let mut group = c.benchmark_group("e9/region_estimate");
+    group.bench_function("predict_all_regions", |b| {
+        b.iter(|| {
+            estimators
+                .iter()
+                .map(|e| e.predict(std::hint::black_box(10_000.0)))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_analysis, bench_full_chain_simulation, bench_region_estimation);
+criterion_main!(benches);

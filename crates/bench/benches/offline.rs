@@ -1,0 +1,65 @@
+//! E6/E7 benches: the offline OPTIMIZE sweep, with fingerprints on vs off.
+//!
+//! The on/off pair is the paper's headline claim: fingerprint reuse must
+//! make the full-grid sweep markedly cheaper without changing the answer.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fuzzy_prophet::prelude::*;
+use prophet_models::demo_registry;
+
+/// Very coarse grid so a full sweep fits in a bench iteration.
+const SWEEP: &str = "\
+DECLARE PARAMETER @current AS RANGE 0 TO 52 STEP BY 4;
+DECLARE PARAMETER @purchase1 AS RANGE 0 TO 48 STEP BY 16;
+DECLARE PARAMETER @purchase2 AS RANGE 0 TO 48 STEP BY 16;
+DECLARE PARAMETER @feature AS SET (12,36);
+SELECT DemandModel(@current, @feature) AS demand,
+       CapacityModel(@current, @purchase1, @purchase2) AS capacity,
+       CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
+INTO results;
+OPTIMIZE SELECT @feature, @purchase1, @purchase2
+FROM results
+WHERE MAX(EXPECT overload) < 0.05
+GROUP BY feature, purchase1, purchase2
+FOR MAX @purchase1, MAX @purchase2";
+
+const WORLDS: usize = 40;
+
+fn optimizer(fingerprints: bool) -> OfflineOptimizer {
+    OfflineOptimizer::new(
+        Scenario::parse(SWEEP).unwrap(),
+        demo_registry(),
+        EngineConfig {
+            worlds_per_point: WORLDS,
+            fingerprints_enabled: fingerprints,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7/offline_sweep");
+    group.sample_size(10);
+    group.bench_function("fingerprints_on", |b| {
+        b.iter_batched(|| optimizer(true), |o| o.run().unwrap(), BatchSize::LargeInput)
+    });
+    group.bench_function("fingerprints_off", |b| {
+        b.iter_batched(|| optimizer(false), |o| o.run().unwrap(), BatchSize::LargeInput)
+    });
+    group.finish();
+}
+
+/// E6: the answer itself on a warm engine (sweep amortized) — measures the
+/// ranking/aggregation layer alone.
+fn bench_rerun_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6/warm_rerun");
+    group.sample_size(10);
+    let opt = optimizer(true);
+    opt.run().unwrap(); // warm the basis
+    group.bench_function("fully_cached_sweep", |b| b.iter(|| opt.run().unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep, bench_rerun_warm);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E2/E3/E8 benches: first render, slider adjustment, and progressive
+//! estimation with and without a warm basis.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use prophet_bench::workloads::{cold_session, warm_session};
+
+const WORLDS: usize = 60;
+
+/// E2: cost of the first (cold) full-graph render.
+///
+/// The session is built in the setup but *not* refreshed there — note that
+/// `set_param` refreshes internally, so sliders stay at their construction
+/// defaults to keep the measured call genuinely cold.
+fn bench_first_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2/first_render");
+    group.sample_size(10);
+    group.bench_function(format!("{WORLDS}_worlds_53_weeks"), |b| {
+        b.iter_batched(
+            || cold_session(WORLDS),
+            |mut s| {
+                let report = s.refresh().unwrap();
+                assert!(report.weeks_cached == 0, "render must be cold");
+                report
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// E3: cost of a slider adjustment on a warm session (the paper's "only
+/// portions of the graph are re-rendered").
+fn bench_adjustment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3/adjustment");
+    group.sample_size(10);
+    group.bench_function("purchase2_36_to_40", |b| {
+        b.iter_batched(
+            || warm_session(WORLDS),
+            |mut s| s.set_param("purchase2", 40).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// E8: progressive estimate to a fixed accuracy, cold vs warm basis.
+fn bench_first_accurate_guess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8/first_accurate_guess");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter_batched(
+            || {
+                let mut s = cold_session(200);
+                s.set_param("purchase1", 16).unwrap();
+                s.set_param("purchase2", 36).unwrap();
+                s.engine().clear_basis();
+                s
+            },
+            |mut s| s.progressive_expect("overload", 20, 0.04, 20).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("warm", |b| {
+        b.iter_batched(
+            || warm_session(200),
+            |mut s| s.progressive_expect("overload", 20, 0.04, 20).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_first_render, bench_adjustment, bench_first_accurate_guess);
+criterion_main!(benches);

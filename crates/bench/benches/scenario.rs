@@ -1,0 +1,43 @@
+//! E1 benches: scenario parsing and single-point evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fuzzy_prophet::prelude::*;
+use fuzzy_prophet::scenario::FIGURE2_SQL;
+use prophet_models::demo_registry;
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("e1/parse_figure2", |b| {
+        b.iter(|| Scenario::parse(std::hint::black_box(FIGURE2_SQL)).unwrap())
+    });
+}
+
+fn bench_single_point(c: &mut Criterion) {
+    let scenario = Scenario::figure2().unwrap();
+    let point = ParamPoint::from_pairs([
+        ("current", 20i64),
+        ("purchase1", 16),
+        ("purchase2", 36),
+        ("feature", 12),
+    ]);
+    let mut group = c.benchmark_group("e1/evaluate_point");
+    for worlds in [50usize, 200] {
+        group.bench_function(format!("{worlds}_worlds"), |b| {
+            b.iter_batched(
+                || {
+                    Engine::new(
+                        &scenario,
+                        demo_registry(),
+                        EngineConfig { worlds_per_point: worlds, ..EngineConfig::default() },
+                    )
+                    .unwrap()
+                },
+                |engine| engine.evaluate(std::hint::black_box(&point)).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_single_point);
+criterion_main!(benches);

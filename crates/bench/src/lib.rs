@@ -1,0 +1,28 @@
+//! # prophet-bench
+//!
+//! Experiment harness regenerating every figure and quantitative claim of
+//! the paper's evaluation (§3, Figures 2–4), plus the ablations DESIGN.md
+//! calls out. Each experiment is a library function returning a printable
+//! report so that
+//!
+//! * `cargo run --release -p prophet-bench --bin experiments [-- eN]`
+//!   regenerates any or all experiment tables, and
+//! * the Criterion benches in `benches/` time the same workloads.
+//!
+//! Experiment index (see DESIGN.md for the full mapping):
+//!
+//! | id  | paper artifact |
+//! |-----|----------------|
+//! | E1  | Figure 2 scenario parses & runs end-to-end |
+//! | E2  | Figure 3 online graph series |
+//! | E3  | §3.2 second adjustment re-renders only changed portions |
+//! | E4  | §3.2 feature-date change still re-maps |
+//! | E5  | Figure 4 fingerprint-mapping map over (purchase1, purchase2) |
+//! | E6  | §3.3 offline optimization (1% and 5% thresholds) |
+//! | E7  | §1/§2 fingerprints expedite offline exploration |
+//! | E8  | §1 basis reuse lowers time-to-first-accurate-guess |
+//! | E9  | §2 Markovian-region estimators skip chain segments |
+//! | E10 | ablation: fingerprint length vs detection quality |
+
+pub mod experiments;
+pub mod workloads;

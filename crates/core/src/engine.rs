@@ -1,0 +1,764 @@
+//! The Figure-1 evaluation cycle with fingerprint-accelerated reuse.
+//!
+//! [`Engine::evaluate`] is the single entry point both modes use to obtain
+//! the outcome distribution of the scenario at one parameter point. It
+//! implements the paper's cycle:
+//!
+//! 1. exact-key cache lookup in the Storage Manager (a prior run of the
+//!    same point),
+//! 2. fingerprint probing: evaluate the scenario under the *fixed* seed
+//!    sequence (cheap — fingerprint length ≪ worlds per point) and search
+//!    the basis store for a correlated prior point,
+//! 3. on a hit: re-map the stored stochastic samples through the detected
+//!    [`Mapping`] and *recompute the derived columns* (e.g. Figure 2's
+//!    `CASE WHEN capacity < demand…`) per world — derived logic is exact,
+//!    so only the stochastic inputs ever need mapping,
+//! 4. on a miss: full Monte Carlo simulation, then insert into the basis
+//!    store so later points can map from this one.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use prophet_data::Value;
+use prophet_fingerprint::{CorrelationDetector, Fingerprint, FingerprintConfig, Mapping};
+use prophet_mc::{simulate_point, ParamPoint, SampleSet};
+use prophet_sql::ast::SelectItem;
+use prophet_sql::error::{SqlError, SqlResult};
+use prophet_sql::executor::{evaluate_select_with, EvalContext, WorldRng};
+use prophet_sql::Script;
+use prophet_vg::rng::{Rng64, SeedSequence};
+use prophet_vg::{SeedManager, VgRegistry};
+
+use crate::metrics::EngineMetrics;
+use crate::scenario::Scenario;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Monte Carlo worlds per fully simulated parameter point.
+    pub worlds_per_point: usize,
+    /// Fingerprint length (probe count).
+    pub fingerprint: FingerprintConfig,
+    /// Correlation acceptance thresholds.
+    pub detector: CorrelationDetector,
+    /// Master switch for fingerprint reuse (benches compare on/off).
+    pub fingerprints_enabled: bool,
+    /// Use common random numbers across parameter points (recommended).
+    ///
+    /// Fingerprint *probes* always use the canonical fixed seeds, so
+    /// correlation detection works either way; what CRN adds is per-world
+    /// comparability of the *estimation* samples, making mapped sample sets
+    /// bitwise-reproducible against direct simulation instead of merely
+    /// statistically equivalent.
+    pub common_random_numbers: bool,
+    /// Root seed for all estimation randomness.
+    pub root_seed: u64,
+    /// Maximum basis-store entries before FIFO eviction.
+    pub basis_capacity: usize,
+    /// Worker threads for world-level parallelism within a point
+    /// (deterministic: world→sample assignment is thread-independent).
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            worlds_per_point: 400,
+            fingerprint: FingerprintConfig::default(),
+            detector: CorrelationDetector::default(),
+            fingerprints_enabled: true,
+            common_random_numbers: true,
+            root_seed: 0xF1_2E_9A_77,
+            basis_capacity: 8_192,
+            threads: 1,
+        }
+    }
+}
+
+/// How a point's results were obtained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalOutcome {
+    /// Exact same point served from the store.
+    Cached,
+    /// Re-mapped from a correlated basis point.
+    Mapped {
+        /// The source point the mapping came from.
+        from: ParamPoint,
+        /// Whether every column's mapping was exact (identity/offset).
+        exact: bool,
+    },
+    /// Fully simulated.
+    Simulated,
+}
+
+struct BasisEntry {
+    fingerprints: HashMap<String, Fingerprint>,
+    /// Samples for *all* output columns (stochastic and derived).
+    samples: Arc<HashMap<String, Vec<f64>>>,
+    worlds: usize,
+    stamp: u64,
+    /// Whether this entry may serve as a *source* for fingerprint matching.
+    /// Only fully simulated entries qualify: a point reachable through an
+    /// exact-mapped entry is also reachable through that entry's own
+    /// source, so restricting candidates to simulated entries keeps match
+    /// scans proportional to the number of genuinely distinct
+    /// distributions, not the number of visited points.
+    matchable: bool,
+}
+
+#[derive(Default)]
+struct BasisInner {
+    entries: HashMap<ParamPoint, BasisEntry>,
+    next_stamp: u64,
+}
+
+/// The evaluation engine shared by online and offline modes.
+pub struct Engine {
+    script: Script,
+    registry: Arc<VgRegistry>,
+    seeds: SeedManager,
+    config: EngineConfig,
+    /// Output columns whose expressions invoke a registered VG function.
+    stochastic_cols: Vec<String>,
+    basis: Mutex<BasisInner>,
+    metrics: Mutex<EngineMetrics>,
+}
+
+impl Engine {
+    /// Build an engine for a scenario against a VG catalog.
+    pub fn new(scenario: &Scenario, registry: VgRegistry, config: EngineConfig) -> SqlResult<Self> {
+        Engine::with_shared_registry(scenario, Arc::new(registry), config)
+    }
+
+    /// Build with a shared catalog (several engines over one registry, as
+    /// the fingerprint on/off comparison benches need).
+    pub fn with_shared_registry(
+        scenario: &Scenario,
+        registry: Arc<VgRegistry>,
+        config: EngineConfig,
+    ) -> SqlResult<Self> {
+        if config.worlds_per_point == 0 {
+            return Err(SqlError::Eval("worlds_per_point must be positive".into()));
+        }
+        let script = scenario.script().clone();
+        let stochastic_cols = script
+            .select
+            .items
+            .iter()
+            .filter(|item| {
+                item.expr
+                    .referenced_calls()
+                    .iter()
+                    .any(|(name, _)| registry.get(name).is_ok())
+            })
+            .map(|item| item.alias.clone())
+            .collect();
+        Ok(Engine {
+            script,
+            registry,
+            seeds: SeedManager::new(config.root_seed),
+            config,
+            stochastic_cols,
+            basis: Mutex::new(BasisInner::default()),
+            metrics: Mutex::new(EngineMetrics::default()),
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The scenario script.
+    pub fn script(&self) -> &Script {
+        &self.script
+    }
+
+    /// The VG catalog.
+    pub fn registry(&self) -> &VgRegistry {
+        &self.registry
+    }
+
+    /// Output columns classified as stochastic (contain VG calls).
+    pub fn stochastic_columns(&self) -> &[String] {
+        &self.stochastic_cols
+    }
+
+    /// Snapshot of the work counters.
+    pub fn metrics(&self) -> EngineMetrics {
+        *self.metrics.lock()
+    }
+
+    /// Reset work counters (between bench configurations).
+    pub fn reset_metrics(&self) {
+        *self.metrics.lock() = EngineMetrics::default();
+    }
+
+    /// Number of basis entries currently stored.
+    pub fn basis_len(&self) -> usize {
+        self.basis.lock().entries.len()
+    }
+
+    /// Drop all basis entries (forces cold start).
+    pub fn clear_basis(&self) {
+        self.basis.lock().entries.clear();
+    }
+
+    /// Evaluate the scenario at one parameter point, returning the sample
+    /// set and how it was obtained.
+    pub fn evaluate(&self, point: &ParamPoint) -> SqlResult<(SampleSet, EvalOutcome)> {
+        // 1. Exact cache.
+        if let Some(samples) = self.lookup_exact(point) {
+            self.metrics.lock().points_cached += 1;
+            return Ok((self.to_sample_set(point, &samples), EvalOutcome::Cached));
+        }
+
+        // 2./3. Fingerprint probe + correlated reuse.
+        if self.config.fingerprints_enabled && !self.stochastic_cols.is_empty() {
+            let fp_start = Instant::now();
+            let probes = self.probe_fingerprints(point)?;
+            let matched = self.match_basis(&probes);
+            if let Some((source, mappings, source_samples, worlds)) = matched {
+                let mapped = self.remap_samples(point, &source_samples, &mappings, worlds)?;
+                let exact = mappings.values().all(Mapping::is_exact);
+                self.insert_entry(point.clone(), probes, Arc::new(mapped.clone()), worlds, false);
+                let mut m = self.metrics.lock();
+                m.points_mapped += 1;
+                m.fingerprint_time += fp_start.elapsed();
+                drop(m);
+                return Ok((
+                    self.to_sample_set(point, &mapped),
+                    EvalOutcome::Mapped { from: source, exact },
+                ));
+            }
+            // Miss: fall through to simulation, but keep the probes for the
+            // new basis entry.
+            let samples = self.simulate_full(point)?;
+            self.metrics.lock().fingerprint_time += fp_start.elapsed();
+            self.insert_entry(
+                point.clone(),
+                probes,
+                Arc::new(samples.clone()),
+                self.config.worlds_per_point,
+                true,
+            );
+            self.metrics.lock().points_simulated += 1;
+            return Ok((self.to_sample_set(point, &samples), EvalOutcome::Simulated));
+        }
+
+        // 4. Plain simulation (fingerprints disabled).
+        let samples = self.simulate_full(point)?;
+        self.insert_entry(
+            point.clone(),
+            HashMap::new(),
+            Arc::new(samples.clone()),
+            self.config.worlds_per_point,
+            true,
+        );
+        self.metrics.lock().points_simulated += 1;
+        Ok((self.to_sample_set(point, &samples), EvalOutcome::Simulated))
+    }
+
+    /// Monte Carlo expectation of one column at a point (convenience).
+    pub fn expect(&self, point: &ParamPoint, column: &str) -> SqlResult<f64> {
+        let (samples, _) = self.evaluate(point)?;
+        samples
+            .expect(column)
+            .ok_or_else(|| SqlError::Eval(format!("unknown output column `{column}`")))
+    }
+
+    // ------------------------------------------------------------ internals
+
+    fn lookup_exact(&self, point: &ParamPoint) -> Option<Arc<HashMap<String, Vec<f64>>>> {
+        let basis = self.basis.lock();
+        basis
+            .entries
+            .get(point)
+            .filter(|e| e.worlds >= self.config.worlds_per_point)
+            .map(|e| Arc::clone(&e.samples))
+    }
+
+    /// Evaluate the scenario once per canonical fingerprint seed, recording
+    /// each stochastic column's output.
+    fn probe_fingerprints(&self, point: &ParamPoint) -> SqlResult<HashMap<String, Fingerprint>> {
+        let seeds = SeedSequence::fingerprint_default(self.config.fingerprint.length);
+        let params = point.to_value_map();
+        let mut per_col: HashMap<String, Vec<f64>> = self
+            .stochastic_cols
+            .iter()
+            .map(|c| (c.clone(), Vec::with_capacity(seeds.len())))
+            .collect();
+        for &world in seeds.seeds() {
+            let row = evaluate_select_with(
+                &self.script.select,
+                &self.registry,
+                &params,
+                WorldRng::per_call(self.seeds, world),
+            )?;
+            for (name, value) in row {
+                if let Some(col) = per_col.get_mut(&name) {
+                    let x = match value {
+                        Value::Null => f64::NAN,
+                        v => v.as_f64().map_err(SqlError::from)?,
+                    };
+                    col.push(x);
+                }
+            }
+        }
+        self.metrics.lock().probe_evaluations += seeds.len() as u64;
+        Ok(per_col
+            .into_iter()
+            .map(|(name, values)| (name, Fingerprint::from_values(values)))
+            .collect())
+    }
+
+    /// Search the basis for an entry where *every* stochastic column has a
+    /// detectable mapping onto the probe fingerprints. Returns the best
+    /// (lowest total error) candidate.
+    #[allow(clippy::type_complexity)]
+    fn match_basis(
+        &self,
+        probes: &HashMap<String, Fingerprint>,
+    ) -> Option<(ParamPoint, HashMap<String, Mapping>, Arc<HashMap<String, Vec<f64>>>, usize)> {
+        let basis = self.basis.lock();
+        let mut best: Option<(ParamPoint, HashMap<String, Mapping>, Arc<HashMap<String, Vec<f64>>>, usize, f64)> =
+            None;
+        for (source_point, entry) in &basis.entries {
+            if !entry.matchable || entry.fingerprints.is_empty() {
+                continue;
+            }
+            let mut mappings = HashMap::with_capacity(self.stochastic_cols.len());
+            let mut total_err = 0.0;
+            let mut all_matched = true;
+            for col in &self.stochastic_cols {
+                let (Some(source_fp), Some(probe_fp)) = (entry.fingerprints.get(col), probes.get(col))
+                else {
+                    all_matched = false;
+                    break;
+                };
+                match self.config.detector.detect(source_fp, probe_fp) {
+                    Some(mapping) => {
+                        total_err += mapping.error_std();
+                        mappings.insert(col.clone(), mapping);
+                    }
+                    None => {
+                        all_matched = false;
+                        break;
+                    }
+                }
+            }
+            if !all_matched {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((_, _, _, _, err)) => total_err < *err,
+            };
+            if better {
+                let exact = total_err == 0.0;
+                best = Some((
+                    source_point.clone(),
+                    mappings,
+                    Arc::clone(&entry.samples),
+                    entry.worlds,
+                    total_err,
+                ));
+                if exact {
+                    // Nothing can beat an exact mapping; stop scanning.
+                    break;
+                }
+            }
+        }
+        best.map(|(p, m, s, w, _)| (p, m, s, w))
+    }
+
+    /// Map the stochastic columns and recompute the derived ones per world.
+    fn remap_samples(
+        &self,
+        point: &ParamPoint,
+        source: &HashMap<String, Vec<f64>>,
+        mappings: &HashMap<String, Mapping>,
+        worlds: usize,
+    ) -> SqlResult<HashMap<String, Vec<f64>>> {
+        let mut out: HashMap<String, Vec<f64>> = HashMap::with_capacity(self.script.select.items.len());
+        // Stochastic columns: apply the detected mapping to stored samples.
+        for col in &self.stochastic_cols {
+            let src = source.get(col).ok_or_else(|| {
+                SqlError::Eval(format!("basis entry lacks samples for column `{col}`"))
+            })?;
+            let mapping = mappings
+                .get(col)
+                .ok_or_else(|| SqlError::Eval(format!("no mapping for column `{col}`")))?;
+            out.insert(col.clone(), mapping.apply_samples(src));
+        }
+        // Derived columns: recompute from mapped inputs, world by world.
+        let derived: Vec<&SelectItem> = self
+            .script
+            .select
+            .items
+            .iter()
+            .filter(|i| !self.stochastic_cols.contains(&i.alias))
+            .collect();
+        if !derived.is_empty() {
+            let params = point.to_value_map();
+            for item in &derived {
+                out.insert(item.alias.clone(), Vec::with_capacity(worlds));
+            }
+            for w in 0..worlds {
+                let mut rng = NoRandomness;
+                let mut ctx = EvalContext::new(&self.registry, &params, &mut rng);
+                // Bind aliases in select order so derived items see both
+                // stochastic and earlier derived columns.
+                for item in &self.script.select.items {
+                    if self.stochastic_cols.contains(&item.alias) {
+                        let v = out[&item.alias][w];
+                        ctx.bind_alias(&item.alias, Value::Float(v));
+                    } else {
+                        let v = prophet_sql::executor::eval_expr(&item.expr, &mut ctx)?;
+                        let x = match &v {
+                            Value::Null => f64::NAN,
+                            v => v.as_f64().map_err(SqlError::from)?,
+                        };
+                        ctx.bind_alias(&item.alias, v);
+                        out.get_mut(&item.alias)
+                            .expect("derived column pre-inserted")
+                            .push(x);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Full Monte Carlo simulation, optionally world-parallel.
+    fn simulate_full(&self, point: &ParamPoint) -> SqlResult<HashMap<String, Vec<f64>>> {
+        let start = Instant::now();
+        let worlds: Vec<u64> = (0..self.config.worlds_per_point as u64).collect();
+        let sample_set = if self.config.threads > 1 {
+            let chunk = worlds.len().div_ceil(self.config.threads);
+            let chunks: Vec<&[u64]> = worlds.chunks(chunk).collect();
+            let results: Vec<SqlResult<SampleSet>> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|ws| {
+                        scope.spawn(move |_| {
+                            simulate_point(
+                                &self.script.select,
+                                &self.registry,
+                                &self.seeds,
+                                point,
+                                ws,
+                                self.config.common_random_numbers,
+                            )
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("crossbeam scope");
+            let mut iter = results.into_iter();
+            let mut first = iter.next().expect("at least one chunk")?;
+            for r in iter {
+                first.absorb(&r?);
+            }
+            first
+        } else {
+            simulate_point(
+                &self.script.select,
+                &self.registry,
+                &self.seeds,
+                point,
+                &worlds,
+                self.config.common_random_numbers,
+            )?
+        };
+        let mut out = HashMap::with_capacity(sample_set.columns().len());
+        for col in sample_set.columns() {
+            out.insert(
+                col.clone(),
+                sample_set.samples(col).expect("column exists by construction").to_vec(),
+            );
+        }
+        let mut m = self.metrics.lock();
+        m.worlds_simulated += worlds.len() as u64;
+        m.simulation_time += start.elapsed();
+        Ok(out)
+    }
+
+    fn insert_entry(
+        &self,
+        point: ParamPoint,
+        fingerprints: HashMap<String, Fingerprint>,
+        samples: Arc<HashMap<String, Vec<f64>>>,
+        worlds: usize,
+        matchable: bool,
+    ) {
+        let mut basis = self.basis.lock();
+        basis.next_stamp += 1;
+        let stamp = basis.next_stamp;
+        if basis.entries.len() >= self.config.basis_capacity && !basis.entries.contains_key(&point) {
+            // Evict the oldest *mapped* entry first: simulated entries are
+            // the sources fingerprint matching lives on.
+            let victim = basis
+                .entries
+                .iter()
+                .filter(|(_, e)| !e.matchable)
+                .min_by_key(|(_, e)| e.stamp)
+                .or_else(|| basis.entries.iter().min_by_key(|(_, e)| e.stamp))
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                basis.entries.remove(&victim);
+            }
+        }
+        basis
+            .entries
+            .insert(point, BasisEntry { fingerprints, samples, worlds, stamp, matchable });
+    }
+
+    fn to_sample_set(&self, point: &ParamPoint, samples: &HashMap<String, Vec<f64>>) -> SampleSet {
+        let columns: Vec<String> =
+            self.script.select.items.iter().map(|i| i.alias.clone()).collect();
+        SampleSet::from_samples(point.clone(), columns, samples.clone())
+    }
+}
+
+/// An RNG that must never be consulted — derived-column recomputation is
+/// deterministic, and drawing from this is a classification bug.
+struct NoRandomness;
+
+impl Rng64 for NoRandomness {
+    fn next_u64(&mut self) -> u64 {
+        unreachable!("derived columns must not consume randomness")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_models::demo_registry;
+
+    fn engine(config: EngineConfig) -> Engine {
+        let scenario = Scenario::figure2().unwrap();
+        Engine::new(&scenario, demo_registry(), config).unwrap()
+    }
+
+    fn small_config() -> EngineConfig {
+        EngineConfig { worlds_per_point: 60, ..EngineConfig::default() }
+    }
+
+    fn demo_point(current: i64, p1: i64, p2: i64, feature: i64) -> ParamPoint {
+        ParamPoint::from_pairs([
+            ("current", current),
+            ("purchase1", p1),
+            ("purchase2", p2),
+            ("feature", feature),
+        ])
+    }
+
+    #[test]
+    fn classifies_stochastic_vs_derived_columns() {
+        let e = engine(small_config());
+        assert_eq!(e.stochastic_columns(), &["demand".to_string(), "capacity".to_string()]);
+    }
+
+    #[test]
+    fn first_evaluation_simulates_second_hits_cache() {
+        let e = engine(small_config());
+        let p = demo_point(10, 16, 36, 12);
+        let (s1, o1) = e.evaluate(&p).unwrap();
+        assert_eq!(o1, EvalOutcome::Simulated);
+        assert_eq!(s1.world_count(), 60);
+        let (s2, o2) = e.evaluate(&p).unwrap();
+        assert_eq!(o2, EvalOutcome::Cached);
+        assert_eq!(s1.samples("demand"), s2.samples("demand"));
+        let m = e.metrics();
+        assert_eq!(m.points_simulated, 1);
+        assert_eq!(m.points_cached, 1);
+        assert_eq!(m.worlds_simulated, 60);
+    }
+
+    #[test]
+    fn correlated_point_is_mapped_not_simulated() {
+        let e = engine(small_config());
+        // Same week, same purchases; only the feature date changes, and
+        // both weeks are before either release → identical outputs.
+        let a = demo_point(5, 16, 36, 12);
+        let b = demo_point(5, 16, 36, 36);
+        let (_, o1) = e.evaluate(&a).unwrap();
+        assert_eq!(o1, EvalOutcome::Simulated);
+        let (sb, o2) = e.evaluate(&b).unwrap();
+        match o2 {
+            EvalOutcome::Mapped { from, exact } => {
+                assert_eq!(from, a);
+                assert!(exact, "pre-release feature change must map exactly");
+            }
+            other => panic!("expected mapped, got {other:?}"),
+        }
+        // Mapped samples must equal direct simulation of b.
+        let fresh = engine(small_config());
+        let (direct, _) = fresh.evaluate(&b).unwrap();
+        assert_eq!(sb.samples("demand"), direct.samples("demand"));
+        assert_eq!(sb.samples("capacity"), direct.samples("capacity"));
+        assert_eq!(sb.samples("overload"), direct.samples("overload"));
+    }
+
+    #[test]
+    fn derived_columns_are_recomputed_consistently_under_mapping() {
+        let e = engine(small_config());
+        // Same week; the only change moves purchase1 from before (deployed)
+        // to after (not deployed) the evaluated week — capacity shifts by
+        // exactly one purchase, demand is untouched: an exact Offset map.
+        let a = demo_point(10, 4, 36, 12);
+        let b = demo_point(10, 16, 36, 12);
+        e.evaluate(&a).unwrap();
+        let (sb, outcome) = e.evaluate(&b).unwrap();
+        assert!(matches!(outcome, EvalOutcome::Mapped { exact: true, .. }), "{outcome:?}");
+        // overload must be consistent with the mapped demand/capacity
+        let demand = sb.samples("demand").unwrap();
+        let capacity = sb.samples("capacity").unwrap();
+        let overload = sb.samples("overload").unwrap();
+        for i in 0..sb.world_count() {
+            let expected = if capacity[i] < demand[i] { 1.0 } else { 0.0 };
+            assert_eq!(overload[i], expected, "world {i}");
+        }
+    }
+
+    #[test]
+    fn fingerprints_disabled_always_simulates() {
+        let e = engine(EngineConfig { fingerprints_enabled: false, ..small_config() });
+        let a = demo_point(5, 16, 36, 12);
+        let b = demo_point(5, 16, 36, 36);
+        let (_, o1) = e.evaluate(&a).unwrap();
+        let (_, o2) = e.evaluate(&b).unwrap();
+        assert_eq!(o1, EvalOutcome::Simulated);
+        assert_eq!(o2, EvalOutcome::Simulated);
+        assert_eq!(e.metrics().probe_evaluations, 0);
+    }
+
+    #[test]
+    fn probing_is_cheaper_than_simulation() {
+        let cfg = small_config();
+        let e = engine(cfg);
+        let a = demo_point(5, 16, 36, 12);
+        let b = demo_point(5, 16, 36, 36);
+        e.evaluate(&a).unwrap();
+        e.evaluate(&b).unwrap();
+        let m = e.metrics();
+        // two probe passes (a and b) of fingerprint length each
+        assert_eq!(m.probe_evaluations, 2 * cfg.fingerprint.length as u64);
+        // only the first point paid full simulation
+        assert_eq!(m.worlds_simulated, cfg.worlds_per_point as u64);
+        assert!(cfg.fingerprint.length < cfg.worlds_per_point, "probe cost must stay below world cost");
+    }
+
+    #[test]
+    fn expectation_convenience_and_unknown_column() {
+        let e = engine(small_config());
+        let p = demo_point(0, 16, 36, 12);
+        let demand = e.expect(&p, "demand").unwrap();
+        assert!((7_000.0..9_000.0).contains(&demand), "week-0 demand ≈ 8000, got {demand}");
+        assert!(e.expect(&p, "nope").is_err());
+    }
+
+    #[test]
+    fn clear_basis_forces_resimulation() {
+        let e = engine(small_config());
+        let p = demo_point(3, 16, 36, 12);
+        e.evaluate(&p).unwrap();
+        assert_eq!(e.basis_len(), 1);
+        e.clear_basis();
+        assert_eq!(e.basis_len(), 0);
+        let (_, o) = e.evaluate(&p).unwrap();
+        assert_eq!(o, EvalOutcome::Simulated);
+    }
+
+    #[test]
+    fn world_parallel_simulation_is_deterministic() {
+        let p = demo_point(12, 8, 24, 12);
+        let seq = engine(EngineConfig { threads: 1, ..small_config() });
+        let par = engine(EngineConfig { threads: 4, ..small_config() });
+        let (a, _) = seq.evaluate(&p).unwrap();
+        let (b, _) = par.evaluate(&p).unwrap();
+        assert_eq!(a.samples("demand"), b.samples("demand"));
+        assert_eq!(a.samples("capacity"), b.samples("capacity"));
+    }
+
+    #[test]
+    fn zero_worlds_config_is_rejected() {
+        let scenario = Scenario::figure2().unwrap();
+        let err = Engine::new(
+            &scenario,
+            demo_registry(),
+            EngineConfig { worlds_per_point: 0, ..EngineConfig::default() },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn basis_capacity_evicts_oldest() {
+        let e = engine(EngineConfig { basis_capacity: 2, worlds_per_point: 16, ..EngineConfig::default() });
+        let p1 = demo_point(1, 16, 36, 12);
+        let p2 = demo_point(50, 0, 4, 44); // very different; won't map
+        let p3 = demo_point(25, 16, 16, 12);
+        e.evaluate(&p1).unwrap();
+        e.evaluate(&p2).unwrap();
+        e.evaluate(&p3).unwrap();
+        assert_eq!(e.basis_len(), 2);
+    }
+
+    #[test]
+    fn eviction_prefers_mapped_entries_over_simulated_sources() {
+        // Capacity 2: one simulated source, one mapped entry. Inserting a
+        // third (simulated) point must evict the mapped entry, because the
+        // simulated source is what future matches depend on.
+        let e = engine(EngineConfig { basis_capacity: 2, worlds_per_point: 16, ..EngineConfig::default() });
+        let source = demo_point(5, 16, 36, 12);
+        let mapped = demo_point(5, 16, 36, 36); // identity-maps from source
+        let unrelated = demo_point(50, 0, 4, 44);
+        let (_, o1) = e.evaluate(&source).unwrap();
+        let (_, o2) = e.evaluate(&mapped).unwrap();
+        assert_eq!(o1, EvalOutcome::Simulated);
+        assert!(matches!(o2, EvalOutcome::Mapped { .. }));
+        e.evaluate(&unrelated).unwrap();
+        assert_eq!(e.basis_len(), 2);
+        // The source must have survived: re-evaluating the mapped point
+        // maps again (from the retained source) instead of simulating.
+        let (_, o3) = e.evaluate(&mapped).unwrap();
+        assert!(
+            matches!(o3, EvalOutcome::Mapped { ref from, .. } if *from == source),
+            "source entry must survive eviction, got {o3:?}"
+        );
+    }
+
+    #[test]
+    fn non_crn_mapping_is_statistically_sound_but_not_bitwise() {
+        // Without common random numbers, correlation detection still works
+        // (probes pin their own seeds) and mapped *statistics* stay close,
+        // but per-world samples no longer line up with direct simulation.
+        let cfg = EngineConfig {
+            worlds_per_point: 400,
+            common_random_numbers: false,
+            ..EngineConfig::default()
+        };
+        let e = engine(cfg);
+        let a = demo_point(10, 4, 36, 12);
+        let b = demo_point(10, 16, 36, 12); // capacity offset by one purchase
+        e.evaluate(&a).unwrap();
+        let (mapped, outcome) = e.evaluate(&b).unwrap();
+        assert!(matches!(outcome, EvalOutcome::Mapped { .. }), "{outcome:?}");
+
+        let fresh = engine(cfg);
+        let (direct, _) = fresh.evaluate(&b).unwrap();
+        let em = mapped.expect("capacity").unwrap();
+        let ed = direct.expect("capacity").unwrap();
+        assert!(
+            (em - ed).abs() / ed < 0.02,
+            "means must agree statistically: mapped {em:.0} vs direct {ed:.0}"
+        );
+        // but the underlying samples come from different worlds entirely
+        assert_ne!(mapped.samples("capacity"), direct.samples("capacity"));
+    }
+}

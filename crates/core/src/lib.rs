@@ -1,0 +1,77 @@
+//! # fuzzy-prophet
+//!
+//! A reproduction of **Fuzzy Prophet** (Kennedy, Lee, Loboz, Smyl, Nath —
+//! SIGMOD 2011): a probabilistic-database tool for constructing, simulating
+//! and analyzing business scenarios with uncertain data, whose key
+//! innovation is *fingerprinting* — detecting correlations between
+//! parameterizations of black-box stochastic models so that Monte Carlo
+//! results computed for one parameter point can be re-mapped to others
+//! instead of re-simulated.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fuzzy_prophet::prelude::*;
+//!
+//! // The paper's Figure-2 scenario, verbatim.
+//! let scenario = Scenario::figure2().unwrap();
+//!
+//! // Online mode: interactive sliders + live graph.
+//! let mut session = OnlineSession::new(
+//!     scenario,
+//!     prophet_models::demo_registry(),
+//!     EngineConfig { worlds_per_point: 64, ..EngineConfig::default() },
+//! )
+//! .unwrap();
+//! let first = session.refresh().unwrap();
+//! assert_eq!(first.weeks_cached, 0); // cold start: nothing reusable yet
+//!
+//! // Adjust a slider: most of the graph is re-mapped or cached, not
+//! // re-simulated.
+//! let report = session.set_param("purchase2", 40).unwrap();
+//! assert!(report.weeks_simulated < first.weeks_simulated);
+//! ```
+//!
+//! ## Architecture (paper Figure 1)
+//!
+//! ```text
+//!   ┌──────────┐  instances   ┌──────────────────┐  pure TSQL  ┌────────────┐
+//!   │  Guide    │ ───────────▶ │  Query Generator │ ──────────▶ │ SQL engine │
+//!   └────▲─────┘              └──────────────────┘             └──────┬─────┘
+//!        │  metrics                   basis hits                      │ rows
+//!   ┌────┴────────────┐        ┌──────────────────┐                   │
+//!   │ Result          │ ◀──────│ Storage Manager  │ ◀─────────────────┘
+//!   │ Aggregator      │        │ (basis store +   │
+//!   └─────────────────┘        │  fingerprints)   │
+//!                              └──────────────────┘
+//! ```
+//!
+//! [`engine::Engine`] implements the cycle; [`online::OnlineSession`] and
+//! [`offline::OfflineOptimizer`] are the two user-facing modes from the
+//! paper's demonstration.
+
+pub mod engine;
+pub mod exploration;
+pub mod metrics;
+pub mod offline;
+pub mod online;
+pub mod render;
+pub mod scenario;
+
+pub use engine::{Engine, EngineConfig, EvalOutcome};
+pub use exploration::{CellState, ExplorationMap};
+pub use metrics::EngineMetrics;
+pub use offline::{OfflineOptimizer, OfflineReport, OptimizeAnswer};
+pub use online::{AdjustReport, OnlineSession, ProgressiveEstimate};
+pub use scenario::Scenario;
+
+/// Convenience re-exports for applications.
+pub mod prelude {
+    pub use crate::engine::{Engine, EngineConfig, EvalOutcome};
+    pub use crate::exploration::{CellState, ExplorationMap};
+    pub use crate::metrics::EngineMetrics;
+    pub use crate::offline::{OfflineOptimizer, OfflineReport, OptimizeAnswer};
+    pub use crate::online::{AdjustReport, OnlineSession, ProgressiveEstimate};
+    pub use crate::scenario::Scenario;
+    pub use prophet_mc::ParamPoint;
+}

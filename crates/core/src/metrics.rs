@@ -1,0 +1,150 @@
+//! Engine work accounting.
+//!
+//! The paper's claims are about *work avoided* — fewer VG invocations,
+//! fewer re-rendered weeks, faster offline sweeps. [`EngineMetrics`] is the
+//! ledger every experiment reads its numbers from.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters describing how much simulation work the engine performed and
+/// how much it avoided through fingerprint reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineMetrics {
+    /// Parameter points whose results were served from the exact-key cache.
+    pub points_cached: u64,
+    /// Parameter points whose results were re-mapped from a correlated
+    /// basis entry (fingerprint hit).
+    pub points_mapped: u64,
+    /// Parameter points fully simulated.
+    pub points_simulated: u64,
+    /// Monte Carlo worlds actually evaluated (full simulation only).
+    pub worlds_simulated: u64,
+    /// Scenario evaluations spent probing fingerprints.
+    pub probe_evaluations: u64,
+    /// Wall-clock time inside full simulation.
+    pub simulation_time: Duration,
+    /// Wall-clock time inside fingerprint probing + matching + mapping.
+    pub fingerprint_time: Duration,
+}
+
+impl EngineMetrics {
+    /// Total parameter points served.
+    pub fn points_total(&self) -> u64 {
+        self.points_cached + self.points_mapped + self.points_simulated
+    }
+
+    /// Fraction of points served without full simulation (cache + mapped).
+    pub fn reuse_fraction(&self) -> f64 {
+        let total = self.points_total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.points_cached + self.points_mapped) as f64 / total as f64
+        }
+    }
+
+    /// Scenario evaluations that *would* have run without reuse, assuming
+    /// `worlds_per_point` evaluations per reused point.
+    pub fn evaluations_avoided(&self, worlds_per_point: u64) -> u64 {
+        (self.points_cached + self.points_mapped) * worlds_per_point
+    }
+
+    /// Merge counters from another snapshot (parallel workers).
+    pub fn merge(&mut self, other: &EngineMetrics) {
+        self.points_cached += other.points_cached;
+        self.points_mapped += other.points_mapped;
+        self.points_simulated += other.points_simulated;
+        self.worlds_simulated += other.worlds_simulated;
+        self.probe_evaluations += other.probe_evaluations;
+        self.simulation_time += other.simulation_time;
+        self.fingerprint_time += other.fingerprint_time;
+    }
+
+    /// Difference since an earlier snapshot (for per-operation reporting).
+    pub fn since(&self, earlier: &EngineMetrics) -> EngineMetrics {
+        EngineMetrics {
+            points_cached: self.points_cached - earlier.points_cached,
+            points_mapped: self.points_mapped - earlier.points_mapped,
+            points_simulated: self.points_simulated - earlier.points_simulated,
+            worlds_simulated: self.worlds_simulated - earlier.worlds_simulated,
+            probe_evaluations: self.probe_evaluations - earlier.probe_evaluations,
+            simulation_time: self.simulation_time.saturating_sub(earlier.simulation_time),
+            fingerprint_time: self.fingerprint_time.saturating_sub(earlier.fingerprint_time),
+        }
+    }
+}
+
+impl fmt::Display for EngineMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "points: {} simulated / {} mapped / {} cached ({}% reused); \
+             worlds: {}; probes: {}; sim {:?}; fp {:?}",
+            self.points_simulated,
+            self.points_mapped,
+            self.points_cached,
+            (self.reuse_fraction() * 100.0).round() as u64,
+            self.worlds_simulated,
+            self.probe_evaluations,
+            self.simulation_time,
+            self.fingerprint_time,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_reuse_fraction() {
+        let m = EngineMetrics {
+            points_cached: 10,
+            points_mapped: 30,
+            points_simulated: 60,
+            ..EngineMetrics::default()
+        };
+        assert_eq!(m.points_total(), 100);
+        assert!((m.reuse_fraction() - 0.4).abs() < 1e-12);
+        assert_eq!(m.evaluations_avoided(500), 20_000);
+    }
+
+    #[test]
+    fn empty_metrics_have_zero_reuse() {
+        let m = EngineMetrics::default();
+        assert_eq!(m.reuse_fraction(), 0.0);
+        assert_eq!(m.points_total(), 0);
+    }
+
+    #[test]
+    fn merge_and_since_are_inverse_ish() {
+        let a = EngineMetrics {
+            points_simulated: 5,
+            worlds_simulated: 500,
+            probe_evaluations: 32,
+            ..EngineMetrics::default()
+        };
+        let mut b = a;
+        let extra = EngineMetrics { points_mapped: 3, probe_evaluations: 96, ..EngineMetrics::default() };
+        b.merge(&extra);
+        let diff = b.since(&a);
+        assert_eq!(diff.points_mapped, 3);
+        assert_eq!(diff.probe_evaluations, 96);
+        assert_eq!(diff.points_simulated, 0);
+    }
+
+    #[test]
+    fn display_mentions_the_key_numbers() {
+        let m = EngineMetrics {
+            points_mapped: 7,
+            points_simulated: 3,
+            worlds_simulated: 1200,
+            ..EngineMetrics::default()
+        };
+        let s = m.to_string();
+        assert!(s.contains("3 simulated"));
+        assert!(s.contains("7 mapped"));
+        assert!(s.contains("70% reused"));
+    }
+}

@@ -1,0 +1,384 @@
+//! Offline mode: automated constrained parameter optimization.
+//!
+//! §3.3: "the simulation goal is to determine the parameter values that
+//! minimize the total cost of ownership while keeping the risk of overload
+//! under a threshold … results are computed for the entire parameter space,
+//! and the query returns the latest purchase dates that keep the expected
+//! chance of overload below" the threshold.
+//!
+//! [`OfflineOptimizer`] executes the scenario's `OPTIMIZE` directive: it
+//! sweeps the cartesian product of the *selected* parameters (the GROUP BY
+//! keys), evaluates every value of the remaining axis parameters per group
+//! (in Figure 2, the 53 weeks of `@current`), applies the outer aggregate
+//! (`MAX(EXPECT overload)`), filters feasible groups, and ranks them by the
+//! lexicographic `FOR MAX/MIN` objectives. Deferring purchases *is* the
+//! cost-of-ownership objective: later purchase weeks mean fewer
+//! hardware-weeks paid for.
+
+use std::cmp::Ordering;
+use std::time::{Duration, Instant};
+
+use prophet_mc::guide::{GridGuide, Guide};
+use prophet_mc::ParamPoint;
+use prophet_sql::ast::{AggMetric, ObjectiveDirection, OptimizeSpec, OuterAgg, ParameterDecl};
+use prophet_sql::error::{SqlError, SqlResult};
+use prophet_vg::VgRegistry;
+
+use crate::engine::{Engine, EngineConfig, EvalOutcome};
+use crate::metrics::EngineMetrics;
+use crate::scenario::Scenario;
+
+/// One feasible (or candidate) answer of the OPTIMIZE query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeAnswer {
+    /// The group's parameter values (the selected parameters only).
+    pub point: ParamPoint,
+    /// Outer-aggregated metric per constraint, in constraint order.
+    pub constraint_values: Vec<f64>,
+    /// Whether every constraint held.
+    pub feasible: bool,
+}
+
+/// Result of an offline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfflineReport {
+    /// Best feasible answer under the lexicographic objectives, if any.
+    pub best: Option<OptimizeAnswer>,
+    /// Every evaluated group, feasible first, each sorted best-first.
+    pub answers: Vec<OptimizeAnswer>,
+    /// Number of groups examined (product of selected-parameter domains).
+    pub groups_total: usize,
+    /// Engine work counters for this run only.
+    pub metrics: EngineMetrics,
+    /// Wall-clock time of the sweep.
+    pub wall: Duration,
+}
+
+impl OfflineReport {
+    /// Feasible answers only, best first.
+    pub fn feasible(&self) -> impl Iterator<Item = &OptimizeAnswer> {
+        self.answers.iter().filter(|a| a.feasible)
+    }
+}
+
+/// Executes the scenario's OPTIMIZE directive over the whole grid.
+pub struct OfflineOptimizer {
+    engine: Engine,
+    spec: OptimizeSpec,
+    group_decls: Vec<ParameterDecl>,
+    axis_decls: Vec<ParameterDecl>,
+}
+
+impl OfflineOptimizer {
+    /// Build an optimizer; the scenario must carry an OPTIMIZE directive.
+    pub fn new(scenario: Scenario, registry: VgRegistry, config: EngineConfig) -> SqlResult<Self> {
+        let script = scenario.script().clone();
+        let spec = script
+            .optimize
+            .clone()
+            .ok_or_else(|| SqlError::Eval("offline mode requires an OPTIMIZE directive".into()))?;
+        let group_decls: Vec<ParameterDecl> = script
+            .params
+            .iter()
+            .filter(|p| spec.select_params.contains(&p.name))
+            .cloned()
+            .collect();
+        let axis_decls: Vec<ParameterDecl> = script
+            .params
+            .iter()
+            .filter(|p| !spec.select_params.contains(&p.name))
+            .cloned()
+            .collect();
+        let engine = Engine::new(&scenario, registry, config)?;
+        Ok(OfflineOptimizer { engine, spec, group_decls, axis_decls })
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The OPTIMIZE specification being executed.
+    pub fn spec(&self) -> &OptimizeSpec {
+        &self.spec
+    }
+
+    /// Number of groups the sweep will examine.
+    pub fn groups_total(&self) -> usize {
+        self.group_decls.iter().map(|d| d.domain.cardinality()).product()
+    }
+
+    /// Run the full sweep.
+    pub fn run(&self) -> SqlResult<OfflineReport> {
+        self.run_with_observer(|_, _, _| {})
+    }
+
+    /// Run the full sweep, reporting every point evaluation to `observer`
+    /// as `(group point, full point, outcome)` — the hook the Figure-4
+    /// exploration map and the demo's "live-updated view" use.
+    pub fn run_with_observer(
+        &self,
+        mut observer: impl FnMut(&ParamPoint, &ParamPoint, &EvalOutcome),
+    ) -> SqlResult<OfflineReport> {
+        let start = Instant::now();
+        let before = self.engine.metrics();
+        let mut answers = Vec::with_capacity(self.groups_total());
+
+        let mut groups = GridGuide::new(&self.group_decls);
+        while let Some(group) = groups.next_point() {
+            let answer = self.evaluate_group(&group, &mut observer)?;
+            answers.push(answer);
+        }
+
+        // Rank: feasible before infeasible, then lexicographic objectives.
+        answers.sort_by(|a, b| match (a.feasible, b.feasible) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            _ => self.compare_objectives(&a.point, &b.point),
+        });
+        let best = answers.first().filter(|a| a.feasible).cloned();
+
+        Ok(OfflineReport {
+            best,
+            groups_total: self.groups_total(),
+            answers,
+            metrics: self.engine.metrics().since(&before),
+            wall: start.elapsed(),
+        })
+    }
+
+    /// Evaluate one group: sweep the axis parameters, accumulate the outer
+    /// aggregate for every constraint, and test feasibility.
+    fn evaluate_group(
+        &self,
+        group: &ParamPoint,
+        observer: &mut impl FnMut(&ParamPoint, &ParamPoint, &EvalOutcome),
+    ) -> SqlResult<OptimizeAnswer> {
+        let mut aggs: Vec<OuterAccumulator> =
+            self.spec.constraints.iter().map(|c| OuterAccumulator::new(c.outer)).collect();
+
+        let mut axis = GridGuide::new(&self.axis_decls);
+        while let Some(axis_point) = axis.next_point() {
+            let mut full = group.clone();
+            for (name, value) in axis_point.iter() {
+                full.set(name.to_owned(), value);
+            }
+            let (samples, outcome) = self.engine.evaluate(&full)?;
+            observer(group, &full, &outcome);
+            for (constraint, acc) in self.spec.constraints.iter().zip(&mut aggs) {
+                let metric = match constraint.metric {
+                    AggMetric::Expect => samples.expect(&constraint.column),
+                    AggMetric::ExpectStdDev => samples.expect_std_dev(&constraint.column),
+                }
+                .ok_or_else(|| {
+                    SqlError::Eval(format!("unknown constraint column `{}`", constraint.column))
+                })?;
+                acc.push(metric);
+            }
+        }
+
+        let constraint_values: Vec<f64> = aggs.iter().map(OuterAccumulator::value).collect();
+        let feasible = self
+            .spec
+            .constraints
+            .iter()
+            .zip(&constraint_values)
+            .all(|(c, &v)| v.is_finite() && c.op.test(v.partial_cmp(&c.threshold)));
+        Ok(OptimizeAnswer { point: group.clone(), constraint_values, feasible })
+    }
+
+    /// Lexicographic objective comparison: earlier objectives dominate.
+    fn compare_objectives(&self, a: &ParamPoint, b: &ParamPoint) -> Ordering {
+        for obj in &self.spec.objectives {
+            let va = a.get(&obj.param).unwrap_or(i64::MIN);
+            let vb = b.get(&obj.param).unwrap_or(i64::MIN);
+            let ord = match obj.direction {
+                ObjectiveDirection::Max => vb.cmp(&va), // larger first
+                ObjectiveDirection::Min => va.cmp(&vb), // smaller first
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        // Stable tiebreak so reports are deterministic.
+        a.cmp(b)
+    }
+}
+
+/// Streaming outer aggregate (MAX/MIN/AVG across the axis sweep).
+#[derive(Debug, Clone, Copy)]
+struct OuterAccumulator {
+    agg: OuterAgg,
+    acc: f64,
+    count: u64,
+}
+
+impl OuterAccumulator {
+    fn new(agg: OuterAgg) -> Self {
+        let acc = match agg {
+            OuterAgg::Max => f64::NEG_INFINITY,
+            OuterAgg::Min => f64::INFINITY,
+            OuterAgg::Avg => 0.0,
+        };
+        OuterAccumulator { agg, acc, count: 0 }
+    }
+
+    fn push(&mut self, x: f64) {
+        self.count += 1;
+        // NaN poisons the aggregate permanently (f64::max/min would silently
+        // drop it), so a NaN metric can never satisfy a constraint.
+        if self.acc.is_nan() {
+            return;
+        }
+        if x.is_nan() {
+            self.acc = f64::NAN;
+            return;
+        }
+        match self.agg {
+            OuterAgg::Max => self.acc = self.acc.max(x),
+            OuterAgg::Min => self.acc = self.acc.min(x),
+            OuterAgg::Avg => self.acc += x,
+        }
+    }
+
+    fn value(&self) -> f64 {
+        match self.agg {
+            OuterAgg::Avg if self.count > 0 => self.acc / self.count as f64,
+            OuterAgg::Avg => f64::NAN,
+            _ => self.acc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_models::demo_registry;
+
+    /// A small scenario whose answer is analytically known: pick the
+    /// largest @x with E[x + noise] ≤ 6.05, i.e. x = 6.
+    const TOY: &str = "\
+DECLARE PARAMETER @x AS RANGE 0 TO 10 STEP BY 2;
+DECLARE PARAMETER @w AS SET (0, 1);
+SELECT @x + 0 AS load INTO results;
+OPTIMIZE SELECT @x FROM results
+WHERE MAX(EXPECT load) <= 6.05
+GROUP BY x
+FOR MAX @x";
+
+    fn toy_optimizer() -> OfflineOptimizer {
+        OfflineOptimizer::new(
+            Scenario::parse(TOY).unwrap(),
+            demo_registry(),
+            EngineConfig { worlds_per_point: 8, ..EngineConfig::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn requires_optimize_directive() {
+        let s = Scenario::parse("DECLARE PARAMETER @p AS SET (1);\nSELECT @p AS x INTO r;").unwrap();
+        assert!(OfflineOptimizer::new(s, demo_registry(), EngineConfig::default()).is_err());
+    }
+
+    #[test]
+    fn toy_answer_is_exact() {
+        let opt = toy_optimizer();
+        assert_eq!(opt.groups_total(), 6);
+        let report = opt.run().unwrap();
+        let best = report.best.clone().expect("x=6 is feasible");
+        assert_eq!(best.point.get("x"), Some(6));
+        assert!(best.feasible);
+        assert!((best.constraint_values[0] - 6.0).abs() < 1e-9);
+        // groups 0,2,4,6 feasible; 8,10 not
+        assert_eq!(report.feasible().count(), 4);
+        assert_eq!(report.answers.len(), 6);
+        // feasible answers sorted best (largest x) first
+        let xs: Vec<i64> = report.feasible().map(|a| a.point.get("x").unwrap()).collect();
+        assert_eq!(xs, vec![6, 4, 2, 0]);
+    }
+
+    #[test]
+    fn infeasible_thresholds_yield_no_best() {
+        let src = TOY.replace("<= 6.05", "<= -1.0");
+        let opt = OfflineOptimizer::new(
+            Scenario::parse(&src).unwrap(),
+            demo_registry(),
+            EngineConfig { worlds_per_point: 4, ..EngineConfig::default() },
+        )
+        .unwrap();
+        let report = opt.run().unwrap();
+        assert!(report.best.is_none());
+        assert_eq!(report.feasible().count(), 0);
+        assert_eq!(report.answers.len(), 6, "infeasible groups are still reported");
+    }
+
+    #[test]
+    fn observer_sees_every_point() {
+        let opt = toy_optimizer();
+        let mut calls = 0usize;
+        let mut simulated = 0usize;
+        opt.run_with_observer(|group, full, outcome| {
+            calls += 1;
+            assert!(group.get("x").is_some());
+            assert!(full.get("w").is_some(), "axis param bound in full point");
+            if matches!(outcome, EvalOutcome::Simulated) {
+                simulated += 1;
+            }
+        })
+        .unwrap();
+        // 6 groups × 2 axis values
+        assert_eq!(calls, 12);
+        assert!(simulated <= calls);
+    }
+
+    #[test]
+    fn metrics_cover_only_this_run() {
+        let opt = toy_optimizer();
+        let r1 = opt.run().unwrap();
+        assert_eq!(r1.metrics.points_total(), 12);
+        // A second run is fully cached — and its metrics say so.
+        let r2 = opt.run().unwrap();
+        assert_eq!(r2.metrics.points_total(), 12);
+        assert_eq!(r2.metrics.points_cached, 12);
+        assert_eq!(r2.metrics.worlds_simulated, 0);
+    }
+
+    #[test]
+    fn min_objective_direction() {
+        let src = TOY.replace("FOR MAX @x", "FOR MIN @x");
+        let opt = OfflineOptimizer::new(
+            Scenario::parse(&src).unwrap(),
+            demo_registry(),
+            EngineConfig { worlds_per_point: 4, ..EngineConfig::default() },
+        )
+        .unwrap();
+        let report = opt.run().unwrap();
+        assert_eq!(report.best.unwrap().point.get("x"), Some(0));
+    }
+
+    #[test]
+    fn outer_accumulator_behaviour() {
+        let mut max = OuterAccumulator::new(OuterAgg::Max);
+        max.push(1.0);
+        max.push(3.0);
+        max.push(2.0);
+        assert_eq!(max.value(), 3.0);
+
+        let mut min = OuterAccumulator::new(OuterAgg::Min);
+        min.push(1.0);
+        min.push(-3.0);
+        assert_eq!(min.value(), -3.0);
+
+        let mut avg = OuterAccumulator::new(OuterAgg::Avg);
+        avg.push(1.0);
+        avg.push(3.0);
+        assert_eq!(avg.value(), 2.0);
+
+        let mut poisoned = OuterAccumulator::new(OuterAgg::Max);
+        poisoned.push(1.0);
+        poisoned.push(f64::NAN);
+        poisoned.push(9.0);
+        assert!(poisoned.value().is_nan(), "NaN must not be masked by later maxima");
+    }
+}

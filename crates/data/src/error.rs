@@ -1,0 +1,83 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type DataResult<T> = Result<T, DataError>;
+
+/// Errors surfaced by relational operations.
+///
+/// The Monte Carlo engine evaluates user-authored scenarios, so type errors
+/// and shape mismatches are expected at runtime and must be reportable rather
+/// than panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A column name was not found in a schema.
+    UnknownColumn(String),
+    /// A value of one type was used where another was required.
+    TypeMismatch {
+        /// What the operation required.
+        expected: &'static str,
+        /// What it actually received.
+        found: String,
+    },
+    /// Two relations (or a relation and a row) disagreed on arity or types.
+    SchemaMismatch(String),
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Number of rows actually present.
+        len: usize,
+    },
+    /// An arithmetic operation was invalid (e.g. string + int).
+    InvalidOperation(String),
+    /// A duplicate column name was supplied to a schema.
+    DuplicateColumn(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            DataError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            DataError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            DataError::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for table with {len} rows")
+            }
+            DataError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
+            DataError::DuplicateColumn(name) => write!(f, "duplicate column name `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            DataError::UnknownColumn("demand".into()).to_string(),
+            "unknown column `demand`"
+        );
+        assert_eq!(
+            DataError::TypeMismatch { expected: "float", found: "Str(\"x\")".into() }.to_string(),
+            "type mismatch: expected float, found Str(\"x\")"
+        );
+        assert_eq!(
+            DataError::RowOutOfBounds { index: 9, len: 3 }.to_string(),
+            "row index 9 out of bounds for table with 3 rows"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

@@ -1,0 +1,273 @@
+//! The Storage Manager's basis-distribution store.
+//!
+//! "Fuzzy Prophet maintains a set of basis distributions containing the
+//! output of prior scenario evaluation runs. When evaluating the scenario
+//! with a new set of parameter values, Fuzzy Prophet first attempts to
+//! correlate the scenario's output distribution for one set of parameters
+//! to one or more basis distributions by matching their fingerprints,
+//! resulting in a lower time to first-accurate-guess." — §1
+//!
+//! The store is generic over its key (`prophet-fingerprint` sits below the
+//! engine layer that knows about parameter points) and its payload (full
+//! sample sets, series, whatever the engine caches).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::correlate::CorrelationDetector;
+use crate::fingerprint::Fingerprint;
+use crate::mapping::Mapping;
+
+/// A successful basis lookup: which stored entry matched and how to map its
+/// payload onto the queried fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasisMatch<K> {
+    /// Key of the matching basis entry.
+    pub key: K,
+    /// Transform from the stored outputs to the queried parameterization.
+    pub mapping: Mapping,
+}
+
+struct Entry<P> {
+    fingerprint: Fingerprint,
+    payload: P,
+    /// Monotone insertion stamp; evictions drop the oldest entry.
+    stamp: u64,
+}
+
+/// Thread-safe basis-distribution store with fingerprint matching.
+///
+/// Capacity is bounded: the paper's Storage Manager holds "the set of basis
+/// distributions", which in a long online session must not grow without
+/// bound. Eviction is FIFO (oldest entry first) — simple, deterministic,
+/// and adequate because fresh basis entries dominate reuse in practice.
+pub struct BasisStore<K, P> {
+    inner: RwLock<StoreInner<K, P>>,
+    detector: CorrelationDetector,
+    capacity: usize,
+}
+
+struct StoreInner<K, P> {
+    entries: HashMap<K, Entry<P>>,
+    next_stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K, P> BasisStore<K, P>
+where
+    K: Eq + Hash + Clone,
+    P: Clone,
+{
+    /// Create with a detector and a maximum entry count.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` (a store that cannot hold anything is a
+    /// configuration bug).
+    pub fn new(detector: CorrelationDetector, capacity: usize) -> Self {
+        assert!(capacity > 0, "basis store capacity must be positive");
+        BasisStore {
+            inner: RwLock::new(StoreInner {
+                entries: HashMap::new(),
+                next_stamp: 0,
+                hits: 0,
+                misses: 0,
+            }),
+            detector,
+            capacity,
+        }
+    }
+
+    /// Insert (or replace) a basis distribution.
+    pub fn insert(&self, key: K, fingerprint: Fingerprint, payload: P) {
+        let mut inner = self.inner.write();
+        inner.next_stamp += 1;
+        let stamp = inner.next_stamp;
+        if inner.entries.len() >= self.capacity && !inner.entries.contains_key(&key) {
+            // FIFO eviction: drop the oldest stamp.
+            if let Some(oldest) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&oldest);
+            }
+        }
+        inner.entries.insert(key, Entry { fingerprint, payload, stamp });
+    }
+
+    /// Exact lookup by key.
+    pub fn get(&self, key: &K) -> Option<P> {
+        self.inner.read().entries.get(key).map(|e| e.payload.clone())
+    }
+
+    /// Whether a key is stored.
+    pub fn contains(&self, key: &K) -> bool {
+        self.inner.read().entries.contains_key(key)
+    }
+
+    /// Find the best correlated basis entry for `query`: smallest error bar
+    /// first and, on ties (e.g. several exact mappings), the structurally
+    /// simplest mapping — identity beats offset beats affine — because
+    /// simpler mappings compose more robustly. Updates hit/miss accounting.
+    pub fn find_correlated(&self, query: &Fingerprint) -> Option<(BasisMatch<K>, P)> {
+        fn complexity(m: &Mapping) -> u8 {
+            match m {
+                Mapping::Identity => 0,
+                Mapping::Offset(_) | Mapping::Shift { .. } => 1,
+                Mapping::Affine { .. } => 2,
+                Mapping::Compose(..) => 3,
+            }
+        }
+        let mut inner = self.inner.write();
+        let mut best: Option<(BasisMatch<K>, P, (f64, u8))> = None;
+        for (key, entry) in &inner.entries {
+            if let Some(mapping) = self.detector.detect(&entry.fingerprint, query) {
+                let rank = (mapping.error_std(), complexity(&mapping));
+                let better = match &best {
+                    None => true,
+                    Some((_, _, best_rank)) => rank < *best_rank,
+                };
+                if better {
+                    best = Some((
+                        BasisMatch { key: key.clone(), mapping },
+                        entry.payload.clone(),
+                        rank,
+                    ));
+                }
+            }
+        }
+        match best {
+            Some((m, p, _)) => {
+                inner.hits += 1;
+                Some((m, p))
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// `(hits, misses)` of `find_correlated` so far.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        let inner = self.inner.read();
+        (inner.hits, inner.misses)
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.inner.read().entries.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop everything (benchmarks reset between configurations).
+    pub fn clear(&self) {
+        let mut inner = self.inner.write();
+        inner.entries.clear();
+        inner.hits = 0;
+        inner.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> BasisStore<&'static str, Vec<f64>> {
+        BasisStore::new(CorrelationDetector::default(), 16)
+    }
+
+    #[test]
+    fn insert_get_contains() {
+        let s = store();
+        assert!(s.is_empty());
+        s.insert("a", Fingerprint::from_values(vec![1.0, 2.0, 3.0]), vec![0.5]);
+        assert!(s.contains(&"a"));
+        assert_eq!(s.get(&"a"), Some(vec![0.5]));
+        assert_eq!(s.get(&"b"), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn correlated_lookup_returns_mapping_and_payload() {
+        let s = store();
+        let base = Fingerprint::from_values(vec![1.0, 2.0, 3.0, 5.0]);
+        s.insert("base", base.clone(), vec![10.0, 20.0]);
+
+        // query = base + 7 → Offset(7)
+        let query = Fingerprint::from_values(base.values().iter().map(|v| v + 7.0).collect());
+        let (m, payload) = s.find_correlated(&query).unwrap();
+        assert_eq!(m.key, "base");
+        assert_eq!(m.mapping, Mapping::Offset(7.0));
+        assert_eq!(m.mapping.apply_samples(&payload), vec![17.0, 27.0]);
+        assert_eq!(s.hit_stats(), (1, 0));
+    }
+
+    #[test]
+    fn misses_are_counted() {
+        let s = store();
+        s.insert("a", Fingerprint::from_values(vec![1.0, -1.0, 1.0, -1.0]), vec![]);
+        let unrelated = Fingerprint::from_values(vec![0.2, 0.9, 0.4, 0.35]);
+        assert!(s.find_correlated(&unrelated).is_none());
+        assert_eq!(s.hit_stats(), (0, 1));
+    }
+
+    #[test]
+    fn exact_match_preferred_over_affine() {
+        let s = store();
+        let target = Fingerprint::from_values(vec![2.0, 4.0, 6.0, 10.0]);
+        // candidate A: affine-related (scale 2)
+        s.insert("affine", Fingerprint::from_values(vec![1.0, 2.0, 3.0, 5.0]), vec![1.0]);
+        // candidate B: identical
+        s.insert("exact", target.clone(), vec![2.0]);
+        let (m, _) = s.find_correlated(&target).unwrap();
+        assert_eq!(m.key, "exact");
+        assert_eq!(m.mapping, Mapping::Identity);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let s: BasisStore<&str, ()> = BasisStore::new(CorrelationDetector::default(), 2);
+        s.insert("one", Fingerprint::from_values(vec![1.0, 2.0]), ());
+        s.insert("two", Fingerprint::from_values(vec![2.0, 3.0]), ());
+        s.insert("three", Fingerprint::from_values(vec![3.0, 4.0]), ());
+        assert_eq!(s.len(), 2);
+        assert!(!s.contains(&"one"), "oldest evicted");
+        assert!(s.contains(&"two"));
+        assert!(s.contains(&"three"));
+    }
+
+    #[test]
+    fn reinsert_same_key_does_not_evict_others() {
+        let s: BasisStore<&str, u32> = BasisStore::new(CorrelationDetector::default(), 2);
+        s.insert("one", Fingerprint::from_values(vec![1.0, 2.0]), 1);
+        s.insert("two", Fingerprint::from_values(vec![2.0, 3.0]), 2);
+        s.insert("one", Fingerprint::from_values(vec![1.0, 2.0]), 99);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(&"one"), Some(99));
+        assert!(s.contains(&"two"));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let s = store();
+        s.insert("a", Fingerprint::from_values(vec![1.0, 2.0]), vec![]);
+        let _ = s.find_correlated(&Fingerprint::from_values(vec![9.0, -9.0]));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.hit_stats(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: BasisStore<&str, ()> = BasisStore::new(CorrelationDetector::default(), 0);
+    }
+}

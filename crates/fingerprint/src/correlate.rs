@@ -1,0 +1,412 @@
+//! Correlation detection between fingerprints.
+//!
+//! Detecting that two parameterizations are correlated — and *how* — is the
+//! step that turns fingerprints into savings: a confident affine fit means
+//! every stored Monte Carlo sample for the source point can be re-mapped to
+//! the target point without invoking the VG-Function again.
+
+use crate::fingerprint::Fingerprint;
+use crate::mapping::Mapping;
+
+/// Pearson correlation coefficient of two equal-length slices.
+/// Returns `None` for slices shorter than 2, mismatched lengths, non-finite
+/// input, or zero variance on either side.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// A least-squares affine fit `y ≈ scale · x + offset` with diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineFit {
+    /// Slope.
+    pub scale: f64,
+    /// Intercept.
+    pub offset: f64,
+    /// Coefficient of determination (1 = perfect linear relationship).
+    pub r2: f64,
+    /// Standard deviation of the fit residuals, in y units. This is the
+    /// error bar the engine attaches to mapped estimates.
+    pub residual_std: f64,
+}
+
+/// Fit `y = scale·x + offset` by ordinary least squares.
+/// Returns `None` under the same degeneracies as [`pearson`], except that a
+/// zero-variance `y` against a varying `x` is a valid (constant) fit.
+pub fn fit_affine(xs: &[f64], ys: &[f64]) -> Option<AffineFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 {
+        return None; // constant x cannot predict anything
+    }
+    let scale = sxy / sxx;
+    let offset = my - scale * mx;
+    // Residual sum of squares and R².
+    let mut rss = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let e = y - (scale * x + offset);
+        rss += e * e;
+    }
+    let r2 = if syy > 0.0 { 1.0 - rss / syy } else { 1.0 };
+    let dof = (xs.len() - 2).max(1) as f64;
+    Some(AffineFit { scale, offset, r2, residual_std: (rss / dof).sqrt() })
+}
+
+/// Best time-shift between two series: the lag `k` (|k| ≤ `max_lag`)
+/// maximizing the Pearson correlation of `ys[i]` with `xs[i - k]`.
+/// Returns `(lag, correlation)` or `None` when no overlap of length ≥ 2
+/// yields a defined correlation.
+pub fn best_lag(xs: &[f64], ys: &[f64], max_lag: usize) -> Option<(i64, f64)> {
+    let mut best: Option<(i64, f64)> = None;
+    let max_lag = max_lag as i64;
+    for lag in -max_lag..=max_lag {
+        // Overlapping windows under this lag.
+        let (xs_w, ys_w): (Vec<f64>, Vec<f64>) = xs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &x)| {
+                let j = i as i64 + lag;
+                if j >= 0 && (j as usize) < ys.len() {
+                    Some((x, ys[j as usize]))
+                } else {
+                    None
+                }
+            })
+            .unzip();
+        if let Some(r) = pearson(&xs_w, &ys_w) {
+            let better = match best {
+                None => true,
+                Some((_, br)) => r.abs() > br.abs() + 1e-12,
+            };
+            if better {
+                best = Some((lag, r));
+            }
+        }
+    }
+    best
+}
+
+/// Thresholded detector turning fingerprint pairs into [`Mapping`]s.
+///
+/// The detector prefers the *simplest* adequate mapping: identity before
+/// pure shift (offset) before general affine. Simpler mappings compose more
+/// robustly and are cheaper to apply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelationDetector {
+    /// Minimum R² for an affine mapping to be accepted.
+    pub min_r2: f64,
+    /// Absolute tolerance when testing identity / constant-offset
+    /// relationships.
+    pub tolerance: f64,
+}
+
+impl Default for CorrelationDetector {
+    fn default() -> Self {
+        CorrelationDetector { min_r2: 0.98, tolerance: 1e-9 }
+    }
+}
+
+impl CorrelationDetector {
+    /// Detect a relationship between two *week-indexed series* (x, y),
+    /// preferring a pure time-shift over value transforms.
+    ///
+    /// This is the paper's Markovian-discontinuity case: "processes built
+    /// around discontinuities, with discrete events occurring at random
+    /// points in time (e.g., the nondeterministic date when new hardware
+    /// comes online)" shift a series along the axis rather than rescaling
+    /// it. Returns `Shift{lag}` when some lag within `max_lag` aligns the
+    /// series almost perfectly, otherwise falls back to the scalar
+    /// detection logic on the aligned (lag-0) values.
+    pub fn detect_series(
+        &self,
+        source: &[(i64, f64)],
+        target: &[(i64, f64)],
+        max_lag: usize,
+    ) -> Option<Mapping> {
+        if source.len() < 3 || target.len() < 3 {
+            return None;
+        }
+        // Dense y-vectors aligned by position (series are sorted by x).
+        let xs: Vec<f64> = source.iter().map(|&(_, y)| y).collect();
+        let ys: Vec<f64> = target.iter().map(|&(_, y)| y).collect();
+        if let Some((lag, r)) = best_lag(&xs, &ys, max_lag) {
+            if lag != 0 && r >= self.min_r2.sqrt() {
+                // Verify the shift is value-preserving up to a constant:
+                // overlapping samples must differ by the same offset
+                // everywhere (a trend component shows up as that constant).
+                let scale = xs.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
+                let pairs: Vec<(f64, f64)> = xs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &x)| {
+                        let j = i as i64 + lag;
+                        (j >= 0 && (j as usize) < ys.len()).then(|| (x, ys[j as usize]))
+                    })
+                    .collect();
+                if let Some(&(x0, y0)) = pairs.first() {
+                    let offset = y0 - x0;
+                    let constant_offset =
+                        pairs.iter().all(|(x, y)| ((y - x) - offset).abs() <= 1e-6 * scale);
+                    if constant_offset {
+                        let shift = Mapping::Shift { lag };
+                        return Some(if offset.abs() <= 1e-6 * scale {
+                            shift
+                        } else {
+                            shift.then(Mapping::Offset(offset))
+                        });
+                    }
+                }
+            }
+        }
+        self.detect(&Fingerprint::from_values(xs), &Fingerprint::from_values(ys))
+    }
+
+    /// Detect a mapping from `source` to `target` fingerprints, or `None`
+    /// if they are not confidently related.
+    pub fn detect(&self, source: &Fingerprint, target: &Fingerprint) -> Option<Mapping> {
+        let (xs, ys) = source.common_prefix(target);
+        if xs.len() < 2 {
+            return None;
+        }
+        if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+            return None;
+        }
+        // Identity?
+        if xs.iter().zip(ys).all(|(x, y)| (x - y).abs() <= self.tolerance) {
+            return Some(Mapping::Identity);
+        }
+        // Constant offset?
+        let d0 = ys[0] - xs[0];
+        if xs.iter().zip(ys).all(|(x, y)| ((y - x) - d0).abs() <= self.tolerance) {
+            return Some(Mapping::Offset(d0));
+        }
+        // General affine.
+        let fit = fit_affine(xs, ys)?;
+        if fit.r2 >= self.min_r2 {
+            Some(Mapping::Affine { scale: fit.scale, offset: fit.offset, residual_std: fit.residual_std })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let zs = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &zs).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[3.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None, "zero variance");
+        assert_eq!(pearson(&[1.0, f64::NAN], &[2.0, 3.0]), None);
+    }
+
+    #[test]
+    fn affine_fit_recovers_exact_line() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 7.0).collect();
+        let fit = fit_affine(&xs, &ys).unwrap();
+        assert!((fit.scale - 3.0).abs() < 1e-12);
+        assert!((fit.offset + 7.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+        assert!(fit.residual_std < 1e-9);
+    }
+
+    #[test]
+    fn affine_fit_reports_noise_in_residuals() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        // deterministic "noise" via a fixed pattern with zero mean
+        let ys: Vec<f64> =
+            xs.iter().enumerate().map(|(i, x)| 2.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let fit = fit_affine(&xs, &ys).unwrap();
+        assert!((fit.scale - 2.0).abs() < 1e-3);
+        assert!(fit.r2 > 0.999, "strong but not perfect: r2={}", fit.r2);
+        assert!((fit.residual_std - 0.5).abs() < 0.01, "residual_std={}", fit.residual_std);
+    }
+
+    #[test]
+    fn affine_fit_constant_y_is_valid() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0];
+        let fit = fit_affine(&xs, &ys).unwrap();
+        assert_eq!(fit.scale, 0.0);
+        assert_eq!(fit.offset, 5.0);
+        assert_eq!(fit.r2, 1.0);
+    }
+
+    #[test]
+    fn affine_fit_constant_x_is_rejected() {
+        assert_eq!(fit_affine(&[2.0, 2.0], &[1.0, 5.0]), None);
+    }
+
+    #[test]
+    fn best_lag_finds_pure_shift() {
+        let xs: Vec<f64> = (0..30).map(|i| ((i as f64) * 0.7).sin()).collect();
+        // ys is xs delayed by 4: ys[i] = xs[i - 4]
+        let ys: Vec<f64> = (0..30)
+            .map(|i| if i >= 4 { xs[i - 4] } else { 0.123 * i as f64 })
+            .collect();
+        let (lag, r) = best_lag(&xs, &ys, 8).unwrap();
+        assert_eq!(lag, 4);
+        assert!(r > 0.99, "r={r}");
+    }
+
+    #[test]
+    fn best_lag_zero_for_identical() {
+        let xs: Vec<f64> = (0..20).map(|i| (i * i) as f64).collect();
+        let (lag, r) = best_lag(&xs, &xs, 5).unwrap();
+        assert_eq!(lag, 0);
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detector_prefers_simplest_mapping() {
+        let det = CorrelationDetector::default();
+        let base = Fingerprint::from_values(vec![1.0, 2.0, 3.0, 5.0, 8.0]);
+
+        // identity
+        let same = base.clone();
+        assert_eq!(det.detect(&base, &same), Some(Mapping::Identity));
+
+        // pure offset
+        let shifted = Fingerprint::from_values(base.values().iter().map(|v| v + 4.0).collect());
+        assert_eq!(det.detect(&base, &shifted), Some(Mapping::Offset(4.0)));
+
+        // affine
+        let scaled = Fingerprint::from_values(base.values().iter().map(|v| 2.0 * v + 1.0).collect());
+        match det.detect(&base, &scaled) {
+            Some(Mapping::Affine { scale, offset, .. }) => {
+                assert!((scale - 2.0).abs() < 1e-9);
+                assert!((offset - 1.0).abs() < 1e-9);
+            }
+            other => panic!("expected affine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detector_rejects_unrelated_fingerprints() {
+        let det = CorrelationDetector::default();
+        let a = Fingerprint::from_values(vec![1.0, -2.0, 3.0, -4.0, 5.0, -6.0, 7.0, -8.0]);
+        let b = Fingerprint::from_values(vec![0.3, 0.1, 0.4, 0.1, 0.5, 0.9, 0.2, 0.6]);
+        assert_eq!(det.detect(&a, &b), None);
+    }
+
+    #[test]
+    fn detector_rejects_nan_and_short() {
+        let det = CorrelationDetector::default();
+        let good = Fingerprint::from_values(vec![1.0, 2.0, 3.0]);
+        let nan = Fingerprint::from_values(vec![1.0, f64::NAN, 3.0]);
+        let short = Fingerprint::from_values(vec![1.0]);
+        assert_eq!(det.detect(&good, &nan), None);
+        assert_eq!(det.detect(&nan, &good), None);
+        assert_eq!(det.detect(&good, &short), None, "common prefix of 1 is too short");
+    }
+
+    fn step_series(step_week: i64, len: i64) -> Vec<(i64, f64)> {
+        // A capacity-like series: decay plus a +4000 step at `step_week`.
+        (0..len)
+            .map(|w| {
+                let base = 10_000.0 - 57.0 * w as f64;
+                let stepped = if w >= step_week { base + 4_000.0 } else { base };
+                (w, stepped)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detect_series_finds_deployment_shift() {
+        let det = CorrelationDetector::default();
+        let a = step_series(18, 53);
+        let b = step_series(22, 53); // purchase delayed by 4 weeks
+        // The series combines a linear decay with the shifted step, so the
+        // relationship is shift ∘ constant-offset: b[w] = a[w-4] - 4·57.
+        let mapping = det.detect_series(&a, &b, 8).expect("shift must be detected");
+        match &mapping {
+            Mapping::Compose(first, second) => {
+                assert_eq!(**first, Mapping::Shift { lag: 4 });
+                match **second {
+                    Mapping::Offset(d) => assert!((d + 4.0 * 57.0).abs() < 1e-6, "offset {d}"),
+                    ref other => panic!("expected offset, got {other:?}"),
+                }
+            }
+            other => panic!("expected shift∘offset, got {other:?}"),
+        }
+        // Applying the mapping to a reproduces b on the overlap.
+        let mapped = mapping.apply_series(&a, 0, 52);
+        for (x, y) in &mapped {
+            let expected = b.iter().find(|(bx, _)| bx == x).unwrap().1;
+            assert!((y - expected).abs() < 1e-9, "week {x}: {y} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn detect_series_identity_for_equal_series() {
+        let det = CorrelationDetector::default();
+        let a = step_series(18, 40);
+        assert_eq!(det.detect_series(&a, &a, 8), Some(Mapping::Identity));
+    }
+
+    #[test]
+    fn detect_series_falls_back_to_offset() {
+        let det = CorrelationDetector::default();
+        let a = step_series(18, 40);
+        let b: Vec<(i64, f64)> = a.iter().map(|&(x, y)| (x, y + 123.0)).collect();
+        assert_eq!(det.detect_series(&a, &b, 8), Some(Mapping::Offset(123.0)));
+    }
+
+    #[test]
+    fn detect_series_rejects_short_or_unrelated() {
+        let det = CorrelationDetector::default();
+        assert_eq!(det.detect_series(&[(0, 1.0)], &[(0, 1.0)], 4), None);
+        let a = step_series(18, 30);
+        let noise: Vec<(i64, f64)> =
+            (0..30).map(|w| (w, ((w * 7919 % 97) as f64) * 100.0)).collect();
+        assert_eq!(det.detect_series(&a, &noise, 8), None);
+    }
+}

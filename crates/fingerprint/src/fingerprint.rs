@@ -1,0 +1,143 @@
+//! Fingerprint computation.
+
+use prophet_vg::rng::SeedSequence;
+
+/// Configuration for fingerprint computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FingerprintConfig {
+    /// Number of fixed seeds (= fingerprint length). Longer fingerprints
+    /// discriminate better but cost more probe invocations; experiment E10
+    /// sweeps this knob.
+    pub length: usize,
+}
+
+impl Default for FingerprintConfig {
+    fn default() -> Self {
+        // 32 probes: the E10 ablation shows diminishing returns past this.
+        FingerprintConfig { length: 32 }
+    }
+}
+
+/// A fingerprint: outputs of a stochastic function under the canonical
+/// fixed seed sequence.
+///
+/// Fingerprints of the *same* function under different parameters — or of
+/// different functions — are comparable entry-by-entry because entry `i`
+/// of every fingerprint was produced with the same seed `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fingerprint {
+    values: Vec<f64>,
+}
+
+impl Fingerprint {
+    /// Compute a fingerprint by probing `sample` once per canonical seed.
+    ///
+    /// `sample` receives the raw seed and must return the function's scalar
+    /// output for that seed (for table-valued models, a designated summary
+    /// cell — the engine uses the model's primary output column).
+    pub fn compute(config: FingerprintConfig, mut sample: impl FnMut(u64) -> f64) -> Self {
+        let seeds = SeedSequence::fingerprint_default(config.length);
+        Fingerprint { values: seeds.seeds().iter().map(|&s| sample(s)).collect() }
+    }
+
+    /// Compute under an explicit (non-canonical) sequence. Used by tests
+    /// and by the Markov analyzer, which fingerprints *steps* under
+    /// chain-specific sequences.
+    pub fn compute_with_seeds(seeds: &SeedSequence, mut sample: impl FnMut(u64) -> f64) -> Self {
+        Fingerprint { values: seeds.seeds().iter().map(|&s| sample(s)).collect() }
+    }
+
+    /// Wrap raw values (pre-computed probes).
+    pub fn from_values(values: Vec<f64>) -> Self {
+        Fingerprint { values }
+    }
+
+    /// The probe outputs.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Fingerprint length.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no probes were taken.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Truncate to the common prefix length with `other` (the canonical
+    /// sequence has the prefix property, so prefixes remain comparable).
+    pub fn common_prefix<'a>(&'a self, other: &'a Fingerprint) -> (&'a [f64], &'a [f64]) {
+        let n = self.len().min(other.len());
+        (&self.values[..n], &other.values[..n])
+    }
+
+    /// Whether all probe outputs are finite (a NaN-producing model cannot
+    /// be fingerprint-matched and must fall back to direct simulation).
+    pub fn is_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_vg::rng::{Rng64, Xoshiro256StarStar};
+
+    #[test]
+    fn same_function_same_fingerprint() {
+        let cfg = FingerprintConfig { length: 16 };
+        let f = |seed: u64| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+            10.0 + rng.next_f64()
+        };
+        let a = Fingerprint::compute(cfg, f);
+        let b = Fingerprint::compute(cfg, f);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.is_finite());
+    }
+
+    #[test]
+    fn shifted_parameters_shift_the_fingerprint_exactly() {
+        // Under fixed seeds, f(x) = base + noise(seed) obeys
+        // fp(base2) - fp(base1) == base2 - base1 entry-wise.
+        let cfg = FingerprintConfig { length: 8 };
+        let make = |base: f64| {
+            Fingerprint::compute(cfg, move |seed| {
+                let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+                base + rng.next_f64()
+            })
+        };
+        let a = make(10.0);
+        let b = make(25.0);
+        for (x, y) in a.values().iter().zip(b.values()) {
+            assert!((y - x - 15.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prefix_property_of_canonical_sequence() {
+        let short = Fingerprint::compute(FingerprintConfig { length: 8 }, |s| s as f64);
+        let long = Fingerprint::compute(FingerprintConfig { length: 32 }, |s| s as f64);
+        let (a, b) = short.common_prefix(&long);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn nan_probes_are_flagged() {
+        let fp = Fingerprint::from_values(vec![1.0, f64::NAN]);
+        assert!(!fp.is_finite());
+        assert!(!fp.is_empty());
+    }
+
+    #[test]
+    fn empty_fingerprint() {
+        let fp = Fingerprint::compute(FingerprintConfig { length: 0 }, |_| unreachable!());
+        assert!(fp.is_empty());
+        assert!(fp.is_finite(), "vacuously finite");
+    }
+}

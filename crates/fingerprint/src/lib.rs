@@ -1,0 +1,44 @@
+//! # prophet-fingerprint
+//!
+//! The paper's primary contribution: **fingerprints** that identify
+//! correlations between executions of a VG-Function under different
+//! parameter values, plus the machinery that exploits them.
+//!
+//! > "The fingerprint of a VG-Function is a concise and easily-computable
+//! > data structure that summarizes its output distribution. Thus, a
+//! > fingerprint can be used to efficiently determine a function's
+//! > correlation with another function, or its own instantiations under
+//! > different parameter values." — §2
+//!
+//! The concrete technique (borrowed from random testing, per the paper): a
+//! fingerprint is the vector of a stochastic function's outputs under a
+//! *fixed* sequence of PRNG seeds. Because the randomness is pinned, two
+//! parameterizations whose outputs are deterministically related produce
+//! fingerprints with a detectable functional relationship — and that same
+//! relationship can then re-map full Monte Carlo sample sets computed for
+//! one parameterization into estimates for the other, skipping the VG
+//! invocations entirely.
+//!
+//! * [`fingerprint`] — computing fingerprints under the canonical seed
+//!   sequence,
+//! * [`correlate`] — Pearson correlation, least-squares affine fits, lag
+//!   (time-shift) detection,
+//! * [`mapping`] — the re-mapping transforms and their application to
+//!   sample sets and week-series,
+//! * [`basis`] — the Storage Manager's basis-distribution store: previously
+//!   computed outputs indexed by fingerprint for reuse,
+//! * [`markov`] — detection of strongly-correlated successive steps in
+//!   Markovian simulations and the region estimators that let the engine
+//!   skip chain segments.
+
+pub mod basis;
+pub mod correlate;
+pub mod fingerprint;
+pub mod markov;
+pub mod mapping;
+
+pub use basis::{BasisMatch, BasisStore};
+pub use correlate::{fit_affine, pearson, AffineFit, CorrelationDetector};
+pub use fingerprint::{Fingerprint, FingerprintConfig};
+pub use mapping::Mapping;
+pub use markov::{analyze_chain, ChainRegion, RegionEstimator};

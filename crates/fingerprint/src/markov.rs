@@ -1,0 +1,214 @@
+//! Markovian-dependency detection and region estimators.
+//!
+//! "When a simulation is Markovian (where the simulation consists of a
+//! series of steps, each depending on the simulation's output for the prior
+//! step), outputs of successive steps often remain strongly correlated. …
+//! Fingerprints can identify such Markovian dependencies, enabling
+//! automated generation of simple non-Markovian estimators. These
+//! estimators, valid for regions of the Markov chain, allow Fuzzy Prophet
+//! to skip the corresponding portions of the simulation." — §2
+//!
+//! Given *step fingerprints* — for each chain step, the vector of that
+//! step's output across the fixed fingerprint worlds — [`analyze_chain`]
+//! finds maximal regions where each step is an affine function of its
+//! predecessor, and produces a [`RegionEstimator`] per region that predicts
+//! the region's final step directly from its first, letting the simulator
+//! jump over the interior steps.
+
+use crate::correlate::{fit_affine, AffineFit};
+use crate::mapping::Mapping;
+
+/// A maximal run of chain steps `[start, end]` (inclusive) where every
+/// consecutive pair is confidently affine-related.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainRegion {
+    /// First step of the region.
+    pub start: usize,
+    /// Last step of the region (inclusive; `end > start`).
+    pub end: usize,
+    /// Per-transition fits for steps `start→start+1, …, end-1→end`.
+    pub fits: Vec<AffineFit>,
+}
+
+impl ChainRegion {
+    /// Number of steps the estimator lets the simulator skip (the interior
+    /// transitions: simulating `start`, then jumping straight to `end`).
+    pub fn steps_skipped(&self) -> usize {
+        self.end - self.start - 1
+    }
+
+    /// Build the estimator that maps step-`start` output to step-`end`
+    /// output by composing the per-transition affine maps.
+    pub fn estimator(&self) -> RegionEstimator {
+        let mut mapping = Mapping::Identity;
+        for fit in &self.fits {
+            mapping = mapping.then(Mapping::Affine {
+                scale: fit.scale,
+                offset: fit.offset,
+                residual_std: fit.residual_std,
+            });
+        }
+        RegionEstimator { start: self.start, end: self.end, mapping }
+    }
+}
+
+/// A non-Markovian estimator for one region: predicts step `end` output
+/// directly from step `start` output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionEstimator {
+    /// Input step.
+    pub start: usize,
+    /// Predicted step.
+    pub end: usize,
+    /// The composed transform.
+    pub mapping: Mapping,
+}
+
+impl RegionEstimator {
+    /// Predict the end-of-region output from the start-of-region output.
+    pub fn predict(&self, start_value: f64) -> f64 {
+        self.mapping.apply_scalar(start_value)
+    }
+
+    /// One-sigma error bar of the prediction.
+    pub fn error_std(&self) -> f64 {
+        self.mapping.error_std()
+    }
+}
+
+/// Find all maximal affine-correlated regions in a chain.
+///
+/// `steps[i]` is step `i`'s output across the fixed fingerprint worlds
+/// (all steps must share the same world count). A transition `i → i+1`
+/// joins a region when its affine fit has `r² ≥ min_r2`. Regions shorter
+/// than two steps (no skippable interior or jump) are discarded.
+pub fn analyze_chain(steps: &[Vec<f64>], min_r2: f64) -> Vec<ChainRegion> {
+    let mut regions = Vec::new();
+    if steps.len() < 2 {
+        return regions;
+    }
+    let mut start = 0usize;
+    let mut fits: Vec<AffineFit> = Vec::new();
+    for i in 0..steps.len() - 1 {
+        let fit = fit_affine(&steps[i], &steps[i + 1]).filter(|f| f.r2 >= min_r2);
+        match fit {
+            Some(f) => fits.push(f),
+            None => {
+                if !fits.is_empty() {
+                    regions.push(ChainRegion { start, end: i, fits: std::mem::take(&mut fits) });
+                }
+                start = i + 1;
+            }
+        }
+    }
+    if !fits.is_empty() {
+        regions.push(ChainRegion { start, end: steps.len() - 1, fits });
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic pseudo-random pattern (no RNG dependency needed).
+    fn noise(i: usize, j: usize) -> f64 {
+        (((i * 31 + j * 17) % 19) as f64 - 9.0) / 9.0
+    }
+
+    /// Chain where each step is 1.02x the previous plus a constant drift —
+    /// exactly affine, so the whole chain is one region.
+    fn smooth_chain(steps: usize, worlds: usize) -> Vec<Vec<f64>> {
+        let mut chain = vec![(0..worlds).map(|w| 100.0 + 5.0 * noise(0, w)).collect::<Vec<f64>>()];
+        for _ in 1..steps {
+            let prev = chain.last().unwrap();
+            chain.push(prev.iter().map(|&x| 1.02 * x + 3.0).collect());
+        }
+        chain
+    }
+
+    #[test]
+    fn fully_affine_chain_is_one_region() {
+        let chain = smooth_chain(10, 24);
+        let regions = analyze_chain(&chain, 0.98);
+        assert_eq!(regions.len(), 1);
+        let r = &regions[0];
+        assert_eq!((r.start, r.end), (0, 9));
+        assert_eq!(r.fits.len(), 9);
+        assert_eq!(r.steps_skipped(), 8);
+    }
+
+    #[test]
+    fn estimator_predicts_end_from_start() {
+        let chain = smooth_chain(6, 24);
+        let regions = analyze_chain(&chain, 0.98);
+        let est = regions[0].estimator();
+        assert_eq!((est.start, est.end), (0, 5));
+        // Each world's final value should be predicted near-exactly.
+        for (x0, x5) in chain[0].iter().zip(&chain[5]) {
+            let pred = est.predict(*x0);
+            assert!((pred - x5).abs() < 1e-6, "pred={pred} actual={x5}");
+        }
+        assert!(est.error_std() < 1e-6);
+    }
+
+    #[test]
+    fn discontinuity_splits_regions() {
+        // Steps 0..=3 smooth, step 4 is pure noise (uncorrelated with 3),
+        // steps 4..=7 smooth again.
+        let worlds = 32;
+        let mut chain = smooth_chain(4, worlds);
+        chain.push((0..worlds).map(|w| noise(99, w * 7 + 1) * 50.0).collect());
+        for _ in 0..3 {
+            let prev = chain.last().unwrap();
+            chain.push(prev.iter().map(|&x| 0.9 * x - 1.0).collect());
+        }
+        let regions = analyze_chain(&chain, 0.98);
+        assert_eq!(regions.len(), 2, "regions: {regions:?}");
+        assert_eq!((regions[0].start, regions[0].end), (0, 3));
+        assert_eq!((regions[1].start, regions[1].end), (4, 7));
+    }
+
+    #[test]
+    fn noisy_transitions_yield_no_regions() {
+        let worlds = 32;
+        let chain: Vec<Vec<f64>> = (0..5)
+            .map(|i| (0..worlds).map(|w| noise(i * 13 + 1, w * 3 + i) * 10.0).collect())
+            .collect();
+        let regions = analyze_chain(&chain, 0.98);
+        assert!(regions.is_empty(), "{regions:?}");
+    }
+
+    #[test]
+    fn short_chains_are_handled() {
+        assert!(analyze_chain(&[], 0.9).is_empty());
+        assert!(analyze_chain(&[vec![1.0, 2.0]], 0.9).is_empty());
+        // exactly one good transition → region (0,1) with nothing to skip
+        let chain = smooth_chain(2, 16);
+        let regions = analyze_chain(&chain, 0.98);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].steps_skipped(), 0);
+    }
+
+    #[test]
+    fn estimator_error_grows_with_noisy_fits() {
+        // Transitions with genuine residual noise should produce a nonzero
+        // error bar that accumulates across the region.
+        let worlds = 64;
+        let mut chain = vec![(0..worlds).map(|w| 50.0 + 10.0 * noise(1, w)).collect::<Vec<f64>>()];
+        for i in 1..5 {
+            let prev = chain.last().unwrap();
+            chain.push(
+                prev.iter()
+                    .enumerate()
+                    .map(|(w, &x)| 1.01 * x + 2.0 + 0.3 * noise(i * 7 + 2, w))
+                    .collect(),
+            );
+        }
+        let regions = analyze_chain(&chain, 0.95);
+        assert_eq!(regions.len(), 1);
+        let est = regions[0].estimator();
+        assert!(est.error_std() > 0.1, "error_std={}", est.error_std());
+        assert!(est.error_std() < 5.0, "error_std={}", est.error_std());
+    }
+}

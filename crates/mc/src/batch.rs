@@ -1,0 +1,260 @@
+//! The Query Generator: batching instances through the SQL executor.
+//!
+//! "The sequence of instances is batched and accepted by a Query Generator,
+//! which produces a pure TSQL query" (§2). Our pure-TSQL tier is the
+//! `prophet-sql` executor; a batch here is *(parameter point, world list)*
+//! and its result is a [`SampleSet`]: per-output-column sample vectors
+//! across the batch's worlds.
+
+use std::collections::HashMap;
+
+use prophet_data::Value;
+use prophet_sql::ast::SelectInto;
+use prophet_sql::error::{SqlError, SqlResult};
+use prophet_sql::executor::{evaluate_select_with, WorldRng};
+use prophet_vg::{SeedManager, VgRegistry};
+
+use crate::aggregate::{SampleStats, Welford};
+use crate::instance::ParamPoint;
+
+/// Samples of every scenario output column across a set of worlds, for one
+/// parameter point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleSet {
+    point: ParamPoint,
+    columns: Vec<String>,
+    samples: HashMap<String, Vec<f64>>,
+}
+
+impl SampleSet {
+    /// The parameter point these samples belong to.
+    pub fn point(&self) -> &ParamPoint {
+        &self.point
+    }
+
+    /// Output column names in SELECT order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of worlds simulated.
+    pub fn world_count(&self) -> usize {
+        self.samples.values().next().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Samples of one column, world order preserved.
+    pub fn samples(&self, column: &str) -> Option<&[f64]> {
+        self.samples.get(column).map(Vec::as_slice)
+    }
+
+    /// Welford summary of one column.
+    pub fn stats(&self, column: &str) -> Option<SampleStats> {
+        let xs = self.samples.get(column)?;
+        let mut w = Welford::new();
+        w.extend(xs);
+        Some(w.stats())
+    }
+
+    /// Monte Carlo expectation of one column (`EXPECT col`).
+    pub fn expect(&self, column: &str) -> Option<f64> {
+        self.stats(column).map(|s| s.mean)
+    }
+
+    /// Monte Carlo standard deviation (`EXPECT_STDDEV col`).
+    pub fn expect_std_dev(&self, column: &str) -> Option<f64> {
+        self.stats(column).map(|s| s.std_dev)
+    }
+
+    /// Build directly from per-column samples (the fingerprint mapper
+    /// synthesizes re-mapped sample sets this way).
+    pub fn from_samples(
+        point: ParamPoint,
+        columns: Vec<String>,
+        samples: HashMap<String, Vec<f64>>,
+    ) -> Self {
+        SampleSet { point, columns, samples }
+    }
+
+    /// Merge another sample set for the *same point* (progressive
+    /// refinement appends batches of worlds).
+    pub fn absorb(&mut self, other: &SampleSet) {
+        debug_assert_eq!(self.point, other.point, "absorb requires matching points");
+        for (col, dst) in self.samples.iter_mut() {
+            if let Some(src) = other.samples.get(col) {
+                dst.extend_from_slice(src);
+            }
+        }
+    }
+}
+
+/// Simulate one parameter point over the given worlds.
+///
+/// Each world `w` evaluates the scenario SELECT under *per-call* VG
+/// substreams derived from `(root, w, function, call index)`: the same
+/// `worlds` slice against two different points reuses the *same underlying
+/// randomness per world index* when `common_random_numbers` is true — the
+/// variance-reduction trick that makes outputs of correlated parameter
+/// points comparable sample-by-sample (fingerprinting relies on it).
+pub fn simulate_point(
+    select: &SelectInto,
+    registry: &VgRegistry,
+    seeds: &SeedManager,
+    point: &ParamPoint,
+    worlds: &[u64],
+    common_random_numbers: bool,
+) -> SqlResult<SampleSet> {
+    let params = point.to_value_map();
+    let columns: Vec<String> = select.items.iter().map(|i| i.alias.clone()).collect();
+    let mut samples: HashMap<String, Vec<f64>> =
+        columns.iter().map(|c| (c.clone(), Vec::with_capacity(worlds.len()))).collect();
+
+    // Under CRN the stream depends only on the world id; otherwise it also
+    // mixes the point so distinct points draw independent noise.
+    let point_salt = if common_random_numbers { 0 } else { point.stable_hash() };
+
+    for &world in worlds {
+        let rng = WorldRng::per_call(*seeds, world ^ point_salt);
+        let row = evaluate_select_with(select, registry, &params, rng)?;
+        for (name, value) in row {
+            let x = match value {
+                Value::Null => f64::NAN,
+                v => v.as_f64().map_err(SqlError::from)?,
+            };
+            samples
+                .get_mut(&name)
+                .expect("executor returns exactly the declared aliases")
+                .push(x);
+        }
+    }
+    Ok(SampleSet { point: point.clone(), columns, samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_data::{DataResult, DataType, Schema, Table, TableBuilder};
+    use prophet_sql::parser::parse_script;
+    use prophet_vg::rng::Rng64;
+    use prophet_vg::VgFunction;
+    use std::sync::Arc;
+
+    /// `Noise(center)` = center + U[0,1).
+    #[derive(Debug)]
+    struct Noise;
+
+    impl VgFunction for Noise {
+        fn name(&self) -> &str {
+            "Noise"
+        }
+        fn arity(&self) -> usize {
+            1
+        }
+        fn output_schema(&self) -> Schema {
+            Schema::of(&[("v", DataType::Float)])
+        }
+        fn invoke(&self, params: &[Value], rng: &mut dyn Rng64) -> DataResult<Table> {
+            let c = params[0].as_f64()?;
+            let mut b = TableBuilder::with_capacity(self.output_schema(), 1);
+            b.push_row(vec![Value::Float(c + rng.next_f64())])?;
+            Ok(b.finish())
+        }
+    }
+
+    fn setup() -> (prophet_sql::ast::Script, VgRegistry, SeedManager) {
+        let script = parse_script(
+            "DECLARE PARAMETER @c AS RANGE 0 TO 100 STEP BY 1;\n\
+             SELECT Noise(@c) AS out, Noise(@c) * 2 AS double INTO r;",
+        )
+        .unwrap();
+        let mut registry = VgRegistry::new();
+        registry.register(Arc::new(Noise));
+        (script, registry, SeedManager::new(42))
+    }
+
+    #[test]
+    fn simulate_collects_all_columns_and_worlds() {
+        let (script, registry, seeds) = setup();
+        let point = ParamPoint::from_pairs([("c", 10i64)]);
+        let worlds: Vec<u64> = (0..50).collect();
+        let ss = simulate_point(&script.select, &registry, &seeds, &point, &worlds, true).unwrap();
+        assert_eq!(ss.columns(), &["out".to_string(), "double".to_string()]);
+        assert_eq!(ss.world_count(), 50);
+        let stats = ss.stats("out").unwrap();
+        assert!((10.0..11.0).contains(&stats.mean), "mean={}", stats.mean);
+        assert!(ss.samples("nope").is_none());
+        assert_eq!(ss.point(), &point);
+    }
+
+    #[test]
+    fn crn_makes_worlds_comparable_across_points() {
+        let (script, registry, seeds) = setup();
+        let worlds: Vec<u64> = (0..20).collect();
+        let p10 = ParamPoint::from_pairs([("c", 10i64)]);
+        let p20 = ParamPoint::from_pairs([("c", 20i64)]);
+        let a = simulate_point(&script.select, &registry, &seeds, &p10, &worlds, true).unwrap();
+        let b = simulate_point(&script.select, &registry, &seeds, &p20, &worlds, true).unwrap();
+        // Same worlds, same noise: the difference must be exactly 10.
+        for (x, y) in a.samples("out").unwrap().iter().zip(b.samples("out").unwrap()) {
+            assert!((y - x - 10.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn without_crn_noise_is_independent() {
+        let (script, registry, seeds) = setup();
+        let worlds: Vec<u64> = (0..20).collect();
+        let p10 = ParamPoint::from_pairs([("c", 10i64)]);
+        let p20 = ParamPoint::from_pairs([("c", 20i64)]);
+        let a = simulate_point(&script.select, &registry, &seeds, &p10, &worlds, false).unwrap();
+        let b = simulate_point(&script.select, &registry, &seeds, &p20, &worlds, false).unwrap();
+        let exact = a
+            .samples("out")
+            .unwrap()
+            .iter()
+            .zip(b.samples("out").unwrap())
+            .filter(|(x, y)| (*y - *x - 10.0).abs() < 1e-12)
+            .count();
+        assert_eq!(exact, 0, "independent draws should not line up exactly");
+    }
+
+    #[test]
+    fn expectation_and_stddev_shortcuts() {
+        let (script, registry, seeds) = setup();
+        let point = ParamPoint::from_pairs([("c", 0i64)]);
+        let worlds: Vec<u64> = (0..2000).collect();
+        let ss = simulate_point(&script.select, &registry, &seeds, &point, &worlds, true).unwrap();
+        let e = ss.expect("out").unwrap();
+        let sd = ss.expect_std_dev("out").unwrap();
+        assert!((e - 0.5).abs() < 0.02, "E[U]≈0.5, got {e}");
+        let expected_sd = (1.0f64 / 12.0).sqrt();
+        assert!((sd - expected_sd).abs() < 0.02, "sd={sd}");
+        // double = 2 * an independent draw, so E[double] ≈ 1.0
+        assert!((ss.expect("double").unwrap() - 1.0).abs() < 0.04);
+    }
+
+    #[test]
+    fn absorb_appends_worlds() {
+        let (script, registry, seeds) = setup();
+        let point = ParamPoint::from_pairs([("c", 5i64)]);
+        let w1: Vec<u64> = (0..10).collect();
+        let w2: Vec<u64> = (10..30).collect();
+        let mut a = simulate_point(&script.select, &registry, &seeds, &point, &w1, true).unwrap();
+        let b = simulate_point(&script.select, &registry, &seeds, &point, &w2, true).unwrap();
+        a.absorb(&b);
+        assert_eq!(a.world_count(), 30);
+
+        let full: Vec<u64> = (0..30).collect();
+        let c = simulate_point(&script.select, &registry, &seeds, &point, &full, true).unwrap();
+        assert_eq!(a.samples("out").unwrap(), c.samples("out").unwrap());
+    }
+
+    #[test]
+    fn null_outputs_become_nan_samples() {
+        let script = parse_script("SELECT 1 / 0 AS bad INTO r;").unwrap();
+        let registry = VgRegistry::new();
+        let seeds = SeedManager::new(1);
+        let ss = simulate_point(&script.select, &registry, &seeds, &ParamPoint::new(), &[0], true)
+            .unwrap();
+        assert!(ss.samples("bad").unwrap()[0].is_nan());
+    }
+}

@@ -1,0 +1,353 @@
+//! The Guide: strategies that produce the sequence of instances to simulate.
+//!
+//! "The Guide component directs scenario evaluation by producing a sequence
+//! of instances, each representing a concrete valuation for each parameter
+//! and model variable in the scenario" (§2). Three strategies:
+//!
+//! * [`GridGuide`] — exhaustive cartesian sweep (offline mode),
+//! * [`RandomGuide`] — uniform random exploration (baseline for benches),
+//! * [`PriorityGuide`] — priority-queue exploration used by online mode:
+//!   user-requested points jump the queue, and the paper's *proactive
+//!   exploration* ("which values are proactively being explored anticipating
+//!   their future usage", §3.2) enqueues the neighbourhood of recent
+//!   requests at lower priority.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use prophet_sql::ast::ParameterDecl;
+use prophet_vg::rng::{Rng64, Xoshiro256StarStar};
+
+use crate::instance::ParamPoint;
+
+/// A source of parameter points to evaluate next.
+pub trait Guide {
+    /// The next point to evaluate, or `None` when the strategy has nothing
+    /// pending.
+    fn next_point(&mut self) -> Option<ParamPoint>;
+}
+
+/// Exhaustive row-major sweep over the cartesian product of all declared
+/// parameter domains. The first declared parameter varies slowest, so runs
+/// are reproducible and cache-friendly for per-prefix reuse.
+#[derive(Debug, Clone)]
+pub struct GridGuide {
+    names: Vec<String>,
+    axes: Vec<Vec<i64>>,
+    /// Mixed-radix counter over `axes`; `None` once exhausted.
+    cursor: Option<Vec<usize>>,
+}
+
+impl GridGuide {
+    /// Build from parameter declarations.
+    pub fn new(decls: &[ParameterDecl]) -> Self {
+        let names = decls.iter().map(|d| d.name.clone()).collect();
+        let axes: Vec<Vec<i64>> = decls.iter().map(|d| d.domain.values()).collect();
+        let cursor = if axes.iter().any(Vec::is_empty) {
+            None
+        } else {
+            Some(vec![0; axes.len()])
+        };
+        GridGuide { names, axes, cursor }
+    }
+
+    /// Total number of points in the sweep.
+    pub fn total(&self) -> usize {
+        self.axes.iter().map(Vec::len).product()
+    }
+}
+
+impl Guide for GridGuide {
+    fn next_point(&mut self) -> Option<ParamPoint> {
+        let cursor = self.cursor.as_mut()?;
+        let point = ParamPoint::from_pairs(
+            self.names
+                .iter()
+                .zip(self.axes.iter().zip(cursor.iter()))
+                .map(|(n, (axis, &i))| (n.clone(), axis[i])),
+        );
+        // Mixed-radix increment; last axis spins fastest.
+        let mut done = true;
+        for i in (0..cursor.len()).rev() {
+            cursor[i] += 1;
+            if cursor[i] < self.axes[i].len() {
+                done = false;
+                break;
+            }
+            cursor[i] = 0;
+        }
+        if done {
+            self.cursor = None;
+        }
+        Some(point)
+    }
+}
+
+/// Uniform random sampling of the parameter space (with replacement).
+/// Baseline strategy for the guide-comparison benches.
+#[derive(Debug, Clone)]
+pub struct RandomGuide {
+    names: Vec<String>,
+    axes: Vec<Vec<i64>>,
+    rng: Xoshiro256StarStar,
+}
+
+impl RandomGuide {
+    /// Build from declarations and a seed.
+    pub fn new(decls: &[ParameterDecl], seed: u64) -> Self {
+        RandomGuide {
+            names: decls.iter().map(|d| d.name.clone()).collect(),
+            axes: decls.iter().map(|d| d.domain.values()).collect(),
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Guide for RandomGuide {
+    fn next_point(&mut self) -> Option<ParamPoint> {
+        if self.axes.iter().any(Vec::is_empty) {
+            return None;
+        }
+        Some(ParamPoint::from_pairs(self.names.iter().zip(&self.axes).map(|(n, axis)| {
+            let i = self.rng.gen_range_i64(0, axis.len() as i64 - 1) as usize;
+            (n.clone(), axis[i])
+        })))
+    }
+}
+
+/// Priority level of a queued point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Priority {
+    /// Speculative neighbourhood prefetch.
+    Prefetch = 0,
+    /// Directly requested by the user (slider adjustment).
+    User = 1,
+}
+
+/// Priority-driven exploration for online mode.
+///
+/// User requests are served strictly before anticipatory prefetches; within
+/// a priority class, FIFO order (stable sequence numbers) keeps the schedule
+/// deterministic. Points are deduplicated: enqueueing a point twice, or
+/// prefetching one already queued as a user request, is a no-op.
+#[derive(Debug)]
+pub struct PriorityGuide {
+    decls: Vec<ParameterDecl>,
+    heap: BinaryHeap<(Priority, Reverse<u64>, ParamPoint)>,
+    queued: HashSet<ParamPoint>,
+    sequence: u64,
+}
+
+impl PriorityGuide {
+    /// Build from declarations.
+    pub fn new(decls: &[ParameterDecl]) -> Self {
+        PriorityGuide {
+            decls: decls.to_vec(),
+            heap: BinaryHeap::new(),
+            queued: HashSet::new(),
+            sequence: 0,
+        }
+    }
+
+    fn enqueue(&mut self, point: ParamPoint, priority: Priority) {
+        if self.queued.insert(point.clone()) {
+            self.sequence += 1;
+            self.heap.push((priority, Reverse(self.sequence), point));
+        }
+    }
+
+    /// Queue a user-requested point (highest priority).
+    pub fn enqueue_user(&mut self, point: ParamPoint) {
+        self.enqueue(point, Priority::User);
+    }
+
+    /// Queue a speculative point (lowest priority).
+    pub fn enqueue_prefetch(&mut self, point: ParamPoint) {
+        self.enqueue(point, Priority::Prefetch);
+    }
+
+    /// Anticipatory exploration: queue the domain neighbours of `point`
+    /// along parameter `axis` (the slider the user last touched — the most
+    /// likely next adjustments).
+    pub fn prefetch_neighbours(&mut self, point: &ParamPoint, axis: &str) {
+        let Some(current) = point.get(axis) else { return };
+        let Some(decl) = self.decls.iter().find(|d| d.name == axis) else { return };
+        let values = decl.domain.values();
+        let Some(idx) = values.iter().position(|&v| v == current) else { return };
+        let mut neighbours = Vec::with_capacity(2);
+        if idx > 0 {
+            neighbours.push(values[idx - 1]);
+        }
+        if idx + 1 < values.len() {
+            neighbours.push(values[idx + 1]);
+        }
+        for v in neighbours {
+            self.enqueue_prefetch(point.with(axis, v));
+        }
+    }
+
+    /// Number of points currently queued.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+impl Guide for PriorityGuide {
+    fn next_point(&mut self) -> Option<ParamPoint> {
+        let (_, _, point) = self.heap.pop()?;
+        self.queued.remove(&point);
+        Some(point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_sql::ast::ParameterDomain;
+
+    fn decls() -> Vec<ParameterDecl> {
+        vec![
+            ParameterDecl { name: "a".into(), domain: ParameterDomain::Range { lo: 0, hi: 2, step: 1 } },
+            ParameterDecl { name: "b".into(), domain: ParameterDomain::Set(vec![10, 20]) },
+        ]
+    }
+
+    #[test]
+    fn grid_enumerates_full_product_once() {
+        let mut g = GridGuide::new(&decls());
+        let mut seen = HashSet::new();
+        while let Some(p) = g.next_point() {
+            assert!(seen.insert(p.clone()), "duplicate point {p}");
+        }
+        assert_eq!(seen.len(), 6);
+        assert_eq!(g.total(), 6);
+        for a in 0..=2i64 {
+            for b in [10i64, 20] {
+                assert!(seen.contains(&ParamPoint::from_pairs([("a", a), ("b", b)])));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_order_is_row_major_and_deterministic() {
+        let mut g1 = GridGuide::new(&decls());
+        let mut g2 = GridGuide::new(&decls());
+        let s1: Vec<ParamPoint> = std::iter::from_fn(|| g1.next_point()).collect();
+        let s2: Vec<ParamPoint> = std::iter::from_fn(|| g2.next_point()).collect();
+        assert_eq!(s1, s2);
+        // First parameter declared varies slowest.
+        assert_eq!(s1[0], ParamPoint::from_pairs([("a", 0i64), ("b", 10)]));
+        assert_eq!(s1[1], ParamPoint::from_pairs([("a", 0i64), ("b", 20)]));
+        assert_eq!(s1[2], ParamPoint::from_pairs([("a", 1i64), ("b", 10)]));
+    }
+
+    #[test]
+    fn grid_with_no_parameters_yields_one_empty_point() {
+        let mut g = GridGuide::new(&[]);
+        assert_eq!(g.next_point(), Some(ParamPoint::new()));
+        assert_eq!(g.next_point(), None);
+    }
+
+    #[test]
+    fn random_guide_stays_in_domain_and_is_seeded() {
+        let ds = decls();
+        let mut g1 = RandomGuide::new(&ds, 99);
+        let mut g2 = RandomGuide::new(&ds, 99);
+        for _ in 0..100 {
+            let p1 = g1.next_point().unwrap();
+            let p2 = g2.next_point().unwrap();
+            assert_eq!(p1, p2, "same seed, same sequence");
+            assert!(ds[0].domain.contains(p1.get("a").unwrap()));
+            assert!(ds[1].domain.contains(p1.get("b").unwrap()));
+        }
+    }
+
+    #[test]
+    fn priority_guide_user_requests_preempt_prefetch() {
+        let ds = decls();
+        let mut g = PriorityGuide::new(&ds);
+        let p_user = ParamPoint::from_pairs([("a", 1i64), ("b", 10)]);
+        let p_other = ParamPoint::from_pairs([("a", 2i64), ("b", 20)]);
+        g.enqueue_prefetch(p_other.clone());
+        g.enqueue_user(p_user.clone());
+        assert_eq!(g.pending(), 2);
+        assert_eq!(g.next_point(), Some(p_user));
+        assert_eq!(g.next_point(), Some(p_other));
+        assert_eq!(g.next_point(), None);
+    }
+
+    #[test]
+    fn priority_guide_fifo_within_class() {
+        let ds = decls();
+        let mut g = PriorityGuide::new(&ds);
+        let p1 = ParamPoint::from_pairs([("a", 0i64), ("b", 10)]);
+        let p2 = ParamPoint::from_pairs([("a", 1i64), ("b", 10)]);
+        let p3 = ParamPoint::from_pairs([("a", 2i64), ("b", 10)]);
+        g.enqueue_user(p1.clone());
+        g.enqueue_user(p2.clone());
+        g.enqueue_user(p3.clone());
+        assert_eq!(g.next_point(), Some(p1));
+        assert_eq!(g.next_point(), Some(p2));
+        assert_eq!(g.next_point(), Some(p3));
+    }
+
+    #[test]
+    fn priority_guide_deduplicates() {
+        let ds = decls();
+        let mut g = PriorityGuide::new(&ds);
+        let p = ParamPoint::from_pairs([("a", 0i64), ("b", 10)]);
+        g.enqueue_user(p.clone());
+        g.enqueue_user(p.clone());
+        g.enqueue_prefetch(p.clone());
+        assert_eq!(g.pending(), 1);
+        assert_eq!(g.next_point(), Some(p.clone()));
+        assert_eq!(g.next_point(), None);
+        // after being served, the point may be queued again
+        g.enqueue_user(p.clone());
+        assert_eq!(g.next_point(), Some(p));
+    }
+
+    #[test]
+    fn priority_guide_anticipates_neighbours() {
+        let ds = vec![ParameterDecl {
+            name: "a".into(),
+            domain: ParameterDomain::Range { lo: 0, hi: 8, step: 2 },
+        }];
+        let mut g = PriorityGuide::new(&ds);
+        let p = ParamPoint::from_pairs([("a", 4i64)]);
+        g.enqueue_user(p.clone());
+        g.prefetch_neighbours(&p, "a");
+        // user point first, then the two domain neighbours 2 and 6
+        assert_eq!(g.next_point(), Some(p));
+        let n1 = g.next_point().unwrap();
+        let n2 = g.next_point().unwrap();
+        let mut got = vec![n1.get("a").unwrap(), n2.get("a").unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![2, 6]);
+        assert_eq!(g.next_point(), None);
+    }
+
+    #[test]
+    fn prefetch_neighbours_respects_domain_edges() {
+        let ds = vec![ParameterDecl {
+            name: "a".into(),
+            domain: ParameterDomain::Range { lo: 0, hi: 8, step: 2 },
+        }];
+        let mut g = PriorityGuide::new(&ds);
+        let p = ParamPoint::from_pairs([("a", 0i64)]);
+        g.prefetch_neighbours(&p, "a");
+        // only one neighbour exists (2)
+        assert_eq!(g.next_point(), Some(ParamPoint::from_pairs([("a", 2i64)])));
+        assert_eq!(g.next_point(), None);
+    }
+
+    #[test]
+    fn prefetch_neighbours_handles_unknown_axis_and_off_grid_values() {
+        let ds = decls();
+        let mut g = PriorityGuide::new(&ds);
+        let p = ParamPoint::from_pairs([("a", 1i64), ("b", 10)]);
+        g.prefetch_neighbours(&p, "zz"); // unknown axis: no-op
+        g.prefetch_neighbours(&ParamPoint::from_pairs([("a", 7i64)]), "a"); // off-grid: no-op
+        assert_eq!(g.next_point(), None);
+    }
+}

@@ -1,0 +1,34 @@
+//! # prophet-mc
+//!
+//! The Monte Carlo possible-worlds engine, in the MCDB tradition: this crate
+//! implements the middle of the paper's Figure-1 cycle.
+//!
+//! * [`instance`] — [`instance::ParamPoint`]: a concrete valuation for every
+//!   scenario parameter; together with a world id it forms an *instance* (a
+//!   possible world).
+//! * [`guide`] — the **Guide** component: strategies that "direct scenario
+//!   evaluation by producing a sequence of instances" (§2). Exhaustive grid
+//!   sweeps for offline mode, priority-driven exploration with anticipatory
+//!   prefetch for online mode.
+//! * [`batch`] — the **Query Generator**: batches instances and executes
+//!   them against the `prophet-sql` executor, producing per-column sample
+//!   sets.
+//! * [`aggregate`] — the **Result Aggregator**: streaming statistics
+//!   (Welford), probability estimates, confidence intervals, convergence
+//!   detection, and histograms.
+//! * [`series`] — per-X-axis series construction for the `GRAPH OVER`
+//!   directive.
+
+pub mod aggregate;
+pub mod batch;
+pub mod guide;
+pub mod instance;
+pub mod materialize;
+pub mod series;
+
+pub use aggregate::{Histogram, SampleStats, Welford};
+pub use batch::{simulate_point, SampleSet};
+pub use materialize::{summary_table, worlds_table};
+pub use guide::{GridGuide, Guide, PriorityGuide, RandomGuide};
+pub use instance::ParamPoint;
+pub use series::{Series, SeriesPoint};

@@ -1,0 +1,194 @@
+//! Materializing the `results` relation.
+//!
+//! The paper's scenario SELECT writes `INTO results`, a relation that the
+//! OPTIMIZE query later reads with SQL aggregation. The engine streams
+//! sample sets instead of materializing by default (the whole point of
+//! fingerprint reuse is *not* computing most of the relation) — but users
+//! export results for external tools, and tests want to inspect the
+//! relation the paper describes. This module builds real
+//! [`Table`]s from sample sets:
+//!
+//! * [`worlds_table`] — one row per *(parameter point, world)*: the
+//!   instance-level relation (`possible worlds` made tangible),
+//! * [`summary_table`] — one row per parameter point with
+//!   `expect_*`/`stddev_*` columns: what the Result Aggregator reports.
+
+use prophet_data::{DataError, DataResult, DataType, Field, Schema, Table, TableBuilder, Value};
+
+use crate::batch::SampleSet;
+
+/// Build the instance-level relation: parameters, world id, then one column
+/// per scenario output. All sample sets must share the same parameter names
+/// and output columns (they come from one scenario).
+pub fn worlds_table(sample_sets: &[SampleSet]) -> DataResult<Table> {
+    let Some(first) = sample_sets.first() else {
+        return Ok(Table::empty(Schema::empty()));
+    };
+    let param_names: Vec<String> =
+        first.point().iter().map(|(n, _)| n.to_owned()).collect();
+    let columns = first.columns().to_vec();
+
+    let mut fields = Vec::with_capacity(param_names.len() + 1 + columns.len());
+    for p in &param_names {
+        fields.push(Field::new(p.clone(), DataType::Int));
+    }
+    fields.push(Field::new("world", DataType::Int));
+    for c in &columns {
+        fields.push(Field::new(c.clone(), DataType::Float));
+    }
+    let schema = Schema::new(fields)?;
+
+    let total_rows: usize = sample_sets.iter().map(SampleSet::world_count).sum();
+    let mut builder = TableBuilder::with_capacity(schema, total_rows);
+    for ss in sample_sets {
+        validate_same_shape(first, ss)?;
+        for world in 0..ss.world_count() {
+            let mut row = Vec::with_capacity(param_names.len() + 1 + columns.len());
+            for p in &param_names {
+                let v = ss.point().get(p).ok_or_else(|| {
+                    DataError::SchemaMismatch(format!("sample set missing parameter `{p}`"))
+                })?;
+                row.push(Value::Int(v));
+            }
+            row.push(Value::Int(world as i64));
+            for c in &columns {
+                let xs = ss
+                    .samples(c)
+                    .ok_or_else(|| DataError::UnknownColumn(c.clone()))?;
+                row.push(Value::Float(xs[world]));
+            }
+            builder.push_row(row)?;
+        }
+    }
+    Ok(builder.finish())
+}
+
+/// Build the aggregated relation: one row per parameter point with
+/// `expect_<col>` and `stddev_<col>` columns.
+pub fn summary_table(sample_sets: &[SampleSet]) -> DataResult<Table> {
+    let Some(first) = sample_sets.first() else {
+        return Ok(Table::empty(Schema::empty()));
+    };
+    let param_names: Vec<String> =
+        first.point().iter().map(|(n, _)| n.to_owned()).collect();
+    let columns = first.columns().to_vec();
+
+    let mut fields = Vec::with_capacity(param_names.len() + 1 + 2 * columns.len());
+    for p in &param_names {
+        fields.push(Field::new(p.clone(), DataType::Int));
+    }
+    fields.push(Field::new("worlds", DataType::Int));
+    for c in &columns {
+        fields.push(Field::new(format!("expect_{c}"), DataType::Float));
+        fields.push(Field::new(format!("stddev_{c}"), DataType::Float));
+    }
+    let schema = Schema::new(fields)?;
+
+    let mut builder = TableBuilder::with_capacity(schema, sample_sets.len());
+    for ss in sample_sets {
+        validate_same_shape(first, ss)?;
+        let mut row = Vec::with_capacity(param_names.len() + 1 + 2 * columns.len());
+        for p in &param_names {
+            let v = ss.point().get(p).ok_or_else(|| {
+                DataError::SchemaMismatch(format!("sample set missing parameter `{p}`"))
+            })?;
+            row.push(Value::Int(v));
+        }
+        row.push(Value::Int(ss.world_count() as i64));
+        for c in &columns {
+            let stats = ss.stats(c).ok_or_else(|| DataError::UnknownColumn(c.clone()))?;
+            row.push(Value::Float(stats.mean));
+            row.push(Value::Float(stats.std_dev));
+        }
+        builder.push_row(row)?;
+    }
+    Ok(builder.finish())
+}
+
+fn validate_same_shape(reference: &SampleSet, candidate: &SampleSet) -> DataResult<()> {
+    if reference.columns() != candidate.columns() {
+        return Err(DataError::SchemaMismatch(format!(
+            "sample sets disagree on output columns: {:?} vs {:?}",
+            reference.columns(),
+            candidate.columns()
+        )));
+    }
+    let ref_params: Vec<&str> = reference.point().iter().map(|(n, _)| n).collect();
+    let cand_params: Vec<&str> = candidate.point().iter().map(|(n, _)| n).collect();
+    if ref_params != cand_params {
+        return Err(DataError::SchemaMismatch(format!(
+            "sample sets disagree on parameters: {ref_params:?} vs {cand_params:?}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::ParamPoint;
+    use std::collections::HashMap;
+
+    fn sample_set(week: i64, values: &[f64]) -> SampleSet {
+        let mut samples = HashMap::new();
+        samples.insert("overload".to_string(), values.to_vec());
+        SampleSet::from_samples(
+            ParamPoint::from_pairs([("current", week)]),
+            vec!["overload".into()],
+            samples,
+        )
+    }
+
+    #[test]
+    fn worlds_table_has_one_row_per_instance() {
+        let sets = vec![sample_set(0, &[0.0, 1.0]), sample_set(1, &[1.0, 1.0, 0.0])];
+        let t = worlds_table(&sets).unwrap();
+        assert_eq!(t.num_rows(), 5);
+        assert_eq!(t.schema().to_string(), "(current INT, world INT, overload FLOAT)");
+        assert_eq!(t.cell(0, "current").unwrap(), Value::Int(0));
+        assert_eq!(t.cell(0, "world").unwrap(), Value::Int(0));
+        assert_eq!(t.cell(1, "overload").unwrap(), Value::Float(1.0));
+        assert_eq!(t.cell(4, "current").unwrap(), Value::Int(1));
+        assert_eq!(t.cell(4, "world").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn summary_table_aggregates_per_point() {
+        let sets = vec![sample_set(0, &[0.0, 1.0, 1.0, 0.0]), sample_set(1, &[1.0, 1.0])];
+        let t = summary_table(&sets).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.cell(0, "worlds").unwrap(), Value::Int(4));
+        assert_eq!(t.cell(0, "expect_overload").unwrap(), Value::Float(0.5));
+        assert_eq!(t.cell(1, "expect_overload").unwrap(), Value::Float(1.0));
+        assert_eq!(t.cell(1, "stddev_overload").unwrap(), Value::Float(0.0));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_tables() {
+        assert!(worlds_table(&[]).unwrap().is_empty());
+        assert!(summary_table(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mismatched_shapes_are_rejected() {
+        let a = sample_set(0, &[0.0]);
+        let mut samples = HashMap::new();
+        samples.insert("other".to_string(), vec![1.0]);
+        let b = SampleSet::from_samples(
+            ParamPoint::from_pairs([("current", 1i64)]),
+            vec!["other".into()],
+            samples,
+        );
+        assert!(worlds_table(&[a.clone(), b.clone()]).is_err());
+        assert!(summary_table(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let sets = vec![sample_set(0, &[0.25, 0.75])];
+        let t = summary_table(&sets).unwrap();
+        let csv = prophet_data::csv::to_csv(&t).unwrap();
+        assert!(csv.starts_with("current,worlds,expect_overload,stddev_overload\n"));
+        assert!(csv.contains("0,2,0.5,"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Per-X-axis series for the `GRAPH OVER` directive.
+//!
+//! Online mode plots, per value of the swept parameter (per week in the
+//! demo), the Monte Carlo expectation or standard deviation of one result
+//! column. A [`Series`] is that list of points plus enough metadata to
+//! render Figure 3.
+
+use prophet_sql::ast::{AggMetric, SeriesSpec};
+
+use crate::batch::SampleSet;
+
+/// One plotted point: x (parameter value) → y (aggregate) with its sample
+/// size, so renderers can flag low-confidence points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Swept parameter value (e.g. week).
+    pub x: i64,
+    /// Aggregate value (expectation or std-dev).
+    pub y: f64,
+    /// Worlds that contributed.
+    pub worlds: u64,
+}
+
+/// A named series of aggregate values along the swept axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Result column being aggregated.
+    pub column: String,
+    /// Which aggregate.
+    pub metric: AggMetric,
+    /// Style words from the scenario script (renderer hints).
+    pub style: Vec<String>,
+    /// The points, sorted by `x`.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// Empty series for a spec.
+    pub fn new(spec: &SeriesSpec) -> Self {
+        Series {
+            column: spec.column.clone(),
+            metric: spec.metric,
+            style: spec.style.clone(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Insert or replace the point at `x` using the aggregate drawn from a
+    /// sample set. Returns the new y value, or `None` if the sample set
+    /// lacks the column.
+    pub fn update_from(&mut self, x: i64, samples: &SampleSet) -> Option<f64> {
+        let y = match self.metric {
+            AggMetric::Expect => samples.expect(&self.column)?,
+            AggMetric::ExpectStdDev => samples.expect_std_dev(&self.column)?,
+        };
+        let point = SeriesPoint { x, y, worlds: samples.world_count() as u64 };
+        match self.points.binary_search_by_key(&x, |p| p.x) {
+            Ok(i) => self.points[i] = point,
+            Err(i) => self.points.insert(i, point),
+        }
+        Some(y)
+    }
+
+    /// The point at `x`, if computed.
+    pub fn at(&self, x: i64) -> Option<&SeriesPoint> {
+        self.points.binary_search_by_key(&x, |p| p.x).ok().map(|i| &self.points[i])
+    }
+
+    /// `(x, y)` pairs for CSV/plotting.
+    pub fn xy(&self) -> Vec<(f64, f64)> {
+        self.points.iter().map(|p| (p.x as f64, p.y)).collect()
+    }
+
+    /// Y-range over the computed points (`None` if empty).
+    pub fn y_range(&self) -> Option<(f64, f64)> {
+        let mut it = self.points.iter().map(|p| p.y).filter(|y| y.is_finite());
+        let first = it.next()?;
+        let mut lo = first;
+        let mut hi = first;
+        for y in it {
+            lo = lo.min(y);
+            hi = hi.max(y);
+        }
+        Some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::ParamPoint;
+    use std::collections::HashMap;
+
+    fn sample_set(values: &[f64]) -> SampleSet {
+        let mut samples = HashMap::new();
+        samples.insert("overload".to_string(), values.to_vec());
+        SampleSet::from_samples(ParamPoint::new(), vec!["overload".into()], samples)
+    }
+
+    fn spec(metric: AggMetric) -> SeriesSpec {
+        SeriesSpec { metric, column: "overload".into(), style: vec!["bold".into(), "red".into()] }
+    }
+
+    #[test]
+    fn update_inserts_sorted_and_replaces() {
+        let mut s = Series::new(&spec(AggMetric::Expect));
+        s.update_from(5, &sample_set(&[1.0, 0.0])).unwrap();
+        s.update_from(1, &sample_set(&[0.0, 0.0])).unwrap();
+        s.update_from(3, &sample_set(&[1.0, 1.0])).unwrap();
+        let xs: Vec<i64> = s.points.iter().map(|p| p.x).collect();
+        assert_eq!(xs, vec![1, 3, 5]);
+        assert_eq!(s.at(3).unwrap().y, 1.0);
+
+        // replacement keeps one point per x
+        s.update_from(3, &sample_set(&[0.0, 0.0])).unwrap();
+        assert_eq!(s.points.len(), 3);
+        assert_eq!(s.at(3).unwrap().y, 0.0);
+    }
+
+    #[test]
+    fn expectation_vs_stddev_metric() {
+        let values = [0.0, 1.0, 0.0, 1.0];
+        let mut e = Series::new(&spec(AggMetric::Expect));
+        e.update_from(0, &sample_set(&values)).unwrap();
+        assert!((e.at(0).unwrap().y - 0.5).abs() < 1e-12);
+
+        let mut sd = Series::new(&spec(AggMetric::ExpectStdDev));
+        sd.update_from(0, &sample_set(&values)).unwrap();
+        // sample std-dev of {0,1,0,1} with n-1 normalization
+        let expected = (1.0f64 / 3.0).sqrt();
+        assert!((sd.at(0).unwrap().y - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_column_returns_none() {
+        let mut s = Series::new(&SeriesSpec {
+            metric: AggMetric::Expect,
+            column: "nope".into(),
+            style: vec![],
+        });
+        assert_eq!(s.update_from(0, &sample_set(&[1.0])), None);
+        assert!(s.points.is_empty());
+    }
+
+    #[test]
+    fn xy_and_range() {
+        let mut s = Series::new(&spec(AggMetric::Expect));
+        s.update_from(0, &sample_set(&[0.0])).unwrap();
+        s.update_from(1, &sample_set(&[1.0])).unwrap();
+        assert_eq!(s.xy(), vec![(0.0, 0.0), (1.0, 1.0)]);
+        assert_eq!(s.y_range(), Some((0.0, 1.0)));
+        assert_eq!(Series::new(&spec(AggMetric::Expect)).y_range(), None);
+    }
+
+    #[test]
+    fn worlds_count_is_recorded() {
+        let mut s = Series::new(&spec(AggMetric::Expect));
+        s.update_from(0, &sample_set(&[0.0, 1.0, 0.5])).unwrap();
+        assert_eq!(s.at(0).unwrap().worlds, 3);
+    }
+}

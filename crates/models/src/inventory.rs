@@ -1,0 +1,209 @@
+//! Inventory / stockout model for the supply-chain example.
+//!
+//! A weekly (s, Q) reorder policy under Poisson demand with a fixed lead
+//! time: when on-hand + on-order inventory falls to the reorder point `s`,
+//! an order of `Q` units is placed and arrives `lead_weeks` later. Another
+//! Markov chain with event discontinuities — structurally the same shape
+//! as the capacity model, exercising fingerprints on a second domain.
+
+use prophet_data::{DataResult, DataType, Schema, Table, TableBuilder, Value};
+use prophet_vg::dist::{Distribution, Poisson};
+use prophet_vg::rng::Rng64;
+use prophet_vg::VgFunction;
+
+/// Parameters of the inventory simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InventoryConfig {
+    /// Units on hand at week 0.
+    pub initial_units: f64,
+    /// Mean units demanded per week (Poisson).
+    pub weekly_demand: f64,
+    /// Order lead time in weeks.
+    pub lead_weeks: i64,
+}
+
+impl Default for InventoryConfig {
+    fn default() -> Self {
+        InventoryConfig { initial_units: 500.0, weekly_demand: 60.0, lead_weeks: 3 }
+    }
+}
+
+/// `InventoryModel(@week, @reorder_point, @reorder_qty)` → one cell: units
+/// on hand at the end of `@week` (0 when stocked out).
+#[derive(Debug, Clone)]
+pub struct InventoryModel {
+    config: InventoryConfig,
+    demand: Poisson,
+}
+
+impl InventoryModel {
+    /// Build from a config.
+    ///
+    /// # Panics
+    /// Panics if `weekly_demand` is not positive (analyst constant).
+    pub fn new(config: InventoryConfig) -> Self {
+        let demand = Poisson::new(config.weekly_demand).expect("weekly_demand must be positive");
+        InventoryModel { config, demand }
+    }
+
+    /// The config in use.
+    pub fn config(&self) -> &InventoryConfig {
+        &self.config
+    }
+
+    /// Simulate weeks `0..=last_week`; returns end-of-week on-hand levels.
+    ///
+    /// Stream discipline: exactly one Poisson demand draw per week from the
+    /// main stream; policy parameters only gate *when* orders are placed,
+    /// never what is drawn, so different (s, Q) policies stay sample-aligned
+    /// under common random numbers.
+    pub fn trajectory(
+        &self,
+        last_week: i64,
+        reorder_point: i64,
+        reorder_qty: i64,
+        rng: &mut dyn Rng64,
+    ) -> Vec<f64> {
+        let mut on_hand = self.config.initial_units;
+        let mut pipeline: Vec<(i64, f64)> = Vec::new(); // (arrival week, qty)
+        let mut out = Vec::with_capacity(last_week.max(0) as usize + 1);
+        for week in 0..=last_week.max(0) {
+            // arrivals first
+            pipeline.retain(|&(arrive, qty)| {
+                if arrive == week {
+                    on_hand += qty;
+                    false
+                } else {
+                    true
+                }
+            });
+            // demand
+            let demanded = self.demand.sample(rng);
+            on_hand = (on_hand - demanded).max(0.0);
+            // reorder policy on inventory position (on hand + on order)
+            let position = on_hand + pipeline.iter().map(|(_, q)| q).sum::<f64>();
+            if position <= reorder_point as f64 {
+                pipeline.push((week + self.config.lead_weeks, reorder_qty as f64));
+            }
+            out.push(on_hand);
+        }
+        out
+    }
+
+    /// On-hand units at one week (the VG-visible scalar).
+    pub fn on_hand_at(
+        &self,
+        week: i64,
+        reorder_point: i64,
+        reorder_qty: i64,
+        rng: &mut dyn Rng64,
+    ) -> f64 {
+        *self
+            .trajectory(week, reorder_point, reorder_qty, rng)
+            .last()
+            .expect("trajectory is never empty")
+    }
+}
+
+impl Default for InventoryModel {
+    fn default() -> Self {
+        InventoryModel::new(InventoryConfig::default())
+    }
+}
+
+impl VgFunction for InventoryModel {
+    fn name(&self) -> &str {
+        "InventoryModel"
+    }
+
+    fn arity(&self) -> usize {
+        3
+    }
+
+    fn output_schema(&self) -> Schema {
+        Schema::of(&[("on_hand", DataType::Float)])
+    }
+
+    fn invoke(&self, params: &[Value], rng: &mut dyn Rng64) -> DataResult<Table> {
+        let week = params[0].as_i64()?;
+        let s = params[1].as_i64()?;
+        let q = params[2].as_i64()?;
+        let on_hand = self.on_hand_at(week, s, q, rng);
+        let mut b = TableBuilder::with_capacity(self.output_schema(), 1);
+        b.push_row(vec![Value::Float(on_hand)])?;
+        Ok(b.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_vg::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn generous_policy_avoids_stockouts() {
+        let m = InventoryModel::default();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let mut stockouts = 0;
+        for _ in 0..200 {
+            let t = m.trajectory(52, 400, 400, &mut rng);
+            stockouts += t.iter().filter(|&&x| x == 0.0).count();
+        }
+        assert_eq!(stockouts, 0, "reorder at 400 with lead-time demand ≈180 should never stock out");
+    }
+
+    #[test]
+    fn stingy_policy_stocks_out() {
+        let m = InventoryModel::default();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let mut stockout_runs = 0;
+        for _ in 0..200 {
+            let t = m.trajectory(52, 60, 100, &mut rng);
+            if t.contains(&0.0) {
+                stockout_runs += 1;
+            }
+        }
+        assert!(
+            stockout_runs > 100,
+            "reorder at 60 with ~180 lead-time demand must usually stock out, got {stockout_runs}/200"
+        );
+    }
+
+    #[test]
+    fn policy_parameters_do_not_perturb_demand_stream() {
+        let m = InventoryModel::default();
+        let mut a = Xoshiro256StarStar::seed_from_u64(42);
+        let mut b = Xoshiro256StarStar::seed_from_u64(42);
+        // Different policies, same seed: both consume one draw per week, so
+        // the *demand* sequences are identical; inventory differs only via
+        // policy. Sanity-check by comparing week-0 levels (no reorder can
+        // have arrived yet with lead 3).
+        let ta = m.trajectory(10, 200, 300, &mut a);
+        let tb = m.trajectory(10, 100, 150, &mut b);
+        assert_eq!(ta[0], tb[0], "week 0 must be identical across policies");
+        assert_eq!(ta[1], tb[1]);
+        assert_eq!(ta[2], tb[2]);
+        // after lead time the generous policy has received more stock
+        assert!(ta[9] >= tb[9]);
+    }
+
+    #[test]
+    fn on_hand_is_never_negative() {
+        let m = InventoryModel::default();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let t = m.trajectory(52, 0, 0, &mut rng); // never reorder
+        assert!(t.iter().all(|&x| x >= 0.0));
+        assert_eq!(*t.last().unwrap(), 0.0, "no reorders must end stocked out");
+    }
+
+    #[test]
+    fn vg_interface() {
+        let m = InventoryModel::default();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let t = m
+            .invoke(&[Value::Int(10), Value::Int(200), Value::Int(300)], &mut rng)
+            .unwrap();
+        assert_eq!((t.num_rows(), t.schema().len()), (1, 1));
+        assert!(t.cell(0, "on_hand").unwrap().as_f64().unwrap() >= 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # prophet-models
+//!
+//! The VG-Function models of the paper's demonstration scenario (§3.1,
+//! "Risk vs Cost of Ownership") plus additional enterprise models used by
+//! the repository's examples.
+//!
+//! The demo data in the paper was "arbitrarily chosen for intellectual
+//! property reasons"; the defaults here are likewise synthetic, tuned so the
+//! scenario exhibits the dynamics the paper describes: demand grows through
+//! the year (with a jump at the feature release), capacity decays through
+//! stochastic hardware failures and jumps when purchased hardware deploys,
+//! and the overload probability consequently rises until a purchase lands.
+//!
+//! ## Stream-alignment discipline
+//!
+//! Every model documents — and tests — how it consumes its PRNG stream,
+//! because Fuzzy Prophet's fingerprinting depends on *common random
+//! numbers*: with the same seed, changing a parameter must perturb the
+//! output only through the parameter's causal path, not by desynchronizing
+//! unrelated draws. Two rules implemented throughout:
+//!
+//! 1. draws that exist regardless of parameter values (weekly failure
+//!    events, weekly demand noise) come from the main stream in a fixed
+//!    order;
+//! 2. draws whose *timing* depends on parameters (deployment lags) come
+//!    from a sub-stream seeded once at invocation start, so they cannot
+//!    shift the main stream.
+
+pub mod capacity;
+pub mod demand;
+pub mod deployment;
+pub mod failures;
+pub mod inventory;
+pub mod queueing;
+pub mod registry;
+pub mod revenue;
+
+pub use capacity::{CapacityConfig, CapacityModel};
+pub use demand::{DemandConfig, DemandModel};
+pub use deployment::DeploymentConfig;
+pub use failures::FailureClass;
+pub use inventory::{InventoryConfig, InventoryModel};
+pub use queueing::{QueueConfig, QueueModel};
+pub use registry::{demo_registry, demo_registry_with, full_registry};
+pub use revenue::{RevenueConfig, RevenueModel};
+
+/// Weeks in the simulated year (the paper's scenario spans one year in
+/// weekly resolution: parameters range 0–52).
+pub const WEEKS_PER_YEAR: i64 = 52;

@@ -1,0 +1,176 @@
+//! Service-capacity queueing model for the staffing example.
+//!
+//! A discrete-time M/M/c-style simulation of a support queue: Poisson
+//! arrivals per hour, `c` agents each completing work at a Poisson service
+//! rate, FIFO backlog. The what-if question — "how many agents keep the
+//! backlog acceptable as ticket volume grows?" — is the same
+//! risk-vs-cost-of-ownership trade-off as the datacenter demo, in a second
+//! domain.
+
+use prophet_data::{DataResult, DataType, Schema, Table, TableBuilder, Value};
+use prophet_vg::dist::{Distribution, Poisson};
+use prophet_vg::rng::Rng64;
+use prophet_vg::VgFunction;
+
+/// Parameters of the queue simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueConfig {
+    /// Mean tickets arriving per hour at week 0.
+    pub base_arrivals_per_hour: f64,
+    /// Weekly growth of the arrival rate (percent, e.g. 1.5 = +1.5%/week).
+    pub weekly_growth_pct: f64,
+    /// Mean tickets one agent resolves per hour.
+    pub service_rate: f64,
+    /// Hours simulated per evaluation (one work week).
+    pub hours: usize,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            base_arrivals_per_hour: 40.0,
+            weekly_growth_pct: 1.5,
+            service_rate: 6.0,
+            hours: 40,
+        }
+    }
+}
+
+/// `QueueModel(@week, @agents)` → one cell: mean backlog (tickets waiting)
+/// over the simulated week.
+#[derive(Debug, Clone)]
+pub struct QueueModel {
+    config: QueueConfig,
+}
+
+impl QueueModel {
+    /// Build from a config.
+    pub fn new(config: QueueConfig) -> Self {
+        QueueModel { config }
+    }
+
+    /// The config in use.
+    pub fn config(&self) -> &QueueConfig {
+        &self.config
+    }
+
+    /// Arrival rate at a given week (compounded growth).
+    pub fn arrival_rate(&self, week: i64) -> f64 {
+        self.config.base_arrivals_per_hour
+            * (1.0 + self.config.weekly_growth_pct / 100.0).powi(week as i32)
+    }
+
+    /// Offered load ρ = λ / (c·μ); above 1.0 the queue is unstable.
+    pub fn utilization(&self, week: i64, agents: i64) -> f64 {
+        self.arrival_rate(week) / (agents.max(1) as f64 * self.config.service_rate)
+    }
+
+    /// Simulate one week; returns the mean backlog across hours.
+    ///
+    /// Stream discipline: two Poisson draws per hour (arrivals, then
+    /// completed work), in fixed order; the agent count scales the service
+    /// draw's rate but the *number* of draws is parameter-independent.
+    pub fn mean_backlog(&self, week: i64, agents: i64, rng: &mut dyn Rng64) -> f64 {
+        let arrivals =
+            Poisson::new(self.arrival_rate(week)).expect("arrival rate is positive by construction");
+        let service = Poisson::new((agents.max(1) as f64 * self.config.service_rate).max(1e-9))
+            .expect("service rate is positive by construction");
+        let mut backlog = 0.0f64;
+        let mut total = 0.0;
+        for _ in 0..self.config.hours {
+            backlog += arrivals.sample(rng);
+            let served = service.sample(rng);
+            backlog = (backlog - served).max(0.0);
+            total += backlog;
+        }
+        total / self.config.hours as f64
+    }
+}
+
+impl Default for QueueModel {
+    fn default() -> Self {
+        QueueModel::new(QueueConfig::default())
+    }
+}
+
+impl VgFunction for QueueModel {
+    fn name(&self) -> &str {
+        "QueueModel"
+    }
+
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn output_schema(&self) -> Schema {
+        Schema::of(&[("backlog", DataType::Float)])
+    }
+
+    fn invoke(&self, params: &[Value], rng: &mut dyn Rng64) -> DataResult<Table> {
+        let week = params[0].as_i64()?;
+        let agents = params[1].as_i64()?;
+        let backlog = self.mean_backlog(week, agents, rng);
+        let mut b = TableBuilder::with_capacity(self.output_schema(), 1);
+        b.push_row(vec![Value::Float(backlog)])?;
+        Ok(b.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_vg::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn utilization_math() {
+        let m = QueueModel::default();
+        // week 0: 40 arrivals/h, 10 agents × 6/h = 60 capacity → ρ = 2/3
+        assert!((m.utilization(0, 10) - 40.0 / 60.0).abs() < 1e-12);
+        assert!(m.utilization(52, 10) > m.utilization(0, 10), "growth raises load");
+        // zero agents clamps rather than dividing by zero
+        assert!(m.utilization(0, 0).is_finite());
+    }
+
+    #[test]
+    fn understaffed_queue_explodes_overstaffed_stays_small() {
+        let m = QueueModel::default();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let n = 200;
+        let mean = |agents: i64, rng: &mut Xoshiro256StarStar| {
+            (0..n).map(|_| m.mean_backlog(0, agents, rng)).sum::<f64>() / n as f64
+        };
+        let under = mean(5, &mut rng); // capacity 30 < arrivals 40
+        let over = mean(12, &mut rng); // capacity 72 > arrivals 40
+        assert!(under > 100.0, "unstable queue should accumulate, got {under:.1}");
+        assert!(over < 15.0, "stable queue should stay small, got {over:.1}");
+    }
+
+    #[test]
+    fn backlog_grows_with_weeks_at_fixed_staff() {
+        let m = QueueModel::default();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(8);
+        let n = 200;
+        let mean = |week: i64, rng: &mut Xoshiro256StarStar| {
+            (0..n).map(|_| m.mean_backlog(week, 8, rng)).sum::<f64>() / n as f64
+        };
+        let early = mean(0, &mut rng); // ρ = 40/48 ≈ 0.83
+        let late = mean(40, &mut rng); // ρ ≈ 1.51 → unstable
+        assert!(late > early * 3.0, "early={early:.1} late={late:.1}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = QueueModel::default();
+        let mut a = Xoshiro256StarStar::seed_from_u64(9);
+        let mut b = Xoshiro256StarStar::seed_from_u64(9);
+        assert_eq!(m.mean_backlog(10, 8, &mut a), m.mean_backlog(10, 8, &mut b));
+    }
+
+    #[test]
+    fn vg_interface() {
+        let m = QueueModel::default();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(10);
+        let t = m.invoke(&[Value::Int(0), Value::Int(10)], &mut rng).unwrap();
+        assert!(t.cell(0, "backlog").unwrap().as_f64().unwrap() >= 0.0);
+    }
+}

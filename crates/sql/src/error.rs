@@ -1,0 +1,88 @@
+//! Error reporting for the SQL front-end.
+
+use std::fmt;
+
+use prophet_data::DataError;
+
+use crate::token::Span;
+
+/// Result alias for this crate.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+/// A positioned syntax or semantic error.
+///
+/// Scenario scripts are user input; everything in the front-end reports a
+/// line number and a human-readable message rather than panicking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error (bad character, unterminated string, malformed number).
+    Lex {
+        /// What went wrong.
+        message: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// Parse error (unexpected token).
+    Parse {
+        /// What went wrong, including what was expected.
+        message: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// Semantic error during evaluation (unknown alias, type error…).
+    Eval(String),
+    /// An error bubbled up from the relational layer.
+    Data(DataError),
+}
+
+impl SqlError {
+    /// Construct a parse error at a span.
+    pub fn parse_at(message: impl Into<String>, span: Span) -> Self {
+        SqlError::Parse { message: message.into(), line: span.line }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { message, line } => write!(f, "lex error on line {line}: {message}"),
+            SqlError::Parse { message, line } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            SqlError::Eval(message) => write!(f, "evaluation error: {message}"),
+            SqlError::Data(err) => write!(f, "data error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for SqlError {
+    fn from(err: DataError) -> Self {
+        SqlError::Data(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = SqlError::Parse { message: "expected SELECT".into(), line: 7 };
+        assert_eq!(e.to_string(), "parse error on line 7: expected SELECT");
+    }
+
+    #[test]
+    fn data_errors_convert() {
+        let e: SqlError = DataError::UnknownColumn("x".into()).into();
+        assert!(e.to_string().contains("unknown column `x`"));
+    }
+}

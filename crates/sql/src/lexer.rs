@@ -1,0 +1,366 @@
+//! Hand-rolled lexer for the Prophet TSQL dialect.
+//!
+//! Supports `--` line comments (the paper's Figure 2 uses them as section
+//! separators), case-insensitive keywords, `@parameter` sigils, integer and
+//! float literals, and single-quoted strings with `''` escaping.
+
+use crate::error::{SqlError, SqlResult};
+use crate::token::{Keyword, Span, Token, TokenKind};
+
+/// Tokenize a complete source text.
+pub fn tokenize(src: &str) -> SqlResult<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn run(mut self) -> SqlResult<Vec<Token>> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia();
+            let start = self.pos;
+            let line = self.line;
+            let Some(b) = self.peek() else {
+                tokens.push(Token { kind: TokenKind::Eof, span: Span::point(self.pos, self.line) });
+                return Ok(tokens);
+            };
+            let kind = match b {
+                b'(' => {
+                    self.bump();
+                    TokenKind::LParen
+                }
+                b')' => {
+                    self.bump();
+                    TokenKind::RParen
+                }
+                b',' => {
+                    self.bump();
+                    TokenKind::Comma
+                }
+                b';' => {
+                    self.bump();
+                    TokenKind::Semicolon
+                }
+                b'+' => {
+                    self.bump();
+                    TokenKind::Plus
+                }
+                b'-' => {
+                    self.bump();
+                    TokenKind::Minus
+                }
+                b'*' => {
+                    self.bump();
+                    TokenKind::Star
+                }
+                b'/' => {
+                    self.bump();
+                    TokenKind::Slash
+                }
+                b'%' => {
+                    self.bump();
+                    TokenKind::Percent
+                }
+                b'=' => {
+                    self.bump();
+                    TokenKind::Eq
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::Neq
+                    } else {
+                        return Err(SqlError::Lex {
+                            message: "expected `=` after `!`".into(),
+                            line,
+                        });
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            TokenKind::Le
+                        }
+                        Some(b'>') => {
+                            self.bump();
+                            TokenKind::Neq
+                        }
+                        _ => TokenKind::Lt,
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::Ge
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                b'@' => {
+                    self.bump();
+                    let name = self.take_ident_body();
+                    if name.is_empty() {
+                        return Err(SqlError::Lex {
+                            message: "`@` must be followed by a parameter name".into(),
+                            line,
+                        });
+                    }
+                    TokenKind::Param(name)
+                }
+                b'\'' => self.lex_string(line)?,
+                b'0'..=b'9' => self.lex_number(line)?,
+                b'.' if matches!(self.peek2(), Some(b'0'..=b'9')) => self.lex_number(line)?,
+                b if b.is_ascii_alphabetic() || b == b'_' => {
+                    let word = self.take_ident_body();
+                    let upper = word.to_ascii_uppercase();
+                    match Keyword::from_upper(&upper) {
+                        Some(kw) => TokenKind::Keyword(kw),
+                        None => TokenKind::Ident(word),
+                    }
+                }
+                other => {
+                    return Err(SqlError::Lex {
+                        message: format!("unexpected character `{}`", other as char),
+                        line,
+                    })
+                }
+            };
+            tokens.push(Token { kind, span: Span { start, end: self.pos, line } });
+        }
+    }
+
+    /// Skip whitespace and `--` comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn take_ident_body(&mut self) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.src[start..self.pos].to_owned()
+    }
+
+    fn lex_number(&mut self, line: usize) -> SqlResult<TokenKind> {
+        let start = self.pos;
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' if !saw_dot && !saw_exp => {
+                    saw_dot = true;
+                    self.bump();
+                }
+                b'e' | b'E' if !saw_exp => {
+                    saw_exp = true;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if saw_dot || saw_exp {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| SqlError::Lex { message: format!("bad float literal `{text}`"), line })
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|_| SqlError::Lex { message: format!("bad integer literal `{text}`"), line })
+        }
+    }
+
+    fn lex_string(&mut self, line: usize) -> SqlResult<TokenKind> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    // `''` is an escaped quote, as in TSQL.
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        out.push('\'');
+                    } else {
+                        return Ok(TokenKind::Str(out));
+                    }
+                }
+                Some(b) => out.push(b as char),
+                None => {
+                    return Err(SqlError::Lex { message: "unterminated string literal".into(), line })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declare_parameter() {
+        let ks = kinds("DECLARE PARAMETER @current AS RANGE 0 TO 52 STEP BY 1;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Declare),
+                TokenKind::Keyword(Keyword::Parameter),
+                TokenKind::Param("current".into()),
+                TokenKind::Keyword(Keyword::As),
+                TokenKind::Keyword(Keyword::Range),
+                TokenKind::Int(0),
+                TokenKind::Keyword(Keyword::To),
+                TokenKind::Int(52),
+                TokenKind::Keyword(Keyword::Step),
+                TokenKind::Keyword(Keyword::By),
+                TokenKind::Int(1),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_identifiers_preserved() {
+        let ks = kinds("select Demand FROM results");
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::Select));
+        assert_eq!(ks[1], TokenKind::Ident("Demand".into()));
+        assert_eq!(ks[2], TokenKind::Keyword(Keyword::From));
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = tokenize("-- DEFINITION --\nSELECT x\n-- more\n, y").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Keyword(Keyword::Select));
+        assert_eq!(toks[0].span.line, 2);
+        assert_eq!(toks[2].kind, TokenKind::Comma);
+        assert_eq!(toks[2].span.line, 4);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= = <> !="),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eq,
+                TokenKind::Neq,
+                TokenKind::Neq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_float_exponent() {
+        assert_eq!(
+            kinds("42 0.01 1e3 2.5E-2 .5"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(0.01),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.025),
+                TokenKind::Float(0.5),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'hello' 'it''s'"),
+            vec![
+                TokenKind::Str("hello".into()),
+                TokenKind::Str("it's".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn error_cases_carry_line_numbers() {
+        match tokenize("SELECT\n  $") {
+            Err(SqlError::Lex { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("@ x").is_err());
+        assert!(tokenize("! x").is_err());
+    }
+
+    #[test]
+    fn huge_integer_is_a_lex_error_not_a_panic() {
+        assert!(tokenize("99999999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_only_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   -- only a comment"), vec![TokenKind::Eof]);
+    }
+}

@@ -1,0 +1,57 @@
+//! # prophet-sql
+//!
+//! A from-scratch TSQL-subset engine with Fuzzy Prophet's probabilistic-
+//! database extensions. This crate is the reproduction's substitute for the
+//! Microsoft SQL Server instance the paper runs on: the Query Generator
+//! compiles scenario instances against this executor instead of emitting
+//! TSQL text to an external server.
+//!
+//! The dialect is exactly the paper's Figure 2 language:
+//!
+//! ```sql
+//! -- DEFINITION --
+//! DECLARE PARAMETER @current   AS RANGE 0 TO 52 STEP BY 1;
+//! DECLARE PARAMETER @purchase1 AS RANGE 0 TO 52 STEP BY 4;
+//! DECLARE PARAMETER @feature   AS SET (12, 36, 44);
+//!
+//! SELECT DemandModel(@current, @feature)                 AS demand,
+//!        CapacityModel(@current, @purchase1, @purchase2) AS capacity,
+//!        CASE WHEN capacity < demand THEN 1 ELSE 0 END   AS overload
+//! INTO results;
+//!
+//! -- ONLINE MODE --
+//! GRAPH OVER @current
+//!     EXPECT overload WITH bold red,
+//!     EXPECT capacity WITH blue y2,
+//!     EXPECT_STDDEV demand WITH orange y2;
+//!
+//! -- OFFLINE MODE --
+//! OPTIMIZE SELECT @feature, @purchase1, @purchase2
+//! FROM results
+//! WHERE MAX(EXPECT overload) < 0.01
+//! GROUP BY feature, purchase1, purchase2
+//! FOR MAX @purchase1, MAX @purchase2
+//! ```
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`ast`] → per-world evaluation in
+//! [`executor`] (VG table functions resolve through a
+//! [`prophet_vg::VgRegistry`]). Aggregation across worlds (`EXPECT`,
+//! `EXPECT_STDDEV`, the outer `MAX(...)` of OPTIMIZE constraints) happens a
+//! layer up, in `prophet-mc` — the per-world executor treats those as
+//! metadata, exactly as the paper's SQL Server saw only "pure TSQL".
+
+pub mod ast;
+pub mod error;
+pub mod executor;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::{
+    AggMetric, CmpOp, Constraint, Expr, GraphDirective, Objective, ObjectiveDirection,
+    OptimizeSpec, OuterAgg, ParameterDecl, ParameterDomain, Script, SelectInto, SelectItem,
+    SeriesSpec,
+};
+pub use error::{SqlError, SqlResult};
+pub use executor::{evaluate_select, EvalContext};
+pub use parser::parse_script;

@@ -1,0 +1,212 @@
+//! Token definitions for the Prophet TSQL dialect.
+
+use std::fmt;
+
+/// Byte-offset span of a token in the source text, used for error reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Inclusive start byte.
+    pub start: usize,
+    /// Exclusive end byte.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: usize,
+}
+
+impl Span {
+    /// A span covering a single point (used for EOF).
+    pub fn point(offset: usize, line: usize) -> Self {
+        Span { start: offset, end: offset, line }
+    }
+}
+
+/// Keywords of the dialect. Matching is case-insensitive in the lexer;
+/// tokens are normalized to these variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // the variants are the keywords themselves
+pub enum Keyword {
+    And,
+    As,
+    Avg,
+    By,
+    Case,
+    Declare,
+    Else,
+    End,
+    Expect,
+    ExpectStddev,
+    False,
+    For,
+    From,
+    Graph,
+    Group,
+    Into,
+    Max,
+    Min,
+    Not,
+    Null,
+    Optimize,
+    Or,
+    Over,
+    Parameter,
+    Range,
+    Select,
+    Set,
+    Step,
+    Then,
+    To,
+    True,
+    When,
+    Where,
+    With,
+}
+
+impl Keyword {
+    /// Parse a raw (already upper-cased) identifier as a keyword.
+    pub fn from_upper(word: &str) -> Option<Keyword> {
+        Some(match word {
+            "AND" => Keyword::And,
+            "AS" => Keyword::As,
+            "AVG" => Keyword::Avg,
+            "BY" => Keyword::By,
+            "CASE" => Keyword::Case,
+            "DECLARE" => Keyword::Declare,
+            "ELSE" => Keyword::Else,
+            "END" => Keyword::End,
+            "EXPECT" => Keyword::Expect,
+            "EXPECT_STDDEV" => Keyword::ExpectStddev,
+            "FALSE" => Keyword::False,
+            "FOR" => Keyword::For,
+            "FROM" => Keyword::From,
+            "GRAPH" => Keyword::Graph,
+            "GROUP" => Keyword::Group,
+            "INTO" => Keyword::Into,
+            "MAX" => Keyword::Max,
+            "MIN" => Keyword::Min,
+            "NOT" => Keyword::Not,
+            "NULL" => Keyword::Null,
+            "OPTIMIZE" => Keyword::Optimize,
+            "OR" => Keyword::Or,
+            "OVER" => Keyword::Over,
+            "PARAMETER" => Keyword::Parameter,
+            "RANGE" => Keyword::Range,
+            "SELECT" => Keyword::Select,
+            "SET" => Keyword::Set,
+            "STEP" => Keyword::Step,
+            "THEN" => Keyword::Then,
+            "TO" => Keyword::To,
+            "TRUE" => Keyword::True,
+            "WHEN" => Keyword::When,
+            "WHERE" => Keyword::Where,
+            "WITH" => Keyword::With,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A keyword (normalized).
+    Keyword(Keyword),
+    /// A bare identifier: column name, function name, style word.
+    Ident(String),
+    /// A `@parameter` reference (stored without the `@`).
+    Param(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k:?}"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Param(s) => write!(f, "@{s}"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Neq => write!(f, "<>"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_normalized() {
+        assert_eq!(Keyword::from_upper("SELECT"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_upper("EXPECT_STDDEV"), Some(Keyword::ExpectStddev));
+        assert_eq!(Keyword::from_upper("select"), None, "caller must upper-case");
+        assert_eq!(Keyword::from_upper("DEMAND"), None);
+    }
+
+    #[test]
+    fn token_display() {
+        assert_eq!(TokenKind::Param("current".into()).to_string(), "@current");
+        assert_eq!(TokenKind::Neq.to_string(), "<>");
+        assert_eq!(TokenKind::Ident("demand".into()).to_string(), "identifier `demand`");
+    }
+}

@@ -1,0 +1,259 @@
+//! The VG-Function framework.
+//!
+//! MCDB and PIP — and Fuzzy Prophet after them — let analysts plug arbitrary
+//! *variable-generation functions* into queries: black-box stochastic
+//! procedures that take parameters and a PRNG and return a relation. The
+//! engine never looks inside a VG-Function; everything it learns about one
+//! comes from invoking it (this opacity is exactly why fingerprinting, rather
+//! than static analysis, is the paper's route to detecting correlation).
+//!
+//! The paper stores table-generating functions *in the database*:
+//!
+//! > "If an analyst develops a better model, she can update all Fuzzy Prophet
+//! > instances using the model by simply modifying the function definitions."
+//!
+//! [`VgRegistry`] is that catalog: names → implementations, hot-swappable,
+//! with per-function invocation counters that the experiments use to measure
+//! how much work fingerprinting avoids.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use prophet_data::{DataError, DataResult, Schema, Table, Value};
+
+use crate::rng::Rng64;
+
+/// A black-box table-generating stochastic function.
+///
+/// Implementations must be **deterministic given `(params, rng stream)`**:
+/// two invocations with equal parameters and identically seeded generators
+/// must return identical tables. The fingerprint machinery and the whole
+/// possible-worlds semantics rest on this contract, and
+/// `tests/determinism.rs` enforces it for every bundled model.
+pub trait VgFunction: Send + Sync {
+    /// Catalog name, as referenced from scenario SQL (e.g. `DemandModel`).
+    fn name(&self) -> &str;
+
+    /// Number of parameters the function expects.
+    fn arity(&self) -> usize;
+
+    /// Schema of the generated relation.
+    fn output_schema(&self) -> Schema;
+
+    /// Generate one sample relation for one possible world.
+    fn invoke(&self, params: &[Value], rng: &mut dyn Rng64) -> DataResult<Table>;
+}
+
+/// Snapshot of invocation accounting for one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InvocationStats {
+    /// Total number of `invoke` calls.
+    pub invocations: u64,
+}
+
+struct Entry {
+    function: Arc<dyn VgFunction>,
+    invocations: AtomicU64,
+}
+
+/// The function catalog ("stored in the database" in the paper).
+///
+/// Thread-safe for reads after setup: registration happens during scenario
+/// preparation; simulation threads only `invoke`.
+#[derive(Default)]
+pub struct VgRegistry {
+    entries: HashMap<String, Entry>,
+}
+
+impl VgRegistry {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        VgRegistry::default()
+    }
+
+    /// Register (or hot-swap) a function under its own name.
+    pub fn register(&mut self, function: Arc<dyn VgFunction>) {
+        self.entries.insert(
+            function.name().to_owned(),
+            Entry { function, invocations: AtomicU64::new(0) },
+        );
+    }
+
+    /// Look up a function by name.
+    pub fn get(&self, name: &str) -> DataResult<&Arc<dyn VgFunction>> {
+        self.entries
+            .get(name)
+            .map(|e| &e.function)
+            .ok_or_else(|| DataError::UnknownColumn(format!("VG function `{name}`")))
+    }
+
+    /// Invoke by name, validating arity and counting the call.
+    pub fn invoke(&self, name: &str, params: &[Value], rng: &mut dyn Rng64) -> DataResult<Table> {
+        let entry = self
+            .entries
+            .get(name)
+            .ok_or_else(|| DataError::UnknownColumn(format!("VG function `{name}`")))?;
+        if params.len() != entry.function.arity() {
+            return Err(DataError::SchemaMismatch(format!(
+                "VG function `{name}` expects {} parameters, got {}",
+                entry.function.arity(),
+                params.len()
+            )));
+        }
+        entry.invocations.fetch_add(1, Ordering::Relaxed);
+        entry.function.invoke(params, rng)
+    }
+
+    /// Invocation statistics for one function.
+    pub fn stats(&self, name: &str) -> Option<InvocationStats> {
+        self.entries
+            .get(name)
+            .map(|e| InvocationStats { invocations: e.invocations.load(Ordering::Relaxed) })
+    }
+
+    /// Total invocations across the whole catalog.
+    pub fn total_invocations(&self) -> u64 {
+        self.entries.values().map(|e| e.invocations.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Reset all counters (benchmarks call this between configurations).
+    pub fn reset_stats(&self) {
+        for e in self.entries.values() {
+            e.invocations.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Names of all registered functions, sorted (deterministic listings).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.entries.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no functions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Debug for VgRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VgRegistry").field("functions", &self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_data::{DataType, TableBuilder};
+
+    /// Minimal test function: emits `n` rows of `U[0,1)` draws.
+    #[derive(Debug)]
+    struct UniformRows;
+
+    impl VgFunction for UniformRows {
+        fn name(&self) -> &str {
+            "UniformRows"
+        }
+
+        fn arity(&self) -> usize {
+            1
+        }
+
+        fn output_schema(&self) -> Schema {
+            Schema::of(&[("u", DataType::Float)])
+        }
+
+        fn invoke(&self, params: &[Value], rng: &mut dyn Rng64) -> DataResult<Table> {
+            let n = params[0].as_i64()? as usize;
+            let mut b = TableBuilder::with_capacity(self.output_schema(), n);
+            for _ in 0..n {
+                b.push_row(vec![Value::Float(rng.next_f64())])?;
+            }
+            Ok(b.finish())
+        }
+    }
+
+    fn registry() -> VgRegistry {
+        let mut r = VgRegistry::new();
+        r.register(Arc::new(UniformRows));
+        r
+    }
+
+    #[test]
+    fn register_lookup_invoke() {
+        let r = registry();
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+        assert!(r.get("UniformRows").is_ok());
+        assert!(r.get("Missing").is_err());
+
+        let mut rng = crate::rng::Xoshiro256StarStar::seed_from_u64(1);
+        let t = r.invoke("UniformRows", &[Value::Int(5)], &mut rng).unwrap();
+        assert_eq!(t.num_rows(), 5);
+    }
+
+    #[test]
+    fn arity_is_validated() {
+        let r = registry();
+        let mut rng = crate::rng::Xoshiro256StarStar::seed_from_u64(1);
+        let err = r.invoke("UniformRows", &[], &mut rng).unwrap_err();
+        assert!(err.to_string().contains("expects 1 parameters"));
+    }
+
+    #[test]
+    fn invocations_are_counted_and_resettable() {
+        let r = registry();
+        let mut rng = crate::rng::Xoshiro256StarStar::seed_from_u64(1);
+        for _ in 0..3 {
+            r.invoke("UniformRows", &[Value::Int(1)], &mut rng).unwrap();
+        }
+        assert_eq!(r.stats("UniformRows").unwrap().invocations, 3);
+        assert_eq!(r.total_invocations(), 3);
+        r.reset_stats();
+        assert_eq!(r.total_invocations(), 0);
+        assert!(r.stats("Missing").is_none());
+    }
+
+    #[test]
+    fn hot_swap_replaces_implementation() {
+        #[derive(Debug)]
+        struct Empty;
+        impl VgFunction for Empty {
+            fn name(&self) -> &str {
+                "UniformRows"
+            }
+            fn arity(&self) -> usize {
+                0
+            }
+            fn output_schema(&self) -> Schema {
+                Schema::empty()
+            }
+            fn invoke(&self, _: &[Value], _: &mut dyn Rng64) -> DataResult<Table> {
+                Ok(Table::empty(Schema::empty()))
+            }
+        }
+
+        let mut r = registry();
+        r.register(Arc::new(Empty));
+        assert_eq!(r.len(), 1, "same name replaces, not duplicates");
+        assert_eq!(r.get("UniformRows").unwrap().arity(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_output() {
+        let r = registry();
+        let mut a = crate::rng::Xoshiro256StarStar::seed_from_u64(9);
+        let mut b = crate::rng::Xoshiro256StarStar::seed_from_u64(9);
+        let ta = r.invoke("UniformRows", &[Value::Int(16)], &mut a).unwrap();
+        let tb = r.invoke("UniformRows", &[Value::Int(16)], &mut b).unwrap();
+        assert_eq!(ta, tb);
+    }
+}

@@ -1,0 +1,89 @@
+//! SplitMix64 — Steele, Lea & Flood's fast splittable generator.
+//!
+//! Used in two roles: as the canonical *seed expander* (turning one `u64`
+//! seed into the state vectors of larger generators, as recommended by the
+//! xoshiro authors) and as a cheap standalone stream for auxiliary choices
+//! that must not perturb a model's main stream.
+
+use super::Rng64;
+
+/// Reference SplitMix64. Passes through every `u64` exactly once over its
+/// 2^64 period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Golden-ratio increment from the reference implementation.
+    const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    /// Create from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// One output step (also usable as a standalone mixing function).
+    #[inline]
+    pub fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Rng64 for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(Self::GAMMA);
+        Self::mix(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vector() {
+        // Reference outputs for seed = 1234567 from the public-domain C
+        // implementation (Vigna's splitmix64.c).
+        let mut rng = SplitMix64::new(1234567);
+        let expected: [u64; 5] = [
+            6_457_827_717_110_365_317,
+            3_203_168_211_198_807_973,
+            9_817_491_932_198_370_423,
+            4_593_380_528_125_082_431,
+            16_408_922_859_458_223_821,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a: Vec<u64> = { let mut r = SplitMix64::new(99); (0..64).map(|_| r.next_u64()).collect() };
+        let b: Vec<u64> = { let mut r = SplitMix64::new(99); (0..64).map(|_| r.next_u64()).collect() };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn mix_is_a_bijection_probe() {
+        // Not a proof, but distinct inputs in a small window must stay
+        // distinct (collisions would break seed derivation).
+        let outs: Vec<u64> = (0u64..1_000).map(SplitMix64::mix).collect();
+        let mut dedup = outs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), outs.len());
+    }
+}

@@ -1,0 +1,116 @@
+//! xoshiro256** — Blackman & Vigna's all-purpose 64-bit generator.
+//!
+//! This is the workhorse generator for model simulation: 256 bits of state,
+//! period 2^256 − 1, and excellent statistical quality. State is expanded
+//! from a single `u64` seed with SplitMix64, exactly as the xoshiro authors
+//! recommend, so a world id alone pins the entire stream.
+
+use super::splitmix::SplitMix64;
+use super::Rng64;
+
+/// Reference xoshiro256**.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Seed from four raw state words.
+    ///
+    /// # Panics
+    /// Panics if all words are zero (the all-zero state is a fixed point).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro256** state must not be all zero");
+        Xoshiro256StarStar { s }
+    }
+
+    /// Seed from a single `u64` by SplitMix64 expansion (the canonical way
+    /// the engine creates per-world generators).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        // SplitMix64 output can theoretically be all zeros only with
+        // astronomically small probability; guard anyway.
+        if s.iter().all(|&w| w == 0) {
+            Xoshiro256StarStar { s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3] }
+        } else {
+            Xoshiro256StarStar { s }
+        }
+    }
+
+    #[inline]
+    fn rotl(x: u64, k: u32) -> u64 {
+        x.rotate_left(k)
+    }
+}
+
+impl Rng64 for Xoshiro256StarStar {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = Self::rotl(self.s[1].wrapping_mul(5), 7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = Self::rotl(self.s[3], 45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vector_via_splitmix_seeding() {
+        // Golden values computed from the published reference algorithms
+        // (splitmix64 expansion of seed 42, then xoshiro256**).
+        let mut rng = Xoshiro256StarStar::seed_from_u64(42);
+        let expected: [u64; 5] = [
+            1_546_998_764_402_558_742,
+            6_990_951_692_964_543_102,
+            12_544_586_762_248_559_009,
+            17_057_574_109_182_124_193,
+            18_295_552_978_065_317_476,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn streams_with_same_seed_are_identical() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(7);
+        let mut b = Xoshiro256StarStar::seed_from_u64(7);
+        for _ in 0..256 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be all zero")]
+    fn all_zero_state_rejected() {
+        let _ = Xoshiro256StarStar::from_state([0; 4]);
+    }
+
+    #[test]
+    fn mean_of_unit_floats_is_centred() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(99);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean={mean}");
+    }
+
+    #[test]
+    fn no_trivial_serial_correlation() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(123);
+        let xs: Vec<f64> = (0..50_000).map(|_| rng.next_f64()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let num: f64 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
+        let den: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum();
+        let lag1 = num / den;
+        assert!(lag1.abs() < 0.02, "lag-1 autocorrelation {lag1}");
+    }
+}

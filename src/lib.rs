@@ -1,0 +1,13 @@
+//! Workspace facade for the Fuzzy Prophet reproduction.
+//!
+//! This crate exists so that the repository's top-level `examples/` and
+//! `tests/` directories can exercise the whole stack through one dependency.
+//! All functionality lives in the member crates; this facade only re-exports.
+
+pub use fuzzy_prophet;
+pub use prophet_data;
+pub use prophet_fingerprint;
+pub use prophet_mc;
+pub use prophet_models;
+pub use prophet_sql;
+pub use prophet_vg;

@@ -1,0 +1,168 @@
+//! Determinism guarantees across the whole stack.
+//!
+//! Fingerprinting is only sound if "a fixed sequence of random inputs"
+//! (§2) reproducibly drives every model: these tests pin the contract at
+//! every layer — raw generators, VG models, the executor, the engine, and
+//! both user-facing modes.
+
+use fuzzy_prophet::prelude::*;
+use prophet_data::Value;
+use prophet_models::{demo_registry, CapacityModel, DemandModel};
+use prophet_vg::rng::{Rng64, SeedSequence, Xoshiro256StarStar};
+use prophet_vg::SeedManager;
+
+#[test]
+fn generators_are_stable_across_constructions() {
+    let take = || {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xDEC0DE);
+        (0..1000).map(|_| rng.next_u64()).collect::<Vec<_>>()
+    };
+    assert_eq!(take(), take());
+}
+
+#[test]
+fn canonical_fingerprint_seeds_never_change() {
+    // These values pin the canonical fingerprint sequence. If this test
+    // fails, every stored fingerprint in every deployment just became
+    // garbage — the constant must never change.
+    let seq = SeedSequence::fingerprint_default(4);
+    assert_eq!(
+        seq.seeds(),
+        &[
+            3_220_344_897_584_144_929,
+            10_671_001_446_143_789_449,
+            15_948_751_857_155_702_275,
+            15_830_066_176_122_234_880,
+        ]
+    );
+}
+
+#[test]
+fn models_are_pure_functions_of_seed_and_params() {
+    let demand = DemandModel::default();
+    let capacity = CapacityModel::default();
+    for seed in [1u64, 42, 0xFFFF_FFFF] {
+        let mut a = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut b = Xoshiro256StarStar::seed_from_u64(seed);
+        assert_eq!(demand.demand_at(20, 12, &mut a), demand.demand_at(20, 12, &mut b));
+        let mut a = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut b = Xoshiro256StarStar::seed_from_u64(seed);
+        assert_eq!(
+            capacity.trajectory(52, 8, 24, &mut a),
+            capacity.trajectory(52, 8, 24, &mut b)
+        );
+    }
+}
+
+#[test]
+fn registry_invocations_are_deterministic() {
+    let registry = demo_registry();
+    let seeds = SeedManager::new(7);
+    let run = || {
+        let mut rng = seeds.rng_for(5, "DemandModel", 0);
+        registry
+            .invoke("DemandModel", &[Value::Int(10), Value::Int(12)], &mut rng)
+            .unwrap()
+            .cell(0, "demand")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn engine_results_are_identical_across_engines() {
+    let build = || {
+        Engine::new(
+            &Scenario::figure2().unwrap(),
+            demo_registry(),
+            EngineConfig { worlds_per_point: 50, ..EngineConfig::default() },
+        )
+        .unwrap()
+    };
+    let point = ParamPoint::from_pairs([
+        ("current", 20i64),
+        ("purchase1", 8),
+        ("purchase2", 24),
+        ("feature", 12),
+    ]);
+    let (a, _) = build().evaluate(&point).unwrap();
+    let (b, _) = build().evaluate(&point).unwrap();
+    assert_eq!(a.samples("demand"), b.samples("demand"));
+    assert_eq!(a.samples("capacity"), b.samples("capacity"));
+    assert_eq!(a.samples("overload"), b.samples("overload"));
+}
+
+#[test]
+fn engine_thread_count_does_not_change_results() {
+    let point = ParamPoint::from_pairs([
+        ("current", 30i64),
+        ("purchase1", 16),
+        ("purchase2", 36),
+        ("feature", 36),
+    ]);
+    let eval = |threads: usize| {
+        let engine = Engine::new(
+            &Scenario::figure2().unwrap(),
+            demo_registry(),
+            EngineConfig { worlds_per_point: 64, threads, ..EngineConfig::default() },
+        )
+        .unwrap();
+        let (s, _) = engine.evaluate(&point).unwrap();
+        (
+            s.samples("demand").unwrap().to_vec(),
+            s.samples("capacity").unwrap().to_vec(),
+        )
+    };
+    assert_eq!(eval(1), eval(3));
+    assert_eq!(eval(1), eval(8));
+}
+
+#[test]
+fn online_sessions_replay_identically() {
+    let run = || {
+        let mut s = OnlineSession::new(
+            Scenario::figure2().unwrap(),
+            demo_registry(),
+            EngineConfig { worlds_per_point: 40, ..EngineConfig::default() },
+        )
+        .unwrap();
+        s.set_param("purchase1", 16).unwrap();
+        s.set_param("purchase2", 36).unwrap();
+        s.refresh().unwrap();
+        s.export_series()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn offline_reports_replay_identically() {
+    const SRC: &str = "\
+DECLARE PARAMETER @current AS RANGE 0 TO 52 STEP BY 8;
+DECLARE PARAMETER @purchase1 AS RANGE 0 TO 48 STEP BY 16;
+DECLARE PARAMETER @feature AS SET (12);
+SELECT DemandModel(@current, @feature) AS demand,
+       CapacityModel(@current, @purchase1, @purchase1) AS capacity,
+       CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
+INTO results;
+OPTIMIZE SELECT @purchase1 FROM results
+WHERE MAX(EXPECT overload) < 0.5
+GROUP BY purchase1
+FOR MAX @purchase1";
+    let run = || {
+        OfflineOptimizer::new(
+            Scenario::parse(SRC).unwrap(),
+            demo_registry(),
+            EngineConfig { worlds_per_point: 30, ..EngineConfig::default() },
+        )
+        .unwrap()
+        .run()
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.best, b.best);
+    assert_eq!(a.answers, b.answers);
+    assert_eq!(a.metrics.points_total(), b.metrics.points_total());
+}

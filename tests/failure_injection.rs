@@ -1,0 +1,220 @@
+//! Failure injection: malformed scenarios, misbehaving models, and
+//! degenerate configurations must produce errors or explicit NaNs — never
+//! panics, hangs, or silently wrong numbers.
+
+use std::sync::Arc;
+
+use fuzzy_prophet::prelude::*;
+use prophet_data::{DataResult, DataType, Schema, Table, TableBuilder, Value};
+use prophet_models::demo_registry;
+use prophet_sql::parse_script;
+use prophet_vg::rng::Rng64;
+use prophet_vg::{VgFunction, VgRegistry};
+
+// ---------------------------------------------------------------- DSL level
+
+#[test]
+fn malformed_scripts_error_cleanly() {
+    for src in [
+        "",
+        "SELECT",
+        "DECLARE PARAMETER current AS RANGE 0 TO 5 STEP BY 1;", // missing @
+        "DECLARE PARAMETER @p AS RANGE 5 TO 0 STEP BY 1;\nSELECT 1 AS x INTO r;", // empty domain
+        "DECLARE PARAMETER @p AS SET ();\nSELECT 1 AS x INTO r;", // empty set
+        "SELECT 1 AS x INTO r; GRAPH OVER @missing EXPECT x;",
+        "SELECT 1 AS x INTO r;\nOPTIMIZE SELECT @q FROM r WHERE MAX(EXPECT x) < 1 FOR MAX @q",
+        "SELECT CASE WHEN THEN 1 END AS x INTO r;",
+        "SELECT 1 AS x INTO r extra tokens",
+        "SELECT 'unterminated AS x INTO r;",
+    ] {
+        assert!(parse_script(src).is_err(), "should reject: {src:?}");
+    }
+}
+
+#[test]
+fn unknown_vg_function_fails_at_evaluation_not_parse() {
+    // Parsing cannot know the catalog; evaluation must report the miss.
+    let scenario =
+        Scenario::parse("DECLARE PARAMETER @p AS SET (1);\nSELECT NoSuchModel(@p) AS x INTO r;")
+            .unwrap();
+    let engine = Engine::new(
+        &scenario,
+        demo_registry(),
+        EngineConfig { worlds_per_point: 4, ..EngineConfig::default() },
+    )
+    .unwrap();
+    let err = engine.evaluate(&ParamPoint::from_pairs([("p", 1i64)])).unwrap_err();
+    assert!(err.to_string().contains("NoSuchModel"), "{err}");
+}
+
+#[test]
+fn wrong_arity_vg_call_is_reported() {
+    let scenario = Scenario::parse(
+        "DECLARE PARAMETER @p AS SET (1);\nSELECT DemandModel(@p) AS x INTO r;", // needs 2 args
+    )
+    .unwrap();
+    let engine = Engine::new(
+        &scenario,
+        demo_registry(),
+        EngineConfig { worlds_per_point: 4, ..EngineConfig::default() },
+    )
+    .unwrap();
+    let err = engine.evaluate(&ParamPoint::from_pairs([("p", 1i64)])).unwrap_err();
+    assert!(err.to_string().contains("expects 2 parameters"), "{err}");
+}
+
+// ------------------------------------------------------------- model level
+
+/// A model that returns NaN for some parameter values.
+#[derive(Debug)]
+struct SometimesNan;
+
+impl VgFunction for SometimesNan {
+    fn name(&self) -> &str {
+        "SometimesNan"
+    }
+    fn arity(&self) -> usize {
+        1
+    }
+    fn output_schema(&self) -> Schema {
+        Schema::of(&[("v", DataType::Float)])
+    }
+    fn invoke(&self, params: &[Value], rng: &mut dyn Rng64) -> DataResult<Table> {
+        let p = params[0].as_i64()?;
+        let v = if p >= 5 { f64::NAN } else { rng.next_f64() };
+        let mut b = TableBuilder::with_capacity(self.output_schema(), 1);
+        b.push_row(vec![Value::Float(v)])?;
+        Ok(b.finish())
+    }
+}
+
+/// A model that returns a whole table where a scalar is expected.
+#[derive(Debug)]
+struct WideTable;
+
+impl VgFunction for WideTable {
+    fn name(&self) -> &str {
+        "WideTable"
+    }
+    fn arity(&self) -> usize {
+        0
+    }
+    fn output_schema(&self) -> Schema {
+        Schema::of(&[("a", DataType::Float), ("b", DataType::Float)])
+    }
+    fn invoke(&self, _: &[Value], _: &mut dyn Rng64) -> DataResult<Table> {
+        let mut b = TableBuilder::new(self.output_schema());
+        b.push_row(vec![Value::Float(1.0), Value::Float(2.0)])?;
+        Ok(b.finish())
+    }
+}
+
+fn hostile_registry() -> VgRegistry {
+    let mut r = VgRegistry::new();
+    r.register(Arc::new(SometimesNan));
+    r.register(Arc::new(WideTable));
+    r
+}
+
+#[test]
+fn nan_outputs_surface_in_estimates_instead_of_vanishing() {
+    let scenario = Scenario::parse(
+        "DECLARE PARAMETER @p AS RANGE 0 TO 9 STEP BY 1;\nSELECT SometimesNan(@p) AS v INTO r;",
+    )
+    .unwrap();
+    let engine = Engine::new(
+        &scenario,
+        hostile_registry(),
+        EngineConfig { worlds_per_point: 16, ..EngineConfig::default() },
+    )
+    .unwrap();
+    // Healthy region: finite estimates.
+    let (good, _) = engine.evaluate(&ParamPoint::from_pairs([("p", 1i64)])).unwrap();
+    assert!(good.expect("v").unwrap().is_finite());
+    // NaN region: the expectation must be NaN, not a silently filtered mean.
+    let (bad, _) = engine.evaluate(&ParamPoint::from_pairs([("p", 7i64)])).unwrap();
+    assert!(bad.expect("v").unwrap().is_nan());
+}
+
+#[test]
+fn nan_constraints_are_infeasible_not_satisfied() {
+    let scenario = Scenario::parse(
+        "DECLARE PARAMETER @p AS RANGE 0 TO 9 STEP BY 1;\n\
+         DECLARE PARAMETER @w AS SET (0);\n\
+         SELECT SometimesNan(@p) AS v INTO r;\n\
+         OPTIMIZE SELECT @p FROM r WHERE MAX(EXPECT v) < 100 GROUP BY p FOR MAX @p",
+    )
+    .unwrap();
+    let report = OfflineOptimizer::new(
+        scenario,
+        hostile_registry(),
+        EngineConfig { worlds_per_point: 8, ..EngineConfig::default() },
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    // p in 5..=9 produce NaN metrics → infeasible; best feasible is p=4.
+    let best = report.best.expect("p=4 is healthy and feasible");
+    assert_eq!(best.point.get("p"), Some(4));
+    for a in report.answers.iter().filter(|a| a.point.get("p").unwrap() >= 5) {
+        assert!(!a.feasible, "NaN groups must be infeasible: {a:?}");
+    }
+}
+
+#[test]
+fn multi_column_tables_in_scalar_position_error() {
+    let scenario = Scenario::parse("SELECT WideTable() AS v INTO r;").unwrap();
+    let engine = Engine::new(
+        &scenario,
+        hostile_registry(),
+        EngineConfig { worlds_per_point: 4, ..EngineConfig::default() },
+    )
+    .unwrap();
+    let err = engine.evaluate(&ParamPoint::new()).unwrap_err();
+    assert!(err.to_string().contains("exactly one cell"), "{err}");
+}
+
+// ------------------------------------------------------------ engine level
+
+#[test]
+fn unbound_parameters_error_at_evaluation() {
+    let scenario = Scenario::figure2().unwrap();
+    let engine = Engine::new(
+        &scenario,
+        demo_registry(),
+        EngineConfig { worlds_per_point: 4, ..EngineConfig::default() },
+    )
+    .unwrap();
+    // Point misses @feature entirely.
+    let incomplete =
+        ParamPoint::from_pairs([("current", 0i64), ("purchase1", 0), ("purchase2", 0)]);
+    let err = engine.evaluate(&incomplete).unwrap_err();
+    assert!(err.to_string().contains("unbound parameter"), "{err}");
+}
+
+#[test]
+fn online_mode_without_graph_and_offline_without_optimize_error() {
+    let bare = Scenario::parse("DECLARE PARAMETER @p AS SET (1);\nSELECT @p AS x INTO r;").unwrap();
+    assert!(OnlineSession::new(bare.clone(), demo_registry(), EngineConfig::default()).is_err());
+    assert!(OfflineOptimizer::new(bare, demo_registry(), EngineConfig::default()).is_err());
+}
+
+#[test]
+fn nan_fingerprints_disable_mapping_but_not_answers() {
+    // A NaN-producing model cannot be fingerprint-matched; the engine must
+    // fall back to simulation (never map NaN garbage onto healthy points).
+    let scenario = Scenario::parse(
+        "DECLARE PARAMETER @p AS RANGE 4 TO 9 STEP BY 1;\nSELECT SometimesNan(@p) AS v INTO r;",
+    )
+    .unwrap();
+    let engine = Engine::new(
+        &scenario,
+        hostile_registry(),
+        EngineConfig { worlds_per_point: 8, ..EngineConfig::default() },
+    )
+    .unwrap();
+    let (_, o1) = engine.evaluate(&ParamPoint::from_pairs([("p", 7i64)])).unwrap();
+    let (_, o2) = engine.evaluate(&ParamPoint::from_pairs([("p", 8i64)])).unwrap();
+    assert_eq!(o1, EvalOutcome::Simulated);
+    assert_eq!(o2, EvalOutcome::Simulated, "NaN fingerprints must not match each other");
+}

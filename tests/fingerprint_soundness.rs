@@ -1,0 +1,151 @@
+//! Statistical soundness of fingerprint-based reuse.
+//!
+//! Re-mapping must never change the *answers* — only the work. These tests
+//! compare mapped results against ground-truth direct simulation across the
+//! mapping families the demo scenario produces (identity across irrelevant
+//! parameter changes, exact offsets across purchase shifts, affine chains
+//! across weeks).
+
+use fuzzy_prophet::prelude::*;
+use prophet_models::demo_registry;
+
+fn fresh_engine(worlds: usize) -> Engine {
+    Engine::new(
+        &Scenario::figure2().unwrap(),
+        demo_registry(),
+        EngineConfig { worlds_per_point: worlds, ..EngineConfig::default() },
+    )
+    .unwrap()
+}
+
+fn point(current: i64, p1: i64, p2: i64, feature: i64) -> ParamPoint {
+    ParamPoint::from_pairs([
+        ("current", current),
+        ("purchase1", p1),
+        ("purchase2", p2),
+        ("feature", feature),
+    ])
+}
+
+/// Ground truth: a dedicated engine that has never seen any other point, so
+/// its evaluation of the target is a direct simulation.
+fn direct(p: &ParamPoint, worlds: usize) -> prophet_mc::SampleSet {
+    let e = fresh_engine(worlds);
+    let (s, outcome) = e.evaluate(p).unwrap();
+    assert_eq!(outcome, EvalOutcome::Simulated);
+    s
+}
+
+#[test]
+fn identity_mapping_reproduces_bitwise() {
+    // Feature date changes with both values after the evaluated week are
+    // invisible: outputs must be *identical*.
+    let e = fresh_engine(80);
+    let a = point(5, 16, 36, 12);
+    let b = point(5, 16, 36, 44);
+    e.evaluate(&a).unwrap();
+    let (mapped, outcome) = e.evaluate(&b).unwrap();
+    assert!(matches!(outcome, EvalOutcome::Mapped { exact: true, .. }), "{outcome:?}");
+    let truth = direct(&b, 80);
+    assert_eq!(mapped.samples("demand"), truth.samples("demand"));
+    assert_eq!(mapped.samples("capacity"), truth.samples("capacity"));
+    assert_eq!(mapped.samples("overload"), truth.samples("overload"));
+}
+
+#[test]
+fn offset_mapping_across_purchase_shift_is_exact() {
+    // Moving purchase1 across the evaluated week shifts capacity by exactly
+    // one purchase worth of cores under common random numbers.
+    let e = fresh_engine(80);
+    let a = point(10, 4, 36, 12);
+    let b = point(10, 16, 36, 12);
+    e.evaluate(&a).unwrap();
+    let (mapped, outcome) = e.evaluate(&b).unwrap();
+    assert!(matches!(outcome, EvalOutcome::Mapped { exact: true, .. }), "{outcome:?}");
+    let truth = direct(&b, 80);
+    let m = mapped.samples("capacity").unwrap();
+    let t = truth.samples("capacity").unwrap();
+    for (x, y) in m.iter().zip(t) {
+        assert!((x - y).abs() < 1e-6, "mapped {x} vs direct {y}");
+    }
+    assert_eq!(mapped.samples("overload"), truth.samples("overload"));
+}
+
+#[test]
+fn inexact_mappings_preserve_statistics_within_tolerance() {
+    // Sweep a full year with one engine (mappings accumulate), then check
+    // every week's expectation against direct simulation.
+    let worlds = 150;
+    let reused = fresh_engine(worlds);
+    let mut max_err: f64 = 0.0;
+    let mut mapped_weeks = 0;
+    for week in 0..=52 {
+        let p = point(week, 16, 36, 12);
+        let (s, outcome) = reused.evaluate(&p).unwrap();
+        if matches!(outcome, EvalOutcome::Mapped { .. }) {
+            mapped_weeks += 1;
+        }
+        let truth = direct(&p, worlds);
+        let em = s.expect("overload").unwrap();
+        let et = truth.expect("overload").unwrap();
+        max_err = max_err.max((em - et).abs());
+    }
+    assert!(mapped_weeks > 0, "the sweep must exercise mapping");
+    // Overload is a probability; mapped estimates must stay close.
+    assert!(max_err < 0.12, "max |E_mapped - E_direct| = {max_err}");
+}
+
+#[test]
+fn mapped_capacity_means_track_direct_means() {
+    let worlds = 120;
+    let reused = fresh_engine(worlds);
+    for week in [20i64, 30, 40, 52] {
+        let p = point(week, 8, 24, 12);
+        let (s, _) = reused.evaluate(&p).unwrap();
+        let truth = direct(&p, worlds);
+        let em = s.expect("capacity").unwrap();
+        let et = truth.expect("capacity").unwrap();
+        let rel = (em - et).abs() / et.abs().max(1.0);
+        assert!(rel < 0.02, "week {week}: mapped {em:.0} vs direct {et:.0}");
+    }
+}
+
+#[test]
+fn disabling_fingerprints_is_the_ground_truth_baseline() {
+    // With fingerprints off, every point must be freshly simulated and the
+    // engine must never report mapped outcomes.
+    let e = Engine::new(
+        &Scenario::figure2().unwrap(),
+        demo_registry(),
+        EngineConfig {
+            worlds_per_point: 40,
+            fingerprints_enabled: false,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    for week in 0..10 {
+        let (_, outcome) = e.evaluate(&point(week, 16, 36, 12)).unwrap();
+        assert_eq!(outcome, EvalOutcome::Simulated);
+    }
+    assert_eq!(e.metrics().points_mapped, 0);
+    assert_eq!(e.metrics().probe_evaluations, 0);
+}
+
+#[test]
+fn demand_release_boundary_blocks_mapping_of_demand() {
+    // Demand across the feature-release boundary gains an independent
+    // gaussian: the engine must NOT claim an (exact) demand mapping there.
+    // (Capacity still maps, but the entry requires all stochastic columns.)
+    let e = fresh_engine(60);
+    let a = point(20, 4, 8, 12); // feature released at week 20
+    let b = point(20, 4, 8, 36); // not released
+    e.evaluate(&a).unwrap();
+    let (s, outcome) = e.evaluate(&b).unwrap();
+    assert_eq!(outcome, EvalOutcome::Simulated, "release boundary must force simulation");
+    // and the simulated answer differs from a's in mean demand by ≈ the
+    // feature gaussian's mean
+    let (sa, _) = e.evaluate(&a).unwrap();
+    let diff = sa.expect("demand").unwrap() - s.expect("demand").unwrap();
+    assert!((diff - 1_200.0).abs() < 250.0, "feature demand delta ≈ 1200, got {diff}");
+}

@@ -1,0 +1,125 @@
+//! Deeper integration tests of the online session: proactive prefetch,
+//! progressive refinement, series export, materialization of session
+//! results, and the interaction between sliders and the basis store.
+
+use fuzzy_prophet::prelude::*;
+use fuzzy_prophet::render::{ascii_chart, series_csv};
+use prophet_mc::{summary_table, worlds_table};
+use prophet_models::demo_registry;
+
+fn session(worlds: usize) -> OnlineSession {
+    OnlineSession::new(
+        Scenario::figure2().unwrap(),
+        demo_registry(),
+        EngineConfig { worlds_per_point: worlds, ..EngineConfig::default() },
+    )
+    .unwrap()
+}
+
+#[test]
+fn prefetch_makes_future_adjustments_free() {
+    let mut s = session(16);
+    s.set_param("purchase1", 16).unwrap();
+    s.set_param("purchase2", 36).unwrap();
+    // Each adjustment queues its slider's domain neighbours: purchase1
+    // queued {12, 20}, purchase2 queued {32, 40}.
+    let prefetched = s.prefetch_tick(10).unwrap();
+    assert_eq!(prefetched, 4);
+    // Moving to a prefetched value re-simulates nothing at all.
+    let report = s.set_param("purchase2", 32).unwrap();
+    assert_eq!(report.weeks_simulated, 0);
+    assert_eq!(report.weeks_mapped, 0);
+    assert_eq!(report.weeks_cached, 53);
+    // Budget zero is a no-op.
+    assert_eq!(s.prefetch_tick(0).unwrap(), 0);
+}
+
+#[test]
+fn progressive_estimates_are_monotone_in_epsilon() {
+    let mut s = session(400);
+    s.set_param("purchase1", 16).unwrap();
+    s.engine().clear_basis();
+    // Tighter epsilon must need at least as many worlds.
+    let loose = s.progressive_expect("overload", 30, 0.10, 10).unwrap();
+    s.engine().clear_basis();
+    let tight = s.progressive_expect("overload", 30, 0.02, 10).unwrap();
+    assert!(
+        tight.worlds_used >= loose.worlds_used,
+        "tight {} vs loose {}",
+        tight.worlds_used,
+        loose.worlds_used
+    );
+}
+
+#[test]
+fn exported_series_match_the_chart_and_csv() {
+    let mut s = session(24);
+    s.refresh().unwrap();
+    let exported = s.export_series();
+    assert_eq!(exported.len(), 3);
+    for (_, _, points) in &exported {
+        assert_eq!(points.len(), 53);
+    }
+    let series: Vec<_> = s.graph().iter().collect();
+    let chart = ascii_chart(&series, 80, 12);
+    assert!(chart.contains("EXPECT overload"));
+    let csv = series_csv(&series);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 54, "header + 53 weeks");
+    assert!(lines[0].starts_with("x,EXPECT overload"));
+}
+
+#[test]
+fn session_results_materialize_into_relations() {
+    let engine = Engine::new(
+        &Scenario::figure2().unwrap(),
+        demo_registry(),
+        EngineConfig { worlds_per_point: 20, ..EngineConfig::default() },
+    )
+    .unwrap();
+    let mut sets = Vec::new();
+    for week in [0i64, 10, 20] {
+        let point = ParamPoint::from_pairs([
+            ("current", week),
+            ("purchase1", 16i64),
+            ("purchase2", 36),
+            ("feature", 12),
+        ]);
+        sets.push(engine.evaluate(&point).unwrap().0);
+    }
+    let worlds = worlds_table(&sets).unwrap();
+    assert_eq!(worlds.num_rows(), 60, "3 points × 20 worlds");
+    assert!(worlds.schema().index_of("demand").is_ok());
+    assert!(worlds.schema().index_of("world").is_ok());
+
+    let summary = summary_table(&sets).unwrap();
+    assert_eq!(summary.num_rows(), 3);
+    let e0 = summary.cell(0, "expect_demand").unwrap().as_f64().unwrap();
+    assert!((7_000.0..9_500.0).contains(&e0), "week-0 demand {e0}");
+}
+
+#[test]
+fn slider_round_trip_restores_cached_graph() {
+    let mut s = session(24);
+    s.set_param("feature", 36).unwrap();
+    let overload_before: Vec<(f64, f64)> = s.series("overload").unwrap().xy();
+    s.set_param("feature", 44).unwrap();
+    let report = s.set_param("feature", 36).unwrap();
+    // Coming back to an already-computed slider value is pure cache.
+    assert_eq!(report.weeks_simulated, 0);
+    assert_eq!(report.weeks_cached, 53);
+    let overload_after: Vec<(f64, f64)> = s.series("overload").unwrap().xy();
+    assert_eq!(overload_before, overload_after, "cache must reproduce the graph exactly");
+}
+
+#[test]
+fn metrics_accumulate_across_adjustments() {
+    let mut s = session(16);
+    s.refresh().unwrap();
+    let m1 = s.engine().metrics();
+    s.set_param("purchase2", 40).unwrap();
+    let m2 = s.engine().metrics();
+    assert!(m2.points_total() > m1.points_total());
+    let delta = m2.since(&m1);
+    assert_eq!(delta.points_total(), 53, "one adjustment touches every week once");
+}

@@ -1,0 +1,158 @@
+//! Broad DSL coverage: dialect corners exercised end-to-end through the
+//! engine (not just the parser), so that expression semantics, parameter
+//! binding and aggregate plumbing are all checked against hand-computable
+//! answers.
+
+use fuzzy_prophet::prelude::*;
+use prophet_models::demo_registry;
+
+fn engine_for(src: &str, worlds: usize) -> Engine {
+    Engine::new(
+        &Scenario::parse(src).unwrap(),
+        demo_registry(),
+        EngineConfig { worlds_per_point: worlds, ..EngineConfig::default() },
+    )
+    .unwrap()
+}
+
+#[test]
+fn deterministic_scenarios_compute_exactly() {
+    // No VG calls at all: every world computes the same row, expectations
+    // are exact.
+    let e = engine_for(
+        "DECLARE PARAMETER @x AS RANGE 1 TO 5 STEP BY 1;\n\
+         SELECT @x * @x AS square,\n\
+                CASE WHEN @x % 2 = 0 THEN 1 ELSE 0 END AS even,\n\
+                POWER(2, @x) AS pow2,\n\
+                GREATEST(@x, 3) AS clamped\n\
+         INTO results;",
+        7,
+    );
+    for x in 1..=5i64 {
+        let p = ParamPoint::from_pairs([("x", x)]);
+        let (s, _) = e.evaluate(&p).unwrap();
+        assert_eq!(s.expect("square").unwrap(), (x * x) as f64);
+        assert_eq!(s.expect("even").unwrap(), if x % 2 == 0 { 1.0 } else { 0.0 });
+        assert_eq!(s.expect("pow2").unwrap(), 2f64.powi(x as i32));
+        assert_eq!(s.expect("clamped").unwrap(), (x.max(3)) as f64);
+        assert_eq!(s.expect_std_dev("square").unwrap(), 0.0);
+    }
+}
+
+#[test]
+fn alias_chains_evaluate_left_to_right() {
+    let e = engine_for(
+        "DECLARE PARAMETER @x AS SET (10);\n\
+         SELECT @x + 1 AS a, a * 2 AS b, b - a AS c INTO results;",
+        3,
+    );
+    let p = ParamPoint::from_pairs([("x", 10i64)]);
+    let (s, _) = e.evaluate(&p).unwrap();
+    assert_eq!(s.expect("a").unwrap(), 11.0);
+    assert_eq!(s.expect("b").unwrap(), 22.0);
+    assert_eq!(s.expect("c").unwrap(), 11.0);
+}
+
+#[test]
+fn boolean_logic_and_comparison_chains() {
+    let e = engine_for(
+        "DECLARE PARAMETER @x AS RANGE 0 TO 10 STEP BY 1;\n\
+         SELECT CASE WHEN @x >= 3 AND @x < 7 THEN 1 ELSE 0 END AS band,\n\
+                CASE WHEN NOT (@x = 5) THEN 1 ELSE 0 END AS not5,\n\
+                CASE WHEN @x < 2 OR @x > 8 THEN 1 ELSE 0 END AS fringe\n\
+         INTO results;",
+        2,
+    );
+    for x in 0..=10i64 {
+        let (s, _) = e.evaluate(&ParamPoint::from_pairs([("x", x)])).unwrap();
+        assert_eq!(s.expect("band").unwrap(), f64::from((3..7).contains(&x) as u8), "x={x}");
+        assert_eq!(s.expect("not5").unwrap(), f64::from((x != 5) as u8), "x={x}");
+        assert_eq!(s.expect("fringe").unwrap(), f64::from(!(2..=8).contains(&x) as u8), "x={x}");
+    }
+}
+
+#[test]
+fn float_literals_and_precedence_in_thresholds() {
+    let e = engine_for(
+        "DECLARE PARAMETER @x AS RANGE 0 TO 4 STEP BY 1;\n\
+         SELECT 1.5e2 + @x * 0.5 AS v INTO results;",
+        2,
+    );
+    let (s, _) = e.evaluate(&ParamPoint::from_pairs([("x", 4i64)])).unwrap();
+    assert_eq!(s.expect("v").unwrap(), 152.0);
+}
+
+#[test]
+fn stddev_metric_reflects_model_noise() {
+    // demand sd before release is the base noise (400).
+    let e = engine_for(
+        "DECLARE PARAMETER @w AS SET (5);\n\
+         DECLARE PARAMETER @f AS SET (30);\n\
+         SELECT DemandModel(@w, @f) AS demand INTO results;",
+        3_000,
+    );
+    let p = ParamPoint::from_pairs([("w", 5i64), ("f", 30)]);
+    let (s, _) = e.evaluate(&p).unwrap();
+    let sd = s.expect_std_dev("demand").unwrap();
+    assert!((sd - 400.0).abs() < 25.0, "sd={sd}");
+}
+
+#[test]
+fn optimize_with_min_and_avg_aggregates() {
+    // MIN over the axis: feasible iff the *best* week satisfies; AVG:
+    // feasible iff the year-average satisfies. Both hand-checkable on a
+    // deterministic scenario.
+    let src = "\
+DECLARE PARAMETER @x AS RANGE 0 TO 4 STEP BY 1;
+DECLARE PARAMETER @w AS RANGE 0 TO 9 STEP BY 1;
+SELECT @x * 10 + @w AS v INTO results;
+OPTIMIZE SELECT @x FROM results
+WHERE MIN(EXPECT v) <= 20 AND AVG(EXPECT v) <= 27
+GROUP BY x
+FOR MAX @x";
+    let opt = OfflineOptimizer::new(
+        Scenario::parse(src).unwrap(),
+        demo_registry(),
+        EngineConfig { worlds_per_point: 2, ..EngineConfig::default() },
+    )
+    .unwrap();
+    let report = opt.run().unwrap();
+    // For group x: MIN over w of (10x + w) = 10x; AVG = 10x + 4.5.
+    // MIN <= 20 → x <= 2;  AVG <= 27 → 10x <= 22.5 → x <= 2. Best (MAX) x=2.
+    assert_eq!(report.best.as_ref().unwrap().point.get("x"), Some(2));
+    assert_eq!(report.feasible().count(), 3);
+}
+
+#[test]
+fn equality_and_inequality_constraint_operators() {
+    let src = "\
+DECLARE PARAMETER @x AS RANGE 0 TO 3 STEP BY 1;
+DECLARE PARAMETER @w AS SET (0);
+SELECT @x AS v INTO results;
+OPTIMIZE SELECT @x FROM results
+WHERE MAX(EXPECT v) <> 2
+GROUP BY x
+FOR MAX @x";
+    let opt = OfflineOptimizer::new(
+        Scenario::parse(src).unwrap(),
+        demo_registry(),
+        EngineConfig { worlds_per_point: 2, ..EngineConfig::default() },
+    )
+    .unwrap();
+    let report = opt.run().unwrap();
+    // all x except 2 are feasible; best is 3
+    assert_eq!(report.best.as_ref().unwrap().point.get("x"), Some(3));
+    assert_eq!(report.feasible().count(), 3);
+}
+
+#[test]
+fn whitespace_comments_and_case_insensitivity() {
+    let src = "\n\
+-- leading comment\n\
+declare parameter @X as range 0 to 2 step by 1; -- trailing\n\
+select @X as v into results;\n\
+graph over @X expect v;\n";
+    let scenario = Scenario::parse(src).unwrap();
+    assert_eq!(scenario.script().params[0].name, "X");
+    assert!(scenario.script().graph.is_some());
+}
