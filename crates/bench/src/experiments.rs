@@ -13,8 +13,8 @@ use prophet_vg::rng::SeedSequence;
 use prophet_vg::SeedManager;
 
 use crate::workloads::{
-    figure2_coarse, standard_config, warm_session, DEFAULT_FEATURE, DEFAULT_PURCHASE1,
-    DEFAULT_PURCHASE2,
+    demo_optimizer, figure2_coarse, standard_config, warm_session, DEFAULT_FEATURE,
+    DEFAULT_PURCHASE1, DEFAULT_PURCHASE2,
 };
 
 /// E1 — the Figure-2 scenario parses and runs end-to-end.
@@ -32,10 +32,14 @@ pub fn e1_figure2_end_to_end() -> String {
         script.graph.is_some(),
         script.optimize.is_some()
     );
-    let _ = writeln!(out, "  parameter space: {} points", scenario.parameter_space_size());
+    let _ = writeln!(
+        out,
+        "  parameter space: {} points",
+        scenario.parameter_space_size()
+    );
 
-    let engine = Engine::new(&scenario, demo_registry(), standard_config(400))
-        .expect("engine construction");
+    let engine =
+        Engine::new(&scenario, demo_registry(), standard_config(400)).expect("engine construction");
     let point = ParamPoint::from_pairs([
         ("current", 20i64),
         ("purchase1", DEFAULT_PURCHASE1),
@@ -61,7 +65,12 @@ pub fn e2_online_graph(worlds: usize) -> String {
     let mut out = String::from("E2: Figure 3 — online graph series\n");
     let t0 = Instant::now();
     let session = warm_session(worlds);
-    let _ = writeln!(out, "  rendered in {:?} ({} worlds/point)\n", t0.elapsed(), worlds);
+    let _ = writeln!(
+        out,
+        "  rendered in {:?} ({} worlds/point)\n",
+        t0.elapsed(),
+        worlds
+    );
 
     let series: Vec<_> = session.graph().iter().collect();
     out.push_str(&ascii_chart(&series, 100, 16));
@@ -92,9 +101,7 @@ pub fn e3_adjustment_rerender(worlds: usize) -> String {
         out,
         "  first render:   cold start — {} points simulated, {} intra-sweep mapped \
          ({} worlds simulated)",
-        first_metrics.points_simulated,
-        first_metrics.points_mapped,
-        first_metrics.worlds_simulated
+        first_metrics.points_simulated, first_metrics.points_mapped, first_metrics.worlds_simulated
     );
     for (from, to) in [(DEFAULT_PURCHASE2, 40i64), (40, 44), (44, 36)] {
         let report = session.set_param("purchase2", to).expect("valid slider");
@@ -145,8 +152,7 @@ pub fn e5_exploration_map(worlds: usize) -> String {
     let scenario = figure2_coarse(0.05);
     let p1 = scenario.script().param("purchase1").unwrap().clone();
     let p2 = scenario.script().param("purchase2").unwrap().clone();
-    let optimizer = OfflineOptimizer::new(scenario, demo_registry(), standard_config(worlds))
-        .expect("optimizer");
+    let optimizer = demo_optimizer(scenario, standard_config(worlds));
     let mut map = ExplorationMap::new(&p1, &p2);
     let t0 = Instant::now();
     optimizer
@@ -170,12 +176,7 @@ pub fn e5_exploration_map(worlds: usize) -> String {
 pub fn e6_offline_optimization(worlds: usize) -> String {
     let mut out = String::from("E6: offline optimization — latest safe purchase plan (§3.3)\n");
     for threshold in [0.01, 0.05] {
-        let optimizer = OfflineOptimizer::new(
-            figure2_coarse(threshold),
-            demo_registry(),
-            standard_config(worlds),
-        )
-        .expect("optimizer");
+        let optimizer = demo_optimizer(figure2_coarse(threshold), standard_config(worlds));
         let t0 = Instant::now();
         let report = optimizer.run().expect("sweep");
         let _ = writeln!(
@@ -216,8 +217,7 @@ pub fn e7_fingerprint_speedup(worlds: usize) -> String {
             fingerprints_enabled: enabled,
             ..EngineConfig::default()
         };
-        let optimizer =
-            OfflineOptimizer::new(figure2_coarse(0.05), demo_registry(), cfg).expect("optimizer");
+        let optimizer = demo_optimizer(figure2_coarse(0.05), cfg);
         let t0 = Instant::now();
         let report = optimizer.run().expect("sweep");
         let wall = t0.elapsed();
@@ -255,7 +255,10 @@ pub fn e7_fingerprint_speedup(worlds: usize) -> String {
 pub fn e8_first_accurate_guess(worlds: usize) -> String {
     let mut out = String::from("E8: time to first accurate guess — cold vs warm basis\n");
     let epsilon = 0.04;
-    let _ = writeln!(out, "  convergence: 95% CI half-width <= {epsilon} on E[overload]\n");
+    let _ = writeln!(
+        out,
+        "  convergence: 95% CI half-width <= {epsilon} on E[overload]\n"
+    );
     let _ = writeln!(out, "  week  cold worlds  warm worlds  cold E  warm E");
     let mut warm = warm_session(worlds);
     for week in [10i64, 15, 25, 40, 52] {
@@ -265,8 +268,12 @@ pub fn e8_first_accurate_guess(worlds: usize) -> String {
         cold.set_param("feature", DEFAULT_FEATURE).unwrap();
         // Cold estimate: a fresh engine with an empty basis per week probe.
         cold.engine().clear_basis();
-        let cold_est = cold.progressive_expect("overload", week, epsilon, 20).unwrap();
-        let warm_est = warm.progressive_expect("overload", week, epsilon, 20).unwrap();
+        let cold_est = cold
+            .progressive_expect("overload", week, epsilon, 20)
+            .unwrap();
+        let warm_est = warm
+            .progressive_expect("overload", week, epsilon, 20)
+            .unwrap();
         let _ = writeln!(
             out,
             "  {week:>4}  {:>11}  {:>11}  {:>6.3}  {:>6.3}{}",
@@ -274,7 +281,11 @@ pub fn e8_first_accurate_guess(worlds: usize) -> String {
             warm_est.worlds_used,
             cold_est.estimate,
             warm_est.estimate,
-            if warm_est.used_basis { "  (basis hit)" } else { "" }
+            if warm_est.used_basis {
+                "  (basis hit)"
+            } else {
+                ""
+            }
         );
     }
     out
@@ -309,7 +320,10 @@ pub fn e9_markov_regions() -> String {
         regions.len(),
         total_skippable
     );
-    let _ = writeln!(out, "\n  region  span          skipped  est error (worlds RMS)");
+    let _ = writeln!(
+        out,
+        "\n  region  span          skipped  est error (worlds RMS)"
+    );
     for region in &regions {
         let est = region.estimator();
         // prediction error of the region estimator against the actual end
@@ -355,44 +369,51 @@ pub fn e10_fingerprint_length_ablation() -> String {
     let detector = CorrelationDetector::default();
 
     // Probe demand & capacity outputs at a point under the canonical seeds.
-    let probe = |len: usize, current: i64, p1: i64, p2: i64, feature: i64| -> (Fingerprint, Fingerprint) {
-        let seq = SeedSequence::fingerprint_default(len);
-        let mut demand = Vec::with_capacity(len);
-        let mut capacity = Vec::with_capacity(len);
-        for &world in seq.seeds() {
-            let mut rng_d = seeds.rng_for(world, "DemandModel", 0);
-            let d = registry
-                .invoke(
-                    "DemandModel",
-                    &[prophet_data::Value::Int(current), prophet_data::Value::Int(feature)],
-                    &mut rng_d,
-                )
-                .unwrap()
-                .cell(0, "demand")
-                .unwrap()
-                .as_f64()
-                .unwrap();
-            let mut rng_c = seeds.rng_for(world, "CapacityModel", 1);
-            let c = registry
-                .invoke(
-                    "CapacityModel",
-                    &[
-                        prophet_data::Value::Int(current),
-                        prophet_data::Value::Int(p1),
-                        prophet_data::Value::Int(p2),
-                    ],
-                    &mut rng_c,
-                )
-                .unwrap()
-                .cell(0, "capacity")
-                .unwrap()
-                .as_f64()
-                .unwrap();
-            demand.push(d);
-            capacity.push(c);
-        }
-        (Fingerprint::from_values(demand), Fingerprint::from_values(capacity))
-    };
+    let probe =
+        |len: usize, current: i64, p1: i64, p2: i64, feature: i64| -> (Fingerprint, Fingerprint) {
+            let seq = SeedSequence::fingerprint_default(len);
+            let mut demand = Vec::with_capacity(len);
+            let mut capacity = Vec::with_capacity(len);
+            for &world in seq.seeds() {
+                let mut rng_d = seeds.rng_for(world, "DemandModel", 0);
+                let d = registry
+                    .invoke(
+                        "DemandModel",
+                        &[
+                            prophet_data::Value::Int(current),
+                            prophet_data::Value::Int(feature),
+                        ],
+                        &mut rng_d,
+                    )
+                    .unwrap()
+                    .cell(0, "demand")
+                    .unwrap()
+                    .as_f64()
+                    .unwrap();
+                let mut rng_c = seeds.rng_for(world, "CapacityModel", 1);
+                let c = registry
+                    .invoke(
+                        "CapacityModel",
+                        &[
+                            prophet_data::Value::Int(current),
+                            prophet_data::Value::Int(p1),
+                            prophet_data::Value::Int(p2),
+                        ],
+                        &mut rng_c,
+                    )
+                    .unwrap()
+                    .cell(0, "capacity")
+                    .unwrap()
+                    .as_f64()
+                    .unwrap();
+                demand.push(d);
+                capacity.push(c);
+            }
+            (
+                Fingerprint::from_values(demand),
+                Fingerprint::from_values(capacity),
+            )
+        };
 
     let _ = writeln!(out, "  len  true-pos rate  false-pos rate  probes/point");
     for len in [4usize, 8, 16, 32, 64, 128] {
@@ -403,10 +424,10 @@ pub fn e10_fingerprint_length_ablation() -> String {
         // Positives: capacity under purchase shifts (exact offsets) and
         // demand under feature moves on the same side of the week.
         for (a, b) in [
-            ((10, 4, 36, 12), (10, 16, 36, 12)),  // purchase crosses week → offset
-            ((5, 16, 36, 12), (5, 16, 36, 44)),   // feature far future → identity
-            ((30, 4, 8, 12), (30, 4, 12, 12)),    // both purchases deployed → identity
-            ((20, 4, 36, 12), (20, 8, 36, 12)),   // deployed purchase shifted → identity
+            ((10, 4, 36, 12), (10, 16, 36, 12)), // purchase crosses week → offset
+            ((5, 16, 36, 12), (5, 16, 36, 44)),  // feature far future → identity
+            ((30, 4, 8, 12), (30, 4, 12, 12)),   // both purchases deployed → identity
+            ((20, 4, 36, 12), (20, 8, 36, 12)),  // deployed purchase shifted → identity
         ] {
             let (da, ca) = probe(len, a.0, a.1, a.2, a.3);
             let (db, cb) = probe(len, b.0, b.1, b.2, b.3);
@@ -463,7 +484,9 @@ pub fn run_all(worlds: usize) -> String {
     ];
     for p in parts {
         out.push_str(&p);
-        out.push_str("\n----------------------------------------------------------------------\n\n");
+        out.push_str(
+            "\n----------------------------------------------------------------------\n\n",
+        );
     }
     out
 }
@@ -487,8 +510,14 @@ mod tests {
     fn e2_emits_all_weeks() {
         let r = e2_online_graph(8);
         assert!(r.contains("week  E[overload]"));
-        let table_rows = r.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count();
-        assert!(table_rows >= 14, "expected a row per 4-week step, got {table_rows}:\n{r}");
+        let table_rows = r
+            .lines()
+            .filter(|l| l.trim_start().starts_with(char::is_numeric))
+            .count();
+        assert!(
+            table_rows >= 14,
+            "expected a row per 4-week step, got {table_rows}:\n{r}"
+        );
     }
 
     #[test]

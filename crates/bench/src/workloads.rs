@@ -42,21 +42,44 @@ pub fn figure2_coarse(threshold: f64) -> Scenario {
 
 /// Engine config used across experiments unless a knob is under study.
 pub fn standard_config(worlds: usize) -> EngineConfig {
-    EngineConfig { worlds_per_point: worlds, ..EngineConfig::default() }
+    EngineConfig {
+        worlds_per_point: worlds,
+        ..EngineConfig::default()
+    }
+}
+
+/// A single-scenario service over the demo registry — each call builds a
+/// fresh service (fresh basis store), which is what cold-vs-warm
+/// comparisons need.
+pub fn demo_service(scenario: Scenario, config: EngineConfig) -> Prophet {
+    Prophet::builder()
+        .scenario("bench", scenario)
+        .registry(demo_registry())
+        .config(config)
+        .build()
+        .expect("service construction")
+}
+
+/// An offline optimizer on a fresh service.
+pub fn demo_optimizer(scenario: Scenario, config: EngineConfig) -> OfflineOptimizer {
+    demo_service(scenario, config)
+        .offline("bench")
+        .expect("OPTIMIZE directive present")
 }
 
 /// An online session on the *full* Figure-2 scenario at the demo's default
 /// sliders, already refreshed once (warm graph).
 pub fn warm_session(worlds: usize) -> OnlineSession {
-    let mut session = OnlineSession::new(
-        Scenario::figure2().expect("Figure 2 parses"),
-        demo_registry(),
-        standard_config(worlds),
-    )
-    .expect("session construction");
-    session.set_param("purchase1", DEFAULT_PURCHASE1).expect("valid slider");
-    session.set_param("purchase2", DEFAULT_PURCHASE2).expect("valid slider");
-    session.set_param("feature", DEFAULT_FEATURE).expect("valid slider");
+    let mut session = cold_session(worlds);
+    session
+        .set_param("purchase1", DEFAULT_PURCHASE1)
+        .expect("valid slider");
+    session
+        .set_param("purchase2", DEFAULT_PURCHASE2)
+        .expect("valid slider");
+    session
+        .set_param("feature", DEFAULT_FEATURE)
+        .expect("valid slider");
     session.refresh().expect("initial render");
     session
 }
@@ -65,11 +88,11 @@ pub fn warm_session(worlds: usize) -> OnlineSession {
 /// sliders at their domain minima. Callers set sliders themselves (which
 /// costs a refresh each) or measure the cold render directly.
 pub fn cold_session(worlds: usize) -> OnlineSession {
-    OnlineSession::new(
+    demo_service(
         Scenario::figure2().expect("Figure 2 parses"),
-        demo_registry(),
         standard_config(worlds),
     )
+    .online("bench")
     .expect("session construction")
 }
 
@@ -81,7 +104,9 @@ mod tests {
     fn coarse_scenario_parses_for_both_thresholds() {
         assert_eq!(figure2_coarse(0.01).script().params.len(), 4);
         let s = figure2_coarse(0.05);
-        assert!((s.script().optimize.as_ref().unwrap().constraints[0].threshold - 0.05).abs() < 1e-12);
+        assert!(
+            (s.script().optimize.as_ref().unwrap().constraints[0].threshold - 0.05).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -15,23 +15,26 @@
 //!    so only the stochastic inputs ever need mapping,
 //! 4. on a miss: full Monte Carlo simulation, then insert into the basis
 //!    store so later points can map from this one.
+//!
+//! The basis store is a [`SharedBasisStore`]: engines built through the
+//! [`Prophet`](crate::service::Prophet) service share one store per
+//! scenario, so results simulated by one session re-map in every other.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
-
-use parking_lot::Mutex;
 
 use prophet_data::Value;
 use prophet_fingerprint::{CorrelationDetector, Fingerprint, FingerprintConfig, Mapping};
-use prophet_mc::{simulate_point, ParamPoint, SampleSet};
+use prophet_mc::{simulate_point, ParamPoint, SampleSet, SharedBasisStore};
 use prophet_sql::ast::SelectItem;
-use prophet_sql::error::{SqlError, SqlResult};
+use prophet_sql::error::SqlError;
 use prophet_sql::executor::{evaluate_select_with, EvalContext, WorldRng};
 use prophet_sql::Script;
 use prophet_vg::rng::{Rng64, SeedSequence};
 use prophet_vg::{SeedManager, VgRegistry};
 
+use crate::error::{ProphetError, ProphetResult};
 use crate::metrics::EngineMetrics;
 use crate::scenario::Scenario;
 
@@ -94,27 +97,6 @@ pub enum EvalOutcome {
     Simulated,
 }
 
-struct BasisEntry {
-    fingerprints: HashMap<String, Fingerprint>,
-    /// Samples for *all* output columns (stochastic and derived).
-    samples: Arc<HashMap<String, Vec<f64>>>,
-    worlds: usize,
-    stamp: u64,
-    /// Whether this entry may serve as a *source* for fingerprint matching.
-    /// Only fully simulated entries qualify: a point reachable through an
-    /// exact-mapped entry is also reachable through that entry's own
-    /// source, so restricting candidates to simulated entries keeps match
-    /// scans proportional to the number of genuinely distinct
-    /// distributions, not the number of visited points.
-    matchable: bool,
-}
-
-#[derive(Default)]
-struct BasisInner {
-    entries: HashMap<ParamPoint, BasisEntry>,
-    next_stamp: u64,
-}
-
 /// The evaluation engine shared by online and offline modes.
 pub struct Engine {
     script: Script,
@@ -123,13 +105,18 @@ pub struct Engine {
     config: EngineConfig,
     /// Output columns whose expressions invoke a registered VG function.
     stochastic_cols: Vec<String>,
-    basis: Mutex<BasisInner>,
+    basis: SharedBasisStore,
     metrics: Mutex<EngineMetrics>,
 }
 
 impl Engine {
-    /// Build an engine for a scenario against a VG catalog.
-    pub fn new(scenario: &Scenario, registry: VgRegistry, config: EngineConfig) -> SqlResult<Self> {
+    /// Build an engine for a scenario against a VG catalog, with a private
+    /// basis store.
+    pub fn new(
+        scenario: &Scenario,
+        registry: VgRegistry,
+        config: EngineConfig,
+    ) -> ProphetResult<Self> {
         Engine::with_shared_registry(scenario, Arc::new(registry), config)
     }
 
@@ -139,9 +126,34 @@ impl Engine {
         scenario: &Scenario,
         registry: Arc<VgRegistry>,
         config: EngineConfig,
-    ) -> SqlResult<Self> {
+    ) -> ProphetResult<Self> {
+        if config.basis_capacity == 0 {
+            return Err(ProphetError::InvalidConfig(
+                "basis_capacity must be positive".into(),
+            ));
+        }
+        let basis = SharedBasisStore::new(config.basis_capacity);
+        Engine::with_basis_store(scenario, registry, config, basis)
+    }
+
+    /// Build against an existing (possibly shared) basis store — the
+    /// constructor the [`Prophet`](crate::service::Prophet) service uses so
+    /// that every session of one scenario reuses each other's simulations.
+    ///
+    /// Capacity is a property of the *store*: `config.basis_capacity` is
+    /// only consulted by the store-creating constructors ([`Engine::new`],
+    /// [`Engine::with_shared_registry`]) and is ignored here in favour of
+    /// whatever the supplied store was built with.
+    pub fn with_basis_store(
+        scenario: &Scenario,
+        registry: Arc<VgRegistry>,
+        config: EngineConfig,
+        basis: SharedBasisStore,
+    ) -> ProphetResult<Self> {
         if config.worlds_per_point == 0 {
-            return Err(SqlError::Eval("worlds_per_point must be positive".into()));
+            return Err(ProphetError::InvalidConfig(
+                "worlds_per_point must be positive".into(),
+            ));
         }
         let script = scenario.script().clone();
         let stochastic_cols = script
@@ -162,7 +174,7 @@ impl Engine {
             seeds: SeedManager::new(config.root_seed),
             config,
             stochastic_cols,
-            basis: Mutex::new(BasisInner::default()),
+            basis,
             metrics: Mutex::new(EngineMetrics::default()),
         })
     }
@@ -187,32 +199,48 @@ impl Engine {
         &self.stochastic_cols
     }
 
+    /// All output column names, in SELECT order.
+    pub fn output_columns(&self) -> Vec<String> {
+        self.script
+            .select
+            .items
+            .iter()
+            .map(|i| i.alias.clone())
+            .collect()
+    }
+
     /// Snapshot of the work counters.
     pub fn metrics(&self) -> EngineMetrics {
-        *self.metrics.lock()
+        *self.metrics.lock().expect("metrics lock poisoned")
     }
 
     /// Reset work counters (between bench configurations).
     pub fn reset_metrics(&self) {
-        *self.metrics.lock() = EngineMetrics::default();
+        *self.metrics.lock().expect("metrics lock poisoned") = EngineMetrics::default();
+    }
+
+    /// The (possibly shared) basis store backing this engine.
+    pub fn basis_store(&self) -> &SharedBasisStore {
+        &self.basis
     }
 
     /// Number of basis entries currently stored.
     pub fn basis_len(&self) -> usize {
-        self.basis.lock().entries.len()
+        self.basis.len()
     }
 
-    /// Drop all basis entries (forces cold start).
+    /// Drop all basis entries (forces cold start). Affects every engine
+    /// sharing the store.
     pub fn clear_basis(&self) {
-        self.basis.lock().entries.clear();
+        self.basis.clear();
     }
 
     /// Evaluate the scenario at one parameter point, returning the sample
     /// set and how it was obtained.
-    pub fn evaluate(&self, point: &ParamPoint) -> SqlResult<(SampleSet, EvalOutcome)> {
+    pub fn evaluate(&self, point: &ParamPoint) -> ProphetResult<(SampleSet, EvalOutcome)> {
         // 1. Exact cache.
-        if let Some(samples) = self.lookup_exact(point) {
-            self.metrics.lock().points_cached += 1;
+        if let Some(samples) = self.basis.get_exact(point, self.config.worlds_per_point) {
+            self.bump(|m| m.points_cached += 1);
             return Ok((self.to_sample_set(point, &samples), EvalOutcome::Cached));
         }
 
@@ -220,70 +248,79 @@ impl Engine {
         if self.config.fingerprints_enabled && !self.stochastic_cols.is_empty() {
             let fp_start = Instant::now();
             let probes = self.probe_fingerprints(point)?;
-            let matched = self.match_basis(&probes);
-            if let Some((source, mappings, source_samples, worlds)) = matched {
-                let mapped = self.remap_samples(point, &source_samples, &mappings, worlds)?;
-                let exact = mappings.values().all(Mapping::is_exact);
-                self.insert_entry(point.clone(), probes, Arc::new(mapped.clone()), worlds, false);
-                let mut m = self.metrics.lock();
-                m.points_mapped += 1;
-                m.fingerprint_time += fp_start.elapsed();
-                drop(m);
+            let matched =
+                self.basis
+                    .find_correlated(&probes, &self.stochastic_cols, &self.config.detector);
+            if let Some(hit) = matched {
+                let mapped = self.remap_samples(point, &hit.samples, &hit.mappings, hit.worlds)?;
+                let exact = hit.mappings.values().all(Mapping::is_exact);
+                self.basis.insert(
+                    point.clone(),
+                    probes,
+                    Arc::new(mapped.clone()),
+                    hit.worlds,
+                    false,
+                );
+                self.bump(|m| {
+                    m.points_mapped += 1;
+                    m.fingerprint_time += fp_start.elapsed();
+                });
                 return Ok((
                     self.to_sample_set(point, &mapped),
-                    EvalOutcome::Mapped { from: source, exact },
+                    EvalOutcome::Mapped {
+                        from: hit.source,
+                        exact,
+                    },
                 ));
             }
             // Miss: fall through to simulation, but keep the probes for the
             // new basis entry.
             let samples = self.simulate_full(point)?;
-            self.metrics.lock().fingerprint_time += fp_start.elapsed();
-            self.insert_entry(
+            self.bump(|m| m.fingerprint_time += fp_start.elapsed());
+            self.basis.insert(
                 point.clone(),
                 probes,
                 Arc::new(samples.clone()),
                 self.config.worlds_per_point,
                 true,
             );
-            self.metrics.lock().points_simulated += 1;
+            self.bump(|m| m.points_simulated += 1);
             return Ok((self.to_sample_set(point, &samples), EvalOutcome::Simulated));
         }
 
         // 4. Plain simulation (fingerprints disabled).
         let samples = self.simulate_full(point)?;
-        self.insert_entry(
+        self.basis.insert(
             point.clone(),
             HashMap::new(),
             Arc::new(samples.clone()),
             self.config.worlds_per_point,
             true,
         );
-        self.metrics.lock().points_simulated += 1;
+        self.bump(|m| m.points_simulated += 1);
         Ok((self.to_sample_set(point, &samples), EvalOutcome::Simulated))
     }
 
     /// Monte Carlo expectation of one column at a point (convenience).
-    pub fn expect(&self, point: &ParamPoint, column: &str) -> SqlResult<f64> {
+    pub fn expect(&self, point: &ParamPoint, column: &str) -> ProphetResult<f64> {
         let (samples, _) = self.evaluate(point)?;
         samples
             .expect(column)
-            .ok_or_else(|| SqlError::Eval(format!("unknown output column `{column}`")))
+            .ok_or_else(|| ProphetError::unknown_column(column, self.output_columns()))
     }
 
     // ------------------------------------------------------------ internals
 
-    fn lookup_exact(&self, point: &ParamPoint) -> Option<Arc<HashMap<String, Vec<f64>>>> {
-        let basis = self.basis.lock();
-        basis
-            .entries
-            .get(point)
-            .filter(|e| e.worlds >= self.config.worlds_per_point)
-            .map(|e| Arc::clone(&e.samples))
+    fn bump(&self, update: impl FnOnce(&mut EngineMetrics)) {
+        update(&mut self.metrics.lock().expect("metrics lock poisoned"));
     }
 
     /// Evaluate the scenario once per canonical fingerprint seed, recording
     /// each stochastic column's output.
-    fn probe_fingerprints(&self, point: &ParamPoint) -> SqlResult<HashMap<String, Fingerprint>> {
+    fn probe_fingerprints(
+        &self,
+        point: &ParamPoint,
+    ) -> ProphetResult<HashMap<String, Fingerprint>> {
         let seeds = SeedSequence::fingerprint_default(self.config.fingerprint.length);
         let params = point.to_value_map();
         let mut per_col: HashMap<String, Vec<f64>> = self
@@ -308,71 +345,11 @@ impl Engine {
                 }
             }
         }
-        self.metrics.lock().probe_evaluations += seeds.len() as u64;
+        self.bump(|m| m.probe_evaluations += seeds.len() as u64);
         Ok(per_col
             .into_iter()
             .map(|(name, values)| (name, Fingerprint::from_values(values)))
             .collect())
-    }
-
-    /// Search the basis for an entry where *every* stochastic column has a
-    /// detectable mapping onto the probe fingerprints. Returns the best
-    /// (lowest total error) candidate.
-    #[allow(clippy::type_complexity)]
-    fn match_basis(
-        &self,
-        probes: &HashMap<String, Fingerprint>,
-    ) -> Option<(ParamPoint, HashMap<String, Mapping>, Arc<HashMap<String, Vec<f64>>>, usize)> {
-        let basis = self.basis.lock();
-        let mut best: Option<(ParamPoint, HashMap<String, Mapping>, Arc<HashMap<String, Vec<f64>>>, usize, f64)> =
-            None;
-        for (source_point, entry) in &basis.entries {
-            if !entry.matchable || entry.fingerprints.is_empty() {
-                continue;
-            }
-            let mut mappings = HashMap::with_capacity(self.stochastic_cols.len());
-            let mut total_err = 0.0;
-            let mut all_matched = true;
-            for col in &self.stochastic_cols {
-                let (Some(source_fp), Some(probe_fp)) = (entry.fingerprints.get(col), probes.get(col))
-                else {
-                    all_matched = false;
-                    break;
-                };
-                match self.config.detector.detect(source_fp, probe_fp) {
-                    Some(mapping) => {
-                        total_err += mapping.error_std();
-                        mappings.insert(col.clone(), mapping);
-                    }
-                    None => {
-                        all_matched = false;
-                        break;
-                    }
-                }
-            }
-            if !all_matched {
-                continue;
-            }
-            let better = match &best {
-                None => true,
-                Some((_, _, _, _, err)) => total_err < *err,
-            };
-            if better {
-                let exact = total_err == 0.0;
-                best = Some((
-                    source_point.clone(),
-                    mappings,
-                    Arc::clone(&entry.samples),
-                    entry.worlds,
-                    total_err,
-                ));
-                if exact {
-                    // Nothing can beat an exact mapping; stop scanning.
-                    break;
-                }
-            }
-        }
-        best.map(|(p, m, s, w, _)| (p, m, s, w))
     }
 
     /// Map the stochastic columns and recompute the derived ones per world.
@@ -382,16 +359,17 @@ impl Engine {
         source: &HashMap<String, Vec<f64>>,
         mappings: &HashMap<String, Mapping>,
         worlds: usize,
-    ) -> SqlResult<HashMap<String, Vec<f64>>> {
-        let mut out: HashMap<String, Vec<f64>> = HashMap::with_capacity(self.script.select.items.len());
+    ) -> ProphetResult<HashMap<String, Vec<f64>>> {
+        let mut out: HashMap<String, Vec<f64>> =
+            HashMap::with_capacity(self.script.select.items.len());
         // Stochastic columns: apply the detected mapping to stored samples.
         for col in &self.stochastic_cols {
             let src = source.get(col).ok_or_else(|| {
-                SqlError::Eval(format!("basis entry lacks samples for column `{col}`"))
+                ProphetError::Internal(format!("basis entry lacks samples for column `{col}`"))
             })?;
             let mapping = mappings
                 .get(col)
-                .ok_or_else(|| SqlError::Eval(format!("no mapping for column `{col}`")))?;
+                .ok_or_else(|| ProphetError::Internal(format!("no mapping for column `{col}`")))?;
             out.insert(col.clone(), mapping.apply_samples(src));
         }
         // Derived columns: recompute from mapped inputs, world by world.
@@ -434,17 +412,17 @@ impl Engine {
     }
 
     /// Full Monte Carlo simulation, optionally world-parallel.
-    fn simulate_full(&self, point: &ParamPoint) -> SqlResult<HashMap<String, Vec<f64>>> {
+    fn simulate_full(&self, point: &ParamPoint) -> ProphetResult<HashMap<String, Vec<f64>>> {
         let start = Instant::now();
         let worlds: Vec<u64> = (0..self.config.worlds_per_point as u64).collect();
         let sample_set = if self.config.threads > 1 {
             let chunk = worlds.len().div_ceil(self.config.threads);
             let chunks: Vec<&[u64]> = worlds.chunks(chunk).collect();
-            let results: Vec<SqlResult<SampleSet>> = crossbeam::thread::scope(|scope| {
+            let results: Vec<Result<SampleSet, SqlError>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
                     .into_iter()
                     .map(|ws| {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             simulate_point(
                                 &self.script.select,
                                 &self.registry,
@@ -456,9 +434,11 @@ impl Engine {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("crossbeam scope");
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            });
             let mut iter = results.into_iter();
             let mut first = iter.next().expect("at least one chunk")?;
             for r in iter {
@@ -479,49 +459,31 @@ impl Engine {
         for col in sample_set.columns() {
             out.insert(
                 col.clone(),
-                sample_set.samples(col).expect("column exists by construction").to_vec(),
+                sample_set
+                    .samples(col)
+                    .expect("column exists by construction")
+                    .to_vec(),
             );
         }
-        let mut m = self.metrics.lock();
-        m.worlds_simulated += worlds.len() as u64;
-        m.simulation_time += start.elapsed();
+        self.bump(|m| {
+            m.worlds_simulated += worlds.len() as u64;
+            m.simulation_time += start.elapsed();
+        });
         Ok(out)
     }
 
-    fn insert_entry(
-        &self,
-        point: ParamPoint,
-        fingerprints: HashMap<String, Fingerprint>,
-        samples: Arc<HashMap<String, Vec<f64>>>,
-        worlds: usize,
-        matchable: bool,
-    ) {
-        let mut basis = self.basis.lock();
-        basis.next_stamp += 1;
-        let stamp = basis.next_stamp;
-        if basis.entries.len() >= self.config.basis_capacity && !basis.entries.contains_key(&point) {
-            // Evict the oldest *mapped* entry first: simulated entries are
-            // the sources fingerprint matching lives on.
-            let victim = basis
-                .entries
-                .iter()
-                .filter(|(_, e)| !e.matchable)
-                .min_by_key(|(_, e)| e.stamp)
-                .or_else(|| basis.entries.iter().min_by_key(|(_, e)| e.stamp))
-                .map(|(k, _)| k.clone());
-            if let Some(victim) = victim {
-                basis.entries.remove(&victim);
-            }
-        }
-        basis
-            .entries
-            .insert(point, BasisEntry { fingerprints, samples, worlds, stamp, matchable });
-    }
-
     fn to_sample_set(&self, point: &ParamPoint, samples: &HashMap<String, Vec<f64>>) -> SampleSet {
-        let columns: Vec<String> =
-            self.script.select.items.iter().map(|i| i.alias.clone()).collect();
-        SampleSet::from_samples(point.clone(), columns, samples.clone())
+        SampleSet::from_samples(point.clone(), self.output_columns(), samples.clone())
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("stochastic_cols", &self.stochastic_cols)
+            .field("config", &self.config)
+            .field("basis", &self.basis)
+            .finish_non_exhaustive()
     }
 }
 
@@ -546,7 +508,10 @@ mod tests {
     }
 
     fn small_config() -> EngineConfig {
-        EngineConfig { worlds_per_point: 60, ..EngineConfig::default() }
+        EngineConfig {
+            worlds_per_point: 60,
+            ..EngineConfig::default()
+        }
     }
 
     fn demo_point(current: i64, p1: i64, p2: i64, feature: i64) -> ParamPoint {
@@ -561,7 +526,11 @@ mod tests {
     #[test]
     fn classifies_stochastic_vs_derived_columns() {
         let e = engine(small_config());
-        assert_eq!(e.stochastic_columns(), &["demand".to_string(), "capacity".to_string()]);
+        assert_eq!(
+            e.stochastic_columns(),
+            &["demand".to_string(), "capacity".to_string()]
+        );
+        assert_eq!(e.output_columns(), ["demand", "capacity", "overload"]);
     }
 
     #[test]
@@ -615,7 +584,10 @@ mod tests {
         let b = demo_point(10, 16, 36, 12);
         e.evaluate(&a).unwrap();
         let (sb, outcome) = e.evaluate(&b).unwrap();
-        assert!(matches!(outcome, EvalOutcome::Mapped { exact: true, .. }), "{outcome:?}");
+        assert!(
+            matches!(outcome, EvalOutcome::Mapped { exact: true, .. }),
+            "{outcome:?}"
+        );
         // overload must be consistent with the mapped demand/capacity
         let demand = sb.samples("demand").unwrap();
         let capacity = sb.samples("capacity").unwrap();
@@ -628,7 +600,10 @@ mod tests {
 
     #[test]
     fn fingerprints_disabled_always_simulates() {
-        let e = engine(EngineConfig { fingerprints_enabled: false, ..small_config() });
+        let e = engine(EngineConfig {
+            fingerprints_enabled: false,
+            ..small_config()
+        });
         let a = demo_point(5, 16, 36, 12);
         let b = demo_point(5, 16, 36, 36);
         let (_, o1) = e.evaluate(&a).unwrap();
@@ -651,7 +626,10 @@ mod tests {
         assert_eq!(m.probe_evaluations, 2 * cfg.fingerprint.length as u64);
         // only the first point paid full simulation
         assert_eq!(m.worlds_simulated, cfg.worlds_per_point as u64);
-        assert!(cfg.fingerprint.length < cfg.worlds_per_point, "probe cost must stay below world cost");
+        assert!(
+            cfg.fingerprint.length < cfg.worlds_per_point,
+            "probe cost must stay below world cost"
+        );
     }
 
     #[test]
@@ -659,8 +637,17 @@ mod tests {
         let e = engine(small_config());
         let p = demo_point(0, 16, 36, 12);
         let demand = e.expect(&p, "demand").unwrap();
-        assert!((7_000.0..9_000.0).contains(&demand), "week-0 demand ≈ 8000, got {demand}");
-        assert!(e.expect(&p, "nope").is_err());
+        assert!(
+            (7_000.0..9_000.0).contains(&demand),
+            "week-0 demand ≈ 8000, got {demand}"
+        );
+        match e.expect(&p, "nope") {
+            Err(ProphetError::UnknownColumn { name, available }) => {
+                assert_eq!(name, "nope");
+                assert_eq!(available, ["demand", "capacity", "overload"]);
+            }
+            other => panic!("expected UnknownColumn, got {other:?}"),
+        }
     }
 
     #[test]
@@ -678,8 +665,14 @@ mod tests {
     #[test]
     fn world_parallel_simulation_is_deterministic() {
         let p = demo_point(12, 8, 24, 12);
-        let seq = engine(EngineConfig { threads: 1, ..small_config() });
-        let par = engine(EngineConfig { threads: 4, ..small_config() });
+        let seq = engine(EngineConfig {
+            threads: 1,
+            ..small_config()
+        });
+        let par = engine(EngineConfig {
+            threads: 4,
+            ..small_config()
+        });
         let (a, _) = seq.evaluate(&p).unwrap();
         let (b, _) = par.evaluate(&p).unwrap();
         assert_eq!(a.samples("demand"), b.samples("demand"));
@@ -692,14 +685,24 @@ mod tests {
         let err = Engine::new(
             &scenario,
             demo_registry(),
-            EngineConfig { worlds_per_point: 0, ..EngineConfig::default() },
+            EngineConfig {
+                worlds_per_point: 0,
+                ..EngineConfig::default()
+            },
         );
-        assert!(err.is_err());
+        assert!(
+            matches!(err, Err(ProphetError::InvalidConfig(_))),
+            "{err:?}"
+        );
     }
 
     #[test]
     fn basis_capacity_evicts_oldest() {
-        let e = engine(EngineConfig { basis_capacity: 2, worlds_per_point: 16, ..EngineConfig::default() });
+        let e = engine(EngineConfig {
+            basis_capacity: 2,
+            worlds_per_point: 16,
+            ..EngineConfig::default()
+        });
         let p1 = demo_point(1, 16, 36, 12);
         let p2 = demo_point(50, 0, 4, 44); // very different; won't map
         let p3 = demo_point(25, 16, 16, 12);
@@ -714,7 +717,11 @@ mod tests {
         // Capacity 2: one simulated source, one mapped entry. Inserting a
         // third (simulated) point must evict the mapped entry, because the
         // simulated source is what future matches depend on.
-        let e = engine(EngineConfig { basis_capacity: 2, worlds_per_point: 16, ..EngineConfig::default() });
+        let e = engine(EngineConfig {
+            basis_capacity: 2,
+            worlds_per_point: 16,
+            ..EngineConfig::default()
+        });
         let source = demo_point(5, 16, 36, 12);
         let mapped = demo_point(5, 16, 36, 36); // identity-maps from source
         let unrelated = demo_point(50, 0, 4, 44);
@@ -731,6 +738,26 @@ mod tests {
             matches!(o3, EvalOutcome::Mapped { ref from, .. } if *from == source),
             "source entry must survive eviction, got {o3:?}"
         );
+    }
+
+    #[test]
+    fn engines_sharing_a_store_reuse_each_others_work() {
+        let scenario = Scenario::figure2().unwrap();
+        let registry = Arc::new(demo_registry());
+        let store = SharedBasisStore::new(1024);
+        let cfg = small_config();
+        let a =
+            Engine::with_basis_store(&scenario, Arc::clone(&registry), cfg, store.clone()).unwrap();
+        let b = Engine::with_basis_store(&scenario, registry, cfg, store).unwrap();
+        let p = demo_point(10, 16, 36, 12);
+        let (sa, oa) = a.evaluate(&p).unwrap();
+        assert_eq!(oa, EvalOutcome::Simulated);
+        // The *other* engine sees the first one's basis entry.
+        let (sb, ob) = b.evaluate(&p).unwrap();
+        assert_eq!(ob, EvalOutcome::Cached);
+        assert_eq!(sa.samples("demand"), sb.samples("demand"));
+        assert_eq!(b.metrics().worlds_simulated, 0, "engine b never simulated");
+        assert!(a.basis_store().shares_storage_with(b.basis_store()));
     }
 
     #[test]

@@ -90,7 +90,9 @@ impl ExplorationMap {
     /// ignored. Mapping edges are recorded when both endpoints lie on the
     /// slice.
     pub fn record(&mut self, point: &ParamPoint, outcome: &EvalOutcome) {
-        let Some(idx) = self.index_of(point) else { return };
+        let Some(idx) = self.index_of(point) else {
+            return;
+        };
         match outcome {
             EvalOutcome::Simulated => self.counts[idx].0 += 1,
             EvalOutcome::Mapped { from, .. } => {
@@ -101,7 +103,10 @@ impl ExplorationMap {
                     point.get(&self.x_param),
                     point.get(&self.y_param),
                 ) {
-                    let edge = MappingEdge { from: (fx, fy), to: (tx, ty) };
+                    let edge = MappingEdge {
+                        from: (fx, fy),
+                        to: (tx, ty),
+                    };
                     if !self.edges.contains(&edge) {
                         self.edges.push(edge);
                     }
@@ -113,8 +118,7 @@ impl ExplorationMap {
 
     /// State of the cell at parameter values `(x, y)`.
     pub fn cell(&self, x: i64, y: i64) -> Option<CellState> {
-        let point =
-            ParamPoint::from_pairs([(self.x_param.clone(), x), (self.y_param.clone(), y)]);
+        let point = ParamPoint::from_pairs([(self.x_param.clone(), x), (self.y_param.clone(), y)]);
         let idx = self.index_of(&point)?;
         let (sim, mapped, cached) = self.counts[idx];
         Some(if sim > 0 {
@@ -219,7 +223,10 @@ mod tests {
     use prophet_sql::ast::ParameterDomain;
 
     fn decl(name: &str, lo: i64, hi: i64, step: i64) -> ParameterDecl {
-        ParameterDecl { name: name.into(), domain: ParameterDomain::Range { lo, hi, step } }
+        ParameterDecl {
+            name: name.into(),
+            domain: ParameterDomain::Range { lo, hi, step },
+        }
     }
 
     fn map() -> ExplorationMap {
@@ -234,7 +241,13 @@ mod tests {
     fn records_and_classifies_cells() {
         let mut m = map();
         m.record(&point(0, 0), &EvalOutcome::Simulated);
-        m.record(&point(4, 0), &EvalOutcome::Mapped { from: point(0, 0), exact: true });
+        m.record(
+            &point(4, 0),
+            &EvalOutcome::Mapped {
+                from: point(0, 0),
+                exact: true,
+            },
+        );
         m.record(&point(8, 0), &EvalOutcome::Cached);
         assert_eq!(m.cell(0, 0), Some(CellState::Computed));
         assert_eq!(m.cell(4, 0), Some(CellState::Mapped));
@@ -246,7 +259,13 @@ mod tests {
     #[test]
     fn simulation_dominates_mapping_in_cell_state() {
         let mut m = map();
-        m.record(&point(0, 0), &EvalOutcome::Mapped { from: point(4, 0), exact: true });
+        m.record(
+            &point(0, 0),
+            &EvalOutcome::Mapped {
+                from: point(4, 0),
+                exact: true,
+            },
+        );
         m.record(&point(0, 0), &EvalOutcome::Simulated);
         assert_eq!(m.cell(0, 0), Some(CellState::Computed));
     }
@@ -254,11 +273,20 @@ mod tests {
     #[test]
     fn edges_are_deduplicated() {
         let mut m = map();
-        let o = EvalOutcome::Mapped { from: point(0, 0), exact: true };
+        let o = EvalOutcome::Mapped {
+            from: point(0, 0),
+            exact: true,
+        };
         m.record(&point(4, 4), &o);
         m.record(&point(4, 4), &o);
         assert_eq!(m.edges().len(), 1);
-        assert_eq!(m.edges()[0], MappingEdge { from: (0, 0), to: (4, 4) });
+        assert_eq!(
+            m.edges()[0],
+            MappingEdge {
+                from: (0, 0),
+                to: (4, 4)
+            }
+        );
     }
 
     #[test]
@@ -277,8 +305,20 @@ mod tests {
         let mut m = map();
         assert_eq!(m.reuse_fraction(), 0.0);
         m.record(&point(0, 0), &EvalOutcome::Simulated);
-        m.record(&point(4, 0), &EvalOutcome::Mapped { from: point(0, 0), exact: true });
-        m.record(&point(8, 0), &EvalOutcome::Mapped { from: point(0, 0), exact: true });
+        m.record(
+            &point(4, 0),
+            &EvalOutcome::Mapped {
+                from: point(0, 0),
+                exact: true,
+            },
+        );
+        m.record(
+            &point(8, 0),
+            &EvalOutcome::Mapped {
+                from: point(0, 0),
+                exact: true,
+            },
+        );
         assert!((m.reuse_fraction() - 2.0 / 3.0).abs() < 1e-12);
     }
 
@@ -286,10 +326,19 @@ mod tests {
     fn ascii_and_csv_renderings() {
         let mut m = map();
         m.record(&point(0, 0), &EvalOutcome::Simulated);
-        m.record(&point(4, 0), &EvalOutcome::Mapped { from: point(0, 0), exact: true });
+        m.record(
+            &point(4, 0),
+            &EvalOutcome::Mapped {
+                from: point(0, 0),
+                exact: true,
+            },
+        );
         let ascii = m.render_ascii();
         assert!(ascii.contains("# computed"));
-        assert!(ascii.contains("0 | # +"), "row 0 shows computed then mapped:\n{ascii}");
+        assert!(
+            ascii.contains("0 | # +"),
+            "row 0 shows computed then mapped:\n{ascii}"
+        );
         let csv = m.to_csv();
         assert!(csv.starts_with("purchase1,purchase2,state\n"));
         assert!(csv.contains("0,0,computed"));

@@ -10,19 +10,24 @@
 //!
 //! ## Quick start
 //!
+//! The front door is the [`service::Prophet`] facade: a long-lived service
+//! that registers scenarios by name and hands out sessions which share one
+//! basis store per scenario — what any session simulates, every other
+//! session re-maps or serves from cache.
+//!
 //! ```
 //! use fuzzy_prophet::prelude::*;
 //!
-//! // The paper's Figure-2 scenario, verbatim.
-//! let scenario = Scenario::figure2().unwrap();
+//! let prophet = Prophet::builder()
+//!     // The paper's Figure-2 scenario, verbatim.
+//!     .scenario("figure2", Scenario::figure2().unwrap())
+//!     .registry(prophet_models::demo_registry())
+//!     .config(EngineConfig { worlds_per_point: 64, ..EngineConfig::default() })
+//!     .build()
+//!     .unwrap();
 //!
 //! // Online mode: interactive sliders + live graph.
-//! let mut session = OnlineSession::new(
-//!     scenario,
-//!     prophet_models::demo_registry(),
-//!     EngineConfig { worlds_per_point: 64, ..EngineConfig::default() },
-//! )
-//! .unwrap();
+//! let mut session = prophet.online("figure2").unwrap();
 //! let first = session.refresh().unwrap();
 //! assert_eq!(first.weeks_cached, 0); // cold start: nothing reusable yet
 //!
@@ -30,48 +35,94 @@
 //! // re-simulated.
 //! let report = session.set_param("purchase2", 40).unwrap();
 //! assert!(report.weeks_simulated < first.weeks_simulated);
+//!
+//! // A second session starts warm: its first render reuses everything the
+//! // first session computed through the shared basis store.
+//! let mut another = prophet.online("figure2").unwrap();
+//! let warm = another.refresh().unwrap();
+//! assert_eq!(warm.weeks_simulated, 0);
+//!
+//! // Typed errors replace string matching.
+//! match session.set_param("nope", 0) {
+//!     Err(ProphetError::UnknownParam { available, .. }) => {
+//!         assert_eq!(available, ["feature", "purchase1", "purchase2"]);
+//!     }
+//!     other => panic!("{other:?}"),
+//! }
 //! ```
 //!
-//! ## Architecture (paper Figure 1)
+//! ## Architecture (paper Figure 1, service edition)
 //!
 //! ```text
-//!   ┌──────────┐  instances   ┌──────────────────┐  pure TSQL  ┌────────────┐
-//!   │  Guide    │ ───────────▶ │  Query Generator │ ──────────▶ │ SQL engine │
-//!   └────▲─────┘              └──────────────────┘             └──────┬─────┘
-//!        │  metrics                   basis hits                      │ rows
-//!   ┌────┴────────────┐        ┌──────────────────┐                   │
-//!   │ Result          │ ◀──────│ Storage Manager  │ ◀─────────────────┘
-//!   │ Aggregator      │        │ (basis store +   │
-//!   └─────────────────┘        │  fingerprints)   │
-//!                              └──────────────────┘
+//!                        ┌───────────────────────────────────────────┐
+//!                        │              Prophet service              │
+//!   online("figure2") ──▶│  scenarios by name · registry · config    │◀── offline("figure2")
+//!                        └────────┬─────────────────────────┬────────┘
+//!                                 ▼                         ▼
+//!                        ┌────────────────┐        ┌────────────────┐
+//!                        │ OnlineSession  │  ····  │ OfflineOptimizer│
+//!                        │ (Guide plug-in)│        │ (grid sweep)   │
+//!                        └───────┬────────┘        └───────┬────────┘
+//!                                ▼     per-session Engine  ▼
+//!        ┌──────────┐  instances   ┌──────────────────┐  pure TSQL  ┌────────────┐
+//!        │  Guide    │ ───────────▶ │  Query Generator │ ──────────▶ │ SQL engine │
+//!        └────▲─────┘              └──────────────────┘             └──────┬─────┘
+//!             │  metrics                   basis hits                      │ rows
+//!        ┌────┴────────────┐        ┌──────────────────────────┐           │
+//!        │ Result          │ ◀──────│ SharedBasisStore         │ ◀─────────┘
+//!        │ Aggregator      │        │ (one per scenario, shared│
+//!        └─────────────────┘        │  by every session)       │
+//!                                   └──────────────────────────┘
 //! ```
 //!
-//! [`engine::Engine`] implements the cycle; [`online::OnlineSession`] and
+//! [`engine::Engine`] implements the cycle; [`session::OnlineSession`] and
 //! [`offline::OfflineOptimizer`] are the two user-facing modes from the
-//! paper's demonstration.
+//! paper's demonstration, now handed out by [`service::Prophet`]. Every
+//! public API reports failures as the typed [`error::ProphetError`] — no
+//! raw SQL-layer errors escape this crate.
+//!
+//! ## Migrating from the 0.1 session-per-struct API
+//!
+//! | 0.1 | 0.2 |
+//! |-----|-----|
+//! | `OnlineSession::new(scenario, registry, config)` | `Prophet::builder().scenario(name, scenario).registry(registry).config(config).build()?.online(name)?` |
+//! | `OfflineOptimizer::new(scenario, registry, config)` | `…build()?.offline(name)?` |
+//! | `Err(SqlError::Eval(msg))` | structured [`error::ProphetError`] variants |
+//!
+//! The 0.1 constructors remain as deprecated shims for one release; each
+//! builds a private engine with an *unshared* basis store, exactly as
+//! before.
 
 pub mod engine;
+pub mod error;
 pub mod exploration;
 pub mod metrics;
 pub mod offline;
 pub mod online;
 pub mod render;
 pub mod scenario;
+pub mod service;
+pub mod session;
 
 pub use engine::{Engine, EngineConfig, EvalOutcome};
+pub use error::{ProphetError, ProphetResult};
 pub use exploration::{CellState, ExplorationMap};
 pub use metrics::EngineMetrics;
 pub use offline::{OfflineOptimizer, OfflineReport, OptimizeAnswer};
-pub use online::{AdjustReport, OnlineSession, ProgressiveEstimate};
 pub use scenario::Scenario;
+pub use service::{Prophet, ProphetBuilder};
+pub use session::{AdjustReport, OnlineSession, ProgressiveEstimate};
 
 /// Convenience re-exports for applications.
 pub mod prelude {
     pub use crate::engine::{Engine, EngineConfig, EvalOutcome};
+    pub use crate::error::{ProphetError, ProphetResult};
     pub use crate::exploration::{CellState, ExplorationMap};
     pub use crate::metrics::EngineMetrics;
     pub use crate::offline::{OfflineOptimizer, OfflineReport, OptimizeAnswer};
-    pub use crate::online::{AdjustReport, OnlineSession, ProgressiveEstimate};
     pub use crate::scenario::Scenario;
-    pub use prophet_mc::ParamPoint;
+    pub use crate::service::{Prophet, ProphetBuilder};
+    pub use crate::session::{AdjustReport, OnlineSession, ProgressiveEstimate};
+    pub use prophet_mc::guide::{Guide, GuideFactory};
+    pub use prophet_mc::{ParamPoint, SharedBasisStore};
 }

@@ -70,7 +70,9 @@ impl EngineMetrics {
             worlds_simulated: self.worlds_simulated - earlier.worlds_simulated,
             probe_evaluations: self.probe_evaluations - earlier.probe_evaluations,
             simulation_time: self.simulation_time.saturating_sub(earlier.simulation_time),
-            fingerprint_time: self.fingerprint_time.saturating_sub(earlier.fingerprint_time),
+            fingerprint_time: self
+                .fingerprint_time
+                .saturating_sub(earlier.fingerprint_time),
         }
     }
 }
@@ -126,7 +128,11 @@ mod tests {
             ..EngineMetrics::default()
         };
         let mut b = a;
-        let extra = EngineMetrics { points_mapped: 3, probe_evaluations: 96, ..EngineMetrics::default() };
+        let extra = EngineMetrics {
+            points_mapped: 3,
+            probe_evaluations: 96,
+            ..EngineMetrics::default()
+        };
         b.merge(&extra);
         let diff = b.since(&a);
         assert_eq!(diff.points_mapped, 3);

@@ -21,10 +21,10 @@ use std::time::{Duration, Instant};
 use prophet_mc::guide::{GridGuide, Guide};
 use prophet_mc::ParamPoint;
 use prophet_sql::ast::{AggMetric, ObjectiveDirection, OptimizeSpec, OuterAgg, ParameterDecl};
-use prophet_sql::error::{SqlError, SqlResult};
 use prophet_vg::VgRegistry;
 
 use crate::engine::{Engine, EngineConfig, EvalOutcome};
+use crate::error::{ProphetError, ProphetResult};
 use crate::metrics::EngineMetrics;
 use crate::scenario::Scenario;
 
@@ -69,14 +69,27 @@ pub struct OfflineOptimizer {
     axis_decls: Vec<ParameterDecl>,
 }
 
+impl std::fmt::Debug for OfflineOptimizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OfflineOptimizer")
+            .field("spec", &self.spec)
+            .field("engine", &self.engine)
+            .finish_non_exhaustive()
+    }
+}
+
 impl OfflineOptimizer {
-    /// Build an optimizer; the scenario must carry an OPTIMIZE directive.
-    pub fn new(scenario: Scenario, registry: VgRegistry, config: EngineConfig) -> SqlResult<Self> {
-        let script = scenario.script().clone();
+    /// Open an optimizer over an already-built engine; the scenario must
+    /// carry an OPTIMIZE directive. Engines built by the
+    /// [`Prophet`](crate::service::Prophet) service share the scenario's
+    /// basis store, so offline sweeps reuse what online sessions simulated
+    /// (and vice versa).
+    pub fn open(engine: Engine) -> ProphetResult<Self> {
+        let script = engine.script();
         let spec = script
             .optimize
             .clone()
-            .ok_or_else(|| SqlError::Eval("offline mode requires an OPTIMIZE directive".into()))?;
+            .ok_or(ProphetError::MissingOptimizeDirective)?;
         let group_decls: Vec<ParameterDecl> = script
             .params
             .iter()
@@ -89,8 +102,25 @@ impl OfflineOptimizer {
             .filter(|p| !spec.select_params.contains(&p.name))
             .cloned()
             .collect();
-        let engine = Engine::new(&scenario, registry, config)?;
-        Ok(OfflineOptimizer { engine, spec, group_decls, axis_decls })
+        Ok(OfflineOptimizer {
+            engine,
+            spec,
+            group_decls,
+            axis_decls,
+        })
+    }
+
+    /// Build an optimizer by assembling the engine in place.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Prophet::builder()…offline(name)`, or `OfflineOptimizer::open(engine)`"
+    )]
+    pub fn new(
+        scenario: Scenario,
+        registry: VgRegistry,
+        config: EngineConfig,
+    ) -> ProphetResult<Self> {
+        OfflineOptimizer::open(Engine::new(&scenario, registry, config)?)
     }
 
     /// The underlying engine.
@@ -105,11 +135,14 @@ impl OfflineOptimizer {
 
     /// Number of groups the sweep will examine.
     pub fn groups_total(&self) -> usize {
-        self.group_decls.iter().map(|d| d.domain.cardinality()).product()
+        self.group_decls
+            .iter()
+            .map(|d| d.domain.cardinality())
+            .product()
     }
 
     /// Run the full sweep.
-    pub fn run(&self) -> SqlResult<OfflineReport> {
+    pub fn run(&self) -> ProphetResult<OfflineReport> {
         self.run_with_observer(|_, _, _| {})
     }
 
@@ -119,7 +152,7 @@ impl OfflineOptimizer {
     pub fn run_with_observer(
         &self,
         mut observer: impl FnMut(&ParamPoint, &ParamPoint, &EvalOutcome),
-    ) -> SqlResult<OfflineReport> {
+    ) -> ProphetResult<OfflineReport> {
         let start = Instant::now();
         let before = self.engine.metrics();
         let mut answers = Vec::with_capacity(self.groups_total());
@@ -153,9 +186,13 @@ impl OfflineOptimizer {
         &self,
         group: &ParamPoint,
         observer: &mut impl FnMut(&ParamPoint, &ParamPoint, &EvalOutcome),
-    ) -> SqlResult<OptimizeAnswer> {
-        let mut aggs: Vec<OuterAccumulator> =
-            self.spec.constraints.iter().map(|c| OuterAccumulator::new(c.outer)).collect();
+    ) -> ProphetResult<OptimizeAnswer> {
+        let mut aggs: Vec<OuterAccumulator> = self
+            .spec
+            .constraints
+            .iter()
+            .map(|c| OuterAccumulator::new(c.outer))
+            .collect();
 
         let mut axis = GridGuide::new(&self.axis_decls);
         while let Some(axis_point) = axis.next_point() {
@@ -171,7 +208,10 @@ impl OfflineOptimizer {
                     AggMetric::ExpectStdDev => samples.expect_std_dev(&constraint.column),
                 }
                 .ok_or_else(|| {
-                    SqlError::Eval(format!("unknown constraint column `{}`", constraint.column))
+                    ProphetError::unknown_column(
+                        constraint.column.clone(),
+                        self.engine.output_columns(),
+                    )
                 })?;
                 acc.push(metric);
             }
@@ -184,7 +224,11 @@ impl OfflineOptimizer {
             .iter()
             .zip(&constraint_values)
             .all(|(c, &v)| v.is_finite() && c.op.test(v.partial_cmp(&c.threshold)));
-        Ok(OptimizeAnswer { point: group.clone(), constraint_values, feasible })
+        Ok(OptimizeAnswer {
+            point: group.clone(),
+            constraint_values,
+            feasible,
+        })
     }
 
     /// Lexicographic objective comparison: earlier objectives dominate.
@@ -266,19 +310,33 @@ WHERE MAX(EXPECT load) <= 6.05
 GROUP BY x
 FOR MAX @x";
 
-    fn toy_optimizer() -> OfflineOptimizer {
-        OfflineOptimizer::new(
-            Scenario::parse(TOY).unwrap(),
+    fn optimizer_for(source: &str, worlds: usize) -> OfflineOptimizer {
+        let engine = Engine::new(
+            &Scenario::parse(source).unwrap(),
             demo_registry(),
-            EngineConfig { worlds_per_point: 8, ..EngineConfig::default() },
+            EngineConfig {
+                worlds_per_point: worlds,
+                ..EngineConfig::default()
+            },
         )
-        .unwrap()
+        .unwrap();
+        OfflineOptimizer::open(engine).unwrap()
+    }
+
+    fn toy_optimizer() -> OfflineOptimizer {
+        optimizer_for(TOY, 8)
     }
 
     #[test]
     fn requires_optimize_directive() {
-        let s = Scenario::parse("DECLARE PARAMETER @p AS SET (1);\nSELECT @p AS x INTO r;").unwrap();
-        assert!(OfflineOptimizer::new(s, demo_registry(), EngineConfig::default()).is_err());
+        let s =
+            Scenario::parse("DECLARE PARAMETER @p AS SET (1);\nSELECT @p AS x INTO r;").unwrap();
+        let engine = Engine::new(&s, demo_registry(), EngineConfig::default()).unwrap();
+        let err = OfflineOptimizer::open(engine);
+        assert!(
+            matches!(err, Err(ProphetError::MissingOptimizeDirective)),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -294,23 +352,25 @@ FOR MAX @x";
         assert_eq!(report.feasible().count(), 4);
         assert_eq!(report.answers.len(), 6);
         // feasible answers sorted best (largest x) first
-        let xs: Vec<i64> = report.feasible().map(|a| a.point.get("x").unwrap()).collect();
+        let xs: Vec<i64> = report
+            .feasible()
+            .map(|a| a.point.get("x").unwrap())
+            .collect();
         assert_eq!(xs, vec![6, 4, 2, 0]);
     }
 
     #[test]
     fn infeasible_thresholds_yield_no_best() {
         let src = TOY.replace("<= 6.05", "<= -1.0");
-        let opt = OfflineOptimizer::new(
-            Scenario::parse(&src).unwrap(),
-            demo_registry(),
-            EngineConfig { worlds_per_point: 4, ..EngineConfig::default() },
-        )
-        .unwrap();
+        let opt = optimizer_for(&src, 4);
         let report = opt.run().unwrap();
         assert!(report.best.is_none());
         assert_eq!(report.feasible().count(), 0);
-        assert_eq!(report.answers.len(), 6, "infeasible groups are still reported");
+        assert_eq!(
+            report.answers.len(),
+            6,
+            "infeasible groups are still reported"
+        );
     }
 
     #[test]
@@ -347,12 +407,7 @@ FOR MAX @x";
     #[test]
     fn min_objective_direction() {
         let src = TOY.replace("FOR MAX @x", "FOR MIN @x");
-        let opt = OfflineOptimizer::new(
-            Scenario::parse(&src).unwrap(),
-            demo_registry(),
-            EngineConfig { worlds_per_point: 4, ..EngineConfig::default() },
-        )
-        .unwrap();
+        let opt = optimizer_for(&src, 4);
         let report = opt.run().unwrap();
         assert_eq!(report.best.unwrap().point.get("x"), Some(0));
     }
@@ -379,6 +434,9 @@ FOR MAX @x";
         poisoned.push(1.0);
         poisoned.push(f64::NAN);
         poisoned.push(9.0);
-        assert!(poisoned.value().is_nan(), "NaN must not be masked by later maxima");
+        assert!(
+            poisoned.value().is_nan(),
+            "NaN must not be masked by later maxima"
+        );
     }
 }

@@ -48,13 +48,25 @@ pub fn ascii_chart(series: &[&Series], width: usize, height: usize) -> String {
     let y1 = axis_range(false);
     let y2 = axis_range(true);
 
-    let x_min = series.iter().filter_map(|s| s.points.first()).map(|p| p.x).min().unwrap_or(0);
-    let x_max = series.iter().filter_map(|s| s.points.last()).map(|p| p.x).max().unwrap_or(1);
+    let x_min = series
+        .iter()
+        .filter_map(|s| s.points.first())
+        .map(|p| p.x)
+        .min()
+        .unwrap_or(0);
+    let x_max = series
+        .iter()
+        .filter_map(|s| s.points.last())
+        .map(|p| p.x)
+        .max()
+        .unwrap_or(1);
     let x_span = (x_max - x_min).max(1) as f64;
 
     let mut grid = vec![vec![' '; width]; height];
     for (si, (s, &is_y2)) in series.iter().zip(&on_y2).enumerate() {
-        let Some((lo, hi)) = (if is_y2 { y2 } else { y1 }) else { continue };
+        let Some((lo, hi)) = (if is_y2 { y2 } else { y1 }) else {
+            continue;
+        };
         let glyph = GLYPHS[si % GLYPHS.len()];
         for p in &s.points {
             if !p.y.is_finite() {
@@ -76,7 +88,11 @@ pub fn ascii_chart(series: &[&Series], width: usize, height: usize) -> String {
             s.metric,
             s.column,
             if is_y2 { "y2" } else { "y1" },
-            if s.style.is_empty() { String::new() } else { format!(" ({})", s.style.join(" ")) },
+            if s.style.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", s.style.join(" "))
+            },
         );
     }
     // Axis captions.
@@ -101,7 +117,10 @@ pub fn ascii_chart(series: &[&Series], width: usize, height: usize) -> String {
 /// Export every series as one CSV document: `x,<col1 metric1>,<col2 …>,…`
 /// with one row per x value present in any series.
 pub fn series_csv(series: &[&Series]) -> String {
-    let mut xs: Vec<i64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.x)).collect();
+    let mut xs: Vec<i64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.x))
+        .collect();
     xs.sort_unstable();
     xs.dedup();
     let mut out = String::from("x");
@@ -150,8 +169,16 @@ mod tests {
 
     #[test]
     fn chart_contains_legend_axes_and_glyphs() {
-        let overload = series_with("overload", &["bold", "red"], &[(0, 0.0), (26, 0.5), (52, 1.0)]);
-        let capacity = series_with("capacity", &["blue", "y2"], &[(0, 10_000.0), (52, 14_000.0)]);
+        let overload = series_with(
+            "overload",
+            &["bold", "red"],
+            &[(0, 0.0), (26, 0.5), (52, 1.0)],
+        );
+        let capacity = series_with(
+            "capacity",
+            &["blue", "y2"],
+            &[(0, 10_000.0), (52, 14_000.0)],
+        );
         let chart = ascii_chart(&[&overload, &capacity], 60, 12);
         assert!(chart.contains("* EXPECT overload [y1] (bold red)"));
         assert!(chart.contains("o EXPECT capacity [y2] (blue y2)"));

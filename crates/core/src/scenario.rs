@@ -1,8 +1,9 @@
 //! Scenario: a parsed script plus the canonical demo text.
 
-use prophet_sql::error::SqlResult;
 use prophet_sql::parser::parse_script;
 use prophet_sql::Script;
+
+use crate::error::ProphetResult;
 
 /// The paper's Figure 2, verbatim (modulo whitespace): the "Risk vs Cost of
 /// Ownership" scenario for a Windows-Azure-style datacenter.
@@ -44,13 +45,16 @@ pub struct Scenario {
 
 impl Scenario {
     /// Parse a scenario from DSL text.
-    pub fn parse(source: &str) -> SqlResult<Scenario> {
+    pub fn parse(source: &str) -> ProphetResult<Scenario> {
         let script = parse_script(source)?;
-        Ok(Scenario { source: source.to_owned(), script })
+        Ok(Scenario {
+            source: source.to_owned(),
+            script,
+        })
     }
 
     /// The paper's Figure-2 scenario.
-    pub fn figure2() -> SqlResult<Scenario> {
+    pub fn figure2() -> ProphetResult<Scenario> {
         Scenario::parse(FIGURE2_SQL)
     }
 
@@ -67,7 +71,11 @@ impl Scenario {
 
     /// Size of the full parameter space (product of all domains).
     pub fn parameter_space_size(&self) -> usize {
-        self.script.params.iter().map(|p| p.domain.cardinality()).product()
+        self.script
+            .params
+            .iter()
+            .map(|p| p.domain.cardinality())
+            .product()
     }
 }
 

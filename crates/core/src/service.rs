@@ -1,0 +1,473 @@
+//! The [`Prophet`] service facade: a long-lived engine front door.
+//!
+//! The paper's demonstration is a single-user GUI, but a production
+//! deployment serves many concurrent what-if sessions over a catalog of
+//! scenarios. `Prophet` is that deployment shape: scenarios are registered
+//! once by name, the VG catalog and engine configuration are fixed at build
+//! time, and every session handed out by [`Prophet::online`] /
+//! [`Prophet::offline`] shares one basis store and fingerprint cache per
+//! scenario. A slider move in one session re-maps results simulated by
+//! another — the paper's fingerprint reuse, amortized across the whole
+//! service instead of trapped inside one session.
+//!
+//! ```
+//! use fuzzy_prophet::prelude::*;
+//!
+//! let prophet = Prophet::builder()
+//!     .scenario("figure2", Scenario::figure2().unwrap())
+//!     .registry(prophet_models::demo_registry())
+//!     .config(EngineConfig { worlds_per_point: 32, ..EngineConfig::default() })
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut first = prophet.online("figure2").unwrap();
+//! first.refresh().unwrap();
+//!
+//! // A second session reuses everything the first one computed.
+//! let mut second = prophet.online("figure2").unwrap();
+//! let report = second.refresh().unwrap();
+//! assert_eq!(report.weeks_simulated, 0);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use prophet_mc::guide::{Guide, GuideFactory, PriorityGuide};
+use prophet_mc::SharedBasisStore;
+use prophet_sql::ast::ParameterDecl;
+use prophet_vg::VgRegistry;
+
+use crate::engine::{Engine, EngineConfig};
+use crate::error::{ProphetError, ProphetResult};
+use crate::offline::OfflineOptimizer;
+use crate::scenario::Scenario;
+use crate::session::OnlineSession;
+
+/// The default exploration strategy: [`PriorityGuide`] with neighbour
+/// prefetch, as the paper's online mode describes.
+struct PriorityGuideFactory;
+
+impl GuideFactory for PriorityGuideFactory {
+    fn build(&self, decls: &[ParameterDecl]) -> Box<dyn Guide + Send> {
+        Box::new(PriorityGuide::new(decls))
+    }
+}
+
+/// One registered scenario plus its cross-session shared state.
+struct Slot {
+    scenario: Scenario,
+    store: SharedBasisStore,
+}
+
+/// Fluent builder for [`Prophet`]. Obtained from [`Prophet::builder`].
+pub struct ProphetBuilder {
+    scenarios: Vec<(String, Scenario)>,
+    registry: Option<Arc<VgRegistry>>,
+    config: EngineConfig,
+    guide_factory: Arc<dyn GuideFactory>,
+}
+
+impl std::fmt::Debug for ProphetBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProphetBuilder")
+            .field(
+                "scenarios",
+                &self.scenarios.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            )
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProphetBuilder {
+    fn new() -> Self {
+        ProphetBuilder {
+            scenarios: Vec::new(),
+            registry: None,
+            config: EngineConfig::default(),
+            guide_factory: Arc::new(PriorityGuideFactory),
+        }
+    }
+
+    /// Register a parsed scenario under a service-local name.
+    pub fn scenario(mut self, name: impl Into<String>, scenario: Scenario) -> Self {
+        self.scenarios.push((name.into(), scenario));
+        self
+    }
+
+    /// Parse and register a scenario from DSL text in one step.
+    pub fn scenario_sql(self, name: impl Into<String>, source: &str) -> ProphetResult<Self> {
+        Ok(self.scenario(name, Scenario::parse(source)?))
+    }
+
+    /// Select the VG-Function catalog scenarios resolve against. Defaults
+    /// to [`prophet_models::full_registry`] (every bundled model).
+    pub fn registry(mut self, registry: VgRegistry) -> Self {
+        self.registry = Some(Arc::new(registry));
+        self
+    }
+
+    /// Select an already-shared VG catalog (several services over one).
+    pub fn shared_registry(mut self, registry: Arc<VgRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Replace the whole engine configuration.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Convenience: set only the Monte Carlo worlds per point.
+    pub fn worlds_per_point(mut self, worlds: usize) -> Self {
+        self.config.worlds_per_point = worlds;
+        self
+    }
+
+    /// Plug in an exploration strategy: the factory builds one fresh
+    /// [`Guide`] per online session (guides are stateful and
+    /// session-local). Defaults to the paper's priority queue with
+    /// neighbour prefetch.
+    pub fn exploration(mut self, factory: impl GuideFactory + 'static) -> Self {
+        self.guide_factory = Arc::new(factory);
+        self
+    }
+
+    /// Validate and assemble the service.
+    pub fn build(self) -> ProphetResult<Prophet> {
+        if self.config.worlds_per_point == 0 {
+            return Err(ProphetError::InvalidConfig(
+                "worlds_per_point must be positive".into(),
+            ));
+        }
+        if self.config.basis_capacity == 0 {
+            return Err(ProphetError::InvalidConfig(
+                "basis_capacity must be positive".into(),
+            ));
+        }
+        let mut slots: HashMap<String, Slot> = HashMap::with_capacity(self.scenarios.len());
+        for (name, scenario) in self.scenarios {
+            if slots.contains_key(&name) {
+                return Err(ProphetError::DuplicateScenario { name });
+            }
+            let store = SharedBasisStore::new(self.config.basis_capacity);
+            slots.insert(name, Slot { scenario, store });
+        }
+        let registry = self
+            .registry
+            .unwrap_or_else(|| Arc::new(prophet_models::full_registry()));
+        Ok(Prophet {
+            registry,
+            config: self.config,
+            guide_factory: self.guide_factory,
+            slots,
+        })
+    }
+}
+
+/// A long-lived Fuzzy Prophet service: named scenarios, one shared basis
+/// store per scenario, sessions on demand.
+///
+/// `Prophet` is `Send + Sync`; hand out sessions from as many threads as
+/// you like — they contend only on the per-scenario basis store's
+/// read-write lock.
+pub struct Prophet {
+    registry: Arc<VgRegistry>,
+    config: EngineConfig,
+    guide_factory: Arc<dyn GuideFactory>,
+    slots: HashMap<String, Slot>,
+}
+
+impl std::fmt::Debug for Prophet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prophet")
+            .field("scenarios", &self.scenario_names())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Prophet {
+    /// Start configuring a service.
+    pub fn builder() -> ProphetBuilder {
+        ProphetBuilder::new()
+    }
+
+    /// Registered scenario names, sorted.
+    pub fn scenario_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.slots.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The registered scenario behind `name`.
+    pub fn scenario(&self, name: &str) -> ProphetResult<&Scenario> {
+        self.slot(name).map(|s| &s.scenario)
+    }
+
+    /// The service's engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The VG catalog every scenario resolves against.
+    pub fn registry(&self) -> &Arc<VgRegistry> {
+        &self.registry
+    }
+
+    /// Open an interactive online session on a named scenario. Every
+    /// session of one scenario shares the same basis store: what one
+    /// simulates, the others re-map or serve from cache.
+    pub fn online(&self, name: &str) -> ProphetResult<OnlineSession> {
+        let slot = self.slot(name)?;
+        let engine = self.engine_for(slot)?;
+        let guide = self.guide_factory.build(&slot.scenario.script().params);
+        OnlineSession::open_with_guide(engine, guide)
+    }
+
+    /// Open an offline optimizer on a named scenario, sharing the same
+    /// basis store as the online sessions.
+    pub fn offline(&self, name: &str) -> ProphetResult<OfflineOptimizer> {
+        let slot = self.slot(name)?;
+        OfflineOptimizer::open(self.engine_for(slot)?)
+    }
+
+    /// A raw engine on a named scenario's shared store (for batch jobs and
+    /// experiments that drive [`Engine::evaluate`] directly).
+    pub fn engine(&self, name: &str) -> ProphetResult<Engine> {
+        let slot = self.slot(name)?;
+        self.engine_for(slot)
+    }
+
+    /// Number of basis entries currently shared by `name`'s sessions.
+    pub fn basis_len(&self, name: &str) -> ProphetResult<usize> {
+        self.slot(name).map(|s| s.store.len())
+    }
+
+    /// Drop a scenario's shared basis entries (forces cold starts
+    /// everywhere).
+    pub fn clear_basis(&self, name: &str) -> ProphetResult<()> {
+        self.slot(name).map(|s| s.store.clear())
+    }
+
+    fn slot(&self, name: &str) -> ProphetResult<&Slot> {
+        self.slots.get(name).ok_or_else(|| {
+            ProphetError::unknown_scenario(name, self.slots.keys().cloned().collect())
+        })
+    }
+
+    fn engine_for(&self, slot: &Slot) -> ProphetResult<Engine> {
+        Engine::with_basis_store(
+            &slot.scenario,
+            Arc::clone(&self.registry),
+            self.config,
+            slot.store.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_mc::ParamPoint;
+    use prophet_models::demo_registry;
+
+    fn demo_service(worlds: usize) -> Prophet {
+        Prophet::builder()
+            .scenario("figure2", Scenario::figure2().unwrap())
+            .registry(demo_registry())
+            .config(EngineConfig {
+                worlds_per_point: worlds,
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let p = demo_service(16);
+        assert_eq!(p.scenario_names(), ["figure2"]);
+        assert_eq!(p.config().worlds_per_point, 16);
+        assert_eq!(p.scenario("figure2").unwrap().script().params.len(), 4);
+        assert_eq!(p.basis_len("figure2").unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_scenario_lists_registered_names() {
+        let p = demo_service(8);
+        match p.online("nope") {
+            Err(ProphetError::UnknownScenario { name, available }) => {
+                assert_eq!(name, "nope");
+                assert_eq!(available, ["figure2"]);
+            }
+            other => panic!("expected UnknownScenario, got {other:?}"),
+        }
+        assert!(p.offline("nope").is_err());
+        assert!(p.engine("nope").is_err());
+        assert!(p.basis_len("nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_scenario_names_are_rejected() {
+        let err = Prophet::builder()
+            .scenario("a", Scenario::figure2().unwrap())
+            .scenario("a", Scenario::figure2().unwrap())
+            .build();
+        assert!(
+            matches!(err, Err(ProphetError::DuplicateScenario { ref name }) if name == "a"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_build() {
+        let err = Prophet::builder().worlds_per_point(0).build();
+        assert!(
+            matches!(err, Err(ProphetError::InvalidConfig(_))),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn scenario_sql_parses_inline() {
+        let p = Prophet::builder()
+            .scenario_sql(
+                "toy",
+                "DECLARE PARAMETER @x AS SET (1,2);\nSELECT @x AS y INTO r;",
+            )
+            .unwrap()
+            .registry(demo_registry())
+            .build()
+            .unwrap();
+        let engine = p.engine("toy").unwrap();
+        let point = ParamPoint::from_pairs([("x", 2i64)]);
+        assert_eq!(engine.expect(&point, "y").unwrap(), 2.0);
+        // no GRAPH directive → online mode unavailable, typed
+        assert!(matches!(
+            p.online("toy"),
+            Err(ProphetError::MissingGraphDirective)
+        ));
+    }
+
+    #[test]
+    fn sessions_share_one_basis_store_per_scenario() {
+        let p = demo_service(24);
+        let mut first = p.online("figure2").unwrap();
+        let cold = first.refresh().unwrap();
+        assert!(cold.weeks_simulated > 0);
+        let shared_after_first = p.basis_len("figure2").unwrap();
+        assert!(
+            shared_after_first > 0,
+            "first session populated the shared store"
+        );
+
+        // The second session's very first render is fully reused.
+        let mut second = p.online("figure2").unwrap();
+        let warm = second.refresh().unwrap();
+        assert_eq!(warm.weeks_simulated, 0, "{warm:?}");
+        assert_eq!(warm.weeks_reused(), warm.weeks_total);
+        assert!(
+            first
+                .engine()
+                .basis_store()
+                .shares_storage_with(second.engine().basis_store()),
+            "both sessions must hold handles onto one store"
+        );
+    }
+
+    #[test]
+    fn offline_and_online_share_the_store_too() {
+        let p = Prophet::builder()
+            .scenario("figure2", Scenario::figure2().unwrap())
+            .registry(demo_registry())
+            .config(EngineConfig {
+                worlds_per_point: 8,
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap();
+        let mut online = p.online("figure2").unwrap();
+        online.refresh().unwrap();
+        let populated = p.basis_len("figure2").unwrap();
+        let offline = p.offline("figure2").unwrap();
+        assert_eq!(offline.engine().basis_len(), populated);
+        p.clear_basis("figure2").unwrap();
+        assert_eq!(offline.engine().basis_len(), 0);
+    }
+
+    #[test]
+    fn exploration_strategy_is_pluggable() {
+        struct Inert;
+        impl Guide for Inert {
+            fn next_point(&mut self) -> Option<ParamPoint> {
+                None
+            }
+        }
+        struct InertFactory;
+        impl GuideFactory for InertFactory {
+            fn build(&self, _: &[ParameterDecl]) -> Box<dyn Guide + Send> {
+                Box::new(Inert)
+            }
+        }
+        let p = Prophet::builder()
+            .scenario("figure2", Scenario::figure2().unwrap())
+            .registry(demo_registry())
+            .worlds_per_point(8)
+            .exploration(InertFactory)
+            .build()
+            .unwrap();
+        let mut s = p.online("figure2").unwrap();
+        s.set_param("purchase2", 36).unwrap();
+        assert_eq!(
+            s.prefetch_tick(8).unwrap(),
+            0,
+            "inert strategy queues nothing"
+        );
+    }
+
+    #[test]
+    fn closures_work_as_guide_factories() {
+        let p = Prophet::builder()
+            .scenario("figure2", Scenario::figure2().unwrap())
+            .registry(demo_registry())
+            .worlds_per_point(8)
+            .exploration(|decls: &[ParameterDecl]| {
+                Box::new(PriorityGuide::new(decls)) as Box<dyn Guide + Send>
+            })
+            .build()
+            .unwrap();
+        let mut s = p.online("figure2").unwrap();
+        s.set_param("purchase2", 36).unwrap();
+        assert_eq!(
+            s.prefetch_tick(8).unwrap(),
+            2,
+            "closure built a real PriorityGuide"
+        );
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Prophet>();
+    }
+
+    #[test]
+    fn concurrent_sessions_from_multiple_threads() {
+        let p = std::sync::Arc::new(demo_service(8));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let p = std::sync::Arc::clone(&p);
+                std::thread::spawn(move || {
+                    let mut s = p.online("figure2").unwrap();
+                    s.refresh().unwrap().weeks_total
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 53);
+        }
+        assert!(p.basis_len("figure2").unwrap() > 0);
+    }
+}

@@ -1,0 +1,525 @@
+//! Online sessions: user-directed parameter exploration.
+//!
+//! §3.2: guests set slider values; the first render "takes a few dozen
+//! seconds to generate accurate statistics"; on a second adjustment "only
+//! portions of the graph changed by the adjustment are re-rendered"; and
+//! the GUI shows "which parameter values are proactively being explored
+//! anticipating their future usage".
+//!
+//! [`OnlineSession`] reproduces those behaviours programmatically: sliders
+//! are `set_param` calls, the graph is a set of [`Series`], each adjustment
+//! returns an [`AdjustReport`] saying how many weeks were re-simulated vs
+//! re-mapped vs untouched, and idle time can be donated to
+//! [`OnlineSession::prefetch_tick`].
+//!
+//! Sessions are normally opened through
+//! [`Prophet::online`](crate::service::Prophet::online), which wires every
+//! session of a scenario onto one shared basis store — what one session
+//! simulates, another re-maps.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use prophet_mc::aggregate::Welford;
+use prophet_mc::guide::{Guide, PriorityGuide};
+use prophet_mc::{ParamPoint, Series};
+use prophet_sql::ast::GraphDirective;
+use prophet_vg::VgRegistry;
+
+use crate::engine::{Engine, EngineConfig, EvalOutcome};
+use crate::error::{ProphetError, ProphetResult};
+use crate::scenario::Scenario;
+
+/// What one slider adjustment (or initial render) cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdjustReport {
+    /// X-axis values in the graph (weeks in the demo).
+    pub weeks_total: usize,
+    /// Weeks whose distributions were fully re-simulated.
+    pub weeks_simulated: usize,
+    /// Weeks re-mapped from correlated basis entries.
+    pub weeks_mapped: usize,
+    /// Weeks served from the exact cache (unchanged by the adjustment).
+    pub weeks_cached: usize,
+    /// Wall-clock time for the refresh.
+    pub wall: Duration,
+}
+
+impl AdjustReport {
+    /// Fraction of the graph that needed fresh simulation — the paper's
+    /// "only portions of the graph … are re-rendered" claim quantified.
+    pub fn rerender_fraction(&self) -> f64 {
+        if self.weeks_total == 0 {
+            0.0
+        } else {
+            self.weeks_simulated as f64 / self.weeks_total as f64
+        }
+    }
+
+    /// Weeks served without fresh simulation (mapped + cached).
+    pub fn weeks_reused(&self) -> usize {
+        self.weeks_mapped + self.weeks_cached
+    }
+}
+
+/// Result of a progressive (anytime) estimate — experiment E8's
+/// time-to-first-accurate-guess measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressiveEstimate {
+    /// The converged (or best-effort) expectation.
+    pub estimate: f64,
+    /// Worlds consumed before convergence.
+    pub worlds_used: usize,
+    /// Whether a basis distribution seeded the estimate.
+    pub used_basis: bool,
+    /// Whether the convergence criterion was met.
+    pub converged: bool,
+}
+
+/// An interactive what-if session over one scenario.
+pub struct OnlineSession {
+    engine: Engine,
+    graph: GraphDirective,
+    x_values: Vec<i64>,
+    sliders: ParamPoint,
+    series: Vec<Series>,
+    guide: Box<dyn Guide + Send>,
+    adjustments: u64,
+}
+
+impl std::fmt::Debug for OnlineSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnlineSession")
+            .field("sliders", &self.sliders)
+            .field("adjustments", &self.adjustments)
+            .field("engine", &self.engine)
+            .finish_non_exhaustive()
+    }
+}
+
+impl OnlineSession {
+    /// Open a session over an already-built engine, using the default
+    /// [`PriorityGuide`] prefetch policy. The scenario must carry a
+    /// `GRAPH OVER` directive; sliders for every non-axis parameter start
+    /// at their domain minimum.
+    pub fn open(engine: Engine) -> ProphetResult<Self> {
+        let guide = Box::new(PriorityGuide::new(&engine.script().params));
+        OnlineSession::open_with_guide(engine, guide)
+    }
+
+    /// Open a session with an explicit exploration strategy — the
+    /// [`Prophet`](crate::service::Prophet) builder's `.exploration(…)`
+    /// hook lands here.
+    pub fn open_with_guide(engine: Engine, guide: Box<dyn Guide + Send>) -> ProphetResult<Self> {
+        let script = engine.script();
+        let graph = script
+            .graph
+            .clone()
+            .ok_or(ProphetError::MissingGraphDirective)?;
+        let x_decl = script.param(&graph.x_param).ok_or_else(|| {
+            ProphetError::unknown_param(
+                graph.x_param.clone(),
+                script.params.iter().map(|p| p.name.clone()).collect(),
+            )
+        })?;
+        let x_values = x_decl.domain.values();
+        let mut sliders = ParamPoint::new();
+        for p in &script.params {
+            if p.name != graph.x_param {
+                sliders.set(p.name.clone(), p.domain.values()[0]);
+            }
+        }
+        let series = graph.series.iter().map(Series::new).collect();
+        Ok(OnlineSession {
+            engine,
+            graph,
+            x_values,
+            sliders,
+            series,
+            guide,
+            adjustments: 0,
+        })
+    }
+
+    /// Start a session by assembling the engine in place.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Prophet::builder()…online(name)`, or `OnlineSession::open(engine)`"
+    )]
+    pub fn new(
+        scenario: Scenario,
+        registry: VgRegistry,
+        config: EngineConfig,
+    ) -> ProphetResult<Self> {
+        OnlineSession::open(Engine::new(&scenario, registry, config)?)
+    }
+
+    /// Current slider values (everything but the graph axis).
+    pub fn sliders(&self) -> &ParamPoint {
+        &self.sliders
+    }
+
+    /// Names of the adjustable parameters (everything but the graph axis),
+    /// sorted.
+    pub fn slider_names(&self) -> Vec<String> {
+        self.sliders.iter().map(|(n, _)| n.to_owned()).collect()
+    }
+
+    /// The plotted series (column order follows the GRAPH directive).
+    pub fn graph(&self) -> &[Series] {
+        &self.series
+    }
+
+    /// One series by column name.
+    pub fn series(&self, column: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.column == column)
+    }
+
+    /// The engine (metrics, basis introspection).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Number of slider adjustments performed so far.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// Set one slider and refresh the graph. Returns what the refresh cost.
+    ///
+    /// Unknown names yield [`ProphetError::UnknownParam`] listing the valid
+    /// sliders; the graph axis yields [`ProphetError::AxisParam`]; off-grid
+    /// values yield [`ProphetError::OutOfDomain`].
+    pub fn set_param(&mut self, name: &str, value: i64) -> ProphetResult<AdjustReport> {
+        if name == self.graph.x_param {
+            return Err(ProphetError::AxisParam {
+                name: name.to_owned(),
+            });
+        }
+        let decl = self
+            .engine
+            .script()
+            .param(name)
+            .ok_or_else(|| ProphetError::unknown_param(name, self.slider_names()))?;
+        if !decl.domain.contains(value) {
+            return Err(ProphetError::OutOfDomain {
+                name: name.to_owned(),
+                value,
+            });
+        }
+        self.sliders.set(name.to_owned(), value);
+        self.adjustments += 1;
+        let report = self.refresh()?;
+        // Anticipate the user's next move (paper §3.2) — the pluggable
+        // strategy decides what, if anything, to queue.
+        self.guide.observe_adjustment(&self.sliders, name);
+        Ok(report)
+    }
+
+    /// Recompute every graph point for the current sliders.
+    pub fn refresh(&mut self) -> ProphetResult<AdjustReport> {
+        let start = Instant::now();
+        let mut report = AdjustReport {
+            weeks_total: self.x_values.len(),
+            weeks_simulated: 0,
+            weeks_mapped: 0,
+            weeks_cached: 0,
+            wall: Duration::ZERO,
+        };
+        for &x in &self.x_values {
+            let point = self.sliders.with(self.graph.x_param.clone(), x);
+            let (samples, outcome) = self.engine.evaluate(&point)?;
+            match outcome {
+                EvalOutcome::Cached => report.weeks_cached += 1,
+                EvalOutcome::Mapped { .. } => report.weeks_mapped += 1,
+                EvalOutcome::Simulated => report.weeks_simulated += 1,
+            }
+            for series in &mut self.series {
+                series.update_from(x, &samples);
+            }
+        }
+        report.wall = start.elapsed();
+        Ok(report)
+    }
+
+    /// Donate idle time: evaluate up to `budget` proactively queued points
+    /// (slider-neighbourhood prefetch under the default strategy). Returns
+    /// how many were evaluated.
+    pub fn prefetch_tick(&mut self, budget: usize) -> ProphetResult<usize> {
+        let mut done = 0;
+        while done < budget {
+            let Some(mut point) = self.guide.next_point() else {
+                break;
+            };
+            // Prefetched points cover the whole graph for that slider
+            // setting, so warm every week of the axis.
+            for &x in &self.x_values {
+                point.set(self.graph.x_param.clone(), x);
+                self.engine.evaluate(&point)?;
+            }
+            done += 1;
+        }
+        Ok(done)
+    }
+
+    /// Progressive (anytime) expectation of `column` at the *current*
+    /// sliders and week `x`: keeps adding Monte Carlo batches until the
+    /// 95%-CI half-width drops below `epsilon`. A basis hit makes the very
+    /// first guess accurate — the paper's lower "time to
+    /// first-accurate-guess".
+    pub fn progressive_expect(
+        &mut self,
+        column: &str,
+        x: i64,
+        epsilon: f64,
+        batch: usize,
+    ) -> ProphetResult<ProgressiveEstimate> {
+        const Z95: f64 = 1.96;
+        let point = self.sliders.with(self.graph.x_param.clone(), x);
+        let (samples, outcome) = self.engine.evaluate(&point)?;
+        let xs = samples
+            .samples(column)
+            .ok_or_else(|| ProphetError::unknown_column(column, self.engine.output_columns()))?;
+        let mut acc = Welford::new();
+        let used_basis = !matches!(outcome, EvalOutcome::Simulated);
+        let mut worlds_used = 0usize;
+        // Feed the available samples batch by batch until converged; a
+        // reused (cached/mapped) evaluation converges with zero fresh work,
+        // a simulated one pays as it goes.
+        for chunk in xs.chunks(batch.max(1)) {
+            acc.extend(chunk);
+            if !used_basis {
+                worlds_used += chunk.len();
+            }
+            if acc.converged(epsilon, Z95) {
+                return Ok(ProgressiveEstimate {
+                    estimate: acc.mean().unwrap_or(f64::NAN),
+                    worlds_used,
+                    used_basis,
+                    converged: true,
+                });
+            }
+        }
+        Ok(ProgressiveEstimate {
+            estimate: acc.mean().unwrap_or(f64::NAN),
+            worlds_used,
+            used_basis,
+            converged: acc.converged(epsilon, Z95),
+        })
+    }
+
+    /// All series as `(column, metric, points)` rows for CSV export.
+    #[allow(clippy::type_complexity)] // a one-off export row; a named type would obscure it
+    pub fn export_series(&self) -> Vec<(String, String, Vec<(f64, f64)>)> {
+        self.series
+            .iter()
+            .map(|s| (s.column.clone(), s.metric.to_string(), s.xy()))
+            .collect()
+    }
+
+    /// Map of current parameter values (for display).
+    pub fn parameter_state(&self) -> HashMap<String, i64> {
+        self.sliders
+            .iter()
+            .map(|(n, v)| (n.to_owned(), v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_models::demo_registry;
+
+    fn session(worlds: usize) -> OnlineSession {
+        let scenario = Scenario::figure2().unwrap();
+        let engine = Engine::new(
+            &scenario,
+            demo_registry(),
+            EngineConfig {
+                worlds_per_point: worlds,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        OnlineSession::open(engine).unwrap()
+    }
+
+    #[test]
+    fn construction_requires_graph_directive() {
+        let scenario =
+            Scenario::parse("DECLARE PARAMETER @p AS SET (1);\nSELECT @p AS x INTO r;").unwrap();
+        let engine = Engine::new(&scenario, demo_registry(), EngineConfig::default()).unwrap();
+        let err = OnlineSession::open(engine);
+        assert!(
+            matches!(err, Err(ProphetError::MissingGraphDirective)),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn deprecated_shim_still_assembles_a_session() {
+        #[allow(deprecated)]
+        let s = OnlineSession::new(
+            Scenario::figure2().unwrap(),
+            demo_registry(),
+            EngineConfig {
+                worlds_per_point: 8,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.graph().len(), 3);
+    }
+
+    #[test]
+    fn sliders_start_at_domain_minima() {
+        let s = session(16);
+        assert_eq!(s.sliders().get("purchase1"), Some(0));
+        assert_eq!(s.sliders().get("purchase2"), Some(0));
+        assert_eq!(s.sliders().get("feature"), Some(12));
+        assert_eq!(s.sliders().get("current"), None, "axis is not a slider");
+        assert_eq!(s.slider_names(), ["feature", "purchase1", "purchase2"]);
+    }
+
+    #[test]
+    fn first_refresh_computes_every_week_with_no_cache_hits() {
+        let mut s = session(24);
+        let r = s.refresh().unwrap();
+        assert_eq!(r.weeks_total, 53);
+        // A cold start has nothing cached; every week is either simulated
+        // or — for strongly week-to-week-correlated stretches of the
+        // Markovian capacity chain — mapped from an earlier week of the
+        // same sweep (the intra-sweep mappings Figure 4 visualizes).
+        assert_eq!(r.weeks_cached, 0);
+        assert_eq!(r.weeks_simulated + r.weeks_mapped, 53);
+        assert!(
+            r.weeks_simulated >= 20,
+            "cold start must do real work: {r:?}"
+        );
+        // graph got all three series, fully populated
+        assert_eq!(s.graph().len(), 3);
+        for series in s.graph() {
+            assert_eq!(series.points.len(), 53);
+        }
+    }
+
+    #[test]
+    fn second_adjustment_rerenders_only_a_fraction() {
+        let mut s = session(24);
+        s.refresh().unwrap();
+        // Move the second purchase later: weeks before its deployment are
+        // unchanged (identity/offset mapped), weeks after map too.
+        let r = s.set_param("purchase2", 40).unwrap();
+        assert_eq!(r.weeks_total, 53);
+        assert!(
+            r.rerender_fraction() < 0.5,
+            "adjustment should re-simulate a minority of weeks, got {}",
+            r.rerender_fraction()
+        );
+        assert!(r.weeks_reused() > 26, "most weeks reused: {r:?}");
+    }
+
+    #[test]
+    fn setting_axis_or_bad_values_is_rejected_with_typed_errors() {
+        let mut s = session(8);
+        assert!(matches!(
+            s.set_param("current", 3),
+            Err(ProphetError::AxisParam { ref name }) if name == "current"
+        ));
+        assert!(matches!(
+            s.set_param("purchase1", 3),
+            Err(ProphetError::OutOfDomain { ref name, value: 3 }) if name == "purchase1"
+        ));
+        match s.set_param("nope", 0) {
+            Err(ProphetError::UnknownParam { name, available }) => {
+                assert_eq!(name, "nope");
+                assert_eq!(available, ["feature", "purchase1", "purchase2"]);
+            }
+            other => panic!("expected UnknownParam, got {other:?}"),
+        }
+        assert_eq!(s.adjustments(), 0);
+    }
+
+    #[test]
+    fn overload_series_reacts_to_feature_release() {
+        let mut s = session(48);
+        s.set_param("purchase1", 16).unwrap();
+        s.set_param("purchase2", 36).unwrap();
+        s.refresh().unwrap();
+        let overload = s.series("overload").unwrap();
+        // Before the feature release (week 12) and with 10k cores vs ~8k
+        // demand, overload is rare; after release and before purchase1
+        // deploys (week 16+lag), it spikes.
+        let before = overload.at(5).unwrap().y;
+        let spike = overload.at(15).unwrap().y;
+        assert!(before < 0.2, "early overload should be rare, got {before}");
+        assert!(
+            spike > before,
+            "overload must rise after feature release: {before} → {spike}"
+        );
+    }
+
+    #[test]
+    fn prefetch_tick_consumes_anticipated_neighbours() {
+        let mut s = session(8);
+        s.refresh().unwrap();
+        s.set_param("purchase2", 36).unwrap(); // queues neighbours 32 and 40
+        let done = s.prefetch_tick(8).unwrap();
+        assert_eq!(done, 2, "two domain neighbours should be prefetched");
+        // prefetched points now serve from cache: adjusting to a prefetched
+        // value re-renders nothing
+        let r = s.set_param("purchase2", 40).unwrap();
+        assert_eq!(r.weeks_simulated, 0, "{r:?}");
+    }
+
+    #[test]
+    fn custom_guide_strategy_replaces_prefetch_policy() {
+        /// A strategy that never prefetches anything.
+        struct NoPrefetch;
+        impl Guide for NoPrefetch {
+            fn next_point(&mut self) -> Option<ParamPoint> {
+                None
+            }
+        }
+        let scenario = Scenario::figure2().unwrap();
+        let engine = Engine::new(
+            &scenario,
+            demo_registry(),
+            EngineConfig {
+                worlds_per_point: 8,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let mut s = OnlineSession::open_with_guide(engine, Box::new(NoPrefetch)).unwrap();
+        s.set_param("purchase2", 36).unwrap();
+        assert_eq!(s.prefetch_tick(8).unwrap(), 0, "NoPrefetch queues nothing");
+    }
+
+    #[test]
+    fn progressive_estimate_converges_faster_warm() {
+        let mut s = session(200);
+        s.refresh().unwrap();
+        // cold engine for comparison
+        let mut cold = session(200);
+        let warm = s.progressive_expect("overload", 20, 0.05, 20).unwrap();
+        let cold_est = cold.progressive_expect("overload", 20, 0.05, 20).unwrap();
+        assert!(warm.used_basis);
+        assert!(!cold_est.used_basis);
+        assert_eq!(warm.worlds_used, 0, "warm estimate needs no fresh worlds");
+        assert!(cold_est.worlds_used > 0);
+        assert!((warm.estimate - cold_est.estimate).abs() < 0.15);
+    }
+
+    #[test]
+    fn export_series_shape() {
+        let mut s = session(8);
+        s.refresh().unwrap();
+        let exported = s.export_series();
+        assert_eq!(exported.len(), 3);
+        assert_eq!(exported[0].0, "overload");
+        assert_eq!(exported[0].1, "EXPECT");
+        assert_eq!(exported[0].2.len(), 53);
+    }
+}

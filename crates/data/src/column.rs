@@ -134,7 +134,10 @@ impl Column {
             Column::Int(v) => out.extend(v.iter().flatten().map(|i| *i as f64)),
             Column::Bool(v) => out.extend(v.iter().flatten().map(|b| if *b { 1.0 } else { 0.0 })),
             Column::Str(_) => {
-                return Err(DataError::TypeMismatch { expected: "numeric column", found: "string column".into() })
+                return Err(DataError::TypeMismatch {
+                    expected: "numeric column",
+                    found: "string column".into(),
+                })
             }
         }
         Ok(out)
@@ -192,9 +195,7 @@ impl Column {
             (Column::Bool(a), Column::Bool(b)) => a.extend(b.iter().cloned()),
             (Column::Int(a), Column::Int(b)) => a.extend(b.iter().cloned()),
             (Column::Float(a), Column::Float(b)) => a.extend(b.iter().cloned()),
-            (Column::Float(a), Column::Int(b)) => {
-                a.extend(b.iter().map(|c| c.map(|i| i as f64)))
-            }
+            (Column::Float(a), Column::Int(b)) => a.extend(b.iter().map(|c| c.map(|i| i as f64))),
             (Column::Str(a), Column::Str(b)) => a.extend(b.iter().cloned()),
             (a, b) => {
                 return Err(DataError::SchemaMismatch(format!(

@@ -77,7 +77,8 @@ mod tests {
     fn basic_csv() {
         let schema = Schema::of(&[("week", DataType::Int), ("note", DataType::Str)]);
         let mut b = TableBuilder::new(schema);
-        b.push_row(vec![Value::Int(1), Value::Str("ok".into())]).unwrap();
+        b.push_row(vec![Value::Int(1), Value::Str("ok".into())])
+            .unwrap();
         b.push_row(vec![Value::Int(2), Value::Null]).unwrap();
         let csv = to_csv(&b.finish()).unwrap();
         assert_eq!(csv, "week,note\n1,ok\n2,\n");
@@ -88,7 +89,8 @@ mod tests {
         let schema = Schema::of(&[("s", DataType::Str)]);
         let mut b = TableBuilder::new(schema);
         b.push_row(vec![Value::Str("a,b".into())]).unwrap();
-        b.push_row(vec![Value::Str("he said \"hi\"".into())]).unwrap();
+        b.push_row(vec![Value::Str("he said \"hi\"".into())])
+            .unwrap();
         b.push_row(vec![Value::Str("line1\nline2".into())]).unwrap();
         let csv = to_csv(&b.finish()).unwrap();
         let lines: Vec<&str> = csv.splitn(2, '\n').collect();

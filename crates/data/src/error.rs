@@ -45,7 +45,10 @@ impl fmt::Display for DataError {
             }
             DataError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             DataError::RowOutOfBounds { index, len } => {
-                write!(f, "row index {index} out of bounds for table with {len} rows")
+                write!(
+                    f,
+                    "row index {index} out of bounds for table with {len} rows"
+                )
             }
             DataError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
             DataError::DuplicateColumn(name) => write!(f, "duplicate column name `{name}`"),
@@ -66,7 +69,11 @@ mod tests {
             "unknown column `demand`"
         );
         assert_eq!(
-            DataError::TypeMismatch { expected: "float", found: "Str(\"x\")".into() }.to_string(),
+            DataError::TypeMismatch {
+                expected: "float",
+                found: "Str(\"x\")".into()
+            }
+            .to_string(),
             "type mismatch: expected float, found Str(\"x\")"
         );
         assert_eq!(

@@ -38,7 +38,9 @@ impl<'t> Row<'t> {
 
     /// All cells, in schema order.
     pub fn values(&self) -> DataResult<Vec<Value>> {
-        (0..self.table.schema().len()).map(|i| self.get_at(i)).collect()
+        (0..self.table.schema().len())
+            .map(|i| self.get_at(i))
+            .collect()
     }
 }
 
@@ -53,14 +55,18 @@ mod tests {
         let schema = Schema::of(&[("week", DataType::Int), ("demand", DataType::Float)]);
         let mut b = TableBuilder::new(schema);
         b.push_row(vec![Value::Int(0), Value::Float(10.5)]).unwrap();
-        b.push_row(vec![Value::Int(1), Value::Float(11.25)]).unwrap();
+        b.push_row(vec![Value::Int(1), Value::Float(11.25)])
+            .unwrap();
         let t = b.finish();
 
         let row = t.row(1).unwrap();
         assert_eq!(row.index(), 1);
         assert_eq!(row.get("week").unwrap(), Value::Int(1));
         assert_eq!(row.get_at(1).unwrap(), Value::Float(11.25));
-        assert_eq!(row.values().unwrap(), vec![Value::Int(1), Value::Float(11.25)]);
+        assert_eq!(
+            row.values().unwrap(),
+            vec![Value::Int(1), Value::Float(11.25)]
+        );
         assert!(row.get("nope").is_err());
     }
 }

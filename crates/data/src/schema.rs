@@ -64,7 +64,10 @@ pub struct Field {
 impl Field {
     /// Create a field.
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Field { name: name.into(), data_type }
+        Field {
+            name: name.into(),
+            data_type,
+        }
     }
 }
 
@@ -187,7 +190,11 @@ mod tests {
 
     #[test]
     fn projection_preserves_order_given() {
-        let s = Schema::of(&[("a", DataType::Int), ("b", DataType::Float), ("c", DataType::Str)]);
+        let s = Schema::of(&[
+            ("a", DataType::Int),
+            ("b", DataType::Float),
+            ("c", DataType::Str),
+        ]);
         let p = s.project(&["c", "a"]).unwrap();
         assert_eq!(p.fields()[0].name, "c");
         assert_eq!(p.fields()[1].name, "a");
@@ -196,9 +203,18 @@ mod tests {
 
     #[test]
     fn unify_numeric_rules() {
-        assert_eq!(DataType::Int.unify_numeric(DataType::Int), Some(DataType::Int));
-        assert_eq!(DataType::Int.unify_numeric(DataType::Float), Some(DataType::Float));
-        assert_eq!(DataType::Str.unify_numeric(DataType::Str), Some(DataType::Str));
+        assert_eq!(
+            DataType::Int.unify_numeric(DataType::Int),
+            Some(DataType::Int)
+        );
+        assert_eq!(
+            DataType::Int.unify_numeric(DataType::Float),
+            Some(DataType::Float)
+        );
+        assert_eq!(
+            DataType::Str.unify_numeric(DataType::Str),
+            Some(DataType::Str)
+        );
         assert_eq!(DataType::Str.unify_numeric(DataType::Int), None);
     }
 

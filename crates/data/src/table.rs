@@ -24,8 +24,16 @@ pub struct Table {
 impl Table {
     /// An empty table with the given schema.
     pub fn empty(schema: Schema) -> Self {
-        let columns = schema.fields().iter().map(|f| Column::new(f.data_type)).collect();
-        Table { schema, columns, rows: 0 }
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::new(f.data_type))
+            .collect();
+        Table {
+            schema,
+            columns,
+            rows: 0,
+        }
     }
 
     /// Construct directly from columns. All columns must match the schema's
@@ -57,7 +65,11 @@ impl Table {
                 )));
             }
         }
-        Ok(Table { schema, columns, rows })
+        Ok(Table {
+            schema,
+            columns,
+            rows,
+        })
     }
 
     /// The table's schema.
@@ -89,7 +101,10 @@ impl Table {
     /// Borrowed view of row `idx`.
     pub fn row(&self, idx: usize) -> DataResult<Row<'_>> {
         if idx >= self.rows {
-            return Err(DataError::RowOutOfBounds { index: idx, len: self.rows });
+            return Err(DataError::RowOutOfBounds {
+                index: idx,
+                len: self.rows,
+            });
         }
         Ok(Row::new(self, idx))
     }
@@ -102,7 +117,10 @@ impl Table {
     /// Single cell by (row, column-name).
     pub fn cell(&self, row: usize, column: &str) -> DataResult<Value> {
         if row >= self.rows {
-            return Err(DataError::RowOutOfBounds { index: row, len: self.rows });
+            return Err(DataError::RowOutOfBounds {
+                index: row,
+                len: self.rows,
+            });
         }
         self.column(column)?.get(row)
     }
@@ -114,11 +132,18 @@ impl Table {
         for name in names {
             columns.push(self.column(name)?.clone());
         }
-        Ok(Table { schema, columns, rows: self.rows })
+        Ok(Table {
+            schema,
+            columns,
+            rows: self.rows,
+        })
     }
 
     /// A new table keeping only rows where `predicate` returns true.
-    pub fn filter(&self, mut predicate: impl FnMut(Row<'_>) -> DataResult<bool>) -> DataResult<Table> {
+    pub fn filter(
+        &self,
+        mut predicate: impl FnMut(Row<'_>) -> DataResult<bool>,
+    ) -> DataResult<Table> {
         let mut mask = Vec::with_capacity(self.rows);
         for row in self.rows() {
             mask.push(predicate(row)?);
@@ -129,7 +154,11 @@ impl Table {
             .iter()
             .map(|c| c.filter(&mask))
             .collect::<DataResult<Vec<_>>>()?;
-        Ok(Table { schema: self.schema.clone(), columns, rows: kept })
+        Ok(Table {
+            schema: self.schema.clone(),
+            columns,
+            rows: kept,
+        })
     }
 
     /// A new table sorted by the named column using the total value order.
@@ -154,7 +183,11 @@ impl Table {
             .iter()
             .map(|c| c.permute(&perm))
             .collect::<DataResult<Vec<_>>>()?;
-        Ok(Table { schema: self.schema.clone(), columns, rows: self.rows })
+        Ok(Table {
+            schema: self.schema.clone(),
+            columns,
+            rows: self.rows,
+        })
     }
 
     /// Vertically concatenate another table with an identical schema.
@@ -204,7 +237,12 @@ impl Table {
 impl fmt::Display for Table {
     /// Pretty-print in a psql-ish box layout; used by example binaries.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let headers: Vec<String> = self.schema.fields().iter().map(|fd| fd.name.clone()).collect();
+        let headers: Vec<String> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|fd| fd.name.clone())
+            .collect();
         let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
         let mut rendered: Vec<Vec<String>> = Vec::with_capacity(self.rows);
         for row in self.rows() {
@@ -264,7 +302,11 @@ impl TableBuilder {
             .iter()
             .map(|f| Column::with_capacity(f.data_type, rows))
             .collect();
-        TableBuilder { schema, columns, rows: 0 }
+        TableBuilder {
+            schema,
+            columns,
+            rows: 0,
+        }
     }
 
     /// Append one row. The row must have exactly one value per column.
@@ -315,7 +357,11 @@ impl TableBuilder {
 
     /// Finalize into an immutable [`Table`].
     pub fn finish(self) -> Table {
-        Table { schema: self.schema, columns: self.columns, rows: self.rows }
+        Table {
+            schema: self.schema,
+            columns: self.columns,
+            rows: self.rows,
+        }
     }
 }
 
@@ -354,8 +400,7 @@ mod tests {
         );
         assert!(wrong_len.is_err());
 
-        let wrong_type =
-            Table::from_columns(schema, vec![vec![1.0f64].into_iter().collect()]);
+        let wrong_type = Table::from_columns(schema, vec![vec![1.0f64].into_iter().collect()]);
         assert!(wrong_type.is_err());
 
         let ragged = Table::from_columns(
@@ -428,7 +473,9 @@ mod tests {
         .unwrap();
         let mut b = TableBuilder::new(schema);
         // second cell is bad; first must not be committed
-        assert!(b.push_row(vec![Value::Int(1), Value::Str("x".into())]).is_err());
+        assert!(b
+            .push_row(vec![Value::Int(1), Value::Str("x".into())])
+            .is_err());
         assert_eq!(b.len(), 0);
         let t = b.finish();
         assert_eq!(t.num_rows(), 0);

@@ -60,7 +60,10 @@ impl Value {
             Value::Int(i) => Ok(*i as f64),
             Value::Float(f) => Ok(*f),
             Value::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
-            other => Err(DataError::TypeMismatch { expected: "numeric", found: format!("{other:?}") }),
+            other => Err(DataError::TypeMismatch {
+                expected: "numeric",
+                found: format!("{other:?}"),
+            }),
         }
     }
 
@@ -71,7 +74,10 @@ impl Value {
             Value::Int(i) => Ok(*i),
             Value::Bool(b) => Ok(*b as i64),
             Value::Float(f) if f.fract() == 0.0 && f.is_finite() => Ok(*f as i64),
-            other => Err(DataError::TypeMismatch { expected: "integer", found: format!("{other:?}") }),
+            other => Err(DataError::TypeMismatch {
+                expected: "integer",
+                found: format!("{other:?}"),
+            }),
         }
     }
 
@@ -82,7 +88,10 @@ impl Value {
             Value::Bool(b) => Ok(*b),
             Value::Int(i) => Ok(*i != 0),
             Value::Float(f) => Ok(*f != 0.0),
-            other => Err(DataError::TypeMismatch { expected: "boolean", found: format!("{other:?}") }),
+            other => Err(DataError::TypeMismatch {
+                expected: "boolean",
+                found: format!("{other:?}"),
+            }),
         }
     }
 
@@ -90,7 +99,10 @@ impl Value {
     pub fn as_str(&self) -> DataResult<&str> {
         match self {
             Value::Str(s) => Ok(s),
-            other => Err(DataError::TypeMismatch { expected: "string", found: format!("{other:?}") }),
+            other => Err(DataError::TypeMismatch {
+                expected: "string",
+                found: format!("{other:?}"),
+            }),
         }
     }
 
@@ -167,7 +179,9 @@ impl Value {
             Value::Null => Ok(Value::Null),
             Value::Int(i) => Ok(Value::Int(-i)),
             Value::Float(f) => Ok(Value::Float(-f)),
-            other => Err(DataError::InvalidOperation(format!("cannot negate {other:?}"))),
+            other => Err(DataError::InvalidOperation(format!(
+                "cannot negate {other:?}"
+            ))),
         }
     }
 
@@ -189,7 +203,9 @@ impl Value {
                 None => Ok(Value::Float(ff(*a as f64, *b as f64))),
             },
             (Value::Str(_), _) | (_, Value::Str(_)) | (Value::Bool(_), _) | (_, Value::Bool(_)) => {
-                Err(DataError::InvalidOperation(format!("{self:?} {op} {rhs:?}")))
+                Err(DataError::InvalidOperation(format!(
+                    "{self:?} {op} {rhs:?}"
+                )))
             }
             _ => Ok(Value::Float(ff(self.as_f64()?, rhs.as_f64()?))),
         }
@@ -205,7 +221,9 @@ impl Value {
             (Value::Bool(a), Value::Bool(b)) => Ok(Some(a.cmp(b))),
             (Value::Str(a), Value::Str(b)) => Ok(Some(a.cmp(b))),
             (Value::Str(_), _) | (_, Value::Str(_)) | (Value::Bool(_), _) | (_, Value::Bool(_)) => {
-                Err(DataError::InvalidOperation(format!("cannot compare {self:?} with {rhs:?}")))
+                Err(DataError::InvalidOperation(format!(
+                    "cannot compare {self:?} with {rhs:?}"
+                )))
             }
             _ => {
                 let a = self.as_f64()?;
@@ -316,9 +334,15 @@ mod tests {
 
     #[test]
     fn arithmetic_promotes_int_to_float() {
-        assert_eq!(Value::Int(2).add(&Value::Float(0.5)).unwrap(), Value::Float(2.5));
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)).unwrap(),
+            Value::Float(2.5)
+        );
         assert_eq!(Value::Int(2).mul(&Value::Int(3)).unwrap(), Value::Int(6));
-        assert_eq!(Value::Float(1.0).sub(&Value::Int(1)).unwrap(), Value::Float(0.0));
+        assert_eq!(
+            Value::Float(1.0).sub(&Value::Int(1)).unwrap(),
+            Value::Float(0.0)
+        );
     }
 
     #[test]
@@ -332,7 +356,10 @@ mod tests {
     #[test]
     fn division_by_zero_yields_null() {
         assert_eq!(Value::Int(4).div(&Value::Int(0)).unwrap(), Value::Null);
-        assert_eq!(Value::Float(4.0).div(&Value::Float(0.0)).unwrap(), Value::Null);
+        assert_eq!(
+            Value::Float(4.0).div(&Value::Float(0.0)).unwrap(),
+            Value::Null
+        );
         assert_eq!(Value::Int(7).rem(&Value::Int(0)).unwrap(), Value::Null);
     }
 
@@ -365,8 +392,14 @@ mod tests {
 
     #[test]
     fn sql_cmp_mixed_numeric() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)).unwrap(), Some(Ordering::Equal));
-        assert_eq!(Value::Int(1).sql_cmp(&Value::Float(1.5)).unwrap(), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)).unwrap(),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Float(1.5)).unwrap(),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
@@ -387,7 +420,13 @@ mod tests {
             Value::Str("a".into()),
         ];
         for w in vals.windows(2) {
-            assert_ne!(w[0].total_cmp(&w[1]), Ordering::Greater, "{:?} !<= {:?}", w[0], w[1]);
+            assert_ne!(
+                w[0].total_cmp(&w[1]),
+                Ordering::Greater,
+                "{:?} !<= {:?}",
+                w[0],
+                w[1]
+            );
         }
     }
 

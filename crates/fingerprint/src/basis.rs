@@ -11,9 +11,9 @@
 //! engine layer that knows about parameter points) and its payload (full
 //! sample sets, series, whatever the engine caches).
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::RwLock;
 
 use crate::correlate::CorrelationDetector;
 use crate::fingerprint::Fingerprint;
@@ -81,7 +81,7 @@ where
 
     /// Insert (or replace) a basis distribution.
     pub fn insert(&self, key: K, fingerprint: Fingerprint, payload: P) {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("basis store lock poisoned");
         inner.next_stamp += 1;
         let stamp = inner.next_stamp;
         if inner.entries.len() >= self.capacity && !inner.entries.contains_key(&key) {
@@ -95,17 +95,33 @@ where
                 inner.entries.remove(&oldest);
             }
         }
-        inner.entries.insert(key, Entry { fingerprint, payload, stamp });
+        inner.entries.insert(
+            key,
+            Entry {
+                fingerprint,
+                payload,
+                stamp,
+            },
+        );
     }
 
     /// Exact lookup by key.
     pub fn get(&self, key: &K) -> Option<P> {
-        self.inner.read().entries.get(key).map(|e| e.payload.clone())
+        self.inner
+            .read()
+            .expect("basis store lock poisoned")
+            .entries
+            .get(key)
+            .map(|e| e.payload.clone())
     }
 
     /// Whether a key is stored.
     pub fn contains(&self, key: &K) -> bool {
-        self.inner.read().entries.contains_key(key)
+        self.inner
+            .read()
+            .expect("basis store lock poisoned")
+            .entries
+            .contains_key(key)
     }
 
     /// Find the best correlated basis entry for `query`: smallest error bar
@@ -121,7 +137,7 @@ where
                 Mapping::Compose(..) => 3,
             }
         }
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("basis store lock poisoned");
         let mut best: Option<(BasisMatch<K>, P, (f64, u8))> = None;
         for (key, entry) in &inner.entries {
             if let Some(mapping) = self.detector.detect(&entry.fingerprint, query) {
@@ -132,7 +148,10 @@ where
                 };
                 if better {
                     best = Some((
-                        BasisMatch { key: key.clone(), mapping },
+                        BasisMatch {
+                            key: key.clone(),
+                            mapping,
+                        },
                         entry.payload.clone(),
                         rank,
                     ));
@@ -153,13 +172,17 @@ where
 
     /// `(hits, misses)` of `find_correlated` so far.
     pub fn hit_stats(&self) -> (u64, u64) {
-        let inner = self.inner.read();
+        let inner = self.inner.read().expect("basis store lock poisoned");
         (inner.hits, inner.misses)
     }
 
     /// Number of stored entries.
     pub fn len(&self) -> usize {
-        self.inner.read().entries.len()
+        self.inner
+            .read()
+            .expect("basis store lock poisoned")
+            .entries
+            .len()
     }
 
     /// True if nothing is stored.
@@ -169,7 +192,7 @@ where
 
     /// Drop everything (benchmarks reset between configurations).
     pub fn clear(&self) {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("basis store lock poisoned");
         inner.entries.clear();
         inner.hits = 0;
         inner.misses = 0;
@@ -188,7 +211,11 @@ mod tests {
     fn insert_get_contains() {
         let s = store();
         assert!(s.is_empty());
-        s.insert("a", Fingerprint::from_values(vec![1.0, 2.0, 3.0]), vec![0.5]);
+        s.insert(
+            "a",
+            Fingerprint::from_values(vec![1.0, 2.0, 3.0]),
+            vec![0.5],
+        );
         assert!(s.contains(&"a"));
         assert_eq!(s.get(&"a"), Some(vec![0.5]));
         assert_eq!(s.get(&"b"), None);
@@ -213,7 +240,11 @@ mod tests {
     #[test]
     fn misses_are_counted() {
         let s = store();
-        s.insert("a", Fingerprint::from_values(vec![1.0, -1.0, 1.0, -1.0]), vec![]);
+        s.insert(
+            "a",
+            Fingerprint::from_values(vec![1.0, -1.0, 1.0, -1.0]),
+            vec![],
+        );
         let unrelated = Fingerprint::from_values(vec![0.2, 0.9, 0.4, 0.35]);
         assert!(s.find_correlated(&unrelated).is_none());
         assert_eq!(s.hit_stats(), (0, 1));
@@ -224,7 +255,11 @@ mod tests {
         let s = store();
         let target = Fingerprint::from_values(vec![2.0, 4.0, 6.0, 10.0]);
         // candidate A: affine-related (scale 2)
-        s.insert("affine", Fingerprint::from_values(vec![1.0, 2.0, 3.0, 5.0]), vec![1.0]);
+        s.insert(
+            "affine",
+            Fingerprint::from_values(vec![1.0, 2.0, 3.0, 5.0]),
+            vec![1.0],
+        );
         // candidate B: identical
         s.insert("exact", target.clone(), vec![2.0]);
         let (m, _) = s.find_correlated(&target).unwrap();

@@ -85,7 +85,12 @@ pub fn fit_affine(xs: &[f64], ys: &[f64]) -> Option<AffineFit> {
     }
     let r2 = if syy > 0.0 { 1.0 - rss / syy } else { 1.0 };
     let dof = (xs.len() - 2).max(1) as f64;
-    Some(AffineFit { scale, offset, r2, residual_std: (rss / dof).sqrt() })
+    Some(AffineFit {
+        scale,
+        offset,
+        r2,
+        residual_std: (rss / dof).sqrt(),
+    })
 }
 
 /// Best time-shift between two series: the lag `k` (|k| ≤ `max_lag`)
@@ -138,7 +143,10 @@ pub struct CorrelationDetector {
 
 impl Default for CorrelationDetector {
     fn default() -> Self {
-        CorrelationDetector { min_r2: 0.98, tolerance: 1e-9 }
+        CorrelationDetector {
+            min_r2: 0.98,
+            tolerance: 1e-9,
+        }
     }
 }
 
@@ -181,8 +189,9 @@ impl CorrelationDetector {
                     .collect();
                 if let Some(&(x0, y0)) = pairs.first() {
                     let offset = y0 - x0;
-                    let constant_offset =
-                        pairs.iter().all(|(x, y)| ((y - x) - offset).abs() <= 1e-6 * scale);
+                    let constant_offset = pairs
+                        .iter()
+                        .all(|(x, y)| ((y - x) - offset).abs() <= 1e-6 * scale);
                     if constant_offset {
                         let shift = Mapping::Shift { lag };
                         return Some(if offset.abs() <= 1e-6 * scale {
@@ -208,18 +217,30 @@ impl CorrelationDetector {
             return None;
         }
         // Identity?
-        if xs.iter().zip(ys).all(|(x, y)| (x - y).abs() <= self.tolerance) {
+        if xs
+            .iter()
+            .zip(ys)
+            .all(|(x, y)| (x - y).abs() <= self.tolerance)
+        {
             return Some(Mapping::Identity);
         }
         // Constant offset?
         let d0 = ys[0] - xs[0];
-        if xs.iter().zip(ys).all(|(x, y)| ((y - x) - d0).abs() <= self.tolerance) {
+        if xs
+            .iter()
+            .zip(ys)
+            .all(|(x, y)| ((y - x) - d0).abs() <= self.tolerance)
+        {
             return Some(Mapping::Offset(d0));
         }
         // General affine.
         let fit = fit_affine(xs, ys)?;
         if fit.r2 >= self.min_r2 {
-            Some(Mapping::Affine { scale: fit.scale, offset: fit.offset, residual_std: fit.residual_std })
+            Some(Mapping::Affine {
+                scale: fit.scale,
+                offset: fit.offset,
+                residual_std: fit.residual_std,
+            })
         } else {
             None
         }
@@ -262,12 +283,19 @@ mod tests {
     fn affine_fit_reports_noise_in_residuals() {
         let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
         // deterministic "noise" via a fixed pattern with zero mean
-        let ys: Vec<f64> =
-            xs.iter().enumerate().map(|(i, x)| 2.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
         let fit = fit_affine(&xs, &ys).unwrap();
         assert!((fit.scale - 2.0).abs() < 1e-3);
         assert!(fit.r2 > 0.999, "strong but not perfect: r2={}", fit.r2);
-        assert!((fit.residual_std - 0.5).abs() < 0.01, "residual_std={}", fit.residual_std);
+        assert!(
+            (fit.residual_std - 0.5).abs() < 0.01,
+            "residual_std={}",
+            fit.residual_std
+        );
     }
 
     #[test]
@@ -319,7 +347,8 @@ mod tests {
         assert_eq!(det.detect(&base, &shifted), Some(Mapping::Offset(4.0)));
 
         // affine
-        let scaled = Fingerprint::from_values(base.values().iter().map(|v| 2.0 * v + 1.0).collect());
+        let scaled =
+            Fingerprint::from_values(base.values().iter().map(|v| 2.0 * v + 1.0).collect());
         match det.detect(&base, &scaled) {
             Some(Mapping::Affine { scale, offset, .. }) => {
                 assert!((scale - 2.0).abs() < 1e-9);
@@ -345,7 +374,11 @@ mod tests {
         let short = Fingerprint::from_values(vec![1.0]);
         assert_eq!(det.detect(&good, &nan), None);
         assert_eq!(det.detect(&nan, &good), None);
-        assert_eq!(det.detect(&good, &short), None, "common prefix of 1 is too short");
+        assert_eq!(
+            det.detect(&good, &short),
+            None,
+            "common prefix of 1 is too short"
+        );
     }
 
     fn step_series(step_week: i64, len: i64) -> Vec<(i64, f64)> {
@@ -364,9 +397,11 @@ mod tests {
         let det = CorrelationDetector::default();
         let a = step_series(18, 53);
         let b = step_series(22, 53); // purchase delayed by 4 weeks
-        // The series combines a linear decay with the shifted step, so the
-        // relationship is shift ∘ constant-offset: b[w] = a[w-4] - 4·57.
-        let mapping = det.detect_series(&a, &b, 8).expect("shift must be detected");
+                                     // The series combines a linear decay with the shifted step, so the
+                                     // relationship is shift ∘ constant-offset: b[w] = a[w-4] - 4·57.
+        let mapping = det
+            .detect_series(&a, &b, 8)
+            .expect("shift must be detected");
         match &mapping {
             Mapping::Compose(first, second) => {
                 assert_eq!(**first, Mapping::Shift { lag: 4 });
@@ -405,8 +440,9 @@ mod tests {
         let det = CorrelationDetector::default();
         assert_eq!(det.detect_series(&[(0, 1.0)], &[(0, 1.0)], 4), None);
         let a = step_series(18, 30);
-        let noise: Vec<(i64, f64)> =
-            (0..30).map(|w| (w, ((w * 7919 % 97) as f64) * 100.0)).collect();
+        let noise: Vec<(i64, f64)> = (0..30)
+            .map(|w| (w, ((w * 7919 % 97) as f64) * 100.0))
+            .collect();
         assert_eq!(det.detect_series(&a, &noise, 8), None);
     }
 }

@@ -37,14 +37,18 @@ impl Fingerprint {
     /// cell — the engine uses the model's primary output column).
     pub fn compute(config: FingerprintConfig, mut sample: impl FnMut(u64) -> f64) -> Self {
         let seeds = SeedSequence::fingerprint_default(config.length);
-        Fingerprint { values: seeds.seeds().iter().map(|&s| sample(s)).collect() }
+        Fingerprint {
+            values: seeds.seeds().iter().map(|&s| sample(s)).collect(),
+        }
     }
 
     /// Compute under an explicit (non-canonical) sequence. Used by tests
     /// and by the Markov analyzer, which fingerprints *steps* under
     /// chain-specific sequences.
     pub fn compute_with_seeds(seeds: &SeedSequence, mut sample: impl FnMut(u64) -> f64) -> Self {
-        Fingerprint { values: seeds.seeds().iter().map(|&s| sample(s)).collect() }
+        Fingerprint {
+            values: seeds.seeds().iter().map(|&s| sample(s)).collect(),
+        }
     }
 
     /// Wrap raw values (pre-computed probes).

@@ -34,8 +34,8 @@
 pub mod basis;
 pub mod correlate;
 pub mod fingerprint;
-pub mod markov;
 pub mod mapping;
+pub mod markov;
 
 pub use basis::{BasisMatch, BasisStore};
 pub use correlate::{fit_affine, pearson, AffineFit, CorrelationDetector};

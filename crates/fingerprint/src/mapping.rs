@@ -73,7 +73,10 @@ impl Mapping {
                 let mid = first.apply_series(series, x_min, x_max);
                 second.apply_series(&mid, x_min, x_max)
             }
-            _ => series.iter().map(|&(x, y)| (x, self.apply_scalar(y))).collect(),
+            _ => series
+                .iter()
+                .map(|&(x, y)| (x, self.apply_scalar(y)))
+                .collect(),
         }
     }
 
@@ -113,7 +116,12 @@ impl fmt::Display for Mapping {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Mapping::Identity => write!(f, "identity"),
-            Mapping::Offset(d) => write!(f, "y = x {} {:.4}", if *d < 0.0 { "-" } else { "+" }, d.abs()),
+            Mapping::Offset(d) => write!(
+                f,
+                "y = x {} {:.4}",
+                if *d < 0.0 { "-" } else { "+" },
+                d.abs()
+            ),
             Mapping::Affine { scale, offset, .. } => write!(f, "y = {scale:.4}·x + {offset:.4}"),
             Mapping::Shift { lag } => write!(f, "shift by {lag}"),
             Mapping::Compose(a, b) => write!(f, "({a}) ∘ ({b})"),
@@ -130,7 +138,12 @@ mod tests {
         assert_eq!(Mapping::Identity.apply_scalar(3.0), 3.0);
         assert_eq!(Mapping::Offset(2.0).apply_scalar(3.0), 5.0);
         assert_eq!(
-            Mapping::Affine { scale: 2.0, offset: 1.0, residual_std: 0.0 }.apply_scalar(3.0),
+            Mapping::Affine {
+                scale: 2.0,
+                offset: 1.0,
+                residual_std: 0.0
+            }
+            .apply_scalar(3.0),
             7.0
         );
         assert_eq!(Mapping::Shift { lag: 3 }.apply_scalar(3.0), 3.0);
@@ -156,7 +169,11 @@ mod tests {
     #[test]
     fn series_affine_keeps_positions() {
         let series = vec![(0i64, 1.0), (5, 2.0)];
-        let m = Mapping::Affine { scale: 10.0, offset: 0.5, residual_std: 0.0 };
+        let m = Mapping::Affine {
+            scale: 10.0,
+            offset: 0.5,
+            residual_std: 0.0,
+        };
         assert_eq!(m.apply_series(&series, 0, 10), vec![(0, 10.5), (5, 20.5)]);
     }
 
@@ -170,8 +187,14 @@ mod tests {
         });
         assert_eq!(m.apply_scalar(3.0), 8.0);
         // identity normalization
-        assert_eq!(Mapping::Identity.then(Mapping::Offset(1.0)), Mapping::Offset(1.0));
-        assert_eq!(Mapping::Offset(1.0).then(Mapping::Identity), Mapping::Offset(1.0));
+        assert_eq!(
+            Mapping::Identity.then(Mapping::Offset(1.0)),
+            Mapping::Offset(1.0)
+        );
+        assert_eq!(
+            Mapping::Offset(1.0).then(Mapping::Identity),
+            Mapping::Offset(1.0)
+        );
     }
 
     #[test]
@@ -187,12 +210,20 @@ mod tests {
         assert!(Mapping::Identity.is_exact());
         assert!(Mapping::Offset(3.0).is_exact());
         assert!(Mapping::Shift { lag: 1 }.is_exact());
-        let a = Mapping::Affine { scale: 2.0, offset: 0.0, residual_std: 0.3 };
+        let a = Mapping::Affine {
+            scale: 2.0,
+            offset: 0.0,
+            residual_std: 0.3,
+        };
         assert!(!a.is_exact());
         assert_eq!(a.error_std(), 0.3);
         // compose: second map scale 2 amplifies first's 0.3 to 0.6; second
         // contributes 0.4; total = sqrt(0.36 + 0.16) = sqrt(0.52)
-        let b = Mapping::Affine { scale: 2.0, offset: 0.0, residual_std: 0.4 };
+        let b = Mapping::Affine {
+            scale: 2.0,
+            offset: 0.0,
+            residual_std: 0.4,
+        };
         let c = Mapping::Compose(Box::new(a), Box::new(b));
         assert!((c.error_std() - 0.52f64.sqrt()).abs() < 1e-12);
     }

@@ -48,7 +48,11 @@ impl ChainRegion {
                 residual_std: fit.residual_std,
             });
         }
-        RegionEstimator { start: self.start, end: self.end, mapping }
+        RegionEstimator {
+            start: self.start,
+            end: self.end,
+            mapping,
+        }
     }
 }
 
@@ -95,14 +99,22 @@ pub fn analyze_chain(steps: &[Vec<f64>], min_r2: f64) -> Vec<ChainRegion> {
             Some(f) => fits.push(f),
             None => {
                 if !fits.is_empty() {
-                    regions.push(ChainRegion { start, end: i, fits: std::mem::take(&mut fits) });
+                    regions.push(ChainRegion {
+                        start,
+                        end: i,
+                        fits: std::mem::take(&mut fits),
+                    });
                 }
                 start = i + 1;
             }
         }
     }
     if !fits.is_empty() {
-        regions.push(ChainRegion { start, end: steps.len() - 1, fits });
+        regions.push(ChainRegion {
+            start,
+            end: steps.len() - 1,
+            fits,
+        });
     }
     regions
 }
@@ -119,7 +131,9 @@ mod tests {
     /// Chain where each step is 1.02x the previous plus a constant drift —
     /// exactly affine, so the whole chain is one region.
     fn smooth_chain(steps: usize, worlds: usize) -> Vec<Vec<f64>> {
-        let mut chain = vec![(0..worlds).map(|w| 100.0 + 5.0 * noise(0, w)).collect::<Vec<f64>>()];
+        let mut chain = vec![(0..worlds)
+            .map(|w| 100.0 + 5.0 * noise(0, w))
+            .collect::<Vec<f64>>()];
         for _ in 1..steps {
             let prev = chain.last().unwrap();
             chain.push(prev.iter().map(|&x| 1.02 * x + 3.0).collect());
@@ -173,7 +187,11 @@ mod tests {
     fn noisy_transitions_yield_no_regions() {
         let worlds = 32;
         let chain: Vec<Vec<f64>> = (0..5)
-            .map(|i| (0..worlds).map(|w| noise(i * 13 + 1, w * 3 + i) * 10.0).collect())
+            .map(|i| {
+                (0..worlds)
+                    .map(|w| noise(i * 13 + 1, w * 3 + i) * 10.0)
+                    .collect()
+            })
             .collect();
         let regions = analyze_chain(&chain, 0.98);
         assert!(regions.is_empty(), "{regions:?}");
@@ -195,7 +213,9 @@ mod tests {
         // Transitions with genuine residual noise should produce a nonzero
         // error bar that accumulates across the region.
         let worlds = 64;
-        let mut chain = vec![(0..worlds).map(|w| 50.0 + 10.0 * noise(1, w)).collect::<Vec<f64>>()];
+        let mut chain = vec![(0..worlds)
+            .map(|w| 50.0 + 10.0 * noise(1, w))
+            .collect::<Vec<f64>>()];
         for i in 1..5 {
             let prev = chain.last().unwrap();
             chain.push(

@@ -19,7 +19,13 @@ pub struct Welford {
 impl Welford {
     /// Empty accumulator.
     pub fn new() -> Self {
-        Welford { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Accumulate one observation. Non-finite samples are counted into
@@ -181,7 +187,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(lo < hi, "histogram range [{lo}, {hi}) is empty");
-        Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Add one observation.
@@ -256,7 +268,9 @@ mod tests {
 
     #[test]
     fn welford_matches_two_pass() {
-        let xs: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64 / 10.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| ((i * 7919) % 1000) as f64 / 10.0)
+            .collect();
         let mut w = Welford::new();
         w.extend(&xs);
         let (m, v) = naive_stats(&xs);
@@ -329,7 +343,10 @@ mod tests {
         for i in 0..10 {
             w.push((i % 2) as f64);
         }
-        assert!(!w.converged(0.01, 1.96), "10 samples of a coin flip are not accurate to 0.01");
+        assert!(
+            !w.converged(0.01, 1.96),
+            "10 samples of a coin flip are not accurate to 0.01"
+        );
         for i in 0..100_000 {
             w.push((i % 2) as f64);
         }

@@ -72,7 +72,11 @@ impl SampleSet {
         columns: Vec<String>,
         samples: HashMap<String, Vec<f64>>,
     ) -> Self {
-        SampleSet { point, columns, samples }
+        SampleSet {
+            point,
+            columns,
+            samples,
+        }
     }
 
     /// Merge another sample set for the *same point* (progressive
@@ -105,12 +109,18 @@ pub fn simulate_point(
 ) -> SqlResult<SampleSet> {
     let params = point.to_value_map();
     let columns: Vec<String> = select.items.iter().map(|i| i.alias.clone()).collect();
-    let mut samples: HashMap<String, Vec<f64>> =
-        columns.iter().map(|c| (c.clone(), Vec::with_capacity(worlds.len()))).collect();
+    let mut samples: HashMap<String, Vec<f64>> = columns
+        .iter()
+        .map(|c| (c.clone(), Vec::with_capacity(worlds.len())))
+        .collect();
 
     // Under CRN the stream depends only on the world id; otherwise it also
     // mixes the point so distinct points draw independent noise.
-    let point_salt = if common_random_numbers { 0 } else { point.stable_hash() };
+    let point_salt = if common_random_numbers {
+        0
+    } else {
+        point.stable_hash()
+    };
 
     for &world in worlds {
         let rng = WorldRng::per_call(*seeds, world ^ point_salt);
@@ -126,7 +136,11 @@ pub fn simulate_point(
                 .push(x);
         }
     }
-    Ok(SampleSet { point: point.clone(), columns, samples })
+    Ok(SampleSet {
+        point: point.clone(),
+        columns,
+        samples,
+    })
 }
 
 #[cfg(test)]
@@ -194,7 +208,12 @@ mod tests {
         let a = simulate_point(&script.select, &registry, &seeds, &p10, &worlds, true).unwrap();
         let b = simulate_point(&script.select, &registry, &seeds, &p20, &worlds, true).unwrap();
         // Same worlds, same noise: the difference must be exactly 10.
-        for (x, y) in a.samples("out").unwrap().iter().zip(b.samples("out").unwrap()) {
+        for (x, y) in a
+            .samples("out")
+            .unwrap()
+            .iter()
+            .zip(b.samples("out").unwrap())
+        {
             assert!((y - x - 10.0).abs() < 1e-12);
         }
     }
@@ -253,8 +272,15 @@ mod tests {
         let script = parse_script("SELECT 1 / 0 AS bad INTO r;").unwrap();
         let registry = VgRegistry::new();
         let seeds = SeedManager::new(1);
-        let ss = simulate_point(&script.select, &registry, &seeds, &ParamPoint::new(), &[0], true)
-            .unwrap();
+        let ss = simulate_point(
+            &script.select,
+            &registry,
+            &seeds,
+            &ParamPoint::new(),
+            &[0],
+            true,
+        )
+        .unwrap();
         assert!(ss.samples("bad").unwrap()[0].is_nan());
     }
 }

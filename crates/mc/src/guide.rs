@@ -21,10 +21,45 @@ use prophet_vg::rng::{Rng64, Xoshiro256StarStar};
 use crate::instance::ParamPoint;
 
 /// A source of parameter points to evaluate next.
+///
+/// The trait is object-safe: online sessions hold a `Box<dyn Guide + Send>`
+/// so the exploration strategy is pluggable (the
+/// `Prophet` builder's `.exploration(…)` hook), not hard-wired to
+/// [`PriorityGuide`].
 pub trait Guide {
     /// The next point to evaluate, or `None` when the strategy has nothing
     /// pending.
     fn next_point(&mut self) -> Option<ParamPoint>;
+
+    /// Notification that the user explicitly requested `point` by adjusting
+    /// the parameter `axis` — the hook anticipatory strategies use to queue
+    /// proactive work (paper §3.2). Default: no-op.
+    fn observe_adjustment(&mut self, point: &ParamPoint, axis: &str) {
+        let _ = (point, axis);
+    }
+
+    /// Number of explicitly queued points waiting to be served. Strategies
+    /// that *generate* rather than queue (grid, random) report 0.
+    fn pending(&self) -> usize {
+        0
+    }
+}
+
+/// Builds a fresh [`Guide`] for one session over the given parameter
+/// declarations. The `Prophet` service holds one factory and invokes it per
+/// session, since guides are stateful and session-local.
+pub trait GuideFactory: Send + Sync {
+    /// Construct a guide for a scenario's parameters.
+    fn build(&self, decls: &[ParameterDecl]) -> Box<dyn Guide + Send>;
+}
+
+impl<F> GuideFactory for F
+where
+    F: Fn(&[ParameterDecl]) -> Box<dyn Guide + Send> + Send + Sync,
+{
+    fn build(&self, decls: &[ParameterDecl]) -> Box<dyn Guide + Send> {
+        self(decls)
+    }
 }
 
 /// Exhaustive row-major sweep over the cartesian product of all declared
@@ -48,7 +83,11 @@ impl GridGuide {
         } else {
             Some(vec![0; axes.len()])
         };
-        GridGuide { names, axes, cursor }
+        GridGuide {
+            names,
+            axes,
+            cursor,
+        }
     }
 
     /// Total number of points in the sweep.
@@ -108,10 +147,12 @@ impl Guide for RandomGuide {
         if self.axes.iter().any(Vec::is_empty) {
             return None;
         }
-        Some(ParamPoint::from_pairs(self.names.iter().zip(&self.axes).map(|(n, axis)| {
-            let i = self.rng.gen_range_i64(0, axis.len() as i64 - 1) as usize;
-            (n.clone(), axis[i])
-        })))
+        Some(ParamPoint::from_pairs(
+            self.names.iter().zip(&self.axes).map(|(n, axis)| {
+                let i = self.rng.gen_range_i64(0, axis.len() as i64 - 1) as usize;
+                (n.clone(), axis[i])
+            }),
+        ))
     }
 }
 
@@ -170,10 +211,16 @@ impl PriorityGuide {
     /// along parameter `axis` (the slider the user last touched — the most
     /// likely next adjustments).
     pub fn prefetch_neighbours(&mut self, point: &ParamPoint, axis: &str) {
-        let Some(current) = point.get(axis) else { return };
-        let Some(decl) = self.decls.iter().find(|d| d.name == axis) else { return };
+        let Some(current) = point.get(axis) else {
+            return;
+        };
+        let Some(decl) = self.decls.iter().find(|d| d.name == axis) else {
+            return;
+        };
         let values = decl.domain.values();
-        let Some(idx) = values.iter().position(|&v| v == current) else { return };
+        let Some(idx) = values.iter().position(|&v| v == current) else {
+            return;
+        };
         let mut neighbours = Vec::with_capacity(2);
         if idx > 0 {
             neighbours.push(values[idx - 1]);
@@ -198,6 +245,16 @@ impl Guide for PriorityGuide {
         self.queued.remove(&point);
         Some(point)
     }
+
+    /// Anticipate the user's next move: queue the touched slider's domain
+    /// neighbours for idle-time prefetching (paper §3.2).
+    fn observe_adjustment(&mut self, point: &ParamPoint, axis: &str) {
+        self.prefetch_neighbours(point, axis);
+    }
+
+    fn pending(&self) -> usize {
+        PriorityGuide::pending(self)
+    }
 }
 
 #[cfg(test)]
@@ -207,8 +264,18 @@ mod tests {
 
     fn decls() -> Vec<ParameterDecl> {
         vec![
-            ParameterDecl { name: "a".into(), domain: ParameterDomain::Range { lo: 0, hi: 2, step: 1 } },
-            ParameterDecl { name: "b".into(), domain: ParameterDomain::Set(vec![10, 20]) },
+            ParameterDecl {
+                name: "a".into(),
+                domain: ParameterDomain::Range {
+                    lo: 0,
+                    hi: 2,
+                    step: 1,
+                },
+            },
+            ParameterDecl {
+                name: "b".into(),
+                domain: ParameterDomain::Set(vec![10, 20]),
+            },
         ]
     }
 
@@ -311,7 +378,11 @@ mod tests {
     fn priority_guide_anticipates_neighbours() {
         let ds = vec![ParameterDecl {
             name: "a".into(),
-            domain: ParameterDomain::Range { lo: 0, hi: 8, step: 2 },
+            domain: ParameterDomain::Range {
+                lo: 0,
+                hi: 8,
+                step: 2,
+            },
         }];
         let mut g = PriorityGuide::new(&ds);
         let p = ParamPoint::from_pairs([("a", 4i64)]);
@@ -331,7 +402,11 @@ mod tests {
     fn prefetch_neighbours_respects_domain_edges() {
         let ds = vec![ParameterDecl {
             name: "a".into(),
-            domain: ParameterDomain::Range { lo: 0, hi: 8, step: 2 },
+            domain: ParameterDomain::Range {
+                lo: 0,
+                hi: 8,
+                step: 2,
+            },
         }];
         let mut g = PriorityGuide::new(&ds);
         let p = ParamPoint::from_pairs([("a", 0i64)]);

@@ -39,7 +39,10 @@ impl ParamPoint {
     /// Set (or overwrite) one parameter.
     pub fn set(&mut self, name: impl Into<String>, value: i64) {
         let name = name.into();
-        match self.entries.binary_search_by(|(n, _)| n.as_str().cmp(&name)) {
+        match self
+            .entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(&name))
+        {
             Ok(i) => self.entries[i].1 = value,
             Err(i) => self.entries.insert(i, (name, value)),
         }
@@ -90,7 +93,10 @@ impl ParamPoint {
 
     /// Convert to the `@param → Value` map the SQL executor consumes.
     pub fn to_value_map(&self) -> HashMap<String, Value> {
-        self.entries.iter().map(|(n, v)| (n.clone(), Value::Int(*v))).collect()
+        self.entries
+            .iter()
+            .map(|(n, v)| (n.clone(), Value::Int(*v)))
+            .collect()
     }
 
     /// Stable hash of the point, used to derive per-point world seeds so

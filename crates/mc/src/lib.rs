@@ -25,10 +25,12 @@ pub mod guide;
 pub mod instance;
 pub mod materialize;
 pub mod series;
+pub mod store;
 
 pub use aggregate::{Histogram, SampleStats, Welford};
 pub use batch::{simulate_point, SampleSet};
-pub use materialize::{summary_table, worlds_table};
-pub use guide::{GridGuide, Guide, PriorityGuide, RandomGuide};
+pub use guide::{GridGuide, Guide, GuideFactory, PriorityGuide, RandomGuide};
 pub use instance::ParamPoint;
+pub use materialize::{summary_table, worlds_table};
 pub use series::{Series, SeriesPoint};
+pub use store::{BasisHit, ColumnSamples, SharedBasisStore};

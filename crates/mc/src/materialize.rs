@@ -24,8 +24,7 @@ pub fn worlds_table(sample_sets: &[SampleSet]) -> DataResult<Table> {
     let Some(first) = sample_sets.first() else {
         return Ok(Table::empty(Schema::empty()));
     };
-    let param_names: Vec<String> =
-        first.point().iter().map(|(n, _)| n.to_owned()).collect();
+    let param_names: Vec<String> = first.point().iter().map(|(n, _)| n.to_owned()).collect();
     let columns = first.columns().to_vec();
 
     let mut fields = Vec::with_capacity(param_names.len() + 1 + columns.len());
@@ -69,8 +68,7 @@ pub fn summary_table(sample_sets: &[SampleSet]) -> DataResult<Table> {
     let Some(first) = sample_sets.first() else {
         return Ok(Table::empty(Schema::empty()));
     };
-    let param_names: Vec<String> =
-        first.point().iter().map(|(n, _)| n.to_owned()).collect();
+    let param_names: Vec<String> = first.point().iter().map(|(n, _)| n.to_owned()).collect();
     let columns = first.columns().to_vec();
 
     let mut fields = Vec::with_capacity(param_names.len() + 1 + 2 * columns.len());
@@ -96,7 +94,9 @@ pub fn summary_table(sample_sets: &[SampleSet]) -> DataResult<Table> {
         }
         row.push(Value::Int(ss.world_count() as i64));
         for c in &columns {
-            let stats = ss.stats(c).ok_or_else(|| DataError::UnknownColumn(c.clone()))?;
+            let stats = ss
+                .stats(c)
+                .ok_or_else(|| DataError::UnknownColumn(c.clone()))?;
             row.push(Value::Float(stats.mean));
             row.push(Value::Float(stats.std_dev));
         }
@@ -144,7 +144,10 @@ mod tests {
         let sets = vec![sample_set(0, &[0.0, 1.0]), sample_set(1, &[1.0, 1.0, 0.0])];
         let t = worlds_table(&sets).unwrap();
         assert_eq!(t.num_rows(), 5);
-        assert_eq!(t.schema().to_string(), "(current INT, world INT, overload FLOAT)");
+        assert_eq!(
+            t.schema().to_string(),
+            "(current INT, world INT, overload FLOAT)"
+        );
         assert_eq!(t.cell(0, "current").unwrap(), Value::Int(0));
         assert_eq!(t.cell(0, "world").unwrap(), Value::Int(0));
         assert_eq!(t.cell(1, "overload").unwrap(), Value::Float(1.0));
@@ -154,7 +157,10 @@ mod tests {
 
     #[test]
     fn summary_table_aggregates_per_point() {
-        let sets = vec![sample_set(0, &[0.0, 1.0, 1.0, 0.0]), sample_set(1, &[1.0, 1.0])];
+        let sets = vec![
+            sample_set(0, &[0.0, 1.0, 1.0, 0.0]),
+            sample_set(1, &[1.0, 1.0]),
+        ];
         let t = summary_table(&sets).unwrap();
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.cell(0, "worlds").unwrap(), Value::Int(4));

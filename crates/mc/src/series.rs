@@ -53,7 +53,11 @@ impl Series {
             AggMetric::Expect => samples.expect(&self.column)?,
             AggMetric::ExpectStdDev => samples.expect_std_dev(&self.column)?,
         };
-        let point = SeriesPoint { x, y, worlds: samples.world_count() as u64 };
+        let point = SeriesPoint {
+            x,
+            y,
+            worlds: samples.world_count() as u64,
+        };
         match self.points.binary_search_by_key(&x, |p| p.x) {
             Ok(i) => self.points[i] = point,
             Err(i) => self.points.insert(i, point),
@@ -63,7 +67,10 @@ impl Series {
 
     /// The point at `x`, if computed.
     pub fn at(&self, x: i64) -> Option<&SeriesPoint> {
-        self.points.binary_search_by_key(&x, |p| p.x).ok().map(|i| &self.points[i])
+        self.points
+            .binary_search_by_key(&x, |p| p.x)
+            .ok()
+            .map(|i| &self.points[i])
     }
 
     /// `(x, y)` pairs for CSV/plotting.
@@ -98,7 +105,11 @@ mod tests {
     }
 
     fn spec(metric: AggMetric) -> SeriesSpec {
-        SeriesSpec { metric, column: "overload".into(), style: vec!["bold".into(), "red".into()] }
+        SeriesSpec {
+            metric,
+            column: "overload".into(),
+            style: vec!["bold".into(), "red".into()],
+        }
     }
 
     #[test]

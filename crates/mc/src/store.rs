@@ -1,0 +1,376 @@
+//! The shared, parameter-point-keyed basis store.
+//!
+//! The paper's Storage Manager holds "the set of basis distributions
+//! containing the output of prior scenario evaluation runs". In the demo
+//! that store lived inside a single GUI session; the service architecture
+//! shares one store per scenario across *every* session, so a slider move in
+//! one session can re-map results another session simulated
+//! ([`SharedBasisStore`] is `Clone` + thread-safe: clones are handles onto
+//! the same `Arc<RwLock<…>>`-backed state).
+//!
+//! This is the engine-level sibling of
+//! [`prophet_fingerprint::BasisStore`]: that store is generic and keyed by
+//! fingerprint alone; this one is keyed by [`ParamPoint`] and stores the
+//! per-column fingerprints plus full sample sets the Figure-1 evaluation
+//! cycle needs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use prophet_fingerprint::{CorrelationDetector, Fingerprint, Mapping};
+
+use crate::instance::ParamPoint;
+
+/// Per-column Monte Carlo samples for one parameter point.
+pub type ColumnSamples = HashMap<String, Vec<f64>>;
+
+/// A successful correlated lookup: where the samples came from and how to
+/// map each stochastic column onto the queried parameterization.
+pub struct BasisHit {
+    /// The basis point whose samples matched.
+    pub source: ParamPoint,
+    /// Per-column mapping from the source samples to the queried point.
+    pub mappings: HashMap<String, Mapping>,
+    /// The source point's stored samples (all columns).
+    pub samples: Arc<ColumnSamples>,
+    /// Worlds backing the stored samples.
+    pub worlds: usize,
+}
+
+struct Record {
+    fingerprints: HashMap<String, Fingerprint>,
+    /// Samples for *all* output columns (stochastic and derived).
+    samples: Arc<ColumnSamples>,
+    worlds: usize,
+    stamp: u64,
+    /// Whether this entry may serve as a *source* for fingerprint matching.
+    /// Only fully simulated entries qualify: a point reachable through an
+    /// exact-mapped entry is also reachable through that entry's own
+    /// source, so restricting candidates to simulated entries keeps match
+    /// scans proportional to the number of genuinely distinct
+    /// distributions, not the number of visited points.
+    matchable: bool,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<ParamPoint, Record>,
+    next_stamp: u64,
+}
+
+/// Thread-safe basis store shared between engines/sessions of one scenario.
+///
+/// Cloning produces another handle onto the same store. Capacity is
+/// bounded; eviction drops the oldest *mapped* entry first, because
+/// simulated entries are the sources fingerprint matching lives on.
+#[derive(Clone)]
+pub struct SharedBasisStore {
+    inner: Arc<RwLock<Inner>>,
+    stats: Arc<StoreStats>,
+    capacity: usize,
+}
+
+#[derive(Default)]
+struct StoreStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedBasisStore {
+    /// Create an empty store holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` (a store that cannot hold anything is a
+    /// configuration bug).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "basis store capacity must be positive");
+        SharedBasisStore {
+            inner: Arc::new(RwLock::new(Inner::default())),
+            stats: Arc::new(StoreStats::default()),
+            capacity,
+        }
+    }
+
+    /// Maximum number of entries before eviction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.read().entries.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all entries (forces cold start) and reset hit accounting.
+    pub fn clear(&self) {
+        self.write().entries.clear();
+        self.stats.hits.store(0, Ordering::Relaxed);
+        self.stats.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// `(hits, misses)` of [`SharedBasisStore::find_correlated`] so far.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (
+            self.stats.hits.load(Ordering::Relaxed),
+            self.stats.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// True if `other` is a handle onto the same underlying store.
+    pub fn shares_storage_with(&self, other: &SharedBasisStore) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Exact lookup: stored samples for `point`, provided they are backed by
+    /// at least `min_worlds` worlds.
+    pub fn get_exact(&self, point: &ParamPoint, min_worlds: usize) -> Option<Arc<ColumnSamples>> {
+        self.read()
+            .entries
+            .get(point)
+            .filter(|e| e.worlds >= min_worlds)
+            .map(|e| Arc::clone(&e.samples))
+    }
+
+    /// Insert (or replace) the entry for `point`. `matchable` marks fully
+    /// simulated entries that may serve as mapping sources.
+    pub fn insert(
+        &self,
+        point: ParamPoint,
+        fingerprints: HashMap<String, Fingerprint>,
+        samples: Arc<ColumnSamples>,
+        worlds: usize,
+        matchable: bool,
+    ) {
+        let mut inner = self.write();
+        inner.next_stamp += 1;
+        let stamp = inner.next_stamp;
+        if inner.entries.len() >= self.capacity && !inner.entries.contains_key(&point) {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(_, e)| !e.matchable)
+                .min_by_key(|(_, e)| e.stamp)
+                .or_else(|| inner.entries.iter().min_by_key(|(_, e)| e.stamp))
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                inner.entries.remove(&victim);
+            }
+        }
+        inner.entries.insert(
+            point,
+            Record {
+                fingerprints,
+                samples,
+                worlds,
+                stamp,
+                matchable,
+            },
+        );
+    }
+
+    /// Search the store for a matchable entry where *every* column in
+    /// `columns` has a detectable mapping onto the probe fingerprints.
+    /// Returns the best (lowest total error) candidate.
+    pub fn find_correlated(
+        &self,
+        probes: &HashMap<String, Fingerprint>,
+        columns: &[String],
+        detector: &CorrelationDetector,
+    ) -> Option<BasisHit> {
+        let inner = self.read();
+        let mut best: Option<(BasisHit, f64)> = None;
+        for (source_point, entry) in &inner.entries {
+            if !entry.matchable || entry.fingerprints.is_empty() {
+                continue;
+            }
+            let mut mappings = HashMap::with_capacity(columns.len());
+            let mut total_err = 0.0;
+            let mut all_matched = true;
+            for col in columns {
+                let (Some(source_fp), Some(probe_fp)) =
+                    (entry.fingerprints.get(col), probes.get(col))
+                else {
+                    all_matched = false;
+                    break;
+                };
+                match detector.detect(source_fp, probe_fp) {
+                    Some(mapping) => {
+                        total_err += mapping.error_std();
+                        mappings.insert(col.clone(), mapping);
+                    }
+                    None => {
+                        all_matched = false;
+                        break;
+                    }
+                }
+            }
+            if !all_matched {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((_, err)) => total_err < *err,
+            };
+            if better {
+                let exact = total_err == 0.0;
+                best = Some((
+                    BasisHit {
+                        source: source_point.clone(),
+                        mappings,
+                        samples: Arc::clone(&entry.samples),
+                        worlds: entry.worlds,
+                    },
+                    total_err,
+                ));
+                if exact {
+                    // Nothing can beat an exact mapping; stop scanning.
+                    break;
+                }
+            }
+        }
+        drop(inner);
+        match best {
+            Some((hit, _)) => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(hit)
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
+        self.inner.read().expect("basis store lock poisoned")
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Inner> {
+        self.inner.write().expect("basis store lock poisoned")
+    }
+}
+
+impl std::fmt::Debug for SharedBasisStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.hit_stats();
+        f.debug_struct("SharedBasisStore")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(name: &str, v: i64) -> ParamPoint {
+        ParamPoint::from_pairs([(name.to_owned(), v)])
+    }
+
+    fn fp(values: &[f64]) -> Fingerprint {
+        Fingerprint::from_values(values.to_vec())
+    }
+
+    fn samples(v: f64) -> Arc<ColumnSamples> {
+        Arc::new(HashMap::from([("y".to_owned(), vec![v, v + 1.0])]))
+    }
+
+    #[test]
+    fn exact_lookup_respects_min_worlds() {
+        let s = SharedBasisStore::new(8);
+        let p = point("x", 1);
+        s.insert(p.clone(), HashMap::new(), samples(1.0), 50, true);
+        assert!(s.get_exact(&p, 50).is_some());
+        assert!(s.get_exact(&p, 51).is_none(), "too few worlds stored");
+        assert!(s.get_exact(&point("x", 2), 1).is_none());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = SharedBasisStore::new(8);
+        let b = a.clone();
+        assert!(a.shares_storage_with(&b));
+        a.insert(point("x", 1), HashMap::new(), samples(0.0), 10, true);
+        assert_eq!(
+            b.len(),
+            1,
+            "insert through one handle is visible through the other"
+        );
+        b.clear();
+        assert!(a.is_empty());
+        assert!(!a.shares_storage_with(&SharedBasisStore::new(8)));
+    }
+
+    #[test]
+    fn correlated_lookup_finds_offset_related_entry() {
+        let s = SharedBasisStore::new(8);
+        let base = [1.0, 2.0, 3.0, 5.0];
+        s.insert(
+            point("x", 1),
+            HashMap::from([("y".to_owned(), fp(&base))]),
+            samples(10.0),
+            100,
+            true,
+        );
+        let shifted: Vec<f64> = base.iter().map(|v| v + 7.0).collect();
+        let probes = HashMap::from([("y".to_owned(), fp(&shifted))]);
+        let hit = s
+            .find_correlated(&probes, &["y".to_owned()], &CorrelationDetector::default())
+            .expect("offset relation must match");
+        assert_eq!(hit.source, point("x", 1));
+        assert_eq!(hit.worlds, 100);
+        assert_eq!(hit.mappings["y"], Mapping::Offset(7.0));
+        assert_eq!(s.hit_stats(), (1, 0));
+    }
+
+    #[test]
+    fn unmatchable_entries_are_skipped() {
+        let s = SharedBasisStore::new(8);
+        let base = [1.0, 2.0, 3.0, 5.0];
+        s.insert(
+            point("x", 1),
+            HashMap::from([("y".to_owned(), fp(&base))]),
+            samples(0.0),
+            100,
+            false, // mapped entry: not a matching source
+        );
+        let probes = HashMap::from([("y".to_owned(), fp(&base))]);
+        assert!(s
+            .find_correlated(&probes, &["y".to_owned()], &CorrelationDetector::default())
+            .is_none());
+        assert_eq!(s.hit_stats(), (0, 1));
+    }
+
+    #[test]
+    fn eviction_prefers_unmatchable_entries() {
+        let s = SharedBasisStore::new(2);
+        s.insert(point("x", 1), HashMap::new(), samples(0.0), 10, true);
+        s.insert(point("x", 2), HashMap::new(), samples(0.0), 10, false);
+        s.insert(point("x", 3), HashMap::new(), samples(0.0), 10, true);
+        assert_eq!(s.len(), 2);
+        assert!(
+            s.get_exact(&point("x", 1), 1).is_some(),
+            "simulated source survives"
+        );
+        assert!(
+            s.get_exact(&point("x", 2), 1).is_none(),
+            "mapped entry evicted first"
+        );
+        assert!(s.get_exact(&point("x", 3), 1).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = SharedBasisStore::new(0);
+    }
+}

@@ -59,7 +59,10 @@ impl CapacityModel {
     /// Build from a config.
     pub fn new(config: CapacityConfig) -> Self {
         let lag_sampler = config.deployment.sampler();
-        CapacityModel { config, lag_sampler }
+        CapacityModel {
+            config,
+            lag_sampler,
+        }
     }
 
     /// The config in use.
@@ -128,7 +131,11 @@ impl CapacityModel {
 
     /// Expected weekly failure loss across all classes.
     pub fn mean_weekly_loss(&self) -> f64 {
-        self.config.failure_classes.iter().map(FailureClass::mean_weekly_loss).sum()
+        self.config
+            .failure_classes
+            .iter()
+            .map(FailureClass::mean_weekly_loss)
+            .sum()
     }
 }
 
@@ -177,8 +184,10 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
         let n = 2_000;
         // purchases far in the future → pure decay
-        let mean_w40: f64 =
-            (0..n).map(|_| m.capacity_at(40, 52, 52, &mut rng)).sum::<f64>() / n as f64;
+        let mean_w40: f64 = (0..n)
+            .map(|_| m.capacity_at(40, 52, 52, &mut rng))
+            .sum::<f64>()
+            / n as f64;
         let expected = 10_000.0 - 41.0 * m.mean_weekly_loss();
         let rel = (mean_w40 - expected).abs() / expected;
         assert!(rel < 0.03, "mean={mean_w40:.0} expected={expected:.0}");
@@ -244,12 +253,18 @@ mod tests {
                 increases += 1;
             }
         }
-        assert!(increases <= 2, "at most the two purchase deployments add cores, saw {increases}");
+        assert!(
+            increases <= 2,
+            "at most the two purchase deployments add cores, saw {increases}"
+        );
     }
 
     #[test]
     fn capacity_is_never_negative() {
-        let cfg = CapacityConfig { initial_cores: 50.0, ..CapacityConfig::default() };
+        let cfg = CapacityConfig {
+            initial_cores: 50.0,
+            ..CapacityConfig::default()
+        };
         let m = CapacityModel::new(cfg);
         let mut rng = Xoshiro256StarStar::seed_from_u64(6);
         for _ in 0..50 {
@@ -287,6 +302,9 @@ mod tests {
         let m = model();
         let mut a = Xoshiro256StarStar::seed_from_u64(123);
         let mut b = Xoshiro256StarStar::seed_from_u64(123);
-        assert_eq!(m.trajectory(52, 8, 20, &mut a), m.trajectory(52, 8, 20, &mut b));
+        assert_eq!(
+            m.trajectory(52, 8, 20, &mut a),
+            m.trajectory(52, 8, 20, &mut b)
+        );
     }
 }

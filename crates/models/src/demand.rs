@@ -59,7 +59,11 @@ impl DemandModel {
         let base = Normal::new(0.0, config.base_std).expect("base_std must be positive");
         let feature = Normal::new(config.feature_mean, config.feature_std)
             .expect("feature_std must be positive");
-        DemandModel { config, base, feature }
+        DemandModel {
+            config,
+            base,
+            feature,
+        }
     }
 
     /// The config in use.
@@ -77,7 +81,11 @@ impl DemandModel {
         let trend = self.config.base_mean + self.config.growth_per_week * current as f64;
         let base_noise = self.base.sample(rng);
         let feature_extra = self.feature.sample(rng);
-        let extra = if current >= feature_week { feature_extra } else { 0.0 };
+        let extra = if current >= feature_week {
+            feature_extra
+        } else {
+            0.0
+        };
         (trend + base_noise + extra).max(0.0)
     }
 
@@ -141,10 +149,16 @@ mod tests {
         let w0 = sample_mean(0, 26, &mut rng);
         assert!((w0 - 8_000.0).abs() < 30.0, "week-0 mean {w0}");
         let w20 = sample_mean(20, 26, &mut rng);
-        assert!((w20 - (8_000.0 + 70.0 * 20.0)).abs() < 30.0, "week-20 mean {w20}");
+        assert!(
+            (w20 - (8_000.0 + 70.0 * 20.0)).abs() < 30.0,
+            "week-20 mean {w20}"
+        );
         // after release the feature gaussian is added
         let w30 = sample_mean(30, 26, &mut rng);
-        assert!((w30 - (8_000.0 + 70.0 * 30.0 + 1_200.0)).abs() < 35.0, "week-30 mean {w30}");
+        assert!(
+            (w30 - (8_000.0 + 70.0 * 30.0 + 1_200.0)).abs() < 35.0,
+            "week-30 mean {w30}"
+        );
     }
 
     #[test]
@@ -188,7 +202,9 @@ mod tests {
     fn vg_interface_returns_single_cell() {
         let m = model();
         let mut rng = Xoshiro256StarStar::seed_from_u64(3);
-        let t = m.invoke(&[Value::Int(10), Value::Int(26)], &mut rng).unwrap();
+        let t = m
+            .invoke(&[Value::Int(10), Value::Int(26)], &mut rng)
+            .unwrap();
         assert_eq!(t.num_rows(), 1);
         assert_eq!(t.schema().len(), 1);
         assert!(t.cell(0, "demand").unwrap().as_f64().unwrap() > 0.0);
@@ -196,7 +212,11 @@ mod tests {
 
     #[test]
     fn demand_is_never_negative() {
-        let cfg = DemandConfig { base_mean: 10.0, base_std: 500.0, ..DemandConfig::default() };
+        let cfg = DemandConfig {
+            base_mean: 10.0,
+            base_std: 500.0,
+            ..DemandConfig::default()
+        };
         let m = DemandModel::new(cfg);
         let mut rng = Xoshiro256StarStar::seed_from_u64(5);
         for week in 0..52 {

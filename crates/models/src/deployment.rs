@@ -23,7 +23,11 @@ pub struct DeploymentConfig {
 
 impl Default for DeploymentConfig {
     fn default() -> Self {
-        DeploymentConfig { min_weeks: 1.0, mode_weeks: 2.0, max_weeks: 5.0 }
+        DeploymentConfig {
+            min_weeks: 1.0,
+            mode_weeks: 2.0,
+            max_weeks: 5.0,
+        }
     }
 }
 

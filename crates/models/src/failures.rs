@@ -26,7 +26,12 @@ impl FailureClass {
     /// # Panics
     /// Panics on non-positive rate or spread; classes are analyst-authored
     /// constants.
-    pub fn new(name: impl Into<String>, events_per_week: f64, median_cores: f64, sigma: f64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        events_per_week: f64,
+        median_cores: f64,
+        sigma: f64,
+    ) -> Self {
         let events = Poisson::new(events_per_week).expect("event rate must be positive");
         let loss = LogNormal::new(median_cores.ln(), sigma).expect("sigma must be positive");
         FailureClass {
@@ -86,17 +91,26 @@ mod tests {
         for class in FailureClass::default_fleet() {
             let mut rng = Xoshiro256StarStar::seed_from_u64(11);
             let n = 50_000;
-            let sim: f64 =
-                (0..n).map(|_| class.sample_weekly_loss(&mut rng)).sum::<f64>() / n as f64;
+            let sim: f64 = (0..n)
+                .map(|_| class.sample_weekly_loss(&mut rng))
+                .sum::<f64>()
+                / n as f64;
             let analytic = class.mean_weekly_loss();
             let rel = (sim - analytic).abs() / analytic;
-            assert!(rel < 0.08, "{}: sim={sim:.2} analytic={analytic:.2}", class.name());
+            assert!(
+                rel < 0.08,
+                "{}: sim={sim:.2} analytic={analytic:.2}",
+                class.name()
+            );
         }
     }
 
     #[test]
     fn fleet_total_is_moderate() {
-        let total: f64 = FailureClass::default_fleet().iter().map(|c| c.mean_weekly_loss()).sum();
+        let total: f64 = FailureClass::default_fleet()
+            .iter()
+            .map(|c| c.mean_weekly_loss())
+            .sum();
         // Tuned range: enough to matter over a year, not enough to dominate.
         assert!((40.0..80.0).contains(&total), "total weekly loss {total}");
     }
@@ -119,7 +133,9 @@ mod tests {
         // With a tiny rate, most weeks must be zero-loss.
         let class = FailureClass::new("rare", 0.01, 100.0, 0.3);
         let mut rng = Xoshiro256StarStar::seed_from_u64(4);
-        let zeros = (0..1_000).filter(|_| class.sample_weekly_loss(&mut rng) == 0.0).count();
+        let zeros = (0..1_000)
+            .filter(|_| class.sample_weekly_loss(&mut rng) == 0.0)
+            .count();
         assert!(zeros > 950, "zeros={zeros}");
     }
 }

@@ -24,7 +24,11 @@ pub struct InventoryConfig {
 
 impl Default for InventoryConfig {
     fn default() -> Self {
-        InventoryConfig { initial_units: 500.0, weekly_demand: 60.0, lead_weeks: 3 }
+        InventoryConfig {
+            initial_units: 500.0,
+            weekly_demand: 60.0,
+            lead_weeks: 3,
+        }
     }
 }
 
@@ -149,7 +153,10 @@ mod tests {
             let t = m.trajectory(52, 400, 400, &mut rng);
             stockouts += t.iter().filter(|&&x| x == 0.0).count();
         }
-        assert_eq!(stockouts, 0, "reorder at 400 with lead-time demand ≈180 should never stock out");
+        assert_eq!(
+            stockouts, 0,
+            "reorder at 400 with lead-time demand ≈180 should never stock out"
+        );
     }
 
     #[test]
@@ -201,7 +208,10 @@ mod tests {
         let m = InventoryModel::default();
         let mut rng = Xoshiro256StarStar::seed_from_u64(4);
         let t = m
-            .invoke(&[Value::Int(10), Value::Int(200), Value::Int(300)], &mut rng)
+            .invoke(
+                &[Value::Int(10), Value::Int(200), Value::Int(300)],
+                &mut rng,
+            )
             .unwrap();
         assert_eq!((t.num_rows(), t.schema().len()), (1, 1));
         assert!(t.cell(0, "on_hand").unwrap().as_f64().unwrap() >= 0.0);

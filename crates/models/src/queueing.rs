@@ -71,8 +71,8 @@ impl QueueModel {
     /// completed work), in fixed order; the agent count scales the service
     /// draw's rate but the *number* of draws is parameter-independent.
     pub fn mean_backlog(&self, week: i64, agents: i64, rng: &mut dyn Rng64) -> f64 {
-        let arrivals =
-            Poisson::new(self.arrival_rate(week)).expect("arrival rate is positive by construction");
+        let arrivals = Poisson::new(self.arrival_rate(week))
+            .expect("arrival rate is positive by construction");
         let service = Poisson::new((agents.max(1) as f64 * self.config.service_rate).max(1e-9))
             .expect("service rate is positive by construction");
         let mut backlog = 0.0f64;
@@ -126,7 +126,10 @@ mod tests {
         let m = QueueModel::default();
         // week 0: 40 arrivals/h, 10 agents × 6/h = 60 capacity → ρ = 2/3
         assert!((m.utilization(0, 10) - 40.0 / 60.0).abs() < 1e-12);
-        assert!(m.utilization(52, 10) > m.utilization(0, 10), "growth raises load");
+        assert!(
+            m.utilization(52, 10) > m.utilization(0, 10),
+            "growth raises load"
+        );
         // zero agents clamps rather than dividing by zero
         assert!(m.utilization(0, 0).is_finite());
     }
@@ -141,7 +144,10 @@ mod tests {
         };
         let under = mean(5, &mut rng); // capacity 30 < arrivals 40
         let over = mean(12, &mut rng); // capacity 72 > arrivals 40
-        assert!(under > 100.0, "unstable queue should accumulate, got {under:.1}");
+        assert!(
+            under > 100.0,
+            "unstable queue should accumulate, got {under:.1}"
+        );
         assert!(over < 15.0, "stable queue should stay small, got {over:.1}");
     }
 
@@ -170,7 +176,9 @@ mod tests {
     fn vg_interface() {
         let m = QueueModel::default();
         let mut rng = Xoshiro256StarStar::seed_from_u64(10);
-        let t = m.invoke(&[Value::Int(0), Value::Int(10)], &mut rng).unwrap();
+        let t = m
+            .invoke(&[Value::Int(0), Value::Int(10)], &mut rng)
+            .unwrap();
         assert!(t.cell(0, "backlog").unwrap().as_f64().unwrap() >= 0.0);
     }
 }

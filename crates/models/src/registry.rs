@@ -51,14 +51,21 @@ mod tests {
     #[test]
     fn demo_registry_has_the_figure2_functions() {
         let r = demo_registry();
-        assert_eq!(r.names(), vec!["CapacityModel".to_string(), "DemandModel".to_string()]);
+        assert_eq!(
+            r.names(),
+            vec!["CapacityModel".to_string(), "DemandModel".to_string()]
+        );
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
         let t = r
             .invoke("DemandModel", &[Value::Int(0), Value::Int(26)], &mut rng)
             .unwrap();
         assert_eq!(t.num_rows(), 1);
         let t = r
-            .invoke("CapacityModel", &[Value::Int(0), Value::Int(8), Value::Int(24)], &mut rng)
+            .invoke(
+                "CapacityModel",
+                &[Value::Int(0), Value::Int(8), Value::Int(24)],
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(t.num_rows(), 1);
     }
@@ -75,12 +82,22 @@ mod tests {
     #[test]
     fn custom_configs_change_behaviour() {
         let generous = demo_registry_with(
-            DemandConfig { base_mean: 100.0, ..DemandConfig::default() },
-            CapacityConfig { initial_cores: 1_000_000.0, ..CapacityConfig::default() },
+            DemandConfig {
+                base_mean: 100.0,
+                ..DemandConfig::default()
+            },
+            CapacityConfig {
+                initial_cores: 1_000_000.0,
+                ..CapacityConfig::default()
+            },
         );
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
         let cap = generous
-            .invoke("CapacityModel", &[Value::Int(0), Value::Int(52), Value::Int(52)], &mut rng)
+            .invoke(
+                "CapacityModel",
+                &[Value::Int(0), Value::Int(52), Value::Int(52)],
+                &mut rng,
+            )
             .unwrap()
             .cell(0, "capacity")
             .unwrap()

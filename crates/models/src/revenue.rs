@@ -57,10 +57,16 @@ impl RevenueModel {
         let subscriber_noise =
             Normal::new(0.0, config.subscriber_std).expect("subscriber_std must be positive");
         // mean-1 engagement multiplier: mu = -sigma^2/2
-        let engagement =
-            LogNormal::new(-config.engagement_sigma * config.engagement_sigma / 2.0, config.engagement_sigma)
-                .expect("engagement_sigma must be positive");
-        RevenueModel { config, subscriber_noise, engagement }
+        let engagement = LogNormal::new(
+            -config.engagement_sigma * config.engagement_sigma / 2.0,
+            config.engagement_sigma,
+        )
+        .expect("engagement_sigma must be positive");
+        RevenueModel {
+            config,
+            subscriber_noise,
+            engagement,
+        }
     }
 
     /// Sample weekly revenue (Rust-level API).
@@ -167,9 +173,13 @@ mod tests {
     fn vg_interface_accepts_int_and_float_price() {
         let m = RevenueModel::default();
         let mut rng = Xoshiro256StarStar::seed_from_u64(4);
-        let t = m.invoke(&[Value::Int(0), Value::Int(20)], &mut rng).unwrap();
+        let t = m
+            .invoke(&[Value::Int(0), Value::Int(20)], &mut rng)
+            .unwrap();
         assert!(t.cell(0, "revenue").unwrap().as_f64().unwrap() > 0.0);
-        let t = m.invoke(&[Value::Int(0), Value::Float(19.5)], &mut rng).unwrap();
+        let t = m
+            .invoke(&[Value::Int(0), Value::Float(19.5)], &mut rng)
+            .unwrap();
         assert!(t.cell(0, "revenue").unwrap().as_f64().unwrap() > 0.0);
     }
 }

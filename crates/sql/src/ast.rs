@@ -240,9 +240,7 @@ impl ParameterDomain {
     /// Whether `v` belongs to the domain.
     pub fn contains(&self, v: i64) -> bool {
         match self {
-            ParameterDomain::Range { lo, hi, step } => {
-                v >= *lo && v <= *hi && (v - lo) % step == 0
-            }
+            ParameterDomain::Range { lo, hi, step } => v >= *lo && v <= *hi && (v - lo) % step == 0,
             ParameterDomain::Set(vs) => vs.contains(&v),
         }
     }
@@ -413,14 +411,25 @@ mod tests {
         assert!(CmpOp::Gt.test(Some(Greater)));
         assert!(CmpOp::Ge.test(Some(Equal)));
         // NULL comparisons are false for every operator
-        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert!(!op.test(None));
         }
     }
 
     #[test]
     fn range_domain_materialization() {
-        let d = ParameterDomain::Range { lo: 0, hi: 12, step: 4 };
+        let d = ParameterDomain::Range {
+            lo: 0,
+            hi: 12,
+            step: 4,
+        };
         assert_eq!(d.values(), vec![0, 4, 8, 12]);
         assert_eq!(d.cardinality(), 4);
         assert!(d.contains(8));
@@ -430,14 +439,22 @@ mod tests {
 
     #[test]
     fn range_domain_non_divisible_end() {
-        let d = ParameterDomain::Range { lo: 0, hi: 10, step: 4 };
+        let d = ParameterDomain::Range {
+            lo: 0,
+            hi: 10,
+            step: 4,
+        };
         assert_eq!(d.values(), vec![0, 4, 8]);
         assert_eq!(d.cardinality(), 3);
     }
 
     #[test]
     fn empty_range() {
-        let d = ParameterDomain::Range { lo: 5, hi: 4, step: 1 };
+        let d = ParameterDomain::Range {
+            lo: 5,
+            hi: 4,
+            step: 1,
+        };
         assert_eq!(d.values(), Vec::<i64>::new());
         assert_eq!(d.cardinality(), 0);
     }
@@ -461,7 +478,10 @@ mod tests {
                 args: vec![Expr::Param("current".into()), Expr::Param("feature".into())],
             }),
         };
-        assert_eq!(e.referenced_params(), vec!["current".to_string(), "feature".to_string()]);
+        assert_eq!(
+            e.referenced_params(),
+            vec!["current".to_string(), "feature".to_string()]
+        );
     }
 
     #[test]
@@ -470,10 +490,16 @@ mod tests {
             whens: vec![(
                 Expr::Binary {
                     op: BinOp::Cmp(CmpOp::Lt),
-                    lhs: Box::new(Expr::Call { name: "A".into(), args: vec![] }),
+                    lhs: Box::new(Expr::Call {
+                        name: "A".into(),
+                        args: vec![],
+                    }),
                     rhs: Box::new(Expr::Call {
                         name: "B".into(),
-                        args: vec![Expr::Call { name: "C".into(), args: vec![] }],
+                        args: vec![Expr::Call {
+                            name: "C".into(),
+                            args: vec![],
+                        }],
                     }),
                 },
                 Expr::Literal(Value::Int(1)),

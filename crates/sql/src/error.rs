@@ -38,7 +38,10 @@ pub enum SqlError {
 impl SqlError {
     /// Construct a parse error at a span.
     pub fn parse_at(message: impl Into<String>, span: Span) -> Self {
-        SqlError::Parse { message: message.into(), line: span.line }
+        SqlError::Parse {
+            message: message.into(),
+            line: span.line,
+        }
     }
 }
 
@@ -76,7 +79,10 @@ mod tests {
 
     #[test]
     fn display_includes_line() {
-        let e = SqlError::Parse { message: "expected SELECT".into(), line: 7 };
+        let e = SqlError::Parse {
+            message: "expected SELECT".into(),
+            line: 7,
+        };
         assert_eq!(e.to_string(), "parse error on line 7: expected SELECT");
     }
 

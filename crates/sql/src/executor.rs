@@ -46,7 +46,11 @@ pub enum WorldRng<'a> {
 impl<'a> WorldRng<'a> {
     /// Per-call strategy for a given world.
     pub fn per_call(seeds: SeedManager, world: u64) -> Self {
-        WorldRng::PerCall { seeds, world, counter: 0 }
+        WorldRng::PerCall {
+            seeds,
+            world,
+            counter: 0,
+        }
     }
 }
 
@@ -69,7 +73,12 @@ impl<'a, 'r> EvalContext<'a, 'r> {
         params: &'a HashMap<String, Value>,
         rng: &'r mut dyn Rng64,
     ) -> Self {
-        EvalContext { registry, params, rng: WorldRng::Shared(rng), aliases: HashMap::new() }
+        EvalContext {
+            registry,
+            params,
+            rng: WorldRng::Shared(rng),
+            aliases: HashMap::new(),
+        }
     }
 
     /// Fresh context with an explicit randomness strategy.
@@ -78,7 +87,12 @@ impl<'a, 'r> EvalContext<'a, 'r> {
         params: &'a HashMap<String, Value>,
         rng: WorldRng<'r>,
     ) -> Self {
-        EvalContext { registry, params, rng, aliases: HashMap::new() }
+        EvalContext {
+            registry,
+            params,
+            rng,
+            aliases: HashMap::new(),
+        }
     }
 
     /// Record an alias so later select items can reference it.
@@ -95,7 +109,11 @@ impl<'a, 'r> EvalContext<'a, 'r> {
     fn invoke_vg(&mut self, name: &str, args: &[Value]) -> SqlResult<prophet_data::Table> {
         match &mut self.rng {
             WorldRng::Shared(rng) => Ok(self.registry.invoke(name, args, *rng)?),
-            WorldRng::PerCall { seeds, world, counter } => {
+            WorldRng::PerCall {
+                seeds,
+                world,
+                counter,
+            } => {
                 let mut rng = seeds.rng_for(*world, name, *counter);
                 *counter += 1;
                 Ok(self.registry.invoke(name, args, &mut rng)?)
@@ -182,7 +200,12 @@ pub fn eval_expr(expr: &Expr, ctx: &mut EvalContext<'_, '_>) -> SqlResult<Value>
     }
 }
 
-fn eval_binary(op: BinOp, lhs: &Expr, rhs: &Expr, ctx: &mut EvalContext<'_, '_>) -> SqlResult<Value> {
+fn eval_binary(
+    op: BinOp,
+    lhs: &Expr,
+    rhs: &Expr,
+    ctx: &mut EvalContext<'_, '_>,
+) -> SqlResult<Value> {
     // AND/OR get SQL three-valued logic with short-circuiting.
     match op {
         BinOp::And => {
@@ -262,7 +285,10 @@ fn scalar_builtin(name: &str, args: &[Value]) -> SqlResult<Value> {
 
     fn unary_f64(name: &str, args: &[Value], f: impl Fn(f64) -> f64) -> SqlResult<Value> {
         if args.len() != 1 {
-            return Err(SqlError::Eval(format!("{name} takes 1 argument, got {}", args.len())));
+            return Err(SqlError::Eval(format!(
+                "{name} takes 1 argument, got {}",
+                args.len()
+            )));
         }
         if args[0].is_null() {
             return Ok(Value::Null);
@@ -273,7 +299,10 @@ fn scalar_builtin(name: &str, args: &[Value]) -> SqlResult<Value> {
     match upper.as_str() {
         "ABS" => {
             if args.len() != 1 {
-                return Err(SqlError::Eval(format!("ABS takes 1 argument, got {}", args.len())));
+                return Err(SqlError::Eval(format!(
+                    "ABS takes 1 argument, got {}",
+                    args.len()
+                )));
             }
             match &args[0] {
                 Value::Null => Ok(Value::Null),
@@ -288,7 +317,10 @@ fn scalar_builtin(name: &str, args: &[Value]) -> SqlResult<Value> {
         "CEILING" | "CEIL" => unary_f64("CEILING", args, f64::ceil),
         "POWER" => {
             if args.len() != 2 {
-                return Err(SqlError::Eval(format!("POWER takes 2 arguments, got {}", args.len())));
+                return Err(SqlError::Eval(format!(
+                    "POWER takes 2 arguments, got {}",
+                    args.len()
+                )));
             }
             if args[0].is_null() || args[1].is_null() {
                 return Ok(Value::Null);
@@ -299,7 +331,9 @@ fn scalar_builtin(name: &str, args: &[Value]) -> SqlResult<Value> {
         }
         "LEAST" | "GREATEST" => {
             if args.is_empty() {
-                return Err(SqlError::Eval(format!("{upper} needs at least one argument")));
+                return Err(SqlError::Eval(format!(
+                    "{upper} needs at least one argument"
+                )));
             }
             if args.iter().any(Value::is_null) {
                 return Ok(Value::Null);
@@ -326,7 +360,9 @@ fn scalar_builtin(name: &str, args: &[Value]) -> SqlResult<Value> {
             }
             Ok(Value::Null)
         }
-        _ => Err(SqlError::Data(DataError::UnknownColumn(format!("function `{name}`")))),
+        _ => Err(SqlError::Data(DataError::UnknownColumn(format!(
+            "function `{name}`"
+        )))),
     }
 }
 
@@ -392,9 +428,15 @@ mod tests {
 
     #[test]
     fn case_evaluation_order_and_null_condition() {
-        assert_eq!(const_eval("CASE WHEN 1 < 2 THEN 10 WHEN 1 < 3 THEN 20 END"), Value::Int(10));
+        assert_eq!(
+            const_eval("CASE WHEN 1 < 2 THEN 10 WHEN 1 < 3 THEN 20 END"),
+            Value::Int(10)
+        );
         assert_eq!(const_eval("CASE WHEN 2 < 1 THEN 10 END"), Value::Null);
-        assert_eq!(const_eval("CASE WHEN NULL THEN 10 ELSE 20 END"), Value::Int(20));
+        assert_eq!(
+            const_eval("CASE WHEN NULL THEN 10 ELSE 20 END"),
+            Value::Int(20)
+        );
     }
 
     #[test]
@@ -513,7 +555,9 @@ mod tests {
         params.insert("b".to_string(), Value::Int(0));
         let run = |seed| {
             let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
-            evaluate_select(&script.select, &registry, &params, &mut rng).unwrap()[0].1.clone()
+            evaluate_select(&script.select, &registry, &params, &mut rng).unwrap()[0]
+                .1
+                .clone()
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
@@ -531,7 +575,8 @@ mod tests {
 
     #[test]
     fn unbound_parameter_is_reported() {
-        let script = parse_script("DECLARE PARAMETER @b AS SET (0);\nSELECT @b AS v INTO r;").unwrap();
+        let script =
+            parse_script("DECLARE PARAMETER @b AS SET (0);\nSELECT @b AS v INTO r;").unwrap();
         let registry = test_registry();
         let params = HashMap::new(); // not bound
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
@@ -546,13 +591,20 @@ mod tests {
         let params = HashMap::new();
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
         let err = evaluate_select(&script.select, &registry, &params, &mut rng).unwrap_err();
-        assert!(err.to_string().contains("unknown column or alias `missing`"), "{err}");
+        assert!(
+            err.to_string()
+                .contains("unknown column or alias `missing`"),
+            "{err}"
+        );
     }
 
     #[test]
     fn division_by_zero_flows_as_null_not_error() {
         assert_eq!(const_eval("1 / 0"), Value::Null);
-        assert_eq!(const_eval("CASE WHEN 1/0 > 1 THEN 1 ELSE 0 END"), Value::Int(0));
+        assert_eq!(
+            const_eval("CASE WHEN 1/0 > 1 THEN 1 ELSE 0 END"),
+            Value::Int(0)
+        );
     }
 
     #[test]

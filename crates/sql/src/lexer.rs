@@ -21,7 +21,12 @@ struct Lexer<'s> {
 
 impl<'s> Lexer<'s> {
     fn new(src: &'s str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1 }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -48,7 +53,10 @@ impl<'s> Lexer<'s> {
             let start = self.pos;
             let line = self.line;
             let Some(b) = self.peek() else {
-                tokens.push(Token { kind: TokenKind::Eof, span: Span::point(self.pos, self.line) });
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::point(self.pos, self.line),
+                });
                 return Ok(tokens);
             };
             let kind = match b {
@@ -156,7 +164,14 @@ impl<'s> Lexer<'s> {
                     })
                 }
             };
-            tokens.push(Token { kind, span: Span { start, end: self.pos, line } });
+            tokens.push(Token {
+                kind,
+                span: Span {
+                    start,
+                    end: self.pos,
+                    line,
+                },
+            });
         }
     }
 
@@ -219,11 +234,17 @@ impl<'s> Lexer<'s> {
         if saw_dot || saw_exp {
             text.parse::<f64>()
                 .map(TokenKind::Float)
-                .map_err(|_| SqlError::Lex { message: format!("bad float literal `{text}`"), line })
+                .map_err(|_| SqlError::Lex {
+                    message: format!("bad float literal `{text}`"),
+                    line,
+                })
         } else {
             text.parse::<i64>()
                 .map(TokenKind::Int)
-                .map_err(|_| SqlError::Lex { message: format!("bad integer literal `{text}`"), line })
+                .map_err(|_| SqlError::Lex {
+                    message: format!("bad integer literal `{text}`"),
+                    line,
+                })
         }
     }
 
@@ -243,7 +264,10 @@ impl<'s> Lexer<'s> {
                 }
                 Some(b) => out.push(b as char),
                 None => {
-                    return Err(SqlError::Lex { message: "unterminated string literal".into(), line })
+                    return Err(SqlError::Lex {
+                        message: "unterminated string literal".into(),
+                        line,
+                    })
                 }
             }
         }

@@ -64,7 +64,10 @@ impl Parser {
             Ok(())
         } else {
             let t = self.peek();
-            Err(SqlError::parse_at(format!("expected {kw:?}, found {}", t.kind), t.span))
+            Err(SqlError::parse_at(
+                format!("expected {kw:?}, found {}", t.kind),
+                t.span,
+            ))
         }
     }
 
@@ -82,7 +85,10 @@ impl Parser {
             Ok(())
         } else {
             let t = self.peek();
-            Err(SqlError::parse_at(format!("expected `{kind}`, found {}", t.kind), t.span))
+            Err(SqlError::parse_at(
+                format!("expected `{kind}`, found {}", t.kind),
+                t.span,
+            ))
         }
     }
 
@@ -90,7 +96,10 @@ impl Parser {
         let t = self.advance();
         match t.kind {
             TokenKind::Param(name) => Ok(name),
-            other => Err(SqlError::parse_at(format!("expected @parameter, found {other}"), t.span)),
+            other => Err(SqlError::parse_at(
+                format!("expected @parameter, found {other}"),
+                t.span,
+            )),
         }
     }
 
@@ -98,7 +107,10 @@ impl Parser {
         let t = self.advance();
         match t.kind {
             TokenKind::Ident(name) => Ok(name),
-            other => Err(SqlError::parse_at(format!("expected identifier, found {other}"), t.span)),
+            other => Err(SqlError::parse_at(
+                format!("expected identifier, found {other}"),
+                t.span,
+            )),
         }
     }
 
@@ -108,7 +120,10 @@ impl Parser {
         let t = self.advance();
         match t.kind {
             TokenKind::Int(v) => Ok(if neg { -v } else { v }),
-            other => Err(SqlError::parse_at(format!("expected integer, found {other}"), t.span)),
+            other => Err(SqlError::parse_at(
+                format!("expected integer, found {other}"),
+                t.span,
+            )),
         }
     }
 
@@ -119,7 +134,10 @@ impl Parser {
             TokenKind::Int(v) => v as f64,
             TokenKind::Float(v) => v,
             other => {
-                return Err(SqlError::parse_at(format!("expected number, found {other}"), t.span))
+                return Err(SqlError::parse_at(
+                    format!("expected number, found {other}"),
+                    t.span,
+                ))
             }
         };
         Ok(if neg { -v } else { v })
@@ -155,7 +173,12 @@ impl Parser {
         self.expect_kind(&TokenKind::Eof)?;
 
         // Semantic checks that need the whole script.
-        let script = Script { params, select, graph, optimize };
+        let script = Script {
+            params,
+            select,
+            graph,
+            optimize,
+        };
         self.validate(&script)?;
         Ok(script)
     }
@@ -164,10 +187,16 @@ impl Parser {
         let declared: Vec<&str> = script.params.iter().map(|p| p.name.as_str()).collect();
         for (i, p) in script.params.iter().enumerate() {
             if script.params[..i].iter().any(|q| q.name == p.name) {
-                return Err(SqlError::Eval(format!("parameter @{} declared twice", p.name)));
+                return Err(SqlError::Eval(format!(
+                    "parameter @{} declared twice",
+                    p.name
+                )));
             }
             if p.domain.cardinality() == 0 {
-                return Err(SqlError::Eval(format!("parameter @{} has an empty domain", p.name)));
+                return Err(SqlError::Eval(format!(
+                    "parameter @{} has an empty domain",
+                    p.name
+                )));
             }
         }
         for item in &script.select.items {
@@ -180,7 +209,10 @@ impl Parser {
         let columns = script.output_columns();
         if let Some(g) = &script.graph {
             if !declared.contains(&g.x_param.as_str()) {
-                return Err(SqlError::Eval(format!("GRAPH OVER undeclared parameter @{}", g.x_param)));
+                return Err(SqlError::Eval(format!(
+                    "GRAPH OVER undeclared parameter @{}",
+                    g.x_param
+                )));
             }
             for s in &g.series {
                 if !columns.contains(&s.column.as_str()) {
@@ -200,7 +232,9 @@ impl Parser {
             }
             for p in &o.select_params {
                 if !declared.contains(&p.as_str()) {
-                    return Err(SqlError::Eval(format!("OPTIMIZE selects undeclared parameter @{p}")));
+                    return Err(SqlError::Eval(format!(
+                        "OPTIMIZE selects undeclared parameter @{p}"
+                    )));
                 }
             }
             for c in &o.constraints {
@@ -273,7 +307,10 @@ impl Parser {
         // Aliases must be unique: later items reference earlier ones by name.
         for (i, it) in items.iter().enumerate() {
             if items[..i].iter().any(|o| o.alias == it.alias) {
-                return Err(SqlError::Eval(format!("duplicate select alias `{}`", it.alias)));
+                return Err(SqlError::Eval(format!(
+                    "duplicate select alias `{}`",
+                    it.alias
+                )));
             }
         }
         Ok(SelectInto { items, target })
@@ -309,10 +346,17 @@ impl Parser {
             }
             if style.is_empty() {
                 let t = self.peek();
-                return Err(SqlError::parse_at("WITH requires at least one style word", t.span));
+                return Err(SqlError::parse_at(
+                    "WITH requires at least one style word",
+                    t.span,
+                ));
             }
         }
-        Ok(SeriesSpec { metric, column, style })
+        Ok(SeriesSpec {
+            metric,
+            column,
+            style,
+        })
     }
 
     fn agg_metric(&mut self) -> SqlResult<AggMetric> {
@@ -358,7 +402,13 @@ impl Parser {
         }
         // Trailing semicolon is optional (the paper's Figure 2 omits it).
         self.eat_kind(&TokenKind::Semicolon);
-        Ok(OptimizeSpec { select_params, from, constraints, group_by, objectives })
+        Ok(OptimizeSpec {
+            select_params,
+            from,
+            constraints,
+            group_by,
+            objectives,
+        })
     }
 
     fn constraint(&mut self) -> SqlResult<Constraint> {
@@ -381,7 +431,13 @@ impl Parser {
         self.expect_kind(&TokenKind::RParen)?;
         let op = self.cmp_op()?;
         let threshold = self.expect_number()?;
-        Ok(Constraint { outer, metric, column, op, threshold })
+        Ok(Constraint {
+            outer,
+            metric,
+            column,
+            op,
+            threshold,
+        })
     }
 
     fn cmp_op(&mut self) -> SqlResult<CmpOp> {
@@ -409,7 +465,10 @@ impl Parser {
             ObjectiveDirection::Min
         } else {
             let t = self.peek();
-            return Err(SqlError::parse_at(format!("expected MAX or MIN, found {}", t.kind), t.span));
+            return Err(SqlError::parse_at(
+                format!("expected MAX or MIN, found {}", t.kind),
+                t.span,
+            ));
         };
         let param = self.expect_param()?;
         Ok(Objective { direction, param })
@@ -425,7 +484,11 @@ impl Parser {
         let mut lhs = self.and_expr()?;
         while self.eat_kw(Keyword::Or) {
             let rhs = self.and_expr()?;
-            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -434,7 +497,11 @@ impl Parser {
         let mut lhs = self.not_expr()?;
         while self.eat_kw(Keyword::And) {
             let rhs = self.not_expr()?;
-            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -460,7 +527,11 @@ impl Parser {
         };
         self.advance();
         let rhs = self.add_expr()?;
-        Ok(Expr::Binary { op: BinOp::Cmp(op), lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        Ok(Expr::Binary {
+            op: BinOp::Cmp(op),
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
     }
 
     fn add_expr(&mut self) -> SqlResult<Expr> {
@@ -473,7 +544,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.mul_expr()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -488,7 +563,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.unary_expr()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -531,7 +610,10 @@ impl Parser {
                     Ok(Expr::Column(name))
                 }
             }
-            other => Err(SqlError::parse_at(format!("expected expression, found {other}"), t.span)),
+            other => Err(SqlError::parse_at(
+                format!("expected expression, found {other}"),
+                t.span,
+            )),
         }
     }
 
@@ -637,7 +719,10 @@ FOR MAX @purchase1, MAX @purchase2
                 assert_eq!(whens.len(), 1);
                 assert!(otherwise.is_some());
                 match &whens[0].0 {
-                    Expr::Binary { op: BinOp::Cmp(CmpOp::Lt), .. } => {}
+                    Expr::Binary {
+                        op: BinOp::Cmp(CmpOp::Lt),
+                        ..
+                    } => {}
                     other => panic!("unexpected condition {other:?}"),
                 }
             }
@@ -662,9 +747,21 @@ FOR MAX @purchase1, MAX @purchase2
         let e = parse_expr("1 + 2 * 3 < 10 AND x = 1").unwrap();
         // top must be AND
         match e {
-            Expr::Binary { op: BinOp::And, lhs, .. } => match *lhs {
-                Expr::Binary { op: BinOp::Cmp(CmpOp::Lt), lhs, .. } => match *lhs {
-                    Expr::Binary { op: BinOp::Add, rhs, .. } => match *rhs {
+            Expr::Binary {
+                op: BinOp::And,
+                lhs,
+                ..
+            } => match *lhs {
+                Expr::Binary {
+                    op: BinOp::Cmp(CmpOp::Lt),
+                    lhs,
+                    ..
+                } => match *lhs {
+                    Expr::Binary {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    } => match *rhs {
                         Expr::Binary { op: BinOp::Mul, .. } => {}
                         other => panic!("expected Mul under Add, got {other:?}"),
                     },
@@ -680,7 +777,11 @@ FOR MAX @purchase1, MAX @purchase2
     fn unary_minus_and_parens() {
         let e = parse_expr("-(1 + @x) * 2").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Mul, lhs, .. } => match *lhs {
+            Expr::Binary {
+                op: BinOp::Mul,
+                lhs,
+                ..
+            } => match *lhs {
                 Expr::Neg(_) => {}
                 other => panic!("{other:?}"),
             },
@@ -700,7 +801,10 @@ FOR MAX @purchase1, MAX @purchase2
     fn undeclared_parameter_is_rejected() {
         let src = "SELECT DemandModel(@nope) AS d INTO r;";
         let err = parse_script(src).unwrap_err();
-        assert!(err.to_string().contains("undeclared parameter @nope"), "{err}");
+        assert!(
+            err.to_string().contains("undeclared parameter @nope"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -732,24 +836,44 @@ FOR MAX @purchase1, MAX @purchase2
 
     #[test]
     fn graph_validation() {
-        let src = "DECLARE PARAMETER @p AS SET (1);\nSELECT 1 AS x INTO r;\nGRAPH OVER @q EXPECT x;";
-        assert!(parse_script(src).unwrap_err().to_string().contains("undeclared parameter @q"));
+        let src =
+            "DECLARE PARAMETER @p AS SET (1);\nSELECT 1 AS x INTO r;\nGRAPH OVER @q EXPECT x;";
+        assert!(parse_script(src)
+            .unwrap_err()
+            .to_string()
+            .contains("undeclared parameter @q"));
 
-        let src = "DECLARE PARAMETER @p AS SET (1);\nSELECT 1 AS x INTO r;\nGRAPH OVER @p EXPECT y;";
-        assert!(parse_script(src).unwrap_err().to_string().contains("unknown column `y`"));
+        let src =
+            "DECLARE PARAMETER @p AS SET (1);\nSELECT 1 AS x INTO r;\nGRAPH OVER @p EXPECT y;";
+        assert!(parse_script(src)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown column `y`"));
     }
 
     #[test]
     fn optimize_validation() {
         let base = "DECLARE PARAMETER @p AS SET (1);\nSELECT 1 AS x INTO r;\n";
-        let bad_from = format!("{base}OPTIMIZE SELECT @p FROM other WHERE MAX(EXPECT x) < 1 FOR MAX @p");
-        assert!(parse_script(&bad_from).unwrap_err().to_string().contains("reads from `other`"));
+        let bad_from =
+            format!("{base}OPTIMIZE SELECT @p FROM other WHERE MAX(EXPECT x) < 1 FOR MAX @p");
+        assert!(parse_script(&bad_from)
+            .unwrap_err()
+            .to_string()
+            .contains("reads from `other`"));
 
-        let bad_col = format!("{base}OPTIMIZE SELECT @p FROM r WHERE MAX(EXPECT nope) < 1 FOR MAX @p");
-        assert!(parse_script(&bad_col).unwrap_err().to_string().contains("unknown column `nope`"));
+        let bad_col =
+            format!("{base}OPTIMIZE SELECT @p FROM r WHERE MAX(EXPECT nope) < 1 FOR MAX @p");
+        assert!(parse_script(&bad_col)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown column `nope`"));
 
-        let bad_obj = format!("{base}OPTIMIZE SELECT @p FROM r WHERE MAX(EXPECT x) < 1 FOR MAX @zz");
-        assert!(parse_script(&bad_obj).unwrap_err().to_string().contains("undeclared parameter @zz"));
+        let bad_obj =
+            format!("{base}OPTIMIZE SELECT @p FROM r WHERE MAX(EXPECT x) < 1 FOR MAX @zz");
+        assert!(parse_script(&bad_obj)
+            .unwrap_err()
+            .to_string()
+            .contains("undeclared parameter @zz"));
     }
 
     #[test]
@@ -792,7 +916,8 @@ FOR MAX @purchase1, MAX @purchase2
 
     #[test]
     fn graph_series_without_style() {
-        let src = "DECLARE PARAMETER @p AS SET (1,2);\nSELECT @p AS x INTO r;\nGRAPH OVER @p EXPECT x;";
+        let src =
+            "DECLARE PARAMETER @p AS SET (1,2);\nSELECT @p AS x INTO r;\nGRAPH OVER @p EXPECT x;";
         let s = parse_script(src).unwrap();
         assert!(s.graph.unwrap().series[0].style.is_empty());
     }

@@ -16,7 +16,11 @@ pub struct Span {
 impl Span {
     /// A span covering a single point (used for EOF).
     pub fn point(offset: usize, line: usize) -> Self {
-        Span { start: offset, end: offset, line }
+        Span {
+            start: offset,
+            end: offset,
+            line,
+        }
     }
 }
 
@@ -198,8 +202,15 @@ mod tests {
     #[test]
     fn keyword_lookup_is_case_normalized() {
         assert_eq!(Keyword::from_upper("SELECT"), Some(Keyword::Select));
-        assert_eq!(Keyword::from_upper("EXPECT_STDDEV"), Some(Keyword::ExpectStddev));
-        assert_eq!(Keyword::from_upper("select"), None, "caller must upper-case");
+        assert_eq!(
+            Keyword::from_upper("EXPECT_STDDEV"),
+            Some(Keyword::ExpectStddev)
+        );
+        assert_eq!(
+            Keyword::from_upper("select"),
+            None,
+            "caller must upper-case"
+        );
         assert_eq!(Keyword::from_upper("DEMAND"), None);
     }
 
@@ -207,6 +218,9 @@ mod tests {
     fn token_display() {
         assert_eq!(TokenKind::Param("current".into()).to_string(), "@current");
         assert_eq!(TokenKind::Neq.to_string(), "<>");
-        assert_eq!(TokenKind::Ident("demand".into()).to_string(), "identifier `demand`");
+        assert_eq!(
+            TokenKind::Ident("demand".into()).to_string(),
+            "identifier `demand`"
+        );
     }
 }

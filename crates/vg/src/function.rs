@@ -77,7 +77,10 @@ impl VgRegistry {
     pub fn register(&mut self, function: Arc<dyn VgFunction>) {
         self.entries.insert(
             function.name().to_owned(),
-            Entry { function, invocations: AtomicU64::new(0) },
+            Entry {
+                function,
+                invocations: AtomicU64::new(0),
+            },
         );
     }
 
@@ -108,14 +111,17 @@ impl VgRegistry {
 
     /// Invocation statistics for one function.
     pub fn stats(&self, name: &str) -> Option<InvocationStats> {
-        self.entries
-            .get(name)
-            .map(|e| InvocationStats { invocations: e.invocations.load(Ordering::Relaxed) })
+        self.entries.get(name).map(|e| InvocationStats {
+            invocations: e.invocations.load(Ordering::Relaxed),
+        })
     }
 
     /// Total invocations across the whole catalog.
     pub fn total_invocations(&self) -> u64 {
-        self.entries.values().map(|e| e.invocations.load(Ordering::Relaxed)).sum()
+        self.entries
+            .values()
+            .map(|e| e.invocations.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Reset all counters (benchmarks call this between configurations).
@@ -145,7 +151,9 @@ impl VgRegistry {
 
 impl fmt::Debug for VgRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("VgRegistry").field("functions", &self.names()).finish()
+        f.debug_struct("VgRegistry")
+            .field("functions", &self.names())
+            .finish()
     }
 }
 

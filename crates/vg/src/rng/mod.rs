@@ -115,7 +115,10 @@ mod tests {
             assert!((10..=14).contains(&v));
             seen[(v - 10) as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all values in a small range should appear");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values in a small range should appear"
+        );
     }
 
     #[test]
@@ -164,6 +167,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move something");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle should move something"
+        );
     }
 }

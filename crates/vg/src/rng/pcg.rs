@@ -20,7 +20,10 @@ impl Pcg32 {
     /// Create with an initial state and stream selector, following the
     /// reference `pcg32_srandom_r` initialization.
     pub fn new(initstate: u64, initseq: u64) -> Self {
-        let mut pcg = Pcg32 { state: 0, inc: (initseq << 1) | 1 };
+        let mut pcg = Pcg32 {
+            state: 0,
+            inc: (initseq << 1) | 1,
+        };
         pcg.step();
         pcg.state = pcg.state.wrapping_add(initstate);
         pcg.step();
@@ -61,8 +64,14 @@ mod tests {
     fn matches_reference_demo_vector() {
         // First outputs of the canonical pcg32 demo: seed 42, sequence 54.
         let mut rng = Pcg32::new(42, 54);
-        let expected: [u32; 6] =
-            [0xa15c_02b7, 0x7b47_f409, 0xba1d_3330, 0x83d2_f293, 0xbfa4_784b, 0xcbed_606e];
+        let expected: [u32; 6] = [
+            0xa15c_02b7,
+            0x7b47_f409,
+            0xba1d_3330,
+            0x83d2_f293,
+            0xbfa4_784b,
+            0xcbed_606e,
+        ];
         for e in expected {
             assert_eq!(rng.next_u32(), e);
         }
@@ -73,7 +82,10 @@ mod tests {
         let mut a = Pcg32::new(1, 1);
         let mut b = Pcg32::new(1, 2);
         let equal = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
-        assert!(equal < 4, "streams should be essentially uncorrelated, {equal} collisions");
+        assert!(
+            equal < 4,
+            "streams should be essentially uncorrelated, {equal} collisions"
+        );
     }
 
     #[test]

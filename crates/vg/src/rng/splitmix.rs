@@ -63,8 +63,14 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let a: Vec<u64> = { let mut r = SplitMix64::new(99); (0..64).map(|_| r.next_u64()).collect() };
-        let b: Vec<u64> = { let mut r = SplitMix64::new(99); (0..64).map(|_| r.next_u64()).collect() };
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(99);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(99);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
         assert_eq!(a, b);
     }
 

@@ -20,7 +20,10 @@ impl Xoshiro256StarStar {
     /// # Panics
     /// Panics if all words are zero (the all-zero state is a fixed point).
     pub fn from_state(s: [u64; 4]) -> Self {
-        assert!(s.iter().any(|&w| w != 0), "xoshiro256** state must not be all zero");
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256** state must not be all zero"
+        );
         Xoshiro256StarStar { s }
     }
 
@@ -32,7 +35,9 @@ impl Xoshiro256StarStar {
         // SplitMix64 output can theoretically be all zeros only with
         // astronomically small probability; guard anyway.
         if s.iter().all(|&w| w == 0) {
-            Xoshiro256StarStar { s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3] }
+            Xoshiro256StarStar {
+                s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+            }
         } else {
             Xoshiro256StarStar { s }
         }

@@ -70,7 +70,10 @@ mod tests {
     #[test]
     fn derivation_is_deterministic() {
         let m = SeedManager::new(7);
-        assert_eq!(m.seed_for(3, "DemandModel", 1), m.seed_for(3, "DemandModel", 1));
+        assert_eq!(
+            m.seed_for(3, "DemandModel", 1),
+            m.seed_for(3, "DemandModel", 1)
+        );
         assert_eq!(m.root(), 7);
     }
 
@@ -79,9 +82,17 @@ mod tests {
         let m = SeedManager::new(7);
         let base = m.seed_for(3, "DemandModel", 1);
         assert_ne!(base, m.seed_for(4, "DemandModel", 1), "world must matter");
-        assert_ne!(base, m.seed_for(3, "CapacityModel", 1), "function must matter");
+        assert_ne!(
+            base,
+            m.seed_for(3, "CapacityModel", 1),
+            "function must matter"
+        );
         assert_ne!(base, m.seed_for(3, "DemandModel", 2), "step must matter");
-        assert_ne!(base, SeedManager::new(8).seed_for(3, "DemandModel", 1), "root must matter");
+        assert_ne!(
+            base,
+            SeedManager::new(8).seed_for(3, "DemandModel", 1),
+            "root must matter"
+        );
     }
 
     #[test]
@@ -108,8 +119,12 @@ mod tests {
         let ys: Vec<f64> = (0..20_000).map(|_| b.next_f64()).collect();
         let mx = xs.iter().sum::<f64>() / xs.len() as f64;
         let my = ys.iter().sum::<f64>() / ys.len() as f64;
-        let cov: f64 =
-            xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / xs.len() as f64;
+        let cov: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum::<f64>()
+            / xs.len() as f64;
         assert!(cov.abs() < 0.002, "cross-stream covariance {cov}");
     }
 

@@ -29,20 +29,24 @@ WHERE MAX(EXPECT overload) < {THRESHOLD}
 GROUP BY feature, purchase1, purchase2
 FOR MAX @purchase1, MAX @purchase2";
 
-fn run_threshold(threshold: f64, fingerprints: bool) -> Result<(OfflineReport, ExplorationMap), Box<dyn std::error::Error>> {
+fn run_threshold(
+    threshold: f64,
+    fingerprints: bool,
+) -> Result<(OfflineReport, ExplorationMap), Box<dyn std::error::Error>> {
     let text = SCENARIO.replace("{THRESHOLD}", &threshold.to_string());
     let scenario = Scenario::parse(&text)?;
     let p1 = scenario.script().param("purchase1").unwrap().clone();
     let p2 = scenario.script().param("purchase2").unwrap().clone();
-    let optimizer = OfflineOptimizer::new(
-        scenario,
-        demo_registry(),
-        EngineConfig {
+    let optimizer = Prophet::builder()
+        .scenario("capacity", scenario)
+        .registry(demo_registry())
+        .config(EngineConfig {
             worlds_per_point: 150,
             fingerprints_enabled: fingerprints,
             ..EngineConfig::default()
-        },
-    )?;
+        })
+        .build()?
+        .offline("capacity")?;
     let mut map = ExplorationMap::new(&p1, &p2);
     let report = optimizer.run_with_observer(|_, full, outcome| {
         map.record(full, outcome);
@@ -98,6 +102,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         without_m.worlds_simulated, without_m.probe_evaluations, without.wall
     );
     let saved = 1.0 - (with_m.worlds_simulated as f64 / without_m.worlds_simulated.max(1) as f64);
-    println!("Monte Carlo worlds avoided by fingerprinting: {:.0}%", saved * 100.0);
+    println!(
+        "Monte Carlo worlds avoided by fingerprinting: {:.0}%",
+        saved * 100.0
+    );
     Ok(())
 }

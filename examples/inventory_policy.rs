@@ -28,11 +28,17 @@ GROUP BY reorder_point, reorder_qty
 FOR MIN @reorder_point, MIN @reorder_qty";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scenario = Scenario::parse(SCENARIO)?;
-    let config = EngineConfig { worlds_per_point: 200, ..EngineConfig::default() };
+    let prophet = Prophet::builder()
+        .scenario_sql("inventory", SCENARIO)?
+        .registry(full_registry())
+        .config(EngineConfig {
+            worlds_per_point: 200,
+            ..EngineConfig::default()
+        })
+        .build()?;
 
     println!("=== Inventory policy optimization ===\n");
-    let optimizer = OfflineOptimizer::new(scenario.clone(), full_registry(), config)?;
+    let optimizer = prophet.offline("inventory")?;
     let report = optimizer.run()?;
     match &report.best {
         Some(best) => println!(
@@ -55,12 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Export the aggregated `results` relation for the best policy across
     // the year — the paper's INTO results, materialized.
     if let Some(best) = &report.best {
-        let engine = Engine::new(&scenario, full_registry(), config)?;
+        // Same service, same shared store: every point below was already
+        // simulated by the sweep, so this export is pure cache hits.
+        let engine = prophet.engine("inventory")?;
         let mut sets: Vec<SampleSet> = Vec::new();
         for week in (4..=52).step_by(4) {
-            let point = best
-                .point
-                .with("week", week);
+            let point = best.point.with("week", week);
             let (samples, _) = engine.evaluate(&point)?;
             sets.push(samples);
         }

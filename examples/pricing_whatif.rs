@@ -30,11 +30,17 @@ GROUP BY price
 FOR MAX @price";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scenario = Scenario::parse(SCENARIO)?;
-    let config = EngineConfig { worlds_per_point: 250, ..EngineConfig::default() };
+    let prophet = Prophet::builder()
+        .scenario_sql("pricing", SCENARIO)?
+        .registry(full_registry())
+        .config(EngineConfig {
+            worlds_per_point: 250,
+            ..EngineConfig::default()
+        })
+        .build()?;
 
     // Online view: sweep revenue across the price axis for a mid-year week.
-    let mut session = OnlineSession::new(scenario.clone(), full_registry(), config)?;
+    let mut session = prophet.online("pricing")?;
     session.set_param("week", 24)?;
     println!("=== Revenue vs price (week 24) ===");
     let series: Vec<_> = session.graph().iter().collect();
@@ -53,8 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nrevenue-maximizing price at week 24: {best_price} (≈ {best_revenue:.0}/week)");
 
     // Offline: the highest price whose worst-case miss risk stays under 50%
-    // across the whole year.
-    let optimizer = OfflineOptimizer::new(scenario, full_registry(), config)?;
+    // across the whole year. The optimizer shares the online session's
+    // basis store, so the week-24 column is already warm.
+    let optimizer = prophet.offline("pricing")?;
     let report = optimizer.run()?;
     println!(
         "\nOPTIMIZE: highest sustainable price across the year: {:?}",

@@ -1,5 +1,6 @@
-//! Quickstart: parse the paper's Figure-2 scenario, run it in both modes,
-//! and print the graph and the optimizer's answer.
+//! Quickstart: stand up a `Prophet` service on the paper's Figure-2
+//! scenario, run it in both modes, and show a second session starting warm
+//! off the first session's shared basis store.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -10,7 +11,8 @@ use fuzzy_prophet::render::ascii_chart;
 use prophet_models::demo_registry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. The scenario, exactly as printed in the paper.
+    // 1. The scenario, exactly as printed in the paper, registered with a
+    //    long-lived service.
     let scenario = Scenario::figure2()?;
     println!("=== Scenario (paper Figure 2) ===");
     println!("{}", scenario.source().trim());
@@ -20,9 +22,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scenario.script().params.len()
     );
 
+    let prophet = Prophet::builder()
+        .scenario("figure2", scenario.clone())
+        .registry(demo_registry())
+        .config(EngineConfig {
+            worlds_per_point: 300,
+            ..EngineConfig::default()
+        })
+        .build()?;
+
     // 2. Online mode: set the sliders the demo uses and render the graph.
-    let config = EngineConfig { worlds_per_point: 300, ..EngineConfig::default() };
-    let mut session = OnlineSession::new(scenario.clone(), demo_registry(), config)?;
+    let mut session = prophet.online("figure2")?;
     session.set_param("purchase1", 16)?;
     session.set_param("purchase2", 36)?;
     session.set_param("feature", 12)?;
@@ -42,10 +52,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A second adjustment re-renders only part of the graph (§3.2).
     let adjust = session.set_param("purchase2", 44)?;
     println!(
-        "slider moved (@purchase2 36 → 44): re-rendered {:.0}% of the graph ({} of {} weeks)\n",
+        "slider moved (@purchase2 36 → 44): re-rendered {:.0}% of the graph ({} of {} weeks)",
         adjust.rerender_fraction() * 100.0,
         adjust.weeks_simulated,
         adjust.weeks_total
+    );
+
+    // A *second session* shares the scenario's basis store: its first
+    // render re-uses everything the first session computed.
+    let mut second = prophet.online("figure2")?;
+    second.set_param("purchase1", 16)?;
+    second.set_param("purchase2", 44)?;
+    second.set_param("feature", 12)?;
+    let warm = second.refresh()?;
+    println!(
+        "second session's first render: {} simulated / {} reused of {} weeks \
+         (shared store holds {} entries)\n",
+        warm.weeks_simulated,
+        warm.weeks_reused(),
+        warm.weeks_total,
+        prophet.basis_len("figure2")?
     );
 
     // 3. Offline mode: run the OPTIMIZE directive. The full Figure-2 grid
@@ -55,18 +81,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // `--example capacity_planning` or the `experiments` binary for the
     // full-fidelity sweeps.
     println!("=== Offline mode (OPTIMIZE, coarsened grid) ===");
-    let coarse = Scenario::parse(
-        &scenario
-            .source()
-            .replace("RANGE 0 TO 52 STEP BY 1", "RANGE 0 TO 52 STEP BY 2")
-            .replace("RANGE 0 TO 52 STEP BY 4", "RANGE 0 TO 52 STEP BY 8")
-            .replace("< 0.01", "< 0.05"),
-    )?;
-    let optimizer = OfflineOptimizer::new(
-        coarse,
-        demo_registry(),
-        EngineConfig { worlds_per_point: 120, ..EngineConfig::default() },
-    )?;
+    let coarse_src = scenario
+        .source()
+        .replace("RANGE 0 TO 52 STEP BY 1", "RANGE 0 TO 52 STEP BY 2")
+        .replace("RANGE 0 TO 52 STEP BY 4", "RANGE 0 TO 52 STEP BY 8")
+        .replace("< 0.01", "< 0.05");
+    let batch = Prophet::builder()
+        .scenario_sql("figure2-coarse", &coarse_src)?
+        .registry(demo_registry())
+        .worlds_per_point(120)
+        .build()?;
+    let optimizer = batch.offline("figure2-coarse")?;
     let result = optimizer.run()?;
     println!(
         "swept {} groups in {:?} — engine: {}",

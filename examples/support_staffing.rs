@@ -33,11 +33,17 @@ GROUP BY agents
 FOR MIN @agents";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scenario = Scenario::parse(SCENARIO)?;
-    let config = EngineConfig { worlds_per_point: 200, ..EngineConfig::default() };
+    let prophet = Prophet::builder()
+        .scenario_sql("staffing", SCENARIO)?
+        .registry(full_registry())
+        .config(EngineConfig {
+            worlds_per_point: 200,
+            ..EngineConfig::default()
+        })
+        .build()?;
 
     // Online: watch the backlog across the year for two staffing levels.
-    let mut session = OnlineSession::new(scenario.clone(), full_registry(), config)?;
+    let mut session = prophet.online("staffing")?;
     for agents in [8i64, 14] {
         let report = session.set_param("agents", agents)?;
         println!("=== Backlog across the year with {agents} agents ===");
@@ -50,7 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Offline: smallest team whose worst-quarter breach probability < 20%.
-    let optimizer = OfflineOptimizer::new(scenario, full_registry(), config)?;
+    // Shares the online session's basis store, so the two staffing levels
+    // rendered above are already warm.
+    let optimizer = prophet.offline("staffing")?;
     let report = optimizer.run()?;
     match &report.best {
         Some(best) => println!(

@@ -73,7 +73,9 @@ fn parse_args() -> Result<Options, String> {
                     Some("online") => Mode::Online,
                     Some("offline") => Mode::Offline,
                     Some("both") => Mode::Both,
-                    other => return Err(format!("--mode needs online|offline|both, got {other:?}")),
+                    other => {
+                        return Err(format!("--mode needs online|offline|both, got {other:?}"))
+                    }
                 };
             }
             "--worlds" => {
@@ -88,16 +90,19 @@ fn parse_args() -> Result<Options, String> {
                 let (name, value) = spec
                     .split_once('=')
                     .ok_or_else(|| format!("--set `{spec}` is not name=value"))?;
-                let value: i64 =
-                    value.parse().map_err(|_| format!("--set `{spec}`: bad integer"))?;
-                opts.sets.push((name.trim_start_matches('@').to_owned(), value));
+                let value: i64 = value
+                    .parse()
+                    .map_err(|_| format!("--set `{spec}`: bad integer"))?;
+                opts.sets
+                    .push((name.trim_start_matches('@').to_owned(), value));
             }
             "--no-fingerprints" => opts.fingerprints = false,
             "--csv" => opts.csv = true,
             "--map" => {
                 let spec = args.next().ok_or("--map needs p1,p2")?;
-                let (a, b) =
-                    spec.split_once(',').ok_or_else(|| format!("--map `{spec}` is not p1,p2"))?;
+                let (a, b) = spec
+                    .split_once(',')
+                    .ok_or_else(|| format!("--map `{spec}` is not p1,p2"))?;
                 opts.map = Some((a.trim().to_owned(), b.trim().to_owned()));
             }
             "--demo" => opts.demo = true,
@@ -136,16 +141,26 @@ fn run() -> Result<(), String> {
     let has_graph = scenario.script().graph.is_some();
     let has_optimize = scenario.script().optimize.is_some();
 
+    // One service instance for both modes: the online render and the
+    // offline sweep share the scenario's basis store, so whichever runs
+    // second reuses the first one's simulations.
+    let prophet = Prophet::builder()
+        .scenario(SCENARIO, scenario)
+        .registry(full_registry())
+        .config(config)
+        .build()
+        .map_err(|e| e.to_string())?;
+
     if opts.mode != Mode::Offline {
         if has_graph {
-            run_online(&scenario, config, &opts)?;
+            run_online(&prophet, &opts)?;
         } else if opts.mode == Mode::Online {
             return Err("scenario has no GRAPH OVER directive; online mode unavailable".into());
         }
     }
     if opts.mode != Mode::Online {
         if has_optimize {
-            run_offline(&scenario, config, &opts)?;
+            run_offline(&prophet, &opts)?;
         } else if opts.mode == Mode::Offline {
             return Err("scenario has no OPTIMIZE directive; offline mode unavailable".into());
         }
@@ -153,9 +168,11 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
-fn run_online(scenario: &Scenario, config: EngineConfig, opts: &Options) -> Result<(), String> {
-    let mut session = OnlineSession::new(scenario.clone(), full_registry(), config)
-        .map_err(|e| e.to_string())?;
+/// The service-local name the CLI registers its single scenario under.
+const SCENARIO: &str = "scenario";
+
+fn run_online(prophet: &Prophet, opts: &Options) -> Result<(), String> {
+    let mut session = prophet.online(SCENARIO).map_err(|e| e.to_string())?;
     for (name, value) in &opts.sets {
         session.set_param(name, *value).map_err(|e| e.to_string())?;
     }
@@ -190,9 +207,9 @@ fn describe_sliders(session: &OnlineSession) -> String {
         .join(" ")
 }
 
-fn run_offline(scenario: &Scenario, config: EngineConfig, opts: &Options) -> Result<(), String> {
-    let optimizer = OfflineOptimizer::new(scenario.clone(), full_registry(), config)
-        .map_err(|e| e.to_string())?;
+fn run_offline(prophet: &Prophet, opts: &Options) -> Result<(), String> {
+    let optimizer = prophet.offline(SCENARIO).map_err(|e| e.to_string())?;
+    let scenario = prophet.scenario(SCENARIO).map_err(|e| e.to_string())?;
 
     let mut map = match &opts.map {
         Some((a, b)) => {
@@ -220,24 +237,44 @@ fn run_offline(scenario: &Scenario, config: EngineConfig, opts: &Options) -> Res
         .map_err(|e| e.to_string())?;
 
     if opts.csv {
-        println!("rank,feasible,{},{}", join_params(&report), join_constraints(&report));
+        println!(
+            "rank,feasible,{},{}",
+            join_params(&report),
+            join_constraints(&report)
+        );
         for (i, a) in report.answers.iter().enumerate() {
-            let params: Vec<String> =
-                a.point.iter().map(|(_, v)| v.to_string()).collect();
+            let params: Vec<String> = a.point.iter().map(|(_, v)| v.to_string()).collect();
             let constraints: Vec<String> =
                 a.constraint_values.iter().map(|v| v.to_string()).collect();
-            println!("{},{},{},{}", i + 1, a.feasible, params.join(","), constraints.join(","));
+            println!(
+                "{},{},{},{}",
+                i + 1,
+                a.feasible,
+                params.join(","),
+                constraints.join(",")
+            );
         }
         return Ok(());
     }
 
-    println!("== offline: {} groups ({} feasible) in {:?} ==", report.groups_total,
-        report.feasible().count(), report.wall);
+    println!(
+        "== offline: {} groups ({} feasible) in {:?} ==",
+        report.groups_total,
+        report.feasible().count(),
+        report.wall
+    );
     match &report.best {
         Some(best) => {
-            let desc: Vec<String> =
-                best.point.iter().map(|(n, v)| format!("@{n}={v}")).collect();
-            println!("best: {} (constraints: {:?})", desc.join(" "), best.constraint_values);
+            let desc: Vec<String> = best
+                .point
+                .iter()
+                .map(|(n, v)| format!("@{n}={v}"))
+                .collect();
+            println!(
+                "best: {} (constraints: {:?})",
+                desc.join(" "),
+                best.constraint_values
+            );
         }
         None => println!("best: none — no feasible group"),
     }
@@ -252,7 +289,13 @@ fn join_params(report: &OfflineReport) -> String {
     report
         .answers
         .first()
-        .map(|a| a.point.iter().map(|(n, _)| n.to_owned()).collect::<Vec<_>>().join(","))
+        .map(|a| {
+            a.point
+                .iter()
+                .map(|(n, _)| n.to_owned())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
         .unwrap_or_default()
 }
 

@@ -44,7 +44,10 @@ fn models_are_pure_functions_of_seed_and_params() {
     for seed in [1u64, 42, 0xFFFF_FFFF] {
         let mut a = Xoshiro256StarStar::seed_from_u64(seed);
         let mut b = Xoshiro256StarStar::seed_from_u64(seed);
-        assert_eq!(demand.demand_at(20, 12, &mut a), demand.demand_at(20, 12, &mut b));
+        assert_eq!(
+            demand.demand_at(20, 12, &mut a),
+            demand.demand_at(20, 12, &mut b)
+        );
         let mut a = Xoshiro256StarStar::seed_from_u64(seed);
         let mut b = Xoshiro256StarStar::seed_from_u64(seed);
         assert_eq!(
@@ -77,7 +80,10 @@ fn engine_results_are_identical_across_engines() {
         Engine::new(
             &Scenario::figure2().unwrap(),
             demo_registry(),
-            EngineConfig { worlds_per_point: 50, ..EngineConfig::default() },
+            EngineConfig {
+                worlds_per_point: 50,
+                ..EngineConfig::default()
+            },
         )
         .unwrap()
     };
@@ -106,7 +112,11 @@ fn engine_thread_count_does_not_change_results() {
         let engine = Engine::new(
             &Scenario::figure2().unwrap(),
             demo_registry(),
-            EngineConfig { worlds_per_point: 64, threads, ..EngineConfig::default() },
+            EngineConfig {
+                worlds_per_point: 64,
+                threads,
+                ..EngineConfig::default()
+            },
         )
         .unwrap();
         let (s, _) = engine.evaluate(&point).unwrap();
@@ -122,10 +132,16 @@ fn engine_thread_count_does_not_change_results() {
 #[test]
 fn online_sessions_replay_identically() {
     let run = || {
-        let mut s = OnlineSession::new(
-            Scenario::figure2().unwrap(),
-            demo_registry(),
-            EngineConfig { worlds_per_point: 40, ..EngineConfig::default() },
+        let mut s = OnlineSession::open(
+            Engine::new(
+                &Scenario::figure2().unwrap(),
+                demo_registry(),
+                EngineConfig {
+                    worlds_per_point: 40,
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap(),
         )
         .unwrap();
         s.set_param("purchase1", 16).unwrap();
@@ -151,10 +167,16 @@ WHERE MAX(EXPECT overload) < 0.5
 GROUP BY purchase1
 FOR MAX @purchase1";
     let run = || {
-        OfflineOptimizer::new(
-            Scenario::parse(SRC).unwrap(),
-            demo_registry(),
-            EngineConfig { worlds_per_point: 30, ..EngineConfig::default() },
+        OfflineOptimizer::open(
+            Engine::new(
+                &Scenario::parse(SRC).unwrap(),
+                demo_registry(),
+                EngineConfig {
+                    worlds_per_point: 30,
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap(),
         )
         .unwrap()
         .run()

@@ -40,10 +40,15 @@ fn unknown_vg_function_fails_at_evaluation_not_parse() {
     let engine = Engine::new(
         &scenario,
         demo_registry(),
-        EngineConfig { worlds_per_point: 4, ..EngineConfig::default() },
+        EngineConfig {
+            worlds_per_point: 4,
+            ..EngineConfig::default()
+        },
     )
     .unwrap();
-    let err = engine.evaluate(&ParamPoint::from_pairs([("p", 1i64)])).unwrap_err();
+    let err = engine
+        .evaluate(&ParamPoint::from_pairs([("p", 1i64)]))
+        .unwrap_err();
     assert!(err.to_string().contains("NoSuchModel"), "{err}");
 }
 
@@ -56,10 +61,15 @@ fn wrong_arity_vg_call_is_reported() {
     let engine = Engine::new(
         &scenario,
         demo_registry(),
-        EngineConfig { worlds_per_point: 4, ..EngineConfig::default() },
+        EngineConfig {
+            worlds_per_point: 4,
+            ..EngineConfig::default()
+        },
     )
     .unwrap();
-    let err = engine.evaluate(&ParamPoint::from_pairs([("p", 1i64)])).unwrap_err();
+    let err = engine
+        .evaluate(&ParamPoint::from_pairs([("p", 1i64)]))
+        .unwrap_err();
     assert!(err.to_string().contains("expects 2 parameters"), "{err}");
 }
 
@@ -125,14 +135,21 @@ fn nan_outputs_surface_in_estimates_instead_of_vanishing() {
     let engine = Engine::new(
         &scenario,
         hostile_registry(),
-        EngineConfig { worlds_per_point: 16, ..EngineConfig::default() },
+        EngineConfig {
+            worlds_per_point: 16,
+            ..EngineConfig::default()
+        },
     )
     .unwrap();
     // Healthy region: finite estimates.
-    let (good, _) = engine.evaluate(&ParamPoint::from_pairs([("p", 1i64)])).unwrap();
+    let (good, _) = engine
+        .evaluate(&ParamPoint::from_pairs([("p", 1i64)]))
+        .unwrap();
     assert!(good.expect("v").unwrap().is_finite());
     // NaN region: the expectation must be NaN, not a silently filtered mean.
-    let (bad, _) = engine.evaluate(&ParamPoint::from_pairs([("p", 7i64)])).unwrap();
+    let (bad, _) = engine
+        .evaluate(&ParamPoint::from_pairs([("p", 7i64)]))
+        .unwrap();
     assert!(bad.expect("v").unwrap().is_nan());
 }
 
@@ -145,10 +162,16 @@ fn nan_constraints_are_infeasible_not_satisfied() {
          OPTIMIZE SELECT @p FROM r WHERE MAX(EXPECT v) < 100 GROUP BY p FOR MAX @p",
     )
     .unwrap();
-    let report = OfflineOptimizer::new(
-        scenario,
-        hostile_registry(),
-        EngineConfig { worlds_per_point: 8, ..EngineConfig::default() },
+    let report = OfflineOptimizer::open(
+        Engine::new(
+            &scenario,
+            hostile_registry(),
+            EngineConfig {
+                worlds_per_point: 8,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap(),
     )
     .unwrap()
     .run()
@@ -156,7 +179,11 @@ fn nan_constraints_are_infeasible_not_satisfied() {
     // p in 5..=9 produce NaN metrics → infeasible; best feasible is p=4.
     let best = report.best.expect("p=4 is healthy and feasible");
     assert_eq!(best.point.get("p"), Some(4));
-    for a in report.answers.iter().filter(|a| a.point.get("p").unwrap() >= 5) {
+    for a in report
+        .answers
+        .iter()
+        .filter(|a| a.point.get("p").unwrap() >= 5)
+    {
         assert!(!a.feasible, "NaN groups must be infeasible: {a:?}");
     }
 }
@@ -167,7 +194,10 @@ fn multi_column_tables_in_scalar_position_error() {
     let engine = Engine::new(
         &scenario,
         hostile_registry(),
-        EngineConfig { worlds_per_point: 4, ..EngineConfig::default() },
+        EngineConfig {
+            worlds_per_point: 4,
+            ..EngineConfig::default()
+        },
     )
     .unwrap();
     let err = engine.evaluate(&ParamPoint::new()).unwrap_err();
@@ -182,7 +212,10 @@ fn unbound_parameters_error_at_evaluation() {
     let engine = Engine::new(
         &scenario,
         demo_registry(),
-        EngineConfig { worlds_per_point: 4, ..EngineConfig::default() },
+        EngineConfig {
+            worlds_per_point: 4,
+            ..EngineConfig::default()
+        },
     )
     .unwrap();
     // Point misses @feature entirely.
@@ -195,8 +228,15 @@ fn unbound_parameters_error_at_evaluation() {
 #[test]
 fn online_mode_without_graph_and_offline_without_optimize_error() {
     let bare = Scenario::parse("DECLARE PARAMETER @p AS SET (1);\nSELECT @p AS x INTO r;").unwrap();
-    assert!(OnlineSession::new(bare.clone(), demo_registry(), EngineConfig::default()).is_err());
-    assert!(OfflineOptimizer::new(bare, demo_registry(), EngineConfig::default()).is_err());
+    let engine = || Engine::new(&bare, demo_registry(), EngineConfig::default()).unwrap();
+    assert!(matches!(
+        OnlineSession::open(engine()),
+        Err(ProphetError::MissingGraphDirective)
+    ));
+    assert!(matches!(
+        OfflineOptimizer::open(engine()),
+        Err(ProphetError::MissingOptimizeDirective)
+    ));
 }
 
 #[test]
@@ -210,11 +250,22 @@ fn nan_fingerprints_disable_mapping_but_not_answers() {
     let engine = Engine::new(
         &scenario,
         hostile_registry(),
-        EngineConfig { worlds_per_point: 8, ..EngineConfig::default() },
+        EngineConfig {
+            worlds_per_point: 8,
+            ..EngineConfig::default()
+        },
     )
     .unwrap();
-    let (_, o1) = engine.evaluate(&ParamPoint::from_pairs([("p", 7i64)])).unwrap();
-    let (_, o2) = engine.evaluate(&ParamPoint::from_pairs([("p", 8i64)])).unwrap();
+    let (_, o1) = engine
+        .evaluate(&ParamPoint::from_pairs([("p", 7i64)]))
+        .unwrap();
+    let (_, o2) = engine
+        .evaluate(&ParamPoint::from_pairs([("p", 8i64)]))
+        .unwrap();
     assert_eq!(o1, EvalOutcome::Simulated);
-    assert_eq!(o2, EvalOutcome::Simulated, "NaN fingerprints must not match each other");
+    assert_eq!(
+        o2,
+        EvalOutcome::Simulated,
+        "NaN fingerprints must not match each other"
+    );
 }

@@ -6,7 +6,28 @@ use fuzzy_prophet::prelude::*;
 use prophet_models::demo_registry;
 
 fn config(worlds: usize) -> EngineConfig {
-    EngineConfig { worlds_per_point: worlds, ..EngineConfig::default() }
+    EngineConfig {
+        worlds_per_point: worlds,
+        ..EngineConfig::default()
+    }
+}
+
+/// One-scenario service, the way applications reach the engine now.
+fn service(scenario: Scenario, cfg: EngineConfig) -> Prophet {
+    Prophet::builder()
+        .scenario("s", scenario)
+        .registry(demo_registry())
+        .config(cfg)
+        .build()
+        .unwrap()
+}
+
+fn online(scenario: Scenario, cfg: EngineConfig) -> OnlineSession {
+    service(scenario, cfg).online("s").unwrap()
+}
+
+fn offline(scenario: Scenario, cfg: EngineConfig) -> OfflineOptimizer {
+    service(scenario, cfg).offline("s").unwrap()
 }
 
 /// A reduced-grid variant of Figure 2 so offline sweeps stay fast in CI.
@@ -31,12 +52,7 @@ FOR MAX @purchase1, MAX @purchase2";
 
 #[test]
 fn online_graph_has_the_papers_dynamics() {
-    let mut session = OnlineSession::new(
-        Scenario::figure2().unwrap(),
-        demo_registry(),
-        config(120),
-    )
-    .unwrap();
+    let mut session = online(Scenario::figure2().unwrap(), config(120));
     session.set_param("purchase1", 16).unwrap();
     session.set_param("purchase2", 36).unwrap();
     session.set_param("feature", 12).unwrap();
@@ -68,8 +84,14 @@ fn online_graph_has_the_papers_dynamics() {
     let calm = overload.at(5).unwrap().y;
     let spike = overload.at(15).unwrap().y;
     let relieved = overload.at(24).unwrap().y;
-    assert!(spike > calm + 0.2, "release spike: calm={calm} spike={spike}");
-    assert!(relieved < spike, "deployment must relieve: spike={spike} relieved={relieved}");
+    assert!(
+        spike > calm + 0.2,
+        "release spike: calm={calm} spike={spike}"
+    );
+    assert!(
+        relieved < spike,
+        "deployment must relieve: spike={spike} relieved={relieved}"
+    );
 
     // Capacity jumps by ~4000 cores when the first purchase deploys.
     let before = capacity.at(14).unwrap().y;
@@ -82,24 +104,14 @@ fn online_graph_has_the_papers_dynamics() {
 
 #[test]
 fn offline_answer_moves_with_the_risk_threshold() {
-    let strict = OfflineOptimizer::new(
-        Scenario::parse(FIGURE2_SMALL).unwrap(),
-        demo_registry(),
-        config(80),
-    )
-    .unwrap()
-    .run()
-    .unwrap();
+    let strict = offline(Scenario::parse(FIGURE2_SMALL).unwrap(), config(80))
+        .run()
+        .unwrap();
 
     let relaxed_src = FIGURE2_SMALL.replace("< 0.05", "< 0.25");
-    let relaxed = OfflineOptimizer::new(
-        Scenario::parse(&relaxed_src).unwrap(),
-        demo_registry(),
-        config(80),
-    )
-    .unwrap()
-    .run()
-    .unwrap();
+    let relaxed = offline(Scenario::parse(&relaxed_src).unwrap(), config(80))
+        .run()
+        .unwrap();
 
     // Relaxing the constraint can only widen the feasible set.
     assert!(relaxed.feasible().count() >= strict.feasible().count());
@@ -109,7 +121,10 @@ fn offline_answer_moves_with_the_risk_threshold() {
     if let (Some(s), Some(r)) = (&strict.best, &relaxed.best) {
         let s1 = s.point.get("purchase1").unwrap();
         let r1 = r.point.get("purchase1").unwrap();
-        assert!(r1 >= s1, "relaxed should defer at least as late: strict={s1} relaxed={r1}");
+        assert!(
+            r1 >= s1,
+            "relaxed should defer at least as late: strict={s1} relaxed={r1}"
+        );
     }
 
     // Every reported feasible answer must actually satisfy the constraint.
@@ -126,8 +141,7 @@ fn fingerprints_cut_offline_work_without_changing_the_answer() {
             fingerprints_enabled: enabled,
             ..EngineConfig::default()
         };
-        OfflineOptimizer::new(Scenario::parse(FIGURE2_SMALL).unwrap(), demo_registry(), cfg)
-            .unwrap()
+        offline(Scenario::parse(FIGURE2_SMALL).unwrap(), cfg)
             .run()
             .unwrap()
     };
@@ -156,7 +170,7 @@ fn exploration_map_matches_engine_metrics() {
     let scenario = Scenario::parse(FIGURE2_SMALL).unwrap();
     let p1 = scenario.script().param("purchase1").unwrap().clone();
     let p2 = scenario.script().param("purchase2").unwrap().clone();
-    let optimizer = OfflineOptimizer::new(scenario, demo_registry(), config(40)).unwrap();
+    let optimizer = offline(scenario, config(40));
     let mut map = ExplorationMap::new(&p1, &p2);
     let report = optimizer
         .run_with_observer(|_, full, outcome| map.record(full, outcome))
@@ -165,7 +179,10 @@ fn exploration_map_matches_engine_metrics() {
     let (computed, mapped, cached, pending) = map.tally();
     assert_eq!(pending, 0, "the sweep visits every cell of the slice");
     assert!(computed > 0);
-    assert!(mapped + cached > 0, "Figure 4 shows mappings; the map must too");
+    assert!(
+        mapped + cached > 0,
+        "Figure 4 shows mappings; the map must too"
+    );
     // Engine-level points and map cells agree in spirit: every evaluation
     // was observed.
     assert_eq!(report.metrics.points_total() as usize, {
@@ -176,12 +193,7 @@ fn exploration_map_matches_engine_metrics() {
 
 #[test]
 fn online_adjustment_is_cheaper_than_first_render() {
-    let mut session = OnlineSession::new(
-        Scenario::figure2().unwrap(),
-        demo_registry(),
-        config(60),
-    )
-    .unwrap();
+    let mut session = online(Scenario::figure2().unwrap(), config(60));
     let first = session.refresh().unwrap();
     let adjust = session.set_param("purchase2", 40).unwrap();
     assert!(

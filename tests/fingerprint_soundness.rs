@@ -13,7 +13,10 @@ fn fresh_engine(worlds: usize) -> Engine {
     Engine::new(
         &Scenario::figure2().unwrap(),
         demo_registry(),
-        EngineConfig { worlds_per_point: worlds, ..EngineConfig::default() },
+        EngineConfig {
+            worlds_per_point: worlds,
+            ..EngineConfig::default()
+        },
     )
     .unwrap()
 }
@@ -45,7 +48,10 @@ fn identity_mapping_reproduces_bitwise() {
     let b = point(5, 16, 36, 44);
     e.evaluate(&a).unwrap();
     let (mapped, outcome) = e.evaluate(&b).unwrap();
-    assert!(matches!(outcome, EvalOutcome::Mapped { exact: true, .. }), "{outcome:?}");
+    assert!(
+        matches!(outcome, EvalOutcome::Mapped { exact: true, .. }),
+        "{outcome:?}"
+    );
     let truth = direct(&b, 80);
     assert_eq!(mapped.samples("demand"), truth.samples("demand"));
     assert_eq!(mapped.samples("capacity"), truth.samples("capacity"));
@@ -61,7 +67,10 @@ fn offset_mapping_across_purchase_shift_is_exact() {
     let b = point(10, 16, 36, 12);
     e.evaluate(&a).unwrap();
     let (mapped, outcome) = e.evaluate(&b).unwrap();
-    assert!(matches!(outcome, EvalOutcome::Mapped { exact: true, .. }), "{outcome:?}");
+    assert!(
+        matches!(outcome, EvalOutcome::Mapped { exact: true, .. }),
+        "{outcome:?}"
+    );
     let truth = direct(&b, 80);
     let m = mapped.samples("capacity").unwrap();
     let t = truth.samples("capacity").unwrap();
@@ -142,10 +151,17 @@ fn demand_release_boundary_blocks_mapping_of_demand() {
     let b = point(20, 4, 8, 36); // not released
     e.evaluate(&a).unwrap();
     let (s, outcome) = e.evaluate(&b).unwrap();
-    assert_eq!(outcome, EvalOutcome::Simulated, "release boundary must force simulation");
+    assert_eq!(
+        outcome,
+        EvalOutcome::Simulated,
+        "release boundary must force simulation"
+    );
     // and the simulated answer differs from a's in mean demand by ≈ the
     // feature gaussian's mean
     let (sa, _) = e.evaluate(&a).unwrap();
     let diff = sa.expect("demand").unwrap() - s.expect("demand").unwrap();
-    assert!((diff - 1_200.0).abs() < 250.0, "feature demand delta ≈ 1200, got {diff}");
+    assert!(
+        (diff - 1_200.0).abs() < 250.0,
+        "feature demand delta ≈ 1200, got {diff}"
+    );
 }

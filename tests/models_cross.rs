@@ -24,7 +24,10 @@ INTO results;";
     let engine = Engine::new(
         &Scenario::parse(src).unwrap(),
         full_registry(),
-        EngineConfig { worlds_per_point: 60, ..EngineConfig::default() },
+        EngineConfig {
+            worlds_per_point: 60,
+            ..EngineConfig::default()
+        },
     )
     .unwrap();
     let p = ParamPoint::from_pairs([("week", 26i64), ("agents", 10), ("price", 20)]);
@@ -43,7 +46,10 @@ fn literal_arguments_to_vg_functions_work() {
     let engine = Engine::new(
         &Scenario::parse(src).unwrap(),
         full_registry(),
-        EngineConfig { worlds_per_point: 200, ..EngineConfig::default() },
+        EngineConfig {
+            worlds_per_point: 200,
+            ..EngineConfig::default()
+        },
     )
     .unwrap();
     let (s, _) = engine.evaluate(&ParamPoint::new()).unwrap();
@@ -98,7 +104,10 @@ fn custom_model_configs_flow_through_the_registry() {
     // A fleet with double the purchase size: the capacity step doubles.
     let big = demo_registry_with(
         DemandConfig::default(),
-        CapacityConfig { cores_per_purchase: 8_000.0, ..CapacityConfig::default() },
+        CapacityConfig {
+            cores_per_purchase: 8_000.0,
+            ..CapacityConfig::default()
+        },
     );
     let src = "\
 DECLARE PARAMETER @current AS SET (30);
@@ -106,10 +115,15 @@ SELECT CapacityModel(@current, 4, 52) AS capacity INTO results;";
     let engine = Engine::new(
         &Scenario::parse(src).unwrap(),
         big,
-        EngineConfig { worlds_per_point: 300, ..EngineConfig::default() },
+        EngineConfig {
+            worlds_per_point: 300,
+            ..EngineConfig::default()
+        },
     )
     .unwrap();
-    let (s, _) = engine.evaluate(&ParamPoint::from_pairs([("current", 30i64)])).unwrap();
+    let (s, _) = engine
+        .evaluate(&ParamPoint::from_pairs([("current", 30i64)]))
+        .unwrap();
     let cap = s.expect("capacity").unwrap();
     // 10_000 initial + 8_000 (one deployed purchase) − ~31 weeks of decay
     assert!((15_000.0..17_500.0).contains(&cap), "capacity {cap}");
@@ -145,14 +159,20 @@ fn shadowing_a_model_updates_every_consumer() {
 
     let mut registry = prophet_models::demo_registry();
     registry.register(Arc::new(FlatDemand));
-    let src = "DECLARE PARAMETER @w AS SET (9);\nSELECT DemandModel(@w, 26) AS demand INTO results;";
+    let src =
+        "DECLARE PARAMETER @w AS SET (9);\nSELECT DemandModel(@w, 26) AS demand INTO results;";
     let engine = Engine::new(
         &Scenario::parse(src).unwrap(),
         registry,
-        EngineConfig { worlds_per_point: 8, ..EngineConfig::default() },
+        EngineConfig {
+            worlds_per_point: 8,
+            ..EngineConfig::default()
+        },
     )
     .unwrap();
-    let (s, _) = engine.evaluate(&ParamPoint::from_pairs([("w", 9i64)])).unwrap();
+    let (s, _) = engine
+        .evaluate(&ParamPoint::from_pairs([("w", 9i64)]))
+        .unwrap();
     assert_eq!(s.expect("demand").unwrap(), 1_234.0);
     assert_eq!(s.expect_std_dev("demand").unwrap(), 0.0);
 }

@@ -8,12 +8,17 @@ use prophet_mc::{summary_table, worlds_table};
 use prophet_models::demo_registry;
 
 fn session(worlds: usize) -> OnlineSession {
-    OnlineSession::new(
-        Scenario::figure2().unwrap(),
-        demo_registry(),
-        EngineConfig { worlds_per_point: worlds, ..EngineConfig::default() },
-    )
-    .unwrap()
+    Prophet::builder()
+        .scenario("figure2", Scenario::figure2().unwrap())
+        .registry(demo_registry())
+        .config(EngineConfig {
+            worlds_per_point: worlds,
+            ..EngineConfig::default()
+        })
+        .build()
+        .unwrap()
+        .online("figure2")
+        .unwrap()
 }
 
 #[test]
@@ -74,7 +79,10 @@ fn session_results_materialize_into_relations() {
     let engine = Engine::new(
         &Scenario::figure2().unwrap(),
         demo_registry(),
-        EngineConfig { worlds_per_point: 20, ..EngineConfig::default() },
+        EngineConfig {
+            worlds_per_point: 20,
+            ..EngineConfig::default()
+        },
     )
     .unwrap();
     let mut sets = Vec::new();
@@ -109,7 +117,10 @@ fn slider_round_trip_restores_cached_graph() {
     assert_eq!(report.weeks_simulated, 0);
     assert_eq!(report.weeks_cached, 53);
     let overload_after: Vec<(f64, f64)> = s.series("overload").unwrap().xy();
-    assert_eq!(overload_before, overload_after, "cache must reproduce the graph exactly");
+    assert_eq!(
+        overload_before, overload_after,
+        "cache must reproduce the graph exactly"
+    );
 }
 
 #[test]
@@ -121,5 +132,9 @@ fn metrics_accumulate_across_adjustments() {
     let m2 = s.engine().metrics();
     assert!(m2.points_total() > m1.points_total());
     let delta = m2.since(&m1);
-    assert_eq!(delta.points_total(), 53, "one adjustment touches every week once");
+    assert_eq!(
+        delta.points_total(),
+        53,
+        "one adjustment touches every week once"
+    );
 }

@@ -1,8 +1,11 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants: the parser's totality, statistical kernels, mapping algebra,
-//! parameter-point semantics and PRNG range contracts.
-
-use proptest::prelude::*;
+//! Property-style tests over the core data structures and invariants: the
+//! parser's totality, statistical kernels, mapping algebra, parameter-point
+//! semantics and PRNG range contracts.
+//!
+//! The build environment vendors no external crates, so instead of
+//! `proptest` these run each property over many *deterministically
+//! generated* cases: inputs are drawn from the workspace's own seeded
+//! PRNGs, so failures reproduce exactly and the suite stays dependency-free.
 
 use fuzzy_prophet::prelude::*;
 use prophet_data::{csv, DataType, Schema, TableBuilder, Value};
@@ -11,78 +14,113 @@ use prophet_mc::aggregate::{quantile, Welford};
 use prophet_sql::parse_script;
 use prophet_vg::rng::{Rng64, Xoshiro256StarStar};
 
+const CASES: usize = 200;
+
+// A fixed base seed; cases derive from it so every run sees the same inputs.
+const BASE_SEED: u64 = 0x5EED_CAFE_F00D_0001;
+
+fn case_rng(salt: u64) -> Xoshiro256StarStar {
+    Xoshiro256StarStar::seed_from_u64(BASE_SEED ^ salt)
+}
+
+fn random_vec(rng: &mut Xoshiro256StarStar, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range_f64(lo, hi)).collect()
+}
+
 // --------------------------------------------------------------- parser
 
-proptest! {
-    /// The parser must never panic, whatever bytes arrive.
-    #[test]
-    fn parser_never_panics_on_arbitrary_input(src in ".{0,300}") {
+#[test]
+fn parser_never_panics_on_arbitrary_input() {
+    let mut rng = case_rng(1);
+    for _ in 0..CASES {
+        let len = rng.gen_range_i64(0, 300) as usize;
+        let src: String = (0..len)
+            .map(|_| {
+                // Printable ASCII plus a sprinkling of newlines and tabs.
+                match rng.gen_range_i64(0, 97) {
+                    95 => '\n',
+                    96 => '\t',
+                    c => (32 + c as u8) as char,
+                }
+            })
+            .collect();
         let _ = parse_script(&src);
     }
+}
 
-    /// Structured fuzz: near-miss scenarios built from grammar fragments
-    /// must parse or error — never panic, never loop.
-    #[test]
-    fn parser_never_panics_on_fragment_soup(
-        parts in proptest::collection::vec(
-            prop_oneof![
-                Just("DECLARE PARAMETER @p AS RANGE 0 TO 9 STEP BY 1;"),
-                Just("DECLARE PARAMETER @q AS SET (1,2);"),
-                Just("SELECT 1 AS x INTO r;"),
-                Just("SELECT CASE WHEN x < 1 THEN 1 ELSE 0 END AS y INTO r;"),
-                Just("GRAPH OVER @p EXPECT x;"),
-                Just("OPTIMIZE SELECT @p FROM r WHERE MAX(EXPECT x) < 1 FOR MAX @p"),
-                Just("WHERE MAX("),
-                Just("@@@"),
-                Just("'open string"),
-            ],
-            0..6,
-        )
-    ) {
-        let src = parts.concat();
+#[test]
+fn parser_never_panics_on_fragment_soup() {
+    const FRAGMENTS: &[&str] = &[
+        "DECLARE PARAMETER @p AS RANGE 0 TO 9 STEP BY 1;",
+        "DECLARE PARAMETER @q AS SET (1,2);",
+        "SELECT 1 AS x INTO r;",
+        "SELECT CASE WHEN x < 1 THEN 1 ELSE 0 END AS y INTO r;",
+        "GRAPH OVER @p EXPECT x;",
+        "OPTIMIZE SELECT @p FROM r WHERE MAX(EXPECT x) < 1 FOR MAX @p",
+        "WHERE MAX(",
+        "@@@",
+        "'open string",
+    ];
+    let mut rng = case_rng(2);
+    for _ in 0..CASES {
+        let parts = rng.gen_range_i64(0, 5) as usize;
+        let src: String = (0..parts)
+            .map(|_| FRAGMENTS[rng.gen_range_i64(0, FRAGMENTS.len() as i64 - 1) as usize])
+            .collect();
         let _ = parse_script(&src);
     }
+}
 
-    /// Any RANGE declaration with positive step round-trips its domain:
-    /// all values lie in [lo, hi], are step-aligned, and are sorted.
-    #[test]
-    fn range_domains_are_well_formed(lo in -100i64..100, span in 0i64..200, step in 1i64..20) {
+#[test]
+fn range_domains_are_well_formed() {
+    let mut rng = case_rng(3);
+    for _ in 0..CASES {
+        let lo = rng.gen_range_i64(-100, 99);
+        let span = rng.gen_range_i64(0, 199);
+        let step = rng.gen_range_i64(1, 19);
         let hi = lo + span;
         let src = format!(
             "DECLARE PARAMETER @p AS RANGE {lo} TO {hi} STEP BY {step};\nSELECT @p AS x INTO r;"
         );
         let script = parse_script(&src).unwrap();
         let values = script.params[0].domain.values();
-        prop_assert!(!values.is_empty());
-        prop_assert!(values.windows(2).all(|w| w[1] - w[0] == step));
-        prop_assert!(values.iter().all(|&v| v >= lo && v <= hi));
-        prop_assert!(values.iter().all(|&v| (v - lo) % step == 0));
+        assert!(!values.is_empty());
+        assert!(
+            values.windows(2).all(|w| w[1] - w[0] == step),
+            "step-aligned: {values:?}"
+        );
+        assert!(values.iter().all(|&v| v >= lo && v <= hi));
+        assert!(values.iter().all(|&v| (v - lo) % step == 0));
     }
 }
 
 // ----------------------------------------------------------- statistics
 
-proptest! {
-    /// Welford's streaming moments agree with the two-pass formulas.
-    #[test]
-    fn welford_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+#[test]
+fn welford_matches_two_pass() {
+    let mut rng = case_rng(4);
+    for _ in 0..CASES {
+        let n = rng.gen_range_i64(2, 200) as usize;
+        let xs = random_vec(&mut rng, n, -1e6, 1e6);
         let mut w = Welford::new();
         w.extend(&xs);
-        let n = xs.len() as f64;
-        let mean = xs.iter().sum::<f64>() / n;
-        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-        prop_assert!((w.mean().unwrap() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((w.variance().unwrap() - var).abs() <= 1e-5 * (1.0 + var.abs()));
-        prop_assert_eq!(w.count(), xs.len() as u64);
+        let nf = n as f64;
+        let mean = xs.iter().sum::<f64>() / nf;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (nf - 1.0);
+        assert!((w.mean().unwrap() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        assert!((w.variance().unwrap() - var).abs() <= 1e-5 * (1.0 + var.abs()));
+        assert_eq!(w.count(), n as u64);
     }
+}
 
-    /// Merging two Welford accumulators equals accumulating the
-    /// concatenation.
-    #[test]
-    fn welford_merge_is_concatenation(
-        xs in proptest::collection::vec(-1e5f64..1e5, 1..100),
-        ys in proptest::collection::vec(-1e5f64..1e5, 1..100),
-    ) {
+#[test]
+fn welford_merge_is_concatenation() {
+    let mut rng = case_rng(5);
+    for _ in 0..CASES {
+        let nx = rng.gen_range_i64(1, 100) as usize;
+        let xs = random_vec(&mut rng, nx, -1e5, 1e5);
+        let ny = rng.gen_range_i64(1, 100) as usize;
+        let ys = random_vec(&mut rng, ny, -1e5, 1e5);
         let mut a = Welford::new();
         a.extend(&xs);
         let mut b = Welford::new();
@@ -91,217 +129,270 @@ proptest! {
         let mut whole = Welford::new();
         whole.extend(&xs);
         whole.extend(&ys);
-        prop_assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-6);
+        assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-6);
         let (va, vw) = (a.variance().unwrap(), whole.variance().unwrap());
-        prop_assert!((va - vw).abs() <= 1e-6 * (1.0 + vw.abs()));
-        prop_assert_eq!(a.min(), whole.min());
-        prop_assert_eq!(a.max(), whole.max());
+        assert!((va - vw).abs() <= 1e-6 * (1.0 + vw.abs()));
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
     }
+}
 
-    /// Quantiles are bounded by the sample extremes and monotone in q.
-    #[test]
-    fn quantiles_bounded_and_monotone(
-        xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
-        q1 in 0.0f64..1.0,
-        q2 in 0.0f64..1.0,
-    ) {
+#[test]
+fn quantiles_bounded_and_monotone() {
+    let mut rng = case_rng(6);
+    for _ in 0..CASES {
+        let n = rng.gen_range_i64(1, 100) as usize;
+        let xs = random_vec(&mut rng, n, -1e6, 1e6);
+        let q1 = rng.next_f64();
+        let q2 = rng.next_f64();
         let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let a = quantile(&xs, q1).unwrap();
         let b = quantile(&xs, q2).unwrap();
-        prop_assert!(a >= lo && a <= hi);
+        assert!(a >= lo && a <= hi);
         if q1 <= q2 {
-            prop_assert!(a <= b + 1e-9);
+            assert!(a <= b + 1e-9);
         } else {
-            prop_assert!(b <= a + 1e-9);
+            assert!(b <= a + 1e-9);
         }
     }
+}
 
-    /// Pearson correlation is symmetric, bounded and scale-invariant.
-    #[test]
-    fn pearson_properties(
-        xs in proptest::collection::vec(-1e3f64..1e3, 3..50),
-        scale in 0.1f64..10.0,
-        shift in -100.0f64..100.0,
-    ) {
+#[test]
+fn pearson_properties() {
+    let mut rng = case_rng(7);
+    for _ in 0..CASES {
+        let n = rng.gen_range_i64(3, 50) as usize;
+        let xs = random_vec(&mut rng, n, -1e3, 1e3);
+        let scale = rng.gen_range_f64(0.1, 10.0);
+        let shift = rng.gen_range_f64(-100.0, 100.0);
         let ys: Vec<f64> = xs.iter().map(|x| x * 2.0 + 1.0).collect();
         if let Some(r) = pearson(&xs, &ys) {
-            prop_assert!((r - 1.0).abs() < 1e-6, "exact linear relation ⇒ r = 1, got {r}");
+            assert!(
+                (r - 1.0).abs() < 1e-6,
+                "exact linear relation ⇒ r = 1, got {r}"
+            );
         }
         let zs: Vec<f64> = xs.iter().map(|x| scale * x + shift).collect();
         if let (Some(a), Some(b)) = (pearson(&xs, &zs), pearson(&zs, &xs)) {
-            prop_assert!((a - b).abs() < 1e-9, "symmetry");
-            prop_assert!(a.abs() <= 1.0 + 1e-9, "bounded");
+            assert!((a - b).abs() < 1e-9, "symmetry");
+            assert!(a.abs() <= 1.0 + 1e-9, "bounded");
         }
     }
+}
 
-    /// Affine fits recover planted lines exactly.
-    #[test]
-    fn affine_fit_recovers_planted_line(
-        xs in proptest::collection::vec(-1e3f64..1e3, 3..50),
-        scale in -5.0f64..5.0,
-        offset in -100.0f64..100.0,
-    ) {
+#[test]
+fn affine_fit_recovers_planted_line() {
+    let mut rng = case_rng(8);
+    for _ in 0..CASES {
+        let n = rng.gen_range_i64(3, 50) as usize;
+        let xs = random_vec(&mut rng, n, -1e3, 1e3);
+        let scale = rng.gen_range_f64(-5.0, 5.0);
+        let offset = rng.gen_range_f64(-100.0, 100.0);
         // need variance in x
-        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-6));
+        if !xs.iter().any(|&x| (x - xs[0]).abs() > 1e-6) {
+            continue;
+        }
         let ys: Vec<f64> = xs.iter().map(|x| scale * x + offset).collect();
         let fit = fit_affine(&xs, &ys).unwrap();
-        prop_assert!((fit.scale - scale).abs() < 1e-6 * (1.0 + scale.abs()), "{fit:?}");
-        prop_assert!((fit.offset - offset).abs() < 1e-4 * (1.0 + offset.abs()), "{fit:?}");
-        prop_assert!(fit.r2 > 1.0 - 1e-9);
+        assert!(
+            (fit.scale - scale).abs() < 1e-6 * (1.0 + scale.abs()),
+            "{fit:?}"
+        );
+        assert!(
+            (fit.offset - offset).abs() < 1e-4 * (1.0 + offset.abs()),
+            "{fit:?}"
+        );
+        assert!(fit.r2 > 1.0 - 1e-9);
     }
 }
 
 // ------------------------------------------------------- mapping algebra
 
-fn mapping_strategy() -> impl Strategy<Value = Mapping> {
-    prop_oneof![
-        Just(Mapping::Identity),
-        (-1e3f64..1e3).prop_map(Mapping::Offset),
-        ((-10.0f64..10.0), (-1e3f64..1e3)).prop_map(|(scale, offset)| Mapping::Affine {
-            scale,
-            offset,
+fn random_mapping(rng: &mut Xoshiro256StarStar) -> Mapping {
+    match rng.gen_range_i64(0, 2) {
+        0 => Mapping::Identity,
+        1 => Mapping::Offset(rng.gen_range_f64(-1e3, 1e3)),
+        _ => Mapping::Affine {
+            scale: rng.gen_range_f64(-10.0, 10.0),
+            offset: rng.gen_range_f64(-1e3, 1e3),
             residual_std: 0.0,
-        }),
-    ]
+        },
+    }
 }
 
-proptest! {
-    /// `a.then(b)` applied to a scalar equals applying a then b.
-    #[test]
-    fn mapping_composition_is_sequential_application(
-        a in mapping_strategy(),
-        b in mapping_strategy(),
-        x in -1e4f64..1e4,
-    ) {
+#[test]
+fn mapping_composition_is_sequential_application() {
+    let mut rng = case_rng(9);
+    for _ in 0..CASES {
+        let a = random_mapping(&mut rng);
+        let b = random_mapping(&mut rng);
+        let x = rng.gen_range_f64(-1e4, 1e4);
         let direct = b.apply_scalar(a.apply_scalar(x));
         let composed = a.clone().then(b.clone()).apply_scalar(x);
-        prop_assert!((direct - composed).abs() <= 1e-9 * (1.0 + direct.abs()));
+        assert!(
+            (direct - composed).abs() <= 1e-9 * (1.0 + direct.abs()),
+            "{a:?} then {b:?} at {x}"
+        );
     }
+}
 
-    /// Detection then application reproduces the target fingerprint for
-    /// planted offset relations.
-    #[test]
-    fn detect_then_apply_closes_the_loop(
-        base in proptest::collection::vec(-1e3f64..1e3, 4..64),
-        delta in -1e3f64..1e3,
-    ) {
+#[test]
+fn detect_then_apply_closes_the_loop() {
+    let mut rng = case_rng(10);
+    let detector = CorrelationDetector::default();
+    for _ in 0..CASES {
+        let n = rng.gen_range_i64(4, 64) as usize;
+        let base = random_vec(&mut rng, n, -1e3, 1e3);
+        let delta = rng.gen_range_f64(-1e3, 1e3);
         // need variation so the fingerprints aren't degenerate
-        prop_assume!(base.iter().any(|&x| (x - base[0]).abs() > 1e-3));
+        if !base.iter().any(|&x| (x - base[0]).abs() > 1e-3) {
+            continue;
+        }
         let source = Fingerprint::from_values(base.clone());
         let target = Fingerprint::from_values(base.iter().map(|v| v + delta).collect());
-        let detector = CorrelationDetector::default();
-        let mapping = detector.detect(&source, &target).expect("planted offset must be detected");
+        let mapping = detector
+            .detect(&source, &target)
+            .expect("planted offset must be detected");
         let reproduced = mapping.apply_samples(source.values());
         for (r, t) in reproduced.iter().zip(target.values()) {
-            prop_assert!((r - t).abs() < 1e-6, "mapped {r} vs target {t}");
+            assert!((r - t).abs() < 1e-6, "mapped {r} vs target {t}");
         }
     }
 }
 
 // ------------------------------------------------------- parameter points
 
-proptest! {
-    /// Points are order-insensitive value maps.
-    #[test]
-    fn param_point_insertion_order_irrelevant(
-        pairs in proptest::collection::vec(("[a-e]", -100i64..100), 0..8)
-    ) {
+fn random_pairs(rng: &mut Xoshiro256StarStar, max_len: usize) -> Vec<(String, i64)> {
+    let len = rng.gen_range_i64(0, max_len as i64) as usize;
+    (0..len)
+        .map(|_| {
+            let name = (b'a' + rng.gen_range_i64(0, 4) as u8) as char;
+            (name.to_string(), rng.gen_range_i64(-100, 100))
+        })
+        .collect()
+}
+
+#[test]
+fn param_point_insertion_order_irrelevant() {
+    let mut rng = case_rng(11);
+    for _ in 0..CASES {
+        let pairs = random_pairs(&mut rng, 8);
         let forward = ParamPoint::from_pairs(pairs.clone());
-        let mut reversed_pairs = pairs.clone();
-        reversed_pairs.reverse();
         // later duplicates overwrite earlier ones, so dedup keeping last
         let mut last: std::collections::HashMap<String, i64> = std::collections::HashMap::new();
         for (k, v) in &pairs {
             last.insert(k.clone(), *v);
         }
         let canonical = ParamPoint::from_pairs(last.clone());
-        prop_assert_eq!(&forward, &canonical);
-        prop_assert_eq!(forward.stable_hash(), canonical.stable_hash());
+        assert_eq!(forward, canonical);
+        assert_eq!(forward.stable_hash(), canonical.stable_hash());
         for (k, v) in last {
-            prop_assert_eq!(forward.get(&k), Some(v));
+            assert_eq!(forward.get(&k), Some(v));
         }
     }
+}
 
-    /// `with` never mutates the original and always sets the new value.
-    #[test]
-    fn param_point_with_is_persistent(
-        base in proptest::collection::vec(("[a-e]", -100i64..100), 1..6),
-        value in -100i64..100,
-    ) {
-        let point = ParamPoint::from_pairs(base);
+#[test]
+fn param_point_with_is_persistent() {
+    let mut rng = case_rng(12);
+    for _ in 0..CASES {
+        let mut pairs = random_pairs(&mut rng, 6);
+        if pairs.is_empty() {
+            pairs.push(("a".to_owned(), 0));
+        }
+        let value = rng.gen_range_i64(-100, 100);
+        let point = ParamPoint::from_pairs(pairs);
         let name = point.iter().next().unwrap().0.to_owned();
         let old = point.get(&name);
         let updated = point.with(name.clone(), value);
-        prop_assert_eq!(updated.get(&name), Some(value));
-        prop_assert_eq!(point.get(&name), old);
+        assert_eq!(updated.get(&name), Some(value));
+        assert_eq!(point.get(&name), old);
     }
 }
 
 // --------------------------------------------------------------- values
 
-proptest! {
-    /// total_cmp is antisymmetric and consistent with equality on ints.
-    #[test]
-    fn value_total_cmp_antisymmetric(a in -1000i64..1000, b in -1000i64..1000) {
+#[test]
+fn value_total_cmp_antisymmetric() {
+    let mut rng = case_rng(13);
+    for _ in 0..CASES {
+        let a = rng.gen_range_i64(-1000, 1000);
+        let b = rng.gen_range_i64(-1000, 1000);
         let va = Value::Int(a);
         let vb = Value::Int(b);
-        prop_assert_eq!(va.total_cmp(&vb), vb.total_cmp(&va).reverse());
-        prop_assert_eq!(va.total_cmp(&vb) == std::cmp::Ordering::Equal, a == b);
+        assert_eq!(va.total_cmp(&vb), vb.total_cmp(&va).reverse());
+        assert_eq!(va.total_cmp(&vb) == std::cmp::Ordering::Equal, a == b);
     }
+}
 
-    /// Int/Float arithmetic agrees with f64 arithmetic where exact.
-    #[test]
-    fn numeric_arithmetic_matches_f64(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+#[test]
+fn numeric_arithmetic_matches_f64() {
+    let mut rng = case_rng(14);
+    for _ in 0..CASES {
+        let a = rng.gen_range_f64(-1e6, 1e6);
+        let b = rng.gen_range_f64(-1e6, 1e6);
         let va = Value::Float(a);
         let vb = Value::Float(b);
-        prop_assert_eq!(va.add(&vb).unwrap(), Value::Float(a + b));
-        prop_assert_eq!(va.mul(&vb).unwrap(), Value::Float(a * b));
-        prop_assert_eq!(va.sub(&vb).unwrap(), Value::Float(a - b));
+        assert_eq!(va.add(&vb).unwrap(), Value::Float(a + b));
+        assert_eq!(va.mul(&vb).unwrap(), Value::Float(a * b));
+        assert_eq!(va.sub(&vb).unwrap(), Value::Float(a - b));
     }
 }
 
 // ------------------------------------------------------------------ rng
 
-proptest! {
-    /// gen_range_i64 respects inclusive bounds for arbitrary ranges.
-    #[test]
-    fn rng_range_bounds(seed in any::<u64>(), lo in -1000i64..1000, span in 0i64..2000) {
-        let hi = lo + span;
+#[test]
+fn rng_range_bounds() {
+    let mut seeder = case_rng(15);
+    for _ in 0..CASES {
+        let seed = seeder.next_u64();
+        let lo = seeder.gen_range_i64(-1000, 1000);
+        let hi = lo + seeder.gen_range_i64(0, 2000);
         let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
         for _ in 0..50 {
             let v = rng.gen_range_i64(lo, hi);
-            prop_assert!(v >= lo && v <= hi);
+            assert!(v >= lo && v <= hi);
         }
     }
+}
 
-    /// Unit floats stay in [0, 1).
-    #[test]
-    fn rng_unit_floats(seed in any::<u64>()) {
-        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+#[test]
+fn rng_unit_floats() {
+    let mut seeder = case_rng(16);
+    for _ in 0..CASES {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seeder.next_u64());
         for _ in 0..100 {
             let f = rng.next_f64();
-            prop_assert!((0.0..1.0).contains(&f));
+            assert!((0.0..1.0).contains(&f));
         }
     }
 }
 
 // ------------------------------------------------------------------ csv
 
-proptest! {
-    /// CSV output always has exactly rows+1 lines and balanced quotes,
-    /// whatever strings go in.
-    #[test]
-    fn csv_is_well_formed(cells in proptest::collection::vec(".{0,30}", 1..20)) {
+#[test]
+fn csv_is_well_formed() {
+    let mut rng = case_rng(17);
+    for _ in 0..CASES {
+        let rows = rng.gen_range_i64(1, 20) as usize;
         let schema = Schema::of(&[("s", DataType::Str)]);
         let mut b = TableBuilder::new(schema);
-        for c in &cells {
-            b.push_row(vec![Value::Str(c.clone())]).unwrap();
+        for _ in 0..rows {
+            let len = rng.gen_range_i64(0, 30) as usize;
+            let cell: String = (0..len)
+                .map(|_| match rng.gen_range_i64(0, 96) {
+                    94 => '"',
+                    95 => '\n',
+                    c => (32 + c as u8) as char,
+                })
+                .collect();
+            b.push_row(vec![Value::Str(cell)]).unwrap();
         }
         let table = b.finish();
         let text = csv::to_csv(&table).unwrap();
         let quote_count = text.matches('"').count();
-        prop_assert_eq!(quote_count % 2, 0, "quotes must balance in {:?}", text);
-        prop_assert!(text.ends_with('\n'));
+        assert_eq!(quote_count % 2, 0, "quotes must balance in {text:?}");
+        assert!(text.ends_with('\n'));
     }
 }

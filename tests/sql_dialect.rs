@@ -10,7 +10,10 @@ fn engine_for(src: &str, worlds: usize) -> Engine {
     Engine::new(
         &Scenario::parse(src).unwrap(),
         demo_registry(),
-        EngineConfig { worlds_per_point: worlds, ..EngineConfig::default() },
+        EngineConfig {
+            worlds_per_point: worlds,
+            ..EngineConfig::default()
+        },
     )
     .unwrap()
 }
@@ -32,7 +35,10 @@ fn deterministic_scenarios_compute_exactly() {
         let p = ParamPoint::from_pairs([("x", x)]);
         let (s, _) = e.evaluate(&p).unwrap();
         assert_eq!(s.expect("square").unwrap(), (x * x) as f64);
-        assert_eq!(s.expect("even").unwrap(), if x % 2 == 0 { 1.0 } else { 0.0 });
+        assert_eq!(
+            s.expect("even").unwrap(),
+            if x % 2 == 0 { 1.0 } else { 0.0 }
+        );
         assert_eq!(s.expect("pow2").unwrap(), 2f64.powi(x as i32));
         assert_eq!(s.expect("clamped").unwrap(), (x.max(3)) as f64);
         assert_eq!(s.expect_std_dev("square").unwrap(), 0.0);
@@ -65,9 +71,21 @@ fn boolean_logic_and_comparison_chains() {
     );
     for x in 0..=10i64 {
         let (s, _) = e.evaluate(&ParamPoint::from_pairs([("x", x)])).unwrap();
-        assert_eq!(s.expect("band").unwrap(), f64::from((3..7).contains(&x) as u8), "x={x}");
-        assert_eq!(s.expect("not5").unwrap(), f64::from((x != 5) as u8), "x={x}");
-        assert_eq!(s.expect("fringe").unwrap(), f64::from(!(2..=8).contains(&x) as u8), "x={x}");
+        assert_eq!(
+            s.expect("band").unwrap(),
+            f64::from((3..7).contains(&x) as u8),
+            "x={x}"
+        );
+        assert_eq!(
+            s.expect("not5").unwrap(),
+            f64::from((x != 5) as u8),
+            "x={x}"
+        );
+        assert_eq!(
+            s.expect("fringe").unwrap(),
+            f64::from(!(2..=8).contains(&x) as u8),
+            "x={x}"
+        );
     }
 }
 
@@ -110,10 +128,16 @@ OPTIMIZE SELECT @x FROM results
 WHERE MIN(EXPECT v) <= 20 AND AVG(EXPECT v) <= 27
 GROUP BY x
 FOR MAX @x";
-    let opt = OfflineOptimizer::new(
-        Scenario::parse(src).unwrap(),
-        demo_registry(),
-        EngineConfig { worlds_per_point: 2, ..EngineConfig::default() },
+    let opt = OfflineOptimizer::open(
+        Engine::new(
+            &Scenario::parse(src).unwrap(),
+            demo_registry(),
+            EngineConfig {
+                worlds_per_point: 2,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap(),
     )
     .unwrap();
     let report = opt.run().unwrap();
@@ -133,10 +157,16 @@ OPTIMIZE SELECT @x FROM results
 WHERE MAX(EXPECT v) <> 2
 GROUP BY x
 FOR MAX @x";
-    let opt = OfflineOptimizer::new(
-        Scenario::parse(src).unwrap(),
-        demo_registry(),
-        EngineConfig { worlds_per_point: 2, ..EngineConfig::default() },
+    let opt = OfflineOptimizer::open(
+        Engine::new(
+            &Scenario::parse(src).unwrap(),
+            demo_registry(),
+            EngineConfig {
+                worlds_per_point: 2,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap(),
     )
     .unwrap();
     let report = opt.run().unwrap();
