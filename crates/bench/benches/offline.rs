@@ -26,8 +26,8 @@ FOR MAX @purchase1, MAX @purchase2";
 const WORLDS: usize = 40;
 
 fn optimizer(fingerprints: bool) -> OfflineOptimizer {
-    OfflineOptimizer::new(
-        Scenario::parse(SWEEP).unwrap(),
+    let engine = Engine::new(
+        &Scenario::parse(SWEEP).unwrap(),
         demo_registry(),
         EngineConfig {
             worlds_per_point: WORLDS,
@@ -35,7 +35,8 @@ fn optimizer(fingerprints: bool) -> OfflineOptimizer {
             ..EngineConfig::default()
         },
     )
-    .unwrap()
+    .unwrap();
+    OfflineOptimizer::open(engine).unwrap()
 }
 
 fn bench_sweep(c: &mut Criterion) {

@@ -1,0 +1,95 @@
+//! Bench smoke: run the experiment harness's offline sweep on a small
+//! workload and emit `BENCH_sweep.json` so the perf trajectory of the
+//! batched evaluation executor is recorded per commit.
+//!
+//! ```sh
+//! cargo run --release -p prophet-bench --bin sweep_smoke
+//! cargo run --release -p prophet-bench --bin sweep_smoke -- --worlds 64 --threads 4 --out BENCH_sweep.json
+//! ```
+//!
+//! The JSON reports sweep throughput (points/sec) and the executor's
+//! probe-vs-simulation wall-clock split (`probe_nanos` / `sim_nanos`), the
+//! two numbers the ROADMAP's hot-path items are tracked by.
+
+use std::time::Instant;
+
+use fuzzy_prophet::prelude::*;
+use prophet_bench::workloads::{demo_optimizer, figure2_coarse};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut worlds = 32usize;
+    let mut threads = 4usize;
+    let mut out = String::from("BENCH_sweep.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--worlds" => worlds = parse(it.next(), "--worlds"),
+            "--threads" => threads = parse(it.next(), "--threads"),
+            "--out" => {
+                out = it
+                    .next()
+                    .unwrap_or_else(|| die("--out needs a path"))
+                    .clone();
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let config = EngineConfig {
+        worlds_per_point: worlds,
+        threads,
+        ..EngineConfig::default()
+    };
+    let optimizer = demo_optimizer(figure2_coarse(0.05), config);
+    let groups = optimizer.groups_total();
+    let t0 = Instant::now();
+    let report = optimizer.run().expect("sweep must complete");
+    let wall = t0.elapsed();
+
+    let m = report.metrics;
+    let points = m.points_total();
+    let points_per_sec = points as f64 / wall.as_secs_f64().max(1e-9);
+    let best = report
+        .best
+        .as_ref()
+        .map(|b| format!("{:?}", b.point.to_string()))
+        .unwrap_or_else(|| "null".to_string());
+
+    let json = format!(
+        "{{\n  \"workload\": \"figure2_coarse\",\n  \"worlds_per_point\": {worlds},\n  \
+         \"threads\": {threads},\n  \"groups\": {groups},\n  \"points_total\": {points},\n  \
+         \"points_simulated\": {},\n  \"points_mapped\": {},\n  \"points_cached\": {},\n  \
+         \"worlds_simulated\": {},\n  \"batch_probes\": {},\n  \"inflight_waits\": {},\n  \
+         \"probe_nanos\": {},\n  \"sim_nanos\": {},\n  \"wall_nanos\": {},\n  \
+         \"points_per_sec\": {points_per_sec:.1},\n  \"best_point\": {best}\n}}\n",
+        m.points_simulated,
+        m.points_mapped,
+        m.points_cached,
+        m.worlds_simulated,
+        m.batch_probes,
+        m.inflight_waits,
+        m.probe_nanos,
+        m.sim_nanos,
+        wall.as_nanos(),
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    print!("{json}");
+    eprintln!(
+        "sweep: {points} points in {wall:?} ({points_per_sec:.1} points/sec); \
+         probe {:.1}ms vs sim {:.1}ms",
+        m.probe_nanos as f64 / 1e6,
+        m.sim_nanos as f64 / 1e6,
+    );
+}
+
+fn parse(arg: Option<&String>, flag: &str) -> usize {
+    arg.and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| die(&format!("{flag} needs a positive integer")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: sweep_smoke [--worlds N] [--threads N] [--out PATH]");
+    std::process::exit(2);
+}

@@ -1,8 +1,8 @@
 //! The Figure-1 evaluation cycle with fingerprint-accelerated reuse.
 //!
-//! [`Engine::evaluate`] is the single entry point both modes use to obtain
-//! the outcome distribution of the scenario at one parameter point. It
-//! implements the paper's cycle:
+//! [`Engine::evaluate`] and [`Engine::evaluate_batch`] are the entry points
+//! both modes use to obtain the outcome distribution of the scenario at
+//! parameter points. The paper's cycle:
 //!
 //! 1. exact-key cache lookup in the Storage Manager (a prior run of the
 //!    same point),
@@ -16,9 +16,18 @@
 //! 4. on a miss: full Monte Carlo simulation, then insert into the basis
 //!    store so later points can map from this one.
 //!
+//! The cycle itself is executed by the batched pipeline in
+//! [`executor`](crate::executor) — `evaluate` is a batch of one. This
+//! module keeps the engine's state (script, seeds, configuration, work
+//! counters) and the per-point primitives the pipeline stages compose:
+//! [`Engine::probe_fingerprints`], [`Engine::remap_samples`] and
+//! [`Engine::simulate_full`].
+//!
 //! The basis store is a [`SharedBasisStore`]: engines built through the
 //! [`Prophet`](crate::service::Prophet) service share one store per
-//! scenario, so results simulated by one session re-map in every other.
+//! scenario, so results simulated by one session re-map in every other,
+//! and its in-flight claims guarantee concurrent sessions never duplicate
+//! one point's simulation.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -236,69 +245,11 @@ impl Engine {
     }
 
     /// Evaluate the scenario at one parameter point, returning the sample
-    /// set and how it was obtained.
+    /// set and how it was obtained. This is a batch of one through
+    /// [`Engine::evaluate_batch`].
     pub fn evaluate(&self, point: &ParamPoint) -> ProphetResult<(SampleSet, EvalOutcome)> {
-        // 1. Exact cache.
-        if let Some(samples) = self.basis.get_exact(point, self.config.worlds_per_point) {
-            self.bump(|m| m.points_cached += 1);
-            return Ok((self.to_sample_set(point, &samples), EvalOutcome::Cached));
-        }
-
-        // 2./3. Fingerprint probe + correlated reuse.
-        if self.config.fingerprints_enabled && !self.stochastic_cols.is_empty() {
-            let fp_start = Instant::now();
-            let probes = self.probe_fingerprints(point)?;
-            let matched =
-                self.basis
-                    .find_correlated(&probes, &self.stochastic_cols, &self.config.detector);
-            if let Some(hit) = matched {
-                let mapped = self.remap_samples(point, &hit.samples, &hit.mappings, hit.worlds)?;
-                let exact = hit.mappings.values().all(Mapping::is_exact);
-                self.basis.insert(
-                    point.clone(),
-                    probes,
-                    Arc::new(mapped.clone()),
-                    hit.worlds,
-                    false,
-                );
-                self.bump(|m| {
-                    m.points_mapped += 1;
-                    m.fingerprint_time += fp_start.elapsed();
-                });
-                return Ok((
-                    self.to_sample_set(point, &mapped),
-                    EvalOutcome::Mapped {
-                        from: hit.source,
-                        exact,
-                    },
-                ));
-            }
-            // Miss: fall through to simulation, but keep the probes for the
-            // new basis entry.
-            let samples = self.simulate_full(point)?;
-            self.bump(|m| m.fingerprint_time += fp_start.elapsed());
-            self.basis.insert(
-                point.clone(),
-                probes,
-                Arc::new(samples.clone()),
-                self.config.worlds_per_point,
-                true,
-            );
-            self.bump(|m| m.points_simulated += 1);
-            return Ok((self.to_sample_set(point, &samples), EvalOutcome::Simulated));
-        }
-
-        // 4. Plain simulation (fingerprints disabled).
-        let samples = self.simulate_full(point)?;
-        self.basis.insert(
-            point.clone(),
-            HashMap::new(),
-            Arc::new(samples.clone()),
-            self.config.worlds_per_point,
-            true,
-        );
-        self.bump(|m| m.points_simulated += 1);
-        Ok((self.to_sample_set(point, &samples), EvalOutcome::Simulated))
+        let mut results = self.evaluate_batch(std::slice::from_ref(point))?;
+        Ok(results.pop().expect("batch of one yields one result"))
     }
 
     /// Monte Carlo expectation of one column at a point (convenience).
@@ -309,18 +260,22 @@ impl Engine {
             .ok_or_else(|| ProphetError::unknown_column(column, self.output_columns()))
     }
 
-    // ------------------------------------------------------------ internals
+    // ---------------------------------------------- pipeline primitives
+    // (crate-visible: composed into batches by `crate::executor`)
 
-    fn bump(&self, update: impl FnOnce(&mut EngineMetrics)) {
+    pub(crate) fn bump(&self, update: impl FnOnce(&mut EngineMetrics)) {
         update(&mut self.metrics.lock().expect("metrics lock poisoned"));
     }
 
     /// Evaluate the scenario once per canonical fingerprint seed, recording
-    /// each stochastic column's output.
-    fn probe_fingerprints(
+    /// each stochastic column's output. Self-times into
+    /// `fingerprint_time`, so the counter sums real probe work across
+    /// parallel workers.
+    pub(crate) fn probe_fingerprints(
         &self,
         point: &ParamPoint,
     ) -> ProphetResult<HashMap<String, Fingerprint>> {
+        let start = Instant::now();
         let seeds = SeedSequence::fingerprint_default(self.config.fingerprint.length);
         let params = point.to_value_map();
         let mut per_col: HashMap<String, Vec<f64>> = self
@@ -345,7 +300,10 @@ impl Engine {
                 }
             }
         }
-        self.bump(|m| m.probe_evaluations += seeds.len() as u64);
+        self.bump(|m| {
+            m.probe_evaluations += seeds.len() as u64;
+            m.fingerprint_time += start.elapsed();
+        });
         Ok(per_col
             .into_iter()
             .map(|(name, values)| (name, Fingerprint::from_values(values)))
@@ -353,13 +311,16 @@ impl Engine {
     }
 
     /// Map the stochastic columns and recompute the derived ones per world.
-    fn remap_samples(
+    /// Self-times into `fingerprint_time` (mapping is part of the
+    /// fingerprint phase's per-call work).
+    pub(crate) fn remap_samples(
         &self,
         point: &ParamPoint,
         source: &HashMap<String, Vec<f64>>,
         mappings: &HashMap<String, Mapping>,
         worlds: usize,
     ) -> ProphetResult<HashMap<String, Vec<f64>>> {
+        let start = Instant::now();
         let mut out: HashMap<String, Vec<f64>> =
             HashMap::with_capacity(self.script.select.items.len());
         // Stochastic columns: apply the detected mapping to stored samples.
@@ -408,14 +369,26 @@ impl Engine {
                 }
             }
         }
+        self.bump(|m| m.fingerprint_time += start.elapsed());
         Ok(out)
     }
 
-    /// Full Monte Carlo simulation, optionally world-parallel.
-    fn simulate_full(&self, point: &ParamPoint) -> ProphetResult<HashMap<String, Vec<f64>>> {
+    /// Full Monte Carlo simulation of one point.
+    ///
+    /// `world_parallel` selects how `config.threads` is spent: `true`
+    /// splits this point's worlds across the pool (the lone-miss case);
+    /// `false` runs single-threaded because the executor is already
+    /// simulating sibling points on the pool (point-level parallelism).
+    /// The world→sample assignment is identical either way, so the choice
+    /// never changes the produced samples or the work counters.
+    pub(crate) fn simulate_full(
+        &self,
+        point: &ParamPoint,
+        world_parallel: bool,
+    ) -> ProphetResult<HashMap<String, Vec<f64>>> {
         let start = Instant::now();
         let worlds: Vec<u64> = (0..self.config.worlds_per_point as u64).collect();
-        let sample_set = if self.config.threads > 1 {
+        let sample_set = if world_parallel && self.config.threads > 1 {
             let chunk = worlds.len().div_ceil(self.config.threads);
             let chunks: Vec<&[u64]> = worlds.chunks(chunk).collect();
             let results: Vec<Result<SampleSet, SqlError>> = std::thread::scope(|scope| {
@@ -472,7 +445,11 @@ impl Engine {
         Ok(out)
     }
 
-    fn to_sample_set(&self, point: &ParamPoint, samples: &HashMap<String, Vec<f64>>) -> SampleSet {
+    pub(crate) fn to_sample_set(
+        &self,
+        point: &ParamPoint,
+        samples: &HashMap<String, Vec<f64>>,
+    ) -> SampleSet {
         SampleSet::from_samples(point.clone(), self.output_columns(), samples.clone())
     }
 }

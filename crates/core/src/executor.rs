@@ -1,0 +1,435 @@
+//! The batched evaluation executor: the paper's Figure-1 cycle, pipelined
+//! over a whole batch of parameter points.
+//!
+//! The Figure-1 loop — Guide proposes an instance, the Storage Manager is
+//! probed, a fingerprint hit re-maps stored samples, a miss runs the Monte
+//! Carlo simulation whose results feed back into the store — was executed
+//! one point at a time by `Engine::evaluate`. Offline sweeps and online
+//! graph refreshes, however, always know dozens of points up front; this
+//! module makes the *batch* the unit of work and maps each Figure-1 stage
+//! onto a batch-wide phase:
+//!
+//! | Figure-1 stage           | batch phase                                 |
+//! |--------------------------|---------------------------------------------|
+//! | Guide emits instances    | callers submit `&[ParamPoint]` (deduplicated)|
+//! | Storage Manager lookup   | *plan*: per-point exact-cache check plus an  |
+//! |                          | in-flight claim ([`SharedBasisStore::try_claim`]) |
+//! | fingerprint probe        | *probe*: claimed points fingerprint in       |
+//! |                          | parallel across the worker pool              |
+//! | correlation search       | *match*: one source-parallel                 |
+//! |                          | [`SharedBasisStore::find_correlated_batch`]  |
+//! |                          | scan scores every probe against every        |
+//! |                          | candidate source                             |
+//! | re-map on a hit          | *remap*: mapped sample reconstruction,       |
+//! |                          | parallel across hits                         |
+//! | simulate on a miss       | *simulate*: misses partitioned across the    |
+//! |                          | scoped worker pool — point-level             |
+//! |                          | parallelism, not just world-level            |
+//! | results feed the store   | *publish*: completions insert basis entries  |
+//! |                          | and wake cross-session waiters               |
+//!
+//! Two properties the phases preserve:
+//!
+//! * **Work deduplication.** The plan phase claims each point through the
+//!   shared store's in-flight table, so N sessions evaluating the same cold
+//!   point perform exactly one simulation — the other N−1 block on the
+//!   owner's [`WaitHandle`] and reuse its published samples (counted as
+//!   `inflight_waits`). Within one batch, duplicate points collapse to a
+//!   single evaluation, and work counters count unique points.
+//! * **Determinism.** Simulation seeds depend only on `(root seed, world,
+//!   point)`, candidate scanning orders sources by insertion stamp, and
+//!   phase results are published in batch order — so the samples, the
+//!   `worlds_simulated` count, and the chosen mapping sources are all
+//!   independent of `threads`.
+//!
+//! Phase wall-clock lands in `EngineMetrics::probe_nanos` (probe + match +
+//! remap) and `EngineMetrics::sim_nanos` (simulate), giving sweeps a true
+//! probe-vs-simulation split as the caller experiences it.
+//!
+//! [`SharedBasisStore::try_claim`]: prophet_mc::SharedBasisStore::try_claim
+//! [`SharedBasisStore::find_correlated_batch`]: prophet_mc::SharedBasisStore::find_correlated_batch
+//! [`WaitHandle`]: prophet_mc::WaitHandle
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use prophet_fingerprint::{Fingerprint, Mapping};
+use prophet_mc::{BasisHit, InflightGuard, ParamPoint, SampleSet, TryClaim, WaitHandle};
+
+use crate::engine::{Engine, EvalOutcome};
+use crate::error::ProphetResult;
+
+impl Engine {
+    /// Evaluate the scenario at a batch of parameter points, returning one
+    /// `(samples, outcome)` per input point, in input order.
+    ///
+    /// Duplicate points are evaluated once and their result shared. Points
+    /// already being simulated by a concurrent session are not duplicated:
+    /// this call blocks on the in-flight owner and reuses its result
+    /// (outcome [`EvalOutcome::Cached`], counted in
+    /// `EngineMetrics::inflight_waits`).
+    pub fn evaluate_batch(
+        &self,
+        points: &[ParamPoint],
+    ) -> ProphetResult<Vec<(SampleSet, EvalOutcome)>> {
+        if points.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // ---- dedupe: unique points in first-seen order.
+        let mut unique: Vec<ParamPoint> = Vec::new();
+        let mut index_of: HashMap<ParamPoint, usize> = HashMap::with_capacity(points.len());
+        let slot_of: Vec<usize> = points
+            .iter()
+            .map(|p| {
+                *index_of.entry(p.clone()).or_insert_with(|| {
+                    unique.push(p.clone());
+                    unique.len() - 1
+                })
+            })
+            .collect();
+
+        let worlds_per_point = self.config().worlds_per_point;
+        let threads = self.config().threads.max(1);
+        let use_fingerprints =
+            self.config().fingerprints_enabled && !self.stochastic_columns().is_empty();
+        let store = self.basis_store();
+
+        // ---- plan: exact-cache check + in-flight claim per unique point.
+        let mut results: Vec<Option<(SampleSet, EvalOutcome)>> =
+            (0..unique.len()).map(|_| None).collect();
+        let mut guards: Vec<Option<InflightGuard>> = (0..unique.len()).map(|_| None).collect();
+        let mut waits: Vec<Option<WaitHandle>> = (0..unique.len()).map(|_| None).collect();
+        let mut owned: Vec<usize> = Vec::new();
+        for (i, point) in unique.iter().enumerate() {
+            match store.try_claim(point, worlds_per_point) {
+                TryClaim::Ready { samples, .. } => {
+                    self.bump(|m| m.points_cached += 1);
+                    results[i] = Some((self.to_sample_set(point, &samples), EvalOutcome::Cached));
+                }
+                TryClaim::Owner(guard) => {
+                    guards[i] = Some(guard);
+                    owned.push(i);
+                }
+                TryClaim::Pending(handle) => waits[i] = Some(handle),
+            }
+        }
+
+        // ---- probe + match + remap (the fingerprint phase).
+        let mut probes: Vec<Option<HashMap<String, Fingerprint>>> =
+            (0..unique.len()).map(|_| None).collect();
+        let mut to_simulate: Vec<usize> = Vec::new();
+        if use_fingerprints && !owned.is_empty() {
+            let phase = Instant::now();
+            let owned_points: Vec<&ParamPoint> = owned.iter().map(|&i| &unique[i]).collect();
+            let probe_results =
+                parallel_map(&owned_points, threads, |p| self.probe_fingerprints(p));
+            let mut owned_probes: Vec<HashMap<String, Fingerprint>> =
+                Vec::with_capacity(owned.len());
+            for r in probe_results {
+                owned_probes.push(r?);
+            }
+            self.bump(|m| m.batch_probes += owned.len() as u64);
+
+            let match_start = Instant::now();
+            let hits = store.find_correlated_batch(
+                &owned_probes,
+                self.stochastic_columns(),
+                &self.config().detector,
+                threads,
+            );
+            // Probe evaluation and remapping self-time into
+            // `fingerprint_time`; the match scan is the remaining share of
+            // the phase's per-call work.
+            self.bump(|m| m.fingerprint_time += match_start.elapsed());
+            for (pos, probe) in owned_probes.into_iter().enumerate() {
+                probes[owned[pos]] = Some(probe);
+            }
+
+            // Remap every hit in parallel, then publish in batch order.
+            let mut hit_items: Vec<(usize, BasisHit)> = Vec::new();
+            for (pos, hit) in hits.into_iter().enumerate() {
+                match hit {
+                    Some(hit) => hit_items.push((owned[pos], hit)),
+                    None => to_simulate.push(owned[pos]),
+                }
+            }
+            let remapped = parallel_map(&hit_items, threads, |(i, hit)| {
+                self.remap_samples(&unique[*i], &hit.samples, &hit.mappings, hit.worlds)
+            });
+            for ((i, hit), mapped) in hit_items.into_iter().zip(remapped) {
+                let mapped = mapped?;
+                let exact = hit.mappings.values().all(Mapping::is_exact);
+                let guard = guards[i].take().expect("hit point was claimed");
+                guard.complete(
+                    probes[i].take().expect("hit point was probed"),
+                    Arc::new(mapped.clone()),
+                    hit.worlds,
+                    false,
+                );
+                self.bump(|m| m.points_mapped += 1);
+                results[i] = Some((
+                    self.to_sample_set(&unique[i], &mapped),
+                    EvalOutcome::Mapped {
+                        from: hit.source,
+                        exact,
+                    },
+                ));
+            }
+            self.bump(|m| m.probe_nanos += phase.elapsed().as_nanos() as u64);
+        } else {
+            to_simulate = owned;
+        }
+
+        // ---- simulate misses across the worker pool. With at least
+        // `threads` misses, point-level parallelism saturates the pool with
+        // single-threaded simulations; with fewer misses than threads,
+        // each point instead world-parallelizes sequentially so no worker
+        // sits idle. The world→sample assignment is seed-based, so every
+        // sample and counter is identical under either schedule.
+        if !to_simulate.is_empty() {
+            let phase = Instant::now();
+            let miss_points: Vec<&ParamPoint> = to_simulate.iter().map(|&i| &unique[i]).collect();
+            let simulated: Vec<ProphetResult<_>> = if miss_points.len() < threads {
+                miss_points
+                    .iter()
+                    .map(|p| self.simulate_full(p, true))
+                    .collect()
+            } else {
+                parallel_map(&miss_points, threads, |p| self.simulate_full(p, false))
+            };
+            for (&i, sim) in to_simulate.iter().zip(simulated) {
+                let samples = sim?;
+                let guard = guards[i].take().expect("missed point was claimed");
+                guard.complete(
+                    probes[i].take().unwrap_or_default(),
+                    Arc::new(samples.clone()),
+                    worlds_per_point,
+                    true,
+                );
+                self.bump(|m| m.points_simulated += 1);
+                results[i] = Some((
+                    self.to_sample_set(&unique[i], &samples),
+                    EvalOutcome::Simulated,
+                ));
+            }
+            self.bump(|m| m.sim_nanos += phase.elapsed().as_nanos() as u64);
+        }
+
+        // ---- resolve cross-session waits last, so our own publications
+        // are already out (two sessions waiting on each other's points
+        // therefore cannot deadlock).
+        for i in 0..unique.len() {
+            if let Some(handle) = waits[i].take() {
+                results[i] = Some(self.resolve_wait(&unique[i], handle)?);
+            }
+        }
+
+        Ok(slot_of
+            .into_iter()
+            .map(|i| {
+                results[i]
+                    .clone()
+                    .expect("every unique point resolves to a result")
+            })
+            .collect())
+    }
+
+    /// Block on another session's in-flight simulation of `point`. If the
+    /// owner abandons it (error, or a store clear mid-flight), or publishes
+    /// fewer worlds than this engine requires (shared store, differing
+    /// `worlds_per_point`), re-claim: becoming the owner means
+    /// re-simulating at this engine's own depth.
+    fn resolve_wait(
+        &self,
+        point: &ParamPoint,
+        handle: WaitHandle,
+    ) -> ProphetResult<(SampleSet, EvalOutcome)> {
+        let mut handle = Some(handle);
+        loop {
+            if let Some(h) = handle.take() {
+                if let Some((samples, worlds)) = h.wait() {
+                    if worlds >= self.config().worlds_per_point {
+                        self.bump(|m| {
+                            m.points_cached += 1;
+                            m.inflight_waits += 1;
+                        });
+                        return Ok((self.to_sample_set(point, &samples), EvalOutcome::Cached));
+                    }
+                    // Under-provisioned publish: fall through and re-claim,
+                    // exactly as the Ready path's min-worlds filter would.
+                }
+            }
+            match self
+                .basis_store()
+                .try_claim(point, self.config().worlds_per_point)
+            {
+                TryClaim::Ready { samples, .. } => {
+                    self.bump(|m| m.points_cached += 1);
+                    return Ok((self.to_sample_set(point, &samples), EvalOutcome::Cached));
+                }
+                TryClaim::Pending(h) => handle = Some(h),
+                TryClaim::Owner(guard) => return self.run_owner(point, guard),
+            }
+        }
+    }
+
+    /// Sequential Figure-1 cycle for one owned point — the retry path when
+    /// a waited-on simulation was cancelled under us.
+    fn run_owner(
+        &self,
+        point: &ParamPoint,
+        guard: InflightGuard,
+    ) -> ProphetResult<(SampleSet, EvalOutcome)> {
+        let use_fingerprints =
+            self.config().fingerprints_enabled && !self.stochastic_columns().is_empty();
+        let mut probes = HashMap::new();
+        if use_fingerprints {
+            let phase = Instant::now();
+            probes = self.probe_fingerprints(point)?;
+            let match_start = Instant::now();
+            let hit = self.basis_store().find_correlated(
+                &probes,
+                self.stochastic_columns(),
+                &self.config().detector,
+            );
+            self.bump(|m| m.fingerprint_time += match_start.elapsed());
+            if let Some(hit) = hit {
+                let mapped = self.remap_samples(point, &hit.samples, &hit.mappings, hit.worlds)?;
+                let exact = hit.mappings.values().all(Mapping::is_exact);
+                guard.complete(probes, Arc::new(mapped.clone()), hit.worlds, false);
+                self.bump(|m| {
+                    m.points_mapped += 1;
+                    m.probe_nanos += phase.elapsed().as_nanos() as u64;
+                });
+                return Ok((
+                    self.to_sample_set(point, &mapped),
+                    EvalOutcome::Mapped {
+                        from: hit.source,
+                        exact,
+                    },
+                ));
+            }
+            self.bump(|m| m.probe_nanos += phase.elapsed().as_nanos() as u64);
+        }
+        let phase = Instant::now();
+        let samples = self.simulate_full(point, true)?;
+        guard.complete(
+            probes,
+            Arc::new(samples.clone()),
+            self.config().worlds_per_point,
+            true,
+        );
+        self.bump(|m| {
+            m.points_simulated += 1;
+            m.sim_nanos += phase.elapsed().as_nanos() as u64;
+        });
+        Ok((self.to_sample_set(point, &samples), EvalOutcome::Simulated))
+    }
+}
+
+/// Apply `f` to every item, fanning out across up to `threads` scoped
+/// workers (contiguous chunks, results in input order). Single-item or
+/// single-thread calls run inline with no spawn overhead.
+fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move || slice.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("executor worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::scenario::Scenario;
+    use prophet_models::demo_registry;
+
+    fn engine(config: EngineConfig) -> Engine {
+        let scenario = Scenario::figure2().unwrap();
+        Engine::new(&scenario, demo_registry(), config).unwrap()
+    }
+
+    fn small_config() -> EngineConfig {
+        EngineConfig {
+            worlds_per_point: 60,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn demo_point(current: i64, p1: i64, p2: i64, feature: i64) -> ParamPoint {
+        ParamPoint::from_pairs([
+            ("current", current),
+            ("purchase1", p1),
+            ("purchase2", p2),
+            ("feature", feature),
+        ])
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let e = engine(small_config());
+        assert!(e.evaluate_batch(&[]).unwrap().is_empty());
+        assert_eq!(e.metrics().points_total(), 0);
+    }
+
+    #[test]
+    fn duplicate_points_in_one_batch_are_evaluated_once() {
+        let e = engine(small_config());
+        let p = demo_point(10, 16, 36, 12);
+        let results = e.evaluate_batch(&[p.clone(), p.clone(), p]).unwrap();
+        assert_eq!(results.len(), 3);
+        for (samples, outcome) in &results {
+            assert_eq!(*outcome, EvalOutcome::Simulated);
+            assert_eq!(samples.samples("demand"), results[0].0.samples("demand"));
+        }
+        let m = e.metrics();
+        assert_eq!(m.points_simulated, 1, "duplicates collapse to one");
+        assert_eq!(m.points_total(), 1);
+        assert_eq!(m.worlds_simulated, 60);
+    }
+
+    #[test]
+    fn batch_results_keep_input_order() {
+        let e = engine(small_config());
+        let a = demo_point(5, 16, 36, 12);
+        let b = demo_point(50, 0, 4, 44);
+        let results = e
+            .evaluate_batch(&[a.clone(), b.clone(), a.clone()])
+            .unwrap();
+        assert_eq!(results[0].0.point(), &a);
+        assert_eq!(results[1].0.point(), &b);
+        assert_eq!(results[2].0.point(), &a);
+    }
+
+    #[test]
+    fn batch_phase_clocks_are_recorded() {
+        let e = engine(small_config());
+        let results = e
+            .evaluate_batch(&[demo_point(5, 16, 36, 12), demo_point(5, 16, 36, 36)])
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        let m = e.metrics();
+        assert_eq!(m.batch_probes, 2, "both cold points probed in batch");
+        assert!(m.probe_nanos > 0, "probe phase wall-clock recorded");
+        assert!(m.sim_nanos > 0, "simulate phase wall-clock recorded");
+    }
+}

@@ -83,18 +83,20 @@
 //!
 //! ## Migrating from the 0.1 session-per-struct API
 //!
-//! | 0.1 | 0.2 |
+//! | 0.1 | 0.3 |
 //! |-----|-----|
 //! | `OnlineSession::new(scenario, registry, config)` | `Prophet::builder().scenario(name, scenario).registry(registry).config(config).build()?.online(name)?` |
 //! | `OfflineOptimizer::new(scenario, registry, config)` | `…build()?.offline(name)?` |
 //! | `Err(SqlError::Eval(msg))` | structured [`error::ProphetError`] variants |
 //!
-//! The 0.1 constructors remain as deprecated shims for one release; each
-//! builds a private engine with an *unshared* basis store, exactly as
-//! before.
+//! The 0.1 constructors shipped as deprecated shims for one release and
+//! are now gone. Direct engine composition remains available via
+//! [`Engine::new`] / [`Engine::with_basis_store`] plus
+//! [`OnlineSession::open`] / [`OfflineOptimizer::open`].
 
 pub mod engine;
 pub mod error;
+pub mod executor;
 pub mod exploration;
 pub mod metrics;
 pub mod offline;
@@ -124,5 +126,5 @@ pub mod prelude {
     pub use crate::service::{Prophet, ProphetBuilder};
     pub use crate::session::{AdjustReport, OnlineSession, ProgressiveEstimate};
     pub use prophet_mc::guide::{Guide, GuideFactory};
-    pub use prophet_mc::{ParamPoint, SharedBasisStore};
+    pub use prophet_mc::{ParamPoint, SharedBasisStore, StoreStatsSnapshot};
 }

@@ -22,9 +22,26 @@ pub struct EngineMetrics {
     pub worlds_simulated: u64,
     /// Scenario evaluations spent probing fingerprints.
     pub probe_evaluations: u64,
-    /// Wall-clock time inside full simulation.
+    /// Evaluations served by blocking on another session's in-flight
+    /// simulation of the same point (thundering-herd dedup).
+    pub inflight_waits: u64,
+    /// Points whose store probe went through the batched planner
+    /// ([`Engine::evaluate_batch`](crate::engine::Engine::evaluate_batch)'s
+    /// source-parallel `find_correlated_batch` stage).
+    pub batch_probes: u64,
+    /// Executor wall-clock nanoseconds inside the probe/match/remap phase.
+    /// Unlike [`fingerprint_time`](EngineMetrics::fingerprint_time), which
+    /// sums per-call durations across parallel workers, this measures the
+    /// phase as the caller experiences it.
+    pub probe_nanos: u64,
+    /// Executor wall-clock nanoseconds inside the simulation phase (same
+    /// wall-vs-summed distinction as
+    /// [`probe_nanos`](EngineMetrics::probe_nanos)).
+    pub sim_nanos: u64,
+    /// Time inside full simulation, summed across parallel workers.
     pub simulation_time: Duration,
-    /// Wall-clock time inside fingerprint probing + matching + mapping.
+    /// Time inside fingerprint probing + matching + mapping, summed across
+    /// parallel workers.
     pub fingerprint_time: Duration,
 }
 
@@ -57,6 +74,10 @@ impl EngineMetrics {
         self.points_simulated += other.points_simulated;
         self.worlds_simulated += other.worlds_simulated;
         self.probe_evaluations += other.probe_evaluations;
+        self.inflight_waits += other.inflight_waits;
+        self.batch_probes += other.batch_probes;
+        self.probe_nanos += other.probe_nanos;
+        self.sim_nanos += other.sim_nanos;
         self.simulation_time += other.simulation_time;
         self.fingerprint_time += other.fingerprint_time;
     }
@@ -69,6 +90,10 @@ impl EngineMetrics {
             points_simulated: self.points_simulated - earlier.points_simulated,
             worlds_simulated: self.worlds_simulated - earlier.worlds_simulated,
             probe_evaluations: self.probe_evaluations - earlier.probe_evaluations,
+            inflight_waits: self.inflight_waits - earlier.inflight_waits,
+            batch_probes: self.batch_probes - earlier.batch_probes,
+            probe_nanos: self.probe_nanos - earlier.probe_nanos,
+            sim_nanos: self.sim_nanos - earlier.sim_nanos,
             simulation_time: self.simulation_time.saturating_sub(earlier.simulation_time),
             fingerprint_time: self
                 .fingerprint_time
@@ -82,13 +107,14 @@ impl fmt::Display for EngineMetrics {
         write!(
             f,
             "points: {} simulated / {} mapped / {} cached ({}% reused); \
-             worlds: {}; probes: {}; sim {:?}; fp {:?}",
+             worlds: {}; probes: {}; waits: {}; sim {:?}; fp {:?}",
             self.points_simulated,
             self.points_mapped,
             self.points_cached,
             (self.reuse_fraction() * 100.0).round() as u64,
             self.worlds_simulated,
             self.probe_evaluations,
+            self.inflight_waits,
             self.simulation_time,
             self.fingerprint_time,
         )
@@ -138,6 +164,32 @@ mod tests {
         assert_eq!(diff.points_mapped, 3);
         assert_eq!(diff.probe_evaluations, 96);
         assert_eq!(diff.points_simulated, 0);
+    }
+
+    #[test]
+    fn executor_counters_merge_and_diff() {
+        let a = EngineMetrics {
+            inflight_waits: 2,
+            batch_probes: 10,
+            probe_nanos: 1_000,
+            sim_nanos: 5_000,
+            ..EngineMetrics::default()
+        };
+        let mut b = a;
+        b.merge(&EngineMetrics {
+            inflight_waits: 1,
+            batch_probes: 5,
+            probe_nanos: 500,
+            sim_nanos: 500,
+            ..EngineMetrics::default()
+        });
+        assert_eq!(b.inflight_waits, 3);
+        assert_eq!(b.batch_probes, 15);
+        let diff = b.since(&a);
+        assert_eq!(diff.inflight_waits, 1);
+        assert_eq!(diff.batch_probes, 5);
+        assert_eq!(diff.probe_nanos, 500);
+        assert_eq!(diff.sim_nanos, 500);
     }
 
     #[test]

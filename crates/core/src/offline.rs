@@ -21,12 +21,10 @@ use std::time::{Duration, Instant};
 use prophet_mc::guide::{GridGuide, Guide};
 use prophet_mc::ParamPoint;
 use prophet_sql::ast::{AggMetric, ObjectiveDirection, OptimizeSpec, OuterAgg, ParameterDecl};
-use prophet_vg::VgRegistry;
 
-use crate::engine::{Engine, EngineConfig, EvalOutcome};
+use crate::engine::{Engine, EvalOutcome};
 use crate::error::{ProphetError, ProphetResult};
 use crate::metrics::EngineMetrics;
-use crate::scenario::Scenario;
 
 /// One feasible (or candidate) answer of the OPTIMIZE query.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,19 +108,6 @@ impl OfflineOptimizer {
         })
     }
 
-    /// Build an optimizer by assembling the engine in place.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Prophet::builder()…offline(name)`, or `OfflineOptimizer::open(engine)`"
-    )]
-    pub fn new(
-        scenario: Scenario,
-        registry: VgRegistry,
-        config: EngineConfig,
-    ) -> ProphetResult<Self> {
-        OfflineOptimizer::open(Engine::new(&scenario, registry, config)?)
-    }
-
     /// The underlying engine.
     pub fn engine(&self) -> &Engine {
         &self.engine
@@ -180,8 +165,10 @@ impl OfflineOptimizer {
         })
     }
 
-    /// Evaluate one group: sweep the axis parameters, accumulate the outer
-    /// aggregate for every constraint, and test feasibility.
+    /// Evaluate one group: batch the whole axis sweep through the
+    /// evaluation executor (probing the shared store source-parallel and
+    /// simulating misses point-parallel), then accumulate the outer
+    /// aggregate for every constraint and test feasibility.
     fn evaluate_group(
         &self,
         group: &ParamPoint,
@@ -194,14 +181,19 @@ impl OfflineOptimizer {
             .map(|c| OuterAccumulator::new(c.outer))
             .collect();
 
+        let mut full_points = Vec::new();
         let mut axis = GridGuide::new(&self.axis_decls);
         while let Some(axis_point) = axis.next_point() {
             let mut full = group.clone();
             for (name, value) in axis_point.iter() {
                 full.set(name.to_owned(), value);
             }
-            let (samples, outcome) = self.engine.evaluate(&full)?;
-            observer(group, &full, &outcome);
+            full_points.push(full);
+        }
+
+        let results = self.engine.evaluate_batch(&full_points)?;
+        for (full, (samples, outcome)) in full_points.iter().zip(&results) {
+            observer(group, full, outcome);
             for (constraint, acc) in self.spec.constraints.iter().zip(&mut aggs) {
                 let metric = match constraint.metric {
                     AggMetric::Expect => samples.expect(&constraint.column),
@@ -297,6 +289,8 @@ impl OuterAccumulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::EngineConfig;
+    use crate::scenario::Scenario;
     use prophet_models::demo_registry;
 
     /// A small scenario whose answer is analytically known: pick the

@@ -33,7 +33,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use prophet_mc::guide::{Guide, GuideFactory, PriorityGuide};
-use prophet_mc::SharedBasisStore;
+use prophet_mc::{SharedBasisStore, StoreStatsSnapshot};
 use prophet_sql::ast::ParameterDecl;
 use prophet_vg::VgRegistry;
 
@@ -243,6 +243,13 @@ impl Prophet {
     /// Number of basis entries currently shared by `name`'s sessions.
     pub fn basis_len(&self, name: &str) -> ProphetResult<usize> {
         self.slot(name).map(|s| s.store.len())
+    }
+
+    /// Cross-session counters of `name`'s shared store: fingerprint probe
+    /// hits/misses and in-flight waits (evaluations that reused another
+    /// session's concurrent simulation instead of duplicating it).
+    pub fn basis_stats(&self, name: &str) -> ProphetResult<StoreStatsSnapshot> {
+        self.slot(name).map(|s| s.store.stats_snapshot())
     }
 
     /// Drop a scenario's shared basis entries (forces cold starts

@@ -24,11 +24,9 @@ use prophet_mc::aggregate::Welford;
 use prophet_mc::guide::{Guide, PriorityGuide};
 use prophet_mc::{ParamPoint, Series};
 use prophet_sql::ast::GraphDirective;
-use prophet_vg::VgRegistry;
 
-use crate::engine::{Engine, EngineConfig, EvalOutcome};
+use crate::engine::{Engine, EvalOutcome};
 use crate::error::{ProphetError, ProphetResult};
-use crate::scenario::Scenario;
 
 /// What one slider adjustment (or initial render) cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,19 +139,6 @@ impl OnlineSession {
         })
     }
 
-    /// Start a session by assembling the engine in place.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Prophet::builder()…online(name)`, or `OnlineSession::open(engine)`"
-    )]
-    pub fn new(
-        scenario: Scenario,
-        registry: VgRegistry,
-        config: EngineConfig,
-    ) -> ProphetResult<Self> {
-        OnlineSession::open(Engine::new(&scenario, registry, config)?)
-    }
-
     /// Current slider values (everything but the graph axis).
     pub fn sliders(&self) -> &ParamPoint {
         &self.sliders
@@ -178,6 +163,13 @@ impl OnlineSession {
     /// The engine (metrics, basis introspection).
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// Snapshot of this session's engine work counters (simulated vs
+    /// mapped vs cached points, in-flight waits, probe/simulation phase
+    /// wall-clock).
+    pub fn metrics(&self) -> crate::metrics::EngineMetrics {
+        self.engine.metrics()
     }
 
     /// Number of slider adjustments performed so far.
@@ -216,7 +208,10 @@ impl OnlineSession {
         Ok(report)
     }
 
-    /// Recompute every graph point for the current sliders.
+    /// Recompute every graph point for the current sliders, as one batch
+    /// through the evaluation executor: every week probes the shared store
+    /// in a single source-parallel scan and the changed weeks simulate
+    /// point-parallel across the engine's worker pool.
     pub fn refresh(&mut self) -> ProphetResult<AdjustReport> {
         let start = Instant::now();
         let mut report = AdjustReport {
@@ -226,16 +221,20 @@ impl OnlineSession {
             weeks_cached: 0,
             wall: Duration::ZERO,
         };
-        for &x in &self.x_values {
-            let point = self.sliders.with(self.graph.x_param.clone(), x);
-            let (samples, outcome) = self.engine.evaluate(&point)?;
+        let points: Vec<ParamPoint> = self
+            .x_values
+            .iter()
+            .map(|&x| self.sliders.with(self.graph.x_param.clone(), x))
+            .collect();
+        let results = self.engine.evaluate_batch(&points)?;
+        for (&x, (samples, outcome)) in self.x_values.iter().zip(&results) {
             match outcome {
                 EvalOutcome::Cached => report.weeks_cached += 1,
                 EvalOutcome::Mapped { .. } => report.weeks_mapped += 1,
                 EvalOutcome::Simulated => report.weeks_simulated += 1,
             }
             for series in &mut self.series {
-                series.update_from(x, &samples);
+                series.update_from(x, samples);
             }
         }
         report.wall = start.elapsed();
@@ -245,21 +244,33 @@ impl OnlineSession {
     /// Donate idle time: evaluate up to `budget` proactively queued points
     /// (slider-neighbourhood prefetch under the default strategy). Returns
     /// how many were evaluated.
+    ///
+    /// The drained points expand across every week of the graph axis and
+    /// go through the executor as one batch, so anticipatory work gets the
+    /// same batched probing and point-parallel simulation as a user-facing
+    /// refresh.
     pub fn prefetch_tick(&mut self, budget: usize) -> ProphetResult<usize> {
-        let mut done = 0;
-        while done < budget {
-            let Some(mut point) = self.guide.next_point() else {
+        let mut drained = Vec::new();
+        while drained.len() < budget {
+            let Some(point) = self.guide.next_point() else {
                 break;
             };
-            // Prefetched points cover the whole graph for that slider
-            // setting, so warm every week of the axis.
+            drained.push(point);
+        }
+        if drained.is_empty() {
+            return Ok(0);
+        }
+        // Prefetched points cover the whole graph for that slider setting,
+        // so warm every week of the axis.
+        let mut batch = Vec::with_capacity(drained.len() * self.x_values.len());
+        for mut point in drained.iter().cloned() {
             for &x in &self.x_values {
                 point.set(self.graph.x_param.clone(), x);
-                self.engine.evaluate(&point)?;
+                batch.push(point.clone());
             }
-            done += 1;
         }
-        Ok(done)
+        self.engine.evaluate_batch(&batch)?;
+        Ok(drained.len())
     }
 
     /// Progressive (anytime) expectation of `column` at the *current*
@@ -329,6 +340,8 @@ impl OnlineSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::EngineConfig;
+    use crate::scenario::Scenario;
     use prophet_models::demo_registry;
 
     fn session(worlds: usize) -> OnlineSession {
@@ -355,21 +368,6 @@ mod tests {
             matches!(err, Err(ProphetError::MissingGraphDirective)),
             "{err:?}"
         );
-    }
-
-    #[test]
-    fn deprecated_shim_still_assembles_a_session() {
-        #[allow(deprecated)]
-        let s = OnlineSession::new(
-            Scenario::figure2().unwrap(),
-            demo_registry(),
-            EngineConfig {
-                worlds_per_point: 8,
-                ..EngineConfig::default()
-            },
-        )
-        .unwrap();
-        assert_eq!(s.graph().len(), 3);
     }
 
     #[test]

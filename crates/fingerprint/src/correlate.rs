@@ -5,6 +5,8 @@
 //! every stored Monte Carlo sample for the source point can be re-mapped to
 //! the target point without invoking the VG-Function again.
 
+use std::collections::HashMap;
+
 use crate::fingerprint::Fingerprint;
 use crate::mapping::Mapping;
 
@@ -206,6 +208,32 @@ impl CorrelationDetector {
         self.detect(&Fingerprint::from_values(xs), &Fingerprint::from_values(ys))
     }
 
+    /// Batch detection across a whole column set: detect a mapping for
+    /// *every* name in `columns` from the `source` fingerprint map onto the
+    /// `probe` map. Returns the per-column mappings plus the summed
+    /// [`Mapping::error_std`] (the candidate-ranking score a basis store
+    /// uses to pick the best source), or `None` as soon as any column lacks
+    /// a fingerprint on either side or fails detection.
+    ///
+    /// This is the unit of work of the batched, source-parallel store probe:
+    /// each worker thread scores candidate sources against probe sets with
+    /// one `detect_all` call per (candidate, probe) pair.
+    pub fn detect_all(
+        &self,
+        source: &HashMap<String, Fingerprint>,
+        probe: &HashMap<String, Fingerprint>,
+        columns: &[String],
+    ) -> Option<(HashMap<String, Mapping>, f64)> {
+        let mut mappings = HashMap::with_capacity(columns.len());
+        let mut total_err = 0.0;
+        for col in columns {
+            let mapping = self.detect(source.get(col)?, probe.get(col)?)?;
+            total_err += mapping.error_std();
+            mappings.insert(col.clone(), mapping);
+        }
+        Some((mappings, total_err))
+    }
+
     /// Detect a mapping from `source` to `target` fingerprints, or `None`
     /// if they are not confidently related.
     pub fn detect(&self, source: &Fingerprint, target: &Fingerprint) -> Option<Mapping> {
@@ -356,6 +384,37 @@ mod tests {
             }
             other => panic!("expected affine, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn detect_all_requires_every_column_to_match() {
+        let det = CorrelationDetector::default();
+        let base = vec![1.0, 2.0, 3.0, 5.0, 8.0];
+        let shifted: Vec<f64> = base.iter().map(|v| v + 4.0).collect();
+        let noise = vec![0.3, 0.1, 0.4, 0.1, 0.5];
+        let source = HashMap::from([
+            ("a".to_owned(), Fingerprint::from_values(base.clone())),
+            ("b".to_owned(), Fingerprint::from_values(base.clone())),
+        ]);
+        let probe = HashMap::from([
+            ("a".to_owned(), Fingerprint::from_values(shifted)),
+            ("b".to_owned(), Fingerprint::from_values(base.clone())),
+        ]);
+        let cols = ["a".to_owned(), "b".to_owned()];
+        let (mappings, err) = det.detect_all(&source, &probe, &cols).expect("both map");
+        assert_eq!(mappings["a"], Mapping::Offset(4.0));
+        assert_eq!(mappings["b"], Mapping::Identity);
+        assert_eq!(err, 0.0, "identity/offset mappings are exact");
+
+        // One unrelated column sinks the whole candidate.
+        let bad_probe = HashMap::from([
+            ("a".to_owned(), Fingerprint::from_values(base.clone())),
+            ("b".to_owned(), Fingerprint::from_values(noise)),
+        ]);
+        assert_eq!(det.detect_all(&source, &bad_probe, &cols), None);
+        // A column missing from either side is a miss, not a panic.
+        let missing = ["a".to_owned(), "zz".to_owned()];
+        assert_eq!(det.detect_all(&source, &probe, &missing), None);
     }
 
     #[test]

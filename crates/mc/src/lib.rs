@@ -33,4 +33,7 @@ pub use guide::{GridGuide, Guide, GuideFactory, PriorityGuide, RandomGuide};
 pub use instance::ParamPoint;
 pub use materialize::{summary_table, worlds_table};
 pub use series::{Series, SeriesPoint};
-pub use store::{BasisHit, ColumnSamples, SharedBasisStore};
+pub use store::{
+    BasisHit, ColumnSamples, InflightGuard, SharedBasisStore, StoreStatsSnapshot, TryClaim,
+    WaitHandle,
+};

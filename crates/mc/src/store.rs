@@ -8,15 +8,23 @@
 //! ([`SharedBasisStore`] is `Clone` + thread-safe: clones are handles onto
 //! the same `Arc<RwLock<…>>`-backed state).
 //!
+//! Beyond storage, the store coordinates *work*: per-point in-flight guards
+//! ([`SharedBasisStore::try_claim`]) guarantee that N concurrent sessions
+//! evaluating the same cold point block on one simulation instead of each
+//! running it (the thundering-herd dedup), and
+//! [`SharedBasisStore::find_correlated_batch`] probes many fingerprint sets
+//! against the candidate sources in one source-parallel scan.
+//!
 //! This is the engine-level sibling of
 //! [`prophet_fingerprint::BasisStore`]: that store is generic and keyed by
 //! fingerprint alone; this one is keyed by [`ParamPoint`] and stores the
 //! per-column fingerprints plus full sample sets the Figure-1 evaluation
 //! cycle needs.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use prophet_fingerprint::{CorrelationDetector, Fingerprint, Mapping};
 
@@ -39,7 +47,7 @@ pub struct BasisHit {
 }
 
 struct Record {
-    fingerprints: HashMap<String, Fingerprint>,
+    fingerprints: Arc<HashMap<String, Fingerprint>>,
     /// Samples for *all* output columns (stochastic and derived).
     samples: Arc<ColumnSamples>,
     worlds: usize,
@@ -59,14 +67,217 @@ struct Inner {
     next_stamp: u64,
 }
 
+/// State of one in-flight simulation slot.
+enum SlotState {
+    /// The owning session is still computing.
+    Running,
+    /// The owner published: waiters reuse these samples directly (immune to
+    /// store eviction — the hand-off does not go through `entries`).
+    Done {
+        samples: Arc<ColumnSamples>,
+        worlds: usize,
+    },
+    /// The owner failed or the store was cleared mid-flight: waiters must
+    /// re-claim and re-simulate.
+    Cancelled,
+}
+
+/// One pending parameter point: a condvar-notified state cell shared by the
+/// owner and every waiter.
+struct PendingSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl PendingSlot {
+    fn new() -> Self {
+        PendingSlot {
+            state: Mutex::new(SlotState::Running),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Cancel if still running, waking every waiter.
+    fn cancel(&self) {
+        let mut state = self.state.lock().expect("inflight slot lock poisoned");
+        if matches!(*state, SlotState::Running) {
+            *state = SlotState::Cancelled;
+        }
+        drop(state);
+        self.cv.notify_all();
+    }
+}
+
+#[derive(Default)]
+struct Inflight {
+    slots: Mutex<HashMap<ParamPoint, Arc<PendingSlot>>>,
+}
+
+/// Outcome of [`SharedBasisStore::try_claim`].
+pub enum TryClaim {
+    /// The caller owns this point's simulation: it must publish through the
+    /// guard ([`InflightGuard::complete`]) or drop it to release waiters.
+    Owner(InflightGuard),
+    /// The point is already stored with enough worlds.
+    Ready {
+        /// The stored per-column samples.
+        samples: Arc<ColumnSamples>,
+        /// Worlds backing them.
+        worlds: usize,
+    },
+    /// Another session is simulating this point right now: block on the
+    /// handle instead of duplicating the work.
+    Pending(WaitHandle),
+}
+
+/// A claim on one parameter point's simulation. Dropping the guard without
+/// completing (error or panic on the owning path) cancels the slot so
+/// waiters wake up and re-claim.
+pub struct InflightGuard {
+    store: SharedBasisStore,
+    point: ParamPoint,
+    slot: Arc<PendingSlot>,
+    completed: bool,
+}
+
+impl InflightGuard {
+    /// The claimed point.
+    pub fn point(&self) -> &ParamPoint {
+        &self.point
+    }
+
+    /// Publish the computed samples: wake every waiter with them and insert
+    /// the basis entry. Returns `false` when the store was cleared while
+    /// the simulation was in flight — the results are *not* inserted (clear
+    /// means "force cold start", so pre-clear work must not resurrect) and
+    /// waiters have already been released to re-simulate.
+    ///
+    /// The whole publish — state flip, entry insert, slot removal — happens
+    /// under the in-flight table lock, the same lock [`SharedBasisStore::clear`]
+    /// and [`SharedBasisStore::try_claim`] serialize on. That atomicity is
+    /// what the two guarantees rest on: a concurrent clear lands either
+    /// entirely before this publish (the slot is already cancelled, the
+    /// results are discarded) or entirely after (the inserted entry is
+    /// wiped); and a concurrent `try_claim` can never observe the gap
+    /// between "slot gone" and "entry inserted", so it cannot become a
+    /// duplicate owner of work that just finished.
+    pub fn complete(
+        mut self,
+        fingerprints: HashMap<String, Fingerprint>,
+        samples: Arc<ColumnSamples>,
+        worlds: usize,
+        matchable: bool,
+    ) -> bool {
+        self.completed = true;
+        let mut slots = self
+            .store
+            .inflight
+            .slots
+            .lock()
+            .expect("inflight table lock poisoned");
+        {
+            let mut state = self.slot.state.lock().expect("inflight slot lock poisoned");
+            if matches!(*state, SlotState::Cancelled) {
+                // A clear detached this slot mid-flight: discard.
+                return false;
+            }
+            *state = SlotState::Done {
+                samples: Arc::clone(&samples),
+                worlds,
+            };
+        }
+        self.slot.cv.notify_all();
+        self.store
+            .insert(self.point.clone(), fingerprints, samples, worlds, matchable);
+        if let Some(current) = slots.get(&self.point) {
+            if Arc::ptr_eq(current, &self.slot) {
+                slots.remove(&self.point);
+            }
+        }
+        true
+    }
+
+    /// Remove this slot from the pending table (if it is still the
+    /// registered one — a clear may have already detached it).
+    fn detach(&self) {
+        let mut slots = self
+            .store
+            .inflight
+            .slots
+            .lock()
+            .expect("inflight table lock poisoned");
+        if let Some(current) = slots.get(&self.point) {
+            if Arc::ptr_eq(current, &self.slot) {
+                slots.remove(&self.point);
+            }
+        }
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.detach();
+            self.slot.cancel();
+        }
+    }
+}
+
+/// A ticket for a simulation owned by another session.
+pub struct WaitHandle {
+    slot: Arc<PendingSlot>,
+    stats: Arc<StoreStats>,
+}
+
+impl WaitHandle {
+    /// Block until the owning session publishes or cancels. `Some` carries
+    /// the published samples (counted as an in-flight wait); `None` means
+    /// the simulation was abandoned (owner failure or a store clear) — the
+    /// caller should re-claim and, if it becomes the owner, re-simulate.
+    pub fn wait(self) -> Option<(Arc<ColumnSamples>, usize)> {
+        let mut state = self.slot.state.lock().expect("inflight slot lock poisoned");
+        loop {
+            match &*state {
+                SlotState::Running => {
+                    state = self
+                        .slot
+                        .cv
+                        .wait(state)
+                        .expect("inflight slot lock poisoned");
+                }
+                SlotState::Done { samples, worlds } => {
+                    self.stats.inflight_waits.fetch_add(1, Ordering::Relaxed);
+                    return Some((Arc::clone(samples), *worlds));
+                }
+                SlotState::Cancelled => return None,
+            }
+        }
+    }
+}
+
+/// Cross-session counters of one shared store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStatsSnapshot {
+    /// Correlated probes that found a source.
+    pub hits: u64,
+    /// Correlated probes that found none.
+    pub misses: u64,
+    /// Evaluations served by blocking on another session's in-flight
+    /// simulation instead of running their own.
+    pub inflight_waits: u64,
+}
+
 /// Thread-safe basis store shared between engines/sessions of one scenario.
 ///
 /// Cloning produces another handle onto the same store. Capacity is
 /// bounded; eviction drops the oldest *mapped* entry first, because
 /// simulated entries are the sources fingerprint matching lives on.
+/// In-flight claims live outside the bounded entry table, so eviction can
+/// never drop a pending simulation.
 #[derive(Clone)]
 pub struct SharedBasisStore {
     inner: Arc<RwLock<Inner>>,
+    inflight: Arc<Inflight>,
     stats: Arc<StoreStats>,
     capacity: usize,
 }
@@ -75,7 +286,12 @@ pub struct SharedBasisStore {
 struct StoreStats {
     hits: AtomicU64,
     misses: AtomicU64,
+    inflight_waits: AtomicU64,
 }
+
+/// Per-probe best match within one candidate slice: `(candidate index,
+/// per-column mappings, total error)`.
+type PartialBest = Vec<Option<(usize, HashMap<String, Mapping>, f64)>>;
 
 impl SharedBasisStore {
     /// Create an empty store holding at most `capacity` entries.
@@ -87,6 +303,7 @@ impl SharedBasisStore {
         assert!(capacity > 0, "basis store capacity must be positive");
         SharedBasisStore {
             inner: Arc::new(RwLock::new(Inner::default())),
+            inflight: Arc::new(Inflight::default()),
             stats: Arc::new(StoreStats::default()),
             capacity,
         }
@@ -108,18 +325,58 @@ impl SharedBasisStore {
     }
 
     /// Drop all entries (forces cold start) and reset hit accounting.
+    ///
+    /// In-flight simulations are cancelled, not orphaned: every pending
+    /// slot is detached and its waiters woken, so they re-claim and
+    /// re-simulate against the now-empty store, and the interrupted owners'
+    /// results are discarded on [`InflightGuard::complete`] instead of
+    /// resurrecting pre-clear state.
+    ///
+    /// Cancelling and wiping happen under the in-flight table lock that
+    /// [`InflightGuard::complete`] publishes under, so a racing completion
+    /// is either fully before this clear (its entry is wiped with the rest)
+    /// or fully after (its slot is already cancelled and its results are
+    /// discarded) — never a stale entry in a "cleared" store.
     pub fn clear(&self) {
+        let mut slots = self
+            .inflight
+            .slots
+            .lock()
+            .expect("inflight table lock poisoned");
+        for (_, slot) in slots.drain() {
+            slot.cancel();
+        }
         self.write().entries.clear();
+        drop(slots);
         self.stats.hits.store(0, Ordering::Relaxed);
         self.stats.misses.store(0, Ordering::Relaxed);
+        self.stats.inflight_waits.store(0, Ordering::Relaxed);
     }
 
-    /// `(hits, misses)` of [`SharedBasisStore::find_correlated`] so far.
+    /// `(hits, misses)` of correlated lookups so far.
     pub fn hit_stats(&self) -> (u64, u64) {
         (
             self.stats.hits.load(Ordering::Relaxed),
             self.stats.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Snapshot of all cross-session counters.
+    pub fn stats_snapshot(&self) -> StoreStatsSnapshot {
+        StoreStatsSnapshot {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            inflight_waits: self.stats.inflight_waits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of points currently claimed by in-flight simulations.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight
+            .slots
+            .lock()
+            .expect("inflight table lock poisoned")
+            .len()
     }
 
     /// True if `other` is a handle onto the same underlying store.
@@ -135,6 +392,51 @@ impl SharedBasisStore {
             .get(point)
             .filter(|e| e.worlds >= min_worlds)
             .map(|e| Arc::clone(&e.samples))
+    }
+
+    /// Claim `point` for evaluation, deduplicating concurrent work: at most
+    /// one session owns a point's simulation at a time.
+    ///
+    /// * [`TryClaim::Ready`] — already stored with `min_worlds`+ worlds.
+    /// * [`TryClaim::Owner`] — the caller must simulate and publish through
+    ///   the returned [`InflightGuard`].
+    /// * [`TryClaim::Pending`] — another session owns it; block on the
+    ///   [`WaitHandle`] to reuse its result.
+    pub fn try_claim(&self, point: &ParamPoint, min_worlds: usize) -> TryClaim {
+        let mut slots = self
+            .inflight
+            .slots
+            .lock()
+            .expect("inflight table lock poisoned");
+        // Exact check under the in-flight lock so a concurrent complete()
+        // cannot publish between the store check and slot registration.
+        {
+            let inner = self.read();
+            if let Some(e) = inner.entries.get(point) {
+                if e.worlds >= min_worlds {
+                    return TryClaim::Ready {
+                        samples: Arc::clone(&e.samples),
+                        worlds: e.worlds,
+                    };
+                }
+            }
+        }
+        match slots.entry(point.clone()) {
+            Entry::Occupied(e) => TryClaim::Pending(WaitHandle {
+                slot: Arc::clone(e.get()),
+                stats: Arc::clone(&self.stats),
+            }),
+            Entry::Vacant(v) => {
+                let slot = Arc::new(PendingSlot::new());
+                v.insert(Arc::clone(&slot));
+                TryClaim::Owner(InflightGuard {
+                    store: self.clone(),
+                    point: point.clone(),
+                    slot,
+                    completed: false,
+                })
+            }
+        }
     }
 
     /// Insert (or replace) the entry for `point`. `matchable` marks fully
@@ -165,7 +467,7 @@ impl SharedBasisStore {
         inner.entries.insert(
             point,
             Record {
-                fingerprints,
+                fingerprints: Arc::new(fingerprints),
                 samples,
                 worlds,
                 stamp,
@@ -183,68 +485,129 @@ impl SharedBasisStore {
         columns: &[String],
         detector: &CorrelationDetector,
     ) -> Option<BasisHit> {
+        self.find_correlated_batch(std::slice::from_ref(probes), columns, detector, 1)
+            .pop()
+            .flatten()
+    }
+
+    /// Batched, source-parallel correlated lookup: probe many fingerprint
+    /// sets against the matchable entries in one scan. Result `i` is the
+    /// best hit for `probes[i]`.
+    ///
+    /// The scan runs under the store's read lock (like the old
+    /// single-probe scan did), borrowing candidate records in
+    /// insertion-stamp order — nothing is cloned except the winning hits.
+    /// Candidates partition across up to `threads` scoped workers
+    /// ("source-parallel": each worker owns a slice of candidate sources
+    /// and scores every probe against it); partial bests merge by
+    /// `(total error, insertion order)`, so the chosen source is
+    /// deterministic and independent of the thread count.
+    pub fn find_correlated_batch(
+        &self,
+        probes: &[HashMap<String, Fingerprint>],
+        columns: &[String],
+        detector: &CorrelationDetector,
+        threads: usize,
+    ) -> Vec<Option<BasisHit>> {
+        if probes.is_empty() {
+            return Vec::new();
+        }
         let inner = self.read();
-        let mut best: Option<(BasisHit, f64)> = None;
-        for (source_point, entry) in &inner.entries {
-            if !entry.matchable || entry.fingerprints.is_empty() {
-                continue;
-            }
-            let mut mappings = HashMap::with_capacity(columns.len());
-            let mut total_err = 0.0;
-            let mut all_matched = true;
-            for col in columns {
-                let (Some(source_fp), Some(probe_fp)) =
-                    (entry.fingerprints.get(col), probes.get(col))
-                else {
-                    all_matched = false;
+        let mut candidates: Vec<(&ParamPoint, &Record)> = inner
+            .entries
+            .iter()
+            .filter(|(_, e)| e.matchable && !e.fingerprints.is_empty())
+            .collect();
+        candidates.sort_unstable_by_key(|(_, e)| e.stamp);
+
+        // Best per probe within one candidate slice: (candidate index,
+        // mappings, total error). A zero-error hit is exact — nothing in a
+        // later candidate can beat it, so the scan short-circuits.
+        let scan = |slice: &[(&ParamPoint, &Record)], base: usize| {
+            let mut best: PartialBest = vec![None; probes.len()];
+            for (ci, (_, record)) in slice.iter().enumerate() {
+                let mut all_exact = true;
+                for (pi, probe) in probes.iter().enumerate() {
+                    if matches!(&best[pi], Some((_, _, err)) if *err == 0.0) {
+                        continue;
+                    }
+                    all_exact = false;
+                    if let Some((mappings, err)) =
+                        detector.detect_all(&record.fingerprints, probe, columns)
+                    {
+                        let better = match &best[pi] {
+                            None => true,
+                            Some((_, _, best_err)) => err < *best_err,
+                        };
+                        if better {
+                            best[pi] = Some((base + ci, mappings, err));
+                        }
+                    }
+                }
+                if all_exact {
                     break;
-                };
-                match detector.detect(source_fp, probe_fp) {
-                    Some(mapping) => {
-                        total_err += mapping.error_std();
-                        mappings.insert(col.clone(), mapping);
+                }
+            }
+            best
+        };
+
+        let workers = threads.max(1).min(candidates.len().max(1));
+        let partials: Vec<PartialBest> = if workers <= 1 {
+            vec![scan(&candidates, 0)]
+        } else {
+            let chunk = candidates.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = candidates
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(i, slice)| scope.spawn(move || scan(slice, i * chunk)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("probe worker panicked"))
+                    .collect()
+            })
+        };
+
+        let results: Vec<Option<BasisHit>> = (0..probes.len())
+            .map(|pi| {
+                let mut best: Option<(usize, HashMap<String, Mapping>, f64)> = None;
+                for partial in &partials {
+                    if let Some((ci, mappings, err)) = &partial[pi] {
+                        let better = match &best {
+                            None => true,
+                            // Lexicographic (error, insertion order): ties
+                            // resolve to the earliest-inserted source no
+                            // matter how candidates were partitioned.
+                            Some((best_ci, _, best_err)) => {
+                                *err < *best_err || (*err == *best_err && ci < best_ci)
+                            }
+                        };
+                        if better {
+                            best = Some((*ci, mappings.clone(), *err));
+                        }
+                    }
+                }
+                match best {
+                    Some((ci, mappings, _)) => {
+                        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                        let (point, record) = candidates[ci];
+                        Some(BasisHit {
+                            source: point.clone(),
+                            mappings,
+                            samples: Arc::clone(&record.samples),
+                            worlds: record.worlds,
+                        })
                     }
                     None => {
-                        all_matched = false;
-                        break;
+                        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                        None
                     }
                 }
-            }
-            if !all_matched {
-                continue;
-            }
-            let better = match &best {
-                None => true,
-                Some((_, err)) => total_err < *err,
-            };
-            if better {
-                let exact = total_err == 0.0;
-                best = Some((
-                    BasisHit {
-                        source: source_point.clone(),
-                        mappings,
-                        samples: Arc::clone(&entry.samples),
-                        worlds: entry.worlds,
-                    },
-                    total_err,
-                ));
-                if exact {
-                    // Nothing can beat an exact mapping; stop scanning.
-                    break;
-                }
-            }
-        }
+            })
+            .collect();
         drop(inner);
-        match best {
-            Some((hit, _)) => {
-                self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                Some(hit)
-            }
-            None => {
-                self.stats.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
+        results
     }
 
     fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
@@ -258,12 +621,14 @@ impl SharedBasisStore {
 
 impl std::fmt::Debug for SharedBasisStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let (hits, misses) = self.hit_stats();
+        let stats = self.stats_snapshot();
         f.debug_struct("SharedBasisStore")
             .field("len", &self.len())
             .field("capacity", &self.capacity)
-            .field("hits", &hits)
-            .field("misses", &misses)
+            .field("inflight", &self.inflight_len())
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .field("inflight_waits", &stats.inflight_waits)
             .finish()
     }
 }
@@ -348,6 +713,147 @@ mod tests {
             .find_correlated(&probes, &["y".to_owned()], &CorrelationDetector::default())
             .is_none());
         assert_eq!(s.hit_stats(), (0, 1));
+    }
+
+    #[test]
+    fn batch_lookup_matches_per_probe_and_prefers_earliest_exact_source() {
+        let s = SharedBasisStore::new(8);
+        let base = [1.0, 2.0, 3.0, 5.0];
+        // Two identical sources: ties must resolve to the first inserted.
+        s.insert(
+            point("x", 1),
+            HashMap::from([("y".to_owned(), fp(&base))]),
+            samples(1.0),
+            100,
+            true,
+        );
+        s.insert(
+            point("x", 2),
+            HashMap::from([("y".to_owned(), fp(&base))]),
+            samples(2.0),
+            100,
+            true,
+        );
+        let shifted: Vec<f64> = base.iter().map(|v| v + 7.0).collect();
+        let unrelated = [0.3, 0.1, 0.4, 0.1];
+        let probes = vec![
+            HashMap::from([("y".to_owned(), fp(&base))]),
+            HashMap::from([("y".to_owned(), fp(&shifted))]),
+            HashMap::from([("y".to_owned(), fp(&unrelated))]),
+        ];
+        for threads in [1, 4] {
+            let hits = s.find_correlated_batch(
+                &probes,
+                &["y".to_owned()],
+                &CorrelationDetector::default(),
+                threads,
+            );
+            assert_eq!(hits.len(), 3);
+            let h0 = hits[0].as_ref().expect("identity probe hits");
+            assert_eq!(h0.source, point("x", 1), "earliest exact source wins");
+            assert_eq!(h0.mappings["y"], Mapping::Identity);
+            let h1 = hits[1].as_ref().expect("offset probe hits");
+            assert_eq!(h1.mappings["y"], Mapping::Offset(7.0));
+            assert!(hits[2].is_none(), "unrelated probe misses");
+        }
+    }
+
+    #[test]
+    fn try_claim_dedupes_concurrent_simulations() {
+        let s = SharedBasisStore::new(8);
+        let p = point("x", 1);
+        let TryClaim::Owner(guard) = s.try_claim(&p, 10) else {
+            panic!("first claim on a cold point must own it");
+        };
+        assert_eq!(s.inflight_len(), 1);
+        let TryClaim::Pending(handle) = s.try_claim(&p, 10) else {
+            panic!("second claim must observe the in-flight owner");
+        };
+        let waiter = std::thread::spawn(move || handle.wait());
+        assert!(guard.complete(HashMap::new(), samples(3.0), 10, true));
+        let (got, worlds) = waiter.join().unwrap().expect("published, not cancelled");
+        assert_eq!(got["y"], vec![3.0, 4.0]);
+        assert_eq!(worlds, 10);
+        assert_eq!(s.inflight_len(), 0);
+        assert_eq!(s.stats_snapshot().inflight_waits, 1);
+        // Published entry is now an exact hit for later claims.
+        assert!(matches!(s.try_claim(&p, 10), TryClaim::Ready { .. }));
+        assert!(
+            matches!(s.try_claim(&p, 11), TryClaim::Owner(_)),
+            "too few stored worlds re-opens the claim"
+        );
+    }
+
+    #[test]
+    fn dropped_guard_cancels_waiters_so_they_reclaim() {
+        let s = SharedBasisStore::new(8);
+        let p = point("x", 1);
+        let TryClaim::Owner(guard) = s.try_claim(&p, 10) else {
+            panic!("expected owner");
+        };
+        let TryClaim::Pending(handle) = s.try_claim(&p, 10) else {
+            panic!("expected pending");
+        };
+        drop(guard); // owner failed before publishing
+        assert!(handle.wait().is_none(), "waiters must not block forever");
+        assert!(
+            matches!(s.try_claim(&p, 10), TryClaim::Owner(_)),
+            "slot released: the next claimant owns the retry"
+        );
+    }
+
+    #[test]
+    fn clear_cancels_inflight_and_discards_stale_completion() {
+        let s = SharedBasisStore::new(8);
+        let p = point("x", 1);
+        let TryClaim::Owner(guard) = s.try_claim(&p, 10) else {
+            panic!("expected owner");
+        };
+        let TryClaim::Pending(handle) = s.try_claim(&p, 10) else {
+            panic!("expected pending");
+        };
+        s.clear();
+        assert_eq!(s.inflight_len(), 0, "clear detaches pending slots");
+        assert!(
+            handle.wait().is_none(),
+            "clear wakes waiters to re-simulate"
+        );
+        assert!(
+            !guard.complete(HashMap::new(), samples(9.0), 10, true),
+            "completion after clear reports the discard"
+        );
+        assert!(
+            s.get_exact(&p, 1).is_none(),
+            "pre-clear results must not resurrect"
+        );
+        // The store is fully usable again.
+        let TryClaim::Owner(fresh) = s.try_claim(&p, 10) else {
+            panic!("expected fresh owner after clear");
+        };
+        assert!(fresh.complete(HashMap::new(), samples(1.0), 10, true));
+        assert!(s.get_exact(&p, 10).is_some());
+    }
+
+    #[test]
+    fn eviction_never_drops_a_pending_inflight_entry() {
+        // Capacity 1: the pending point is claimed, then unrelated inserts
+        // churn the bounded table. The waiter must still receive the
+        // published samples — the in-flight hand-off bypasses `entries`.
+        let s = SharedBasisStore::new(1);
+        let p = point("x", 1);
+        let TryClaim::Owner(guard) = s.try_claim(&p, 4) else {
+            panic!("expected owner");
+        };
+        let TryClaim::Pending(handle) = s.try_claim(&p, 4) else {
+            panic!("expected pending");
+        };
+        s.insert(point("x", 2), HashMap::new(), samples(2.0), 4, true);
+        s.insert(point("x", 3), HashMap::new(), samples(3.0), 4, true);
+        assert_eq!(s.len(), 1, "capacity bound holds while a claim is open");
+        assert_eq!(s.inflight_len(), 1, "churn cannot evict the claim");
+        assert!(guard.complete(HashMap::new(), samples(7.0), 4, true));
+        let (got, _) = handle.wait().expect("waiter survives eviction churn");
+        assert_eq!(got["y"], vec![7.0, 8.0]);
     }
 
     #[test]
