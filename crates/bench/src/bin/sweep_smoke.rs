@@ -8,13 +8,52 @@
 //! ```
 //!
 //! The JSON reports sweep throughput (points/sec) and the executor's
-//! probe-vs-simulation wall-clock split (`probe_nanos` / `sim_nanos`), the
-//! two numbers the ROADMAP's hot-path items are tracked by.
+//! probe-vs-simulation wall-clock split (`probe_nanos` / `sim_nanos`) for
+//! the default **vectorized** tier, plus a second sweep of the same
+//! workload through the **scalar** tier (`scalar.*` fields) so the
+//! scalar-vs-vector probe timing split is recorded per commit.
+//! `worlds_per_walk` is the observed walk amortization: logical probe
+//! evaluations per vectorized block walk (the fingerprint length when the
+//! vector tier is on — the scalar tier walks once *per seed* instead).
 
 use std::time::Instant;
 
 use fuzzy_prophet::prelude::*;
 use prophet_bench::workloads::{demo_optimizer, figure2_coarse};
+
+struct SweepRun {
+    metrics: EngineMetrics,
+    wall_nanos: u128,
+    points_per_sec: f64,
+    groups: usize,
+    best: String,
+}
+
+fn run_sweep(worlds: usize, threads: usize, vectorized: bool) -> SweepRun {
+    let config = EngineConfig {
+        worlds_per_point: worlds,
+        threads,
+        vectorized,
+        ..EngineConfig::default()
+    };
+    let optimizer = demo_optimizer(figure2_coarse(0.05), config);
+    let groups = optimizer.groups_total();
+    let t0 = Instant::now();
+    let report = optimizer.run().expect("sweep must complete");
+    let wall = t0.elapsed();
+    let points = report.metrics.points_total();
+    SweepRun {
+        metrics: report.metrics,
+        wall_nanos: wall.as_nanos(),
+        points_per_sec: points as f64 / wall.as_secs_f64().max(1e-9),
+        groups,
+        best: report
+            .best
+            .as_ref()
+            .map(|b| format!("{:?}", b.point.to_string()))
+            .unwrap_or_else(|| "null".to_string()),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,50 +75,73 @@ fn main() {
         }
     }
 
-    let config = EngineConfig {
-        worlds_per_point: worlds,
-        threads,
-        ..EngineConfig::default()
-    };
-    let optimizer = demo_optimizer(figure2_coarse(0.05), config);
-    let groups = optimizer.groups_total();
-    let t0 = Instant::now();
-    let report = optimizer.run().expect("sweep must complete");
-    let wall = t0.elapsed();
+    let vector = run_sweep(worlds, threads, true);
+    let scalar = run_sweep(worlds, threads, false);
 
-    let m = report.metrics;
-    let points = m.points_total();
-    let points_per_sec = points as f64 / wall.as_secs_f64().max(1e-9);
-    let best = report
-        .best
-        .as_ref()
-        .map(|b| format!("{:?}", b.point.to_string()))
-        .unwrap_or_else(|| "null".to_string());
+    let m = &vector.metrics;
+    let s = &scalar.metrics;
+    let worlds_per_walk = if m.vector_walks > 0 {
+        m.probe_evaluations as f64 / m.vector_walks as f64
+    } else {
+        1.0
+    };
 
     let json = format!(
         "{{\n  \"workload\": \"figure2_coarse\",\n  \"worlds_per_point\": {worlds},\n  \
-         \"threads\": {threads},\n  \"groups\": {groups},\n  \"points_total\": {points},\n  \
+         \"threads\": {threads},\n  \"groups\": {},\n  \"points_total\": {},\n  \
          \"points_simulated\": {},\n  \"points_mapped\": {},\n  \"points_cached\": {},\n  \
          \"worlds_simulated\": {},\n  \"batch_probes\": {},\n  \"inflight_waits\": {},\n  \
-         \"probe_nanos\": {},\n  \"sim_nanos\": {},\n  \"wall_nanos\": {},\n  \
-         \"points_per_sec\": {points_per_sec:.1},\n  \"best_point\": {best}\n}}\n",
+         \"vector_walks\": {},\n  \"worlds_per_walk\": {worlds_per_walk:.1},\n  \
+         \"probe_eval_nanos\": {},\n  \"probe_nanos\": {},\n  \"sim_nanos\": {},\n  \
+         \"wall_nanos\": {},\n  \"points_per_sec\": {:.1},\n  \"best_point\": {},\n  \
+         \"scalar\": {{\n    \"probe_eval_nanos\": {},\n    \"probe_nanos\": {},\n    \
+         \"sim_nanos\": {},\n    \"wall_nanos\": {},\n    \"points_per_sec\": {:.1}\n  }}\n}}\n",
+        vector.groups,
+        m.points_total(),
         m.points_simulated,
         m.points_mapped,
         m.points_cached,
         m.worlds_simulated,
         m.batch_probes,
         m.inflight_waits,
+        m.vector_walks,
+        m.probe_eval_nanos,
         m.probe_nanos,
         m.sim_nanos,
-        wall.as_nanos(),
+        vector.wall_nanos,
+        vector.points_per_sec,
+        vector.best,
+        s.probe_eval_nanos,
+        s.probe_nanos,
+        s.sim_nanos,
+        scalar.wall_nanos,
+        scalar.points_per_sec,
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
     print!("{json}");
     eprintln!(
-        "sweep: {points} points in {wall:?} ({points_per_sec:.1} points/sec); \
-         probe {:.1}ms vs sim {:.1}ms",
+        "vector sweep: {} points in {:.1}ms ({:.1} points/sec); \
+         probe {:.1}ms vs sim {:.1}ms; {} walks ({worlds_per_walk:.0} worlds/walk)",
+        m.points_total(),
+        vector.wall_nanos as f64 / 1e6,
+        vector.points_per_sec,
         m.probe_nanos as f64 / 1e6,
         m.sim_nanos as f64 / 1e6,
+        m.vector_walks,
+    );
+    eprintln!(
+        "scalar sweep: probe {:.1}ms vs sim {:.1}ms ({:.1} points/sec); \
+         vector probe-eval speedup {:.2}x ({:.1}ms -> {:.1}ms)",
+        s.probe_nanos as f64 / 1e6,
+        s.sim_nanos as f64 / 1e6,
+        scalar.points_per_sec,
+        s.probe_eval_nanos as f64 / (m.probe_eval_nanos as f64).max(1.0),
+        s.probe_eval_nanos as f64 / 1e6,
+        m.probe_eval_nanos as f64 / 1e6,
+    );
+    assert_eq!(
+        vector.best, scalar.best,
+        "tiers must agree on the sweep answer"
     );
 }
 

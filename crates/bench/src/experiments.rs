@@ -59,8 +59,8 @@ pub fn e1_figure2_end_to_end() -> String {
     out
 }
 
-/// E2 — Figure 3: the online graph series (per-week E[overload],
-/// E[capacity], σ[demand]).
+/// E2 — Figure 3: the online graph series (per-week E\[overload\],
+/// E\[capacity\], σ\[demand\]).
 pub fn e2_online_graph(worlds: usize) -> String {
     let mut out = String::from("E2: Figure 3 — online graph series\n");
     let t0 = Instant::now();

@@ -14,29 +14,13 @@ pub const DEFAULT_FEATURE: i64 = 12;
 
 /// A reduced-grid Figure 2 used by sweep-heavy experiments: identical
 /// structure, coarser purchase grid so full sweeps complete in seconds.
-/// `{THRESHOLD}` is substituted by the caller.
-pub const FIGURE2_COARSE: &str = "\
-DECLARE PARAMETER @current AS RANGE 0 TO 52 STEP BY 2;
-DECLARE PARAMETER @purchase1 AS RANGE 0 TO 52 STEP BY 8;
-DECLARE PARAMETER @purchase2 AS RANGE 0 TO 52 STEP BY 8;
-DECLARE PARAMETER @feature AS SET (12,36,44);
-SELECT DemandModel(@current, @feature) AS demand,
-       CapacityModel(@current, @purchase1, @purchase2) AS capacity,
-       CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
-INTO results;
-GRAPH OVER @current
-    EXPECT overload WITH bold red,
-    EXPECT capacity WITH blue y2,
-    EXPECT_STDDEV demand WITH orange y2;
-OPTIMIZE SELECT @feature, @purchase1, @purchase2
-FROM results
-WHERE MAX(EXPECT overload) < {THRESHOLD}
-GROUP BY feature, purchase1, purchase2
-FOR MAX @purchase1, MAX @purchase2";
+/// `{THRESHOLD}` is substituted by the caller. (Shared with the examples
+/// and differential tests through `prophet_models::scenarios`.)
+pub use prophet_models::scenarios::FIGURE2_COARSE;
 
 /// The coarse scenario with a threshold substituted in.
 pub fn figure2_coarse(threshold: f64) -> Scenario {
-    Scenario::parse(&FIGURE2_COARSE.replace("{THRESHOLD}", &threshold.to_string()))
+    Scenario::parse(&prophet_models::scenarios::figure2_coarse_sql(threshold))
         .expect("coarse Figure 2 must parse")
 }
 

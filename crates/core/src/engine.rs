@@ -20,8 +20,8 @@
 //! [`executor`](crate::executor) — `evaluate` is a batch of one. This
 //! module keeps the engine's state (script, seeds, configuration, work
 //! counters) and the per-point primitives the pipeline stages compose:
-//! [`Engine::probe_fingerprints`], [`Engine::remap_samples`] and
-//! [`Engine::simulate_full`].
+//! `Engine::probe_fingerprints`, `Engine::remap_samples` and
+//! `Engine::simulate_full` (crate-visible).
 //!
 //! The basis store is a [`SharedBasisStore`]: engines built through the
 //! [`Prophet`](crate::service::Prophet) service share one store per
@@ -35,10 +35,11 @@ use std::time::Instant;
 
 use prophet_data::Value;
 use prophet_fingerprint::{CorrelationDetector, Fingerprint, FingerprintConfig, Mapping};
-use prophet_mc::{simulate_point, ParamPoint, SampleSet, SharedBasisStore};
+use prophet_mc::{simulate_point, simulate_point_block, ParamPoint, SampleSet, SharedBasisStore};
 use prophet_sql::ast::SelectItem;
 use prophet_sql::error::SqlError;
 use prophet_sql::executor::{evaluate_select_with, EvalContext, WorldRng};
+use prophet_sql::vector::{column_to_f64, evaluate_select_block};
 use prophet_sql::Script;
 use prophet_vg::rng::{Rng64, SeedSequence};
 use prophet_vg::{SeedManager, VgRegistry};
@@ -58,6 +59,16 @@ pub struct EngineConfig {
     pub detector: CorrelationDetector,
     /// Master switch for fingerprint reuse (benches compare on/off).
     pub fingerprints_enabled: bool,
+    /// Route fingerprint probes and miss-path Monte Carlo estimation
+    /// through `prophet-sql`'s vectorized tier: one SELECT walk per
+    /// world-block instead of one walk per world, with VG functions
+    /// invoked through the catalog's batch path.
+    ///
+    /// Outputs are bit-identical to the scalar tier (the differential
+    /// suite in `tests/vector_equivalence.rs` enforces it), so this is on
+    /// by default; disabling it exists for the scalar-vs-vector benchmark
+    /// split and for bisecting equivalence regressions.
+    pub vectorized: bool,
     /// Use common random numbers across parameter points (recommended).
     ///
     /// Fingerprint *probes* always use the canonical fixed seeds, so
@@ -82,6 +93,7 @@ impl Default for EngineConfig {
             fingerprint: FingerprintConfig::default(),
             detector: CorrelationDetector::default(),
             fingerprints_enabled: true,
+            vectorized: true,
             common_random_numbers: true,
             root_seed: 0xF1_2E_9A_77,
             basis_capacity: 8_192,
@@ -271,6 +283,11 @@ impl Engine {
     /// each stochastic column's output. Self-times into
     /// `fingerprint_time`, so the counter sums real probe work across
     /// parallel workers.
+    ///
+    /// With `config.vectorized` (the default) the whole seed block is one
+    /// walk of the vectorized executor — `vector_walks` counts it, while
+    /// `probe_evaluations` keeps counting the logical per-seed evaluations
+    /// so probe accounting stays comparable with the scalar tier.
     pub(crate) fn probe_fingerprints(
         &self,
         point: &ParamPoint,
@@ -278,6 +295,34 @@ impl Engine {
         let start = Instant::now();
         let seeds = SeedSequence::fingerprint_default(self.config.fingerprint.length);
         let params = point.to_value_map();
+
+        if self.config.vectorized {
+            let columns = evaluate_select_block(
+                &self.script.select,
+                &self.registry,
+                &params,
+                self.seeds,
+                seeds.seeds(),
+            )?;
+            let mut out = HashMap::with_capacity(self.stochastic_cols.len());
+            for (name, column) in columns {
+                if self.stochastic_cols.contains(&name) {
+                    let values = column_to_f64(&column)?;
+                    out.insert(
+                        name,
+                        Fingerprint::compute_block_with_seeds(&seeds, |_| values),
+                    );
+                }
+            }
+            self.bump(|m| {
+                m.probe_evaluations += seeds.len() as u64;
+                m.vector_walks += 1;
+                m.probe_eval_nanos += start.elapsed().as_nanos() as u64;
+                m.fingerprint_time += start.elapsed();
+            });
+            return Ok(out);
+        }
+
         let mut per_col: HashMap<String, Vec<f64>> = self
             .stochastic_cols
             .iter()
@@ -302,6 +347,7 @@ impl Engine {
         }
         self.bump(|m| {
             m.probe_evaluations += seeds.len() as u64;
+            m.probe_eval_nanos += start.elapsed().as_nanos() as u64;
             m.fingerprint_time += start.elapsed();
         });
         Ok(per_col
@@ -381,6 +427,10 @@ impl Engine {
     /// simulating sibling points on the pool (point-level parallelism).
     /// The world→sample assignment is identical either way, so the choice
     /// never changes the produced samples or the work counters.
+    ///
+    /// With `config.vectorized` (the default) each worker's world span is
+    /// one block walk of the vectorized executor; per-world samples are
+    /// bit-identical to the scalar tier under either schedule.
     pub(crate) fn simulate_full(
         &self,
         point: &ParamPoint,
@@ -388,24 +438,35 @@ impl Engine {
     ) -> ProphetResult<HashMap<String, Vec<f64>>> {
         let start = Instant::now();
         let worlds: Vec<u64> = (0..self.config.worlds_per_point as u64).collect();
+        let simulate = |ws: &[u64]| -> Result<SampleSet, SqlError> {
+            if self.config.vectorized {
+                simulate_point_block(
+                    &self.script.select,
+                    &self.registry,
+                    &self.seeds,
+                    point,
+                    ws,
+                    self.config.common_random_numbers,
+                )
+            } else {
+                simulate_point(
+                    &self.script.select,
+                    &self.registry,
+                    &self.seeds,
+                    point,
+                    ws,
+                    self.config.common_random_numbers,
+                )
+            }
+        };
         let sample_set = if world_parallel && self.config.threads > 1 {
             let chunk = worlds.len().div_ceil(self.config.threads);
             let chunks: Vec<&[u64]> = worlds.chunks(chunk).collect();
             let results: Vec<Result<SampleSet, SqlError>> = std::thread::scope(|scope| {
+                let simulate = &simulate;
                 let handles: Vec<_> = chunks
                     .into_iter()
-                    .map(|ws| {
-                        scope.spawn(move || {
-                            simulate_point(
-                                &self.script.select,
-                                &self.registry,
-                                &self.seeds,
-                                point,
-                                ws,
-                                self.config.common_random_numbers,
-                            )
-                        })
-                    })
+                    .map(|ws| scope.spawn(move || simulate(ws)))
                     .collect();
                 handles
                     .into_iter()
@@ -419,14 +480,7 @@ impl Engine {
             }
             first
         } else {
-            simulate_point(
-                &self.script.select,
-                &self.registry,
-                &self.seeds,
-                point,
-                &worlds,
-                self.config.common_random_numbers,
-            )?
+            simulate(&worlds)?
         };
         let mut out = HashMap::with_capacity(sample_set.columns().len());
         for col in sample_set.columns() {
@@ -607,6 +661,38 @@ mod tests {
             cfg.fingerprint.length < cfg.worlds_per_point,
             "probe cost must stay below world cost"
         );
+    }
+
+    #[test]
+    fn vectorized_and_scalar_tiers_agree_bit_for_bit() {
+        let vector = engine(small_config());
+        let scalar = engine(EngineConfig {
+            vectorized: false,
+            ..small_config()
+        });
+        // Walk a sequence mixing simulate / map / cache outcomes.
+        let points = [
+            demo_point(5, 16, 36, 12),
+            demo_point(5, 16, 36, 36), // maps from the first
+            demo_point(50, 0, 4, 44),  // unrelated: simulates
+            demo_point(5, 16, 36, 12), // exact cache hit
+        ];
+        for p in &points {
+            let (sv, ov) = vector.evaluate(p).unwrap();
+            let (ss, os) = scalar.evaluate(p).unwrap();
+            assert_eq!(ov, os, "outcome for {p}");
+            for col in ["demand", "capacity", "overload"] {
+                assert_eq!(sv.samples(col), ss.samples(col), "column {col} at {p}");
+            }
+        }
+        // Same logical probe accounting on both tiers…
+        let mv = vector.metrics();
+        let ms = scalar.metrics();
+        assert_eq!(mv.probe_evaluations, ms.probe_evaluations);
+        assert_eq!(mv.worlds_simulated, ms.worlds_simulated);
+        // …but the vector tier did one walk per probed point.
+        assert_eq!(mv.vector_walks, 3, "three probed points, one walk each");
+        assert_eq!(ms.vector_walks, 0, "scalar tier never block-walks");
     }
 
     #[test]

@@ -100,7 +100,6 @@ pub mod executor;
 pub mod exploration;
 pub mod metrics;
 pub mod offline;
-pub mod online;
 pub mod render;
 pub mod scenario;
 pub mod service;

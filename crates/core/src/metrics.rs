@@ -20,8 +20,23 @@ pub struct EngineMetrics {
     pub points_simulated: u64,
     /// Monte Carlo worlds actually evaluated (full simulation only).
     pub worlds_simulated: u64,
-    /// Scenario evaluations spent probing fingerprints.
+    /// Scenario evaluations spent probing fingerprints. This counts
+    /// *logical* per-seed evaluations regardless of execution tier: a
+    /// vectorized probe of fingerprint length `L` counts `L`, exactly as
+    /// `L` scalar walks would — so the number stays comparable across
+    /// engine versions and the `vectorized` config knob.
     pub probe_evaluations: u64,
+    /// Vectorized probe walks: block evaluations of the scenario SELECT
+    /// that produced a whole fingerprint in one AST walk. Zero when the
+    /// scalar tier is probing; `probe_evaluations / vector_walks` is the
+    /// observed worlds-per-walk amortization (the fingerprint length).
+    pub vector_walks: u64,
+    /// Nanoseconds spent inside probe *evaluation* alone (the SELECT
+    /// walk(s) that produce fingerprint columns), summed across parallel
+    /// workers. Unlike [`probe_nanos`](EngineMetrics::probe_nanos), this
+    /// excludes the correlation match scan and remapping, so it is the
+    /// number the scalar-vs-vector executor comparison reads.
+    pub probe_eval_nanos: u64,
     /// Evaluations served by blocking on another session's in-flight
     /// simulation of the same point (thundering-herd dedup).
     pub inflight_waits: u64,
@@ -74,6 +89,8 @@ impl EngineMetrics {
         self.points_simulated += other.points_simulated;
         self.worlds_simulated += other.worlds_simulated;
         self.probe_evaluations += other.probe_evaluations;
+        self.vector_walks += other.vector_walks;
+        self.probe_eval_nanos += other.probe_eval_nanos;
         self.inflight_waits += other.inflight_waits;
         self.batch_probes += other.batch_probes;
         self.probe_nanos += other.probe_nanos;
@@ -90,6 +107,8 @@ impl EngineMetrics {
             points_simulated: self.points_simulated - earlier.points_simulated,
             worlds_simulated: self.worlds_simulated - earlier.worlds_simulated,
             probe_evaluations: self.probe_evaluations - earlier.probe_evaluations,
+            vector_walks: self.vector_walks - earlier.vector_walks,
+            probe_eval_nanos: self.probe_eval_nanos - earlier.probe_eval_nanos,
             inflight_waits: self.inflight_waits - earlier.inflight_waits,
             batch_probes: self.batch_probes - earlier.batch_probes,
             probe_nanos: self.probe_nanos - earlier.probe_nanos,
@@ -107,13 +126,14 @@ impl fmt::Display for EngineMetrics {
         write!(
             f,
             "points: {} simulated / {} mapped / {} cached ({}% reused); \
-             worlds: {}; probes: {}; waits: {}; sim {:?}; fp {:?}",
+             worlds: {}; probes: {} ({} walks); waits: {}; sim {:?}; fp {:?}",
             self.points_simulated,
             self.points_mapped,
             self.points_cached,
             (self.reuse_fraction() * 100.0).round() as u64,
             self.worlds_simulated,
             self.probe_evaluations,
+            self.vector_walks,
             self.inflight_waits,
             self.simulation_time,
             self.fingerprint_time,
@@ -171,6 +191,8 @@ mod tests {
         let a = EngineMetrics {
             inflight_waits: 2,
             batch_probes: 10,
+            vector_walks: 7,
+            probe_eval_nanos: 2_000,
             probe_nanos: 1_000,
             sim_nanos: 5_000,
             ..EngineMetrics::default()
@@ -179,15 +201,21 @@ mod tests {
         b.merge(&EngineMetrics {
             inflight_waits: 1,
             batch_probes: 5,
+            vector_walks: 3,
+            probe_eval_nanos: 1_000,
             probe_nanos: 500,
             sim_nanos: 500,
             ..EngineMetrics::default()
         });
         assert_eq!(b.inflight_waits, 3);
         assert_eq!(b.batch_probes, 15);
+        assert_eq!(b.vector_walks, 10);
+        assert_eq!(b.probe_eval_nanos, 3_000);
         let diff = b.since(&a);
         assert_eq!(diff.inflight_waits, 1);
         assert_eq!(diff.batch_probes, 5);
+        assert_eq!(diff.vector_walks, 3);
+        assert_eq!(diff.probe_eval_nanos, 1_000);
         assert_eq!(diff.probe_nanos, 500);
         assert_eq!(diff.sim_nanos, 500);
     }

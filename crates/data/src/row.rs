@@ -1,4 +1,4 @@
-//! Borrowed row views over a [`Table`](crate::table::Table).
+//! Borrowed row views over a [`crate::table::Table`].
 
 use crate::error::DataResult;
 use crate::table::Table;

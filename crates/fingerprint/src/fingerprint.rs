@@ -51,6 +51,47 @@ impl Fingerprint {
         }
     }
 
+    /// Block-probe constructor: `sample` receives the whole canonical seed
+    /// block at once and returns one output per seed, in seed order.
+    ///
+    /// This is the vectorized twin of [`Fingerprint::compute`]: instead of
+    /// invoking the stochastic function once per seed, the caller evaluates
+    /// all `config.length` probe worlds in a single walk (e.g. through
+    /// `prophet-sql`'s block evaluator) and hands back the output column.
+    /// The fingerprint is identical to the scalar construction because the
+    /// seeds are the same canonical sequence in the same order.
+    ///
+    /// # Panics
+    /// Panics if `sample` returns a column whose length differs from the
+    /// seed block — a truncated or padded probe column would silently
+    /// misalign every later entry-by-entry comparison.
+    pub fn compute_block(
+        config: FingerprintConfig,
+        sample: impl FnOnce(&[u64]) -> Vec<f64>,
+    ) -> Self {
+        let seeds = SeedSequence::fingerprint_default(config.length);
+        Fingerprint::compute_block_with_seeds(&seeds, sample)
+    }
+
+    /// Block-probe constructor under an explicit sequence (see
+    /// [`Fingerprint::compute_block`]).
+    ///
+    /// # Panics
+    /// Panics if `sample` returns a column whose length differs from
+    /// `seeds.len()`.
+    pub fn compute_block_with_seeds(
+        seeds: &SeedSequence,
+        sample: impl FnOnce(&[u64]) -> Vec<f64>,
+    ) -> Self {
+        let values = sample(seeds.seeds());
+        assert_eq!(
+            values.len(),
+            seeds.len(),
+            "block probe must return one output per seed"
+        );
+        Fingerprint { values }
+    }
+
     /// Wrap raw values (pre-computed probes).
     pub fn from_values(values: Vec<f64>) -> Self {
         Fingerprint { values }
@@ -129,6 +170,31 @@ mod tests {
         let (a, b) = short.common_prefix(&long);
         assert_eq!(a, b);
         assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn block_constructor_matches_scalar_constructor() {
+        let cfg = FingerprintConfig { length: 16 };
+        let f = |seed: u64| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+            10.0 + rng.next_f64()
+        };
+        let scalar = Fingerprint::compute(cfg, f);
+        let block = Fingerprint::compute_block(cfg, |seeds| seeds.iter().map(|&s| f(s)).collect());
+        assert_eq!(scalar, block);
+
+        let seq = SeedSequence::from_root(77, 8);
+        let a = Fingerprint::compute_with_seeds(&seq, f);
+        let b = Fingerprint::compute_block_with_seeds(&seq, |seeds| {
+            seeds.iter().map(|&s| f(s)).collect()
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "one output per seed")]
+    fn block_constructor_rejects_misaligned_columns() {
+        Fingerprint::compute_block(FingerprintConfig { length: 4 }, |_| vec![1.0, 2.0]);
     }
 
     #[test]

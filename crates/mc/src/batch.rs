@@ -12,6 +12,7 @@ use prophet_data::Value;
 use prophet_sql::ast::SelectInto;
 use prophet_sql::error::{SqlError, SqlResult};
 use prophet_sql::executor::{evaluate_select_with, WorldRng};
+use prophet_sql::vector::{column_to_f64, evaluate_select_block};
 use prophet_vg::{SeedManager, VgRegistry};
 
 use crate::aggregate::{SampleStats, Welford};
@@ -143,6 +144,42 @@ pub fn simulate_point(
     })
 }
 
+/// Simulate one parameter point over the given worlds in **one** walk of
+/// the scenario SELECT, through `prophet-sql`'s vectorized tier.
+///
+/// Semantics (seed derivation, CRN point salting, NULL→NaN samples) are
+/// identical to [`simulate_point`] — per world, the produced samples are
+/// bit-identical — but the executor walks the AST once for the whole world
+/// block instead of once per world, and VG functions are invoked through
+/// the catalog's batch path.
+pub fn simulate_point_block(
+    select: &SelectInto,
+    registry: &VgRegistry,
+    seeds: &SeedManager,
+    point: &ParamPoint,
+    worlds: &[u64],
+    common_random_numbers: bool,
+) -> SqlResult<SampleSet> {
+    let params = point.to_value_map();
+    let point_salt = if common_random_numbers {
+        0
+    } else {
+        point.stable_hash()
+    };
+    let salted: Vec<u64> = worlds.iter().map(|&w| w ^ point_salt).collect();
+    let columns_out = evaluate_select_block(select, registry, &params, *seeds, &salted)?;
+    let columns: Vec<String> = columns_out.iter().map(|(name, _)| name.clone()).collect();
+    let mut samples: HashMap<String, Vec<f64>> = HashMap::with_capacity(columns.len());
+    for (name, column) in columns_out {
+        samples.insert(name, column_to_f64(&column)?);
+    }
+    Ok(SampleSet {
+        point: point.clone(),
+        columns,
+        samples,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +302,21 @@ mod tests {
         let full: Vec<u64> = (0..30).collect();
         let c = simulate_point(&script.select, &registry, &seeds, &point, &full, true).unwrap();
         assert_eq!(a.samples("out").unwrap(), c.samples("out").unwrap());
+    }
+
+    #[test]
+    fn block_simulation_is_bit_identical_to_scalar() {
+        let (script, registry, seeds) = setup();
+        let point = ParamPoint::from_pairs([("c", 10i64)]);
+        let worlds: Vec<u64> = (0..50).collect();
+        for crn in [true, false] {
+            let scalar =
+                simulate_point(&script.select, &registry, &seeds, &point, &worlds, crn).unwrap();
+            let block =
+                simulate_point_block(&script.select, &registry, &seeds, &point, &worlds, crn)
+                    .unwrap();
+            assert_eq!(scalar, block, "crn={crn}");
+        }
     }
 
     #[test]

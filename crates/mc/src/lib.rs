@@ -28,7 +28,7 @@ pub mod series;
 pub mod store;
 
 pub use aggregate::{Histogram, SampleStats, Welford};
-pub use batch::{simulate_point, SampleSet};
+pub use batch::{simulate_point, simulate_point_block, SampleSet};
 pub use guide::{GridGuide, Guide, GuideFactory, PriorityGuide, RandomGuide};
 pub use instance::ParamPoint;
 pub use materialize::{summary_table, worlds_table};

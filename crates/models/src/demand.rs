@@ -127,6 +127,20 @@ impl VgFunction for DemandModel {
         b.push_row(vec![Value::Float(demand)])?;
         Ok(b.finish())
     }
+
+    /// Batched scalar-position invocation: same per-world draws as
+    /// [`VgFunction::invoke`] (each world still owns its rng), without
+    /// building a one-cell relation per world.
+    fn invoke_batch_scalar(&self, calls: &mut [prophet_vg::VgCall<'_>]) -> DataResult<Vec<Value>> {
+        calls
+            .iter_mut()
+            .map(|call| {
+                let current = call.params[0].as_i64()?;
+                let feature = call.params[1].as_i64()?;
+                Ok(Value::Float(self.demand_at(current, feature, call.rng)))
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

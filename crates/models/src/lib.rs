@@ -34,6 +34,7 @@ pub mod inventory;
 pub mod queueing;
 pub mod registry;
 pub mod revenue;
+pub mod scenarios;
 
 pub use capacity::{CapacityConfig, CapacityModel};
 pub use demand::{DemandConfig, DemandModel};

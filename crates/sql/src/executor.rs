@@ -265,22 +265,16 @@ fn call_function(name: &str, args: &[Value], ctx: &mut EvalContext<'_, '_>) -> S
     if ctx.registry.get(name).is_ok() {
         let table = ctx.invoke_vg(name, args)?;
         // In scalar position, a table-generating function must produce a
-        // single cell — that cell is the world's sample.
-        if table.num_rows() != 1 || table.schema().len() != 1 {
-            return Err(SqlError::Eval(format!(
-                "VG function `{name}` used as a scalar must return exactly one cell, got {}x{}",
-                table.num_rows(),
-                table.schema().len()
-            )));
-        }
-        let column = table.schema().fields()[0].name.clone();
-        return Ok(table.cell(0, &column)?);
+        // single cell — that cell is the world's sample. The extraction
+        // (and its misuse diagnostic) is shared with the vectorized tier.
+        return Ok(prophet_vg::function::extract_scalar_cell(name, &table)?);
     }
     scalar_builtin(name, args)
 }
 
-/// Scalar builtin functions (TSQL-ish).
-fn scalar_builtin(name: &str, args: &[Value]) -> SqlResult<Value> {
+/// Scalar builtin functions (TSQL-ish). Shared with the vectorized
+/// evaluator in [`crate::vector`], which applies the same builtin per world.
+pub(crate) fn scalar_builtin(name: &str, args: &[Value]) -> SqlResult<Value> {
     let upper = name.to_ascii_uppercase();
 
     fn unary_f64(name: &str, args: &[Value], f: impl Fn(f64) -> f64) -> SqlResult<Value> {
@@ -386,10 +380,8 @@ pub fn eval_const(expr: &Expr) -> SqlResult<Value> {
 mod tests {
     use super::*;
     use crate::parser::{parse_expr, parse_script};
-    use prophet_data::{DataResult, DataType, Schema, Table, TableBuilder};
+    use crate::test_vg::test_registry;
     use prophet_vg::rng::Xoshiro256StarStar;
-    use prophet_vg::VgFunction;
-    use std::sync::Arc;
 
     fn const_eval(src: &str) -> Value {
         eval_const(&parse_expr(src).unwrap()).unwrap()
@@ -467,57 +459,6 @@ mod tests {
         assert!(eval_const(&parse_expr("SQRT(1, 2)").unwrap()).is_err());
         assert!(eval_const(&parse_expr("POWER(1)").unwrap()).is_err());
         assert!(eval_const(&parse_expr("NoSuchFn(1)").unwrap()).is_err());
-    }
-
-    /// A deterministic VG function: returns `base + U[0,1)` as a 1x1 table.
-    #[derive(Debug)]
-    struct Jitter;
-
-    impl VgFunction for Jitter {
-        fn name(&self) -> &str {
-            "Jitter"
-        }
-        fn arity(&self) -> usize {
-            1
-        }
-        fn output_schema(&self) -> Schema {
-            Schema::of(&[("v", DataType::Float)])
-        }
-        fn invoke(&self, params: &[Value], rng: &mut dyn Rng64) -> DataResult<Table> {
-            let base = params[0].as_f64()?;
-            let mut b = TableBuilder::with_capacity(self.output_schema(), 1);
-            b.push_row(vec![Value::Float(base + rng.next_f64())])?;
-            Ok(b.finish())
-        }
-    }
-
-    /// A malformed VG function that returns two rows (for error-path tests).
-    #[derive(Debug)]
-    struct TwoRows;
-
-    impl VgFunction for TwoRows {
-        fn name(&self) -> &str {
-            "TwoRows"
-        }
-        fn arity(&self) -> usize {
-            0
-        }
-        fn output_schema(&self) -> Schema {
-            Schema::of(&[("v", DataType::Float)])
-        }
-        fn invoke(&self, _: &[Value], _: &mut dyn Rng64) -> DataResult<Table> {
-            let mut b = TableBuilder::new(self.output_schema());
-            b.push_row(vec![Value::Float(1.0)])?;
-            b.push_row(vec![Value::Float(2.0)])?;
-            Ok(b.finish())
-        }
-    }
-
-    fn test_registry() -> VgRegistry {
-        let mut r = VgRegistry::new();
-        r.register(Arc::new(Jitter));
-        r.register(Arc::new(TwoRows));
-        r
     }
 
     #[test]

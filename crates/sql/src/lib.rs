@@ -33,19 +33,42 @@
 //! FOR MAX @purchase1, MAX @purchase2
 //! ```
 //!
-//! Pipeline: [`lexer`] → [`parser`] → [`ast`] → per-world evaluation in
-//! [`executor`] (VG table functions resolve through a
-//! [`prophet_vg::VgRegistry`]). Aggregation across worlds (`EXPECT`,
-//! `EXPECT_STDDEV`, the outer `MAX(...)` of OPTIMIZE constraints) happens a
-//! layer up, in `prophet-mc` — the per-world executor treats those as
-//! metadata, exactly as the paper's SQL Server saw only "pure TSQL".
+//! Pipeline: [`lexer`] → [`parser`] → [`ast`] → evaluation (VG table
+//! functions resolve through a [`prophet_vg::VgRegistry`]). Aggregation
+//! across worlds (`EXPECT`, `EXPECT_STDDEV`, the outer `MAX(...)` of
+//! OPTIMIZE constraints) happens a layer up, in `prophet-mc` — the
+//! evaluator treats those as metadata, exactly as the paper's SQL Server
+//! saw only "pure TSQL".
+//!
+//! ## Two execution tiers
+//!
+//! Evaluation of the scenario SELECT comes in two semantically identical
+//! tiers:
+//!
+//! * [`executor`] — the **scalar** tier: one AST walk per possible world.
+//!   This is the reference implementation of the dialect's semantics
+//!   (left-to-right alias scoping, SQL three-valued logic, per-call VG
+//!   substreams) and the tier of choice for evaluating a single instance.
+//! * [`vector`] — the **vectorized** tier: one AST walk per *world-block*,
+//!   carrying a column of values per expression node and batching VG
+//!   invocations through [`prophet_vg::VgRegistry::invoke_batch`].
+//!   Fingerprint probes (fixed seed block) and Monte Carlo estimation
+//!   (a point's worlds) run here: a length-`L` probe costs one walk
+//!   instead of `L`.
+//!
+//! The vectorized tier is *defined* by bit-identity with the scalar tier —
+//! per world, same outputs, same VG seed derivation, same errors class —
+//! and the engine's differential test suite holds it to that contract.
 
 pub mod ast;
 pub mod error;
 pub mod executor;
 pub mod lexer;
 pub mod parser;
+#[cfg(test)]
+pub(crate) mod test_vg;
 pub mod token;
+pub mod vector;
 
 pub use ast::{
     AggMetric, CmpOp, Constraint, Expr, GraphDirective, Objective, ObjectiveDirection,
@@ -55,3 +78,4 @@ pub use ast::{
 pub use error::{SqlError, SqlResult};
 pub use executor::{evaluate_select, EvalContext};
 pub use parser::parse_script;
+pub use vector::{column_to_f64, evaluate_select_block};

@@ -1,0 +1,493 @@
+//! Vectorized (block) evaluation of the scenario SELECT: one AST walk per
+//! *world-block* instead of one walk per world.
+//!
+//! The scalar tier in [`crate::executor`] evaluates the SELECT once per
+//! possible world — fine for a single instance, but fingerprint probing and
+//! Monte Carlo estimation always evaluate the *same* query, under the
+//! *same* parameter valuation, for a whole block of worlds (the canonical
+//! fingerprint seeds, or a point's estimation worlds). This module walks
+//! the AST once for the entire block and carries a *column* of values per
+//! expression node: a length-`L` fingerprint probe costs one walk instead
+//! of `L`.
+//!
+//! ## Semantics are the scalar executor's, exactly
+//!
+//! The block evaluator is defined by one property, enforced by the
+//! differential tests in `tests/vector_equivalence.rs`: for every world
+//! `w` of the block, column entry `w` of every select item is **bit
+//! identical** to what [`evaluate_select_with`] would have produced for
+//! `w` alone under [`WorldRng::PerCall`]. Three details make that hold:
+//!
+//! * **Per-world call counters.** The scalar tier derives each VG call's
+//!   substream from `(world, function, call index)`, where the call index
+//!   counts the VG calls *that world actually executed*. The block
+//!   evaluator keeps one counter per world slot and bumps only the worlds
+//!   reaching a call site, so conditional evaluation never desynchronizes
+//!   the seed derivation.
+//! * **Lazy masks.** `CASE` arms, `AND`/`OR` right-hand sides and the
+//!   scalar tier's short-circuit rules are reproduced with *selection
+//!   vectors*: a sub-expression is evaluated only for the worlds whose
+//!   control flow reaches it, exactly as the per-world walk would.
+//! * **Left-to-right alias scoping.** Select items still evaluate in
+//!   declaration order and later items see earlier aliases — as whole
+//!   columns rather than scalars.
+//!
+//! VG functions are reached through [`VgRegistry::invoke_batch`]: one
+//! *physical* call per (call site, block), `calls.len()` *logical*
+//! invocations for the catalog's accounting, and a default per-world loop
+//! so every existing [`prophet_vg::VgFunction`] is batch-capable unchanged.
+//!
+//! [`evaluate_select_with`]: crate::executor::evaluate_select_with
+//! [`WorldRng::PerCall`]: crate::executor::WorldRng
+
+use std::collections::HashMap;
+
+use prophet_data::Value;
+use prophet_vg::{SeedManager, VgCall, VgRegistry};
+
+use crate::ast::{BinOp, Expr, SelectInto};
+use crate::error::{SqlError, SqlResult};
+use crate::executor::scalar_builtin;
+
+/// Evaluate the scenario SELECT for a block of worlds in one AST walk,
+/// returning one `(alias, column)` pair per select item in declaration
+/// order. `worlds[i]` is the world id of block slot `i`; every returned
+/// column has `worlds.len()` entries, slot-aligned.
+///
+/// Randomness follows the scalar executor's per-call discipline: the VG
+/// call with per-world call index `k` in slot `i` draws from the substream
+/// derived from `(worlds[i], function, k)`. Outputs are therefore bit
+/// identical to `worlds.len()` scalar walks under
+/// [`WorldRng::per_call`](crate::executor::WorldRng::per_call).
+pub fn evaluate_select_block(
+    select: &SelectInto,
+    registry: &VgRegistry,
+    params: &HashMap<String, Value>,
+    seeds: SeedManager,
+    worlds: &[u64],
+) -> SqlResult<Vec<(String, Vec<Value>)>> {
+    let mut ctx = BlockContext {
+        registry,
+        params,
+        seeds,
+        worlds,
+        counters: vec![0; worlds.len()],
+        aliases: HashMap::new(),
+    };
+    let everything: Vec<usize> = (0..worlds.len()).collect();
+    let mut out = Vec::with_capacity(select.items.len());
+    for item in &select.items {
+        let column = eval_block(&item.expr, &mut ctx, &everything)?;
+        ctx.aliases.insert(item.alias.clone(), column.clone());
+        out.push((item.alias.clone(), column));
+    }
+    Ok(out)
+}
+
+/// Convert one output column to the `f64` sample representation the
+/// estimation layers use: `NULL` becomes `NaN`, everything else goes
+/// through [`Value::as_f64`]. Shared by fingerprint probing and Monte
+/// Carlo materialization so both tiers agree on the conversion.
+pub fn column_to_f64(column: &[Value]) -> SqlResult<Vec<f64>> {
+    column
+        .iter()
+        .map(|v| match v {
+            Value::Null => Ok(f64::NAN),
+            v => v.as_f64().map_err(SqlError::from),
+        })
+        .collect()
+}
+
+/// Evaluation state for one block walk.
+struct BlockContext<'a> {
+    registry: &'a VgRegistry,
+    params: &'a HashMap<String, Value>,
+    seeds: SeedManager,
+    worlds: &'a [u64],
+    /// Per-slot running VG call index (the scalar tier's
+    /// `WorldRng::PerCall` counter, one per world).
+    counters: Vec<u64>,
+    /// Columns of select items already evaluated, full block length.
+    aliases: HashMap<String, Vec<Value>>,
+}
+
+/// Evaluate `expr` for the world slots in `sel`, returning one value per
+/// selected slot (`result[i]` belongs to slot `sel[i]`).
+fn eval_block(expr: &Expr, ctx: &mut BlockContext<'_>, sel: &[usize]) -> SqlResult<Vec<Value>> {
+    match expr {
+        Expr::Literal(v) => Ok(vec![v.clone(); sel.len()]),
+        Expr::Param(name) => {
+            let v = ctx
+                .params
+                .get(name)
+                .ok_or_else(|| SqlError::Eval(format!("unbound parameter @{name}")))?;
+            Ok(vec![v.clone(); sel.len()])
+        }
+        Expr::Column(name) => {
+            let column = ctx
+                .aliases
+                .get(name)
+                .ok_or_else(|| SqlError::Eval(format!("unknown column or alias `{name}`")))?;
+            Ok(sel.iter().map(|&slot| column[slot].clone()).collect())
+        }
+        Expr::Neg(e) => {
+            let xs = eval_block(e, ctx, sel)?;
+            xs.iter().map(|v| Ok(v.neg()?)).collect()
+        }
+        Expr::Not(e) => {
+            let xs = eval_block(e, ctx, sel)?;
+            xs.iter()
+                .map(|v| {
+                    if v.is_null() {
+                        Ok(Value::Null)
+                    } else {
+                        Ok(Value::Bool(!v.as_bool().map_err(SqlError::from)?))
+                    }
+                })
+                .collect()
+        }
+        Expr::Binary { op, lhs, rhs } => eval_binary_block(*op, lhs, rhs, ctx, sel),
+        Expr::Case { whens, otherwise } => {
+            let mut out: Vec<Option<Value>> = vec![None; sel.len()];
+            // Positions into `sel` of worlds no arm has matched yet.
+            let mut active: Vec<usize> = (0..sel.len()).collect();
+            for (cond, result) in whens {
+                if active.is_empty() {
+                    break;
+                }
+                let cond_sel: Vec<usize> = active.iter().map(|&pos| sel[pos]).collect();
+                let cs = eval_block(cond, ctx, &cond_sel)?;
+                let mut matched: Vec<usize> = Vec::new();
+                let mut remaining: Vec<usize> = Vec::new();
+                for (k, &pos) in active.iter().enumerate() {
+                    // SQL: NULL condition is not satisfied.
+                    if !cs[k].is_null() && cs[k].as_bool().map_err(SqlError::from)? {
+                        matched.push(pos);
+                    } else {
+                        remaining.push(pos);
+                    }
+                }
+                if !matched.is_empty() {
+                    let result_sel: Vec<usize> = matched.iter().map(|&pos| sel[pos]).collect();
+                    let rs = eval_block(result, ctx, &result_sel)?;
+                    for (k, &pos) in matched.iter().enumerate() {
+                        out[pos] = Some(rs[k].clone());
+                    }
+                }
+                active = remaining;
+            }
+            if !active.is_empty() {
+                match otherwise {
+                    Some(e) => {
+                        let else_sel: Vec<usize> = active.iter().map(|&pos| sel[pos]).collect();
+                        let es = eval_block(e, ctx, &else_sel)?;
+                        for (k, &pos) in active.iter().enumerate() {
+                            out[pos] = Some(es[k].clone());
+                        }
+                    }
+                    None => {
+                        for &pos in &active {
+                            out[pos] = Some(Value::Null);
+                        }
+                    }
+                }
+            }
+            Ok(out
+                .into_iter()
+                .map(|v| v.expect("every world resolved by an arm, ELSE, or NULL"))
+                .collect())
+        }
+        Expr::Call { name, args } => {
+            let mut arg_columns = Vec::with_capacity(args.len());
+            for a in args {
+                arg_columns.push(eval_block(a, ctx, sel)?);
+            }
+            call_function_block(name, &arg_columns, ctx, sel)
+        }
+    }
+}
+
+fn eval_binary_block(
+    op: BinOp,
+    lhs: &Expr,
+    rhs: &Expr,
+    ctx: &mut BlockContext<'_>,
+    sel: &[usize],
+) -> SqlResult<Vec<Value>> {
+    // AND/OR get SQL three-valued logic; the right-hand side is evaluated
+    // only for the worlds the scalar tier would not have short-circuited.
+    match op {
+        BinOp::And | BinOp::Or => {
+            let ls = eval_block(lhs, ctx, sel)?;
+            // The value an operand short-circuits to, if it does.
+            let shorted = |v: &Value| -> SqlResult<Option<bool>> {
+                if v.is_null() {
+                    return Ok(None);
+                }
+                let b = v.as_bool().map_err(SqlError::from)?;
+                match op {
+                    BinOp::And if !b => Ok(Some(false)),
+                    BinOp::Or if b => Ok(Some(true)),
+                    _ => Ok(None),
+                }
+            };
+            let mut out: Vec<Option<Value>> = vec![None; sel.len()];
+            let mut rhs_pos: Vec<usize> = Vec::new();
+            for (pos, l) in ls.iter().enumerate() {
+                match shorted(l)? {
+                    Some(b) => out[pos] = Some(Value::Bool(b)),
+                    None => rhs_pos.push(pos),
+                }
+            }
+            if !rhs_pos.is_empty() {
+                let rhs_sel: Vec<usize> = rhs_pos.iter().map(|&pos| sel[pos]).collect();
+                let rs = eval_block(rhs, ctx, &rhs_sel)?;
+                for (k, &pos) in rhs_pos.iter().enumerate() {
+                    let l = &ls[pos];
+                    let r = &rs[k];
+                    let v = match shorted(r)? {
+                        Some(b) => Value::Bool(b),
+                        None if l.is_null() || r.is_null() => Value::Null,
+                        // Neither operand short-circuited nor is NULL: AND
+                        // is true, OR is false.
+                        None => Value::Bool(matches!(op, BinOp::And)),
+                    };
+                    out[pos] = Some(v);
+                }
+            }
+            Ok(out
+                .into_iter()
+                .map(|v| v.expect("every world resolved by short-circuit or rhs"))
+                .collect())
+        }
+        _ => {
+            let ls = eval_block(lhs, ctx, sel)?;
+            let rs = eval_block(rhs, ctx, sel)?;
+            ls.iter()
+                .zip(&rs)
+                .map(|(l, r)| {
+                    let v = match op {
+                        BinOp::Add => l.add(r)?,
+                        BinOp::Sub => l.sub(r)?,
+                        BinOp::Mul => l.mul(r)?,
+                        BinOp::Div => l.div(r)?,
+                        BinOp::Rem => l.rem(r)?,
+                        BinOp::Cmp(c) => {
+                            if l.is_null() || r.is_null() {
+                                Value::Null
+                            } else {
+                                Value::Bool(c.test(l.sql_cmp(r)?))
+                            }
+                        }
+                        BinOp::And | BinOp::Or => unreachable!("handled above"),
+                    };
+                    Ok(v)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Dispatch one call site for a block: VG table functions first (catalog
+/// wins over builtins, as in the scalar tier), then scalar builtins applied
+/// per world.
+fn call_function_block(
+    name: &str,
+    arg_columns: &[Vec<Value>],
+    ctx: &mut BlockContext<'_>,
+    sel: &[usize],
+) -> SqlResult<Vec<Value>> {
+    if ctx.registry.get(name).is_err() {
+        // Scalar builtin, world by world (arguments may vary per world).
+        return (0..sel.len())
+            .map(|k| {
+                let args: Vec<Value> = arg_columns.iter().map(|c| c[k].clone()).collect();
+                scalar_builtin(name, &args)
+            })
+            .collect();
+    }
+
+    // One derived substream per selected world; the per-slot counter bumps
+    // only for worlds reaching this call site.
+    let mut rngs = Vec::with_capacity(sel.len());
+    for &slot in sel {
+        let counter = ctx.counters[slot];
+        ctx.counters[slot] += 1;
+        rngs.push(ctx.seeds.rng_for(ctx.worlds[slot], name, counter));
+    }
+    let param_rows: Vec<Vec<Value>> = (0..sel.len())
+        .map(|k| arg_columns.iter().map(|c| c[k].clone()).collect())
+        .collect();
+    let mut calls: Vec<VgCall<'_>> = param_rows
+        .iter()
+        .zip(rngs.iter_mut())
+        .map(|(params, rng)| VgCall { params, rng })
+        .collect();
+    // In scalar position, a table-generating function must produce a
+    // single cell per world — the catalog's scalar batch path extracts
+    // (and validates) it, and single-cell models skip the relation
+    // entirely.
+    Ok(ctx.registry.invoke_batch_scalar(name, &mut calls)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{evaluate_select_with, WorldRng};
+    use crate::parser::parse_script;
+    use crate::test_vg::test_registry as registry;
+
+    /// Block outputs must equal per-world scalar walks bit for bit.
+    fn assert_block_matches_scalar(src: &str, params: &[(&str, Value)], worlds: &[u64]) {
+        let script = parse_script(src).unwrap();
+        let registry = registry();
+        let params: HashMap<String, Value> = params
+            .iter()
+            .map(|(n, v)| (n.to_string(), v.clone()))
+            .collect();
+        let seeds = SeedManager::new(11);
+
+        let block =
+            evaluate_select_block(&script.select, &registry, &params, seeds, worlds).unwrap();
+        for (slot, &world) in worlds.iter().enumerate() {
+            let row = evaluate_select_with(
+                &script.select,
+                &registry,
+                &params,
+                WorldRng::per_call(seeds, world),
+            )
+            .unwrap();
+            for (item, (alias, column)) in row.iter().zip(&block) {
+                assert_eq!(&item.0, alias);
+                assert_eq!(
+                    item.1, column[slot],
+                    "world {world} column `{alias}` diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_matches_scalar_on_vg_and_derived_columns() {
+        assert_block_matches_scalar(
+            "DECLARE PARAMETER @base AS SET (100);\n\
+             SELECT Jitter(@base) AS demand,\n\
+                    Jitter(@base + 10) AS capacity,\n\
+                    CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload\n\
+             INTO results;",
+            &[("base", Value::Int(100))],
+            &[0, 1, 5, 9, 1_000_003],
+        );
+    }
+
+    #[test]
+    fn conditional_vg_calls_keep_per_world_counters_aligned() {
+        // The second Jitter call only runs for worlds whose first draw is
+        // below the threshold; the third call must still see call index 1
+        // for skipped worlds and 2 for evaluated ones — exactly the scalar
+        // behaviour.
+        assert_block_matches_scalar(
+            "SELECT Jitter(0) AS first,\n\
+             CASE WHEN first < 0.5 THEN Jitter(100) ELSE -1 END AS maybe,\n\
+             Jitter(200) AS last\n\
+             INTO r;",
+            &[],
+            &(0..32u64).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn short_circuit_rhs_only_runs_for_unresolved_worlds() {
+        assert_block_matches_scalar(
+            "SELECT Jitter(0) AS first,\n\
+             CASE WHEN first < 0.5 AND Jitter(0) < 0.5 THEN 1 ELSE 0 END AS both,\n\
+             CASE WHEN first < 0.5 OR Jitter(0) < 0.5 THEN 1 ELSE 0 END AS either,\n\
+             Jitter(9) AS last\n\
+             INTO r;",
+            &[],
+            &(0..48u64).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn three_valued_logic_and_builtins_match_scalar() {
+        assert_block_matches_scalar(
+            "DECLARE PARAMETER @x AS SET (0);\n\
+             SELECT NULL AND Jitter(0) > 0 AS null_and,\n\
+                    NULL OR Jitter(1) > 0 AS null_or,\n\
+                    COALESCE(NULL, @x) AS co,\n\
+                    GREATEST(SQRT(ABS(@x - 4)), 1) AS g,\n\
+                    1 / 0 AS div0,\n\
+                    CASE WHEN 1/0 > 1 THEN 1 ELSE 0 END AS guarded\n\
+             INTO r;",
+            &[("x", Value::Int(7))],
+            &[3, 4, 5],
+        );
+    }
+
+    #[test]
+    fn empty_block_is_a_no_op() {
+        let script = parse_script("SELECT Jitter(0) AS v INTO r;").unwrap();
+        let registry = registry();
+        let out = evaluate_select_block(
+            &script.select,
+            &registry,
+            &HashMap::new(),
+            SeedManager::new(0),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].1.is_empty());
+        assert_eq!(registry.stats("Jitter").unwrap().invocations, 0);
+    }
+
+    #[test]
+    fn block_counts_logical_invocations() {
+        let script = parse_script("SELECT Jitter(0) AS a, Jitter(1) AS b INTO r;").unwrap();
+        let registry = registry();
+        let worlds: Vec<u64> = (0..16).collect();
+        evaluate_select_block(
+            &script.select,
+            &registry,
+            &HashMap::new(),
+            SeedManager::new(0),
+            &worlds,
+        )
+        .unwrap();
+        let stats = registry.stats("Jitter").unwrap();
+        assert_eq!(stats.invocations, 32, "two call sites × 16 worlds");
+        assert_eq!(stats.batched_calls, 2, "one physical call per site");
+    }
+
+    #[test]
+    fn errors_match_the_scalar_tier() {
+        let registry = registry();
+        let seeds = SeedManager::new(0);
+        let run = |src: &str| {
+            let script = parse_script(src).unwrap();
+            evaluate_select_block(&script.select, &registry, &HashMap::new(), seeds, &[0, 1])
+                .unwrap_err()
+                .to_string()
+        };
+        assert!(
+            run("DECLARE PARAMETER @missing AS SET (0);\nSELECT @missing AS v INTO r;")
+                .contains("unbound parameter @missing")
+        );
+        assert!(run("SELECT nope + 1 AS v INTO r;").contains("unknown column or alias `nope`"));
+        assert!(run("SELECT NoSuchFn(1) AS v INTO r;").contains("function `NoSuchFn`"));
+        assert!(
+            run("SELECT TwoRows() AS v INTO r;").contains("exactly one cell"),
+            "scalar-position misuse must be reported per the scalar tier's contract"
+        );
+    }
+
+    #[test]
+    fn column_to_f64_maps_null_to_nan() {
+        let xs = column_to_f64(&[Value::Int(2), Value::Null, Value::Float(0.5)]).unwrap();
+        assert_eq!(xs[0], 2.0);
+        assert!(xs[1].is_nan());
+        assert_eq!(xs[2], 0.5);
+        assert!(column_to_f64(&[Value::Str("x".into())]).is_err());
+    }
+}

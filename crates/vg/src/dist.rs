@@ -116,7 +116,7 @@ impl Distribution for LogNormal {
 ///
 /// Stream discipline: the draw count is **data-dependent** (expected
 /// `lambda + chunks` uniforms, Knuth's product method over chunks of at most
-/// [`Poisson::CHUNK`]); callers that need stream alignment must sample on an
+/// `Poisson::CHUNK`); callers that need stream alignment must sample on an
 /// isolated sub-stream.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Poisson {

@@ -25,6 +25,37 @@ use prophet_data::{DataError, DataResult, Schema, Table, Value};
 
 use crate::rng::Rng64;
 
+/// Extract the single cell of a VG function's output relation when the
+/// function was used in *scalar position* (the only position the scenario
+/// dialect has). Both execution tiers route their misuse diagnostics
+/// through here, so a malformed model reports the identical error class
+/// and message whether worlds were walked one at a time or as a block.
+pub fn extract_scalar_cell(name: &str, table: &Table) -> DataResult<Value> {
+    if table.num_rows() != 1 || table.schema().len() != 1 {
+        return Err(DataError::SchemaMismatch(format!(
+            "VG function `{name}` used as a scalar must return exactly one cell, got {}x{}",
+            table.num_rows(),
+            table.schema().len()
+        )));
+    }
+    let column = &table.schema().fields()[0].name;
+    table.cell(0, column)
+}
+
+/// One logical per-world invocation inside a batched VG call: the concrete
+/// argument values for that world plus the world's derived substream.
+///
+/// The vectorized SQL executor hands the whole block to
+/// [`VgRegistry::invoke_batch`] so a model sees every world of a block at
+/// once and can amortize per-call setup, while each world still draws from
+/// its own generator (the possible-worlds seed discipline is untouched).
+pub struct VgCall<'a> {
+    /// Argument values for this world.
+    pub params: &'a [Value],
+    /// The world's derived random stream.
+    pub rng: &'a mut dyn Rng64,
+}
+
 /// A black-box table-generating stochastic function.
 ///
 /// Implementations must be **deterministic given `(params, rng stream)`**:
@@ -44,18 +75,58 @@ pub trait VgFunction: Send + Sync {
 
     /// Generate one sample relation for one possible world.
     fn invoke(&self, params: &[Value], rng: &mut dyn Rng64) -> DataResult<Table>;
+
+    /// Generate one relation per world of a block, in call order.
+    ///
+    /// The default loops over [`VgFunction::invoke`], so existing models
+    /// are batch-capable unchanged; implementations may override to hoist
+    /// per-call setup (schema construction, parameter decoding) out of the
+    /// world loop. Overrides must return exactly `calls.len()` tables and
+    /// must produce, for each world, the bit-identical table `invoke` would
+    /// have produced with the same `(params, rng)` — callers (and the
+    /// scalar-vs-vector differential tests) rely on it.
+    fn invoke_batch(&self, calls: &mut [VgCall<'_>]) -> DataResult<Vec<Table>> {
+        calls
+            .iter_mut()
+            .map(|call| self.invoke(call.params, call.rng))
+            .collect()
+    }
+
+    /// Batched invocation in *scalar position*: one output cell per world.
+    ///
+    /// Scenario SELECTs use VG functions as scalars — each world's
+    /// invocation must produce a 1×1 relation whose single cell is the
+    /// world's sample. The default routes through
+    /// [`VgFunction::invoke_batch`] and extracts (validating) that cell;
+    /// single-cell models override to return the values directly and skip
+    /// relation construction entirely, which is where the vectorized
+    /// executor's per-world overhead lives. Overrides must produce, per
+    /// world, the bit-identical value the default extraction would.
+    fn invoke_batch_scalar(&self, calls: &mut [VgCall<'_>]) -> DataResult<Vec<Value>> {
+        let tables = self.invoke_batch(calls)?;
+        tables
+            .into_iter()
+            .map(|table| extract_scalar_cell(self.name(), &table))
+            .collect()
+    }
 }
 
 /// Snapshot of invocation accounting for one function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct InvocationStats {
-    /// Total number of `invoke` calls.
+    /// Total number of logical per-world invocations (a batched call of
+    /// `n` worlds counts `n`, so this number is comparable across the
+    /// scalar and vectorized execution tiers).
     pub invocations: u64,
+    /// Number of physical `invoke_batch` calls that produced those logical
+    /// invocations (0 when every call went through the scalar path).
+    pub batched_calls: u64,
 }
 
 struct Entry {
     function: Arc<dyn VgFunction>,
     invocations: AtomicU64,
+    batched_calls: AtomicU64,
 }
 
 /// The function catalog ("stored in the database" in the paper).
@@ -80,6 +151,7 @@ impl VgRegistry {
             Entry {
                 function,
                 invocations: AtomicU64::new(0),
+                batched_calls: AtomicU64::new(0),
             },
         );
     }
@@ -109,10 +181,71 @@ impl VgRegistry {
         entry.function.invoke(params, rng)
     }
 
+    /// Resolve the entry for a batched call: validates arity per call and
+    /// records `calls.len()` logical invocations plus one physical batch
+    /// call. Shared by both batch entry points so the two paths' accounting
+    /// and validation can never drift apart.
+    fn claim_batch(&self, name: &str, calls: &[VgCall<'_>]) -> DataResult<&Entry> {
+        let entry = self
+            .entries
+            .get(name)
+            .ok_or_else(|| DataError::UnknownColumn(format!("VG function `{name}`")))?;
+        for call in calls {
+            if call.params.len() != entry.function.arity() {
+                return Err(DataError::SchemaMismatch(format!(
+                    "VG function `{name}` expects {} parameters, got {}",
+                    entry.function.arity(),
+                    call.params.len()
+                )));
+            }
+        }
+        entry
+            .invocations
+            .fetch_add(calls.len() as u64, Ordering::Relaxed);
+        entry.batched_calls.fetch_add(1, Ordering::Relaxed);
+        Ok(entry)
+    }
+
+    /// A batched implementation must hand back one output per world.
+    fn expect_batch_len<T>(name: &str, outputs: Vec<T>, calls: usize) -> DataResult<Vec<T>> {
+        if outputs.len() != calls {
+            return Err(DataError::SchemaMismatch(format!(
+                "VG function `{name}` returned {} outputs for a batch of {calls}",
+                outputs.len()
+            )));
+        }
+        Ok(outputs)
+    }
+
+    /// Invoke by name over a whole world-block, validating arity and
+    /// counting every *logical* per-world invocation — `invoke_batch` with
+    /// `n` calls bumps the counter by `n`, so invocation accounting stays
+    /// comparable whether the executor walked worlds one at a time or as a
+    /// block. `batched_calls` additionally counts the physical batch calls,
+    /// making the amortization itself observable.
+    pub fn invoke_batch(&self, name: &str, calls: &mut [VgCall<'_>]) -> DataResult<Vec<Table>> {
+        let entry = self.claim_batch(name, calls)?;
+        let tables = entry.function.invoke_batch(calls)?;
+        Self::expect_batch_len(name, tables, calls.len())
+    }
+
+    /// Scalar-position variant of [`VgRegistry::invoke_batch`]: one cell
+    /// per world, same arity validation and logical-invocation accounting.
+    pub fn invoke_batch_scalar(
+        &self,
+        name: &str,
+        calls: &mut [VgCall<'_>],
+    ) -> DataResult<Vec<Value>> {
+        let entry = self.claim_batch(name, calls)?;
+        let values = entry.function.invoke_batch_scalar(calls)?;
+        Self::expect_batch_len(name, values, calls.len())
+    }
+
     /// Invocation statistics for one function.
     pub fn stats(&self, name: &str) -> Option<InvocationStats> {
         self.entries.get(name).map(|e| InvocationStats {
             invocations: e.invocations.load(Ordering::Relaxed),
+            batched_calls: e.batched_calls.load(Ordering::Relaxed),
         })
     }
 
@@ -128,6 +261,7 @@ impl VgRegistry {
     pub fn reset_stats(&self) {
         for e in self.entries.values() {
             e.invocations.store(0, Ordering::Relaxed);
+            e.batched_calls.store(0, Ordering::Relaxed);
         }
     }
 
@@ -253,6 +387,83 @@ mod tests {
         r.register(Arc::new(Empty));
         assert_eq!(r.len(), 1, "same name replaces, not duplicates");
         assert_eq!(r.get("UniformRows").unwrap().arity(), 0);
+    }
+
+    #[test]
+    fn batch_invoke_counts_logical_invocations_and_matches_scalar() {
+        let r = registry();
+        // Batch of 3 worlds, distinct rngs.
+        let mut rngs: Vec<_> = (0..3u64)
+            .map(crate::rng::Xoshiro256StarStar::seed_from_u64)
+            .collect();
+        let params = vec![Value::Int(4)];
+        let mut calls: Vec<VgCall<'_>> = rngs
+            .iter_mut()
+            .map(|rng| VgCall {
+                params: &params,
+                rng,
+            })
+            .collect();
+        let tables = r.invoke_batch("UniformRows", &mut calls).unwrap();
+        assert_eq!(tables.len(), 3);
+        let stats = r.stats("UniformRows").unwrap();
+        assert_eq!(stats.invocations, 3, "one logical invocation per world");
+        assert_eq!(stats.batched_calls, 1, "one physical batch call");
+
+        // The default fallback must be bit-identical to scalar invocation.
+        let mut rng = crate::rng::Xoshiro256StarStar::seed_from_u64(1);
+        let scalar = r.invoke("UniformRows", &[Value::Int(4)], &mut rng).unwrap();
+        assert_eq!(tables[1], scalar);
+    }
+
+    #[test]
+    fn batch_scalar_extracts_single_cells_and_rejects_relations() {
+        // UniformRows(1) is a 1x1 relation: the default scalar batch path
+        // must extract exactly the cell scalar invocation produces.
+        let r = registry();
+        let mut a = crate::rng::Xoshiro256StarStar::seed_from_u64(3);
+        let mut b = crate::rng::Xoshiro256StarStar::seed_from_u64(3);
+        let params = vec![Value::Int(1)];
+        let mut calls = vec![VgCall {
+            params: &params,
+            rng: &mut a,
+        }];
+        let cells = r.invoke_batch_scalar("UniformRows", &mut calls).unwrap();
+        let table = r.invoke("UniformRows", &[Value::Int(1)], &mut b).unwrap();
+        assert_eq!(cells, vec![table.cell(0, "u").unwrap()]);
+
+        // A multi-row result must be rejected with the scalar-misuse error.
+        let mut c = crate::rng::Xoshiro256StarStar::seed_from_u64(3);
+        let params = vec![Value::Int(2)];
+        let mut calls = vec![VgCall {
+            params: &params,
+            rng: &mut c,
+        }];
+        let err = r
+            .invoke_batch_scalar("UniformRows", &mut calls)
+            .unwrap_err();
+        assert!(err.to_string().contains("exactly one cell"), "{err}");
+    }
+
+    #[test]
+    fn batch_invoke_validates_arity_per_call() {
+        let r = registry();
+        let mut rng = crate::rng::Xoshiro256StarStar::seed_from_u64(1);
+        let good = vec![Value::Int(1)];
+        let bad: Vec<Value> = vec![];
+        let mut calls = vec![VgCall {
+            params: &good,
+            rng: &mut rng,
+        }];
+        assert!(r.invoke_batch("UniformRows", &mut calls).is_ok());
+        let mut rng2 = crate::rng::Xoshiro256StarStar::seed_from_u64(1);
+        let mut calls = vec![VgCall {
+            params: &bad,
+            rng: &mut rng2,
+        }];
+        let err = r.invoke_batch("UniformRows", &mut calls).unwrap_err();
+        assert!(err.to_string().contains("expects 1 parameters"));
+        assert!(r.invoke_batch("Missing", &mut []).is_err());
     }
 
     #[test]

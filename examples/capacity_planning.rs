@@ -11,30 +11,15 @@
 
 use fuzzy_prophet::prelude::*;
 use prophet_models::demo_registry;
-
-/// Smaller grid than Figure 2 (weeks step 2, purchases step 8) so the
-/// example finishes in seconds while preserving the experiment's shape.
-const SCENARIO: &str = "\
-DECLARE PARAMETER @current AS RANGE 0 TO 52 STEP BY 2;
-DECLARE PARAMETER @purchase1 AS RANGE 0 TO 52 STEP BY 8;
-DECLARE PARAMETER @purchase2 AS RANGE 0 TO 52 STEP BY 8;
-DECLARE PARAMETER @feature AS SET (12,36,44);
-SELECT DemandModel(@current, @feature) AS demand,
-       CapacityModel(@current, @purchase1, @purchase2) AS capacity,
-       CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
-INTO results;
-OPTIMIZE SELECT @feature, @purchase1, @purchase2
-FROM results
-WHERE MAX(EXPECT overload) < {THRESHOLD}
-GROUP BY feature, purchase1, purchase2
-FOR MAX @purchase1, MAX @purchase2";
+use prophet_models::scenarios::figure2_coarse_sql;
 
 fn run_threshold(
     threshold: f64,
     fingerprints: bool,
 ) -> Result<(OfflineReport, ExplorationMap), Box<dyn std::error::Error>> {
-    let text = SCENARIO.replace("{THRESHOLD}", &threshold.to_string());
-    let scenario = Scenario::parse(&text)?;
+    // Smaller grid than Figure 2 (weeks step 2, purchases step 8) so the
+    // example finishes in seconds while preserving the experiment's shape.
+    let scenario = Scenario::parse(&figure2_coarse_sql(threshold))?;
     let p1 = scenario.script().param("purchase1").unwrap().clone();
     let p2 = scenario.script().param("purchase2").unwrap().clone();
     let optimizer = Prophet::builder()

@@ -13,23 +13,11 @@
 use fuzzy_prophet::prelude::*;
 use prophet_mc::{summary_table, SampleSet};
 use prophet_models::full_registry;
-
-const SCENARIO: &str = "\
-DECLARE PARAMETER @week AS RANGE 4 TO 52 STEP BY 4;
-DECLARE PARAMETER @reorder_point AS RANGE 120 TO 360 STEP BY 40;
-DECLARE PARAMETER @reorder_qty AS SET (200, 300, 400);
-SELECT InventoryModel(@week, @reorder_point, @reorder_qty) AS on_hand,
-       CASE WHEN on_hand <= 0 THEN 1 ELSE 0 END AS stockout
-INTO results;
-OPTIMIZE SELECT @reorder_point, @reorder_qty
-FROM results
-WHERE MAX(EXPECT stockout) < 0.05
-GROUP BY reorder_point, reorder_qty
-FOR MIN @reorder_point, MIN @reorder_qty";
+use prophet_models::scenarios::INVENTORY_POLICY;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prophet = Prophet::builder()
-        .scenario_sql("inventory", SCENARIO)?
+        .scenario_sql("inventory", INVENTORY_POLICY)?
         .registry(full_registry())
         .config(EngineConfig {
             worlds_per_point: 200,

@@ -13,25 +13,11 @@
 use fuzzy_prophet::prelude::*;
 use fuzzy_prophet::render::{ascii_chart, series_csv};
 use prophet_models::full_registry;
-
-const SCENARIO: &str = "\
-DECLARE PARAMETER @week AS RANGE 0 TO 52 STEP BY 4;
-DECLARE PARAMETER @price AS RANGE 12 TO 40 STEP BY 2;
-SELECT RevenueModel(@week, @price) AS revenue,
-       CASE WHEN revenue < 200000 THEN 1 ELSE 0 END AS miss
-INTO results;
-GRAPH OVER @price
-    EXPECT revenue WITH green y2,
-    EXPECT miss WITH red bold;
-OPTIMIZE SELECT @price
-FROM results
-WHERE MAX(EXPECT miss) < 0.5
-GROUP BY price
-FOR MAX @price";
+use prophet_models::scenarios::PRICING_WHATIF;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prophet = Prophet::builder()
-        .scenario_sql("pricing", SCENARIO)?
+        .scenario_sql("pricing", PRICING_WHATIF)?
         .registry(full_registry())
         .config(EngineConfig {
             worlds_per_point: 250,

@@ -16,25 +16,11 @@
 use fuzzy_prophet::prelude::*;
 use fuzzy_prophet::render::ascii_chart;
 use prophet_models::full_registry;
-
-const SCENARIO: &str = "\
-DECLARE PARAMETER @week AS RANGE 0 TO 48 STEP BY 4;
-DECLARE PARAMETER @agents AS RANGE 6 TO 20 STEP BY 1;
-SELECT QueueModel(@week, @agents) AS backlog,
-       CASE WHEN backlog > 25 THEN 1 ELSE 0 END AS breach
-INTO results;
-GRAPH OVER @week
-    EXPECT backlog WITH purple,
-    EXPECT breach WITH red bold;
-OPTIMIZE SELECT @agents
-FROM results
-WHERE MAX(EXPECT breach) < 0.2
-GROUP BY agents
-FOR MIN @agents";
+use prophet_models::scenarios::SUPPORT_STAFFING;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prophet = Prophet::builder()
-        .scenario_sql("staffing", SCENARIO)?
+        .scenario_sql("staffing", SUPPORT_STAFFING)?
         .registry(full_registry())
         .config(EngineConfig {
             worlds_per_point: 200,

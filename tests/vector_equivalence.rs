@@ -1,0 +1,351 @@
+//! Scalar-vs-vector differential suite: the vectorized execution tier is
+//! *defined* by bit-identity with the scalar executor, and this file is the
+//! contract's enforcement.
+//!
+//! Coverage:
+//!
+//! * every bundled scenario (Figure 2 plus the four example scenarios),
+//!   asserting bit-identical fingerprints *and* estimation samples between
+//!   a `vectorized: true` engine and a `vectorized: false` engine walking
+//!   the same evaluation sequence;
+//! * a seeded property loop at the SQL layer over random world-block
+//!   sizes — 1, 2, the fingerprint length `L`, and non-multiples of `L` —
+//!   asserting per-world equality between one block walk and per-world
+//!   scalar walks;
+//! * thread-count independence of the vectorized tier (samples and work
+//!   counters equal under `threads: 1` and `threads: 4`).
+
+use std::collections::HashMap;
+
+use fuzzy_prophet::prelude::*;
+use prophet_data::Value;
+use prophet_models::scenarios::{
+    figure2_coarse_sql, INVENTORY_POLICY, PRICING_WHATIF, SUPPORT_STAFFING,
+};
+use prophet_models::{demo_registry, full_registry};
+use prophet_sql::executor::{evaluate_select_with, WorldRng};
+use prophet_sql::vector::evaluate_select_block;
+use prophet_vg::rng::{Rng64, Xoshiro256StarStar};
+use prophet_vg::SeedManager;
+
+/// The five bundled scenarios with a registry factory and a few probe
+/// points spread across each parameter space.
+fn bundled_scenarios() -> Vec<(&'static str, Scenario, VgRegistryKind, Vec<ParamPoint>)> {
+    vec![
+        (
+            "figure2",
+            Scenario::figure2().unwrap(),
+            VgRegistryKind::Demo,
+            vec![
+                ParamPoint::from_pairs([
+                    ("current", 5i64),
+                    ("purchase1", 16),
+                    ("purchase2", 36),
+                    ("feature", 12),
+                ]),
+                ParamPoint::from_pairs([
+                    ("current", 5i64),
+                    ("purchase1", 16),
+                    ("purchase2", 36),
+                    ("feature", 36),
+                ]),
+                ParamPoint::from_pairs([
+                    ("current", 50i64),
+                    ("purchase1", 0),
+                    ("purchase2", 4),
+                    ("feature", 44),
+                ]),
+            ],
+        ),
+        (
+            "figure2-coarse",
+            Scenario::parse(&figure2_coarse_sql(0.05)).unwrap(),
+            VgRegistryKind::Demo,
+            vec![
+                ParamPoint::from_pairs([
+                    ("current", 10i64),
+                    ("purchase1", 8),
+                    ("purchase2", 24),
+                    ("feature", 12),
+                ]),
+                ParamPoint::from_pairs([
+                    ("current", 10i64),
+                    ("purchase1", 8),
+                    ("purchase2", 24),
+                    ("feature", 36),
+                ]),
+            ],
+        ),
+        (
+            "inventory",
+            Scenario::parse(INVENTORY_POLICY).unwrap(),
+            VgRegistryKind::Full,
+            vec![
+                ParamPoint::from_pairs([
+                    ("week", 12i64),
+                    ("reorder_point", 200),
+                    ("reorder_qty", 300),
+                ]),
+                ParamPoint::from_pairs([
+                    ("week", 12i64),
+                    ("reorder_point", 240),
+                    ("reorder_qty", 300),
+                ]),
+            ],
+        ),
+        (
+            "pricing",
+            Scenario::parse(PRICING_WHATIF).unwrap(),
+            VgRegistryKind::Full,
+            vec![
+                ParamPoint::from_pairs([("week", 24i64), ("price", 20)]),
+                ParamPoint::from_pairs([("week", 24i64), ("price", 22)]),
+            ],
+        ),
+        (
+            "staffing",
+            Scenario::parse(SUPPORT_STAFFING).unwrap(),
+            VgRegistryKind::Full,
+            vec![
+                ParamPoint::from_pairs([("week", 24i64), ("agents", 10)]),
+                ParamPoint::from_pairs([("week", 24i64), ("agents", 11)]),
+            ],
+        ),
+    ]
+}
+
+enum VgRegistryKind {
+    Demo,
+    Full,
+}
+
+impl VgRegistryKind {
+    fn build(&self) -> prophet_vg::VgRegistry {
+        match self {
+            VgRegistryKind::Demo => demo_registry(),
+            VgRegistryKind::Full => full_registry(),
+        }
+    }
+}
+
+fn engine_pair(scenario: &Scenario, kind: &VgRegistryKind) -> (Engine, Engine) {
+    let config = EngineConfig {
+        worlds_per_point: 48,
+        ..EngineConfig::default()
+    };
+    let vector = Engine::new(scenario, kind.build(), config).unwrap();
+    let scalar = Engine::new(
+        scenario,
+        kind.build(),
+        EngineConfig {
+            vectorized: false,
+            ..config
+        },
+    )
+    .unwrap();
+    (vector, scalar)
+}
+
+/// Every bundled scenario: same outcomes, bit-identical samples, and the
+/// same store contents (the stored fingerprints drove identical matching)
+/// whether evaluation is scalar or vectorized.
+#[test]
+fn all_bundled_scenarios_are_bit_identical_across_tiers() {
+    for (name, scenario, kind, points) in bundled_scenarios() {
+        let (vector, scalar) = engine_pair(&scenario, &kind);
+        let columns = vector.output_columns();
+        for point in &points {
+            let (sv, ov) = vector.evaluate(point).unwrap();
+            let (ss, os) = scalar.evaluate(point).unwrap();
+            assert_eq!(ov, os, "[{name}] outcome at {point}");
+            for col in &columns {
+                assert_eq!(
+                    sv.samples(col),
+                    ss.samples(col),
+                    "[{name}] column `{col}` at {point}"
+                );
+            }
+        }
+        let mv = vector.metrics();
+        let ms = scalar.metrics();
+        assert_eq!(
+            mv.probe_evaluations, ms.probe_evaluations,
+            "[{name}] logical probe accounting must not depend on the tier"
+        );
+        assert_eq!(mv.points_simulated, ms.points_simulated, "[{name}]");
+        assert_eq!(mv.worlds_simulated, ms.worlds_simulated, "[{name}]");
+        assert!(
+            mv.vector_walks > 0 && ms.vector_walks == 0,
+            "[{name}] only the vector tier block-walks"
+        );
+    }
+}
+
+/// Fingerprints are probed under the canonical seed block: force both
+/// tiers through a *miss* (distinct stores) and compare what each
+/// published to its basis store for matching.
+#[test]
+fn probed_fingerprints_are_bit_identical() {
+    for (name, scenario, kind, points) in bundled_scenarios() {
+        let (vector, scalar) = engine_pair(&scenario, &kind);
+        let point = &points[0];
+        vector.evaluate(point).unwrap();
+        scalar.evaluate(point).unwrap();
+        // A second engine pair maps *from* the published entries: if the
+        // stored fingerprints differed at all, matching (which compares
+        // probe columns entry-by-entry) would disagree somewhere across
+        // the remaining points.
+        for p in &points[1..] {
+            let (vs, vo) = vector.evaluate(p).unwrap();
+            let (ss, so) = scalar.evaluate(p).unwrap();
+            assert_eq!(vo, so, "[{name}] mapping decision at {p}");
+            for col in vector.output_columns() {
+                assert_eq!(vs.samples(&col), ss.samples(&col), "[{name}] {col} at {p}");
+            }
+        }
+    }
+}
+
+/// SQL-layer property loop: for random parameter points and random block
+/// sizes (1, 2, the fingerprint length L, and non-multiples of L), one
+/// block walk equals per-world scalar walks bit for bit.
+#[test]
+fn random_world_blocks_match_scalar_walks() {
+    let scenario = Scenario::figure2().unwrap();
+    let select = &scenario.script().select;
+    let registry = demo_registry();
+    let fp_len = FingerprintLen::default().0;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xB10C_5EED);
+
+    // Deterministic seeded loop (the repo's proptest substitute).
+    for round in 0..24 {
+        let block_len = match round % 6 {
+            0 => 1,
+            1 => 2,
+            2 => fp_len,                             // L
+            3 => fp_len + 3,                         // non-multiple of L
+            4 => 2 * fp_len - 1,                     // spans >1 "L block"
+            _ => 1 + (rng.next_u64() % 97) as usize, // arbitrary
+        };
+        let worlds: Vec<u64> = (0..block_len).map(|_| rng.next_u64() >> 1).collect();
+        let params: HashMap<String, Value> = HashMap::from([
+            ("current".into(), Value::Int((rng.next_u64() % 53) as i64)),
+            ("purchase1".into(), Value::Int((rng.next_u64() % 53) as i64)),
+            ("purchase2".into(), Value::Int((rng.next_u64() % 53) as i64)),
+            ("feature".into(), Value::Int(12)),
+        ]);
+        let seeds = SeedManager::new(rng.next_u64());
+
+        let block = evaluate_select_block(select, &registry, &params, seeds, &worlds).unwrap();
+        for (slot, &world) in worlds.iter().enumerate() {
+            let row =
+                evaluate_select_with(select, &registry, &params, WorldRng::per_call(seeds, world))
+                    .unwrap();
+            for ((alias, column), (scalar_alias, scalar_value)) in block.iter().zip(&row) {
+                assert_eq!(alias, scalar_alias);
+                assert_eq!(
+                    &column[slot], scalar_value,
+                    "round {round}, block_len {block_len}, world {world}, column {alias}"
+                );
+            }
+        }
+    }
+}
+
+/// Wrapper so the test reads "fingerprint length L" without reaching into
+/// engine internals.
+struct FingerprintLen(usize);
+
+impl Default for FingerprintLen {
+    fn default() -> Self {
+        FingerprintLen(EngineConfig::default().fingerprint.length)
+    }
+}
+
+/// The vectorized tier must stay thread-count independent: same samples,
+/// same work counters under 1 and 4 threads.
+#[test]
+fn vectorized_tier_is_thread_count_independent() {
+    let scenario = Scenario::figure2().unwrap();
+    let make = |threads: usize| {
+        Engine::new(
+            &scenario,
+            demo_registry(),
+            EngineConfig {
+                worlds_per_point: 64,
+                threads,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap()
+    };
+    let single = make(1);
+    let quad = make(4);
+    let points: Vec<ParamPoint> = (0..6)
+        .map(|i| {
+            ParamPoint::from_pairs([
+                ("current", 4 * i as i64),
+                ("purchase1", 16),
+                ("purchase2", 36),
+                ("feature", 12),
+            ])
+        })
+        .collect();
+    let a = single.evaluate_batch(&points).unwrap();
+    let b = quad.evaluate_batch(&points).unwrap();
+    for (i, ((sa, oa), (sb, ob))) in a.iter().zip(&b).enumerate() {
+        assert_eq!(oa, ob, "point #{i}");
+        for col in single.output_columns() {
+            assert_eq!(sa.samples(&col), sb.samples(&col), "point #{i} {col}");
+        }
+    }
+    assert_eq!(
+        single.metrics().worlds_simulated,
+        quad.metrics().worlds_simulated
+    );
+    assert_eq!(
+        single.metrics().probe_evaluations,
+        quad.metrics().probe_evaluations
+    );
+}
+
+/// The vector tier's logical VG accounting matches the scalar tier's: a
+/// batched call of `n` worlds counts `n` invocations in the catalog.
+#[test]
+fn vg_invocation_accounting_is_tier_independent() {
+    let scenario = Scenario::figure2().unwrap();
+    let point = ParamPoint::from_pairs([
+        ("current", 10i64),
+        ("purchase1", 16),
+        ("purchase2", 36),
+        ("feature", 12),
+    ]);
+    let run = |vectorized: bool| {
+        let registry = demo_registry();
+        let engine = Engine::new(
+            &scenario,
+            registry,
+            EngineConfig {
+                worlds_per_point: 32,
+                vectorized,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        engine.evaluate(&point).unwrap();
+        let reg = engine.registry();
+        (
+            reg.stats("DemandModel").unwrap(),
+            reg.stats("CapacityModel").unwrap(),
+        )
+    };
+    let (vd, vc) = run(true);
+    let (sd, sc) = run(false);
+    assert_eq!(vd.invocations, sd.invocations, "DemandModel logical count");
+    assert_eq!(
+        vc.invocations, sc.invocations,
+        "CapacityModel logical count"
+    );
+    assert!(vd.batched_calls > 0, "vector tier used the batch path");
+    assert_eq!(sd.batched_calls, 0, "scalar tier never batches");
+}
