@@ -9,12 +9,18 @@
 //!
 //! The JSON reports sweep throughput (points/sec) and the executor's
 //! probe-vs-simulation wall-clock split (`probe_nanos` / `sim_nanos`) for
-//! the default **vectorized** tier, plus a second sweep of the same
-//! workload through the **scalar** tier (`scalar.*` fields) so the
-//! scalar-vs-vector probe timing split is recorded per commit.
-//! `worlds_per_walk` is the observed walk amortization: logical probe
-//! evaluations per vectorized block walk (the fingerprint length when the
-//! vector tier is on — the scalar tier walks once *per seed* instead).
+//! the default **vectorized, match-indexed** configuration, plus two
+//! comparison sweeps of the same workload: one with the fingerprint
+//! summary index disabled (`unindexed.*` fields — the
+//! indexed-vs-exhaustive match scan split, with `candidates_scanned` /
+//! `candidates_pruned` / `match_scan_nanos` recording the prune rate) and
+//! one through the **scalar** execution tier (`scalar.*` fields — the
+//! scalar-vs-vector probe timing split). All three sweeps must agree on
+//! the sweep answer, which this binary asserts (and CI therefore asserts
+//! per push). `worlds_per_walk` is the observed walk amortization: logical
+//! probe evaluations per vectorized block walk (the fingerprint length
+//! when the vector tier is on — the scalar tier walks once *per seed*
+//! instead).
 
 use std::time::Instant;
 
@@ -29,11 +35,12 @@ struct SweepRun {
     best: String,
 }
 
-fn run_sweep(worlds: usize, threads: usize, vectorized: bool) -> SweepRun {
+fn run_sweep(worlds: usize, threads: usize, vectorized: bool, match_index: bool) -> SweepRun {
     let config = EngineConfig {
         worlds_per_point: worlds,
         threads,
         vectorized,
+        match_index,
         ..EngineConfig::default()
     };
     let optimizer = demo_optimizer(figure2_coarse(0.05), config);
@@ -75,15 +82,25 @@ fn main() {
         }
     }
 
-    let vector = run_sweep(worlds, threads, true);
-    let scalar = run_sweep(worlds, threads, false);
+    let vector = run_sweep(worlds, threads, true, true);
+    let unindexed = run_sweep(worlds, threads, true, false);
+    let scalar = run_sweep(worlds, threads, false, true);
 
     let m = &vector.metrics;
+    let u = &unindexed.metrics;
     let s = &scalar.metrics;
     let worlds_per_walk = if m.vector_walks > 0 {
         m.probe_evaluations as f64 / m.vector_walks as f64
     } else {
         1.0
+    };
+    let prune_rate = {
+        let bounded = m.candidates_scanned + m.candidates_pruned;
+        if bounded > 0 {
+            m.candidates_pruned as f64 / bounded as f64
+        } else {
+            0.0
+        }
     };
 
     let json = format!(
@@ -92,8 +109,13 @@ fn main() {
          \"points_simulated\": {},\n  \"points_mapped\": {},\n  \"points_cached\": {},\n  \
          \"worlds_simulated\": {},\n  \"batch_probes\": {},\n  \"inflight_waits\": {},\n  \
          \"vector_walks\": {},\n  \"worlds_per_walk\": {worlds_per_walk:.1},\n  \
+         \"candidates_scanned\": {},\n  \"candidates_pruned\": {},\n  \
+         \"prune_rate\": {prune_rate:.3},\n  \"match_scan_nanos\": {},\n  \
          \"probe_eval_nanos\": {},\n  \"probe_nanos\": {},\n  \"sim_nanos\": {},\n  \
          \"wall_nanos\": {},\n  \"points_per_sec\": {:.1},\n  \"best_point\": {},\n  \
+         \"unindexed\": {{\n    \"candidates_scanned\": {},\n    \
+         \"match_scan_nanos\": {},\n    \"probe_nanos\": {},\n    \
+         \"wall_nanos\": {},\n    \"points_per_sec\": {:.1}\n  }},\n  \
          \"scalar\": {{\n    \"probe_eval_nanos\": {},\n    \"probe_nanos\": {},\n    \
          \"sim_nanos\": {},\n    \"wall_nanos\": {},\n    \"points_per_sec\": {:.1}\n  }}\n}}\n",
         vector.groups,
@@ -105,12 +127,20 @@ fn main() {
         m.batch_probes,
         m.inflight_waits,
         m.vector_walks,
+        m.candidates_scanned,
+        m.candidates_pruned,
+        m.match_scan_nanos,
         m.probe_eval_nanos,
         m.probe_nanos,
         m.sim_nanos,
         vector.wall_nanos,
         vector.points_per_sec,
         vector.best,
+        u.candidates_scanned,
+        u.match_scan_nanos,
+        u.probe_nanos,
+        unindexed.wall_nanos,
+        unindexed.points_per_sec,
         s.probe_eval_nanos,
         s.probe_nanos,
         s.sim_nanos,
@@ -130,6 +160,17 @@ fn main() {
         m.vector_walks,
     );
     eprintln!(
+        "match index: {} scanned / {} pruned ({:.0}% prune rate); \
+         match scan {:.1}ms vs {:.1}ms unindexed ({} pairs) — {:.2}x",
+        m.candidates_scanned,
+        m.candidates_pruned,
+        prune_rate * 100.0,
+        m.match_scan_nanos as f64 / 1e6,
+        u.match_scan_nanos as f64 / 1e6,
+        u.candidates_scanned,
+        u.match_scan_nanos as f64 / (m.match_scan_nanos as f64).max(1.0),
+    );
+    eprintln!(
         "scalar sweep: probe {:.1}ms vs sim {:.1}ms ({:.1} points/sec); \
          vector probe-eval speedup {:.2}x ({:.1}ms -> {:.1}ms)",
         s.probe_nanos as f64 / 1e6,
@@ -140,8 +181,16 @@ fn main() {
         m.probe_eval_nanos as f64 / 1e6,
     );
     assert_eq!(
+        vector.best, unindexed.best,
+        "indexed and unindexed sweeps must agree on the sweep answer"
+    );
+    assert_eq!(
         vector.best, scalar.best,
         "tiers must agree on the sweep answer"
+    );
+    assert_eq!(
+        u.candidates_pruned, 0,
+        "the exhaustive scan must not prune anything"
     );
 }
 

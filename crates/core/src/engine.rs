@@ -69,6 +69,19 @@ pub struct EngineConfig {
     /// by default; disabling it exists for the scalar-vs-vector benchmark
     /// split and for bisecting equivalence regressions.
     pub vectorized: bool,
+    /// Prune the correlation match scan through the basis store's
+    /// fingerprint summary index: candidates whose summary bound proves
+    /// they cannot beat the best match found so far skip the
+    /// entry-by-entry comparison (branch and bound).
+    ///
+    /// The bound is sound, so outcomes, samples and chosen mapping sources
+    /// are bit-identical with the index off (the differential suite in
+    /// `tests/match_index.rs` enforces it); disabling it exists for the
+    /// indexed-vs-exhaustive benchmark split and for bisecting match
+    /// regressions. Pruning effectiveness surfaces as
+    /// `EngineMetrics::candidates_pruned` vs
+    /// `EngineMetrics::candidates_scanned`.
+    pub match_index: bool,
     /// Use common random numbers across parameter points (recommended).
     ///
     /// Fingerprint *probes* always use the canonical fixed seeds, so
@@ -94,6 +107,7 @@ impl Default for EngineConfig {
             detector: CorrelationDetector::default(),
             fingerprints_enabled: true,
             vectorized: true,
+            match_index: true,
             common_random_numbers: true,
             root_seed: 0xF1_2E_9A_77,
             basis_capacity: 8_192,

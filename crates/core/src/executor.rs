@@ -16,10 +16,12 @@
 //! |                          | in-flight claim ([`SharedBasisStore::try_claim`]) |
 //! | fingerprint probe        | *probe*: claimed points fingerprint in       |
 //! |                          | parallel across the worker pool              |
-//! | correlation search       | *match*: one source-parallel                 |
+//! | correlation search       | *match*: one summary-indexed                 |
 //! |                          | [`SharedBasisStore::find_correlated_batch`]  |
-//! |                          | scan scores every probe against every        |
-//! |                          | candidate source                             |
+//! |                          | scan — candidates whose fingerprint-summary  |
+//! |                          | bound cannot beat the best match are pruned  |
+//! |                          | (`EngineConfig::match_index`), the survivors |
+//! |                          | score in parallel waves                      |
 //! | re-map on a hit          | *remap*: mapped sample reconstruction,       |
 //! |                          | parallel across hits                         |
 //! | simulate on a miss       | *simulate*: misses partitioned across the    |
@@ -133,16 +135,23 @@ impl Engine {
             self.bump(|m| m.batch_probes += owned.len() as u64);
 
             let match_start = Instant::now();
-            let hits = store.find_correlated_batch(
+            let (hits, scan) = store.find_correlated_batch_scan(
                 &owned_probes,
                 self.stochastic_columns(),
                 &self.config().detector,
                 threads,
+                self.config().match_index,
             );
             // Probe evaluation and remapping self-time into
             // `fingerprint_time`; the match scan is the remaining share of
             // the phase's per-call work.
-            self.bump(|m| m.fingerprint_time += match_start.elapsed());
+            let match_elapsed = match_start.elapsed();
+            self.bump(|m| {
+                m.fingerprint_time += match_elapsed;
+                m.match_scan_nanos += match_elapsed.as_nanos() as u64;
+                m.candidates_scanned += scan.candidates_scanned;
+                m.candidates_pruned += scan.candidates_pruned;
+            });
             for (pos, probe) in owned_probes.into_iter().enumerate() {
                 probes[owned[pos]] = Some(probe);
             }
@@ -289,12 +298,21 @@ impl Engine {
             let phase = Instant::now();
             probes = self.probe_fingerprints(point)?;
             let match_start = Instant::now();
-            let hit = self.basis_store().find_correlated(
-                &probes,
+            let (mut hits, scan) = self.basis_store().find_correlated_batch_scan(
+                std::slice::from_ref(&probes),
                 self.stochastic_columns(),
                 &self.config().detector,
+                1,
+                self.config().match_index,
             );
-            self.bump(|m| m.fingerprint_time += match_start.elapsed());
+            let hit = hits.pop().flatten();
+            let match_elapsed = match_start.elapsed();
+            self.bump(|m| {
+                m.fingerprint_time += match_elapsed;
+                m.match_scan_nanos += match_elapsed.as_nanos() as u64;
+                m.candidates_scanned += scan.candidates_scanned;
+                m.candidates_pruned += scan.candidates_pruned;
+            });
             if let Some(hit) = hit {
                 let mapped = self.remap_samples(point, &hit.samples, &hit.mappings, hit.worlds)?;
                 let exact = hit.mappings.values().all(Mapping::is_exact);

@@ -37,6 +37,23 @@ pub struct EngineMetrics {
     /// excludes the correlation match scan and remapping, so it is the
     /// number the scalar-vs-vector executor comparison reads.
     pub probe_eval_nanos: u64,
+    /// (candidate, probe) pairs that ran the full entry-by-entry
+    /// correlation comparison during match scans. With the summary index
+    /// on, `candidates_pruned / (candidates_scanned + candidates_pruned)`
+    /// is the scan's prune rate.
+    pub candidates_scanned: u64,
+    /// (candidate, probe) pairs the fingerprint summary index skipped:
+    /// their bound proved they could not match at all, or could not beat
+    /// the best match already found. Zero when
+    /// [`EngineConfig::match_index`](crate::engine::EngineConfig::match_index)
+    /// is off. Deterministic: the indexed scan's pruning decisions do not
+    /// depend on the thread count.
+    pub candidates_pruned: u64,
+    /// Wall-clock nanoseconds inside the correlation match scan (the
+    /// candidate search over the basis store, excluding probe evaluation
+    /// and remapping) — the number the indexed-vs-exhaustive comparison
+    /// reads.
+    pub match_scan_nanos: u64,
     /// Evaluations served by blocking on another session's in-flight
     /// simulation of the same point (thundering-herd dedup).
     pub inflight_waits: u64,
@@ -91,6 +108,9 @@ impl EngineMetrics {
         self.probe_evaluations += other.probe_evaluations;
         self.vector_walks += other.vector_walks;
         self.probe_eval_nanos += other.probe_eval_nanos;
+        self.candidates_scanned += other.candidates_scanned;
+        self.candidates_pruned += other.candidates_pruned;
+        self.match_scan_nanos += other.match_scan_nanos;
         self.inflight_waits += other.inflight_waits;
         self.batch_probes += other.batch_probes;
         self.probe_nanos += other.probe_nanos;
@@ -109,6 +129,9 @@ impl EngineMetrics {
             probe_evaluations: self.probe_evaluations - earlier.probe_evaluations,
             vector_walks: self.vector_walks - earlier.vector_walks,
             probe_eval_nanos: self.probe_eval_nanos - earlier.probe_eval_nanos,
+            candidates_scanned: self.candidates_scanned - earlier.candidates_scanned,
+            candidates_pruned: self.candidates_pruned - earlier.candidates_pruned,
+            match_scan_nanos: self.match_scan_nanos - earlier.match_scan_nanos,
             inflight_waits: self.inflight_waits - earlier.inflight_waits,
             batch_probes: self.batch_probes - earlier.batch_probes,
             probe_nanos: self.probe_nanos - earlier.probe_nanos,
@@ -126,7 +149,8 @@ impl fmt::Display for EngineMetrics {
         write!(
             f,
             "points: {} simulated / {} mapped / {} cached ({}% reused); \
-             worlds: {}; probes: {} ({} walks); waits: {}; sim {:?}; fp {:?}",
+             worlds: {}; probes: {} ({} walks); match: {} scanned / {} pruned; \
+             waits: {}; sim {:?}; fp {:?}",
             self.points_simulated,
             self.points_mapped,
             self.points_cached,
@@ -134,6 +158,8 @@ impl fmt::Display for EngineMetrics {
             self.worlds_simulated,
             self.probe_evaluations,
             self.vector_walks,
+            self.candidates_scanned,
+            self.candidates_pruned,
             self.inflight_waits,
             self.simulation_time,
             self.fingerprint_time,
@@ -193,6 +219,9 @@ mod tests {
             batch_probes: 10,
             vector_walks: 7,
             probe_eval_nanos: 2_000,
+            candidates_scanned: 40,
+            candidates_pruned: 60,
+            match_scan_nanos: 800,
             probe_nanos: 1_000,
             sim_nanos: 5_000,
             ..EngineMetrics::default()
@@ -203,6 +232,9 @@ mod tests {
             batch_probes: 5,
             vector_walks: 3,
             probe_eval_nanos: 1_000,
+            candidates_scanned: 4,
+            candidates_pruned: 6,
+            match_scan_nanos: 200,
             probe_nanos: 500,
             sim_nanos: 500,
             ..EngineMetrics::default()
@@ -211,11 +243,17 @@ mod tests {
         assert_eq!(b.batch_probes, 15);
         assert_eq!(b.vector_walks, 10);
         assert_eq!(b.probe_eval_nanos, 3_000);
+        assert_eq!(b.candidates_scanned, 44);
+        assert_eq!(b.candidates_pruned, 66);
+        assert_eq!(b.match_scan_nanos, 1_000);
         let diff = b.since(&a);
         assert_eq!(diff.inflight_waits, 1);
         assert_eq!(diff.batch_probes, 5);
         assert_eq!(diff.vector_walks, 3);
         assert_eq!(diff.probe_eval_nanos, 1_000);
+        assert_eq!(diff.candidates_scanned, 4);
+        assert_eq!(diff.candidates_pruned, 6);
+        assert_eq!(diff.match_scan_nanos, 200);
         assert_eq!(diff.probe_nanos, 500);
         assert_eq!(diff.sim_nanos, 500);
     }

@@ -27,6 +27,8 @@
 //!   sample sets and week-series,
 //! * [`basis`] — the Storage Manager's basis-distribution store: previously
 //!   computed outputs indexed by fingerprint for reuse,
+//! * [`index`] — fingerprint summary statistics and the sound match-error
+//!   lower bounds a branch-and-bound candidate scan prunes with,
 //! * [`markov`] — detection of strongly-correlated successive steps in
 //!   Markovian simulations and the region estimators that let the engine
 //!   skip chain segments.
@@ -34,11 +36,13 @@
 pub mod basis;
 pub mod correlate;
 pub mod fingerprint;
+pub mod index;
 pub mod mapping;
 pub mod markov;
 
 pub use basis::{BasisMatch, BasisStore};
 pub use correlate::{fit_affine, pearson, AffineFit, CorrelationDetector};
 pub use fingerprint::{Fingerprint, FingerprintConfig};
+pub use index::{FingerprintSummary, MatchBound};
 pub use mapping::Mapping;
 pub use markov::{analyze_chain, ChainRegion, RegionEstimator};

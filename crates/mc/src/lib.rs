@@ -34,6 +34,6 @@ pub use instance::ParamPoint;
 pub use materialize::{summary_table, worlds_table};
 pub use series::{Series, SeriesPoint};
 pub use store::{
-    BasisHit, ColumnSamples, InflightGuard, SharedBasisStore, StoreStatsSnapshot, TryClaim,
-    WaitHandle,
+    BasisHit, ColumnSamples, InflightGuard, MatchScanStats, SharedBasisStore, StoreStatsSnapshot,
+    TryClaim, WaitHandle,
 };

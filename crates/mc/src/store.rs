@@ -15,6 +15,21 @@
 //! [`SharedBasisStore::find_correlated_batch`] probes many fingerprint sets
 //! against the candidate sources in one source-parallel scan.
 //!
+//! The match scan carries a **summary index**: every published matchable
+//! record stores per-column [`FingerprintSummary`] moments
+//! (`prophet_fingerprint::index`), and the scan walks candidates in
+//! insertion-stamp order in fixed-size waves, pruning every candidate whose
+//! summary bound proves it cannot beat the best match found in earlier
+//! waves (or cannot match at all) before paying for the entry-by-entry
+//! [`CorrelationDetector::detect_all`] comparison. Because the bound is a
+//! true lower bound and ties resolve to the earliest stamp, the chosen
+//! source is identical to the exhaustive scan's — and because pruning
+//! decisions consult only completed waves (a constant wave width,
+//! independent of `threads`), the scanned/pruned accounting is identical at
+//! every thread count. The index is maintained under publish, replace,
+//! eviction and clear; `find_correlated_batch_scan(…, use_index: false)`
+//! keeps the exhaustive scan available for differential testing.
+//!
 //! This is the engine-level sibling of
 //! [`prophet_fingerprint::BasisStore`]: that store is generic and keyed by
 //! fingerprint alone; this one is keyed by [`ParamPoint`] and stores the
@@ -26,6 +41,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
+use prophet_fingerprint::index::{bound_all, summarize, FingerprintSummary, MatchBound};
 use prophet_fingerprint::{CorrelationDetector, Fingerprint, Mapping};
 
 use crate::instance::ParamPoint;
@@ -48,6 +64,11 @@ pub struct BasisHit {
 
 struct Record {
     fingerprints: Arc<HashMap<String, Fingerprint>>,
+    /// Per-column summary statistics of `fingerprints`, precomputed at
+    /// publish time so the match scan can bound this record's error
+    /// against any probe without touching the fingerprints themselves.
+    /// Empty for unmatchable records (they are never candidates).
+    summaries: Arc<HashMap<String, FingerprintSummary>>,
     /// Samples for *all* output columns (stochastic and derived).
     samples: Arc<ColumnSamples>,
     worlds: usize,
@@ -64,6 +85,11 @@ struct Record {
 #[derive(Default)]
 struct Inner {
     entries: HashMap<ParamPoint, Record>,
+    /// Matchable entries in insertion-stamp order: the candidate list the
+    /// match scan walks. Maintained under insert/replace/evict/clear so no
+    /// scan ever has to snapshot-and-sort the entry table — and so the
+    /// index can never serve an evicted or cleared candidate.
+    order: Vec<ParamPoint>,
     next_stamp: u64,
 }
 
@@ -293,6 +319,212 @@ struct StoreStats {
 /// per-column mappings, total error)`.
 type PartialBest = Vec<Option<(usize, HashMap<String, Mapping>, f64)>>;
 
+/// Work accounting of one match scan
+/// ([`SharedBasisStore::find_correlated_batch_scan`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchScanStats {
+    /// (candidate, probe) pairs that ran the full entry-by-entry
+    /// [`CorrelationDetector::detect_all`] comparison.
+    pub candidates_scanned: u64,
+    /// (candidate, probe) pairs the summary index skipped: the bound
+    /// proved they could not match at all, or could not beat the best
+    /// match already found.
+    pub candidates_pruned: u64,
+}
+
+/// Wave width of the indexed scan: candidates are bounded and compared in
+/// stamp-ordered blocks of this many, and pruning decisions for a wave
+/// consult only the best matches of *completed* waves. The width is a
+/// constant — never derived from `threads` — so which pairs get pruned is
+/// a pure function of the store contents and the probes, making the
+/// scanned/pruned accounting identical at every thread count (`threads`
+/// only spreads a wave's surviving comparisons across workers).
+const MATCH_WAVE: usize = 32;
+
+/// Exhaustive reference scan (the pre-index behaviour): candidates
+/// partition across up to `threads` workers, every (candidate, probe)
+/// pair is compared, and partial bests merge by `(error, insertion
+/// order)`. A zero-error hit is exact — nothing later can beat it, so
+/// each worker short-circuits its slice once every probe is exact.
+fn scan_exhaustive(
+    candidates: &[(&ParamPoint, &Record)],
+    probes: &[HashMap<String, Fingerprint>],
+    columns: &[String],
+    detector: &CorrelationDetector,
+    threads: usize,
+    stats: &mut MatchScanStats,
+) -> PartialBest {
+    let scan = |slice: &[(&ParamPoint, &Record)], base: usize| {
+        let mut scanned = 0u64;
+        let mut best: PartialBest = vec![None; probes.len()];
+        for (ci, (_, record)) in slice.iter().enumerate() {
+            let mut all_exact = true;
+            for (pi, probe) in probes.iter().enumerate() {
+                if matches!(&best[pi], Some((_, _, err)) if *err == 0.0) {
+                    continue;
+                }
+                all_exact = false;
+                scanned += 1;
+                if let Some((mappings, err)) =
+                    detector.detect_all(&record.fingerprints, probe, columns)
+                {
+                    let better = match &best[pi] {
+                        None => true,
+                        Some((_, _, best_err)) => err < *best_err,
+                    };
+                    if better {
+                        best[pi] = Some((base + ci, mappings, err));
+                    }
+                }
+            }
+            if all_exact {
+                break;
+            }
+        }
+        (best, scanned)
+    };
+
+    let workers = threads.max(1).min(candidates.len().max(1));
+    let partials: Vec<(PartialBest, u64)> = if workers <= 1 {
+        vec![scan(candidates, 0)]
+    } else {
+        let chunk = candidates.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk)
+                .enumerate()
+                .map(|(i, slice)| scope.spawn(move || scan(slice, i * chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("probe worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut merged: PartialBest = vec![None; probes.len()];
+    for (partial, scanned) in partials {
+        stats.candidates_scanned += scanned;
+        for (pi, slot) in partial.into_iter().enumerate() {
+            if let Some((ci, mappings, err)) = slot {
+                let better = match &merged[pi] {
+                    None => true,
+                    // Lexicographic (error, insertion order): ties resolve
+                    // to the earliest-inserted source no matter how
+                    // candidates were partitioned.
+                    Some((best_ci, _, best_err)) => {
+                        err < *best_err || (err == *best_err && ci < *best_ci)
+                    }
+                };
+                if better {
+                    merged[pi] = Some((ci, mappings, err));
+                }
+            }
+        }
+    }
+    merged
+}
+
+/// Branch-and-bound scan over the summary index. Soundness (the chosen
+/// source is bit-identical to [`scan_exhaustive`]'s) rests on two facts:
+/// the summary bound never exceeds the error `detect_all` would report
+/// (`prophet_fingerprint::index` docs carry the proof), and candidates are
+/// walked in stamp order, so any incumbent best predates the candidates
+/// being pruned against it — a candidate whose error cannot go *below*
+/// the incumbent's loses even on an exact tie, because ties resolve to
+/// the earliest stamp.
+fn scan_indexed(
+    candidates: &[(&ParamPoint, &Record)],
+    probes: &[HashMap<String, Fingerprint>],
+    columns: &[String],
+    detector: &CorrelationDetector,
+    threads: usize,
+    stats: &mut MatchScanStats,
+) -> PartialBest {
+    let probe_summaries: Vec<HashMap<String, FingerprintSummary>> =
+        probes.iter().map(summarize).collect();
+    let mut best: PartialBest = vec![None; probes.len()];
+    for (wave_idx, wave) in candidates.chunks(MATCH_WAVE).enumerate() {
+        if best
+            .iter()
+            .all(|b| matches!(b, Some((_, _, err)) if *err == 0.0))
+        {
+            break; // every probe already has an exact match
+        }
+        let base = wave_idx * MATCH_WAVE;
+        let mut jobs: Vec<(usize, usize)> = Vec::new();
+        for (offset, (_, record)) in wave.iter().enumerate() {
+            let ci = base + offset;
+            for (pi, probe_summary) in probe_summaries.iter().enumerate() {
+                // A zero-error incumbent prunes every later candidate no
+                // matter what its bound comes out to (Infeasible prunes,
+                // and any Feasible bound is ≥ 0 = the incumbent's error),
+                // so skip the bound computation outright — the accounting
+                // is identical.
+                if matches!(&best[pi], Some((_, _, err)) if *err == 0.0) {
+                    stats.candidates_pruned += 1;
+                    continue;
+                }
+                match bound_all(&record.summaries, probe_summary, columns, detector) {
+                    MatchBound::Infeasible => stats.candidates_pruned += 1,
+                    MatchBound::Feasible(bound) => match &best[pi] {
+                        Some((_, _, incumbent)) if bound >= *incumbent => {
+                            stats.candidates_pruned += 1;
+                        }
+                        _ => jobs.push((ci, pi)),
+                    },
+                }
+            }
+        }
+        stats.candidates_scanned += jobs.len() as u64;
+        // A wave's surviving comparisons are independent: fan out, then
+        // merge sequentially in stamp order (strictly-better replacement
+        // keeps the earliest stamp on ties, as the exhaustive scan does).
+        let detected = parallel_chunks(&jobs, threads, |&(ci, pi)| {
+            detector.detect_all(&candidates[ci].1.fingerprints, &probes[pi], columns)
+        });
+        for (&(ci, pi), result) in jobs.iter().zip(detected) {
+            if let Some((mappings, err)) = result {
+                let better = match &best[pi] {
+                    None => true,
+                    Some((_, _, best_err)) => err < *best_err,
+                };
+                if better {
+                    best[pi] = Some((ci, mappings, err));
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Apply `f` to every item, fanning out across up to `threads` scoped
+/// workers (contiguous chunks, results in input order). Single-item or
+/// single-thread calls run inline with no spawn overhead.
+fn parallel_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| scope.spawn(move || slice.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("match worker panicked"))
+            .collect()
+    })
+}
+
 impl SharedBasisStore {
     /// Create an empty store holding at most `capacity` entries.
     ///
@@ -346,7 +578,11 @@ impl SharedBasisStore {
         for (_, slot) in slots.drain() {
             slot.cancel();
         }
-        self.write().entries.clear();
+        {
+            let mut inner = self.write();
+            inner.entries.clear();
+            inner.order.clear();
+        }
         drop(slots);
         self.stats.hits.store(0, Ordering::Relaxed);
         self.stats.misses.store(0, Ordering::Relaxed);
@@ -440,7 +676,10 @@ impl SharedBasisStore {
     }
 
     /// Insert (or replace) the entry for `point`. `matchable` marks fully
-    /// simulated entries that may serve as mapping sources.
+    /// simulated entries that may serve as mapping sources; their
+    /// fingerprint summaries are computed here, so the match index is
+    /// maintained atomically with the entry table (publish, replace,
+    /// eviction and clear all hold the same write lock).
     pub fn insert(
         &self,
         point: ParamPoint,
@@ -449,6 +688,12 @@ impl SharedBasisStore {
         worlds: usize,
         matchable: bool,
     ) {
+        // Summarize outside the write lock — pure function of the inputs.
+        let summaries = if matchable {
+            Arc::new(summarize(&fingerprints))
+        } else {
+            Arc::new(HashMap::new())
+        };
         let mut inner = self.write();
         inner.next_stamp += 1;
         let stamp = inner.next_stamp;
@@ -461,24 +706,38 @@ impl SharedBasisStore {
                 .or_else(|| inner.entries.iter().min_by_key(|(_, e)| e.stamp))
                 .map(|(k, _)| k.clone());
             if let Some(victim) = victim {
-                inner.entries.remove(&victim);
+                if let Some(evicted) = inner.entries.remove(&victim) {
+                    if evicted.matchable {
+                        inner.order.retain(|p| *p != victim);
+                    }
+                }
             }
         }
-        inner.entries.insert(
-            point,
+        let replaced = inner.entries.insert(
+            point.clone(),
             Record {
                 fingerprints: Arc::new(fingerprints),
+                summaries,
                 samples,
                 worlds,
                 stamp,
                 matchable,
             },
         );
+        if replaced.is_some_and(|r| r.matchable) {
+            inner.order.retain(|p| *p != point);
+        }
+        if matchable {
+            inner.order.push(point);
+        }
     }
 
     /// Search the store for a matchable entry where *every* column in
     /// `columns` has a detectable mapping onto the probe fingerprints.
-    /// Returns the best (lowest total error) candidate.
+    /// Returns the best (lowest total error) candidate. This is a batch of
+    /// one through the summary-indexed scan — the maintained candidate
+    /// list and bounds mean single-probe online adjustments pay no
+    /// snapshot-and-sort and prune exactly like batched sweeps do.
     pub fn find_correlated(
         &self,
         probes: &HashMap<String, Fingerprint>,
@@ -490,18 +749,9 @@ impl SharedBasisStore {
             .flatten()
     }
 
-    /// Batched, source-parallel correlated lookup: probe many fingerprint
-    /// sets against the matchable entries in one scan. Result `i` is the
-    /// best hit for `probes[i]`.
-    ///
-    /// The scan runs under the store's read lock (like the old
-    /// single-probe scan did), borrowing candidate records in
-    /// insertion-stamp order — nothing is cloned except the winning hits.
-    /// Candidates partition across up to `threads` scoped workers
-    /// ("source-parallel": each worker owns a slice of candidate sources
-    /// and scores every probe against it); partial bests merge by
-    /// `(total error, insertion order)`, so the chosen source is
-    /// deterministic and independent of the thread count.
+    /// Batched correlated lookup through the summary index; see
+    /// [`SharedBasisStore::find_correlated_batch_scan`], which this
+    /// forwards to with `use_index: true`, discarding the scan accounting.
     pub fn find_correlated_batch(
         &self,
         probes: &[HashMap<String, Fingerprint>],
@@ -509,105 +759,74 @@ impl SharedBasisStore {
         detector: &CorrelationDetector,
         threads: usize,
     ) -> Vec<Option<BasisHit>> {
+        self.find_correlated_batch_scan(probes, columns, detector, threads, true)
+            .0
+    }
+
+    /// Batched correlated lookup: probe many fingerprint sets against the
+    /// matchable entries in one scan. Result `i` is the best hit for
+    /// `probes[i]`.
+    ///
+    /// The scan runs under the store's read lock, walking the maintained
+    /// stamp-ordered candidate list — nothing is snapshotted, sorted, or
+    /// cloned except the winning hits. With `use_index` the scan is
+    /// branch-and-bound over summary bounds (see the module docs): only
+    /// candidates whose bound can still beat the best match of completed
+    /// waves run [`CorrelationDetector::detect_all`], and the surviving
+    /// comparisons of each wave fan out across up to `threads` workers.
+    /// Without it, candidates partition across workers and every pair is
+    /// compared (the exhaustive reference scan). Both paths pick the best
+    /// candidate by `(total error, insertion order)`, so the chosen source
+    /// is identical between them and independent of the thread count; with
+    /// the index, the returned [`MatchScanStats`] is thread-independent
+    /// too.
+    pub fn find_correlated_batch_scan(
+        &self,
+        probes: &[HashMap<String, Fingerprint>],
+        columns: &[String],
+        detector: &CorrelationDetector,
+        threads: usize,
+        use_index: bool,
+    ) -> (Vec<Option<BasisHit>>, MatchScanStats) {
         if probes.is_empty() {
-            return Vec::new();
+            return (Vec::new(), MatchScanStats::default());
         }
         let inner = self.read();
-        let mut candidates: Vec<(&ParamPoint, &Record)> = inner
-            .entries
+        let candidates: Vec<(&ParamPoint, &Record)> = inner
+            .order
             .iter()
-            .filter(|(_, e)| e.matchable && !e.fingerprints.is_empty())
+            .filter_map(|p| inner.entries.get(p).map(|r| (p, r)))
+            .filter(|(_, r)| !r.fingerprints.is_empty())
             .collect();
-        candidates.sort_unstable_by_key(|(_, e)| e.stamp);
 
-        // Best per probe within one candidate slice: (candidate index,
-        // mappings, total error). A zero-error hit is exact — nothing in a
-        // later candidate can beat it, so the scan short-circuits.
-        let scan = |slice: &[(&ParamPoint, &Record)], base: usize| {
-            let mut best: PartialBest = vec![None; probes.len()];
-            for (ci, (_, record)) in slice.iter().enumerate() {
-                let mut all_exact = true;
-                for (pi, probe) in probes.iter().enumerate() {
-                    if matches!(&best[pi], Some((_, _, err)) if *err == 0.0) {
-                        continue;
-                    }
-                    all_exact = false;
-                    if let Some((mappings, err)) =
-                        detector.detect_all(&record.fingerprints, probe, columns)
-                    {
-                        let better = match &best[pi] {
-                            None => true,
-                            Some((_, _, best_err)) => err < *best_err,
-                        };
-                        if better {
-                            best[pi] = Some((base + ci, mappings, err));
-                        }
-                    }
-                }
-                if all_exact {
-                    break;
-                }
-            }
-            best
-        };
-
-        let workers = threads.max(1).min(candidates.len().max(1));
-        let partials: Vec<PartialBest> = if workers <= 1 {
-            vec![scan(&candidates, 0)]
+        let mut stats = MatchScanStats::default();
+        let best = if use_index {
+            scan_indexed(&candidates, probes, columns, detector, threads, &mut stats)
         } else {
-            let chunk = candidates.len().div_ceil(workers);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = candidates
-                    .chunks(chunk)
-                    .enumerate()
-                    .map(|(i, slice)| scope.spawn(move || scan(slice, i * chunk)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("probe worker panicked"))
-                    .collect()
-            })
+            scan_exhaustive(&candidates, probes, columns, detector, threads, &mut stats)
         };
 
-        let results: Vec<Option<BasisHit>> = (0..probes.len())
-            .map(|pi| {
-                let mut best: Option<(usize, HashMap<String, Mapping>, f64)> = None;
-                for partial in &partials {
-                    if let Some((ci, mappings, err)) = &partial[pi] {
-                        let better = match &best {
-                            None => true,
-                            // Lexicographic (error, insertion order): ties
-                            // resolve to the earliest-inserted source no
-                            // matter how candidates were partitioned.
-                            Some((best_ci, _, best_err)) => {
-                                *err < *best_err || (*err == *best_err && ci < best_ci)
-                            }
-                        };
-                        if better {
-                            best = Some((*ci, mappings.clone(), *err));
-                        }
-                    }
+        let results: Vec<Option<BasisHit>> = best
+            .into_iter()
+            .map(|slot| match slot {
+                Some((ci, mappings, _)) => {
+                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    let (point, record) = candidates[ci];
+                    Some(BasisHit {
+                        source: point.clone(),
+                        mappings,
+                        samples: Arc::clone(&record.samples),
+                        worlds: record.worlds,
+                    })
                 }
-                match best {
-                    Some((ci, mappings, _)) => {
-                        self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                        let (point, record) = candidates[ci];
-                        Some(BasisHit {
-                            source: point.clone(),
-                            mappings,
-                            samples: Arc::clone(&record.samples),
-                            worlds: record.worlds,
-                        })
-                    }
-                    None => {
-                        self.stats.misses.fetch_add(1, Ordering::Relaxed);
-                        None
-                    }
+                None => {
+                    self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                    None
                 }
             })
             .collect();
         drop(inner);
-        results
+        (results, stats)
     }
 
     fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {

@@ -130,6 +130,87 @@ fn engine_thread_count_does_not_change_results() {
 }
 
 #[test]
+fn match_index_pruning_is_thread_count_independent() {
+    // The indexed match scan prunes in fixed-width waves against completed
+    // waves only, so both the chosen sources *and* the scanned/pruned
+    // accounting must be identical at every thread count.
+    let eval = |threads: usize| {
+        let engine = Engine::new(
+            &Scenario::figure2().unwrap(),
+            demo_registry(),
+            EngineConfig {
+                worlds_per_point: 32,
+                threads,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        // A batch per week: mappable neighbours (pre-release feature
+        // moves, purchase shifts) plus unrelated points, so the scans mix
+        // hits, ties, and misses.
+        let mut outcomes = Vec::new();
+        for week in [5i64, 10, 15] {
+            let batch: Vec<ParamPoint> = vec![
+                ParamPoint::from_pairs([
+                    ("current", week),
+                    ("purchase1", 16),
+                    ("purchase2", 36),
+                    ("feature", 12),
+                ]),
+                ParamPoint::from_pairs([
+                    ("current", week),
+                    ("purchase1", 16),
+                    ("purchase2", 36),
+                    ("feature", 36),
+                ]),
+                ParamPoint::from_pairs([
+                    ("current", week),
+                    ("purchase1", 4),
+                    ("purchase2", 36),
+                    ("feature", 12),
+                ]),
+                ParamPoint::from_pairs([
+                    ("current", 52 - week),
+                    ("purchase1", 0),
+                    ("purchase2", 4),
+                    ("feature", 44),
+                ]),
+            ];
+            for (samples, outcome) in engine.evaluate_batch(&batch).unwrap() {
+                outcomes.push((
+                    samples.point().clone(),
+                    outcome,
+                    samples.samples("demand").map(<[f64]>::to_vec),
+                    samples.samples("capacity").map(<[f64]>::to_vec),
+                ));
+            }
+        }
+        (outcomes, engine.metrics())
+    };
+
+    let (outcomes_1, metrics_1) = eval(1);
+    let (outcomes_8, metrics_8) = eval(8);
+    assert_eq!(
+        outcomes_1, outcomes_8,
+        "chosen sources and samples must not depend on the thread count"
+    );
+    assert!(
+        metrics_1.candidates_pruned > 0,
+        "the sweep must exercise the index"
+    );
+    assert_eq!(
+        metrics_1.candidates_pruned, metrics_8.candidates_pruned,
+        "pruned accounting must not depend on the thread count"
+    );
+    assert_eq!(
+        metrics_1.candidates_scanned, metrics_8.candidates_scanned,
+        "scanned accounting must not depend on the thread count"
+    );
+    assert_eq!(metrics_1.points_mapped, metrics_8.points_mapped);
+    assert_eq!(metrics_1.worlds_simulated, metrics_8.worlds_simulated);
+}
+
+#[test]
 fn online_sessions_replay_identically() {
     let run = || {
         let mut s = OnlineSession::open(

@@ -8,10 +8,12 @@
 //! * batch evaluation is bit-identical to sequential evaluation, and
 //! * the offline sweep does identical work at `threads = 1` and `= 4`.
 
+use std::collections::HashMap;
 use std::sync::{Arc, Barrier};
 
 use fuzzy_prophet::prelude::*;
-use prophet_mc::TryClaim;
+use prophet_fingerprint::{CorrelationDetector, Fingerprint};
+use prophet_mc::{SharedBasisStore, TryClaim};
 use prophet_models::demo_registry;
 
 fn figure2_service(worlds: usize, threads: usize) -> Prophet {
@@ -335,6 +337,155 @@ FOR MAX @purchase1, MAX @purchase2";
         best_single.constraint_values,
         best_parallel.constraint_values
     );
+}
+
+/// Index-enabled eviction churn: once a candidate is evicted from the
+/// bounded entry table, the summary index must stop serving it — the next
+/// scan falls back to the remaining sources (or misses), identically with
+/// and without the index.
+#[test]
+fn index_never_serves_an_evicted_candidate() {
+    let detector = CorrelationDetector::default();
+    let columns = ["y".to_owned()];
+    let fp = |values: &[f64]| {
+        HashMap::from([("y".to_owned(), Fingerprint::from_values(values.to_vec()))])
+    };
+    let samples = |v: f64| Arc::new(HashMap::from([("y".to_owned(), vec![v])]));
+    let base: Vec<f64> = (0..16).map(|i| ((i * 7 % 13) as f64) - 5.0).collect();
+    let shifted: Vec<f64> = base.iter().map(|v| v + 2.0).collect();
+    let unrelated: Vec<f64> = (0..16).map(|i| (i * i * 31 % 101) as f64).collect();
+
+    let store = SharedBasisStore::new(2);
+    let victim = ParamPoint::from_pairs([("c", 0i64)]);
+    store.insert(victim.clone(), fp(&base), samples(0.0), 10, true);
+    let probes = vec![fp(&base)];
+    let (hits, _) = store.find_correlated_batch_scan(&probes, &columns, &detector, 1, true);
+    assert_eq!(
+        hits[0].as_ref().map(|h| &h.source),
+        Some(&victim),
+        "warm index serves the candidate"
+    );
+
+    // Churn two newer matchable entries through the 2-entry store: the
+    // oldest (our exact-match candidate) is evicted.
+    store.insert(
+        ParamPoint::from_pairs([("c", 1i64)]),
+        fp(&shifted),
+        samples(1.0),
+        10,
+        true,
+    );
+    store.insert(
+        ParamPoint::from_pairs([("c", 2i64)]),
+        fp(&unrelated),
+        samples(2.0),
+        10,
+        true,
+    );
+    assert!(store.get_exact(&victim, 1).is_none(), "victim evicted");
+
+    for use_index in [true, false] {
+        let (hits, _) =
+            store.find_correlated_batch_scan(&probes, &columns, &detector, 1, use_index);
+        let hit = hits[0].as_ref().expect("the offset relative still matches");
+        assert_ne!(
+            hit.source, victim,
+            "use_index={use_index}: evicted candidate must not be served"
+        );
+        assert_eq!(hit.source, ParamPoint::from_pairs([("c", 1i64)]));
+    }
+}
+
+/// Index-enabled clear race: a completion that lost against `clear()` is
+/// discarded — the summary index must not retain the cleared candidate
+/// either, so post-clear scans miss until something real is published.
+#[test]
+fn index_never_serves_a_cleared_candidate() {
+    let detector = CorrelationDetector::default();
+    let columns = ["y".to_owned()];
+    let base: Vec<f64> = (0..16).map(|i| (i as f64).sin() * 10.0).collect();
+    let fingerprints = HashMap::from([("y".to_owned(), Fingerprint::from_values(base.clone()))]);
+    let samples = Arc::new(HashMap::from([("y".to_owned(), vec![1.0])]));
+    let probes = vec![fingerprints.clone()];
+
+    let store = SharedBasisStore::new(8);
+    let p = ParamPoint::from_pairs([("c", 0i64)]);
+    let TryClaim::Owner(guard) = store.try_claim(&p, 10) else {
+        panic!("cold point must be claimable");
+    };
+    store.clear();
+    assert!(
+        !guard.complete(fingerprints.clone(), Arc::clone(&samples), 10, true),
+        "completion after clear reports the discard"
+    );
+    for use_index in [true, false] {
+        let (hits, _) =
+            store.find_correlated_batch_scan(&probes, &columns, &detector, 1, use_index);
+        assert!(
+            hits[0].is_none(),
+            "use_index={use_index}: cleared candidate must not be served"
+        );
+    }
+
+    // A fresh publish is served again, through the rebuilt index.
+    let TryClaim::Owner(fresh) = store.try_claim(&p, 10) else {
+        panic!("expected fresh owner after clear");
+    };
+    assert!(fresh.complete(fingerprints, samples, 10, true));
+    let (hits, _) = store.find_correlated_batch_scan(&probes, &columns, &detector, 1, true);
+    assert_eq!(hits[0].as_ref().map(|h| &h.source), Some(&p));
+}
+
+/// Engine-level churn through a tiny store: a point sequence that mixes
+/// mappings, misses, and evictions must behave identically with the index
+/// on and off — the exhaustive scan re-reads the live entry table every
+/// time, so any stale index entry would surface as a divergent outcome.
+#[test]
+fn engine_eviction_churn_is_identical_with_and_without_index() {
+    let build = |match_index: bool| {
+        Prophet::builder()
+            .scenario("figure2", Scenario::figure2().unwrap())
+            .registry(demo_registry())
+            .config(EngineConfig {
+                worlds_per_point: 16,
+                basis_capacity: 3,
+                match_index,
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap()
+            .engine("figure2")
+            .unwrap()
+    };
+    let indexed = build(true);
+    let exhaustive = build(false);
+    // Interleave a mappable family (same week, shifting purchases and
+    // feature dates) with unrelated points, overflowing the 3-entry store
+    // so sources get evicted and re-simulated mid-sequence.
+    let sweep = [
+        demo_point(10, 4, 36, 12),
+        demo_point(10, 16, 36, 12), // offset-maps
+        demo_point(10, 24, 36, 36), // maps again
+        demo_point(50, 0, 4, 44),   // unrelated: simulates
+        demo_point(40, 0, 4, 44),   // unrelated: simulates (evicts)
+        demo_point(10, 32, 36, 12), // family source may be gone by now
+        demo_point(10, 4, 36, 12),  // original point again
+        demo_point(50, 0, 4, 44),
+    ];
+    for (i, p) in sweep.iter().enumerate() {
+        let (si, oi) = indexed.evaluate(p).unwrap();
+        let (se, oe) = exhaustive.evaluate(p).unwrap();
+        assert_eq!(oi, oe, "step #{i} at {p}");
+        for col in ["demand", "capacity", "overload"] {
+            assert_eq!(si.samples(col), se.samples(col), "step #{i} column {col}");
+        }
+        assert!(indexed.basis_len() <= 3, "capacity bound holds under churn");
+    }
+    let mi = indexed.metrics();
+    let me = exhaustive.metrics();
+    assert_eq!(mi.points_simulated, me.points_simulated);
+    assert_eq!(mi.points_mapped, me.points_mapped);
+    assert_eq!(me.candidates_pruned, 0);
 }
 
 #[test]

@@ -1,0 +1,442 @@
+//! Differential suite for the fingerprint summary index: the indexed match
+//! scan is *defined* by bit-identity with the exhaustive scan, and this
+//! file is the contract's enforcement.
+//!
+//! Coverage:
+//!
+//! * every bundled scenario (Figure 2 plus the four example scenarios),
+//!   swept point-by-point and as one batch with `match_index` on and off —
+//!   outcomes, samples, and chosen mapping sources must be bit-identical;
+//! * a full offline OPTIMIZE sweep with the index on and off — identical
+//!   best plan, per-group answers, and work counters, with the indexed run
+//!   actually pruning;
+//! * a seeded property loop over randomly generated fingerprint
+//!   populations at the store layer, asserting after every insert
+//!   (1..=N candidates, including exact duplicates → ties) that the
+//!   indexed scan returns exactly the exhaustive scan's hit — the pruning
+//!   bound never discards the true best candidate.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fuzzy_prophet::prelude::*;
+use prophet_fingerprint::{CorrelationDetector, Fingerprint, Mapping};
+use prophet_mc::SharedBasisStore;
+use prophet_models::scenarios::{
+    figure2_coarse_sql, INVENTORY_POLICY, PRICING_WHATIF, SUPPORT_STAFFING,
+};
+use prophet_models::{demo_registry, full_registry};
+use prophet_vg::rng::{Rng64, Xoshiro256StarStar};
+
+enum VgRegistryKind {
+    Demo,
+    Full,
+}
+
+impl VgRegistryKind {
+    fn build(&self) -> prophet_vg::VgRegistry {
+        match self {
+            VgRegistryKind::Demo => demo_registry(),
+            VgRegistryKind::Full => full_registry(),
+        }
+    }
+}
+
+/// The five bundled scenarios with a registry factory and probe points
+/// spread across each parameter space (several correlated neighbours per
+/// scenario, so the match scan has real decisions to make).
+fn bundled_scenarios() -> Vec<(&'static str, Scenario, VgRegistryKind, Vec<ParamPoint>)> {
+    vec![
+        (
+            "figure2",
+            Scenario::figure2().unwrap(),
+            VgRegistryKind::Demo,
+            vec![
+                ParamPoint::from_pairs([
+                    ("current", 5i64),
+                    ("purchase1", 16),
+                    ("purchase2", 36),
+                    ("feature", 12),
+                ]),
+                ParamPoint::from_pairs([
+                    ("current", 5i64),
+                    ("purchase1", 16),
+                    ("purchase2", 36),
+                    ("feature", 36),
+                ]),
+                ParamPoint::from_pairs([
+                    ("current", 10i64),
+                    ("purchase1", 4),
+                    ("purchase2", 36),
+                    ("feature", 12),
+                ]),
+                ParamPoint::from_pairs([
+                    ("current", 10i64),
+                    ("purchase1", 16),
+                    ("purchase2", 36),
+                    ("feature", 12),
+                ]),
+                ParamPoint::from_pairs([
+                    ("current", 50i64),
+                    ("purchase1", 0),
+                    ("purchase2", 4),
+                    ("feature", 44),
+                ]),
+            ],
+        ),
+        (
+            "figure2-coarse",
+            Scenario::parse(&figure2_coarse_sql(0.05)).unwrap(),
+            VgRegistryKind::Demo,
+            vec![
+                ParamPoint::from_pairs([
+                    ("current", 10i64),
+                    ("purchase1", 8),
+                    ("purchase2", 24),
+                    ("feature", 12),
+                ]),
+                ParamPoint::from_pairs([
+                    ("current", 10i64),
+                    ("purchase1", 8),
+                    ("purchase2", 24),
+                    ("feature", 36),
+                ]),
+                ParamPoint::from_pairs([
+                    ("current", 10i64),
+                    ("purchase1", 24),
+                    ("purchase2", 40),
+                    ("feature", 12),
+                ]),
+            ],
+        ),
+        (
+            "inventory",
+            Scenario::parse(INVENTORY_POLICY).unwrap(),
+            VgRegistryKind::Full,
+            vec![
+                ParamPoint::from_pairs([
+                    ("week", 12i64),
+                    ("reorder_point", 200),
+                    ("reorder_qty", 300),
+                ]),
+                ParamPoint::from_pairs([
+                    ("week", 12i64),
+                    ("reorder_point", 240),
+                    ("reorder_qty", 300),
+                ]),
+                ParamPoint::from_pairs([
+                    ("week", 20i64),
+                    ("reorder_point", 200),
+                    ("reorder_qty", 360),
+                ]),
+            ],
+        ),
+        (
+            "pricing",
+            Scenario::parse(PRICING_WHATIF).unwrap(),
+            VgRegistryKind::Full,
+            vec![
+                ParamPoint::from_pairs([("week", 24i64), ("price", 20)]),
+                ParamPoint::from_pairs([("week", 24i64), ("price", 22)]),
+                ParamPoint::from_pairs([("week", 30i64), ("price", 20)]),
+            ],
+        ),
+        (
+            "staffing",
+            Scenario::parse(SUPPORT_STAFFING).unwrap(),
+            VgRegistryKind::Full,
+            vec![
+                ParamPoint::from_pairs([("week", 24i64), ("agents", 10)]),
+                ParamPoint::from_pairs([("week", 24i64), ("agents", 11)]),
+                ParamPoint::from_pairs([("week", 30i64), ("agents", 10)]),
+            ],
+        ),
+    ]
+}
+
+fn engine_pair(scenario: &Scenario, kind: &VgRegistryKind, threads: usize) -> (Engine, Engine) {
+    let config = EngineConfig {
+        worlds_per_point: 40,
+        threads,
+        ..EngineConfig::default()
+    };
+    let indexed = Engine::new(scenario, kind.build(), config).unwrap();
+    let exhaustive = Engine::new(
+        scenario,
+        kind.build(),
+        EngineConfig {
+            match_index: false,
+            ..config
+        },
+    )
+    .unwrap();
+    (indexed, exhaustive)
+}
+
+/// Every bundled scenario, swept point-by-point: identical outcomes
+/// (including the chosen mapping source), bit-identical samples, identical
+/// reuse counters — and the exhaustive engine never prunes.
+#[test]
+fn all_bundled_scenarios_are_bit_identical_with_and_without_index() {
+    for (name, scenario, kind, points) in bundled_scenarios() {
+        let (indexed, exhaustive) = engine_pair(&scenario, &kind, 1);
+        let columns = indexed.output_columns();
+        for point in &points {
+            let (si, oi) = indexed.evaluate(point).unwrap();
+            let (se, oe) = exhaustive.evaluate(point).unwrap();
+            assert_eq!(oi, oe, "[{name}] outcome at {point}");
+            for col in &columns {
+                assert_eq!(
+                    si.samples(col),
+                    se.samples(col),
+                    "[{name}] column `{col}` at {point}"
+                );
+            }
+        }
+        let mi = indexed.metrics();
+        let me = exhaustive.metrics();
+        assert_eq!(mi.points_mapped, me.points_mapped, "[{name}]");
+        assert_eq!(mi.points_simulated, me.points_simulated, "[{name}]");
+        assert_eq!(mi.worlds_simulated, me.worlds_simulated, "[{name}]");
+        assert_eq!(
+            me.candidates_pruned, 0,
+            "[{name}] the exhaustive scan never prunes"
+        );
+    }
+}
+
+/// The batched planner path: one batch over every point, indexed vs
+/// exhaustive, at one and four threads.
+#[test]
+fn batched_sweeps_are_bit_identical_with_and_without_index() {
+    for (name, scenario, kind, points) in bundled_scenarios() {
+        for threads in [1, 4] {
+            let (indexed, exhaustive) = engine_pair(&scenario, &kind, threads);
+            let ri = indexed.evaluate_batch(&points).unwrap();
+            let re = exhaustive.evaluate_batch(&points).unwrap();
+            assert_eq!(ri.len(), re.len());
+            for (i, ((si, oi), (se, oe))) in ri.iter().zip(&re).enumerate() {
+                assert_eq!(oi, oe, "[{name}] threads={threads} point #{i}");
+                for col in indexed.output_columns() {
+                    assert_eq!(
+                        si.samples(&col),
+                        se.samples(&col),
+                        "[{name}] threads={threads} point #{i} column {col}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A full offline OPTIMIZE sweep with the index on and off: identical best
+/// plan, answers, and work — and the indexed run actually pruned.
+#[test]
+fn offline_sweep_answers_are_identical_with_and_without_index() {
+    let scenario_src = "\
+DECLARE PARAMETER @current AS RANGE 0 TO 52 STEP BY 4;
+DECLARE PARAMETER @purchase1 AS RANGE 0 TO 48 STEP BY 16;
+DECLARE PARAMETER @purchase2 AS RANGE 0 TO 48 STEP BY 16;
+DECLARE PARAMETER @feature AS SET (12,36);
+SELECT DemandModel(@current, @feature) AS demand,
+       CapacityModel(@current, @purchase1, @purchase2) AS capacity,
+       CASE WHEN capacity < demand THEN 1 ELSE 0 END AS overload
+INTO results;
+OPTIMIZE SELECT @feature, @purchase1, @purchase2
+FROM results
+WHERE MAX(EXPECT overload) < 0.9
+GROUP BY feature, purchase1, purchase2
+FOR MAX @purchase1, MAX @purchase2";
+
+    let run = |match_index: bool| {
+        let prophet = Prophet::builder()
+            .scenario_sql("sweep", scenario_src)
+            .unwrap()
+            .registry(demo_registry())
+            .config(EngineConfig {
+                worlds_per_point: 16,
+                threads: 2,
+                match_index,
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap();
+        prophet.offline("sweep").unwrap().run().unwrap()
+    };
+
+    let indexed = run(true);
+    let exhaustive = run(false);
+    assert_eq!(indexed.answers, exhaustive.answers, "per-group answers");
+    let best_i = indexed.best.as_ref().expect("a feasible plan exists");
+    let best_e = exhaustive.best.as_ref().expect("a feasible plan exists");
+    assert_eq!(best_i.point, best_e.point, "identical sweep answer");
+    assert_eq!(best_i.constraint_values, best_e.constraint_values);
+    assert_eq!(
+        indexed.metrics.points_simulated,
+        exhaustive.metrics.points_simulated
+    );
+    assert_eq!(
+        indexed.metrics.worlds_simulated,
+        exhaustive.metrics.worlds_simulated
+    );
+    assert!(
+        indexed.metrics.candidates_pruned > 0,
+        "the sweep must exercise the index"
+    );
+    assert_eq!(exhaustive.metrics.candidates_pruned, 0);
+    assert!(
+        indexed.metrics.candidates_scanned
+            < exhaustive.metrics.candidates_scanned + exhaustive.metrics.candidates_pruned,
+        "pruning must reduce the number of full comparisons"
+    );
+}
+
+// ---------------------------------------------------------------- property
+
+fn point(i: usize) -> ParamPoint {
+    ParamPoint::from_pairs([("c".to_owned(), i as i64)])
+}
+
+fn insert_candidate(store: &SharedBasisStore, i: usize, values: Vec<f64>) {
+    store.insert(
+        point(i),
+        HashMap::from([("y".to_owned(), Fingerprint::from_values(values))]),
+        Arc::new(HashMap::from([("y".to_owned(), vec![i as f64])])),
+        10,
+        true,
+    );
+}
+
+/// Seeded property loop: random candidate populations (identity
+/// duplicates, offsets, affine transforms, noisy affines, pure noise,
+/// constants), probed after *every* insert — the indexed scan must return
+/// exactly what the exhaustive scan returns for 1..=N candidates, at one
+/// and three threads, ties included.
+#[test]
+fn pruning_bound_never_discards_the_true_best_candidate() {
+    const LEN: usize = 16;
+    const ROUNDS: usize = 10;
+    const MAX_CANDIDATES: usize = 18;
+    let detector = CorrelationDetector::default();
+    let columns = ["y".to_owned()];
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x1D_EC0DE);
+
+    for round in 0..ROUNDS {
+        let base: Vec<f64> = (0..LEN).map(|_| 10.0 * rng.next_f64() - 5.0).collect();
+        let probes: Vec<HashMap<String, Fingerprint>> = vec![
+            // the base population shape itself
+            HashMap::from([("y".to_owned(), Fingerprint::from_values(base.clone()))]),
+            // an offset relative of the base
+            HashMap::from([(
+                "y".to_owned(),
+                Fingerprint::from_values(base.iter().map(|v| v + 3.5).collect()),
+            )]),
+            // an affine relative of the base
+            HashMap::from([(
+                "y".to_owned(),
+                Fingerprint::from_values(base.iter().map(|v| -1.7 * v + 0.4).collect()),
+            )]),
+            // unrelated noise
+            HashMap::from([(
+                "y".to_owned(),
+                Fingerprint::from_values((0..LEN).map(|_| 10.0 * rng.next_f64()).collect()),
+            )]),
+        ];
+
+        let store = SharedBasisStore::new(64);
+        let mut generated: Vec<Vec<f64>> = Vec::new();
+        let n = 1 + (rng.next_u64() as usize) % MAX_CANDIDATES;
+        for i in 0..n {
+            let values: Vec<f64> = match rng.next_u64() % 7 {
+                // exact duplicate of an earlier candidate: a tie the scans
+                // must break identically (earliest stamp wins)
+                0 if !generated.is_empty() => {
+                    generated[(rng.next_u64() as usize) % generated.len()].clone()
+                }
+                1 => base.clone(),
+                2 => base.iter().map(|v| v + 4.0 * rng.next_f64()).collect(),
+                3 => {
+                    let scale = 0.5 + 2.0 * rng.next_f64();
+                    let offset = 4.0 * rng.next_f64() - 2.0;
+                    base.iter().map(|v| scale * v + offset).collect()
+                }
+                4 => {
+                    // near-affine: r² lands on either side of min_r2
+                    let noise = 0.02 + 0.4 * rng.next_f64();
+                    base.iter()
+                        .enumerate()
+                        .map(|(j, v)| 1.3 * v + if j % 2 == 0 { noise } else { -noise })
+                        .collect()
+                }
+                5 => vec![rng.next_f64(); LEN], // constant
+                _ => (0..LEN).map(|_| 10.0 * rng.next_f64() - 5.0).collect(),
+            };
+            generated.push(values.clone());
+            insert_candidate(&store, i, values);
+
+            for threads in [1usize, 3] {
+                let (hits_idx, stats_idx) =
+                    store.find_correlated_batch_scan(&probes, &columns, &detector, threads, true);
+                let (hits_exh, stats_exh) =
+                    store.find_correlated_batch_scan(&probes, &columns, &detector, threads, false);
+                assert_eq!(stats_exh.candidates_pruned, 0);
+                for (pi, (hi, he)) in hits_idx.iter().zip(&hits_exh).enumerate() {
+                    match (hi, he) {
+                        (None, None) => {}
+                        (Some(hi), Some(he)) => {
+                            assert_eq!(
+                                hi.source,
+                                he.source,
+                                "round {round} candidates {} probe {pi} threads {threads}: \
+                                 indexed scan chose a different source",
+                                i + 1
+                            );
+                            assert_eq!(hi.mappings, he.mappings, "round {round} probe {pi}");
+                            assert_eq!(hi.worlds, he.worlds);
+                        }
+                        (hi, he) => panic!(
+                            "round {round} candidates {} probe {pi} threads {threads}: \
+                             hit/miss disagreement (indexed {:?}, exhaustive {:?})",
+                            i + 1,
+                            hi.is_some(),
+                            he.is_some()
+                        ),
+                    }
+                }
+                // The indexed scan's accounting is thread-independent and
+                // covers every (candidate, probe) pair exactly once.
+                let (hits_t1, stats_t1) =
+                    store.find_correlated_batch_scan(&probes, &columns, &detector, 1, true);
+                assert_eq!(stats_idx, stats_t1, "round {round} accounting");
+                for (a, b) in hits_idx.iter().zip(&hits_t1) {
+                    assert_eq!(a.as_ref().map(|h| &h.source), b.as_ref().map(|h| &h.source));
+                }
+            }
+        }
+    }
+}
+
+/// Duplicate sources are a pure tie: both scans must pick the earliest
+/// stamp, and the indexed scan must prune the later duplicate rather than
+/// re-scoring it.
+#[test]
+fn exact_ties_resolve_to_the_earliest_stamp_under_pruning() {
+    let detector = CorrelationDetector::default();
+    let columns = ["y".to_owned()];
+    let base: Vec<f64> = (0..16).map(|i| (i * i) as f64).collect();
+    let store = SharedBasisStore::new(8);
+    insert_candidate(&store, 0, base.clone());
+    insert_candidate(&store, 1, base.clone());
+    insert_candidate(&store, 2, base.iter().map(|v| v + 1.0).collect());
+    let probes = vec![HashMap::from([(
+        "y".to_owned(),
+        Fingerprint::from_values(base),
+    )])];
+    for use_index in [true, false] {
+        let (hits, _) =
+            store.find_correlated_batch_scan(&probes, &columns, &detector, 1, use_index);
+        let hit = hits[0].as_ref().expect("identity probe hits");
+        assert_eq!(hit.source, point(0), "earliest duplicate wins");
+        assert_eq!(hit.mappings["y"], Mapping::Identity);
+    }
+}
