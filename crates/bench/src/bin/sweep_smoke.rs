@@ -15,12 +15,16 @@
 //! indexed-vs-exhaustive match scan split, with `candidates_scanned` /
 //! `candidates_pruned` / `match_scan_nanos` recording the prune rate) and
 //! one through the **scalar** execution tier (`scalar.*` fields — the
-//! scalar-vs-vector probe timing split). All three sweeps must agree on
-//! the sweep answer, which this binary asserts (and CI therefore asserts
-//! per push). `worlds_per_walk` is the observed walk amortization: logical
-//! probe evaluations per vectorized block walk (the fingerprint length
-//! when the vector tier is on — the scalar tier walks once *per seed*
-//! instead).
+//! scalar-vs-vector probe timing split). A fourth, `concurrent{…}`,
+//! section runs the same sweep twice as concurrent Low/High-priority jobs
+//! on one shared scheduler pool (two scenario slots, two stores) and
+//! records the combined throughput plus each job's wall clock — the
+//! interleaving cost of the asynchronous job API. All sweeps must agree
+//! on the sweep answer, which this binary asserts (and CI therefore
+//! asserts per push). `worlds_per_walk` is the observed walk
+//! amortization: logical probe evaluations per vectorized block walk (the
+//! fingerprint length when the vector tier is on — the scalar tier walks
+//! once *per seed* instead).
 
 use std::time::Instant;
 
@@ -54,12 +58,74 @@ fn run_sweep(worlds: usize, threads: usize, vectorized: bool, match_index: bool)
         wall_nanos: wall.as_nanos(),
         points_per_sec: points as f64 / wall.as_secs_f64().max(1e-9),
         groups,
-        best: report
-            .best
-            .as_ref()
-            .map(|b| format!("{:?}", b.point.to_string()))
-            .unwrap_or_else(|| "null".to_string()),
+        best: best_str(&report),
     }
+}
+
+struct ConcurrentRun {
+    /// Total wall clock until both jobs completed.
+    wall_nanos: u128,
+    points_per_sec: f64,
+    /// Wall clock until the high-priority job's answer returned — the
+    /// interactivity number (how long a watcher of the High job waited
+    /// while the Low sweep ran alongside).
+    hi_wall_nanos: u128,
+    points_total: u64,
+    hi_best: String,
+    lo_best: String,
+}
+
+/// The concurrent-jobs split: the same coarse sweep submitted twice — two
+/// scenario slots, two stores — as Low- and High-priority jobs on one
+/// shared scheduler pool, so the jobs' chunks interleave by priority
+/// instead of queueing whole-sweep-at-a-time.
+fn run_concurrent(worlds: usize, threads: usize) -> ConcurrentRun {
+    let config = EngineConfig {
+        worlds_per_point: worlds,
+        threads,
+        ..EngineConfig::default()
+    };
+    let prophet = Prophet::builder()
+        .scenario("hi", figure2_coarse(0.05))
+        .scenario("lo", figure2_coarse(0.05))
+        .registry(prophet_models::demo_registry())
+        .config(config)
+        .build()
+        .expect("service construction");
+    let t0 = Instant::now();
+    let lo = prophet
+        .submit(JobSpec::sweep("lo").with_priority(Priority::Low))
+        .expect("submit lo");
+    let hi = prophet
+        .submit(JobSpec::sweep("hi").with_priority(Priority::High))
+        .expect("submit hi");
+    let hi_report = hi
+        .wait()
+        .and_then(JobOutput::into_sweep)
+        .expect("hi sweep completes");
+    let hi_wall = t0.elapsed();
+    let lo_report = lo
+        .wait()
+        .and_then(JobOutput::into_sweep)
+        .expect("lo sweep completes");
+    let wall = t0.elapsed();
+    let points_total = hi_report.metrics.points_total() + lo_report.metrics.points_total();
+    ConcurrentRun {
+        wall_nanos: wall.as_nanos(),
+        points_per_sec: points_total as f64 / wall.as_secs_f64().max(1e-9),
+        hi_wall_nanos: hi_wall.as_nanos(),
+        points_total,
+        hi_best: best_str(&hi_report),
+        lo_best: best_str(&lo_report),
+    }
+}
+
+fn best_str(report: &fuzzy_prophet::OfflineReport) -> String {
+    report
+        .best
+        .as_ref()
+        .map(|b| format!("{:?}", b.point.to_string()))
+        .unwrap_or_else(|| "null".to_string())
 }
 
 fn main() {
@@ -85,6 +151,7 @@ fn main() {
     let vector = run_sweep(worlds, threads, true, true);
     let unindexed = run_sweep(worlds, threads, true, false);
     let scalar = run_sweep(worlds, threads, false, true);
+    let concurrent = run_concurrent(worlds, threads);
 
     let m = &vector.metrics;
     let u = &unindexed.metrics;
@@ -117,7 +184,10 @@ fn main() {
          \"match_scan_nanos\": {},\n    \"probe_nanos\": {},\n    \
          \"wall_nanos\": {},\n    \"points_per_sec\": {:.1}\n  }},\n  \
          \"scalar\": {{\n    \"probe_eval_nanos\": {},\n    \"probe_nanos\": {},\n    \
-         \"sim_nanos\": {},\n    \"wall_nanos\": {},\n    \"points_per_sec\": {:.1}\n  }}\n}}\n",
+         \"sim_nanos\": {},\n    \"wall_nanos\": {},\n    \"points_per_sec\": {:.1}\n  }},\n  \
+         \"concurrent\": {{\n    \"jobs\": 2,\n    \"points_total\": {},\n    \
+         \"wall_nanos\": {},\n    \"points_per_sec\": {:.1},\n    \
+         \"hi_wall_nanos\": {}\n  }}\n}}\n",
         vector.groups,
         m.points_total(),
         m.points_simulated,
@@ -146,6 +216,10 @@ fn main() {
         s.sim_nanos,
         scalar.wall_nanos,
         scalar.points_per_sec,
+        concurrent.points_total,
+        concurrent.wall_nanos,
+        concurrent.points_per_sec,
+        concurrent.hi_wall_nanos,
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
     print!("{json}");
@@ -191,6 +265,23 @@ fn main() {
     assert_eq!(
         u.candidates_pruned, 0,
         "the exhaustive scan must not prune anything"
+    );
+    eprintln!(
+        "concurrent jobs: {} points across 2 sweeps in {:.1}ms ({:.1} points/sec); \
+         high-priority job returned after {:.1}ms ({:.0}% of total wall)",
+        concurrent.points_total,
+        concurrent.wall_nanos as f64 / 1e6,
+        concurrent.points_per_sec,
+        concurrent.hi_wall_nanos as f64 / 1e6,
+        100.0 * concurrent.hi_wall_nanos as f64 / concurrent.wall_nanos as f64,
+    );
+    assert_eq!(
+        concurrent.hi_best, vector.best,
+        "the high-priority concurrent sweep must reach the single-job answer"
+    );
+    assert_eq!(
+        concurrent.lo_best, vector.best,
+        "the low-priority concurrent sweep must reach the single-job answer"
     );
 }
 

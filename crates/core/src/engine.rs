@@ -513,6 +513,57 @@ impl Engine {
         Ok(out)
     }
 
+    /// Simulate one contiguous span of a point's worlds — the primitive
+    /// behind chunk-at-a-time progressive estimation
+    /// ([`OnlineSession::progressive_expect`]). World→sample assignment is
+    /// seed-based (`(root seed, world, point)`), so simulating worlds
+    /// `0..k` here yields bit-for-bit the first `k` samples a full
+    /// [`Engine::simulate_full`] run would produce.
+    ///
+    /// [`OnlineSession::progressive_expect`]: crate::session::OnlineSession::progressive_expect
+    pub(crate) fn simulate_world_span(
+        &self,
+        point: &ParamPoint,
+        span: std::ops::Range<u64>,
+    ) -> ProphetResult<HashMap<String, Vec<f64>>> {
+        let start = Instant::now();
+        let worlds: Vec<u64> = span.collect();
+        let sample_set = if self.config.vectorized {
+            simulate_point_block(
+                &self.script.select,
+                &self.registry,
+                &self.seeds,
+                point,
+                &worlds,
+                self.config.common_random_numbers,
+            )
+        } else {
+            simulate_point(
+                &self.script.select,
+                &self.registry,
+                &self.seeds,
+                point,
+                &worlds,
+                self.config.common_random_numbers,
+            )
+        }?;
+        let mut out = HashMap::with_capacity(sample_set.columns().len());
+        for col in sample_set.columns() {
+            out.insert(
+                col.clone(),
+                sample_set
+                    .samples(col)
+                    .expect("column exists by construction")
+                    .to_vec(),
+            );
+        }
+        self.bump(|m| {
+            m.worlds_simulated += worlds.len() as u64;
+            m.simulation_time += start.elapsed();
+        });
+        Ok(out)
+    }
+
     pub(crate) fn to_sample_set(
         &self,
         point: &ParamPoint,

@@ -67,6 +67,19 @@ pub enum ProphetError {
     },
     /// An engine configuration that cannot work (zero worlds, …).
     InvalidConfig(String),
+    /// A refresh job spec omitted one of the scenario's sliders (every
+    /// non-axis parameter needs a value).
+    MissingSlider {
+        /// The slider left unset.
+        name: String,
+        /// Every slider the spec must provide, sorted.
+        required: Vec<String>,
+    },
+    /// A submitted job was cancelled before completing; surfaced by
+    /// [`JobHandle::wait`](crate::job::JobHandle::wait) (incremental
+    /// consumers see [`JobEvent::Cancelled`](crate::job::JobEvent)
+    /// instead).
+    JobCancelled,
     /// An internal invariant violation (a bug, not user error).
     Internal(String),
 }
@@ -147,6 +160,16 @@ impl fmt::Display for ProphetError {
                 write!(f, "scenario `{name}` registered twice")
             }
             ProphetError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ProphetError::MissingSlider { name, required } => {
+                write!(
+                    f,
+                    "refresh spec leaves slider @{name} unset (required: {})",
+                    list(required)
+                )
+            }
+            ProphetError::JobCancelled => {
+                write!(f, "job cancelled before completion")
+            }
             ProphetError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

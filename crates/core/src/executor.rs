@@ -48,6 +48,17 @@
 //! remap) and `EngineMetrics::sim_nanos` (simulate), giving sweeps a true
 //! probe-vs-simulation split as the caller experiences it.
 //!
+//! This module is the *blocking reference tier*: its parallel phases fan
+//! out on per-call `std::thread::scope` pools and the call seizes the
+//! caller until the batch completes. Engines handed out by the
+//! [`Prophet`](crate::service::Prophet) service run the same pipeline
+//! through the service's long-lived [`scheduler`](crate::scheduler)
+//! instead — the phases become priority-interleaved pool chunks, and this
+//! path remains as the differential baseline (`tests/jobs.rs` proves the
+//! two produce bit-identical results), exactly as the scalar executor
+//! backs the vectorized tier and the exhaustive scan backs the match
+//! index.
+//!
 //! [`SharedBasisStore::try_claim`]: prophet_mc::SharedBasisStore::try_claim
 //! [`SharedBasisStore::find_correlated_batch`]: prophet_mc::SharedBasisStore::find_correlated_batch
 //! [`WaitHandle`]: prophet_mc::WaitHandle
@@ -80,17 +91,7 @@ impl Engine {
         }
 
         // ---- dedupe: unique points in first-seen order.
-        let mut unique: Vec<ParamPoint> = Vec::new();
-        let mut index_of: HashMap<ParamPoint, usize> = HashMap::with_capacity(points.len());
-        let slot_of: Vec<usize> = points
-            .iter()
-            .map(|p| {
-                *index_of.entry(p.clone()).or_insert_with(|| {
-                    unique.push(p.clone());
-                    unique.len() - 1
-                })
-            })
-            .collect();
+        let (unique, slot_of) = dedupe_points(points);
 
         let worlds_per_point = self.config().worlds_per_point;
         let threads = self.config().threads.max(1);
@@ -249,8 +250,10 @@ impl Engine {
     /// owner abandons it (error, or a store clear mid-flight), or publishes
     /// fewer worlds than this engine requires (shared store, differing
     /// `worlds_per_point`), re-claim: becoming the owner means
-    /// re-simulating at this engine's own depth.
-    fn resolve_wait(
+    /// re-simulating at this engine's own depth. (Crate-visible: the
+    /// scheduled pipeline in [`crate::scheduler`] resolves its waits
+    /// through the same path.)
+    pub(crate) fn resolve_wait(
         &self,
         point: &ParamPoint,
         handle: WaitHandle,
@@ -284,6 +287,34 @@ impl Engine {
         }
     }
 
+    /// Probe one point's fingerprints and run the (single-probe) match
+    /// scan, with the same metric accounting as the batched phase. Shared
+    /// by [`Engine::run_owner`] and the progressive estimator in
+    /// [`crate::session`].
+    pub(crate) fn probe_and_match_one(
+        &self,
+        point: &ParamPoint,
+    ) -> ProphetResult<(HashMap<String, Fingerprint>, Option<BasisHit>)> {
+        let probes = self.probe_fingerprints(point)?;
+        let match_start = Instant::now();
+        let (mut hits, scan) = self.basis_store().find_correlated_batch_scan(
+            std::slice::from_ref(&probes),
+            self.stochastic_columns(),
+            &self.config().detector,
+            1,
+            self.config().match_index,
+        );
+        let hit = hits.pop().flatten();
+        let match_elapsed = match_start.elapsed();
+        self.bump(|m| {
+            m.fingerprint_time += match_elapsed;
+            m.match_scan_nanos += match_elapsed.as_nanos() as u64;
+            m.candidates_scanned += scan.candidates_scanned;
+            m.candidates_pruned += scan.candidates_pruned;
+        });
+        Ok((probes, hit))
+    }
+
     /// Sequential Figure-1 cycle for one owned point — the retry path when
     /// a waited-on simulation was cancelled under us.
     fn run_owner(
@@ -296,23 +327,8 @@ impl Engine {
         let mut probes = HashMap::new();
         if use_fingerprints {
             let phase = Instant::now();
-            probes = self.probe_fingerprints(point)?;
-            let match_start = Instant::now();
-            let (mut hits, scan) = self.basis_store().find_correlated_batch_scan(
-                std::slice::from_ref(&probes),
-                self.stochastic_columns(),
-                &self.config().detector,
-                1,
-                self.config().match_index,
-            );
-            let hit = hits.pop().flatten();
-            let match_elapsed = match_start.elapsed();
-            self.bump(|m| {
-                m.fingerprint_time += match_elapsed;
-                m.match_scan_nanos += match_elapsed.as_nanos() as u64;
-                m.candidates_scanned += scan.candidates_scanned;
-                m.candidates_pruned += scan.candidates_pruned;
-            });
+            let (point_probes, hit) = self.probe_and_match_one(point)?;
+            probes = point_probes;
             if let Some(hit) = hit {
                 let mapped = self.remap_samples(point, &hit.samples, &hit.mappings, hit.worlds)?;
                 let exact = hit.mappings.values().all(Mapping::is_exact);
@@ -345,6 +361,25 @@ impl Engine {
         });
         Ok((self.to_sample_set(point, &samples), EvalOutcome::Simulated))
     }
+}
+
+/// Collapse a point list to unique points in first-seen order plus, per
+/// input slot, the index of its unique point. Shared by this blocking
+/// pipeline and the scheduled one ([`crate::scheduler`]), so both agree on
+/// what "the batch's unique points" means.
+pub(crate) fn dedupe_points(points: &[ParamPoint]) -> (Vec<ParamPoint>, Vec<usize>) {
+    let mut unique: Vec<ParamPoint> = Vec::new();
+    let mut index_of: HashMap<ParamPoint, usize> = HashMap::with_capacity(points.len());
+    let slot_of: Vec<usize> = points
+        .iter()
+        .map(|p| {
+            *index_of.entry(p.clone()).or_insert_with(|| {
+                unique.push(p.clone());
+                unique.len() - 1
+            })
+        })
+        .collect();
+    (unique, slot_of)
 }
 
 /// Apply `f` to every item, fanning out across up to `threads` scoped

@@ -81,6 +81,67 @@
 //! public API reports failures as the typed [`error::ProphetError`] — no
 //! raw SQL-layer errors escape this crate.
 //!
+//! ## Asynchronous jobs (0.3)
+//!
+//! The evaluation surface is job-shaped: [`Prophet::submit`] takes a
+//! [`job::JobSpec`] (an OPTIMIZE sweep, a graph refresh, or a raw point
+//! batch, with a [`job::Priority`]) and returns a [`job::JobHandle`]
+//! immediately. The service owns one long-lived worker pool (the
+//! [`scheduler::Scheduler`]); jobs execute as chunk-sized slices ordered
+//! by priority, so an interactive refresh overtakes a running sweep
+//! mid-flight instead of queueing behind it. Handles expose
+//! [`progress`](job::JobHandle::progress) (points done/total plus the
+//! job's per-phase engine metrics, live at chunk granularity), a
+//! [`recv`](job::JobHandle::recv) / [`events`](job::JobHandle::events)
+//! stream of incremental [`job::JobEvent`]s (chunk results as each batch
+//! of the job finalizes — a sweep streams group by group — then the
+//! final answer), chunk-granular [`cancel`](job::JobHandle::cancel), and
+//! a blocking [`wait`](job::JobHandle::wait). Dropping a handle detaches
+//! the job; it still completes.
+//!
+//! ```
+//! use fuzzy_prophet::prelude::*;
+//!
+//! let prophet = Prophet::builder()
+//!     .scenario("figure2", Scenario::figure2().unwrap())
+//!     .scenario_sql("toy", "\
+//! DECLARE PARAMETER @x AS RANGE 0 TO 6 STEP BY 2;
+//! DECLARE PARAMETER @w AS SET (0, 1);
+//! SELECT @x + 0 AS load INTO results;
+//! OPTIMIZE SELECT @x FROM results
+//! WHERE MAX(EXPECT load) <= 4.5 GROUP BY x FOR MAX @x").unwrap()
+//!     .registry(prophet_models::demo_registry())
+//!     .config(EngineConfig { worlds_per_point: 8, threads: 2, ..EngineConfig::default() })
+//!     .build()
+//!     .unwrap();
+//!
+//! // A sweep runs in the background…
+//! let sweep = prophet.submit(JobSpec::sweep("toy").with_priority(Priority::Low)).unwrap();
+//! // …while interactive work overtakes it on the same pool.
+//! let mut session = prophet.online("figure2").unwrap();
+//! session.refresh().unwrap(); // = submit(refresh).wait(), at Priority::High
+//! let report = sweep.wait().unwrap().into_sweep().unwrap();
+//! assert_eq!(report.best.unwrap().point.get("x"), Some(4));
+//! ```
+//!
+//! The blocking calls remain and are now thin clients:
+//! [`OfflineOptimizer::run`] and [`OnlineSession::refresh`] on
+//! service-handed objects are exactly `submit(...).wait()`, and the
+//! differential suite in `tests/jobs.rs` proves a job's final answer is
+//! bit-identical to the blocking executor at every chunk size, priority
+//! mix, and worker count (the [`scheduler`] module docs carry the
+//! argument).
+//!
+//! ## Migrating from 0.2 (blocking calls → jobs)
+//!
+//! | 0.2 (blocking) | 0.3 (job-shaped equivalent) |
+//! |-----|-----|
+//! | `prophet.offline(name)?.run()?` | `prophet.submit(JobSpec::sweep(name))?.wait()?.into_sweep()?` (the blocking form still works and is now implemented exactly this way) |
+//! | `session.refresh()?` | `prophet.submit(JobSpec::refresh(name, sliders))?.wait()?.into_points()?` (ditto; the session form also updates its series) |
+//! | `engine.evaluate_batch(&points)?` | `prophet.submit(JobSpec::points(name, points))?.wait()?.into_points()?` |
+//! | no equivalent | `handle.progress()` / `handle.events()` / `handle.cancel()` — progress, partial results, cancellation |
+//! | `scenario_names()` + `basis_stats(name)` loop | [`Prophet::basis_stats_all`] |
+//!
 //! ## Migrating from the 0.1 session-per-struct API
 //!
 //! | 0.1 | 0.3 |
@@ -92,25 +153,38 @@
 //! The 0.1 constructors shipped as deprecated shims for one release and
 //! are now gone. Direct engine composition remains available via
 //! [`Engine::new`] / [`Engine::with_basis_store`] plus
-//! [`OnlineSession::open`] / [`OfflineOptimizer::open`].
+//! [`OnlineSession::open`] / [`OfflineOptimizer::open`] — these run their
+//! work on the caller's thread (the blocking reference tier the scheduled
+//! pipeline is differentially tested against).
+//!
+//! [`Prophet::submit`]: service::Prophet::submit
+//! [`Prophet::basis_stats_all`]: service::Prophet::basis_stats_all
+//! [`OfflineOptimizer::run`]: offline::OfflineOptimizer::run
+//! [`OnlineSession::refresh`]: session::OnlineSession::refresh
 
 pub mod engine;
 pub mod error;
 pub mod executor;
 pub mod exploration;
+pub mod job;
 pub mod metrics;
 pub mod offline;
 pub mod render;
 pub mod scenario;
+pub mod scheduler;
 pub mod service;
 pub mod session;
 
 pub use engine::{Engine, EngineConfig, EvalOutcome};
 pub use error::{ProphetError, ProphetResult};
 pub use exploration::{CellState, ExplorationMap};
+pub use job::{
+    ChunkUpdate, JobEvent, JobHandle, JobKind, JobOutput, JobProgress, JobSpec, Priority,
+};
 pub use metrics::EngineMetrics;
 pub use offline::{OfflineOptimizer, OfflineReport, OptimizeAnswer};
 pub use scenario::Scenario;
+pub use scheduler::{Scheduler, SchedulerConfig};
 pub use service::{Prophet, ProphetBuilder};
 pub use session::{AdjustReport, OnlineSession, ProgressiveEstimate};
 
@@ -119,9 +193,13 @@ pub mod prelude {
     pub use crate::engine::{Engine, EngineConfig, EvalOutcome};
     pub use crate::error::{ProphetError, ProphetResult};
     pub use crate::exploration::{CellState, ExplorationMap};
+    pub use crate::job::{
+        ChunkUpdate, JobEvent, JobHandle, JobKind, JobOutput, JobProgress, JobSpec, Priority,
+    };
     pub use crate::metrics::EngineMetrics;
     pub use crate::offline::{OfflineOptimizer, OfflineReport, OptimizeAnswer};
     pub use crate::scenario::Scenario;
+    pub use crate::scheduler::{Scheduler, SchedulerConfig};
     pub use crate::service::{Prophet, ProphetBuilder};
     pub use crate::session::{AdjustReport, OnlineSession, ProgressiveEstimate};
     pub use prophet_mc::guide::{Guide, GuideFactory};

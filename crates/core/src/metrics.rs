@@ -144,26 +144,61 @@ impl EngineMetrics {
     }
 }
 
+impl EngineMetrics {
+    /// Fraction of bounded (candidate, probe) pairs the summary index
+    /// pruned, in `[0, 1]`.
+    pub fn prune_fraction(&self) -> f64 {
+        let bounded = self.candidates_scanned + self.candidates_pruned;
+        if bounded == 0 {
+            0.0
+        } else {
+            self.candidates_pruned as f64 / bounded as f64
+        }
+    }
+}
+
+/// Renders every counter as one `name value` row in two stable, aligned
+/// columns (names left-justified to 20, values right-justified to 14), in
+/// a fixed order — so bench logs and snapshot diffs line up counter for
+/// counter across runs instead of drifting with ad-hoc prose. Times
+/// render as milliseconds with two decimals; rates as percentages with
+/// one. The exact format is pinned by a snapshot test.
 impl fmt::Display for EngineMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "points: {} simulated / {} mapped / {} cached ({}% reused); \
-             worlds: {}; probes: {} ({} walks); match: {} scanned / {} pruned; \
-             waits: {}; sim {:?}; fp {:?}",
-            self.points_simulated,
-            self.points_mapped,
-            self.points_cached,
-            (self.reuse_fraction() * 100.0).round() as u64,
-            self.worlds_simulated,
-            self.probe_evaluations,
-            self.vector_walks,
-            self.candidates_scanned,
-            self.candidates_pruned,
-            self.inflight_waits,
-            self.simulation_time,
-            self.fingerprint_time,
-        )
+        let ms = |nanos: u64| nanos as f64 / 1e6;
+        let rows: [(&str, String); 18] = [
+            ("points_simulated", self.points_simulated.to_string()),
+            ("points_mapped", self.points_mapped.to_string()),
+            ("points_cached", self.points_cached.to_string()),
+            ("reuse_pct", format!("{:.1}", self.reuse_fraction() * 100.0)),
+            ("worlds_simulated", self.worlds_simulated.to_string()),
+            ("probe_evaluations", self.probe_evaluations.to_string()),
+            ("vector_walks", self.vector_walks.to_string()),
+            ("probe_eval_ms", format!("{:.2}", ms(self.probe_eval_nanos))),
+            ("candidates_scanned", self.candidates_scanned.to_string()),
+            ("candidates_pruned", self.candidates_pruned.to_string()),
+            ("prune_pct", format!("{:.1}", self.prune_fraction() * 100.0)),
+            ("match_scan_ms", format!("{:.2}", ms(self.match_scan_nanos))),
+            ("inflight_waits", self.inflight_waits.to_string()),
+            ("batch_probes", self.batch_probes.to_string()),
+            ("probe_phase_ms", format!("{:.2}", ms(self.probe_nanos))),
+            ("sim_phase_ms", format!("{:.2}", ms(self.sim_nanos))),
+            (
+                "simulation_ms",
+                format!("{:.2}", self.simulation_time.as_secs_f64() * 1e3),
+            ),
+            (
+                "fingerprint_ms",
+                format!("{:.2}", self.fingerprint_time.as_secs_f64() * 1e3),
+            ),
+        ];
+        for (i, (name, value)) in rows.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{name:<20}{value:>14}")?;
+        }
+        Ok(())
     }
 }
 
@@ -267,8 +302,58 @@ mod tests {
             ..EngineMetrics::default()
         };
         let s = m.to_string();
-        assert!(s.contains("3 simulated"));
-        assert!(s.contains("7 mapped"));
-        assert!(s.contains("70% reused"));
+        assert!(s.contains("points_simulated"));
+        assert!(s.contains("points_mapped"));
+        assert!(s.contains("70.0"), "reuse percentage rendered: {s}");
+        assert!(s.contains("1200"));
+    }
+
+    /// The `Display` format is a stability contract: bench diffs read it.
+    /// Every counter is one `name value` row, names padded to 20, values
+    /// right-justified to 14, fixed order, times in ms.
+    #[test]
+    fn display_snapshot_is_stable_and_aligned() {
+        let m = EngineMetrics {
+            points_cached: 1,
+            points_mapped: 2,
+            points_simulated: 5,
+            worlds_simulated: 320,
+            probe_evaluations: 48,
+            vector_walks: 6,
+            probe_eval_nanos: 1_250_000,
+            candidates_scanned: 30,
+            candidates_pruned: 90,
+            match_scan_nanos: 2_500_000,
+            inflight_waits: 4,
+            batch_probes: 7,
+            probe_nanos: 3_000_000,
+            sim_nanos: 12_345_678,
+            simulation_time: Duration::from_micros(15_500),
+            fingerprint_time: Duration::from_micros(4_250),
+        };
+        let expected = "\
+points_simulated                 5
+points_mapped                    2
+points_cached                    1
+reuse_pct                     37.5
+worlds_simulated               320
+probe_evaluations               48
+vector_walks                     6
+probe_eval_ms                 1.25
+candidates_scanned              30
+candidates_pruned               90
+prune_pct                     75.0
+match_scan_ms                 2.50
+inflight_waits                   4
+batch_probes                     7
+probe_phase_ms                3.00
+sim_phase_ms                 12.35
+simulation_ms                15.50
+fingerprint_ms                4.25";
+        assert_eq!(m.to_string(), expected);
+        // Alignment invariant: every row is exactly 34 columns wide.
+        for line in m.to_string().lines() {
+            assert_eq!(line.len(), 34, "row {line:?} drifted");
+        }
     }
 }

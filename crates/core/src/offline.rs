@@ -14,17 +14,33 @@
 //! lexicographic `FOR MAX/MIN` objectives. Deferring purchases *is* the
 //! cost-of-ownership objective: later purchase weeks mean fewer
 //! hardware-weeks paid for.
+//!
+//! The sweep's *plan* — grouping, per-group axis expansion, constraint
+//! aggregation, feasibility, ranking — lives in one crate-internal
+//! `SweepPlan`, shared by two executions of identical semantics:
+//!
+//! * the blocking reference loop ([`OfflineOptimizer::run_with_observer`]),
+//!   which evaluates group batches on the caller's thread, and
+//! * the scheduled sweep job ([`crate::scheduler`]), which
+//!   [`OfflineOptimizer::run`] submits when the optimizer was opened
+//!   through a [`Prophet`](crate::service::Prophet) — the blocking call
+//!   then simply becomes `submit(sweep).wait()`, and concurrent jobs
+//!   interleave with the sweep chunk-by-chunk.
 
 use std::cmp::Ordering;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use prophet_mc::guide::{GridGuide, Guide};
-use prophet_mc::ParamPoint;
+use prophet_mc::{ParamPoint, SampleSet};
 use prophet_sql::ast::{AggMetric, ObjectiveDirection, OptimizeSpec, OuterAgg, ParameterDecl};
+use prophet_sql::Script;
 
 use crate::engine::{Engine, EvalOutcome};
 use crate::error::{ProphetError, ProphetResult};
+use crate::job::Priority;
 use crate::metrics::EngineMetrics;
+use crate::scheduler::Scheduler;
 
 /// One feasible (or candidate) answer of the OPTIMIZE query.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,31 +75,22 @@ impl OfflineReport {
     }
 }
 
-/// Executes the scenario's OPTIMIZE directive over the whole grid.
-pub struct OfflineOptimizer {
-    engine: Engine,
+/// The declarative shape of one OPTIMIZE sweep: which parameters form the
+/// GROUP BY grid, which sweep per group as the axis, how constraint
+/// metrics aggregate, and how answers rank. Pure data + pure functions —
+/// the blocking loop and the scheduled sweep driver both execute exactly
+/// this plan, which is what makes their answers bit-identical.
+#[derive(Debug, Clone)]
+pub(crate) struct SweepPlan {
     spec: OptimizeSpec,
     group_decls: Vec<ParameterDecl>,
     axis_decls: Vec<ParameterDecl>,
 }
 
-impl std::fmt::Debug for OfflineOptimizer {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("OfflineOptimizer")
-            .field("spec", &self.spec)
-            .field("engine", &self.engine)
-            .finish_non_exhaustive()
-    }
-}
-
-impl OfflineOptimizer {
-    /// Open an optimizer over an already-built engine; the scenario must
-    /// carry an OPTIMIZE directive. Engines built by the
-    /// [`Prophet`](crate::service::Prophet) service share the scenario's
-    /// basis store, so offline sweeps reuse what online sessions simulated
-    /// (and vice versa).
-    pub fn open(engine: Engine) -> ProphetResult<Self> {
-        let script = engine.script();
+impl SweepPlan {
+    /// Extract the plan from a script; the script must carry an OPTIMIZE
+    /// directive.
+    pub(crate) fn from_script(script: &Script) -> ProphetResult<Self> {
         let spec = script
             .optimize
             .clone()
@@ -100,79 +107,61 @@ impl OfflineOptimizer {
             .filter(|p| !spec.select_params.contains(&p.name))
             .cloned()
             .collect();
-        Ok(OfflineOptimizer {
-            engine,
+        Ok(SweepPlan {
             spec,
             group_decls,
             axis_decls,
         })
     }
 
-    /// The underlying engine.
-    pub fn engine(&self) -> &Engine {
-        &self.engine
-    }
-
-    /// The OPTIMIZE specification being executed.
-    pub fn spec(&self) -> &OptimizeSpec {
+    pub(crate) fn spec(&self) -> &OptimizeSpec {
         &self.spec
     }
 
-    /// Number of groups the sweep will examine.
-    pub fn groups_total(&self) -> usize {
+    /// Number of groups the sweep examines.
+    pub(crate) fn groups_total(&self) -> usize {
         self.group_decls
             .iter()
             .map(|d| d.domain.cardinality())
             .product()
     }
 
-    /// Run the full sweep.
-    pub fn run(&self) -> ProphetResult<OfflineReport> {
-        self.run_with_observer(|_, _, _| {})
+    /// Axis points evaluated per group.
+    pub(crate) fn axis_total(&self) -> usize {
+        self.axis_decls
+            .iter()
+            .map(|d| d.domain.cardinality())
+            .product()
     }
 
-    /// Run the full sweep, reporting every point evaluation to `observer`
-    /// as `(group point, full point, outcome)` — the hook the Figure-4
-    /// exploration map and the demo's "live-updated view" use.
-    pub fn run_with_observer(
-        &self,
-        mut observer: impl FnMut(&ParamPoint, &ParamPoint, &EvalOutcome),
-    ) -> ProphetResult<OfflineReport> {
-        let start = Instant::now();
-        let before = self.engine.metrics();
-        let mut answers = Vec::with_capacity(self.groups_total());
-
-        let mut groups = GridGuide::new(&self.group_decls);
-        while let Some(group) = groups.next_point() {
-            let answer = self.evaluate_group(&group, &mut observer)?;
-            answers.push(answer);
-        }
-
-        // Rank: feasible before infeasible, then lexicographic objectives.
-        answers.sort_by(|a, b| match (a.feasible, b.feasible) {
-            (true, false) => Ordering::Less,
-            (false, true) => Ordering::Greater,
-            _ => self.compare_objectives(&a.point, &b.point),
-        });
-        let best = answers.first().filter(|a| a.feasible).cloned();
-
-        Ok(OfflineReport {
-            best,
-            groups_total: self.groups_total(),
-            answers,
-            metrics: self.engine.metrics().since(&before),
-            wall: start.elapsed(),
-        })
+    /// Every group point, in the canonical row-major sweep order.
+    pub(crate) fn groups(&self) -> Vec<ParamPoint> {
+        let mut guide = GridGuide::new(&self.group_decls);
+        std::iter::from_fn(|| guide.next_point()).collect()
     }
 
-    /// Evaluate one group: batch the whole axis sweep through the
-    /// evaluation executor (probing the shared store source-parallel and
-    /// simulating misses point-parallel), then accumulate the outer
-    /// aggregate for every constraint and test feasibility.
-    fn evaluate_group(
+    /// One group's full evaluation batch: the axis grid bound onto the
+    /// group's values, in the canonical axis order.
+    pub(crate) fn group_points(&self, group: &ParamPoint) -> Vec<ParamPoint> {
+        let mut axis = GridGuide::new(&self.axis_decls);
+        std::iter::from_fn(|| axis.next_point())
+            .map(|axis_point| {
+                let mut full = group.clone();
+                for (name, value) in axis_point.iter() {
+                    full.set(name.to_owned(), value);
+                }
+                full
+            })
+            .collect()
+    }
+
+    /// Fold one group's batch results into its answer: accumulate the
+    /// outer aggregate per constraint and test feasibility.
+    pub(crate) fn answer_for(
         &self,
         group: &ParamPoint,
-        observer: &mut impl FnMut(&ParamPoint, &ParamPoint, &EvalOutcome),
+        results: &[(SampleSet, EvalOutcome)],
+        output_columns: Vec<String>,
     ) -> ProphetResult<OptimizeAnswer> {
         let mut aggs: Vec<OuterAccumulator> = self
             .spec
@@ -180,35 +169,18 @@ impl OfflineOptimizer {
             .iter()
             .map(|c| OuterAccumulator::new(c.outer))
             .collect();
-
-        let mut full_points = Vec::new();
-        let mut axis = GridGuide::new(&self.axis_decls);
-        while let Some(axis_point) = axis.next_point() {
-            let mut full = group.clone();
-            for (name, value) in axis_point.iter() {
-                full.set(name.to_owned(), value);
-            }
-            full_points.push(full);
-        }
-
-        let results = self.engine.evaluate_batch(&full_points)?;
-        for (full, (samples, outcome)) in full_points.iter().zip(&results) {
-            observer(group, full, outcome);
+        for (samples, _) in results {
             for (constraint, acc) in self.spec.constraints.iter().zip(&mut aggs) {
                 let metric = match constraint.metric {
                     AggMetric::Expect => samples.expect(&constraint.column),
                     AggMetric::ExpectStdDev => samples.expect_std_dev(&constraint.column),
                 }
                 .ok_or_else(|| {
-                    ProphetError::unknown_column(
-                        constraint.column.clone(),
-                        self.engine.output_columns(),
-                    )
+                    ProphetError::unknown_column(constraint.column.clone(), output_columns.clone())
                 })?;
                 acc.push(metric);
             }
         }
-
         let constraint_values: Vec<f64> = aggs.iter().map(OuterAccumulator::value).collect();
         let feasible = self
             .spec
@@ -221,6 +193,21 @@ impl OfflineOptimizer {
             constraint_values,
             feasible,
         })
+    }
+
+    /// Rank answers (feasible before infeasible, then lexicographic
+    /// objectives) and pick the best feasible one.
+    pub(crate) fn rank(
+        &self,
+        mut answers: Vec<OptimizeAnswer>,
+    ) -> (Option<OptimizeAnswer>, Vec<OptimizeAnswer>) {
+        answers.sort_by(|a, b| match (a.feasible, b.feasible) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            _ => self.compare_objectives(&a.point, &b.point),
+        });
+        let best = answers.first().filter(|a| a.feasible).cloned();
+        (best, answers)
     }
 
     /// Lexicographic objective comparison: earlier objectives dominate.
@@ -238,6 +225,135 @@ impl OfflineOptimizer {
         }
         // Stable tiebreak so reports are deterministic.
         a.cmp(b)
+    }
+}
+
+/// Executes the scenario's OPTIMIZE directive over the whole grid.
+pub struct OfflineOptimizer {
+    engine: Arc<Engine>,
+    plan: SweepPlan,
+    /// Present when opened through a [`Prophet`](crate::service::Prophet):
+    /// [`OfflineOptimizer::run`] then executes as a submitted job on the
+    /// service's shared scheduler instead of seizing the caller's thread
+    /// pool.
+    scheduler: Option<Arc<Scheduler>>,
+}
+
+impl std::fmt::Debug for OfflineOptimizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OfflineOptimizer")
+            .field("spec", self.plan.spec())
+            .field("scheduled", &self.scheduler.is_some())
+            .field("engine", &self.engine)
+            .finish_non_exhaustive()
+    }
+}
+
+impl OfflineOptimizer {
+    /// Open an optimizer over an already-built engine; the scenario must
+    /// carry an OPTIMIZE directive. Optimizers opened this way run their
+    /// sweeps on the caller's thread (the blocking reference path);
+    /// optimizers handed out by [`Prophet::offline`] run them as scheduled
+    /// jobs instead.
+    ///
+    /// [`Prophet::offline`]: crate::service::Prophet::offline
+    pub fn open(engine: Engine) -> ProphetResult<Self> {
+        let plan = SweepPlan::from_script(engine.script())?;
+        Ok(OfflineOptimizer {
+            engine: Arc::new(engine),
+            plan,
+            scheduler: None,
+        })
+    }
+
+    /// Open over a shared engine, executing sweeps through the service's
+    /// scheduler ([`Prophet::offline`]'s constructor).
+    ///
+    /// [`Prophet::offline`]: crate::service::Prophet::offline
+    pub(crate) fn open_scheduled(
+        engine: Arc<Engine>,
+        scheduler: Arc<Scheduler>,
+    ) -> ProphetResult<Self> {
+        let plan = SweepPlan::from_script(engine.script())?;
+        Ok(OfflineOptimizer {
+            engine,
+            plan,
+            scheduler: Some(scheduler),
+        })
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The OPTIMIZE specification being executed.
+    pub fn spec(&self) -> &OptimizeSpec {
+        self.plan.spec()
+    }
+
+    /// Number of groups the sweep will examine.
+    pub fn groups_total(&self) -> usize {
+        self.plan.groups_total()
+    }
+
+    /// Run the full sweep to completion.
+    ///
+    /// Through a [`Prophet`](crate::service::Prophet)-opened optimizer
+    /// this is `submit(JobSpec::sweep(…)).wait()`: the sweep executes as
+    /// priority-interleaved chunks on the service's shared scheduler
+    /// (other jobs can overtake it), with an answer bit-identical to the
+    /// blocking reference loop. For incremental consumption — progress,
+    /// partial results, cancellation — submit the job yourself and keep
+    /// the [`JobHandle`](crate::job::JobHandle).
+    pub fn run(&self) -> ProphetResult<OfflineReport> {
+        match &self.scheduler {
+            Some(scheduler) => scheduler
+                .submit_sweep(
+                    Arc::clone(&self.engine),
+                    self.plan.clone(),
+                    Priority::Normal,
+                )
+                .wait()?
+                .into_sweep(),
+            None => self.run_with_observer(|_, _, _| {}),
+        }
+    }
+
+    /// Run the full sweep on the caller's thread, reporting every point
+    /// evaluation to `observer` as `(group point, full point, outcome)` —
+    /// the hook the Figure-4 exploration map and the demo's "live-updated
+    /// view" use. This is the blocking *reference* execution of the sweep
+    /// plan (the scheduled job path is differentially tested against it);
+    /// the observer runs inline, in canonical sweep order.
+    pub fn run_with_observer(
+        &self,
+        mut observer: impl FnMut(&ParamPoint, &ParamPoint, &EvalOutcome),
+    ) -> ProphetResult<OfflineReport> {
+        let start = Instant::now();
+        let before = self.engine.metrics();
+        let mut answers = Vec::with_capacity(self.plan.groups_total());
+
+        for group in self.plan.groups() {
+            let full_points = self.plan.group_points(&group);
+            let results = self.engine.evaluate_batch(&full_points)?;
+            for (full, (_, outcome)) in full_points.iter().zip(&results) {
+                observer(&group, full, outcome);
+            }
+            answers.push(
+                self.plan
+                    .answer_for(&group, &results, self.engine.output_columns())?,
+            );
+        }
+
+        let (best, answers) = self.plan.rank(answers);
+        Ok(OfflineReport {
+            best,
+            groups_total: self.plan.groups_total(),
+            answers,
+            metrics: self.engine.metrics().since(&before),
+            wall: start.elapsed(),
+        })
     }
 }
 
@@ -404,6 +520,18 @@ FOR MAX @x";
         let opt = optimizer_for(&src, 4);
         let report = opt.run().unwrap();
         assert_eq!(report.best.unwrap().point.get("x"), Some(0));
+    }
+
+    #[test]
+    fn plan_counts_groups_and_axis_points() {
+        let opt = toy_optimizer();
+        assert_eq!(opt.plan.groups_total(), 6);
+        assert_eq!(opt.plan.axis_total(), 2);
+        assert_eq!(opt.plan.groups().len(), 6);
+        let group = &opt.plan.groups()[0];
+        let points = opt.plan.group_points(group);
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.get("x") == group.get("x")));
     }
 
     #[test]

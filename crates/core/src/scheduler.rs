@@ -1,0 +1,949 @@
+//! The shared job scheduler: one long-lived worker pool per
+//! [`Prophet`](crate::service::Prophet), executing submitted jobs as
+//! priority-interleaved chunks.
+//!
+//! # Why a scheduler
+//!
+//! Before this module, every evaluation call built its own
+//! `std::thread::scope` pool and seized the caller until the last point
+//! landed: an offline sweep monopolized the process, and an interactive
+//! refresh submitted behind it waited for the whole sweep. The scheduler
+//! inverts that: the service owns one worker pool, jobs are split into
+//! chunk-sized slices of work, and the pool always runs the
+//! highest-priority chunk available — so a [`Priority::High`] refresh's
+//! chunks overtake a [`Priority::Low`] sweep's chunks mid-sweep instead of
+//! queueing behind them.
+//!
+//! # Execution model
+//!
+//! Each job runs as a *driver* task plus many *chunk* tasks:
+//!
+//! * the **driver** executes the job's sequential skeleton — batch
+//!   planning, store claims, the correlation match scan, publishing, and
+//!   final ranking — and fans the embarrassingly parallel phases (probe
+//!   evaluation, hit remapping, miss simulation) out to the pool as chunks
+//!   of at most [`SchedulerConfig::chunk_points`] points;
+//! * while a phase is outstanding the driver *helps*: it executes queued
+//!   chunks (its own or, by priority, anyone else's) instead of sleeping,
+//!   so a pool of `W` workers running `W` concurrent jobs cannot deadlock
+//!   and never idles while chunk work is queued. A helping driver never
+//!   starts another job's *driver*: chunks are pure, always-terminating
+//!   computations, whereas a nested driver could block on store claims
+//!   held by the suspended outer frame (deadlock) or run a whole foreign
+//!   job inline ahead of the helper's own final answer (priority
+//!   inversion) — only a worker's top-level loop starts drivers.
+//!
+//! The queue orders chunks by `(priority, job id, chunk sequence)`:
+//! higher-priority jobs first, then older jobs, then earlier chunks.
+//!
+//! # Determinism: why a job's answer is bit-identical to the blocking path
+//!
+//! [`Engine::evaluate_batch`] is the reference semantics. Its batch
+//! pipeline has exactly three parallel phases, and each is *independent
+//! per point*: probe evaluation derives every fingerprint from fixed
+//! canonical seeds, remapping is a pure function of the already-chosen
+//! hit, and miss simulation seeds each world from `(root seed, world,
+//! point)`. The scheduled pipeline (`run_batch`) keeps everything else
+//! sequential on the driver, in the same order as the blocking path:
+//!
+//! * the store snapshot structure is preserved — all of a batch's probes
+//!   match against the store state at batch start, never against siblings
+//!   of the same batch, because the match scan runs once, on the driver,
+//!   after every probe chunk has landed;
+//! * publish order is preserved — the driver completes claims in batch
+//!   order (hits first, then misses), so insertion stamps, and therefore
+//!   future `(error, stamp)` tie-breaks, are identical to the blocking
+//!   path at every chunk size and worker count;
+//! * work accounting is preserved — the same primitives bump the same
+//!   counters, and the match scan's scanned/pruned numbers are already
+//!   thread-independent (PR 4's invariant).
+//!
+//! Chunking therefore changes *when* independent point computations run,
+//! never *what* they compute or *in which order their results become
+//! visible*. The differential suite in `tests/jobs.rs` enforces this
+//! across every bundled scenario, chunk sizes {1, default, whole-sweep},
+//! 1 vs 8 workers, and concurrent jobs at mixed priorities.
+//!
+//! # Cancellation
+//!
+//! [`JobHandle::cancel`](crate::job::JobHandle::cancel) is chunk-granular:
+//! chunks never observe the flag mid-chunk, so an in-flight chunk always
+//! finishes its points, and the driver publishes every completed result
+//! before stopping — the shared basis store only ever sees complete,
+//! fully-simulated entries, never a torn point. Claims for points whose
+//! chunks were dropped are released (their `InflightGuard`s drop), so
+//! concurrent sessions waiting on them re-claim and recover, exactly as
+//! the store's cancel machinery already guarantees.
+//!
+//! [`Engine::evaluate_batch`]: crate::engine::Engine::evaluate_batch
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use prophet_fingerprint::{Fingerprint, Mapping};
+use prophet_mc::{BasisHit, InflightGuard, ParamPoint, SampleSet, TryClaim, WaitHandle};
+
+use crate::engine::{Engine, EvalOutcome};
+use crate::error::{ProphetError, ProphetResult};
+use crate::executor::dedupe_points;
+use crate::job::{ChunkUpdate, JobCore, JobEvent, JobHandle, JobOutput, Priority};
+use crate::offline::{OfflineReport, SweepPlan};
+
+/// Default number of points per scheduled chunk: small enough that a
+/// high-priority job overtakes a running sweep within a few points (and
+/// that a graph-sized batch fans out across the whole pool), large enough
+/// that queue traffic stays negligible next to simulation cost.
+pub const DEFAULT_CHUNK_POINTS: usize = 8;
+
+/// Scheduler tuning knobs, set through
+/// [`ProphetBuilder::scheduler`](crate::service::ProphetBuilder::scheduler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Worker threads in the pool. `0` (the default) means "derive from
+    /// the engine configuration": `EngineConfig::threads`, floored at 2
+    /// so an interactive job's driver always has a lane beside a running
+    /// batch job's driver. Note that drivers occupy a worker for their
+    /// job's whole duration (only *chunks* preempt by priority), so a
+    /// pool explicitly configured with 1 worker serializes whole jobs in
+    /// priority order rather than overtaking mid-job.
+    pub workers: usize,
+    /// Maximum points per scheduled chunk (clamped to at least 1). An
+    /// upper bound: phases with fewer than `workers × chunk_points`
+    /// points split finer so even small batches fan out across the whole
+    /// pool.
+    pub chunk_points: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: 0,
+            chunk_points: DEFAULT_CHUNK_POINTS,
+        }
+    }
+}
+
+/// One unit of pool work: the boxed task plus its queue key.
+struct QueuedTask {
+    priority: Priority,
+    job: u64,
+    seq: u64,
+    run: Box<dyn FnOnce() + Send>,
+}
+
+impl QueuedTask {
+    /// Max-heap key: higher priority first, then older job, then earlier
+    /// chunk.
+    fn key(&self) -> (Priority, std::cmp::Reverse<u64>, std::cmp::Reverse<u64>) {
+        (
+            self.priority,
+            std::cmp::Reverse(self.job),
+            std::cmp::Reverse(self.seq),
+        )
+    }
+}
+
+impl PartialEq for QueuedTask {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for QueuedTask {}
+impl PartialOrd for QueuedTask {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedTask {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        self.key().cmp(&other.key())
+    }
+}
+
+struct State {
+    /// Job driver tasks. Kept apart from chunks because only *workers*
+    /// may start a driver: a driver helping with its own phase must never
+    /// pop another job's driver — the nested job could block on store
+    /// claims held by the suspended outer frame (deadlock), and even
+    /// without shared points it would run an entire foreign job inline
+    /// before finishing its own (priority inversion).
+    drivers: BinaryHeap<QueuedTask>,
+    /// Phase chunk tasks: pure, non-blocking computations. Safe for
+    /// anyone — worker or helping driver — to run.
+    chunks: BinaryHeap<QueuedTask>,
+    /// Jobs submitted but not yet finished (drives [`Scheduler::wait_idle`]).
+    active_jobs: usize,
+    shutdown: bool,
+}
+
+impl State {
+    /// Highest-priority task of either kind (workers' top-level loop).
+    fn pop_any(&mut self) -> Option<QueuedTask> {
+        match (self.drivers.peek(), self.chunks.peek()) {
+            (Some(driver), Some(chunk)) => {
+                if driver.cmp(chunk) == CmpOrdering::Greater {
+                    self.drivers.pop()
+                } else {
+                    self.chunks.pop()
+                }
+            }
+            (Some(_), None) => self.drivers.pop(),
+            (None, _) => self.chunks.pop(),
+        }
+    }
+}
+
+pub(crate) struct Inner {
+    state: Mutex<State>,
+    ready: Condvar,
+    chunk_points: usize,
+    workers: usize,
+    next_job: AtomicU64,
+}
+
+impl Inner {
+    /// Chunk size for a phase of `n` items: at most `chunk_points`, but
+    /// split finer when needed so even a small batch fans out across the
+    /// whole pool (a 3-point phase on an 8-worker pool must not collapse
+    /// into one sequential chunk).
+    fn phase_chunk(&self, n: usize) -> usize {
+        self.chunk_points.min(n.div_ceil(self.workers)).max(1)
+    }
+}
+
+impl Inner {
+    /// Wake every worker/helper/waiter. Taking the state lock first
+    /// serializes with `help_until`'s condition check, so no wakeup is
+    /// lost between "condition observed false" and "wait".
+    fn notify(&self) {
+        let _guard = self.state.lock().expect("scheduler state lock poisoned");
+        self.ready.notify_all();
+    }
+
+    fn push_chunks(&self, tasks: Vec<QueuedTask>) {
+        let mut state = self.state.lock().expect("scheduler state lock poisoned");
+        for task in tasks {
+            state.chunks.push(task);
+        }
+        self.ready.notify_all();
+    }
+
+    /// Run queued *chunk* tasks (any job's, by priority) until `done()`
+    /// holds, sleeping only when no chunk is runnable. This is what lets
+    /// a driver block on its own phase without wasting its thread or
+    /// deadlocking the pool: chunks are pure computations that always
+    /// terminate, so every outstanding phase drains even if all workers
+    /// are themselves drivers stuck helping. Driver tasks are deliberately
+    /// out of reach here — see [`State::drivers`].
+    fn help_until(&self, done: impl Fn() -> bool) {
+        loop {
+            let task = {
+                let mut state = self.state.lock().expect("scheduler state lock poisoned");
+                loop {
+                    if done() {
+                        return;
+                    }
+                    if let Some(task) = state.chunks.pop() {
+                        break task;
+                    }
+                    state = self
+                        .ready
+                        .wait(state)
+                        .expect("scheduler state lock poisoned");
+                }
+            };
+            run_task(task);
+        }
+    }
+}
+
+/// Execute one task, containing panics so a poisoned chunk cannot take a
+/// pool worker down with it (the chunk's completion guard still fires
+/// during unwinding, and the driver reports the lost slot as an error).
+fn run_task(task: QueuedTask) {
+    let _ = catch_unwind(AssertUnwindSafe(task.run));
+}
+
+/// A long-lived worker pool executing jobs as priority-ordered chunks.
+/// One per [`Prophet`](crate::service::Prophet); see the [module
+/// docs](self) for the execution model.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: usize,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("workers", &self.workers)
+            .field("chunk_points", &self.inner.chunk_points)
+            .field("active_jobs", &self.active_jobs())
+            .finish()
+    }
+}
+
+impl Scheduler {
+    /// Spawn a pool. `config.workers == 0` falls back to one worker.
+    /// (The [`Prophet`](crate::service::Prophet) builder resolves `0` to
+    /// its engine thread count, floored at 2, before calling this.)
+    /// Crate-private: jobs can only be submitted through a
+    /// [`Prophet`](crate::service::Prophet), which owns its pool — a
+    /// freestanding scheduler would have no public way to receive work.
+    pub(crate) fn new(config: SchedulerConfig) -> Self {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                drivers: BinaryHeap::new(),
+                chunks: BinaryHeap::new(),
+                active_jobs: 0,
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            chunk_points: config.chunk_points.max(1),
+            workers,
+            next_job: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Scheduler {
+            inner,
+            workers,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Maximum points per scheduled chunk.
+    pub fn chunk_points(&self) -> usize {
+        self.inner.chunk_points
+    }
+
+    /// Jobs submitted and not yet finished (running or queued).
+    pub fn active_jobs(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("scheduler state lock poisoned")
+            .active_jobs
+    }
+
+    /// Block until every submitted job has finished — the way to observe
+    /// completion of a job whose [`JobHandle`] was dropped (detached).
+    pub fn wait_idle(&self) {
+        let mut state = self
+            .inner
+            .state
+            .lock()
+            .expect("scheduler state lock poisoned");
+        while state.active_jobs > 0 {
+            state = self
+                .inner
+                .ready
+                .wait(state)
+                .expect("scheduler state lock poisoned");
+        }
+    }
+
+    /// Submit an offline sweep job (the scenario's whole OPTIMIZE grid).
+    pub(crate) fn submit_sweep(
+        &self,
+        engine: Arc<Engine>,
+        plan: SweepPlan,
+        priority: Priority,
+    ) -> JobHandle {
+        let points_total = (plan.groups_total() * plan.axis_total()) as u64;
+        self.spawn_job(engine, priority, points_total, move |inner, core| {
+            drive_sweep(&inner, &core, &plan);
+        })
+    }
+
+    /// Submit a raw point-batch job (also the backend of graph refreshes).
+    pub(crate) fn submit_batch(
+        &self,
+        engine: Arc<Engine>,
+        points: Vec<ParamPoint>,
+        priority: Priority,
+    ) -> JobHandle {
+        let points_total = points.len() as u64;
+        self.spawn_job(engine, priority, points_total, move |inner, core| {
+            drive_batch(&inner, &core, points);
+        })
+    }
+
+    fn spawn_job(
+        &self,
+        engine: Arc<Engine>,
+        priority: Priority,
+        points_total: u64,
+        body: impl FnOnce(Arc<Inner>, Arc<JobCore>) + Send + 'static,
+    ) -> JobHandle {
+        let id = self.inner.next_job.fetch_add(1, Ordering::AcqRel);
+        let (tx, rx) = mpsc::channel();
+        let baseline = engine.metrics();
+        let core = Arc::new(JobCore {
+            id,
+            priority,
+            cancelled: AtomicBool::new(false),
+            finished: AtomicBool::new(false),
+            points_done: AtomicU64::new(0),
+            points_total: AtomicU64::new(points_total),
+            chunks_done: AtomicU64::new(0),
+            chunks_dispatched: AtomicU64::new(0),
+            events: Mutex::new(Some(tx)),
+            engine,
+            baseline,
+        });
+        let driver_core = Arc::clone(&core);
+        let driver_inner = Arc::clone(&self.inner);
+        let task = QueuedTask {
+            priority,
+            job: id,
+            seq: 0,
+            run: Box::new(move || {
+                // A panicking driver must still fail the job: without this
+                // guard, `wait()` would block forever (the event sender
+                // never drops) and `wait_idle` would never settle.
+                let mut guard = DriverDone {
+                    inner: Arc::clone(&driver_inner),
+                    core: Arc::clone(&driver_core),
+                    armed: true,
+                };
+                body(driver_inner, driver_core);
+                guard.armed = false;
+            }),
+        };
+        {
+            let mut state = self
+                .inner
+                .state
+                .lock()
+                .expect("scheduler state lock poisoned");
+            state.active_jobs += 1;
+            state.drivers.push(task);
+            self.inner.ready.notify_all();
+        }
+        JobHandle { core, rx }
+    }
+}
+
+impl Drop for Scheduler {
+    /// Drain the queue (every submitted job runs to completion, so shared
+    /// stores are never abandoned mid-claim), then join the workers.
+    fn drop(&mut self) {
+        {
+            let mut state = self
+                .inner
+                .state
+                .lock()
+                .expect("scheduler state lock poisoned");
+            state.shutdown = true;
+            self.inner.ready.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.handles.lock().expect("handle lock poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let task = {
+            let mut state = inner.state.lock().expect("scheduler state lock poisoned");
+            loop {
+                if let Some(task) = state.pop_any() {
+                    break task;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = inner
+                    .ready
+                    .wait(state)
+                    .expect("scheduler state lock poisoned");
+            }
+        };
+        run_task(task);
+    }
+}
+
+// ------------------------------------------------------------- job drivers
+
+/// Fires only if a driver unwinds before its normal `finish_job` call
+/// (the happy path disarms it after `body` returns): reports the panic as
+/// a job failure and finishes the job, so handles and `wait_idle` never
+/// hang on a poisoned driver.
+struct DriverDone {
+    inner: Arc<Inner>,
+    core: Arc<JobCore>,
+    armed: bool,
+}
+
+impl Drop for DriverDone {
+    fn drop(&mut self) {
+        if self.armed {
+            self.core.emit(JobEvent::Failed(ProphetError::Internal(
+                "job driver panicked".into(),
+            )));
+            finish_job(&self.inner, &self.core);
+        }
+    }
+}
+
+/// Mark the job finished (whatever the outcome), close its event stream
+/// so the handle's iterator terminates, and wake idle-waiters.
+fn finish_job(inner: &Inner, core: &JobCore) {
+    core.finished.store(true, Ordering::Release);
+    core.close_events();
+    let mut state = inner.state.lock().expect("scheduler state lock poisoned");
+    state.active_jobs -= 1;
+    inner.ready.notify_all();
+}
+
+/// Stream a completed batch's results as chunk events, in batch order.
+fn emit_chunks(
+    inner: &Inner,
+    core: &JobCore,
+    event_chunk: &mut u64,
+    points: &[ParamPoint],
+    results: &[(SampleSet, EvalOutcome)],
+) {
+    for slice in points
+        .iter()
+        .zip(results.iter())
+        .collect::<Vec<_>>()
+        .chunks(inner.chunk_points)
+    {
+        core.emit(JobEvent::Chunk(ChunkUpdate {
+            chunk: *event_chunk,
+            results: slice
+                .iter()
+                .map(|(p, (_, outcome))| ((*p).clone(), outcome.clone()))
+                .collect(),
+        }));
+        *event_chunk += 1;
+    }
+}
+
+fn drive_sweep(inner: &Arc<Inner>, core: &Arc<JobCore>, plan: &SweepPlan) {
+    let engine = &core.engine;
+    let before = engine.metrics();
+    let start = Instant::now();
+    let mut event_chunk = 0u64;
+    let mut answers = Vec::with_capacity(plan.groups_total());
+    for group in plan.groups() {
+        if core.is_cancelled() {
+            core.emit(JobEvent::Cancelled);
+            finish_job(inner, core);
+            return;
+        }
+        let points = plan.group_points(&group);
+        let answer = run_batch(inner, core, &points).and_then(|out| match out {
+            BatchOut::Cancelled => Ok(None),
+            BatchOut::Done(results) => {
+                emit_chunks(inner, core, &mut event_chunk, &points, &results);
+                plan.answer_for(&group, &results, engine.output_columns())
+                    .map(Some)
+            }
+        });
+        match answer {
+            Ok(Some(answer)) => answers.push(answer),
+            Ok(None) => {
+                core.emit(JobEvent::Cancelled);
+                finish_job(inner, core);
+                return;
+            }
+            Err(err) => {
+                core.emit(JobEvent::Failed(err));
+                finish_job(inner, core);
+                return;
+            }
+        }
+    }
+    let (best, answers) = plan.rank(answers);
+    core.emit(JobEvent::Final(JobOutput::Sweep(Box::new(OfflineReport {
+        best,
+        answers,
+        groups_total: plan.groups_total(),
+        metrics: engine.metrics().since(&before),
+        wall: start.elapsed(),
+    }))));
+    finish_job(inner, core);
+}
+
+fn drive_batch(inner: &Arc<Inner>, core: &Arc<JobCore>, points: Vec<ParamPoint>) {
+    let mut event_chunk = 0u64;
+    match run_batch(inner, core, &points) {
+        Ok(BatchOut::Done(results)) => {
+            emit_chunks(inner, core, &mut event_chunk, &points, &results);
+            core.emit(JobEvent::Final(JobOutput::Points(results)));
+        }
+        Ok(BatchOut::Cancelled) => core.emit(JobEvent::Cancelled),
+        Err(err) => core.emit(JobEvent::Failed(err)),
+    }
+    finish_job(inner, core);
+}
+
+// --------------------------------------------------- chunked batch pipeline
+
+/// One remapped hit ready to publish: `(unique index, mapped samples,
+/// source worlds, source point, every-mapping-exact)`.
+type RemappedHit = (usize, HashMap<String, Vec<f64>>, usize, ParamPoint, bool);
+
+/// Outcome of one scheduled batch.
+enum BatchOut {
+    Done(Vec<(SampleSet, EvalOutcome)>),
+    /// A cancel was observed: completed chunk results were published,
+    /// remaining claims released, no results returned.
+    Cancelled,
+}
+
+/// Decrements the phase's outstanding-chunk count and wakes the driver on
+/// drop — *on drop*, so a panicking chunk still completes the phase
+/// instead of hanging it.
+struct ChunkDone {
+    remaining: Arc<AtomicUsize>,
+    core: Arc<JobCore>,
+    inner: Arc<Inner>,
+}
+
+impl Drop for ChunkDone {
+    fn drop(&mut self) {
+        self.core.chunks_done.fetch_add(1, Ordering::AcqRel);
+        self.remaining.fetch_sub(1, Ordering::AcqRel);
+        self.inner.notify();
+    }
+}
+
+/// Fan `items` out to the pool as chunks of at most `chunk` items of `f`,
+/// helping until every chunk finished. Slot `i` of the result is `None`
+/// if its chunk was skipped (job cancelled before the chunk started) or
+/// lost to a panic.
+fn run_chunked<I, T, F>(
+    inner: &Arc<Inner>,
+    core: &Arc<JobCore>,
+    items: Vec<I>,
+    chunk: usize,
+    f: F,
+) -> Vec<Option<T>>
+where
+    I: Send + 'static,
+    T: Send + 'static,
+    F: Fn(&I) -> T + Send + Sync + 'static,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = chunk.max(1);
+    let results: Arc<Mutex<Vec<Option<T>>>> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let f = Arc::new(f);
+    let mut indexed: Vec<(usize, I)> = items.into_iter().enumerate().collect();
+    let mut chunks: Vec<Vec<(usize, I)>> = Vec::new();
+    while !indexed.is_empty() {
+        let rest = indexed.split_off(chunk.min(indexed.len()));
+        chunks.push(std::mem::replace(&mut indexed, rest));
+    }
+    let remaining = Arc::new(AtomicUsize::new(chunks.len()));
+
+    let mut tasks = Vec::with_capacity(chunks.len());
+    for chunk in chunks {
+        let seq = core.chunks_dispatched.fetch_add(1, Ordering::AcqRel) + 1;
+        let guard = ChunkDone {
+            remaining: Arc::clone(&remaining),
+            core: Arc::clone(core),
+            inner: Arc::clone(inner),
+        };
+        let core = Arc::clone(core);
+        let results = Arc::clone(&results);
+        let f = Arc::clone(&f);
+        tasks.push(QueuedTask {
+            priority: core.priority,
+            job: core.id,
+            seq,
+            run: Box::new(move || {
+                let _done = guard;
+                // Cancellation is chunk-granular: the flag is consulted
+                // once, before any work — an in-flight chunk always
+                // finishes every point it started.
+                if core.is_cancelled() {
+                    return;
+                }
+                let computed: Vec<(usize, T)> =
+                    chunk.iter().map(|(i, item)| (*i, f(item))).collect();
+                let mut slots = results.lock().expect("chunk result lock poisoned");
+                for (i, value) in computed {
+                    slots[i] = Some(value);
+                }
+            }),
+        });
+    }
+    inner.push_chunks(tasks);
+    inner.help_until(|| remaining.load(Ordering::Acquire) == 0);
+    let mut slots = results.lock().expect("chunk result lock poisoned");
+    std::mem::take(&mut *slots)
+}
+
+/// Collect a phase's chunk results, mapping lost slots to either "the job
+/// was cancelled" (`None`) or an internal error (a chunk panicked).
+fn collect_phase<T>(
+    core: &JobCore,
+    outputs: Vec<Option<ProphetResult<T>>>,
+) -> ProphetResult<Option<Vec<T>>> {
+    let mut collected = Vec::with_capacity(outputs.len());
+    for slot in outputs {
+        match slot {
+            Some(result) => collected.push(result?),
+            None if core.is_cancelled() => return Ok(None),
+            None => {
+                return Err(ProphetError::Internal(
+                    "a scheduled chunk was lost (worker panic)".into(),
+                ))
+            }
+        }
+    }
+    Ok(Some(collected))
+}
+
+/// The scheduled mirror of [`Engine::evaluate_batch`]: same phases, same
+/// sequential skeleton, same publish order — the parallel phases fan out
+/// as pool chunks instead of per-call scoped threads. See the [module
+/// docs](self) for the bit-identity argument.
+fn run_batch(
+    inner: &Arc<Inner>,
+    core: &Arc<JobCore>,
+    points: &[ParamPoint],
+) -> ProphetResult<BatchOut> {
+    let engine = &core.engine;
+    if points.is_empty() {
+        return Ok(BatchOut::Done(Vec::new()));
+    }
+    if core.is_cancelled() {
+        return Ok(BatchOut::Cancelled);
+    }
+
+    let (unique, slot_of) = dedupe_points(points);
+    let worlds_per_point = engine.config().worlds_per_point;
+    let threads = engine.config().threads.max(1);
+    let use_fingerprints =
+        engine.config().fingerprints_enabled && !engine.stochastic_columns().is_empty();
+    let store = engine.basis_store();
+
+    // ---- plan: exact-cache check + in-flight claim per unique point.
+    let mut results: Vec<Option<(SampleSet, EvalOutcome)>> =
+        (0..unique.len()).map(|_| None).collect();
+    let mut guards: Vec<Option<InflightGuard>> = (0..unique.len()).map(|_| None).collect();
+    let mut waits: Vec<Option<WaitHandle>> = (0..unique.len()).map(|_| None).collect();
+    let mut owned: Vec<usize> = Vec::new();
+    for (i, point) in unique.iter().enumerate() {
+        match store.try_claim(point, worlds_per_point) {
+            TryClaim::Ready { samples, .. } => {
+                engine.bump(|m| m.points_cached += 1);
+                core.points_done.fetch_add(1, Ordering::AcqRel);
+                results[i] = Some((engine.to_sample_set(point, &samples), EvalOutcome::Cached));
+            }
+            TryClaim::Owner(guard) => {
+                guards[i] = Some(guard);
+                owned.push(i);
+            }
+            TryClaim::Pending(handle) => waits[i] = Some(handle),
+        }
+    }
+
+    // ---- probe + match + remap (the fingerprint phase).
+    let mut probes: Vec<Option<HashMap<String, Fingerprint>>> =
+        (0..unique.len()).map(|_| None).collect();
+    let mut to_simulate: Vec<usize> = Vec::new();
+    if use_fingerprints && !owned.is_empty() {
+        let phase = Instant::now();
+        let probe_engine = Arc::clone(engine);
+        let owned_points: Vec<ParamPoint> = owned.iter().map(|&i| unique[i].clone()).collect();
+        let probe_chunk = inner.phase_chunk(owned_points.len());
+        let probe_outputs = run_chunked(inner, core, owned_points, probe_chunk, move |p| {
+            probe_engine.probe_fingerprints(p)
+        });
+        // A cancel during probing published nothing: every claim is simply
+        // released (guards drop on return) and waiters recover.
+        let Some(owned_probes) = collect_phase(core, probe_outputs)? else {
+            return Ok(BatchOut::Cancelled);
+        };
+        engine.bump(|m| m.batch_probes += owned.len() as u64);
+
+        let match_start = Instant::now();
+        let (hits, scan) = store.find_correlated_batch_scan(
+            &owned_probes,
+            engine.stochastic_columns(),
+            &engine.config().detector,
+            threads,
+            engine.config().match_index,
+        );
+        let match_elapsed = match_start.elapsed();
+        engine.bump(|m| {
+            m.fingerprint_time += match_elapsed;
+            m.match_scan_nanos += match_elapsed.as_nanos() as u64;
+            m.candidates_scanned += scan.candidates_scanned;
+            m.candidates_pruned += scan.candidates_pruned;
+        });
+        for (pos, probe) in owned_probes.into_iter().enumerate() {
+            probes[owned[pos]] = Some(probe);
+        }
+
+        // Remap every hit as pool chunks, then publish in batch order.
+        let mut hit_items: Vec<(usize, ParamPoint, BasisHit)> = Vec::new();
+        for (pos, hit) in hits.into_iter().enumerate() {
+            match hit {
+                Some(hit) => hit_items.push((owned[pos], unique[owned[pos]].clone(), hit)),
+                None => to_simulate.push(owned[pos]),
+            }
+        }
+        let remap_engine = Arc::clone(engine);
+        let remap_chunk = inner.phase_chunk(hit_items.len());
+        let remapped: Vec<Option<ProphetResult<RemappedHit>>> = run_chunked(
+            inner,
+            core,
+            hit_items,
+            remap_chunk,
+            move |(i, point, hit): &(usize, ParamPoint, BasisHit)| {
+                let mapped =
+                    remap_engine.remap_samples(point, &hit.samples, &hit.mappings, hit.worlds)?;
+                let exact = hit.mappings.values().all(Mapping::is_exact);
+                Ok((*i, mapped, hit.worlds, hit.source.clone(), exact))
+            },
+        );
+        let mut cancelled_mid_remap = false;
+        for slot in remapped {
+            match slot {
+                Some(result) => {
+                    let (i, mapped, worlds, from, exact) = result?;
+                    let guard = guards[i].take().expect("hit point was claimed");
+                    guard.complete(
+                        probes[i].take().expect("hit point was probed"),
+                        Arc::new(mapped.clone()),
+                        worlds,
+                        false,
+                    );
+                    engine.bump(|m| m.points_mapped += 1);
+                    core.points_done.fetch_add(1, Ordering::AcqRel);
+                    results[i] = Some((
+                        engine.to_sample_set(&unique[i], &mapped),
+                        EvalOutcome::Mapped { from, exact },
+                    ));
+                }
+                None if core.is_cancelled() => cancelled_mid_remap = true,
+                None => {
+                    return Err(ProphetError::Internal(
+                        "a scheduled chunk was lost (worker panic)".into(),
+                    ))
+                }
+            }
+        }
+        engine.bump(|m| m.probe_nanos += phase.elapsed().as_nanos() as u64);
+        if cancelled_mid_remap || core.is_cancelled() {
+            return Ok(BatchOut::Cancelled);
+        }
+    } else {
+        to_simulate = owned;
+    }
+
+    // ---- simulate misses as pool chunks, publish in batch order. With
+    // at least `threads` misses, each chunk simulates single-threaded
+    // (`world_parallel: false`) and parallelism lives at the chunk level;
+    // with fewer misses than threads — the interactive small-refresh case
+    // — the misses run as one chunk of world-parallel simulations,
+    // exactly the blocking executor's schedule, so a lone cold point
+    // still fans its worlds across the machine. The world→sample
+    // assignment is seed-based, so samples and counters are identical
+    // under every schedule.
+    if !to_simulate.is_empty() {
+        if core.is_cancelled() {
+            return Ok(BatchOut::Cancelled);
+        }
+        let phase = Instant::now();
+        let sim_engine = Arc::clone(engine);
+        let miss_items: Vec<(usize, ParamPoint)> = to_simulate
+            .iter()
+            .map(|&i| (i, unique[i].clone()))
+            .collect();
+        let world_parallel = miss_items.len() < threads;
+        let sim_chunk = if world_parallel {
+            miss_items.len()
+        } else {
+            inner.phase_chunk(miss_items.len())
+        };
+        let simulated = run_chunked(
+            inner,
+            core,
+            miss_items,
+            sim_chunk,
+            move |(_, p): &(usize, ParamPoint)| sim_engine.simulate_full(p, world_parallel),
+        );
+        let mut cancelled_mid_sim = false;
+        for (&i, slot) in to_simulate.iter().zip(simulated) {
+            match slot {
+                Some(sim) => {
+                    let samples = sim?;
+                    let guard = guards[i].take().expect("missed point was claimed");
+                    guard.complete(
+                        probes[i].take().unwrap_or_default(),
+                        Arc::new(samples.clone()),
+                        worlds_per_point,
+                        true,
+                    );
+                    engine.bump(|m| m.points_simulated += 1);
+                    core.points_done.fetch_add(1, Ordering::AcqRel);
+                    results[i] = Some((
+                        engine.to_sample_set(&unique[i], &samples),
+                        EvalOutcome::Simulated,
+                    ));
+                }
+                None if core.is_cancelled() => cancelled_mid_sim = true,
+                None => {
+                    return Err(ProphetError::Internal(
+                        "a scheduled chunk was lost (worker panic)".into(),
+                    ))
+                }
+            }
+        }
+        engine.bump(|m| m.sim_nanos += phase.elapsed().as_nanos() as u64);
+        if cancelled_mid_sim {
+            return Ok(BatchOut::Cancelled);
+        }
+    }
+
+    // ---- resolve cross-session waits last, mirroring the blocking path.
+    for i in 0..unique.len() {
+        if let Some(handle) = waits[i].take() {
+            results[i] = Some(engine.resolve_wait(&unique[i], handle)?);
+            core.points_done.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    // Duplicates resolve to their unique point's result.
+    core.points_done
+        .fetch_add((points.len() - unique.len()) as u64, Ordering::AcqRel);
+    Ok(BatchOut::Done(
+        slot_of
+            .into_iter()
+            .map(|i| {
+                results[i]
+                    .clone()
+                    .expect("every unique point resolves to a result")
+            })
+            .collect(),
+    ))
+}

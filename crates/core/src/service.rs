@@ -33,14 +33,16 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use prophet_mc::guide::{Guide, GuideFactory, PriorityGuide};
-use prophet_mc::{SharedBasisStore, StoreStatsSnapshot};
+use prophet_mc::{ParamPoint, SharedBasisStore, StoreStatsSnapshot};
 use prophet_sql::ast::ParameterDecl;
 use prophet_vg::VgRegistry;
 
 use crate::engine::{Engine, EngineConfig};
 use crate::error::{ProphetError, ProphetResult};
-use crate::offline::OfflineOptimizer;
+use crate::job::{JobHandle, JobKind, JobSpec};
+use crate::offline::{OfflineOptimizer, SweepPlan};
 use crate::scenario::Scenario;
+use crate::scheduler::{Scheduler, SchedulerConfig};
 use crate::session::OnlineSession;
 
 /// The default exploration strategy: [`PriorityGuide`] with neighbour
@@ -65,6 +67,7 @@ pub struct ProphetBuilder {
     registry: Option<Arc<VgRegistry>>,
     config: EngineConfig,
     guide_factory: Arc<dyn GuideFactory>,
+    scheduler: SchedulerConfig,
 }
 
 impl std::fmt::Debug for ProphetBuilder {
@@ -86,6 +89,7 @@ impl ProphetBuilder {
             registry: None,
             config: EngineConfig::default(),
             guide_factory: Arc::new(PriorityGuideFactory),
+            scheduler: SchedulerConfig::default(),
         }
     }
 
@@ -125,6 +129,15 @@ impl ProphetBuilder {
         self
     }
 
+    /// Tune the service's job scheduler (worker pool size, chunk
+    /// granularity). By default the pool runs
+    /// `EngineConfig::threads.max(1)` workers and chunks jobs at
+    /// [`crate::scheduler::DEFAULT_CHUNK_POINTS`] points.
+    pub fn scheduler(mut self, config: SchedulerConfig) -> Self {
+        self.scheduler = config;
+        self
+    }
+
     /// Plug in an exploration strategy: the factory builds one fresh
     /// [`Guide`] per online session (guides are stateful and
     /// session-local). Defaults to the paper's priority queue with
@@ -157,11 +170,27 @@ impl ProphetBuilder {
         let registry = self
             .registry
             .unwrap_or_else(|| Arc::new(prophet_models::full_registry()));
+        // Auto-resolved pools get at least 2 workers: job drivers occupy
+        // a worker for their whole job, so a 1-worker pool would queue a
+        // high-priority driver behind an entire running sweep — the exact
+        // whole-job serialization the scheduler exists to eliminate. Two
+        // lanes guarantee an interactive driver starts beside one batch
+        // driver even at `threads: 1` (an explicit `workers: 1` is
+        // honoured for tests that want a serialized pool).
+        let scheduler = Arc::new(Scheduler::new(SchedulerConfig {
+            workers: if self.scheduler.workers == 0 {
+                self.config.threads.max(2)
+            } else {
+                self.scheduler.workers
+            },
+            ..self.scheduler
+        }));
         Ok(Prophet {
             registry,
             config: self.config,
             guide_factory: self.guide_factory,
             slots,
+            scheduler,
         })
     }
 }
@@ -177,6 +206,10 @@ pub struct Prophet {
     config: EngineConfig,
     guide_factory: Arc<dyn GuideFactory>,
     slots: HashMap<String, Slot>,
+    /// The service's long-lived worker pool: every session refresh,
+    /// offline sweep, and [`Prophet::submit`]ted job runs on it as
+    /// priority-interleaved chunks.
+    scheduler: Arc<Scheduler>,
 }
 
 impl std::fmt::Debug for Prophet {
@@ -218,19 +251,130 @@ impl Prophet {
 
     /// Open an interactive online session on a named scenario. Every
     /// session of one scenario shares the same basis store: what one
-    /// simulates, the others re-map or serve from cache.
+    /// simulates, the others re-map or serve from cache. The session's
+    /// refreshes run as high-priority jobs on the service scheduler, its
+    /// idle prefetches as low-priority ones.
     pub fn online(&self, name: &str) -> ProphetResult<OnlineSession> {
         let slot = self.slot(name)?;
-        let engine = self.engine_for(slot)?;
+        let engine = Arc::new(self.engine_for(slot)?);
         let guide = self.guide_factory.build(&slot.scenario.script().params);
-        OnlineSession::open_with_guide(engine, guide)
+        OnlineSession::open_scheduled(engine, guide, Arc::clone(&self.scheduler))
     }
 
     /// Open an offline optimizer on a named scenario, sharing the same
-    /// basis store as the online sessions.
+    /// basis store as the online sessions. Its blocking
+    /// [`run`](OfflineOptimizer::run) executes as `submit(sweep).wait()`
+    /// on the service scheduler.
     pub fn offline(&self, name: &str) -> ProphetResult<OfflineOptimizer> {
         let slot = self.slot(name)?;
-        OfflineOptimizer::open(self.engine_for(slot)?)
+        OfflineOptimizer::open_scheduled(
+            Arc::new(self.engine_for(slot)?),
+            Arc::clone(&self.scheduler),
+        )
+    }
+
+    /// Submit an asynchronous job — a sweep, a graph refresh, or a raw
+    /// point batch — and return immediately with a [`JobHandle`] for
+    /// progress polling, event streaming, cancellation, or a blocking
+    /// [`wait`](JobHandle::wait).
+    ///
+    /// The job runs on the service's shared [`Scheduler`] as chunks
+    /// ordered by `(priority, submission order)`: a
+    /// [`Priority::High`](crate::job::Priority::High) job's chunks
+    /// overtake a running lower-priority sweep mid-flight instead of
+    /// queueing behind it. Each job evaluates on a fresh engine over the
+    /// scenario's shared basis store, so its published simulations are
+    /// reusable by every session (and vice versa), and its final answer
+    /// is bit-identical to the corresponding blocking call.
+    pub fn submit(&self, spec: JobSpec) -> ProphetResult<JobHandle> {
+        match spec.kind {
+            JobKind::Sweep { ref scenario } => {
+                let slot = self.slot(scenario)?;
+                let plan = SweepPlan::from_script(slot.scenario.script())?;
+                let engine = Arc::new(self.engine_for(slot)?);
+                Ok(self.scheduler.submit_sweep(engine, plan, spec.priority))
+            }
+            JobKind::Refresh {
+                ref scenario,
+                ref sliders,
+            } => {
+                let slot = self.slot(scenario)?;
+                let points = self.refresh_points(slot, sliders)?;
+                let engine = Arc::new(self.engine_for(slot)?);
+                Ok(self.scheduler.submit_batch(engine, points, spec.priority))
+            }
+            JobKind::Points {
+                ref scenario,
+                ref points,
+            } => {
+                let slot = self.slot(scenario)?;
+                let engine = Arc::new(self.engine_for(slot)?);
+                Ok(self
+                    .scheduler
+                    .submit_batch(engine, points.clone(), spec.priority))
+            }
+        }
+    }
+
+    /// The service's job scheduler (worker/chunk introspection,
+    /// [`wait_idle`](Scheduler::wait_idle) for detached jobs).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Expand a refresh spec into its graph-axis batch, validating the
+    /// sliders exactly as [`OnlineSession::set_param`] would.
+    ///
+    /// [`OnlineSession::set_param`]: crate::session::OnlineSession::set_param
+    fn refresh_points(&self, slot: &Slot, sliders: &ParamPoint) -> ProphetResult<Vec<ParamPoint>> {
+        let script = slot.scenario.script();
+        let graph = script
+            .graph
+            .clone()
+            .ok_or(ProphetError::MissingGraphDirective)?;
+        let slider_names: Vec<String> = script
+            .params
+            .iter()
+            .filter(|p| p.name != graph.x_param)
+            .map(|p| p.name.clone())
+            .collect();
+        let mut full = ParamPoint::new();
+        for (name, value) in sliders.iter() {
+            if name == graph.x_param {
+                return Err(ProphetError::AxisParam {
+                    name: name.to_owned(),
+                });
+            }
+            let decl = script
+                .param(name)
+                .ok_or_else(|| ProphetError::unknown_param(name, slider_names.clone()))?;
+            if !decl.domain.contains(value) {
+                return Err(ProphetError::OutOfDomain {
+                    name: name.to_owned(),
+                    value,
+                });
+            }
+            full.set(name.to_owned(), value);
+        }
+        for name in &slider_names {
+            if full.get(name).is_none() {
+                let mut required = slider_names.clone();
+                required.sort();
+                return Err(ProphetError::MissingSlider {
+                    name: name.clone(),
+                    required,
+                });
+            }
+        }
+        let x_decl = script.param(&graph.x_param).ok_or_else(|| {
+            ProphetError::unknown_param(graph.x_param.clone(), slider_names.clone())
+        })?;
+        Ok(x_decl
+            .domain
+            .values()
+            .into_iter()
+            .map(|x| full.with(graph.x_param.clone(), x))
+            .collect())
     }
 
     /// A raw engine on a named scenario's shared store (for batch jobs and
@@ -250,6 +394,19 @@ impl Prophet {
     /// session's concurrent simulation instead of duplicating it).
     pub fn basis_stats(&self, name: &str) -> ProphetResult<StoreStatsSnapshot> {
         self.slot(name).map(|s| s.store.stats_snapshot())
+    }
+
+    /// Every scenario's shared-store counters in one call, sorted by
+    /// scenario name — the operator's poll-everything endpoint (no more
+    /// iterating [`Prophet::scenario_names`] + [`Prophet::basis_stats`]).
+    pub fn basis_stats_all(&self) -> Vec<(String, StoreStatsSnapshot)> {
+        let mut stats: Vec<(String, StoreStatsSnapshot)> = self
+            .slots
+            .iter()
+            .map(|(name, slot)| (name.clone(), slot.store.stats_snapshot()))
+            .collect();
+        stats.sort_by(|a, b| a.0.cmp(&b.0));
+        stats
     }
 
     /// Drop a scenario's shared basis entries (forces cold starts

@@ -18,15 +18,18 @@
 //! simulates, another re-maps.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use prophet_mc::aggregate::Welford;
 use prophet_mc::guide::{Guide, PriorityGuide};
-use prophet_mc::{ParamPoint, Series};
+use prophet_mc::{ParamPoint, SampleSet, Series, TryClaim};
 use prophet_sql::ast::GraphDirective;
 
 use crate::engine::{Engine, EvalOutcome};
 use crate::error::{ProphetError, ProphetResult};
+use crate::job::Priority;
+use crate::scheduler::Scheduler;
 
 /// What one slider adjustment (or initial render) cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,13 +79,19 @@ pub struct ProgressiveEstimate {
 
 /// An interactive what-if session over one scenario.
 pub struct OnlineSession {
-    engine: Engine,
+    engine: Arc<Engine>,
     graph: GraphDirective,
     x_values: Vec<i64>,
     sliders: ParamPoint,
     series: Vec<Series>,
     guide: Box<dyn Guide + Send>,
     adjustments: u64,
+    /// Present when opened through a [`Prophet`](crate::service::Prophet):
+    /// refreshes and prefetches then execute as submitted jobs on the
+    /// service's shared scheduler (interactive work at [`Priority::High`],
+    /// idle prefetch at [`Priority::Low`]) instead of building per-call
+    /// thread pools.
+    scheduler: Option<Arc<Scheduler>>,
 }
 
 impl std::fmt::Debug for OnlineSession {
@@ -109,6 +118,26 @@ impl OnlineSession {
     /// [`Prophet`](crate::service::Prophet) builder's `.exploration(…)`
     /// hook lands here.
     pub fn open_with_guide(engine: Engine, guide: Box<dyn Guide + Send>) -> ProphetResult<Self> {
+        OnlineSession::build(Arc::new(engine), guide, None)
+    }
+
+    /// Open over a shared engine, evaluating through the service's
+    /// scheduler ([`Prophet::online`]'s constructor).
+    ///
+    /// [`Prophet::online`]: crate::service::Prophet::online
+    pub(crate) fn open_scheduled(
+        engine: Arc<Engine>,
+        guide: Box<dyn Guide + Send>,
+        scheduler: Arc<Scheduler>,
+    ) -> ProphetResult<Self> {
+        OnlineSession::build(engine, guide, Some(scheduler))
+    }
+
+    fn build(
+        engine: Arc<Engine>,
+        guide: Box<dyn Guide + Send>,
+        scheduler: Option<Arc<Scheduler>>,
+    ) -> ProphetResult<Self> {
         let script = engine.script();
         let graph = script
             .graph
@@ -136,7 +165,27 @@ impl OnlineSession {
             series,
             guide,
             adjustments: 0,
+            scheduler,
         })
+    }
+
+    /// Evaluate a batch of points: as a submitted job on the service
+    /// scheduler when this session is service-backed (so other sessions'
+    /// higher-priority chunks can interleave), directly on the engine's
+    /// blocking executor otherwise. Results are bit-identical either way
+    /// (the `tests/jobs.rs` differential suite enforces it).
+    fn evaluate_points(
+        &self,
+        points: Vec<ParamPoint>,
+        priority: Priority,
+    ) -> ProphetResult<Vec<(SampleSet, EvalOutcome)>> {
+        match &self.scheduler {
+            Some(scheduler) => scheduler
+                .submit_batch(Arc::clone(&self.engine), points, priority)
+                .wait()?
+                .into_points(),
+            None => self.engine.evaluate_batch(&points),
+        }
     }
 
     /// Current slider values (everything but the graph axis).
@@ -208,10 +257,13 @@ impl OnlineSession {
         Ok(report)
     }
 
-    /// Recompute every graph point for the current sliders, as one batch
-    /// through the evaluation executor: every week probes the shared store
-    /// in a single source-parallel scan and the changed weeks simulate
-    /// point-parallel across the engine's worker pool.
+    /// Recompute every graph point for the current sliders, as one batch:
+    /// every week probes the shared store in a single source-parallel scan
+    /// and the changed weeks simulate in parallel. Service-backed sessions
+    /// run the batch as a [`Priority::High`] job on the shared scheduler —
+    /// this call stays blocking (it is `submit(refresh).wait()`), but the
+    /// work interleaves with, and overtakes, lower-priority jobs instead
+    /// of queueing behind them.
     pub fn refresh(&mut self) -> ProphetResult<AdjustReport> {
         let start = Instant::now();
         let mut report = AdjustReport {
@@ -226,7 +278,7 @@ impl OnlineSession {
             .iter()
             .map(|&x| self.sliders.with(self.graph.x_param.clone(), x))
             .collect();
-        let results = self.engine.evaluate_batch(&points)?;
+        let results = self.evaluate_points(points, Priority::High)?;
         for (&x, (samples, outcome)) in self.x_values.iter().zip(&results) {
             match outcome {
                 EvalOutcome::Cached => report.weeks_cached += 1,
@@ -246,9 +298,11 @@ impl OnlineSession {
     /// how many were evaluated.
     ///
     /// The drained points expand across every week of the graph axis and
-    /// go through the executor as one batch, so anticipatory work gets the
-    /// same batched probing and point-parallel simulation as a user-facing
-    /// refresh.
+    /// go through as one batch, so anticipatory work gets the same batched
+    /// probing and parallel simulation as a user-facing refresh — but on a
+    /// service-backed session it runs as a [`Priority::Low`] job, so any
+    /// interactive refresh submitted meanwhile overtakes it chunk by
+    /// chunk.
     pub fn prefetch_tick(&mut self, budget: usize) -> ProphetResult<usize> {
         let mut drained = Vec::new();
         while drained.len() < budget {
@@ -269,15 +323,30 @@ impl OnlineSession {
                 batch.push(point.clone());
             }
         }
-        self.engine.evaluate_batch(&batch)?;
+        self.evaluate_points(batch, Priority::Low)?;
         Ok(drained.len())
     }
 
     /// Progressive (anytime) expectation of `column` at the *current*
-    /// sliders and week `x`: keeps adding Monte Carlo batches until the
-    /// 95%-CI half-width drops below `epsilon`. A basis hit makes the very
-    /// first guess accurate — the paper's lower "time to
+    /// sliders and week `x`: adds Monte Carlo work batch by batch until
+    /// the 95%-CI half-width drops below `epsilon`. A basis hit makes the
+    /// very first guess accurate — the paper's lower "time to
     /// first-accurate-guess".
+    ///
+    /// The estimate applies the job layer's chunk-at-a-time discipline
+    /// at world granularity, *on the caller's thread* (the work is this
+    /// session's own anytime loop, not a scheduler job — it holds the
+    /// point's claim for the duration): a cold point simulates
+    /// `batch`-world spans (the engine's world-span primitive keeps each
+    /// span bit-identical to the corresponding slice of a full run,
+    /// because the world→sample assignment is seed-based) and stops as
+    /// soon as the criterion holds, instead of blocking on the whole
+    /// `worlds_per_point` budget up front. Whatever was simulated is published to the shared basis
+    /// store — partial progress is observable, not discarded — and a
+    /// point left below full depth is handed back to the guide
+    /// ([`Guide::observe_partial`]), so its `pending` queue reflects the
+    /// remaining work and an idle-time [`OnlineSession::prefetch_tick`]
+    /// deepens the point later.
     pub fn progressive_expect(
         &mut self,
         column: &str,
@@ -286,36 +355,141 @@ impl OnlineSession {
         batch: usize,
     ) -> ProphetResult<ProgressiveEstimate> {
         const Z95: f64 = 1.96;
+        let batch = batch.max(1);
+        let engine = Arc::clone(&self.engine);
+        if !engine.output_columns().iter().any(|c| c == column) {
+            return Err(ProphetError::unknown_column(
+                column,
+                engine.output_columns(),
+            ));
+        }
         let point = self.sliders.with(self.graph.x_param.clone(), x);
-        let (samples, outcome) = self.engine.evaluate(&point)?;
-        let xs = samples
-            .samples(column)
-            .ok_or_else(|| ProphetError::unknown_column(column, self.engine.output_columns()))?;
+        let worlds_full = engine.config().worlds_per_point;
+        let store = engine.basis_store();
         let mut acc = Welford::new();
-        let used_basis = !matches!(outcome, EvalOutcome::Simulated);
-        let mut worlds_used = 0usize;
-        // Feed the available samples batch by batch until converged; a
-        // reused (cached/mapped) evaluation converges with zero fresh work,
-        // a simulated one pays as it goes.
-        for chunk in xs.chunks(batch.max(1)) {
-            acc.extend(chunk);
-            if !used_basis {
-                worlds_used += chunk.len();
+
+        // Serve from existing basis work first: an exact entry at any
+        // depth, another session's in-flight simulation, or a correlated
+        // mapping — each converges with zero fresh worlds.
+        let column_samples = |samples: &HashMap<String, Vec<f64>>| -> ProphetResult<Vec<f64>> {
+            samples.get(column).cloned().ok_or_else(|| {
+                ProphetError::Internal(format!("basis entry lacks samples for column `{column}`"))
+            })
+        };
+        // An entry at *any* depth can serve the first guess, but if it is
+        // shallower than the budget and the criterion still fails on its
+        // samples, re-claim at full depth (the min-worlds filter then
+        // skips the shallow entry) and deepen — a previously published
+        // partial estimate must never dead-end tighter follow-ups.
+        let mut min_worlds = 1usize;
+        let mut wait = None;
+        let mut resume: Option<(std::sync::Arc<prophet_mc::ColumnSamples>, usize)> = None;
+        let guard = loop {
+            if let Some(handle) = wait.take() {
+                let handle: prophet_mc::WaitHandle = handle;
+                // Another session owns this point's simulation: reuse it.
+                if let Some((samples, worlds)) = handle.wait() {
+                    let xs = column_samples(&samples)?;
+                    let mut shared = Welford::new();
+                    let est = feed_progressive(&mut shared, &xs, batch, epsilon, Z95);
+                    if est.converged || worlds >= worlds_full {
+                        engine.bump(|m| {
+                            m.points_cached += 1;
+                            m.inflight_waits += 1;
+                        });
+                        return Ok(est);
+                    }
+                    min_worlds = worlds_full;
+                    resume = Some((samples, worlds));
+                }
+                // Abandoned or too shallow: fall through and re-claim.
             }
-            if acc.converged(epsilon, Z95) {
-                return Ok(ProgressiveEstimate {
-                    estimate: acc.mean().unwrap_or(f64::NAN),
-                    worlds_used,
-                    used_basis,
-                    converged: true,
+            match store.try_claim(&point, min_worlds) {
+                TryClaim::Ready { samples, worlds } => {
+                    let xs = column_samples(&samples)?;
+                    let mut stored = Welford::new();
+                    let est = feed_progressive(&mut stored, &xs, batch, epsilon, Z95);
+                    if est.converged || worlds >= worlds_full {
+                        engine.bump(|m| m.points_cached += 1);
+                        return Ok(est);
+                    }
+                    min_worlds = worlds_full;
+                    resume = Some((samples, worlds));
+                }
+                TryClaim::Pending(handle) => wait = Some(handle),
+                TryClaim::Owner(guard) => break guard,
+            }
+        };
+
+        // We own the point. A correlated hit still answers instantly…
+        let use_fingerprints =
+            engine.config().fingerprints_enabled && !engine.stochastic_columns().is_empty();
+        let mut probes = HashMap::new();
+        if use_fingerprints {
+            let phase = Instant::now();
+            let (point_probes, hit) = engine.probe_and_match_one(&point)?;
+            probes = point_probes;
+            if let Some(hit) = hit {
+                let mapped =
+                    engine.remap_samples(&point, &hit.samples, &hit.mappings, hit.worlds)?;
+                guard.complete(probes, Arc::new(mapped.clone()), hit.worlds, false);
+                engine.bump(|m| {
+                    m.points_mapped += 1;
+                    m.probe_nanos += phase.elapsed().as_nanos() as u64;
                 });
+                let xs = column_samples(&mapped)?;
+                return Ok(feed_progressive(&mut acc, &xs, batch, epsilon, Z95));
             }
+            engine.bump(|m| m.probe_nanos += phase.elapsed().as_nanos() as u64);
+        }
+
+        // …a miss simulates chunk by chunk, stopping at convergence.
+        // When deepening a shallow entry, resume from its stored samples:
+        // the seed-based world→sample assignment makes worlds `0..k`
+        // bit-identical to what re-simulation would produce, so only the
+        // remainder is fresh work.
+        let phase = Instant::now();
+        let mut all: HashMap<String, Vec<f64>> = HashMap::new();
+        let mut done = 0usize;
+        let mut converged = false;
+        if let Some((stored, worlds)) = resume {
+            all = (*stored).clone();
+            acc.extend(&column_samples(&all)?[..worlds]);
+            done = worlds;
+        }
+        let resumed_from = done;
+        while done < worlds_full {
+            let end = (done + batch).min(worlds_full);
+            let span = engine.simulate_world_span(&point, done as u64..end as u64)?;
+            for (name, values) in span {
+                all.entry(name).or_default().extend(values);
+            }
+            acc.extend(&all[column][done..end]);
+            done = end;
+            if acc.converged(epsilon, Z95) {
+                converged = true;
+                break;
+            }
+        }
+        // Publish what was simulated: a full-depth entry becomes a regular
+        // matchable basis source; a partial one is exact-key-reusable (the
+        // store's min-worlds filters protect full-depth consumers).
+        guard.complete(probes, Arc::new(all), done, done == worlds_full);
+        engine.bump(|m| {
+            m.points_simulated += 1;
+            m.sim_nanos += phase.elapsed().as_nanos() as u64;
+        });
+        if done < worlds_full {
+            // The point stopped below full depth: queue the remainder with
+            // the guide so idle time can finish it.
+            self.guide.observe_partial(&point);
         }
         Ok(ProgressiveEstimate {
             estimate: acc.mean().unwrap_or(f64::NAN),
-            worlds_used,
-            used_basis,
-            converged: acc.converged(epsilon, Z95),
+            // Fresh simulation work only — resumed worlds were reused.
+            worlds_used: done - resumed_from,
+            used_basis: false,
+            converged,
         })
     }
 
@@ -334,6 +508,33 @@ impl OnlineSession {
             .iter()
             .map(|(n, v)| (n.to_owned(), v))
             .collect()
+    }
+}
+
+/// Feed an already-available sample column into the accumulator chunk by
+/// chunk until the criterion holds — the basis-hit path of
+/// [`OnlineSession::progressive_expect`], converging with zero fresh
+/// worlds.
+fn feed_progressive(
+    acc: &mut Welford,
+    xs: &[f64],
+    batch: usize,
+    epsilon: f64,
+    z: f64,
+) -> ProgressiveEstimate {
+    let mut converged = false;
+    for chunk in xs.chunks(batch) {
+        acc.extend(chunk);
+        if acc.converged(epsilon, z) {
+            converged = true;
+            break;
+        }
+    }
+    ProgressiveEstimate {
+        estimate: acc.mean().unwrap_or(f64::NAN),
+        worlds_used: 0,
+        used_basis: true,
+        converged,
     }
 }
 

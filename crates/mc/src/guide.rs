@@ -43,6 +43,15 @@ pub trait Guide {
     fn pending(&self) -> usize {
         0
     }
+
+    /// Notification that `point` was evaluated only partially (a
+    /// progressive estimate converged — or its budget ran out — below the
+    /// configured world depth): the remaining work is real and should not
+    /// be silently discarded. Queueing strategies re-queue the point so
+    /// idle time (`prefetch_tick`) can finish it; the default is a no-op.
+    fn observe_partial(&mut self, point: &ParamPoint) {
+        let _ = point;
+    }
 }
 
 /// Builds a fresh [`Guide`] for one session over the given parameter
@@ -255,6 +264,12 @@ impl Guide for PriorityGuide {
     fn pending(&self) -> usize {
         PriorityGuide::pending(self)
     }
+
+    /// A partially evaluated point is pending work: queue it at prefetch
+    /// priority so idle time deepens it to full world depth.
+    fn observe_partial(&mut self, point: &ParamPoint) {
+        self.enqueue_prefetch(point.clone());
+    }
 }
 
 #[cfg(test)]
@@ -414,6 +429,23 @@ mod tests {
         // only one neighbour exists (2)
         assert_eq!(g.next_point(), Some(ParamPoint::from_pairs([("a", 2i64)])));
         assert_eq!(g.next_point(), None);
+    }
+
+    #[test]
+    fn observe_partial_requeues_at_prefetch_priority() {
+        let ds = decls();
+        let mut g = PriorityGuide::new(&ds);
+        let partial = ParamPoint::from_pairs([("a", 1i64), ("b", 10)]);
+        let user = ParamPoint::from_pairs([("a", 2i64), ("b", 20)]);
+        Guide::observe_partial(&mut g, &partial);
+        assert_eq!(g.pending(), 1, "partial point queued as pending work");
+        g.enqueue_user(user.clone());
+        assert_eq!(g.next_point(), Some(user), "user work still preempts");
+        assert_eq!(g.next_point(), Some(partial));
+        // The default implementation is a no-op.
+        let mut grid = GridGuide::new(&ds);
+        Guide::observe_partial(&mut grid, &ParamPoint::new());
+        assert_eq!(grid.pending(), 0);
     }
 
     #[test]

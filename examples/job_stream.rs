@@ -1,0 +1,122 @@
+//! Asynchronous jobs: submit a sweep, watch it stream, overtake it with
+//! interactive work, cancel it, and reuse what it published.
+//!
+//! The paper's posture is *interactive* exploration — heavy Monte Carlo
+//! work runs behind the scenes while the user keeps moving sliders. This
+//! example drives that posture through the job API:
+//!
+//! 1. a whole OPTIMIZE sweep is submitted at `Priority::Low` and consumed
+//!    incrementally (chunk events + progress polling, no blocking);
+//! 2. a `Priority::High` graph refresh submitted *behind* it returns
+//!    first — its chunks overtake the sweep's on the shared scheduler;
+//! 3. the sweep is cancelled mid-flight: unstarted chunks are dropped,
+//!    in-flight chunks finish and publish;
+//! 4. a resubmitted sweep reuses everything the cancelled one published
+//!    and returns the exact full answer.
+//!
+//! ```sh
+//! cargo run --release --example job_stream
+//! ```
+
+use fuzzy_prophet::prelude::*;
+use prophet_models::demo_registry;
+use prophet_models::scenarios::figure2_coarse_sql;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let prophet = Prophet::builder()
+        .scenario_sql("capacity", &figure2_coarse_sql(0.05))?
+        .registry(demo_registry())
+        .config(EngineConfig {
+            worlds_per_point: 32,
+            threads: 4,
+            ..EngineConfig::default()
+        })
+        .build()?;
+
+    // 1. Submit the sweep; the call returns immediately with a handle.
+    let sweep = prophet.submit(JobSpec::sweep("capacity").with_priority(Priority::Low))?;
+    println!(
+        "submitted sweep job #{} at {:?}: {} points across {} workers",
+        sweep.id(),
+        sweep.priority(),
+        sweep.progress().points_total,
+        prophet.scheduler().workers(),
+    );
+
+    // 2. Interactive work submitted behind it finishes first.
+    let sliders =
+        ParamPoint::from_pairs([("purchase1", 16i64), ("purchase2", 40), ("feature", 12)]);
+    let refresh =
+        prophet.submit(JobSpec::refresh("capacity", sliders).with_priority(Priority::High))?;
+    let weeks = refresh.wait()?.into_points()?;
+    let overtaken = sweep.progress();
+    println!(
+        "high-priority refresh served {} weeks while the sweep was {:.0}% done",
+        weeks.len(),
+        overtaken.fraction() * 100.0,
+    );
+
+    // 3. Stream the sweep until a third of it is done, then cancel.
+    let mut streamed = 0usize;
+    for event in sweep.events() {
+        match event {
+            JobEvent::Chunk(update) => {
+                streamed += update.results.len();
+                let progress = sweep.progress();
+                if streamed % 512 < update.results.len() {
+                    println!(
+                        "  … {:>5}/{} points ({} simulated, {} mapped, {} cached)",
+                        progress.points_done,
+                        progress.points_total,
+                        progress.metrics.points_simulated,
+                        progress.metrics.points_mapped,
+                        progress.metrics.points_cached,
+                    );
+                }
+                if progress.fraction() > 0.33 {
+                    sweep.cancel();
+                }
+            }
+            JobEvent::Cancelled => {
+                println!(
+                    "sweep cancelled after {} of {} points; {} basis entries published",
+                    sweep.progress().points_done,
+                    sweep.progress().points_total,
+                    prophet.basis_len("capacity")?,
+                );
+                break;
+            }
+            JobEvent::Final(_) => {
+                println!("sweep finished before the cancel landed");
+                break;
+            }
+            JobEvent::Failed(err) => return Err(err.into()),
+        }
+    }
+
+    // 4. Resubmit: the published bases are reused, the answer is exact.
+    let report = prophet
+        .submit(JobSpec::sweep("capacity"))?
+        .wait()?
+        .into_sweep()?;
+    println!(
+        "resubmitted sweep: {} of {} groups feasible, best {} \
+         ({} of {} points reused from the cancelled run)",
+        report.feasible().count(),
+        report.groups_total,
+        report.best.as_ref().map_or_else(
+            || "none at this threshold".to_string(),
+            |b| b.point.to_string()
+        ),
+        report.metrics.points_cached + report.metrics.points_mapped,
+        report.metrics.points_total(),
+    );
+    println!("\nper-scenario store stats:");
+    for (name, stats) in prophet.basis_stats_all() {
+        println!(
+            "  {name}: {} hits / {} misses / {} in-flight waits",
+            stats.hits, stats.misses, stats.inflight_waits
+        );
+    }
+    Ok(())
+}
