@@ -1,0 +1,861 @@
+//! Token-level concurrency-conformance lint over the workspace source.
+//!
+//! `cargo run -p analysis --` walks every `.rs` file under `crates/*/src`
+//! and `src/`, tokenizes it with the same hand-rolled discipline as
+//! `prophet-sql`'s lexer (comments, strings — cooked, raw, byte — char
+//! literals and lifetimes are all handled, so a forbidden pattern inside
+//! a string never fires), strips `#[cfg(test)]` / `#[test]` regions, and
+//! checks four rules:
+//!
+//! | rule | forbids | except in |
+//! |------|---------|-----------|
+//! | `thread-spawn` | `thread::spawn` / `thread::scope` | `scheduler.rs`, `executor.rs` |
+//! | `raw-sync` | raw `Mutex`/`RwLock`/`Condvar` construction | `sync.rs` (the instrumented module) |
+//! | `unwrap` | `.unwrap()` / `.expect("…")` in `crates/core`, `crates/fingerprint` | messages containing `invariant` |
+//! | `wall-clock` | `Instant::now()` / `SystemTime` | `metrics.rs`, `crates/bench` |
+//!
+//! Two escape hatches, both explicit and reviewable:
+//!
+//! * an inline `// lint:allow(rule): reason` comment suppresses the rule
+//!   on its own line and on the next line that carries code (so a marker
+//!   can sit at the end of a multi-line explanatory comment);
+//! * a checked-in allowlist file (`lint-allow.txt`) grants a rule for a
+//!   whole file. Entries that no longer suppress anything are **stale**
+//!   and fail the run, so grants cannot outlive the code they excused.
+//!
+//! The `unwrap` rule only fires on `.expect(` when the first argument is
+//! a string literal: `Result::expect` takes a message, whereas the
+//! domain methods named `expect` (Monte Carlo expectation on `SampleSet`
+//! and `Engine`) take a column expression — a token-level pass can tell
+//! those apart by the argument's shape.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+// ---------------------------------------------------------------- rules
+
+/// The four conformance rules. See the module docs for the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    ThreadSpawn,
+    RawSync,
+    Unwrap,
+    WallClock,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 4] = [
+        Rule::ThreadSpawn,
+        Rule::RawSync,
+        Rule::Unwrap,
+        Rule::WallClock,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::ThreadSpawn => "thread-spawn",
+            Rule::RawSync => "raw-sync",
+            Rule::Unwrap => "unwrap",
+            Rule::WallClock => "wall-clock",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// Whether `path` (workspace-relative, `/`-separated) is exempt from
+    /// this rule wholesale.
+    fn exempt_file(self, path: &str) -> bool {
+        let base = path.rsplit('/').next().unwrap_or(path);
+        match self {
+            Rule::ThreadSpawn => base == "scheduler.rs" || base == "executor.rs",
+            Rule::RawSync => base == "sync.rs",
+            // Scoped *in*: the burndown applies to the engine and the
+            // fingerprint layer; other crates are out of scope.
+            Rule::Unwrap => {
+                !(path.starts_with("crates/core/src") || path.starts_with("crates/fingerprint/src"))
+            }
+            Rule::WallClock => base == "metrics.rs" || path.starts_with("crates/bench/"),
+        }
+    }
+}
+
+/// One rule violation at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: Rule,
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.rule.name(), self.message)
+    }
+}
+
+// ---------------------------------------------------------------- lexer
+
+#[derive(Debug, Clone, PartialEq)]
+enum TokKind {
+    Ident(String),
+    /// A string literal's raw contents (escapes unprocessed).
+    Str(String),
+    Punct(char),
+    /// Numbers, char literals, lifetimes: present so adjacency checks
+    /// see real neighbours, otherwise inert.
+    Other,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Tok {
+    kind: TokKind,
+    line: usize,
+}
+
+/// Lexer output: the token stream plus, per rule, the set of lines an
+/// inline `lint:allow` marker covers.
+struct Lexed {
+    toks: Vec<Tok>,
+    allowed: HashMap<Rule, HashSet<usize>>,
+}
+
+fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let mut line = 1usize;
+    let mut toks = Vec::new();
+    let mut allowed: HashMap<Rule, HashSet<usize>> = HashMap::new();
+    // Allows whose "next code line" hasn't been seen yet.
+    let mut pending: Vec<Rule> = Vec::new();
+
+    macro_rules! bump {
+        () => {{
+            if bytes[pos] == b'\n' {
+                line += 1;
+            }
+            pos += 1;
+        }};
+    }
+
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b'\n' | b' ' | b'\t' | b'\r' => bump!(),
+            b'/' if bytes.get(pos + 1) == Some(&b'/') => {
+                let start = pos;
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+                let comment = &src[start..pos];
+                if let Some(idx) = comment.find("lint:allow(") {
+                    let rest = &comment[idx + "lint:allow(".len()..];
+                    if let Some(end) = rest.find(')') {
+                        if let Some(rule) = Rule::from_name(rest[..end].trim()) {
+                            allowed.entry(rule).or_default().insert(line);
+                            pending.push(rule);
+                        }
+                    }
+                }
+            }
+            b'/' if bytes.get(pos + 1) == Some(&b'*') => {
+                let mut depth = 1usize;
+                bump!();
+                bump!();
+                while pos < bytes.len() && depth > 0 {
+                    if bytes[pos] == b'/' && bytes.get(pos + 1) == Some(&b'*') {
+                        depth += 1;
+                        bump!();
+                    } else if bytes[pos] == b'*' && bytes.get(pos + 1) == Some(&b'/') {
+                        depth -= 1;
+                        bump!();
+                    }
+                    bump!();
+                }
+            }
+            b'"' => {
+                let s = lex_cooked_string(bytes, &mut pos, &mut line);
+                push_tok(&mut toks, &mut pending, &mut allowed, TokKind::Str(s), line);
+            }
+            b'r' | b'b' if raw_string_hashes(bytes, pos).is_some() => {
+                let (prefix, hashes) = raw_string_hashes(bytes, pos).unwrap();
+                pos += prefix; // consume r / br / rb prefix and the hashes
+                let s = lex_raw_string(bytes, &mut pos, &mut line, hashes);
+                push_tok(&mut toks, &mut pending, &mut allowed, TokKind::Str(s), line);
+            }
+            b'b' if bytes.get(pos + 1) == Some(&b'"') => {
+                pos += 1;
+                let s = lex_cooked_string(bytes, &mut pos, &mut line);
+                push_tok(&mut toks, &mut pending, &mut allowed, TokKind::Str(s), line);
+            }
+            b'\'' => {
+                lex_quote(bytes, &mut pos, &mut line);
+                push_tok(&mut toks, &mut pending, &mut allowed, TokKind::Other, line);
+            }
+            b'0'..=b'9' => {
+                pos += 1;
+                while pos < bytes.len() {
+                    let c = bytes[pos];
+                    let numeric = c.is_ascii_alphanumeric()
+                        || c == b'_'
+                        || (c == b'.' && bytes.get(pos + 1).is_some_and(u8::is_ascii_digit));
+                    if !numeric {
+                        break;
+                    }
+                    pos += 1;
+                }
+                push_tok(&mut toks, &mut pending, &mut allowed, TokKind::Other, line);
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                let ident = src[start..pos].to_string();
+                push_tok(
+                    &mut toks,
+                    &mut pending,
+                    &mut allowed,
+                    TokKind::Ident(ident),
+                    line,
+                );
+            }
+            c => {
+                bump!();
+                if c.is_ascii() {
+                    push_tok(
+                        &mut toks,
+                        &mut pending,
+                        &mut allowed,
+                        TokKind::Punct(c as char),
+                        line,
+                    );
+                } else {
+                    // Non-ASCII outside strings/comments: skip the byte.
+                }
+            }
+        }
+    }
+    Lexed { toks, allowed }
+}
+
+/// Emit a token, attaching any pending inline allows to its line.
+fn push_tok(
+    toks: &mut Vec<Tok>,
+    pending: &mut Vec<Rule>,
+    allowed: &mut HashMap<Rule, HashSet<usize>>,
+    kind: TokKind,
+    line: usize,
+) {
+    for rule in pending.drain(..) {
+        allowed.entry(rule).or_default().insert(line);
+    }
+    toks.push(Tok { kind, line });
+}
+
+/// At `pos` on `"`: consume the literal, returning its raw contents.
+fn lex_cooked_string(bytes: &[u8], pos: &mut usize, line: &mut usize) -> String {
+    let start = *pos + 1;
+    *pos += 1;
+    while *pos < bytes.len() {
+        match bytes[*pos] {
+            b'\\' => *pos += 2,
+            b'"' => break,
+            b'\n' => {
+                *line += 1;
+                *pos += 1;
+            }
+            _ => *pos += 1,
+        }
+    }
+    let end = (*pos).min(bytes.len());
+    if *pos < bytes.len() {
+        *pos += 1; // closing quote
+    }
+    String::from_utf8_lossy(&bytes[start..end]).into_owned()
+}
+
+/// If `pos` starts a raw-string prefix (`r"`, `r#"`, `br"`, `br#"`…),
+/// return `(prefix_len_through_opening_quote, hash_count)`.
+fn raw_string_hashes(bytes: &[u8], pos: usize) -> Option<(usize, usize)> {
+    let mut i = pos;
+    if bytes.get(i) == Some(&b'b') {
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'"') {
+        Some((i + 1 - pos, hashes))
+    } else {
+        None
+    }
+}
+
+/// `pos` just past the opening quote: consume to `"` + `hashes` hashes.
+fn lex_raw_string(bytes: &[u8], pos: &mut usize, line: &mut usize, hashes: usize) -> String {
+    let start = *pos;
+    while *pos < bytes.len() {
+        if bytes[*pos] == b'\n' {
+            *line += 1;
+        }
+        if bytes[*pos] == b'"' {
+            let tail = &bytes[*pos + 1..];
+            if tail.len() >= hashes && tail[..hashes].iter().all(|&b| b == b'#') {
+                let content = String::from_utf8_lossy(&bytes[start..*pos]).into_owned();
+                *pos += 1 + hashes;
+                return content;
+            }
+        }
+        *pos += 1;
+    }
+    String::from_utf8_lossy(&bytes[start..]).into_owned()
+}
+
+/// At `'`: char literal or lifetime — consume either.
+fn lex_quote(bytes: &[u8], pos: &mut usize, line: &mut usize) {
+    let next = bytes.get(*pos + 1).copied();
+    match next {
+        Some(b'\\') => {
+            // Escaped char literal: scan to the closing quote.
+            *pos += 2;
+            while *pos < bytes.len() && bytes[*pos] != b'\'' {
+                if bytes[*pos] == b'\\' {
+                    *pos += 1;
+                }
+                *pos += 1;
+            }
+            *pos += 1;
+        }
+        Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
+            if bytes.get(*pos + 2) == Some(&b'\'') {
+                *pos += 3; // 'x'
+            } else {
+                // Lifetime: consume the ident, no closing quote.
+                *pos += 2;
+                while *pos < bytes.len()
+                    && (bytes[*pos].is_ascii_alphanumeric() || bytes[*pos] == b'_')
+                {
+                    *pos += 1;
+                }
+            }
+        }
+        _ => {
+            // `'('`-style literal (possibly multibyte): bounded scan.
+            let limit = (*pos + 8).min(bytes.len());
+            *pos += 1;
+            while *pos < limit && bytes[*pos] != b'\'' {
+                if bytes[*pos] == b'\n' {
+                    *line += 1;
+                }
+                *pos += 1;
+            }
+            *pos += 1;
+        }
+    }
+}
+
+// ------------------------------------------------- test-region stripping
+
+/// Drop tokens inside `#[cfg(test)]` / `#[test]` items (and everything,
+/// if the file opens with `#![cfg(test)]`).
+fn strip_test_regions(toks: Vec<Tok>) -> Vec<Tok> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct('#') {
+            if let Some((idents, inner, j)) = parse_attr(&toks, i) {
+                let testish = idents.first().map(String::as_str) == Some("test")
+                    || (idents.first().map(String::as_str) == Some("cfg")
+                        && idents.iter().any(|s| s == "test"));
+                if testish && inner {
+                    return out; // `#![cfg(test)]`: the whole file is test code
+                }
+                if testish {
+                    i = skip_item(&toks, j);
+                    continue;
+                }
+                out.extend_from_slice(&toks[i..j]);
+                i = j;
+                continue;
+            }
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Parse an attribute at `i` (`#` or `#!` then `[...]`), returning its
+/// identifiers, whether it was an inner attribute, and the index past it.
+fn parse_attr(toks: &[Tok], i: usize) -> Option<(Vec<String>, bool, usize)> {
+    let mut j = i + 1;
+    let inner = toks.get(j).map(|t| &t.kind) == Some(&TokKind::Punct('!'));
+    if inner {
+        j += 1;
+    }
+    if toks.get(j).map(|t| &t.kind) != Some(&TokKind::Punct('[')) {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut idents = Vec::new();
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((idents, inner, j + 1));
+                }
+            }
+            TokKind::Ident(name) => idents.push(name.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// From `i` (just past a test-ish attribute), consume any further
+/// attributes and then one item: through its matching `{…}` or to `;`.
+fn skip_item(toks: &[Tok], mut i: usize) -> usize {
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Punct('#') => {
+                if let Some((_, _, j)) = parse_attr(toks, i) {
+                    i = j;
+                } else {
+                    i += 1;
+                }
+            }
+            TokKind::Punct('{') => {
+                let mut depth = 0usize;
+                while i < toks.len() {
+                    match &toks[i].kind {
+                        TokKind::Punct('{') => depth += 1,
+                        TokKind::Punct('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return i + 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return i;
+            }
+            TokKind::Punct(';') => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+// ----------------------------------------------------------- rule scan
+
+fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[Tok], i: usize, c: char) -> bool {
+    toks.get(i).map(|t| &t.kind) == Some(&TokKind::Punct(c))
+}
+
+/// `toks[i]` follows a `::` path segment whose head is `head`.
+fn pathed_from(toks: &[Tok], i: usize, head: &str) -> bool {
+    i >= 3
+        && punct_at(toks, i - 1, ':')
+        && punct_at(toks, i - 2, ':')
+        && ident_at(toks, i - 3) == Some(head)
+}
+
+fn scan_rules(path: &str, toks: &[Tok]) -> Vec<Violation> {
+    let mut found = Vec::new();
+    for i in 0..toks.len() {
+        let Some(name) = ident_at(toks, i) else {
+            continue;
+        };
+        let line = toks[i].line;
+        match name {
+            "spawn" | "scope" if pathed_from(toks, i, "thread") => {
+                found.push(Violation {
+                    rule: Rule::ThreadSpawn,
+                    line,
+                    message: format!(
+                        "`thread::{name}` outside scheduler.rs/executor.rs — route work \
+                         through the scheduler's pool"
+                    ),
+                });
+            }
+            "Mutex" | "RwLock" | "Condvar"
+                if (ident_at(toks, i + 3) == Some("new")
+                    || ident_at(toks, i + 3) == Some("default"))
+                    && punct_at(toks, i + 1, ':')
+                    && punct_at(toks, i + 2, ':') =>
+            {
+                found.push(Violation {
+                    rule: Rule::RawSync,
+                    line,
+                    message: format!(
+                        "raw `{name}` construction outside the instrumented sync module — \
+                         use the rank-ordered wrapper from `sync`"
+                    ),
+                });
+            }
+            "unwrap" if i >= 1 && punct_at(toks, i - 1, '.') && punct_at(toks, i + 1, '(') => {
+                found.push(Violation {
+                    rule: Rule::Unwrap,
+                    line,
+                    message: "`.unwrap()` in non-test engine code — return a typed \
+                              ProphetError or `.expect(\"invariant: …\")`"
+                        .into(),
+                });
+            }
+            "expect" if i >= 1 && punct_at(toks, i - 1, '.') && punct_at(toks, i + 1, '(') => {
+                // Only `Result::expect`-shaped calls: first argument is a
+                // string literal. `SampleSet::expect(column)` is a domain
+                // method and passes an expression.
+                if let Some(TokKind::Str(msg)) = toks.get(i + 2).map(|t| &t.kind) {
+                    if !msg.contains("invariant") {
+                        found.push(Violation {
+                            rule: Rule::Unwrap,
+                            line,
+                            message: format!(
+                                "`.expect({msg:?})` in non-test engine code — either return \
+                                 a typed ProphetError or state the invariant in the message"
+                            ),
+                        });
+                    }
+                }
+            }
+            "now" if pathed_from(toks, i, "Instant") => {
+                found.push(Violation {
+                    rule: Rule::WallClock,
+                    line,
+                    message: "`Instant::now()` outside metrics.rs/bench — time through \
+                              `metrics::Stopwatch`"
+                        .into(),
+                });
+            }
+            "SystemTime" => {
+                found.push(Violation {
+                    rule: Rule::WallClock,
+                    line,
+                    message: "`SystemTime` outside metrics.rs/bench — wall-clock reads \
+                              belong to the metrics layer"
+                        .into(),
+                });
+            }
+            _ => {}
+        }
+    }
+    found.retain(|v| !v.rule.exempt_file(path));
+    found
+}
+
+/// Lint one file's source. `path` is workspace-relative with `/`
+/// separators; it drives per-rule file scoping.
+pub fn lint_source(path: &str, src: &str) -> Vec<Violation> {
+    let Lexed { toks, allowed } = lex(src);
+    let toks = strip_test_regions(toks);
+    scan_rules(path, &toks)
+        .into_iter()
+        .filter(|v| {
+            !allowed
+                .get(&v.rule)
+                .is_some_and(|lines| lines.contains(&v.line))
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------- allowlist
+
+/// One checked-in file-level grant: `rule path [reason…]`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub rule: Rule,
+    pub path: String,
+    pub line: usize,
+    pub used: bool,
+}
+
+/// The checked-in allowlist (`lint-allow.txt`).
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parse the allowlist format: one `rule path [reason…]` per line,
+    /// `#` comments and blank lines ignored. Unknown rule names are
+    /// errors — a typo must not silently grant nothing.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let rule_name = parts.next().unwrap_or_default();
+            let rule = Rule::from_name(rule_name).ok_or_else(|| {
+                format!(
+                    "lint-allow.txt:{}: unknown rule `{}` (expected one of {})",
+                    idx + 1,
+                    rule_name,
+                    Rule::ALL.map(Rule::name).join(", ")
+                )
+            })?;
+            let path = parts
+                .next()
+                .ok_or_else(|| format!("lint-allow.txt:{}: missing path after rule", idx + 1))?;
+            entries.push(AllowEntry {
+                rule,
+                path: path.to_string(),
+                line: idx + 1,
+                used: false,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Whether this violation is granted; marks the entry used.
+    pub fn allows(&mut self, path: &str, v: &Violation) -> bool {
+        let mut hit = false;
+        for e in &mut self.entries {
+            if e.rule == v.rule && e.path == path {
+                e.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Entries that suppressed nothing this run: stale grants.
+    pub fn stale(&self) -> Vec<&AllowEntry> {
+        self.entries.iter().filter(|e| !e.used).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_fired(path: &str, src: &str) -> Vec<Rule> {
+        lint_source(path, src).into_iter().map(|v| v.rule).collect()
+    }
+
+    // ---- each rule fires (the lint's own negative tests)
+
+    #[test]
+    fn thread_spawn_fires_outside_the_scheduler() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        assert_eq!(
+            rules_fired("crates/core/src/service.rs", src),
+            [Rule::ThreadSpawn]
+        );
+        let src = "fn f() { std::thread::scope(|s| {}); }";
+        assert_eq!(
+            rules_fired("crates/mc/src/store.rs", src),
+            [Rule::ThreadSpawn]
+        );
+    }
+
+    #[test]
+    fn thread_spawn_is_allowed_in_scheduler_and_executor() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        assert!(rules_fired("crates/core/src/scheduler.rs", src).is_empty());
+        assert!(rules_fired("crates/core/src/executor.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_sync_construction_fires_outside_sync_module() {
+        let src = "fn f() { let m = std::sync::Mutex::new(0); }";
+        assert_eq!(
+            rules_fired("crates/core/src/engine.rs", src),
+            [Rule::RawSync]
+        );
+        let src = "fn f() { let c = Condvar::new(); }";
+        assert_eq!(rules_fired("crates/core/src/job.rs", src), [Rule::RawSync]);
+        let src = "fn f() { let l: RwLock<u8> = RwLock::default(); }";
+        assert_eq!(
+            rules_fired("crates/fingerprint/src/basis.rs", src),
+            [Rule::RawSync]
+        );
+    }
+
+    #[test]
+    fn raw_sync_is_allowed_in_the_sync_module() {
+        let src = "fn f() { let m = Mutex::new(0); }";
+        assert!(rules_fired("crates/mc/src/sync.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ordered_wrappers_do_not_fire_raw_sync() {
+        let src = "fn f(r: LockRank) { let m = OrderedMutex::new(r, 0); }";
+        assert!(rules_fired("crates/core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_fires_in_core_and_fingerprint_only() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }";
+        assert_eq!(
+            rules_fired("crates/core/src/session.rs", src),
+            [Rule::Unwrap]
+        );
+        assert_eq!(
+            rules_fired("crates/fingerprint/src/mapping.rs", src),
+            [Rule::Unwrap]
+        );
+        assert!(rules_fired("crates/sql/src/lexer.rs", src).is_empty());
+    }
+
+    #[test]
+    fn expect_with_invariant_message_is_permitted() {
+        let flagged = r#"fn f(x: Option<u8>) { x.expect("value present"); }"#;
+        assert_eq!(
+            rules_fired("crates/core/src/engine.rs", flagged),
+            [Rule::Unwrap]
+        );
+        let ok = r#"fn f(x: Option<u8>) { x.expect("invariant: pre-inserted above"); }"#;
+        assert!(rules_fired("crates/core/src/engine.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn domain_expect_methods_are_not_flagged() {
+        // `SampleSet::expect(column)`: argument is an expression, not a
+        // message literal.
+        let src = "fn f(s: &SampleSet, col: &str) { s.expect(col); }";
+        assert!(rules_fired("crates/core/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_fires_outside_metrics_and_bench() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(
+            rules_fired("crates/core/src/engine.rs", src),
+            [Rule::WallClock]
+        );
+        assert!(rules_fired("crates/core/src/metrics.rs", src).is_empty());
+        assert!(rules_fired("crates/bench/src/experiments.rs", src).is_empty());
+        let src = "fn f() { let t = SystemTime::now(); }";
+        assert_eq!(
+            rules_fired("crates/core/src/session.rs", src),
+            [Rule::WallClock]
+        );
+    }
+
+    // ---- escape hatches
+
+    #[test]
+    fn inline_allow_covers_its_line_and_the_next_code_line() {
+        let src = "fn f() { std::thread::spawn(|| {}); } // lint:allow(thread-spawn)";
+        assert!(rules_fired("crates/core/src/service.rs", src).is_empty());
+        let src = "// lint:allow(thread-spawn): pool-free by design\n\
+                   fn f() { std::thread::spawn(|| {}); }";
+        assert!(rules_fired("crates/core/src/service.rs", src).is_empty());
+        // The marker may close a multi-line comment block.
+        let src = "// A longer explanation of why this is fine,\n\
+                   // spanning lines.\n\
+                   // lint:allow(thread-spawn): reasoned above\n\
+                   fn f() { std::thread::spawn(|| {}); }";
+        assert!(rules_fired("crates/core/src/service.rs", src).is_empty());
+    }
+
+    #[test]
+    fn inline_allow_is_rule_specific_and_line_bounded() {
+        // Wrong rule: no grant.
+        let src = "// lint:allow(unwrap)\nfn f() { std::thread::spawn(|| {}); }";
+        assert_eq!(
+            rules_fired("crates/core/src/service.rs", src),
+            [Rule::ThreadSpawn]
+        );
+        // Two code lines below the marker: the second is not covered.
+        let src = "// lint:allow(thread-spawn)\n\
+                   fn f() { std::thread::spawn(|| {}); }\n\
+                   fn g() { std::thread::spawn(|| {}); }";
+        assert_eq!(
+            rules_fired("crates/core/src/service.rs", src),
+            [Rule::ThreadSpawn]
+        );
+    }
+
+    #[test]
+    fn allowlist_grants_per_file_and_tracks_staleness() {
+        let mut list =
+            Allowlist::parse("# grants\nraw-sync crates/x/src/a.rs  legacy store\n").unwrap();
+        let v = Violation {
+            rule: Rule::RawSync,
+            line: 1,
+            message: String::new(),
+        };
+        assert!(!list.allows("crates/x/src/b.rs", &v));
+        assert_eq!(list.stale().len(), 1);
+        assert!(list.allows("crates/x/src/a.rs", &v));
+        assert!(list.stale().is_empty());
+    }
+
+    #[test]
+    fn allowlist_rejects_unknown_rules_and_missing_paths() {
+        assert!(Allowlist::parse("no-such-rule crates/x.rs").is_err());
+        assert!(Allowlist::parse("unwrap").is_err());
+    }
+
+    // ---- the lexer does not fire inside non-code regions
+
+    #[test]
+    fn strings_comments_and_test_code_are_invisible() {
+        let src = r##"
+            fn f() {
+                let s = "thread::spawn(Instant::now())";
+                let r = r#"Mutex::new(".unwrap()")"#;
+                // thread::spawn in a comment
+                /* SystemTime in a block /* nested */ comment */
+            }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { std::thread::spawn(|| {}).join().unwrap(); }
+            }
+        "##;
+        assert!(rules_fired("crates/core/src/service.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_attribute_skips_only_that_item() {
+        let src = "#[test]\n\
+                   fn t() { x.unwrap(); }\n\
+                   fn live() { y.unwrap(); }";
+        let v = lint_source("crates/core/src/engine.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_do_not_derail_the_lexer() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = '\\''; let d = '('; 'label: loop { break 'label; } }\n\
+                   fn g(o: Option<u8>) { o.unwrap(); }";
+        let v = lint_source("crates/core/src/engine.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn cfg_test_inner_attribute_skips_the_whole_file() {
+        let src = "#![cfg(test)]\nfn helper(o: Option<u8>) { o.unwrap(); }";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! The lint driver: `cargo run -p analysis -- [--root DIR] [--allowlist FILE]`.
+//!
+//! Walks `crates/*/src/**/*.rs` and `src/**/*.rs` under the root, lints
+//! each file ([`analysis::lint_source`]), applies the checked-in
+//! allowlist, and exits nonzero on any violation *or* any stale
+//! allowlist entry. See the library docs for the rules.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use analysis::{lint_source, Allowlist};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root requires a directory"),
+            },
+            "--allowlist" => match args.next() {
+                Some(file) => allowlist_path = Some(PathBuf::from(file)),
+                None => return usage("--allowlist requires a file"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join("lint-allow.txt"));
+    let mut allowlist = match load_allowlist(&allowlist_path) {
+        Ok(list) => list,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut files = Vec::new();
+    collect_sources(&root, &mut files);
+    files.sort();
+    if files.is_empty() {
+        eprintln!(
+            "error: no source files under {} — wrong --root?",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut violations = 0usize;
+    for file in &files {
+        let rel = rel_path(&root, file);
+        let src = match std::fs::read_to_string(file) {
+            Ok(src) => src,
+            Err(err) => {
+                eprintln!("error: reading {rel}: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        for v in lint_source(&rel, &src) {
+            if allowlist.allows(&rel, &v) {
+                continue;
+            }
+            println!("{rel}:{}: {v}", v.line);
+            violations += 1;
+        }
+    }
+
+    let stale = allowlist.stale();
+    for entry in &stale {
+        println!(
+            "{}:{}: stale allowlist entry `{} {}` — it suppresses nothing; remove it",
+            allowlist_path.display(),
+            entry.line,
+            entry.rule.name(),
+            entry.path,
+        );
+    }
+
+    if violations > 0 || !stale.is_empty() {
+        println!(
+            "lint: {violations} violation(s), {} stale allowlist entr(ies) across {} files",
+            stale.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "lint clean: {} files, {} allowlist grant(s) in use",
+            files.len(),
+            allowlist.entries.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\nusage: analysis [--root DIR] [--allowlist FILE]");
+    ExitCode::from(2)
+}
+
+fn load_allowlist(path: &Path) -> Result<Allowlist, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Allowlist::parse(&text),
+        // A missing allowlist is an empty one.
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::default()),
+        Err(err) => Err(format!("reading {}: {err}", path.display())),
+    }
+}
+
+/// `.rs` files under `<root>/src` and `<root>/crates/*/src`, recursively.
+fn collect_sources(root: &Path, out: &mut Vec<PathBuf>) {
+    collect_rs(&root.join("src"), out);
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            collect_rs(&entry.path().join("src"), out);
+        }
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -30,8 +30,7 @@
 //! one point's simulation.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::Arc;
 
 use prophet_data::Value;
 use prophet_fingerprint::{CorrelationDetector, Fingerprint, FingerprintConfig, Mapping};
@@ -45,8 +44,9 @@ use prophet_vg::rng::{Rng64, SeedSequence};
 use prophet_vg::{SeedManager, VgRegistry};
 
 use crate::error::{ProphetError, ProphetResult};
-use crate::metrics::EngineMetrics;
+use crate::metrics::{EngineMetrics, Stopwatch};
 use crate::scenario::Scenario;
+use crate::sync::{OrderedMutex, ENGINE_METRICS};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -141,7 +141,7 @@ pub struct Engine {
     /// Output columns whose expressions invoke a registered VG function.
     stochastic_cols: Vec<String>,
     basis: SharedBasisStore,
-    metrics: Mutex<EngineMetrics>,
+    metrics: OrderedMutex<EngineMetrics>,
 }
 
 impl Engine {
@@ -210,7 +210,7 @@ impl Engine {
             config,
             stochastic_cols,
             basis,
-            metrics: Mutex::new(EngineMetrics::default()),
+            metrics: OrderedMutex::new(ENGINE_METRICS, EngineMetrics::default()),
         })
     }
 
@@ -246,12 +246,12 @@ impl Engine {
 
     /// Snapshot of the work counters.
     pub fn metrics(&self) -> EngineMetrics {
-        *self.metrics.lock().expect("metrics lock poisoned")
+        *self.metrics.lock()
     }
 
     /// Reset work counters (between bench configurations).
     pub fn reset_metrics(&self) {
-        *self.metrics.lock().expect("metrics lock poisoned") = EngineMetrics::default();
+        *self.metrics.lock() = EngineMetrics::default();
     }
 
     /// The (possibly shared) basis store backing this engine.
@@ -275,7 +275,9 @@ impl Engine {
     /// [`Engine::evaluate_batch`].
     pub fn evaluate(&self, point: &ParamPoint) -> ProphetResult<(SampleSet, EvalOutcome)> {
         let mut results = self.evaluate_batch(std::slice::from_ref(point))?;
-        Ok(results.pop().expect("batch of one yields one result"))
+        Ok(results
+            .pop()
+            .expect("invariant: a batch of one yields exactly one result"))
     }
 
     /// Monte Carlo expectation of one column at a point (convenience).
@@ -290,7 +292,7 @@ impl Engine {
     // (crate-visible: composed into batches by `crate::executor`)
 
     pub(crate) fn bump(&self, update: impl FnOnce(&mut EngineMetrics)) {
-        update(&mut self.metrics.lock().expect("metrics lock poisoned"));
+        update(&mut self.metrics.lock());
     }
 
     /// Evaluate the scenario once per canonical fingerprint seed, recording
@@ -306,7 +308,7 @@ impl Engine {
         &self,
         point: &ParamPoint,
     ) -> ProphetResult<HashMap<String, Fingerprint>> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let seeds = SeedSequence::fingerprint_default(self.config.fingerprint.length);
         let params = point.to_value_map();
 
@@ -331,7 +333,7 @@ impl Engine {
             self.bump(|m| {
                 m.probe_evaluations += seeds.len() as u64;
                 m.vector_walks += 1;
-                m.probe_eval_nanos += start.elapsed().as_nanos() as u64;
+                m.probe_eval_nanos += start.elapsed_nanos();
                 m.fingerprint_time += start.elapsed();
             });
             return Ok(out);
@@ -361,7 +363,7 @@ impl Engine {
         }
         self.bump(|m| {
             m.probe_evaluations += seeds.len() as u64;
-            m.probe_eval_nanos += start.elapsed().as_nanos() as u64;
+            m.probe_eval_nanos += start.elapsed_nanos();
             m.fingerprint_time += start.elapsed();
         });
         Ok(per_col
@@ -380,7 +382,7 @@ impl Engine {
         mappings: &HashMap<String, Mapping>,
         worlds: usize,
     ) -> ProphetResult<HashMap<String, Vec<f64>>> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let mut out: HashMap<String, Vec<f64>> =
             HashMap::with_capacity(self.script.select.items.len());
         // Stochastic columns: apply the detected mapping to stored samples.
@@ -423,7 +425,7 @@ impl Engine {
                         };
                         ctx.bind_alias(&item.alias, v);
                         out.get_mut(&item.alias)
-                            .expect("derived column pre-inserted")
+                            .expect("invariant: derived columns are pre-inserted above")
                             .push(x);
                     }
                 }
@@ -450,7 +452,7 @@ impl Engine {
         point: &ParamPoint,
         world_parallel: bool,
     ) -> ProphetResult<HashMap<String, Vec<f64>>> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let worlds: Vec<u64> = (0..self.config.worlds_per_point as u64).collect();
         let simulate = |ws: &[u64]| -> Result<SampleSet, SqlError> {
             if self.config.vectorized {
@@ -476,6 +478,10 @@ impl Engine {
         let sample_set = if world_parallel && self.config.threads > 1 {
             let chunk = worlds.len().div_ceil(self.config.threads);
             let chunks: Vec<&[u64]> = worlds.chunks(chunk).collect();
+            // World-level parallelism within one point is this engine
+            // primitive's own scoped fan-out; the scheduler's pool
+            // parallelizes across points, not worlds.
+            // lint:allow(thread-spawn): per-point world fan-out
             let results: Vec<Result<SampleSet, SqlError>> = std::thread::scope(|scope| {
                 let simulate = &simulate;
                 let handles: Vec<_> = chunks
@@ -484,11 +490,16 @@ impl Engine {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
+                    .map(|h| {
+                        h.join()
+                            .expect("invariant: world-simulation workers do not panic")
+                    })
                     .collect()
             });
             let mut iter = results.into_iter();
-            let mut first = iter.next().expect("at least one chunk")?;
+            let mut first = iter
+                .next()
+                .expect("invariant: a non-empty world list yields at least one chunk")?;
             for r in iter {
                 first.absorb(&r?);
             }
@@ -502,7 +513,7 @@ impl Engine {
                 col.clone(),
                 sample_set
                     .samples(col)
-                    .expect("column exists by construction")
+                    .expect("invariant: column exists by construction")
                     .to_vec(),
             );
         }
@@ -526,7 +537,7 @@ impl Engine {
         point: &ParamPoint,
         span: std::ops::Range<u64>,
     ) -> ProphetResult<HashMap<String, Vec<f64>>> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let worlds: Vec<u64> = span.collect();
         let sample_set = if self.config.vectorized {
             simulate_point_block(
@@ -553,7 +564,7 @@ impl Engine {
                 col.clone(),
                 sample_set
                     .samples(col)
-                    .expect("column exists by construction")
+                    .expect("invariant: column exists by construction")
                     .to_vec(),
             );
         }

@@ -65,13 +65,13 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 use prophet_fingerprint::{Fingerprint, Mapping};
 use prophet_mc::{BasisHit, InflightGuard, ParamPoint, SampleSet, TryClaim, WaitHandle};
 
 use crate::engine::{Engine, EvalOutcome};
 use crate::error::ProphetResult;
+use crate::metrics::Stopwatch;
 
 impl Engine {
     /// Evaluate the scenario at a batch of parameter points, returning one
@@ -124,7 +124,7 @@ impl Engine {
             (0..unique.len()).map(|_| None).collect();
         let mut to_simulate: Vec<usize> = Vec::new();
         if use_fingerprints && !owned.is_empty() {
-            let phase = Instant::now();
+            let phase = Stopwatch::start();
             let owned_points: Vec<&ParamPoint> = owned.iter().map(|&i| &unique[i]).collect();
             let probe_results =
                 parallel_map(&owned_points, threads, |p| self.probe_fingerprints(p));
@@ -135,7 +135,7 @@ impl Engine {
             }
             self.bump(|m| m.batch_probes += owned.len() as u64);
 
-            let match_start = Instant::now();
+            let match_start = Stopwatch::start();
             let (hits, scan) = store.find_correlated_batch_scan(
                 &owned_probes,
                 self.stochastic_columns(),
@@ -171,9 +171,13 @@ impl Engine {
             for ((i, hit), mapped) in hit_items.into_iter().zip(remapped) {
                 let mapped = mapped?;
                 let exact = hit.mappings.values().all(Mapping::is_exact);
-                let guard = guards[i].take().expect("hit point was claimed");
+                let guard = guards[i]
+                    .take()
+                    .expect("invariant: every hit point holds its claim guard");
                 guard.complete(
-                    probes[i].take().expect("hit point was probed"),
+                    probes[i]
+                        .take()
+                        .expect("invariant: every hit point was probed"),
                     Arc::new(mapped.clone()),
                     hit.worlds,
                     false,
@@ -187,7 +191,7 @@ impl Engine {
                     },
                 ));
             }
-            self.bump(|m| m.probe_nanos += phase.elapsed().as_nanos() as u64);
+            self.bump(|m| m.probe_nanos += phase.elapsed_nanos());
         } else {
             to_simulate = owned;
         }
@@ -199,7 +203,7 @@ impl Engine {
         // sits idle. The world→sample assignment is seed-based, so every
         // sample and counter is identical under either schedule.
         if !to_simulate.is_empty() {
-            let phase = Instant::now();
+            let phase = Stopwatch::start();
             let miss_points: Vec<&ParamPoint> = to_simulate.iter().map(|&i| &unique[i]).collect();
             let simulated: Vec<ProphetResult<_>> = if miss_points.len() < threads {
                 miss_points
@@ -211,7 +215,9 @@ impl Engine {
             };
             for (&i, sim) in to_simulate.iter().zip(simulated) {
                 let samples = sim?;
-                let guard = guards[i].take().expect("missed point was claimed");
+                let guard = guards[i]
+                    .take()
+                    .expect("invariant: every missed point holds its claim guard");
                 guard.complete(
                     probes[i].take().unwrap_or_default(),
                     Arc::new(samples.clone()),
@@ -224,7 +230,7 @@ impl Engine {
                     EvalOutcome::Simulated,
                 ));
             }
-            self.bump(|m| m.sim_nanos += phase.elapsed().as_nanos() as u64);
+            self.bump(|m| m.sim_nanos += phase.elapsed_nanos());
         }
 
         // ---- resolve cross-session waits last, so our own publications
@@ -241,7 +247,7 @@ impl Engine {
             .map(|i| {
                 results[i]
                     .clone()
-                    .expect("every unique point resolves to a result")
+                    .expect("invariant: every unique point resolves to a result")
             })
             .collect())
     }
@@ -296,7 +302,7 @@ impl Engine {
         point: &ParamPoint,
     ) -> ProphetResult<(HashMap<String, Fingerprint>, Option<BasisHit>)> {
         let probes = self.probe_fingerprints(point)?;
-        let match_start = Instant::now();
+        let match_start = Stopwatch::start();
         let (mut hits, scan) = self.basis_store().find_correlated_batch_scan(
             std::slice::from_ref(&probes),
             self.stochastic_columns(),
@@ -326,7 +332,7 @@ impl Engine {
             self.config().fingerprints_enabled && !self.stochastic_columns().is_empty();
         let mut probes = HashMap::new();
         if use_fingerprints {
-            let phase = Instant::now();
+            let phase = Stopwatch::start();
             let (point_probes, hit) = self.probe_and_match_one(point)?;
             probes = point_probes;
             if let Some(hit) = hit {
@@ -335,7 +341,7 @@ impl Engine {
                 guard.complete(probes, Arc::new(mapped.clone()), hit.worlds, false);
                 self.bump(|m| {
                     m.points_mapped += 1;
-                    m.probe_nanos += phase.elapsed().as_nanos() as u64;
+                    m.probe_nanos += phase.elapsed_nanos();
                 });
                 return Ok((
                     self.to_sample_set(point, &mapped),
@@ -345,9 +351,9 @@ impl Engine {
                     },
                 ));
             }
-            self.bump(|m| m.probe_nanos += phase.elapsed().as_nanos() as u64);
+            self.bump(|m| m.probe_nanos += phase.elapsed_nanos());
         }
-        let phase = Instant::now();
+        let phase = Stopwatch::start();
         let samples = self.simulate_full(point, true)?;
         guard.complete(
             probes,
@@ -357,7 +363,7 @@ impl Engine {
         );
         self.bump(|m| {
             m.points_simulated += 1;
-            m.sim_nanos += phase.elapsed().as_nanos() as u64;
+            m.sim_nanos += phase.elapsed_nanos();
         });
         Ok((self.to_sample_set(point, &samples), EvalOutcome::Simulated))
     }
@@ -404,7 +410,7 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("executor worker panicked"))
+            .flat_map(|h| h.join().expect("invariant: executor workers do not panic"))
             .collect()
     })
 }

@@ -31,7 +31,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use prophet_mc::{ParamPoint, SampleSet};
 
@@ -39,6 +39,7 @@ use crate::engine::{Engine, EvalOutcome};
 use crate::error::{ProphetError, ProphetResult};
 use crate::metrics::EngineMetrics;
 use crate::offline::OfflineReport;
+use crate::sync::OrderedMutex;
 
 /// Scheduling class of a job: chunks of a higher-priority job are always
 /// dispatched before chunks of a lower-priority one, whatever their
@@ -253,7 +254,7 @@ pub(crate) struct JobCore {
     /// detached, not aborted. The scheduler takes the sender when the job
     /// finishes, so the handle's receiver disconnects and event iteration
     /// terminates after the final event.
-    pub(crate) events: Mutex<Option<Sender<JobEvent>>>,
+    pub(crate) events: OrderedMutex<Option<Sender<JobEvent>>>,
     /// The job's engine (shared with the submitting session, if any).
     pub(crate) engine: Arc<Engine>,
     /// Metrics snapshot taken at submit, so `progress().metrics` reports
@@ -267,17 +268,14 @@ impl JobCore {
     }
 
     pub(crate) fn emit(&self, event: JobEvent) {
-        if let Some(tx) = &*self.events.lock().expect("job event sender lock poisoned") {
+        if let Some(tx) = &*self.events.lock() {
             let _ = tx.send(event);
         }
     }
 
     /// Close the event stream (the job will send nothing further).
     pub(crate) fn close_events(&self) {
-        self.events
-            .lock()
-            .expect("job event sender lock poisoned")
-            .take();
+        self.events.lock().take();
     }
 }
 

@@ -174,6 +174,7 @@ pub mod scenario;
 pub mod scheduler;
 pub mod service;
 pub mod session;
+pub mod sync;
 
 pub use engine::{Engine, EngineConfig, EvalOutcome};
 pub use error::{ProphetError, ProphetResult};

@@ -5,7 +5,34 @@
 //! ledger every experiment reads its numbers from.
 
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// A started wall-clock timer. This is the *only* place `crates/core`
+/// touches `Instant` (pinned by the `wall-clock` lint rule in
+/// `crates/analysis`): wall time is a metric, and keeping every reading
+/// behind this one type guarantees no deterministic code path can branch
+/// on the clock — timings land in [`EngineMetrics`] counters and report
+/// wall fields, nowhere else.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Wall time since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// Wall time since [`Stopwatch::start`], as the nanosecond counters
+    /// [`EngineMetrics`] accumulates.
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.0.elapsed().as_nanos() as u64
+    }
+}
 
 /// Counters describing how much simulation work the engine performed and
 /// how much it avoided through fingerprint reuse.

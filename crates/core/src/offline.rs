@@ -29,7 +29,7 @@
 
 use std::cmp::Ordering;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use prophet_mc::guide::{GridGuide, Guide};
 use prophet_mc::{ParamPoint, SampleSet};
@@ -39,7 +39,7 @@ use prophet_sql::Script;
 use crate::engine::{Engine, EvalOutcome};
 use crate::error::{ProphetError, ProphetResult};
 use crate::job::Priority;
-use crate::metrics::EngineMetrics;
+use crate::metrics::{EngineMetrics, Stopwatch};
 use crate::scheduler::Scheduler;
 
 /// One feasible (or candidate) answer of the OPTIMIZE query.
@@ -330,7 +330,7 @@ impl OfflineOptimizer {
         &self,
         mut observer: impl FnMut(&ParamPoint, &ParamPoint, &EvalOutcome),
     ) -> ProphetResult<OfflineReport> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let before = self.engine.metrics();
         let mut answers = Vec::with_capacity(self.plan.groups_total());
 

@@ -75,6 +75,17 @@
 //! concurrent sessions waiting on them re-claim and recover, exactly as
 //! the store's cancel machinery already guarantees.
 //!
+//! # Concurrency conformance
+//!
+//! Every lock in this module is a rank-ordered wrapper from
+//! [`crate::sync`] (the scheduler's locks hold ranks 10, 60 and 80 of
+//! the workspace table), and [`SchedulerConfig::perturb`] arms the
+//! seeded chaos scheduler that `tests/chaos.rs` sweeps to prove the
+//! determinism argument above holds under adversarial interleavings.
+//! `docs/CONCURRENCY.md` carries the full rank table, the store's
+//! claim/publish protocol, and the lint rules that pin thread spawning
+//! and raw lock construction to their sanctioned modules.
+//!
 //! [`Engine::evaluate_batch`]: crate::engine::Engine::evaluate_batch
 
 use std::cmp::Ordering as CmpOrdering;
@@ -82,9 +93,8 @@ use std::collections::BinaryHeap;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 use prophet_fingerprint::{Fingerprint, Mapping};
 use prophet_mc::{BasisHit, InflightGuard, ParamPoint, SampleSet, TryClaim, WaitHandle};
@@ -93,7 +103,11 @@ use crate::engine::{Engine, EvalOutcome};
 use crate::error::{ProphetError, ProphetResult};
 use crate::executor::dedupe_points;
 use crate::job::{ChunkUpdate, JobCore, JobEvent, JobHandle, JobOutput, Priority};
+use crate::metrics::Stopwatch;
 use crate::offline::{OfflineReport, SweepPlan};
+use crate::sync::{
+    OrderedCondvar, OrderedMutex, CHUNK_RESULTS, JOB_EVENTS, SCHEDULER_HANDLES, SCHEDULER_STATE,
+};
 
 /// Default number of points per scheduled chunk: small enough that a
 /// high-priority job overtakes a running sweep within a few points (and
@@ -118,6 +132,26 @@ pub struct SchedulerConfig {
     /// points split finer so even small batches fan out across the whole
     /// pool.
     pub chunk_points: usize,
+    /// Chaos-mode seed ([`SchedulerConfig::perturb`]): `Some(seed)`
+    /// injects seeded yields and chunk-pop shuffles at the scheduler's
+    /// preemption points. `None` (the default) runs undisturbed.
+    pub chaos_seed: Option<u64>,
+}
+
+impl SchedulerConfig {
+    /// Enable chaos mode: every chunk pickup may yield the thread a few
+    /// times and swap the heap's top two chunks, seeded by `seed` — so a
+    /// test sweep over seeds explores many more interleavings than the
+    /// quiet scheduler would produce. Answers, chosen sources and work
+    /// counters must stay bit-identical under every seed (the scheduler's
+    /// determinism contract, `docs/CONCURRENCY.md`); `tests/chaos.rs`
+    /// enforces it. Perturbation only reorders *independent* work: chunk
+    /// execution order within a phase carries no semantic weight, which
+    /// is exactly what the sweep proves.
+    pub fn perturb(mut self, seed: u64) -> Self {
+        self.chaos_seed = Some(seed);
+        self
+    }
 }
 
 impl Default for SchedulerConfig {
@@ -125,8 +159,56 @@ impl Default for SchedulerConfig {
         SchedulerConfig {
             workers: 0,
             chunk_points: DEFAULT_CHUNK_POINTS,
+            chaos_seed: None,
         }
     }
+}
+
+/// Seeded schedule perturbation (chaos mode). Each decision draws from a
+/// counter-keyed splitmix64 stream: cheap, lock-free, and seed-dependent,
+/// so different seeds explore different interleavings. (The decision
+/// *sequence* still depends on OS scheduling — chaos mode is a schedule
+/// explorer, not a schedule replayer; determinism of the *answers* is
+/// what the chaos sweep asserts.)
+struct Chaos {
+    seed: u64,
+    ticks: AtomicU64,
+}
+
+impl Chaos {
+    fn new(seed: u64) -> Self {
+        Chaos {
+            seed,
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    fn roll(&self) -> u64 {
+        let tick = self.ticks.fetch_add(1, Ordering::Relaxed);
+        splitmix64(self.seed ^ tick.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Yield the thread 0–3 times: a seeded preemption point.
+    fn maybe_yield(&self) {
+        for _ in 0..(self.roll() & 3) {
+            std::thread::yield_now();
+        }
+    }
+
+    /// A seeded coin flip (chunk-pop shuffles).
+    fn coin(&self) -> bool {
+        self.roll() & 1 == 0
+    }
+}
+
+/// SplitMix64 output mixer (Steele et al.) — the same generator family
+/// `prophet-vg` seeds worlds with; inlined here because chaos draws are a
+/// scheduler-internal detail, not part of any model's sample stream.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// One unit of pool work: the boxed task plus its queue key.
@@ -184,27 +266,47 @@ struct State {
 
 impl State {
     /// Highest-priority task of either kind (workers' top-level loop).
-    fn pop_any(&mut self) -> Option<QueuedTask> {
+    fn pop_any(&mut self, chaos: Option<&Chaos>) -> Option<QueuedTask> {
         match (self.drivers.peek(), self.chunks.peek()) {
             (Some(driver), Some(chunk)) => {
                 if driver.cmp(chunk) == CmpOrdering::Greater {
                     self.drivers.pop()
                 } else {
-                    self.chunks.pop()
+                    self.pop_chunk(chaos)
                 }
             }
             (Some(_), None) => self.drivers.pop(),
-            (None, _) => self.chunks.pop(),
+            (None, _) => self.pop_chunk(chaos),
         }
+    }
+
+    /// Pop the next chunk — under chaos, sometimes the *second*-best
+    /// chunk instead, shuffling execution order inside and across phases.
+    /// Legal because chunk order never carries semantics: results land in
+    /// index-addressed slots and publication happens later, on the
+    /// driver, in batch order.
+    fn pop_chunk(&mut self, chaos: Option<&Chaos>) -> Option<QueuedTask> {
+        let first = self.chunks.pop()?;
+        if let Some(chaos) = chaos {
+            if chaos.coin() {
+                if let Some(second) = self.chunks.pop() {
+                    self.chunks.push(first);
+                    return Some(second);
+                }
+            }
+        }
+        Some(first)
     }
 }
 
 pub(crate) struct Inner {
-    state: Mutex<State>,
-    ready: Condvar,
+    state: OrderedMutex<State>,
+    ready: OrderedCondvar,
     chunk_points: usize,
     workers: usize,
     next_job: AtomicU64,
+    /// Chaos-mode perturbation source; `None` outside chaos runs.
+    chaos: Option<Chaos>,
 }
 
 impl Inner {
@@ -222,12 +324,12 @@ impl Inner {
     /// serializes with `help_until`'s condition check, so no wakeup is
     /// lost between "condition observed false" and "wait".
     fn notify(&self) {
-        let _guard = self.state.lock().expect("scheduler state lock poisoned");
+        let _guard = self.state.lock();
         self.ready.notify_all();
     }
 
     fn push_chunks(&self, tasks: Vec<QueuedTask>) {
-        let mut state = self.state.lock().expect("scheduler state lock poisoned");
+        let mut state = self.state.lock();
         for task in tasks {
             state.chunks.push(task);
         }
@@ -244,20 +346,20 @@ impl Inner {
     fn help_until(&self, done: impl Fn() -> bool) {
         loop {
             let task = {
-                let mut state = self.state.lock().expect("scheduler state lock poisoned");
+                let mut state = self.state.lock();
                 loop {
                     if done() {
                         return;
                     }
-                    if let Some(task) = state.chunks.pop() {
+                    if let Some(task) = state.pop_chunk(self.chaos.as_ref()) {
                         break task;
                     }
-                    state = self
-                        .ready
-                        .wait(state)
-                        .expect("scheduler state lock poisoned");
+                    state = self.ready.wait(state);
                 }
             };
+            if let Some(chaos) = &self.chaos {
+                chaos.maybe_yield();
+            }
             run_task(task);
         }
     }
@@ -276,7 +378,7 @@ fn run_task(task: QueuedTask) {
 pub struct Scheduler {
     inner: Arc<Inner>,
     workers: usize,
-    handles: Mutex<Vec<JoinHandle<()>>>,
+    handles: OrderedMutex<Vec<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -299,16 +401,20 @@ impl Scheduler {
     pub(crate) fn new(config: SchedulerConfig) -> Self {
         let workers = config.workers.max(1);
         let inner = Arc::new(Inner {
-            state: Mutex::new(State {
-                drivers: BinaryHeap::new(),
-                chunks: BinaryHeap::new(),
-                active_jobs: 0,
-                shutdown: false,
-            }),
-            ready: Condvar::new(),
+            state: OrderedMutex::new(
+                SCHEDULER_STATE,
+                State {
+                    drivers: BinaryHeap::new(),
+                    chunks: BinaryHeap::new(),
+                    active_jobs: 0,
+                    shutdown: false,
+                },
+            ),
+            ready: OrderedCondvar::new(),
             chunk_points: config.chunk_points.max(1),
             workers,
             next_job: AtomicU64::new(0),
+            chaos: config.chaos_seed.map(Chaos::new),
         });
         let handles = (0..workers)
             .map(|_| {
@@ -319,7 +425,7 @@ impl Scheduler {
         Scheduler {
             inner,
             workers,
-            handles: Mutex::new(handles),
+            handles: OrderedMutex::new(SCHEDULER_HANDLES, handles),
         }
     }
 
@@ -335,27 +441,15 @@ impl Scheduler {
 
     /// Jobs submitted and not yet finished (running or queued).
     pub fn active_jobs(&self) -> usize {
-        self.inner
-            .state
-            .lock()
-            .expect("scheduler state lock poisoned")
-            .active_jobs
+        self.inner.state.lock().active_jobs
     }
 
     /// Block until every submitted job has finished — the way to observe
     /// completion of a job whose [`JobHandle`] was dropped (detached).
     pub fn wait_idle(&self) {
-        let mut state = self
-            .inner
-            .state
-            .lock()
-            .expect("scheduler state lock poisoned");
+        let mut state = self.inner.state.lock();
         while state.active_jobs > 0 {
-            state = self
-                .inner
-                .ready
-                .wait(state)
-                .expect("scheduler state lock poisoned");
+            state = self.inner.ready.wait(state);
         }
     }
 
@@ -404,7 +498,7 @@ impl Scheduler {
             points_total: AtomicU64::new(points_total),
             chunks_done: AtomicU64::new(0),
             chunks_dispatched: AtomicU64::new(0),
-            events: Mutex::new(Some(tx)),
+            events: OrderedMutex::new(JOB_EVENTS, Some(tx)),
             engine,
             baseline,
         });
@@ -428,11 +522,7 @@ impl Scheduler {
             }),
         };
         {
-            let mut state = self
-                .inner
-                .state
-                .lock()
-                .expect("scheduler state lock poisoned");
+            let mut state = self.inner.state.lock();
             state.active_jobs += 1;
             state.drivers.push(task);
             self.inner.ready.notify_all();
@@ -446,15 +536,11 @@ impl Drop for Scheduler {
     /// stores are never abandoned mid-claim), then join the workers.
     fn drop(&mut self) {
         {
-            let mut state = self
-                .inner
-                .state
-                .lock()
-                .expect("scheduler state lock poisoned");
+            let mut state = self.inner.state.lock();
             state.shutdown = true;
             self.inner.ready.notify_all();
         }
-        let handles = std::mem::take(&mut *self.handles.lock().expect("handle lock poisoned"));
+        let handles = std::mem::take(&mut *self.handles.lock());
         for handle in handles {
             let _ = handle.join();
         }
@@ -464,20 +550,20 @@ impl Drop for Scheduler {
 fn worker_loop(inner: &Inner) {
     loop {
         let task = {
-            let mut state = inner.state.lock().expect("scheduler state lock poisoned");
+            let mut state = inner.state.lock();
             loop {
-                if let Some(task) = state.pop_any() {
+                if let Some(task) = state.pop_any(inner.chaos.as_ref()) {
                     break task;
                 }
                 if state.shutdown {
                     return;
                 }
-                state = inner
-                    .ready
-                    .wait(state)
-                    .expect("scheduler state lock poisoned");
+                state = inner.ready.wait(state);
             }
         };
+        if let Some(chaos) = &inner.chaos {
+            chaos.maybe_yield();
+        }
         run_task(task);
     }
 }
@@ -510,7 +596,7 @@ impl Drop for DriverDone {
 fn finish_job(inner: &Inner, core: &JobCore) {
     core.finished.store(true, Ordering::Release);
     core.close_events();
-    let mut state = inner.state.lock().expect("scheduler state lock poisoned");
+    let mut state = inner.state.lock();
     state.active_jobs -= 1;
     inner.ready.notify_all();
 }
@@ -543,7 +629,7 @@ fn emit_chunks(
 fn drive_sweep(inner: &Arc<Inner>, core: &Arc<JobCore>, plan: &SweepPlan) {
     let engine = &core.engine;
     let before = engine.metrics();
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mut event_chunk = 0u64;
     let mut answers = Vec::with_capacity(plan.groups_total());
     for group in plan.groups() {
@@ -651,7 +737,10 @@ where
         return Vec::new();
     }
     let chunk = chunk.max(1);
-    let results: Arc<Mutex<Vec<Option<T>>>> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let results: Arc<OrderedMutex<Vec<Option<T>>>> = Arc::new(OrderedMutex::new(
+        CHUNK_RESULTS,
+        (0..n).map(|_| None).collect(),
+    ));
     let f = Arc::new(f);
     let mut indexed: Vec<(usize, I)> = items.into_iter().enumerate().collect();
     let mut chunks: Vec<Vec<(usize, I)>> = Vec::new();
@@ -677,7 +766,10 @@ where
             job: core.id,
             seq,
             run: Box::new(move || {
-                let _done = guard;
+                let done = guard;
+                if let Some(chaos) = &done.inner.chaos {
+                    chaos.maybe_yield();
+                }
                 // Cancellation is chunk-granular: the flag is consulted
                 // once, before any work — an in-flight chunk always
                 // finishes every point it started.
@@ -686,7 +778,7 @@ where
                 }
                 let computed: Vec<(usize, T)> =
                     chunk.iter().map(|(i, item)| (*i, f(item))).collect();
-                let mut slots = results.lock().expect("chunk result lock poisoned");
+                let mut slots = results.lock();
                 for (i, value) in computed {
                     slots[i] = Some(value);
                 }
@@ -695,7 +787,7 @@ where
     }
     inner.push_chunks(tasks);
     inner.help_until(|| remaining.load(Ordering::Acquire) == 0);
-    let mut slots = results.lock().expect("chunk result lock poisoned");
+    let mut slots = results.lock();
     std::mem::take(&mut *slots)
 }
 
@@ -770,7 +862,7 @@ fn run_batch(
         (0..unique.len()).map(|_| None).collect();
     let mut to_simulate: Vec<usize> = Vec::new();
     if use_fingerprints && !owned.is_empty() {
-        let phase = Instant::now();
+        let phase = Stopwatch::start();
         let probe_engine = Arc::clone(engine);
         let owned_points: Vec<ParamPoint> = owned.iter().map(|&i| unique[i].clone()).collect();
         let probe_chunk = inner.phase_chunk(owned_points.len());
@@ -784,7 +876,7 @@ fn run_batch(
         };
         engine.bump(|m| m.batch_probes += owned.len() as u64);
 
-        let match_start = Instant::now();
+        let match_start = Stopwatch::start();
         let (hits, scan) = store.find_correlated_batch_scan(
             &owned_probes,
             engine.stochastic_columns(),
@@ -830,9 +922,13 @@ fn run_batch(
             match slot {
                 Some(result) => {
                     let (i, mapped, worlds, from, exact) = result?;
-                    let guard = guards[i].take().expect("hit point was claimed");
+                    let guard = guards[i]
+                        .take()
+                        .expect("invariant: every hit point holds its claim guard");
                     guard.complete(
-                        probes[i].take().expect("hit point was probed"),
+                        probes[i]
+                            .take()
+                            .expect("invariant: every hit point was probed"),
                         Arc::new(mapped.clone()),
                         worlds,
                         false,
@@ -852,7 +948,7 @@ fn run_batch(
                 }
             }
         }
-        engine.bump(|m| m.probe_nanos += phase.elapsed().as_nanos() as u64);
+        engine.bump(|m| m.probe_nanos += phase.elapsed_nanos());
         if cancelled_mid_remap || core.is_cancelled() {
             return Ok(BatchOut::Cancelled);
         }
@@ -873,7 +969,7 @@ fn run_batch(
         if core.is_cancelled() {
             return Ok(BatchOut::Cancelled);
         }
-        let phase = Instant::now();
+        let phase = Stopwatch::start();
         let sim_engine = Arc::clone(engine);
         let miss_items: Vec<(usize, ParamPoint)> = to_simulate
             .iter()
@@ -897,7 +993,9 @@ fn run_batch(
             match slot {
                 Some(sim) => {
                     let samples = sim?;
-                    let guard = guards[i].take().expect("missed point was claimed");
+                    let guard = guards[i]
+                        .take()
+                        .expect("invariant: every missed point holds its claim guard");
                     guard.complete(
                         probes[i].take().unwrap_or_default(),
                         Arc::new(samples.clone()),
@@ -919,7 +1017,7 @@ fn run_batch(
                 }
             }
         }
-        engine.bump(|m| m.sim_nanos += phase.elapsed().as_nanos() as u64);
+        engine.bump(|m| m.sim_nanos += phase.elapsed_nanos());
         if cancelled_mid_sim {
             return Ok(BatchOut::Cancelled);
         }
@@ -942,7 +1040,7 @@ fn run_batch(
             .map(|i| {
                 results[i]
                     .clone()
-                    .expect("every unique point resolves to a result")
+                    .expect("invariant: every unique point resolves to a result")
             })
             .collect(),
     ))

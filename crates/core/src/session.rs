@@ -19,7 +19,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use prophet_mc::aggregate::Welford;
 use prophet_mc::guide::{Guide, PriorityGuide};
@@ -29,6 +29,7 @@ use prophet_sql::ast::GraphDirective;
 use crate::engine::{Engine, EvalOutcome};
 use crate::error::{ProphetError, ProphetResult};
 use crate::job::Priority;
+use crate::metrics::Stopwatch;
 use crate::scheduler::Scheduler;
 
 /// What one slider adjustment (or initial render) cost.
@@ -265,7 +266,7 @@ impl OnlineSession {
     /// work interleaves with, and overtakes, lower-priority jobs instead
     /// of queueing behind them.
     pub fn refresh(&mut self) -> ProphetResult<AdjustReport> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let mut report = AdjustReport {
             weeks_total: self.x_values.len(),
             weeks_simulated: 0,
@@ -426,7 +427,7 @@ impl OnlineSession {
             engine.config().fingerprints_enabled && !engine.stochastic_columns().is_empty();
         let mut probes = HashMap::new();
         if use_fingerprints {
-            let phase = Instant::now();
+            let phase = Stopwatch::start();
             let (point_probes, hit) = engine.probe_and_match_one(&point)?;
             probes = point_probes;
             if let Some(hit) = hit {
@@ -435,12 +436,12 @@ impl OnlineSession {
                 guard.complete(probes, Arc::new(mapped.clone()), hit.worlds, false);
                 engine.bump(|m| {
                     m.points_mapped += 1;
-                    m.probe_nanos += phase.elapsed().as_nanos() as u64;
+                    m.probe_nanos += phase.elapsed_nanos();
                 });
                 let xs = column_samples(&mapped)?;
                 return Ok(feed_progressive(&mut acc, &xs, batch, epsilon, Z95));
             }
-            engine.bump(|m| m.probe_nanos += phase.elapsed().as_nanos() as u64);
+            engine.bump(|m| m.probe_nanos += phase.elapsed_nanos());
         }
 
         // …a miss simulates chunk by chunk, stopping at convergence.
@@ -448,7 +449,7 @@ impl OnlineSession {
         // the seed-based world→sample assignment makes worlds `0..k`
         // bit-identical to what re-simulation would produce, so only the
         // remainder is fresh work.
-        let phase = Instant::now();
+        let phase = Stopwatch::start();
         let mut all: HashMap<String, Vec<f64>> = HashMap::new();
         let mut done = 0usize;
         let mut converged = false;
@@ -477,7 +478,7 @@ impl OnlineSession {
         guard.complete(probes, Arc::new(all), done, done == worlds_full);
         engine.bump(|m| {
             m.points_simulated += 1;
-            m.sim_nanos += phase.elapsed().as_nanos() as u64;
+            m.sim_nanos += phase.elapsed_nanos();
         });
         if done < worlds_full {
             // The point stopped below full depth: queue the remainder with

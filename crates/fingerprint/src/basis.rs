@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::RwLock;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::correlate::CorrelationDetector;
 use crate::fingerprint::Fingerprint;
@@ -55,6 +55,15 @@ struct StoreInner<K, P> {
     misses: u64,
 }
 
+/// A thread panicked while holding the store lock. Named like the
+/// rank-table locks in `prophet_mc::sync` so a poison panic always says
+/// *which* lock died; this crate sits below the instrumented primitives
+/// in the dependency graph, so it reports the same way by hand.
+#[cold]
+fn poisoned() -> ! {
+    panic!("lock `basis entries` (rank 50) poisoned: a thread panicked while holding it")
+}
+
 impl<K, P> BasisStore<K, P>
 where
     K: Eq + Hash + Clone,
@@ -68,6 +77,10 @@ where
     pub fn new(detector: CorrelationDetector, capacity: usize) -> Self {
         assert!(capacity > 0, "basis store capacity must be positive");
         BasisStore {
+            // Raw lock by necessity (see lint-allow.txt): this crate sits
+            // below `prophet_mc::sync` in the dependency graph, so the
+            // ordered wrapper is out of reach; `read`/`write` below report
+            // poisoning the same way the instrumented primitives do.
             inner: RwLock::new(StoreInner {
                 entries: HashMap::new(),
                 next_stamp: 0,
@@ -79,9 +92,17 @@ where
         }
     }
 
+    fn read(&self) -> RwLockReadGuard<'_, StoreInner<K, P>> {
+        self.inner.read().unwrap_or_else(|_| poisoned())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, StoreInner<K, P>> {
+        self.inner.write().unwrap_or_else(|_| poisoned())
+    }
+
     /// Insert (or replace) a basis distribution.
     pub fn insert(&self, key: K, fingerprint: Fingerprint, payload: P) {
-        let mut inner = self.inner.write().expect("basis store lock poisoned");
+        let mut inner = self.write();
         inner.next_stamp += 1;
         let stamp = inner.next_stamp;
         if inner.entries.len() >= self.capacity && !inner.entries.contains_key(&key) {
@@ -107,21 +128,12 @@ where
 
     /// Exact lookup by key.
     pub fn get(&self, key: &K) -> Option<P> {
-        self.inner
-            .read()
-            .expect("basis store lock poisoned")
-            .entries
-            .get(key)
-            .map(|e| e.payload.clone())
+        self.read().entries.get(key).map(|e| e.payload.clone())
     }
 
     /// Whether a key is stored.
     pub fn contains(&self, key: &K) -> bool {
-        self.inner
-            .read()
-            .expect("basis store lock poisoned")
-            .entries
-            .contains_key(key)
+        self.read().entries.contains_key(key)
     }
 
     /// Find the best correlated basis entry for `query`: smallest error bar
@@ -137,7 +149,7 @@ where
                 Mapping::Compose(..) => 3,
             }
         }
-        let mut inner = self.inner.write().expect("basis store lock poisoned");
+        let mut inner = self.write();
         let mut best: Option<(BasisMatch<K>, P, (f64, u8))> = None;
         for (key, entry) in &inner.entries {
             if let Some(mapping) = self.detector.detect(&entry.fingerprint, query) {
@@ -172,17 +184,13 @@ where
 
     /// `(hits, misses)` of `find_correlated` so far.
     pub fn hit_stats(&self) -> (u64, u64) {
-        let inner = self.inner.read().expect("basis store lock poisoned");
+        let inner = self.read();
         (inner.hits, inner.misses)
     }
 
     /// Number of stored entries.
     pub fn len(&self) -> usize {
-        self.inner
-            .read()
-            .expect("basis store lock poisoned")
-            .entries
-            .len()
+        self.read().entries.len()
     }
 
     /// True if nothing is stored.
@@ -192,7 +200,7 @@ where
 
     /// Drop everything (benchmarks reset between configurations).
     pub fn clear(&self) {
-        let mut inner = self.inner.write().expect("basis store lock poisoned");
+        let mut inner = self.write();
         inner.entries.clear();
         inner.hits = 0;
         inner.misses = 0;

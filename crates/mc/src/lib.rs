@@ -26,6 +26,7 @@ pub mod instance;
 pub mod materialize;
 pub mod series;
 pub mod store;
+pub mod sync;
 
 pub use aggregate::{Histogram, SampleStats, Welford};
 pub use batch::{simulate_point, simulate_point_block, SampleSet};

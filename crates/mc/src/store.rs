@@ -39,12 +39,16 @@
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::Arc;
 
 use prophet_fingerprint::index::{bound_all, summarize, FingerprintSummary, MatchBound};
 use prophet_fingerprint::{CorrelationDetector, Fingerprint, Mapping};
 
 use crate::instance::ParamPoint;
+use crate::sync::{
+    rank, ClaimLedger, OrderedCondvar, OrderedMutex, OrderedReadGuard, OrderedRwLock,
+    OrderedWriteGuard,
+};
 
 /// Per-column Monte Carlo samples for one parameter point.
 pub type ColumnSamples = HashMap<String, Vec<f64>>;
@@ -111,21 +115,21 @@ enum SlotState {
 /// One pending parameter point: a condvar-notified state cell shared by the
 /// owner and every waiter.
 struct PendingSlot {
-    state: Mutex<SlotState>,
-    cv: Condvar,
+    state: OrderedMutex<SlotState>,
+    cv: OrderedCondvar,
 }
 
 impl PendingSlot {
     fn new() -> Self {
         PendingSlot {
-            state: Mutex::new(SlotState::Running),
-            cv: Condvar::new(),
+            state: OrderedMutex::new(rank::INFLIGHT_SLOT, SlotState::Running),
+            cv: OrderedCondvar::new(),
         }
     }
 
     /// Cancel if still running, waking every waiter.
     fn cancel(&self) {
-        let mut state = self.state.lock().expect("inflight slot lock poisoned");
+        let mut state = self.state.lock();
         if matches!(*state, SlotState::Running) {
             *state = SlotState::Cancelled;
         }
@@ -134,9 +138,21 @@ impl PendingSlot {
     }
 }
 
-#[derive(Default)]
 struct Inflight {
-    slots: Mutex<HashMap<ParamPoint, Arc<PendingSlot>>>,
+    slots: OrderedMutex<HashMap<ParamPoint, Arc<PendingSlot>>>,
+    /// Claim-protocol checker: every point must walk claimed → simulated →
+    /// published (or claimed → cancelled) exactly once per claim. A no-op
+    /// unless `cfg(any(test, feature = "check"))`.
+    ledger: ClaimLedger<ParamPoint>,
+}
+
+impl Default for Inflight {
+    fn default() -> Self {
+        Inflight {
+            slots: OrderedMutex::new(rank::INFLIGHT_TABLE, HashMap::new()),
+            ledger: ClaimLedger::new(),
+        }
+    }
 }
 
 /// Outcome of [`SharedBasisStore::try_claim`].
@@ -195,16 +211,12 @@ impl InflightGuard {
         matchable: bool,
     ) -> bool {
         self.completed = true;
-        let mut slots = self
-            .store
-            .inflight
-            .slots
-            .lock()
-            .expect("inflight table lock poisoned");
+        let mut slots = self.store.inflight.slots.lock();
         {
-            let mut state = self.slot.state.lock().expect("inflight slot lock poisoned");
+            let mut state = self.slot.state.lock();
             if matches!(*state, SlotState::Cancelled) {
-                // A clear detached this slot mid-flight: discard.
+                // A clear detached this slot mid-flight: discard. The clear
+                // already released this point's claim in the ledger.
                 return false;
             }
             *state = SlotState::Done {
@@ -212,38 +224,44 @@ impl InflightGuard {
                 worlds,
             };
         }
+        self.store.inflight.ledger.on_simulated(&self.point);
         self.slot.cv.notify_all();
         self.store
             .insert(self.point.clone(), fingerprints, samples, worlds, matchable);
+        self.store.inflight.ledger.on_published(&self.point);
         if let Some(current) = slots.get(&self.point) {
             if Arc::ptr_eq(current, &self.slot) {
                 slots.remove(&self.point);
             }
         }
+        self.store.inflight.ledger.on_released(&self.point);
         true
     }
 
     /// Remove this slot from the pending table (if it is still the
-    /// registered one — a clear may have already detached it).
-    fn detach(&self) {
-        let mut slots = self
-            .store
-            .inflight
-            .slots
-            .lock()
-            .expect("inflight table lock poisoned");
+    /// registered one — a clear may have already detached it). Returns
+    /// whether this call detached it.
+    fn detach(&self) -> bool {
+        let mut slots = self.store.inflight.slots.lock();
         if let Some(current) = slots.get(&self.point) {
             if Arc::ptr_eq(current, &self.slot) {
                 slots.remove(&self.point);
+                return true;
             }
         }
+        false
     }
 }
 
 impl Drop for InflightGuard {
     fn drop(&mut self) {
         if !self.completed {
-            self.detach();
+            // Cancellation: claimed → released, never simulated. If a clear
+            // already detached the slot it also released the claim, so only
+            // the detaching party reports the release.
+            if self.detach() {
+                self.store.inflight.ledger.on_released(&self.point);
+            }
             self.slot.cancel();
         }
     }
@@ -261,15 +279,11 @@ impl WaitHandle {
     /// the simulation was abandoned (owner failure or a store clear) — the
     /// caller should re-claim and, if it becomes the owner, re-simulate.
     pub fn wait(self) -> Option<(Arc<ColumnSamples>, usize)> {
-        let mut state = self.slot.state.lock().expect("inflight slot lock poisoned");
+        let mut state = self.slot.state.lock();
         loop {
             match &*state {
                 SlotState::Running => {
-                    state = self
-                        .slot
-                        .cv
-                        .wait(state)
-                        .expect("inflight slot lock poisoned");
+                    state = self.slot.cv.wait(state);
                 }
                 SlotState::Done { samples, worlds } => {
                     self.stats.inflight_waits.fetch_add(1, Ordering::Relaxed);
@@ -302,7 +316,7 @@ pub struct StoreStatsSnapshot {
 /// never drop a pending simulation.
 #[derive(Clone)]
 pub struct SharedBasisStore {
-    inner: Arc<RwLock<Inner>>,
+    inner: Arc<OrderedRwLock<Inner>>,
     inflight: Arc<Inflight>,
     stats: Arc<StoreStats>,
     capacity: usize,
@@ -389,6 +403,9 @@ fn scan_exhaustive(
         vec![scan(candidates, 0)]
     } else {
         let chunk = candidates.len().div_ceil(workers);
+        // lint:allow(thread-spawn): the exhaustive reference scan's scoped
+        // fan-out predates the scheduler and must stay schedule-free so the
+        // indexed scan can be differentially tested against it.
         std::thread::scope(|scope| {
             let handles: Vec<_> = candidates
                 .chunks(chunk)
@@ -512,6 +529,8 @@ where
         return items.iter().map(&f).collect();
     }
     let chunk = items.len().div_ceil(workers);
+    // lint:allow(thread-spawn): wave-local fan-out of pure comparisons;
+    // runs under the store's read lock where pool chunks must not block.
     std::thread::scope(|scope| {
         let f = &f;
         let handles: Vec<_> = items
@@ -534,7 +553,7 @@ impl SharedBasisStore {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "basis store capacity must be positive");
         SharedBasisStore {
-            inner: Arc::new(RwLock::new(Inner::default())),
+            inner: Arc::new(OrderedRwLock::new(rank::STORE_INNER, Inner::default())),
             inflight: Arc::new(Inflight::default()),
             stats: Arc::new(StoreStats::default()),
             capacity,
@@ -570,13 +589,12 @@ impl SharedBasisStore {
     /// or fully after (its slot is already cancelled and its results are
     /// discarded) — never a stale entry in a "cleared" store.
     pub fn clear(&self) {
-        let mut slots = self
-            .inflight
-            .slots
-            .lock()
-            .expect("inflight table lock poisoned");
-        for (_, slot) in slots.drain() {
+        let mut slots = self.inflight.slots.lock();
+        for (point, slot) in slots.drain() {
             slot.cancel();
+            // The detached owner's claim ends here: claimed → released
+            // (its eventual `complete` observes the cancel and discards).
+            self.inflight.ledger.on_released(&point);
         }
         {
             let mut inner = self.write();
@@ -608,11 +626,7 @@ impl SharedBasisStore {
 
     /// Number of points currently claimed by in-flight simulations.
     pub fn inflight_len(&self) -> usize {
-        self.inflight
-            .slots
-            .lock()
-            .expect("inflight table lock poisoned")
-            .len()
+        self.inflight.slots.lock().len()
     }
 
     /// True if `other` is a handle onto the same underlying store.
@@ -639,11 +653,7 @@ impl SharedBasisStore {
     /// * [`TryClaim::Pending`] — another session owns it; block on the
     ///   [`WaitHandle`] to reuse its result.
     pub fn try_claim(&self, point: &ParamPoint, min_worlds: usize) -> TryClaim {
-        let mut slots = self
-            .inflight
-            .slots
-            .lock()
-            .expect("inflight table lock poisoned");
+        let mut slots = self.inflight.slots.lock();
         // Exact check under the in-flight lock so a concurrent complete()
         // cannot publish between the store check and slot registration.
         {
@@ -665,6 +675,7 @@ impl SharedBasisStore {
             Entry::Vacant(v) => {
                 let slot = Arc::new(PendingSlot::new());
                 v.insert(Arc::clone(&slot));
+                self.inflight.ledger.on_claimed(point);
                 TryClaim::Owner(InflightGuard {
                     store: self.clone(),
                     point: point.clone(),
@@ -829,12 +840,12 @@ impl SharedBasisStore {
         (results, stats)
     }
 
-    fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
-        self.inner.read().expect("basis store lock poisoned")
+    fn read(&self) -> OrderedReadGuard<'_, Inner> {
+        self.inner.read()
     }
 
-    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Inner> {
-        self.inner.write().expect("basis store lock poisoned")
+    fn write(&self) -> OrderedWriteGuard<'_, Inner> {
+        self.inner.write()
     }
 }
 

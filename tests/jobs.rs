@@ -68,6 +68,7 @@ fn service(
         .scheduler(SchedulerConfig {
             workers,
             chunk_points: chunk,
+            ..SchedulerConfig::default()
         })
         .build()
         .unwrap()
@@ -315,6 +316,7 @@ fn concurrent_jobs_at_different_priorities_are_bit_identical() {
         .scheduler(SchedulerConfig {
             workers: 4,
             chunk_points: 2,
+            ..SchedulerConfig::default()
         })
         .build()
         .unwrap();
