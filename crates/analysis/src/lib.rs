@@ -5,7 +5,7 @@
 //! `prophet-sql`'s lexer (comments, strings — cooked, raw, byte — char
 //! literals and lifetimes are all handled, so a forbidden pattern inside
 //! a string never fires), strips `#[cfg(test)]` / `#[test]` regions, and
-//! checks four rules:
+//! checks five rules:
 //!
 //! | rule | forbids | except in |
 //! |------|---------|-----------|
@@ -13,6 +13,7 @@
 //! | `raw-sync` | raw `Mutex`/`RwLock`/`Condvar` construction | `sync.rs` (the instrumented module) |
 //! | `unwrap` | `.unwrap()` / `.expect("…")` in `crates/core`, `crates/fingerprint` | messages containing `invariant` |
 //! | `wall-clock` | `Instant::now()` / `SystemTime` | `metrics.rs`, `crates/bench` |
+//! | `typed-kernel` | `Value` inside the typed-kernel module (`crates/sql/src/column.rs`); `std::simd` / `unsafe` anywhere else | `crates/sql/src/simd.rs` (the simd-gated kernel file) |
 //!
 //! Two escape hatches, both explicit and reviewable:
 //!
@@ -34,21 +35,27 @@ use std::fmt;
 
 // ---------------------------------------------------------------- rules
 
-/// The four conformance rules. See the module docs for the table.
+/// The five conformance rules. See the module docs for the table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     ThreadSpawn,
     RawSync,
     Unwrap,
     WallClock,
+    /// The typed-columnar boundary (`crates/sql`): the kernel module
+    /// (`column.rs`) must never name `Value` — typed kernels see only
+    /// primitive slices — and `std::simd` / `unsafe` may appear only in
+    /// the feature-gated `simd.rs` kernel file.
+    TypedKernel,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 5] = [
         Rule::ThreadSpawn,
         Rule::RawSync,
         Rule::Unwrap,
         Rule::WallClock,
+        Rule::TypedKernel,
     ];
 
     pub fn name(self) -> &'static str {
@@ -57,6 +64,7 @@ impl Rule {
             Rule::RawSync => "raw-sync",
             Rule::Unwrap => "unwrap",
             Rule::WallClock => "wall-clock",
+            Rule::TypedKernel => "typed-kernel",
         }
     }
 
@@ -77,9 +85,23 @@ impl Rule {
                 !(path.starts_with("crates/core/src") || path.starts_with("crates/fingerprint/src"))
             }
             Rule::WallClock => base == "metrics.rs" || path.starts_with("crates/bench/"),
+            // Scoping is pattern-specific (the `Value` check applies *only*
+            // inside the kernel module, the `std::simd`/`unsafe` checks
+            // everywhere outside `simd.rs`), so `scan_rules` decides per
+            // violation and nothing is exempt wholesale here.
+            Rule::TypedKernel => false,
         }
     }
 }
+
+/// The typed-kernel module: straight-line kernels over primitive slices,
+/// forbidden from naming `Value`.
+const TYPED_KERNEL_MODULE: &str = "crates/sql/src/column.rs";
+
+/// The only file allowed to use `std::simd` (and `unsafe`, should a
+/// kernel ever need it): the feature-gated explicit-SIMD twin of the
+/// kernel module.
+const SIMD_KERNEL_FILE: &str = "crates/sql/src/simd.rs";
 
 /// One rule violation at a source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -559,6 +581,33 @@ fn scan_rules(path: &str, toks: &[Tok]) -> Vec<Violation> {
                         .into(),
                 });
             }
+            "Value" if path == TYPED_KERNEL_MODULE => {
+                found.push(Violation {
+                    rule: Rule::TypedKernel,
+                    line,
+                    message: "`Value` inside the typed-kernel module — kernels operate on \
+                              primitive slices; boxing belongs to `columnar.rs`"
+                        .into(),
+                });
+            }
+            "simd" if pathed_from(toks, i, "std") && path != SIMD_KERNEL_FILE => {
+                found.push(Violation {
+                    rule: Rule::TypedKernel,
+                    line,
+                    message: "`std::simd` outside the feature-gated kernel file — explicit \
+                              SIMD lives in crates/sql/src/simd.rs only"
+                        .into(),
+                });
+            }
+            "unsafe" if path != SIMD_KERNEL_FILE => {
+                found.push(Violation {
+                    rule: Rule::TypedKernel,
+                    line,
+                    message: "`unsafe` outside the feature-gated kernel file — the typed \
+                              tier is safe Rust; justify any exception in simd.rs"
+                        .into(),
+                });
+            }
             _ => {}
         }
     }
@@ -756,6 +805,48 @@ mod tests {
             rules_fired("crates/core/src/session.rs", src),
             [Rule::WallClock]
         );
+    }
+
+    #[test]
+    fn typed_kernel_forbids_value_in_the_kernel_module_only() {
+        let src = "pub fn from(values: &[Value]) -> Vec<f64> { Vec::new() }";
+        assert_eq!(
+            rules_fired("crates/sql/src/column.rs", src),
+            [Rule::TypedKernel]
+        );
+        let src = "pub fn build() -> Vec<Value> { Vec::new() }";
+        assert_eq!(
+            rules_fired("crates/sql/src/column.rs", src),
+            [Rule::TypedKernel]
+        );
+        // Boxing is columnar.rs's job — `Value` is fine there (and anywhere
+        // else outside the kernel module).
+        assert!(rules_fired("crates/sql/src/columnar.rs", src).is_empty());
+        assert!(rules_fired("crates/sql/src/vector.rs", src).is_empty());
+    }
+
+    #[test]
+    fn typed_kernel_confines_std_simd_and_unsafe_to_the_simd_file() {
+        let src = "use std::simd::f64x8;";
+        assert_eq!(
+            rules_fired("crates/sql/src/column.rs", src),
+            [Rule::TypedKernel]
+        );
+        assert_eq!(
+            rules_fired("crates/core/src/engine.rs", src),
+            [Rule::TypedKernel]
+        );
+        assert!(rules_fired("crates/sql/src/simd.rs", src).is_empty());
+
+        let src = "fn f(p: *const f64) -> f64 { unsafe { *p } }";
+        assert_eq!(
+            rules_fired("crates/sql/src/columnar.rs", src),
+            [Rule::TypedKernel]
+        );
+        assert!(rules_fired("crates/sql/src/simd.rs", src).is_empty());
+        // `crate::simd` re-exports and the word in strings stay invisible.
+        let src = "pub use crate::simd::add_f64; fn f() { let s = \"std::simd\"; }";
+        assert!(rules_fired("crates/sql/src/column.rs", src).is_empty());
     }
 
     // ---- escape hatches

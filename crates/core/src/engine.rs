@@ -34,8 +34,12 @@ use std::sync::Arc;
 
 use prophet_data::Value;
 use prophet_fingerprint::{CorrelationDetector, Fingerprint, FingerprintConfig, Mapping};
-use prophet_mc::{simulate_point, simulate_point_block, ParamPoint, SampleSet, SharedBasisStore};
+use prophet_mc::{
+    simulate_point, simulate_point_block, simulate_point_columnar, ParamPoint, SampleSet,
+    SharedBasisStore,
+};
 use prophet_sql::ast::SelectItem;
+use prophet_sql::columnar::{evaluate_select_columns, to_f64_samples, ColumnarStats};
 use prophet_sql::error::SqlError;
 use prophet_sql::executor::{evaluate_select_with, EvalContext, WorldRng};
 use prophet_sql::vector::{column_to_f64, evaluate_select_block};
@@ -48,6 +52,30 @@ use crate::metrics::{EngineMetrics, Stopwatch};
 use crate::scenario::Scenario;
 use crate::sync::{OrderedMutex, ENGINE_METRICS};
 
+/// Which `prophet-sql` execution tier evaluates the scenario SELECT.
+///
+/// All three tiers are bit-identical per world (the differential suite in
+/// `tests/vector_equivalence.rs` enforces it across every bundled
+/// scenario); they differ only in how the work is shaped. See
+/// `docs/VECTORIZATION.md` for the full three-tier story.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecTier {
+    /// One AST walk per world (`evaluate_select_with`). The reference
+    /// semantics; also what per-world re-mapping uses.
+    Scalar,
+    /// One AST walk per world-block over boxed `Value` columns
+    /// (`evaluate_select_block`), VG functions invoked through the
+    /// catalog's batch path.
+    Boxed,
+    /// One AST walk per world-block over typed `f64`/`i64`/`bool` column
+    /// buffers (`evaluate_select_columns`): straight-line kernels over
+    /// typed slices, with per-node fallback to boxed values for
+    /// mixed/string data. Kernel/fallback counts surface as
+    /// `EngineMetrics::columnar_kernels` / `column_fallbacks`.
+    #[default]
+    Columnar,
+}
+
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
@@ -59,16 +87,15 @@ pub struct EngineConfig {
     pub detector: CorrelationDetector,
     /// Master switch for fingerprint reuse (benches compare on/off).
     pub fingerprints_enabled: bool,
-    /// Route fingerprint probes and miss-path Monte Carlo estimation
-    /// through `prophet-sql`'s vectorized tier: one SELECT walk per
-    /// world-block instead of one walk per world, with VG functions
-    /// invoked through the catalog's batch path.
+    /// Execution tier for fingerprint probes and miss-path Monte Carlo
+    /// estimation: per-world scalar walks, block walks over boxed
+    /// `Value` columns, or block walks over typed column buffers.
     ///
-    /// Outputs are bit-identical to the scalar tier (the differential
-    /// suite in `tests/vector_equivalence.rs` enforces it), so this is on
-    /// by default; disabling it exists for the scalar-vs-vector benchmark
-    /// split and for bisecting equivalence regressions.
-    pub vectorized: bool,
+    /// Outputs are bit-identical across tiers (the differential suite in
+    /// `tests/vector_equivalence.rs` enforces it), so the fastest —
+    /// [`ExecTier::Columnar`] — is the default; the others exist for the
+    /// tier benchmark splits and for bisecting equivalence regressions.
+    pub tier: ExecTier,
     /// Prune the correlation match scan through the basis store's
     /// fingerprint summary index: candidates whose summary bound proves
     /// they cannot beat the best match found so far skip the
@@ -106,7 +133,7 @@ impl Default for EngineConfig {
             fingerprint: FingerprintConfig::default(),
             detector: CorrelationDetector::default(),
             fingerprints_enabled: true,
-            vectorized: true,
+            tier: ExecTier::default(),
             match_index: true,
             common_random_numbers: true,
             root_seed: 0xF1_2E_9A_77,
@@ -140,6 +167,10 @@ pub struct Engine {
     config: EngineConfig,
     /// Output columns whose expressions invoke a registered VG function.
     stochastic_cols: Vec<String>,
+    /// The canonical probe seed block (`config.fingerprint.length` seeds),
+    /// derived once — `probe_fingerprints` runs per parameter point, and
+    /// the sequence depends only on the config.
+    probe_seeds: SeedSequence,
     basis: SharedBasisStore,
     metrics: OrderedMutex<EngineMetrics>,
 }
@@ -207,6 +238,7 @@ impl Engine {
             script,
             registry,
             seeds: SeedManager::new(config.root_seed),
+            probe_seeds: SeedSequence::fingerprint_default(config.fingerprint.length),
             config,
             stochastic_cols,
             basis,
@@ -300,39 +332,68 @@ impl Engine {
     /// `fingerprint_time`, so the counter sums real probe work across
     /// parallel workers.
     ///
-    /// With `config.vectorized` (the default) the whole seed block is one
-    /// walk of the vectorized executor — `vector_walks` counts it, while
+    /// With a block tier ([`ExecTier::Boxed`] or the default
+    /// [`ExecTier::Columnar`]) the whole seed block is one walk of the
+    /// block executor — `vector_walks` counts it, while
     /// `probe_evaluations` keeps counting the logical per-seed evaluations
-    /// so probe accounting stays comparable with the scalar tier.
+    /// so probe accounting stays comparable with the scalar tier. The
+    /// columnar tier additionally accounts its typed-kernel vs boxed
+    /// fallback node counts.
     pub(crate) fn probe_fingerprints(
         &self,
         point: &ParamPoint,
     ) -> ProphetResult<HashMap<String, Fingerprint>> {
         let start = Stopwatch::start();
-        let seeds = SeedSequence::fingerprint_default(self.config.fingerprint.length);
+        let seeds = &self.probe_seeds;
         let params = point.to_value_map();
 
-        if self.config.vectorized {
-            let columns = evaluate_select_block(
-                &self.script.select,
-                &self.registry,
-                &params,
-                self.seeds,
-                seeds.seeds(),
-            )?;
-            let mut out = HashMap::with_capacity(self.stochastic_cols.len());
-            for (name, column) in columns {
-                if self.stochastic_cols.contains(&name) {
-                    let values = column_to_f64(&column)?;
-                    out.insert(
-                        name,
-                        Fingerprint::compute_block_with_seeds(&seeds, |_| values),
-                    );
+        if self.config.tier != ExecTier::Scalar {
+            let (named_samples, stats) = match self.config.tier {
+                ExecTier::Columnar => {
+                    let (columns, stats) = evaluate_select_columns(
+                        &self.script.select,
+                        &self.registry,
+                        &params,
+                        self.seeds,
+                        seeds.seeds(),
+                    )?;
+                    let mut named = Vec::with_capacity(self.stochastic_cols.len());
+                    for (name, column) in columns {
+                        if self.stochastic_cols.contains(&name) {
+                            named.push((name, to_f64_samples(&column)?));
+                        }
+                    }
+                    (named, stats)
                 }
+                _ => {
+                    let columns = evaluate_select_block(
+                        &self.script.select,
+                        &self.registry,
+                        &params,
+                        self.seeds,
+                        seeds.seeds(),
+                    )?;
+                    let mut named = Vec::with_capacity(self.stochastic_cols.len());
+                    for (name, column) in columns {
+                        if self.stochastic_cols.contains(&name) {
+                            named.push((name, column_to_f64(&column)?));
+                        }
+                    }
+                    (named, ColumnarStats::default())
+                }
+            };
+            let mut out = HashMap::with_capacity(named_samples.len());
+            for (name, values) in named_samples {
+                out.insert(
+                    name,
+                    Fingerprint::compute_block_with_seeds(seeds, |_| values),
+                );
             }
             self.bump(|m| {
                 m.probe_evaluations += seeds.len() as u64;
                 m.vector_walks += 1;
+                m.columnar_kernels += stats.kernels;
+                m.column_fallbacks += stats.fallbacks;
                 m.probe_eval_nanos += start.elapsed_nanos();
                 m.fingerprint_time += start.elapsed();
             });
@@ -444,9 +505,10 @@ impl Engine {
     /// The world→sample assignment is identical either way, so the choice
     /// never changes the produced samples or the work counters.
     ///
-    /// With `config.vectorized` (the default) each worker's world span is
-    /// one block walk of the vectorized executor; per-world samples are
-    /// bit-identical to the scalar tier under either schedule.
+    /// With a block tier ([`ExecTier::Boxed`] or the default
+    /// [`ExecTier::Columnar`]) each worker's world span is one block walk
+    /// of the block executor; per-world samples are bit-identical to the
+    /// scalar tier under either schedule.
     pub(crate) fn simulate_full(
         &self,
         point: &ParamPoint,
@@ -454,35 +516,15 @@ impl Engine {
     ) -> ProphetResult<HashMap<String, Vec<f64>>> {
         let start = Stopwatch::start();
         let worlds: Vec<u64> = (0..self.config.worlds_per_point as u64).collect();
-        let simulate = |ws: &[u64]| -> Result<SampleSet, SqlError> {
-            if self.config.vectorized {
-                simulate_point_block(
-                    &self.script.select,
-                    &self.registry,
-                    &self.seeds,
-                    point,
-                    ws,
-                    self.config.common_random_numbers,
-                )
-            } else {
-                simulate_point(
-                    &self.script.select,
-                    &self.registry,
-                    &self.seeds,
-                    point,
-                    ws,
-                    self.config.common_random_numbers,
-                )
-            }
-        };
-        let sample_set = if world_parallel && self.config.threads > 1 {
+        let simulate = |ws: &[u64]| self.simulate_span_once(point, ws);
+        let (sample_set, stats) = if world_parallel && self.config.threads > 1 {
             let chunk = worlds.len().div_ceil(self.config.threads);
             let chunks: Vec<&[u64]> = worlds.chunks(chunk).collect();
             // World-level parallelism within one point is this engine
             // primitive's own scoped fan-out; the scheduler's pool
             // parallelizes across points, not worlds.
             // lint:allow(thread-spawn): per-point world fan-out
-            let results: Vec<Result<SampleSet, SqlError>> = std::thread::scope(|scope| {
+            let results = std::thread::scope(|scope| {
                 let simulate = &simulate;
                 let handles: Vec<_> = chunks
                     .into_iter()
@@ -494,16 +536,19 @@ impl Engine {
                         h.join()
                             .expect("invariant: world-simulation workers do not panic")
                     })
-                    .collect()
+                    .collect::<Vec<Result<(SampleSet, ColumnarStats), SqlError>>>()
             });
             let mut iter = results.into_iter();
-            let mut first = iter
+            let (mut first, mut stats) = iter
                 .next()
                 .expect("invariant: a non-empty world list yields at least one chunk")?;
             for r in iter {
-                first.absorb(&r?);
+                let (set, s) = r?;
+                first.absorb(&set);
+                stats.kernels += s.kernels;
+                stats.fallbacks += s.fallbacks;
             }
-            first
+            (first, stats)
         } else {
             simulate(&worlds)?
         };
@@ -519,9 +564,48 @@ impl Engine {
         }
         self.bump(|m| {
             m.worlds_simulated += worlds.len() as u64;
+            m.columnar_kernels += stats.kernels;
+            m.column_fallbacks += stats.fallbacks;
             m.simulation_time += start.elapsed();
         });
         Ok(out)
+    }
+
+    /// One tier-routed simulation of a world list (no metrics bump — the
+    /// callers aggregate). Non-columnar tiers report zero columnar stats.
+    fn simulate_span_once(
+        &self,
+        point: &ParamPoint,
+        worlds: &[u64],
+    ) -> Result<(SampleSet, ColumnarStats), SqlError> {
+        match self.config.tier {
+            ExecTier::Columnar => simulate_point_columnar(
+                &self.script.select,
+                &self.registry,
+                &self.seeds,
+                point,
+                worlds,
+                self.config.common_random_numbers,
+            ),
+            ExecTier::Boxed => simulate_point_block(
+                &self.script.select,
+                &self.registry,
+                &self.seeds,
+                point,
+                worlds,
+                self.config.common_random_numbers,
+            )
+            .map(|set| (set, ColumnarStats::default())),
+            ExecTier::Scalar => simulate_point(
+                &self.script.select,
+                &self.registry,
+                &self.seeds,
+                point,
+                worlds,
+                self.config.common_random_numbers,
+            )
+            .map(|set| (set, ColumnarStats::default())),
+        }
     }
 
     /// Simulate one contiguous span of a point's worlds — the primitive
@@ -539,25 +623,7 @@ impl Engine {
     ) -> ProphetResult<HashMap<String, Vec<f64>>> {
         let start = Stopwatch::start();
         let worlds: Vec<u64> = span.collect();
-        let sample_set = if self.config.vectorized {
-            simulate_point_block(
-                &self.script.select,
-                &self.registry,
-                &self.seeds,
-                point,
-                &worlds,
-                self.config.common_random_numbers,
-            )
-        } else {
-            simulate_point(
-                &self.script.select,
-                &self.registry,
-                &self.seeds,
-                point,
-                &worlds,
-                self.config.common_random_numbers,
-            )
-        }?;
+        let (sample_set, stats) = self.simulate_span_once(point, &worlds)?;
         let mut out = HashMap::with_capacity(sample_set.columns().len());
         for col in sample_set.columns() {
             out.insert(
@@ -570,6 +636,8 @@ impl Engine {
         }
         self.bump(|m| {
             m.worlds_simulated += worlds.len() as u64;
+            m.columnar_kernels += stats.kernels;
+            m.column_fallbacks += stats.fallbacks;
             m.simulation_time += start.elapsed();
         });
         Ok(out)
@@ -741,9 +809,13 @@ mod tests {
 
     #[test]
     fn vectorized_and_scalar_tiers_agree_bit_for_bit() {
-        let vector = engine(small_config());
+        let columnar = engine(small_config());
+        let boxed = engine(EngineConfig {
+            tier: ExecTier::Boxed,
+            ..small_config()
+        });
         let scalar = engine(EngineConfig {
-            vectorized: false,
+            tier: ExecTier::Scalar,
             ..small_config()
         });
         // Walk a sequence mixing simulate / map / cache outcomes.
@@ -754,21 +826,34 @@ mod tests {
             demo_point(5, 16, 36, 12), // exact cache hit
         ];
         for p in &points {
-            let (sv, ov) = vector.evaluate(p).unwrap();
+            let (sc, oc) = columnar.evaluate(p).unwrap();
+            let (sv, ov) = boxed.evaluate(p).unwrap();
             let (ss, os) = scalar.evaluate(p).unwrap();
-            assert_eq!(ov, os, "outcome for {p}");
+            assert_eq!(oc, os, "columnar outcome for {p}");
+            assert_eq!(ov, os, "boxed outcome for {p}");
             for col in ["demand", "capacity", "overload"] {
+                assert_eq!(sc.samples(col), ss.samples(col), "column {col} at {p}");
                 assert_eq!(sv.samples(col), ss.samples(col), "column {col} at {p}");
             }
         }
-        // Same logical probe accounting on both tiers…
-        let mv = vector.metrics();
+        // Same logical probe accounting on every tier…
+        let mc = columnar.metrics();
+        let mv = boxed.metrics();
         let ms = scalar.metrics();
+        assert_eq!(mc.probe_evaluations, ms.probe_evaluations);
         assert_eq!(mv.probe_evaluations, ms.probe_evaluations);
+        assert_eq!(mc.worlds_simulated, ms.worlds_simulated);
         assert_eq!(mv.worlds_simulated, ms.worlds_simulated);
-        // …but the vector tier did one walk per probed point.
+        // …but the block tiers did one walk per probed point.
+        assert_eq!(mc.vector_walks, 3, "three probed points, one walk each");
         assert_eq!(mv.vector_walks, 3, "three probed points, one walk each");
         assert_eq!(ms.vector_walks, 0, "scalar tier never block-walks");
+        // Only the columnar tier runs typed kernels; the figure-2 scenario
+        // is pure numeric, so it never falls back to boxed values.
+        assert!(mc.columnar_kernels > 0, "columnar tier counts kernels");
+        assert_eq!(mc.column_fallbacks, 0, "figure-2 is fully typed");
+        assert_eq!(mv.columnar_kernels, 0);
+        assert_eq!(ms.columnar_kernels, 0);
     }
 
     #[test]

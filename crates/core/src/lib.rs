@@ -176,7 +176,7 @@ pub mod service;
 pub mod session;
 pub mod sync;
 
-pub use engine::{Engine, EngineConfig, EvalOutcome};
+pub use engine::{Engine, EngineConfig, EvalOutcome, ExecTier};
 pub use error::{ProphetError, ProphetResult};
 pub use exploration::{CellState, ExplorationMap};
 pub use job::{
@@ -191,7 +191,7 @@ pub use session::{AdjustReport, OnlineSession, ProgressiveEstimate};
 
 /// Convenience re-exports for applications.
 pub mod prelude {
-    pub use crate::engine::{Engine, EngineConfig, EvalOutcome};
+    pub use crate::engine::{Engine, EngineConfig, EvalOutcome, ExecTier};
     pub use crate::error::{ProphetError, ProphetResult};
     pub use crate::exploration::{CellState, ExplorationMap};
     pub use crate::job::{

@@ -64,6 +64,17 @@ pub struct EngineMetrics {
     /// excludes the correlation match scan and remapping, so it is the
     /// number the scalar-vs-vector executor comparison reads.
     pub probe_eval_nanos: u64,
+    /// Typed-kernel executions inside the columnar tier: expression nodes
+    /// whose whole world-block was computed on `f64`/`i64`/`bool` buffers
+    /// (straight-line loops over typed slices). Zero unless
+    /// [`EngineConfig::tier`](crate::engine::EngineConfig::tier) is
+    /// [`ExecTier::Columnar`](crate::engine::ExecTier::Columnar).
+    pub columnar_kernels: u64,
+    /// Expression nodes the columnar tier had to evaluate through boxed
+    /// `Value` cells (mixed/string columns, integer overflow promotion,
+    /// VG functions without an `f64` batch lane). Zero on pure-numeric
+    /// scenarios — the bench asserts exactly that on the bundled ones.
+    pub column_fallbacks: u64,
     /// (candidate, probe) pairs that ran the full entry-by-entry
     /// correlation comparison during match scans. With the summary index
     /// on, `candidates_pruned / (candidates_scanned + candidates_pruned)`
@@ -135,6 +146,8 @@ impl EngineMetrics {
         self.probe_evaluations += other.probe_evaluations;
         self.vector_walks += other.vector_walks;
         self.probe_eval_nanos += other.probe_eval_nanos;
+        self.columnar_kernels += other.columnar_kernels;
+        self.column_fallbacks += other.column_fallbacks;
         self.candidates_scanned += other.candidates_scanned;
         self.candidates_pruned += other.candidates_pruned;
         self.match_scan_nanos += other.match_scan_nanos;
@@ -156,6 +169,8 @@ impl EngineMetrics {
             probe_evaluations: self.probe_evaluations - earlier.probe_evaluations,
             vector_walks: self.vector_walks - earlier.vector_walks,
             probe_eval_nanos: self.probe_eval_nanos - earlier.probe_eval_nanos,
+            columnar_kernels: self.columnar_kernels - earlier.columnar_kernels,
+            column_fallbacks: self.column_fallbacks - earlier.column_fallbacks,
             candidates_scanned: self.candidates_scanned - earlier.candidates_scanned,
             candidates_pruned: self.candidates_pruned - earlier.candidates_pruned,
             match_scan_nanos: self.match_scan_nanos - earlier.match_scan_nanos,
@@ -193,7 +208,7 @@ impl EngineMetrics {
 impl fmt::Display for EngineMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let ms = |nanos: u64| nanos as f64 / 1e6;
-        let rows: [(&str, String); 18] = [
+        let rows: [(&str, String); 20] = [
             ("points_simulated", self.points_simulated.to_string()),
             ("points_mapped", self.points_mapped.to_string()),
             ("points_cached", self.points_cached.to_string()),
@@ -202,6 +217,8 @@ impl fmt::Display for EngineMetrics {
             ("probe_evaluations", self.probe_evaluations.to_string()),
             ("vector_walks", self.vector_walks.to_string()),
             ("probe_eval_ms", format!("{:.2}", ms(self.probe_eval_nanos))),
+            ("columnar_kernels", self.columnar_kernels.to_string()),
+            ("column_fallbacks", self.column_fallbacks.to_string()),
             ("candidates_scanned", self.candidates_scanned.to_string()),
             ("candidates_pruned", self.candidates_pruned.to_string()),
             ("prune_pct", format!("{:.1}", self.prune_fraction() * 100.0)),
@@ -281,6 +298,8 @@ mod tests {
             batch_probes: 10,
             vector_walks: 7,
             probe_eval_nanos: 2_000,
+            columnar_kernels: 20,
+            column_fallbacks: 2,
             candidates_scanned: 40,
             candidates_pruned: 60,
             match_scan_nanos: 800,
@@ -294,6 +313,8 @@ mod tests {
             batch_probes: 5,
             vector_walks: 3,
             probe_eval_nanos: 1_000,
+            columnar_kernels: 5,
+            column_fallbacks: 1,
             candidates_scanned: 4,
             candidates_pruned: 6,
             match_scan_nanos: 200,
@@ -305,6 +326,8 @@ mod tests {
         assert_eq!(b.batch_probes, 15);
         assert_eq!(b.vector_walks, 10);
         assert_eq!(b.probe_eval_nanos, 3_000);
+        assert_eq!(b.columnar_kernels, 25);
+        assert_eq!(b.column_fallbacks, 3);
         assert_eq!(b.candidates_scanned, 44);
         assert_eq!(b.candidates_pruned, 66);
         assert_eq!(b.match_scan_nanos, 1_000);
@@ -313,6 +336,8 @@ mod tests {
         assert_eq!(diff.batch_probes, 5);
         assert_eq!(diff.vector_walks, 3);
         assert_eq!(diff.probe_eval_nanos, 1_000);
+        assert_eq!(diff.columnar_kernels, 5);
+        assert_eq!(diff.column_fallbacks, 1);
         assert_eq!(diff.candidates_scanned, 4);
         assert_eq!(diff.candidates_pruned, 6);
         assert_eq!(diff.match_scan_nanos, 200);
@@ -348,6 +373,8 @@ mod tests {
             probe_evaluations: 48,
             vector_walks: 6,
             probe_eval_nanos: 1_250_000,
+            columnar_kernels: 210,
+            column_fallbacks: 0,
             candidates_scanned: 30,
             candidates_pruned: 90,
             match_scan_nanos: 2_500_000,
@@ -367,6 +394,8 @@ worlds_simulated               320
 probe_evaluations               48
 vector_walks                     6
 probe_eval_ms                 1.25
+columnar_kernels               210
+column_fallbacks                 0
 candidates_scanned              30
 candidates_pruned               90
 prune_pct                     75.0

@@ -45,10 +45,9 @@ pub use prophet_mc::sync::{
 /// never across running a task or touching the store.
 pub const SCHEDULER_STATE: LockRank = LockRank::new(10, "scheduler state");
 
-/// A job's event-sender cell ([`JobCore::events`]): taken to emit or
-/// close the stream, with nothing nested inside.
-///
-/// [`JobCore::events`]: crate::job::JobCore
+/// A job's event-sender cell (`JobCore::events`, a private detail of
+/// `crate::job`): taken to emit or close the stream, with nothing nested
+/// inside.
 pub const JOB_EVENTS: LockRank = LockRank::new(20, "job event sender");
 
 /// A chunked phase's result slots (`run_chunked`): each chunk briefly

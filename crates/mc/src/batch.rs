@@ -10,6 +10,7 @@ use std::collections::HashMap;
 
 use prophet_data::Value;
 use prophet_sql::ast::SelectInto;
+use prophet_sql::columnar::{evaluate_select_columns, to_f64_samples, ColumnarStats};
 use prophet_sql::error::{SqlError, SqlResult};
 use prophet_sql::executor::{evaluate_select_with, WorldRng};
 use prophet_sql::vector::{column_to_f64, evaluate_select_block};
@@ -180,6 +181,48 @@ pub fn simulate_point_block(
     })
 }
 
+/// Simulate one parameter point through `prophet-sql`'s **typed columnar**
+/// tier: numeric columns stay `f64`/`i64` buffers end to end, so the
+/// per-column sample vectors come straight out of the typed buffers via
+/// [`to_f64_samples`] (the one NULL→NaN conversion point) instead of
+/// through boxed `Value` cells.
+///
+/// Semantics (seed derivation, CRN point salting, NULL→NaN samples) are
+/// identical to [`simulate_point`] and [`simulate_point_block`] — per
+/// world, the produced samples are bit-identical. Also returns the tier's
+/// kernel/fallback counters so callers can account for how much of the
+/// walk stayed typed.
+pub fn simulate_point_columnar(
+    select: &SelectInto,
+    registry: &VgRegistry,
+    seeds: &SeedManager,
+    point: &ParamPoint,
+    worlds: &[u64],
+    common_random_numbers: bool,
+) -> SqlResult<(SampleSet, ColumnarStats)> {
+    let params = point.to_value_map();
+    let point_salt = if common_random_numbers {
+        0
+    } else {
+        point.stable_hash()
+    };
+    let salted: Vec<u64> = worlds.iter().map(|&w| w ^ point_salt).collect();
+    let (columns_out, stats) = evaluate_select_columns(select, registry, &params, *seeds, &salted)?;
+    let columns: Vec<String> = columns_out.iter().map(|(name, _)| name.clone()).collect();
+    let mut samples: HashMap<String, Vec<f64>> = HashMap::with_capacity(columns.len());
+    for (name, column) in columns_out {
+        samples.insert(name, to_f64_samples(&column)?);
+    }
+    Ok((
+        SampleSet {
+            point: point.clone(),
+            columns,
+            samples,
+        },
+        stats,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,6 +359,25 @@ mod tests {
                 simulate_point_block(&script.select, &registry, &seeds, &point, &worlds, crn)
                     .unwrap();
             assert_eq!(scalar, block, "crn={crn}");
+        }
+    }
+
+    #[test]
+    fn columnar_simulation_is_bit_identical_to_scalar() {
+        let (script, registry, seeds) = setup();
+        let point = ParamPoint::from_pairs([("c", 10i64)]);
+        let worlds: Vec<u64> = (0..50).collect();
+        for crn in [true, false] {
+            let scalar =
+                simulate_point(&script.select, &registry, &seeds, &point, &worlds, crn).unwrap();
+            let (columnar, stats) =
+                simulate_point_columnar(&script.select, &registry, &seeds, &point, &worlds, crn)
+                    .unwrap();
+            assert_eq!(scalar, columnar, "crn={crn}");
+            // `Noise` has no f64 batch lane, so its calls fall back to
+            // boxed values — but the arithmetic stays in typed kernels.
+            assert!(stats.fallbacks > 0);
+            assert!(stats.kernels > 0);
         }
     }
 

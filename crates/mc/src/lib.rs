@@ -29,7 +29,7 @@ pub mod store;
 pub mod sync;
 
 pub use aggregate::{Histogram, SampleStats, Welford};
-pub use batch::{simulate_point, simulate_point_block, SampleSet};
+pub use batch::{simulate_point, simulate_point_block, simulate_point_columnar, SampleSet};
 pub use guide::{GridGuide, Guide, GuideFactory, PriorityGuide, RandomGuide};
 pub use instance::ParamPoint;
 pub use materialize::{summary_table, worlds_table};

@@ -85,12 +85,12 @@ impl CapacityModel {
     /// series differ only by the deployed-cores step functions — which is
     /// why fingerprint matching finds exact Offset/Identity mappings across
     /// purchase-date changes (experiment E5).
-    pub fn trajectory(
+    pub fn trajectory<R: Rng64 + ?Sized>(
         &self,
         last_week: i64,
         purchase1: i64,
         purchase2: i64,
-        rng: &mut dyn Rng64,
+        rng: &mut R,
     ) -> Vec<f64> {
         let lag_seed = rng.next_u64();
         let mut lag_rng = Pcg32::new(lag_seed, 0x5851_F42D_4C95_7F2D);
@@ -116,17 +116,36 @@ impl CapacityModel {
     }
 
     /// Capacity at a single week (the VG-visible scalar).
-    pub fn capacity_at(
+    ///
+    /// Same chain walk and draw order as [`CapacityModel::trajectory`]
+    /// without materializing the intermediate weeks — the per-world hot
+    /// path of every execution tier.
+    pub fn capacity_at<R: Rng64 + ?Sized>(
         &self,
         current: i64,
         purchase1: i64,
         purchase2: i64,
-        rng: &mut dyn Rng64,
+        rng: &mut R,
     ) -> f64 {
-        *self
-            .trajectory(current, purchase1, purchase2, rng)
-            .last()
-            .expect("trajectory is never empty")
+        let lag_seed = rng.next_u64();
+        let mut lag_rng = Pcg32::new(lag_seed, 0x5851_F42D_4C95_7F2D);
+        let deploy1 = purchase1 + self.lag_sampler.sample_lag(&mut lag_rng);
+        let deploy2 = purchase2 + self.lag_sampler.sample_lag(&mut lag_rng);
+
+        let mut capacity = self.config.initial_cores;
+        for week in 0..=current.max(0) {
+            if week == deploy1 {
+                capacity += self.config.cores_per_purchase;
+            }
+            if week == deploy2 {
+                capacity += self.config.cores_per_purchase;
+            }
+            for class in &self.config.failure_classes {
+                capacity -= class.sample_weekly_loss(rng);
+            }
+            capacity = capacity.max(0.0);
+        }
+        capacity
     }
 
     /// Expected weekly failure loss across all classes.
@@ -181,6 +200,85 @@ impl VgFunction for CapacityModel {
                 Ok(Value::Float(self.capacity_at(current, p1, p2, call.rng)))
             })
             .collect()
+    }
+
+    /// Raw-`f64` batch lane for the typed columnar tier: the scalar output
+    /// is always `Value::Float`, so each world's draw lands directly in
+    /// the column — same per-world streams as [`VgFunction::invoke`], but
+    /// monomorphized over the concrete generator (no `dyn` per draw).
+    ///
+    /// When every call shares one parameter row (a world block at a single
+    /// sweep point — the common case), the whole block walks the chain
+    /// *week-outer, world-inner*: each world still consumes draws from its
+    /// own generator in exactly the scalar order, so every sample is
+    /// bit-identical, but adjacent inner iterations are independent worlds
+    /// and their transcendental-heavy draw chains overlap in the pipeline
+    /// instead of serializing one world at a time.
+    fn invoke_batch_f64(
+        &self,
+        calls: &mut [prophet_vg::VgCallF64<'_>],
+    ) -> DataResult<Option<Vec<f64>>> {
+        let uniform = match calls.split_first_mut() {
+            None => return Ok(Some(Vec::new())),
+            Some((first, rest)) => rest.iter().all(|c| c.params == first.params),
+        };
+        if !uniform {
+            return calls
+                .iter_mut()
+                .map(|call| {
+                    let current = call.params[0].as_i64()?;
+                    let p1 = call.params[1].as_i64()?;
+                    let p2 = call.params[2].as_i64()?;
+                    Ok(self.capacity_at(current, p1, p2, call.rng))
+                })
+                .collect::<DataResult<Vec<f64>>>()
+                .map(Some);
+        }
+
+        let current = calls[0].params[0].as_i64()?;
+        let p1 = calls[0].params[1].as_i64()?;
+        let p2 = calls[0].params[2].as_i64()?;
+        // Deployment lags first: one u64 from each world's main stream
+        // seeds that world's lag sub-stream, as in `capacity_at`.
+        let deploys: Vec<(i64, i64)> = calls
+            .iter_mut()
+            .map(|c| {
+                let mut lag_rng = Pcg32::new(c.rng.next_u64(), 0x5851_F42D_4C95_7F2D);
+                (
+                    p1 + self.lag_sampler.sample_lag(&mut lag_rng),
+                    p2 + self.lag_sampler.sample_lag(&mut lag_rng),
+                )
+            })
+            .collect();
+        let mut caps = vec![self.config.initial_cores; calls.len()];
+        let mut counts = vec![0u64; calls.len()];
+        for week in 0..=current.max(0) {
+            for (cap, &(deploy1, deploy2)) in caps.iter_mut().zip(&deploys) {
+                if week == deploy1 {
+                    *cap += self.config.cores_per_purchase;
+                }
+                if week == deploy2 {
+                    *cap += self.config.cores_per_purchase;
+                }
+            }
+            // Class-level passes: every world draws its event count, then
+            // every world draws its losses. Per world the stream still sees
+            // count-then-losses in class order (the scalar discipline), but
+            // adjacent loss draws now come from *independent* worlds, so
+            // their lognormal exp/ln chains overlap instead of serializing.
+            for class in &self.config.failure_classes {
+                for (count, call) in counts.iter_mut().zip(calls.iter_mut()) {
+                    *count = class.sample_event_count(call.rng);
+                }
+                for ((cap, call), &count) in caps.iter_mut().zip(calls.iter_mut()).zip(&counts) {
+                    *cap -= class.sample_loss_sum(count, call.rng);
+                }
+            }
+            for cap in caps.iter_mut() {
+                *cap = cap.max(0.0);
+            }
+        }
+        Ok(Some(caps))
     }
 }
 
@@ -310,6 +408,20 @@ mod tests {
         let t2 = m.trajectory(-3, 10, 20, &mut rng2);
         assert_eq!(t2.len(), 1);
         assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn capacity_at_matches_trajectory_last_bit_exactly() {
+        // The allocation-free scalar walk must consume the identical draw
+        // sequence as the materialized trajectory.
+        let m = model();
+        for seed in 0..20 {
+            let mut a = Xoshiro256StarStar::seed_from_u64(seed);
+            let mut b = Xoshiro256StarStar::seed_from_u64(seed);
+            let t = m.trajectory(30, 8, 20, &mut a);
+            let c = m.capacity_at(30, 8, 20, &mut b);
+            assert_eq!(t.last().unwrap().to_bits(), c.to_bits());
+        }
     }
 
     #[test]

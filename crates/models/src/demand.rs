@@ -9,7 +9,7 @@
 //! invited to vary "a different user growth").
 
 use prophet_data::{DataResult, DataType, Schema, Table, TableBuilder, Value};
-use prophet_vg::dist::{Distribution, Normal};
+use prophet_vg::dist::Normal;
 use prophet_vg::rng::Rng64;
 use prophet_vg::VgFunction;
 
@@ -77,10 +77,15 @@ impl DemandModel {
     /// order (base noise, feature noise), *regardless* of whether the
     /// feature has released — the feature draw is discarded before release
     /// so that changing `@feature` leaves the base-demand stream aligned.
-    pub fn demand_at(&self, current: i64, feature_week: i64, rng: &mut dyn Rng64) -> f64 {
+    pub fn demand_at<R: Rng64 + ?Sized>(
+        &self,
+        current: i64,
+        feature_week: i64,
+        rng: &mut R,
+    ) -> f64 {
         let trend = self.config.base_mean + self.config.growth_per_week * current as f64;
-        let base_noise = self.base.sample(rng);
-        let feature_extra = self.feature.sample(rng);
+        let base_noise = self.base.sample_with(rng);
+        let feature_extra = self.feature.sample_with(rng);
         let extra = if current >= feature_week {
             feature_extra
         } else {
@@ -140,6 +145,25 @@ impl VgFunction for DemandModel {
                 Ok(Value::Float(self.demand_at(current, feature, call.rng)))
             })
             .collect()
+    }
+
+    /// Raw-`f64` batch lane for the typed columnar tier: the scalar output
+    /// is always `Value::Float`, so each world's draw lands directly in
+    /// the column — same per-world streams as [`VgFunction::invoke`], but
+    /// monomorphized over the concrete generator (no `dyn` per draw).
+    fn invoke_batch_f64(
+        &self,
+        calls: &mut [prophet_vg::VgCallF64<'_>],
+    ) -> DataResult<Option<Vec<f64>>> {
+        calls
+            .iter_mut()
+            .map(|call| {
+                let current = call.params[0].as_i64()?;
+                let feature = call.params[1].as_i64()?;
+                Ok(self.demand_at(current, feature, call.rng))
+            })
+            .collect::<DataResult<Vec<f64>>>()
+            .map(Some)
     }
 }
 

@@ -7,7 +7,7 @@
 //! date when new hardware comes online" as the kind of discontinuity
 //! fingerprinting must cope with.
 
-use prophet_vg::dist::{Distribution, Triangular};
+use prophet_vg::dist::Triangular;
 use prophet_vg::rng::Rng64;
 
 /// Deployment-lag configuration (weeks, as a min/mode/max triangle).
@@ -58,8 +58,8 @@ pub struct DeploymentSampler {
 impl DeploymentSampler {
     /// Sample a lag in whole weeks (rounded down; deployment counts from
     /// the start of a week).
-    pub fn sample_lag(&self, rng: &mut dyn Rng64) -> i64 {
-        self.dist.sample(rng).floor() as i64
+    pub fn sample_lag<R: Rng64 + ?Sized>(&self, rng: &mut R) -> i64 {
+        self.dist.sample_with(rng).floor() as i64
     }
 }
 

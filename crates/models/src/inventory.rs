@@ -7,7 +7,7 @@
 //! as the capacity model, exercising fingerprints on a second domain.
 
 use prophet_data::{DataResult, DataType, Schema, Table, TableBuilder, Value};
-use prophet_vg::dist::{Distribution, Poisson};
+use prophet_vg::dist::Poisson;
 use prophet_vg::rng::Rng64;
 use prophet_vg::VgFunction;
 
@@ -61,12 +61,12 @@ impl InventoryModel {
     /// main stream; policy parameters only gate *when* orders are placed,
     /// never what is drawn, so different (s, Q) policies stay sample-aligned
     /// under common random numbers.
-    pub fn trajectory(
+    pub fn trajectory<R: Rng64 + ?Sized>(
         &self,
         last_week: i64,
         reorder_point: i64,
         reorder_qty: i64,
-        rng: &mut dyn Rng64,
+        rng: &mut R,
     ) -> Vec<f64> {
         let mut on_hand = self.config.initial_units;
         let mut pipeline: Vec<(i64, f64)> = Vec::new(); // (arrival week, qty)
@@ -82,7 +82,7 @@ impl InventoryModel {
                 }
             });
             // demand
-            let demanded = self.demand.sample(rng);
+            let demanded = self.demand.sample_with(rng);
             on_hand = (on_hand - demanded).max(0.0);
             // reorder policy on inventory position (on hand + on order)
             let position = on_hand + pipeline.iter().map(|(_, q)| q).sum::<f64>();
@@ -95,12 +95,12 @@ impl InventoryModel {
     }
 
     /// On-hand units at one week (the VG-visible scalar).
-    pub fn on_hand_at(
+    pub fn on_hand_at<R: Rng64 + ?Sized>(
         &self,
         week: i64,
         reorder_point: i64,
         reorder_qty: i64,
-        rng: &mut dyn Rng64,
+        rng: &mut R,
     ) -> f64 {
         *self
             .trajectory(week, reorder_point, reorder_qty, rng)
@@ -136,6 +136,26 @@ impl VgFunction for InventoryModel {
         let mut b = TableBuilder::with_capacity(self.output_schema(), 1);
         b.push_row(vec![Value::Float(on_hand)])?;
         Ok(b.finish())
+    }
+
+    /// Raw-`f64` batch lane for the typed columnar tier: the scalar output
+    /// is always `Value::Float`, so each world's draw lands directly in
+    /// the column — same per-world streams as [`VgFunction::invoke`], but
+    /// monomorphized over the concrete generator (no `dyn` per draw).
+    fn invoke_batch_f64(
+        &self,
+        calls: &mut [prophet_vg::VgCallF64<'_>],
+    ) -> DataResult<Option<Vec<f64>>> {
+        calls
+            .iter_mut()
+            .map(|call| {
+                let week = call.params[0].as_i64()?;
+                let s = call.params[1].as_i64()?;
+                let q = call.params[2].as_i64()?;
+                Ok(self.on_hand_at(week, s, q, call.rng))
+            })
+            .collect::<DataResult<Vec<f64>>>()
+            .map(Some)
     }
 }
 

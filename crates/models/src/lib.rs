@@ -29,6 +29,7 @@
 pub mod capacity;
 pub mod demand;
 pub mod deployment;
+pub mod distributions;
 pub mod failures;
 pub mod inventory;
 pub mod queueing;
@@ -39,6 +40,7 @@ pub mod scenarios;
 pub use capacity::{CapacityConfig, CapacityModel};
 pub use demand::{DemandConfig, DemandModel};
 pub use deployment::DeploymentConfig;
+pub use distributions::{LogNormalVg, NormalVg, PoissonVg, TriangularVg};
 pub use failures::FailureClass;
 pub use inventory::{InventoryConfig, InventoryModel};
 pub use queueing::{QueueConfig, QueueModel};

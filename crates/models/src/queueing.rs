@@ -8,7 +8,7 @@
 //! domain.
 
 use prophet_data::{DataResult, DataType, Schema, Table, TableBuilder, Value};
-use prophet_vg::dist::{Distribution, Poisson};
+use prophet_vg::dist::Poisson;
 use prophet_vg::rng::Rng64;
 use prophet_vg::VgFunction;
 
@@ -70,7 +70,7 @@ impl QueueModel {
     /// Stream discipline: two Poisson draws per hour (arrivals, then
     /// completed work), in fixed order; the agent count scales the service
     /// draw's rate but the *number* of draws is parameter-independent.
-    pub fn mean_backlog(&self, week: i64, agents: i64, rng: &mut dyn Rng64) -> f64 {
+    pub fn mean_backlog<R: Rng64 + ?Sized>(&self, week: i64, agents: i64, rng: &mut R) -> f64 {
         let arrivals = Poisson::new(self.arrival_rate(week))
             .expect("arrival rate is positive by construction");
         let service = Poisson::new((agents.max(1) as f64 * self.config.service_rate).max(1e-9))
@@ -78,8 +78,8 @@ impl QueueModel {
         let mut backlog = 0.0f64;
         let mut total = 0.0;
         for _ in 0..self.config.hours {
-            backlog += arrivals.sample(rng);
-            let served = service.sample(rng);
+            backlog += arrivals.sample_with(rng);
+            let served = service.sample_with(rng);
             backlog = (backlog - served).max(0.0);
             total += backlog;
         }
@@ -113,6 +113,25 @@ impl VgFunction for QueueModel {
         let mut b = TableBuilder::with_capacity(self.output_schema(), 1);
         b.push_row(vec![Value::Float(backlog)])?;
         Ok(b.finish())
+    }
+
+    /// Raw-`f64` batch lane for the typed columnar tier: the scalar output
+    /// is always `Value::Float`, so each world's draw lands directly in
+    /// the column — same per-world streams as [`VgFunction::invoke`], but
+    /// monomorphized over the concrete generator (no `dyn` per draw).
+    fn invoke_batch_f64(
+        &self,
+        calls: &mut [prophet_vg::VgCallF64<'_>],
+    ) -> DataResult<Option<Vec<f64>>> {
+        calls
+            .iter_mut()
+            .map(|call| {
+                let week = call.params[0].as_i64()?;
+                let agents = call.params[1].as_i64()?;
+                Ok(self.mean_backlog(week, agents, call.rng))
+            })
+            .collect::<DataResult<Vec<f64>>>()
+            .map(Some)
     }
 }
 

@@ -11,6 +11,7 @@ use prophet_vg::VgRegistry;
 
 use crate::capacity::{CapacityConfig, CapacityModel};
 use crate::demand::{DemandConfig, DemandModel};
+use crate::distributions::{LogNormalVg, NormalVg, PoissonVg, TriangularVg};
 use crate::inventory::InventoryModel;
 use crate::queueing::QueueModel;
 use crate::revenue::RevenueModel;
@@ -33,12 +34,18 @@ pub fn demo_registry_with(demand: DemandConfig, capacity: CapacityConfig) -> VgR
 }
 
 /// Registry with every bundled model: the demo pair plus revenue,
-/// inventory and queueing (used by the non-datacenter examples).
+/// inventory and queueing (used by the non-datacenter examples), and the
+/// raw parametric distributions (`Normal`, `LogNormal`, `Poisson`,
+/// `Triangular`) callable straight from SQL.
 pub fn full_registry() -> VgRegistry {
     let mut r = demo_registry();
     r.register(Arc::new(RevenueModel::default()));
     r.register(Arc::new(InventoryModel::default()));
     r.register(Arc::new(QueueModel::default()));
+    r.register(Arc::new(NormalVg));
+    r.register(Arc::new(LogNormalVg));
+    r.register(Arc::new(PoissonVg));
+    r.register(Arc::new(TriangularVg));
     r
 }
 
@@ -73,10 +80,13 @@ mod tests {
     #[test]
     fn full_registry_adds_the_extras() {
         let r = full_registry();
-        assert_eq!(r.len(), 5);
+        assert_eq!(r.len(), 9);
         assert!(r.get("RevenueModel").is_ok());
         assert!(r.get("InventoryModel").is_ok());
         assert!(r.get("QueueModel").is_ok());
+        for dist in ["Normal", "LogNormal", "Poisson", "Triangular"] {
+            assert!(r.get(dist).is_ok(), "missing distribution VG `{dist}`");
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! under uncertain subscriber growth and price elasticity.
 
 use prophet_data::{DataResult, DataType, Schema, Table, TableBuilder, Value};
-use prophet_vg::dist::{Distribution, LogNormal, Normal};
+use prophet_vg::dist::{LogNormal, Normal};
 use prophet_vg::rng::Rng64;
 use prophet_vg::VgFunction;
 
@@ -74,11 +74,11 @@ impl RevenueModel {
     /// Stream discipline: exactly two draws per invocation (subscriber
     /// noise, engagement), so price changes map affinely under fixed seeds:
     /// revenue = (trend − elasticity·Δprice + noise) · price · engagement.
-    pub fn revenue_at(&self, week: i64, price: f64, rng: &mut dyn Rng64) -> f64 {
+    pub fn revenue_at<R: Rng64 + ?Sized>(&self, week: i64, price: f64, rng: &mut R) -> f64 {
         let trend = self.config.base_subscribers + self.config.growth_per_week * week as f64;
         let price_penalty = self.config.elasticity * (price - self.config.anchor_price);
-        let noise = self.subscriber_noise.sample(rng);
-        let engagement = self.engagement.sample(rng);
+        let noise = self.subscriber_noise.sample_with(rng);
+        let engagement = self.engagement.sample_with(rng);
         let subscribers = (trend - price_penalty + noise).max(0.0);
         subscribers * price * engagement / 4.0 // monthly price → weekly revenue
     }
@@ -117,6 +117,25 @@ impl VgFunction for RevenueModel {
         let mut b = TableBuilder::with_capacity(self.output_schema(), 1);
         b.push_row(vec![Value::Float(revenue)])?;
         Ok(b.finish())
+    }
+
+    /// Raw-`f64` batch lane for the typed columnar tier: the scalar output
+    /// is always `Value::Float`, so each world's draw lands directly in
+    /// the column — same per-world streams as [`VgFunction::invoke`], but
+    /// monomorphized over the concrete generator (no `dyn` per draw).
+    fn invoke_batch_f64(
+        &self,
+        calls: &mut [prophet_vg::VgCallF64<'_>],
+    ) -> DataResult<Option<Vec<f64>>> {
+        calls
+            .iter_mut()
+            .map(|call| {
+                let week = call.params[0].as_i64()?;
+                let price = call.params[1].as_f64()?;
+                Ok(self.revenue_at(week, price, call.rng))
+            })
+            .collect::<DataResult<Vec<f64>>>()
+            .map(Some)
     }
 }
 
@@ -165,7 +184,10 @@ mod tests {
         let m = RevenueModel::new(cfg);
         let mut rng = Xoshiro256StarStar::seed_from_u64(13);
         let n = 100_000;
-        let mean: f64 = (0..n).map(|_| m.engagement.sample(&mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| m.engagement.sample_with(&mut rng))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 1.0).abs() < 0.01, "mean engagement {mean}");
     }
 

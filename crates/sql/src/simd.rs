@@ -1,0 +1,70 @@
+//! Explicit `std::simd` kernels for the dense f64 arithmetic loops.
+//!
+//! Compiled only with `--features simd` on a nightly toolchain (the crate
+//! root enables `portable_simd` under that feature); the default build
+//! relies on auto-vectorization of the scalar loops in [`crate::column`].
+//! IEEE-754 `+`/`-`/`*` are exact, so these kernels are bit-identical to
+//! the scalar loops they replace — the differential test below and the
+//! nightly CI lane hold them to it. This is the only file in the crate
+//! allowed to name `std::simd` (the `typed-kernel` lint rule).
+
+use std::simd::f64x8;
+
+const LANES: usize = 8;
+
+fn lanewise(
+    a: &[f64],
+    b: &[f64],
+    vec_op: impl Fn(f64x8, f64x8) -> f64x8,
+    tail_op: impl Fn(f64, f64) -> f64,
+) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut out = Vec::with_capacity(a.len());
+    let chunks = a.len() / LANES;
+    for c in 0..chunks {
+        let i = c * LANES;
+        let v = vec_op(
+            f64x8::from_slice(&a[i..i + LANES]),
+            f64x8::from_slice(&b[i..i + LANES]),
+        );
+        out.extend_from_slice(v.as_array());
+    }
+    for i in chunks * LANES..a.len() {
+        out.push(tail_op(a[i], b[i]));
+    }
+    out
+}
+
+/// Lane-wise `a + b` (`std::simd` variant of [`crate::column::add_f64`]).
+pub fn add_f64(a: &[f64], b: &[f64]) -> Vec<f64> {
+    lanewise(a, b, |x, y| x + y, |x, y| x + y)
+}
+
+/// Lane-wise `a - b` (`std::simd` variant of [`crate::column::sub_f64`]).
+pub fn sub_f64(a: &[f64], b: &[f64]) -> Vec<f64> {
+    lanewise(a, b, |x, y| x - y, |x, y| x - y)
+}
+
+/// Lane-wise `a * b` (`std::simd` variant of [`crate::column::mul_f64`]).
+pub fn mul_f64(a: &[f64], b: &[f64]) -> Vec<f64> {
+    lanewise(a, b, |x, y| x * y, |x, y| x * y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simd_kernels_match_scalar_loops_bit_for_bit() {
+        // Non-multiple-of-lane length exercises the tail loop.
+        let a: Vec<f64> = (0..37).map(|i| (i as f64).sin() * 1e3).collect();
+        let b: Vec<f64> = (0..37).map(|i| (i as f64).cos() + 0.5).collect();
+        let scalar_add: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let scalar_sub: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x - y).collect();
+        let scalar_mul: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x * y).collect();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&add_f64(&a, &b)), bits(&scalar_add));
+        assert_eq!(bits(&sub_f64(&a, &b)), bits(&scalar_sub));
+        assert_eq!(bits(&mul_f64(&a, &b)), bits(&scalar_mul));
+    }
+}

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use prophet_data::{DataResult, DataType, Schema, Table, TableBuilder, Value};
 use prophet_vg::rng::Rng64;
-use prophet_vg::{VgFunction, VgRegistry};
+use prophet_vg::{VgCallF64, VgFunction, VgRegistry};
 
 /// A deterministic VG function: returns `base + U[0,1)` as a 1x1 table.
 #[derive(Debug)]
@@ -30,6 +30,13 @@ impl VgFunction for Jitter {
         let mut b = TableBuilder::with_capacity(self.output_schema(), 1);
         b.push_row(vec![Value::Float(base + rng.next_f64())])?;
         Ok(b.finish())
+    }
+    fn invoke_batch_f64(&self, calls: &mut [VgCallF64<'_>]) -> DataResult<Option<Vec<f64>>> {
+        calls
+            .iter_mut()
+            .map(|c| Ok(c.params[0].as_f64()? + c.rng.next_f64()))
+            .collect::<DataResult<Vec<f64>>>()
+            .map(Some)
     }
 }
 

@@ -265,27 +265,33 @@ fn eval_binary_block(
             let rs = eval_block(rhs, ctx, sel)?;
             ls.iter()
                 .zip(&rs)
-                .map(|(l, r)| {
-                    let v = match op {
-                        BinOp::Add => l.add(r)?,
-                        BinOp::Sub => l.sub(r)?,
-                        BinOp::Mul => l.mul(r)?,
-                        BinOp::Div => l.div(r)?,
-                        BinOp::Rem => l.rem(r)?,
-                        BinOp::Cmp(c) => {
-                            if l.is_null() || r.is_null() {
-                                Value::Null
-                            } else {
-                                Value::Bool(c.test(l.sql_cmp(r)?))
-                            }
-                        }
-                        BinOp::And | BinOp::Or => unreachable!("handled above"),
-                    };
-                    Ok(v)
-                })
+                .map(|(l, r)| apply_binop(op, l, r))
                 .collect()
         }
     }
+}
+
+/// Apply one non-logical binary operator to a single operand pair with the
+/// scalar tier's exact semantics (NULL absorption, int→float promotion,
+/// NULL-propagating comparisons). Shared by this boxed tier and the typed
+/// columnar tier's per-value fallback path, so every tier reports identical
+/// values and identical error messages.
+pub(crate) fn apply_binop(op: BinOp, l: &Value, r: &Value) -> SqlResult<Value> {
+    Ok(match op {
+        BinOp::Add => l.add(r)?,
+        BinOp::Sub => l.sub(r)?,
+        BinOp::Mul => l.mul(r)?,
+        BinOp::Div => l.div(r)?,
+        BinOp::Rem => l.rem(r)?,
+        BinOp::Cmp(c) => {
+            if l.is_null() || r.is_null() {
+                Value::Null
+            } else {
+                Value::Bool(c.test(l.sql_cmp(r)?))
+            }
+        }
+        BinOp::And | BinOp::Or => unreachable!("logical operators use the three-valued path"),
+    })
 }
 
 /// Dispatch one call site for a block: VG table functions first (catalog

@@ -16,6 +16,14 @@ use crate::rng::Rng64;
 
 /// A univariate distribution that can be sampled from an [`Rng64`] stream
 /// and knows its first two moments in closed form.
+///
+/// Every concrete distribution also exposes an inherent `sample_with`
+/// generic over the rng type; `sample` delegates to it with `R = dyn
+/// Rng64`. Monomorphic callers (the typed columnar tier's f64 batch lane,
+/// which owns concrete per-world `Xoshiro256StarStar` substreams) call
+/// `sample_with` directly so the generator's state update inlines into the
+/// sampling loop — same arithmetic, same draw count, bit-identical samples,
+/// no virtual dispatch per draw.
 pub trait Distribution {
     /// Draw one sample.
     fn sample(&self, rng: &mut dyn Rng64) -> f64;
@@ -51,17 +59,24 @@ impl Normal {
     }
 
     /// Draw a standard-normal variate (two uniforms, Box–Muller).
-    fn standard(rng: &mut dyn Rng64) -> f64 {
+    #[inline]
+    fn standard<R: Rng64 + ?Sized>(rng: &mut R) -> f64 {
         // next_f64 ∈ [0,1) ⇒ 1-u ∈ (0,1], so the log is finite.
         let u1 = 1.0 - rng.next_f64();
         let u2 = rng.next_f64();
         (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos()
     }
+
+    /// [`Distribution::sample`], monomorphic over the rng type.
+    #[inline]
+    pub fn sample_with<R: Rng64 + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std * Normal::standard(rng)
+    }
 }
 
 impl Distribution for Normal {
     fn sample(&self, rng: &mut dyn Rng64) -> f64 {
-        self.mean + self.std * Normal::standard(rng)
+        self.sample_with(rng)
     }
 
     fn mean(&self) -> f64 {
@@ -94,11 +109,17 @@ impl LogNormal {
     pub fn median(&self) -> f64 {
         self.mu.exp()
     }
+
+    /// [`Distribution::sample`], monomorphic over the rng type.
+    #[inline]
+    pub fn sample_with<R: Rng64 + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * Normal::standard(rng)).exp()
+    }
 }
 
 impl Distribution for LogNormal {
     fn sample(&self, rng: &mut dyn Rng64) -> f64 {
-        (self.mu + self.sigma * Normal::standard(rng)).exp()
+        self.sample_with(rng)
     }
 
     fn mean(&self) -> f64 {
@@ -121,6 +142,14 @@ impl Distribution for LogNormal {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Poisson {
     lambda: f64,
+    /// Full [`Poisson::CHUNK`]-rate sub-draws per sample.
+    chunks: u32,
+    /// Knuth limit `exp(-remaining)` for the final sub-draw (`remaining`
+    /// is the rate left after the full chunks). Precomputed at
+    /// construction so the per-sample hot loop never re-evaluates `exp`.
+    tail_limit: f64,
+    /// Knuth limit `exp(-CHUNK)` for the full chunks.
+    chunk_limit: f64,
 }
 
 impl Poisson {
@@ -131,13 +160,32 @@ impl Poisson {
     /// A Poisson with the given event rate.
     /// Returns `None` unless `lambda` is finite and positive.
     pub fn new(lambda: f64) -> Option<Self> {
-        (lambda.is_finite() && lambda > 0.0).then_some(Poisson { lambda })
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return None;
+        }
+        // Poisson(a + b) = Poisson(a) + Poisson(b): split large rates into
+        // chunks each safely representable by the product method. The
+        // remaining rate is reduced by *repeated subtraction* (not one
+        // multiply) so samples stay bit-identical to the historical
+        // per-sample chunking loop.
+        let mut remaining = lambda;
+        let mut chunks = 0u32;
+        while remaining > Poisson::CHUNK {
+            chunks += 1;
+            remaining -= Poisson::CHUNK;
+        }
+        Some(Poisson {
+            lambda,
+            chunks,
+            tail_limit: (-remaining).exp(),
+            chunk_limit: (-Poisson::CHUNK).exp(),
+        })
     }
 
     /// Knuth's method for one rate chunk: count uniforms whose running
-    /// product stays above `exp(-lambda)`.
-    fn knuth(lambda: f64, rng: &mut dyn Rng64) -> u64 {
-        let limit = (-lambda).exp();
+    /// product stays above the chunk's precomputed `exp(-rate)` limit.
+    #[inline]
+    fn knuth<R: Rng64 + ?Sized>(limit: f64, rng: &mut R) -> u64 {
         let mut product = 1.0;
         let mut count = 0u64;
         loop {
@@ -148,20 +196,22 @@ impl Poisson {
             count += 1;
         }
     }
+
+    /// [`Distribution::sample`], monomorphic over the rng type.
+    #[inline]
+    pub fn sample_with<R: Rng64 + ?Sized>(&self, rng: &mut R) -> f64 {
+        let mut total = 0u64;
+        for _ in 0..self.chunks {
+            total += Poisson::knuth(self.chunk_limit, rng);
+        }
+        total += Poisson::knuth(self.tail_limit, rng);
+        total as f64
+    }
 }
 
 impl Distribution for Poisson {
     fn sample(&self, rng: &mut dyn Rng64) -> f64 {
-        // Poisson(a + b) = Poisson(a) + Poisson(b): split large rates into
-        // chunks each safely representable by the product method.
-        let mut remaining = self.lambda;
-        let mut total = 0u64;
-        while remaining > Poisson::CHUNK {
-            total += Poisson::knuth(Poisson::CHUNK, rng);
-            remaining -= Poisson::CHUNK;
-        }
-        total += Poisson::knuth(remaining, rng);
-        total as f64
+        self.sample_with(rng)
     }
 
     fn mean(&self) -> f64 {
@@ -190,10 +240,10 @@ impl Triangular {
         let finite = min.is_finite() && mode.is_finite() && max.is_finite();
         (finite && min <= mode && mode <= max && min < max).then_some(Triangular { min, mode, max })
     }
-}
 
-impl Distribution for Triangular {
-    fn sample(&self, rng: &mut dyn Rng64) -> f64 {
+    /// [`Distribution::sample`], monomorphic over the rng type.
+    #[inline]
+    pub fn sample_with<R: Rng64 + ?Sized>(&self, rng: &mut R) -> f64 {
         let (a, c, b) = (self.min, self.mode, self.max);
         let u = rng.next_f64();
         let pivot = (c - a) / (b - a);
@@ -202,6 +252,12 @@ impl Distribution for Triangular {
         } else {
             b - ((1.0 - u) * (b - a) * (b - c)).sqrt()
         }
+    }
+}
+
+impl Distribution for Triangular {
+    fn sample(&self, rng: &mut dyn Rng64) -> f64 {
+        self.sample_with(rng)
     }
 
     fn mean(&self) -> f64 {

@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use prophet_data::{DataError, DataResult, Schema, Table, Value};
 
-use crate::rng::Rng64;
+use crate::rng::{Rng64, Xoshiro256StarStar};
 
 /// Extract the single cell of a VG function's output relation when the
 /// function was used in *scalar position* (the only position the scenario
@@ -54,6 +54,23 @@ pub struct VgCall<'a> {
     pub params: &'a [Value],
     /// The world's derived random stream.
     pub rng: &'a mut dyn Rng64,
+}
+
+/// One logical per-world invocation inside the typed columnar tier's `f64`
+/// batch lane ([`VgFunction::invoke_batch_f64`]).
+///
+/// Unlike [`VgCall`], the stream is the *concrete* generator that per-call
+/// substream derivation always produces ([`crate::SeedManager::rng_for`]),
+/// not a `dyn Rng64`. That is the lane's whole point: a model's sampling
+/// loop monomorphizes over `Xoshiro256StarStar`, so every draw inlines the
+/// generator's state update instead of paying a virtual call — while the
+/// draws themselves (and therefore the samples) stay bit-identical to the
+/// `dyn` paths, which run the exact same arithmetic behind a vtable.
+pub struct VgCallF64<'a> {
+    /// Argument values for this world.
+    pub params: &'a [Value],
+    /// The world's derived random stream, concretely typed.
+    pub rng: &'a mut Xoshiro256StarStar,
 }
 
 /// A black-box table-generating stochastic function.
@@ -109,6 +126,37 @@ pub trait VgFunction: Send + Sync {
             .map(|table| extract_scalar_cell(self.name(), &table))
             .collect()
     }
+
+    /// Batched invocation in scalar position straight into an `f64` lane:
+    /// one raw sample per world, no `Value` boxing, no `dyn` rng.
+    ///
+    /// This is the typed columnar tier's fast path. The default returns
+    /// `Ok(None)`, meaning "no f64 lane — use
+    /// [`VgFunction::invoke_batch_scalar`]"; models whose scalar output is
+    /// always `Value::Float` override it to write draws directly (and,
+    /// because [`VgCallF64`] carries the concrete generator, their sampling
+    /// loops monomorphize — see the distributions' `sample_with`). An
+    /// override returning `Some(samples)` promises, per world, that
+    /// `samples[i]` is bit-identical to the float inside the `Value::Float`
+    /// that `invoke_batch_scalar` (and hence `invoke`) would have produced
+    /// for the same `(params, rng)` — including consuming the *same number
+    /// of draws* from each world's stream, since the `(world, function,
+    /// call index)` seed derivation must be preserved exactly.
+    fn invoke_batch_f64(&self, calls: &mut [VgCallF64<'_>]) -> DataResult<Option<Vec<f64>>> {
+        let _ = calls;
+        Ok(None)
+    }
+}
+
+/// Output of [`VgRegistry::invoke_batch_columnar`]: the raw `f64` lane when
+/// the model provides one, the boxed scalar column otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchSamples {
+    /// One raw `f64` sample per world (the model's scalar output is always
+    /// `Value::Float`; no per-world boxing happened).
+    F64(Vec<f64>),
+    /// One boxed scalar per world, from [`VgFunction::invoke_batch_scalar`].
+    Values(Vec<Value>),
 }
 
 /// Snapshot of invocation accounting for one function.
@@ -185,23 +233,25 @@ impl VgRegistry {
     /// records `calls.len()` logical invocations plus one physical batch
     /// call. Shared by both batch entry points so the two paths' accounting
     /// and validation can never drift apart.
-    fn claim_batch(&self, name: &str, calls: &[VgCall<'_>]) -> DataResult<&Entry> {
+    fn claim_batch(
+        &self,
+        name: &str,
+        param_lens: impl ExactSizeIterator<Item = usize>,
+    ) -> DataResult<&Entry> {
         let entry = self
             .entries
             .get(name)
             .ok_or_else(|| DataError::UnknownColumn(format!("VG function `{name}`")))?;
-        for call in calls {
-            if call.params.len() != entry.function.arity() {
+        let calls = param_lens.len() as u64;
+        for len in param_lens {
+            if len != entry.function.arity() {
                 return Err(DataError::SchemaMismatch(format!(
-                    "VG function `{name}` expects {} parameters, got {}",
+                    "VG function `{name}` expects {} parameters, got {len}",
                     entry.function.arity(),
-                    call.params.len()
                 )));
             }
         }
-        entry
-            .invocations
-            .fetch_add(calls.len() as u64, Ordering::Relaxed);
+        entry.invocations.fetch_add(calls, Ordering::Relaxed);
         entry.batched_calls.fetch_add(1, Ordering::Relaxed);
         Ok(entry)
     }
@@ -224,7 +274,7 @@ impl VgRegistry {
     /// block. `batched_calls` additionally counts the physical batch calls,
     /// making the amortization itself observable.
     pub fn invoke_batch(&self, name: &str, calls: &mut [VgCall<'_>]) -> DataResult<Vec<Table>> {
-        let entry = self.claim_batch(name, calls)?;
+        let entry = self.claim_batch(name, calls.iter().map(|c| c.params.len()))?;
         let tables = entry.function.invoke_batch(calls)?;
         Self::expect_batch_len(name, tables, calls.len())
     }
@@ -236,9 +286,40 @@ impl VgRegistry {
         name: &str,
         calls: &mut [VgCall<'_>],
     ) -> DataResult<Vec<Value>> {
-        let entry = self.claim_batch(name, calls)?;
+        let entry = self.claim_batch(name, calls.iter().map(|c| c.params.len()))?;
         let values = entry.function.invoke_batch_scalar(calls)?;
         Self::expect_batch_len(name, values, calls.len())
+    }
+
+    /// Columnar variant of [`VgRegistry::invoke_batch_scalar`]: same arity
+    /// validation and logical-invocation accounting (claimed exactly once),
+    /// but asks the model for its raw `f64` lane first and only falls back
+    /// to boxed scalars when the model declines. The typed columnar
+    /// executor keys its `column_fallbacks` accounting off which variant
+    /// comes back. Fallback calls reborrow the concrete streams as `dyn`,
+    /// so a declining model consumes exactly the draws the scalar batch
+    /// path would have.
+    pub fn invoke_batch_columnar(
+        &self,
+        name: &str,
+        calls: &mut [VgCallF64<'_>],
+    ) -> DataResult<BatchSamples> {
+        let entry = self.claim_batch(name, calls.iter().map(|c| c.params.len()))?;
+        if let Some(samples) = entry.function.invoke_batch_f64(calls)? {
+            let samples = Self::expect_batch_len(name, samples, calls.len())?;
+            return Ok(BatchSamples::F64(samples));
+        }
+        let n = calls.len();
+        let mut dyn_calls: Vec<VgCall<'_>> = calls
+            .iter_mut()
+            .map(|c| VgCall {
+                params: c.params,
+                rng: c.rng as &mut dyn Rng64,
+            })
+            .collect();
+        let values = entry.function.invoke_batch_scalar(&mut dyn_calls)?;
+        let values = Self::expect_batch_len(name, values, n)?;
+        Ok(BatchSamples::Values(values))
     }
 
     /// Invocation statistics for one function.
@@ -464,6 +545,89 @@ mod tests {
         let err = r.invoke_batch("UniformRows", &mut calls).unwrap_err();
         assert!(err.to_string().contains("expects 1 parameters"));
         assert!(r.invoke_batch("Missing", &mut []).is_err());
+    }
+
+    /// Single-cell uniform draw with a raw `f64` batch lane.
+    #[derive(Debug)]
+    struct UniformCell;
+
+    impl VgFunction for UniformCell {
+        fn name(&self) -> &str {
+            "UniformCell"
+        }
+
+        fn arity(&self) -> usize {
+            0
+        }
+
+        fn output_schema(&self) -> Schema {
+            Schema::of(&[("u", DataType::Float)])
+        }
+
+        fn invoke(&self, _: &[Value], rng: &mut dyn Rng64) -> DataResult<Table> {
+            let mut b = TableBuilder::with_capacity(self.output_schema(), 1);
+            b.push_row(vec![Value::Float(rng.next_f64())])?;
+            Ok(b.finish())
+        }
+
+        fn invoke_batch_f64(&self, calls: &mut [VgCallF64<'_>]) -> DataResult<Option<Vec<f64>>> {
+            Ok(Some(calls.iter_mut().map(|c| c.rng.next_f64()).collect()))
+        }
+    }
+
+    #[test]
+    fn columnar_batch_prefers_the_f64_lane_and_matches_invoke() {
+        let mut r = VgRegistry::new();
+        r.register(Arc::new(UniformCell));
+        let mut rngs: Vec<_> = (0..4u64)
+            .map(crate::rng::Xoshiro256StarStar::seed_from_u64)
+            .collect();
+        let mut calls: Vec<VgCallF64<'_>> = rngs
+            .iter_mut()
+            .map(|rng| VgCallF64 { params: &[], rng })
+            .collect();
+        let BatchSamples::F64(samples) =
+            r.invoke_batch_columnar("UniformCell", &mut calls).unwrap()
+        else {
+            panic!("UniformCell provides an f64 lane");
+        };
+        assert_eq!(samples.len(), 4);
+        let stats = r.stats("UniformCell").unwrap();
+        assert_eq!(stats.invocations, 4, "one logical invocation per world");
+        assert_eq!(stats.batched_calls, 1, "one physical batch call");
+
+        // The lane must be bit-identical to the scalar invoke's cell.
+        let mut rng = crate::rng::Xoshiro256StarStar::seed_from_u64(2);
+        let table = r.invoke("UniformCell", &[], &mut rng).unwrap();
+        assert_eq!(Value::Float(samples[2]), table.cell(0, "u").unwrap());
+    }
+
+    #[test]
+    fn columnar_batch_falls_back_to_boxed_scalars() {
+        // UniformRows has no f64 lane: the columnar entry point must come
+        // back with boxed values matching the scalar batch path bit for bit.
+        let r = registry();
+        let mut a = crate::rng::Xoshiro256StarStar::seed_from_u64(7);
+        let mut b = crate::rng::Xoshiro256StarStar::seed_from_u64(7);
+        let params = vec![Value::Int(1)];
+        let mut calls = vec![VgCallF64 {
+            params: &params,
+            rng: &mut a,
+        }];
+        let BatchSamples::Values(values) =
+            r.invoke_batch_columnar("UniformRows", &mut calls).unwrap()
+        else {
+            panic!("UniformRows has no f64 lane");
+        };
+        let mut calls = vec![VgCall {
+            params: &params,
+            rng: &mut b,
+        }];
+        let scalar = r.invoke_batch_scalar("UniformRows", &mut calls).unwrap();
+        assert_eq!(values, scalar);
+        let stats = r.stats("UniformRows").unwrap();
+        assert_eq!(stats.invocations, 2, "claimed exactly once per entry point");
+        assert_eq!(stats.batched_calls, 2);
     }
 
     #[test]

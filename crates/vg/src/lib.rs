@@ -37,6 +37,8 @@ pub mod rng;
 pub mod seeded;
 
 pub use dist::Distribution;
-pub use function::{extract_scalar_cell, InvocationStats, VgCall, VgFunction, VgRegistry};
+pub use function::{
+    extract_scalar_cell, BatchSamples, InvocationStats, VgCall, VgCallF64, VgFunction, VgRegistry,
+};
 pub use rng::{Rng64, SeedSequence, SplitMix64, Xoshiro256StarStar};
 pub use seeded::SeedManager;

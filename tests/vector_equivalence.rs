@@ -1,19 +1,26 @@
-//! Scalar-vs-vector differential suite: the vectorized execution tier is
-//! *defined* by bit-identity with the scalar executor, and this file is the
-//! contract's enforcement.
+//! Tier differential suite: the block execution tiers (boxed vector and
+//! typed columnar) are *defined* by bit-identity with the scalar executor,
+//! and this file is the contract's enforcement.
 //!
 //! Coverage:
 //!
 //! * every bundled scenario (Figure 2 plus the four example scenarios),
-//!   asserting bit-identical fingerprints *and* estimation samples between
-//!   a `vectorized: true` engine and a `vectorized: false` engine walking
-//!   the same evaluation sequence;
+//!   asserting bit-identical fingerprints *and* estimation samples across
+//!   [`ExecTier::Columnar`], [`ExecTier::Boxed`] and [`ExecTier::Scalar`]
+//!   engines walking the same evaluation sequence — and that the columnar
+//!   tier never falls back to boxed values on any of them;
 //! * a seeded property loop at the SQL layer over random world-block
 //!   sizes — 1, 2, the fingerprint length `L`, and non-multiples of `L` —
-//!   asserting per-world equality between one block walk and per-world
-//!   scalar walks;
-//! * thread-count independence of the vectorized tier (samples and work
-//!   counters equal under `threads: 1` and `threads: 4`).
+//!   asserting per-world equality between one block walk (both block
+//!   tiers) and per-world scalar walks;
+//! * a second seeded property loop over *random expressions* — NULL
+//!   literals, conditional VG calls inside CASE arms, three-valued
+//!   AND/OR/NOT, CASE masks with and without ELSE, block sizes that are
+//!   not multiples of the SIMD lane width — asserting bit-identical
+//!   outputs and VG invocation accounting across all three tiers;
+//! * thread-count independence of the block tiers (samples and work
+//!   counters equal under `threads: 1` and `threads: 8`, both equal to a
+//!   single-threaded scalar engine).
 
 use std::collections::HashMap;
 
@@ -23,7 +30,9 @@ use prophet_models::scenarios::{
     figure2_coarse_sql, INVENTORY_POLICY, PRICING_WHATIF, SUPPORT_STAFFING,
 };
 use prophet_models::{demo_registry, full_registry};
+use prophet_sql::columnar::evaluate_select_columns;
 use prophet_sql::executor::{evaluate_select_with, WorldRng};
+use prophet_sql::parser::parse_script;
 use prophet_sql::vector::evaluate_select_block;
 use prophet_vg::rng::{Rng64, Xoshiro256StarStar};
 use prophet_vg::SeedManager;
@@ -128,78 +137,97 @@ impl VgRegistryKind {
     }
 }
 
-fn engine_pair(scenario: &Scenario, kind: &VgRegistryKind) -> (Engine, Engine) {
+/// One engine per execution tier, identical otherwise.
+fn engine_trio(scenario: &Scenario, kind: &VgRegistryKind) -> [Engine; 3] {
     let config = EngineConfig {
         worlds_per_point: 48,
         ..EngineConfig::default()
     };
-    let vector = Engine::new(scenario, kind.build(), config).unwrap();
-    let scalar = Engine::new(
-        scenario,
-        kind.build(),
-        EngineConfig {
-            vectorized: false,
-            ..config
-        },
-    )
-    .unwrap();
-    (vector, scalar)
+    TIERS.map(|tier| Engine::new(scenario, kind.build(), EngineConfig { tier, ..config }).unwrap())
 }
+
+/// Tier order used throughout: columnar first (the default), then boxed,
+/// then the scalar reference.
+const TIERS: [ExecTier; 3] = [ExecTier::Columnar, ExecTier::Boxed, ExecTier::Scalar];
 
 /// Every bundled scenario: same outcomes, bit-identical samples, and the
 /// same store contents (the stored fingerprints drove identical matching)
-/// whether evaluation is scalar or vectorized.
+/// across the columnar, boxed and scalar tiers — and the columnar tier
+/// stays fully typed (`column_fallbacks == 0`) on all five.
 #[test]
 fn all_bundled_scenarios_are_bit_identical_across_tiers() {
     for (name, scenario, kind, points) in bundled_scenarios() {
-        let (vector, scalar) = engine_pair(&scenario, &kind);
-        let columns = vector.output_columns();
+        let [columnar, boxed, scalar] = engine_trio(&scenario, &kind);
+        let columns = columnar.output_columns();
         for point in &points {
-            let (sv, ov) = vector.evaluate(point).unwrap();
+            let (sc, oc) = columnar.evaluate(point).unwrap();
+            let (sv, ov) = boxed.evaluate(point).unwrap();
             let (ss, os) = scalar.evaluate(point).unwrap();
-            assert_eq!(ov, os, "[{name}] outcome at {point}");
+            assert_eq!(oc, os, "[{name}] columnar outcome at {point}");
+            assert_eq!(ov, os, "[{name}] boxed outcome at {point}");
             for col in &columns {
+                assert_eq!(
+                    sc.samples(col),
+                    ss.samples(col),
+                    "[{name}] columnar column `{col}` at {point}"
+                );
                 assert_eq!(
                     sv.samples(col),
                     ss.samples(col),
-                    "[{name}] column `{col}` at {point}"
+                    "[{name}] boxed column `{col}` at {point}"
                 );
             }
         }
-        let mv = vector.metrics();
+        let mc = columnar.metrics();
+        let mv = boxed.metrics();
         let ms = scalar.metrics();
         assert_eq!(
-            mv.probe_evaluations, ms.probe_evaluations,
+            mc.probe_evaluations, ms.probe_evaluations,
             "[{name}] logical probe accounting must not depend on the tier"
         );
-        assert_eq!(mv.points_simulated, ms.points_simulated, "[{name}]");
-        assert_eq!(mv.worlds_simulated, ms.worlds_simulated, "[{name}]");
+        assert_eq!(mv.probe_evaluations, ms.probe_evaluations, "[{name}]");
+        assert_eq!(mc.points_simulated, ms.points_simulated, "[{name}]");
+        assert_eq!(mc.worlds_simulated, ms.worlds_simulated, "[{name}]");
         assert!(
-            mv.vector_walks > 0 && ms.vector_walks == 0,
-            "[{name}] only the vector tier block-walks"
+            mc.vector_walks > 0 && mv.vector_walks > 0 && ms.vector_walks == 0,
+            "[{name}] only the block tiers block-walk"
         );
+        assert!(
+            mc.columnar_kernels > 0,
+            "[{name}] the columnar engine ran typed kernels"
+        );
+        assert_eq!(
+            mc.column_fallbacks, 0,
+            "[{name}] every bundled scenario is fully typed — no boxed fallbacks"
+        );
+        assert_eq!(mv.columnar_kernels, 0, "[{name}]");
+        assert_eq!(ms.columnar_kernels, 0, "[{name}]");
     }
 }
 
-/// Fingerprints are probed under the canonical seed block: force both
+/// Fingerprints are probed under the canonical seed block: force all
 /// tiers through a *miss* (distinct stores) and compare what each
 /// published to its basis store for matching.
 #[test]
 fn probed_fingerprints_are_bit_identical() {
     for (name, scenario, kind, points) in bundled_scenarios() {
-        let (vector, scalar) = engine_pair(&scenario, &kind);
+        let [columnar, boxed, scalar] = engine_trio(&scenario, &kind);
         let point = &points[0];
-        vector.evaluate(point).unwrap();
+        columnar.evaluate(point).unwrap();
+        boxed.evaluate(point).unwrap();
         scalar.evaluate(point).unwrap();
-        // A second engine pair maps *from* the published entries: if the
+        // The engines now map *from* the published entries: if the
         // stored fingerprints differed at all, matching (which compares
         // probe columns entry-by-entry) would disagree somewhere across
         // the remaining points.
         for p in &points[1..] {
-            let (vs, vo) = vector.evaluate(p).unwrap();
+            let (cs, co) = columnar.evaluate(p).unwrap();
+            let (vs, vo) = boxed.evaluate(p).unwrap();
             let (ss, so) = scalar.evaluate(p).unwrap();
-            assert_eq!(vo, so, "[{name}] mapping decision at {p}");
-            for col in vector.output_columns() {
+            assert_eq!(co, so, "[{name}] columnar mapping decision at {p}");
+            assert_eq!(vo, so, "[{name}] boxed mapping decision at {p}");
+            for col in columnar.output_columns() {
+                assert_eq!(cs.samples(&col), ss.samples(&col), "[{name}] {col} at {p}");
                 assert_eq!(vs.samples(&col), ss.samples(&col), "[{name}] {col} at {p}");
             }
         }
@@ -237,18 +265,37 @@ fn random_world_blocks_match_scalar_walks() {
         let seeds = SeedManager::new(rng.next_u64());
 
         let block = evaluate_select_block(select, &registry, &params, seeds, &worlds).unwrap();
+        let (typed, _) =
+            evaluate_select_columns(select, &registry, &params, seeds, &worlds).unwrap();
         for (slot, &world) in worlds.iter().enumerate() {
             let row =
                 evaluate_select_with(select, &registry, &params, WorldRng::per_call(seeds, world))
                     .unwrap();
-            for ((alias, column), (scalar_alias, scalar_value)) in block.iter().zip(&row) {
+            for (((alias, column), (typed_alias, typed_column)), (scalar_alias, scalar_value)) in
+                block.iter().zip(&typed).zip(&row)
+            {
                 assert_eq!(alias, scalar_alias);
+                assert_eq!(typed_alias, scalar_alias);
                 assert_eq!(
                     &column[slot], scalar_value,
                     "round {round}, block_len {block_len}, world {world}, column {alias}"
                 );
+                assert!(
+                    bit_eq(&typed_column.value_at(slot), scalar_value),
+                    "round {round}, block_len {block_len}, world {world}, typed column {alias}"
+                );
             }
         }
+    }
+}
+
+/// Bit-level `Value` equality: floats compare by representation so a NaN
+/// lane (possible under generated expressions) still counts as equal to
+/// itself across tiers.
+fn bit_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
     }
 }
 
@@ -262,25 +309,25 @@ impl Default for FingerprintLen {
     }
 }
 
-/// The vectorized tier must stay thread-count independent: same samples,
-/// same work counters under 1 and 4 threads.
+/// The block tiers must stay thread-count independent: same samples, same
+/// work counters under 1 and 8 threads, all bit-identical to a
+/// single-threaded scalar engine (the acceptance bar for the typed tier).
 #[test]
-fn vectorized_tier_is_thread_count_independent() {
+fn block_tiers_are_thread_count_independent() {
     let scenario = Scenario::figure2().unwrap();
-    let make = |threads: usize| {
+    let make = |tier: ExecTier, threads: usize| {
         Engine::new(
             &scenario,
             demo_registry(),
             EngineConfig {
                 worlds_per_point: 64,
                 threads,
+                tier,
                 ..EngineConfig::default()
             },
         )
         .unwrap()
     };
-    let single = make(1);
-    let quad = make(4);
     let points: Vec<ParamPoint> = (0..6)
         .map(|i| {
             ParamPoint::from_pairs([
@@ -291,25 +338,37 @@ fn vectorized_tier_is_thread_count_independent() {
             ])
         })
         .collect();
-    let a = single.evaluate_batch(&points).unwrap();
-    let b = quad.evaluate_batch(&points).unwrap();
-    for (i, ((sa, oa), (sb, ob))) in a.iter().zip(&b).enumerate() {
-        assert_eq!(oa, ob, "point #{i}");
-        for col in single.output_columns() {
-            assert_eq!(sa.samples(&col), sb.samples(&col), "point #{i} {col}");
+    let reference = make(ExecTier::Scalar, 1);
+    let expected = reference.evaluate_batch(&points).unwrap();
+    for tier in [ExecTier::Columnar, ExecTier::Boxed] {
+        for threads in [1usize, 8] {
+            let engine = make(tier, threads);
+            let got = engine.evaluate_batch(&points).unwrap();
+            for (i, ((sa, oa), (sb, ob))) in expected.iter().zip(&got).enumerate() {
+                assert_eq!(oa, ob, "{tier:?} x{threads} point #{i}");
+                for col in reference.output_columns() {
+                    assert_eq!(
+                        sa.samples(&col),
+                        sb.samples(&col),
+                        "{tier:?} x{threads} point #{i} {col}"
+                    );
+                }
+            }
+            assert_eq!(
+                engine.metrics().worlds_simulated,
+                reference.metrics().worlds_simulated,
+                "{tier:?} x{threads}"
+            );
+            assert_eq!(
+                engine.metrics().probe_evaluations,
+                reference.metrics().probe_evaluations,
+                "{tier:?} x{threads}"
+            );
         }
     }
-    assert_eq!(
-        single.metrics().worlds_simulated,
-        quad.metrics().worlds_simulated
-    );
-    assert_eq!(
-        single.metrics().probe_evaluations,
-        quad.metrics().probe_evaluations
-    );
 }
 
-/// The vector tier's logical VG accounting matches the scalar tier's: a
+/// The block tiers' logical VG accounting matches the scalar tier's: a
 /// batched call of `n` worlds counts `n` invocations in the catalog.
 #[test]
 fn vg_invocation_accounting_is_tier_independent() {
@@ -320,14 +379,14 @@ fn vg_invocation_accounting_is_tier_independent() {
         ("purchase2", 36),
         ("feature", 12),
     ]);
-    let run = |vectorized: bool| {
+    let run = |tier: ExecTier| {
         let registry = demo_registry();
         let engine = Engine::new(
             &scenario,
             registry,
             EngineConfig {
                 worlds_per_point: 32,
-                vectorized,
+                tier,
                 ..EngineConfig::default()
             },
         )
@@ -339,13 +398,190 @@ fn vg_invocation_accounting_is_tier_independent() {
             reg.stats("CapacityModel").unwrap(),
         )
     };
-    let (vd, vc) = run(true);
-    let (sd, sc) = run(false);
+    let (cd, cc) = run(ExecTier::Columnar);
+    let (vd, vc) = run(ExecTier::Boxed);
+    let (sd, sc) = run(ExecTier::Scalar);
+    assert_eq!(cd.invocations, sd.invocations, "DemandModel logical count");
     assert_eq!(vd.invocations, sd.invocations, "DemandModel logical count");
+    assert_eq!(
+        cc.invocations, sc.invocations,
+        "CapacityModel logical count"
+    );
     assert_eq!(
         vc.invocations, sc.invocations,
         "CapacityModel logical count"
     );
-    assert!(vd.batched_calls > 0, "vector tier used the batch path");
+    assert!(cd.batched_calls > 0, "columnar tier used the batch path");
+    assert!(vd.batched_calls > 0, "boxed tier used the batch path");
     assert_eq!(sd.batched_calls, 0, "scalar tier never batches");
+}
+
+/// Deterministic random-expression generator for the cross-tier property
+/// loop. Produces numeric select items mixing NULL literals, parameters,
+/// integer/float literals, arithmetic (including `/` and `%`, whose
+/// zero-divisor lanes go NULL), `CASE` masks with and without `ELSE`,
+/// three-valued AND/OR/NOT conditions, and conditionally-reached VG calls
+/// (`Normal`/`Poisson`/`Triangular` — always with valid, non-NULL
+/// arguments, since distribution parameters reject NULL by contract).
+struct ExprGen {
+    rng: Xoshiro256StarStar,
+    vg_budget: u32,
+    vg_emitted: u32,
+}
+
+impl ExprGen {
+    fn roll(&mut self, n: u64) -> u64 {
+        self.rng.next_u64() % n
+    }
+
+    fn vg_call(&mut self) -> String {
+        self.vg_budget -= 1;
+        self.vg_emitted += 1;
+        match self.roll(3) {
+            0 => "Normal(@a, 2.5)".into(),
+            1 => "Poisson(6.5)".into(),
+            _ => "Triangular(0.0, 2.0, 10.0)".into(),
+        }
+    }
+
+    fn numeric(&mut self, depth: u32) -> String {
+        if depth == 0 || self.roll(100) < 25 {
+            return match self.roll(6) {
+                0 => format!("{}", self.roll(2001) as i64 - 1000),
+                1 => format!("{}.5", self.roll(40)),
+                2 => "@a".into(),
+                3 => "@b".into(),
+                4 => "NULL".into(),
+                _ => format!("{}", self.roll(7)),
+            };
+        }
+        if self.vg_budget > 0 && self.roll(100) < 25 {
+            return self.vg_call();
+        }
+        if self.roll(100) < 35 {
+            let cond = self.boolean(depth - 1);
+            let then = self.numeric(depth - 1);
+            return if self.roll(2) == 0 {
+                let els = self.numeric(depth - 1);
+                format!("CASE WHEN {cond} THEN {then} ELSE {els} END")
+            } else {
+                // No ELSE: unmatched lanes are NULL.
+                format!("CASE WHEN {cond} THEN {then} END")
+            };
+        }
+        let op = ["+", "-", "*", "/", "%"][self.roll(5) as usize];
+        let lhs = self.numeric(depth - 1);
+        let rhs = self.numeric(depth - 1);
+        format!("({lhs} {op} {rhs})")
+    }
+
+    fn boolean(&mut self, depth: u32) -> String {
+        if depth == 0 || self.roll(100) < 45 {
+            let op = ["<", "<=", ">", ">=", "=", "<>"][self.roll(6) as usize];
+            let lhs = self.numeric(0);
+            let rhs = self.numeric(0);
+            return format!("{lhs} {op} {rhs}");
+        }
+        match self.roll(3) {
+            0 => format!(
+                "({} AND {})",
+                self.boolean(depth - 1),
+                self.boolean(depth - 1)
+            ),
+            1 => format!(
+                "({} OR {})",
+                self.boolean(depth - 1),
+                self.boolean(depth - 1)
+            ),
+            _ => format!("NOT ({})", self.boolean(depth - 1)),
+        }
+    }
+}
+
+/// Seeded property loop over random expressions: typed columnar, boxed
+/// vector and per-world scalar evaluation must agree bit for bit — values
+/// (NaN lanes included), NULL placement, and per-function VG invocation
+/// accounting — across block sizes that are deliberately not multiples of
+/// any SIMD lane width.
+#[test]
+fn random_expressions_are_bit_identical_across_tiers() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xC01_FACE);
+    let mut total_vg_calls = 0u32;
+    for round in 0..40u32 {
+        let mut gen = ExprGen {
+            rng: Xoshiro256StarStar::seed_from_u64(rng.next_u64()),
+            vg_budget: 4,
+            vg_emitted: 0,
+        };
+        let n_cols = 1 + gen.roll(3);
+        let items: Vec<String> = (0..n_cols)
+            .map(|i| format!("{} AS c{i}", gen.numeric(3)))
+            .collect();
+        let src = format!(
+            "DECLARE PARAMETER @a AS SET (0);\nDECLARE PARAMETER @b AS SET (0);\n\
+             SELECT {} INTO out;",
+            items.join(", ")
+        );
+        let script = parse_script(&src).unwrap();
+        total_vg_calls += gen.vg_emitted;
+
+        let block_len = [1usize, 2, 7, 9, 16, 31, 33, 100][(round % 8) as usize];
+        let worlds: Vec<u64> = (0..block_len).map(|_| rng.next_u64() >> 1).collect();
+        let params: HashMap<String, Value> = HashMap::from([
+            ("a".into(), Value::Int((rng.next_u64() % 91) as i64 - 45)),
+            ("b".into(), Value::Int((rng.next_u64() % 13) as i64)),
+        ]);
+        let seeds = SeedManager::new(rng.next_u64());
+
+        // One fresh registry per tier so invocation stats stay separable.
+        let (reg_c, reg_b, reg_s) = (full_registry(), full_registry(), full_registry());
+        let (typed, _) =
+            evaluate_select_columns(&script.select, &reg_c, &params, seeds, &worlds).unwrap();
+        let boxed = evaluate_select_block(&script.select, &reg_b, &params, seeds, &worlds).unwrap();
+        for (slot, &world) in worlds.iter().enumerate() {
+            let row = evaluate_select_with(
+                &script.select,
+                &reg_s,
+                &params,
+                WorldRng::per_call(seeds, world),
+            )
+            .unwrap();
+            for (((alias, column), (_, boxed_column)), (_, scalar_value)) in
+                typed.iter().zip(&boxed).zip(&row)
+            {
+                let typed_value = column.value_at(slot);
+                assert!(
+                    bit_eq(&typed_value, scalar_value),
+                    "round {round} `{src}` world {world} column {alias}: \
+                     typed {typed_value:?} != scalar {scalar_value:?}"
+                );
+                assert!(
+                    bit_eq(&boxed_column[slot], scalar_value),
+                    "round {round} `{src}` world {world} column {alias}: \
+                     boxed {:?} != scalar {scalar_value:?}",
+                    boxed_column[slot]
+                );
+            }
+        }
+        for dist in ["Normal", "Poisson", "Triangular"] {
+            let (c, b, s) = (
+                reg_c.stats(dist).unwrap(),
+                reg_b.stats(dist).unwrap(),
+                reg_s.stats(dist).unwrap(),
+            );
+            assert_eq!(
+                c.invocations, s.invocations,
+                "round {round} `{src}`: columnar {dist} logical count"
+            );
+            assert_eq!(
+                b.invocations, s.invocations,
+                "round {round} `{src}`: boxed {dist} logical count"
+            );
+            assert_eq!(s.batched_calls, 0, "scalar walks never batch");
+        }
+    }
+    assert!(
+        total_vg_calls > 20,
+        "the generator must actually exercise VG calls (got {total_vg_calls})"
+    );
 }
