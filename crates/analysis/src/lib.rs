@@ -12,7 +12,7 @@
 //! | `thread-spawn` | `thread::spawn` / `thread::scope` | `scheduler.rs`, `executor.rs` |
 //! | `raw-sync` | raw `Mutex`/`RwLock`/`Condvar` construction | `sync.rs` (the instrumented module) |
 //! | `unwrap` | `.unwrap()` / `.expect("…")` in `crates/core`, `crates/fingerprint` | messages containing `invariant` |
-//! | `wall-clock` | `Instant::now()` / `SystemTime` | `metrics.rs`, `crates/bench` |
+//! | `wall-clock` | `Instant::now()` / `SystemTime` | `metrics.rs`, `trace.rs`, `crates/bench` |
 //! | `typed-kernel` | `Value` inside the typed-kernel module (`crates/sql/src/column.rs`); `std::simd` / `unsafe` anywhere else | `crates/sql/src/simd.rs` (the simd-gated kernel file) |
 //!
 //! Two escape hatches, both explicit and reviewable:
@@ -84,7 +84,12 @@ impl Rule {
             Rule::Unwrap => {
                 !(path.starts_with("crates/core/src") || path.starts_with("crates/fingerprint/src"))
             }
-            Rule::WallClock => base == "metrics.rs" || path.starts_with("crates/bench/"),
+            // `trace.rs` is the flight recorder's clock shim (`TraceClock`):
+            // the one additional sanctioned `Instant` reading, pinned so
+            // trace timestamps cannot leak into deterministic code paths.
+            Rule::WallClock => {
+                base == "metrics.rs" || base == "trace.rs" || path.starts_with("crates/bench/")
+            }
             // Scoping is pattern-specific (the `Value` check applies *only*
             // inside the kernel module, the `std::simd`/`unsafe` checks
             // everywhere outside `simd.rs`), so `scan_rules` decides per
@@ -567,8 +572,8 @@ fn scan_rules(path: &str, toks: &[Tok]) -> Vec<Violation> {
                 found.push(Violation {
                     rule: Rule::WallClock,
                     line,
-                    message: "`Instant::now()` outside metrics.rs/bench — time through \
-                              `metrics::Stopwatch`"
+                    message: "`Instant::now()` outside metrics.rs/trace.rs/bench — time through \
+                              `metrics::Stopwatch` or the trace clock"
                         .into(),
                 });
             }
@@ -576,8 +581,8 @@ fn scan_rules(path: &str, toks: &[Tok]) -> Vec<Violation> {
                 found.push(Violation {
                     rule: Rule::WallClock,
                     line,
-                    message: "`SystemTime` outside metrics.rs/bench — wall-clock reads \
-                              belong to the metrics layer"
+                    message: "`SystemTime` outside metrics.rs/trace.rs/bench — wall-clock reads \
+                              belong to the metrics or trace layer"
                         .into(),
                 });
             }
@@ -805,6 +810,27 @@ mod tests {
             rules_fired("crates/core/src/session.rs", src),
             [Rule::WallClock]
         );
+    }
+
+    /// The flight recorder's clock shim is the one extra sanctioned
+    /// `Instant` site — and *only* it: the rule must keep firing in every
+    /// other scheduler/store/engine file, or trace timestamps could start
+    /// leaking into deterministic code paths unnoticed.
+    #[test]
+    fn wall_clock_exempts_the_trace_clock_shim_only() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(rules_fired("crates/mc/src/trace.rs", src).is_empty());
+        // Negative: the exemption is by basename, not by crate — the rest
+        // of `prophet-mc` (and the scheduler next door) still trip it.
+        assert_eq!(
+            rules_fired("crates/mc/src/store.rs", src),
+            [Rule::WallClock]
+        );
+        assert_eq!(
+            rules_fired("crates/core/src/scheduler.rs", src),
+            [Rule::WallClock]
+        );
+        assert_eq!(rules_fired("crates/mc/src/sync.rs", src), [Rule::WallClock]);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! ```sh
 //! cargo run --release -p prophet-bench --bin sweep_smoke
 //! cargo run --release -p prophet-bench --bin sweep_smoke -- --worlds 64 --threads 4 --out BENCH_sweep.json
+//! cargo run --release -p prophet-bench --bin sweep_smoke -- --trace-out trace.json  # chrome://tracing
 //! ```
 //!
 //! The JSON reports sweep throughput (points/sec) and the executor's
@@ -23,7 +24,14 @@
 //! sweep twice as concurrent Low/High-priority jobs on one shared
 //! scheduler pool (two scenario slots, two stores) and records the
 //! combined throughput plus each job's wall clock — the interleaving cost
-//! of the asynchronous job API. Every sweep configuration is run three
+//! of the asynchronous job API. The concurrent run keeps its flight
+//! recorder armed: a `telemetry{…}` section reports its chunk-service
+//! and per-priority queue-wait percentiles plus the queue-depth
+//! watermark (`docs/OBSERVABILITY.md`), and `--trace-out PATH`
+//! additionally dumps that run's event ring as a `chrome://tracing` /
+//! Perfetto-loadable JSON file. The single-job sweeps run on the
+//! blocking tier (no tracer), so their recorded throughput is untouched
+//! by tracing. Every sweep configuration is run three
 //! times and the median run (by wall clock) is reported, so single-shot
 //! scheduler noise does not land in the recorded trajectory. All sweeps
 //! must agree on the sweep answer, which this binary asserts (and CI
@@ -107,6 +115,10 @@ struct ConcurrentRun {
     points_total: u64,
     hi_best: String,
     lo_best: String,
+    /// Quiesced post-run snapshot of the pool's flight recorder.
+    telemetry: TelemetrySnapshot,
+    /// The run's full event ring, for `--trace-out`.
+    trace_events: Vec<TraceEvent>,
 }
 
 /// The concurrent-jobs split: the same coarse sweep submitted twice — two
@@ -152,6 +164,9 @@ fn run_concurrent_once(worlds: usize, threads: usize) -> ConcurrentRun {
         .and_then(JobOutput::into_sweep)
         .expect("lo sweep completes");
     let wall = t0.elapsed();
+    // Quiesce before snapshotting: `wait()` returns on the Final event,
+    // just before the driver's finish bookkeeping lands in the ring.
+    prophet.scheduler().wait_idle();
     let points_total = hi_report.metrics.points_total() + lo_report.metrics.points_total();
     ConcurrentRun {
         wall_nanos: wall.as_nanos(),
@@ -160,7 +175,21 @@ fn run_concurrent_once(worlds: usize, threads: usize) -> ConcurrentRun {
         points_total,
         hi_best: best_str(&hi_report),
         lo_best: best_str(&lo_report),
+        telemetry: prophet.telemetry(),
+        trace_events: prophet.trace_events(),
     }
+}
+
+/// One histogram as a JSON object: count plus p50/p95/p99 bucket
+/// ceilings in nanoseconds.
+fn hist_json(h: &LatencyHistogram) -> String {
+    format!(
+        "{{\"count\": {}, \"p50_nanos\": {}, \"p95_nanos\": {}, \"p99_nanos\": {}}}",
+        h.count(),
+        h.p50(),
+        h.p95(),
+        h.p99()
+    )
 }
 
 fn best_str(report: &fuzzy_prophet::OfflineReport) -> String {
@@ -180,6 +209,7 @@ fn main() {
     // to measure the engine, not the scheduler.
     let mut threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let mut out = String::from("BENCH_sweep.json");
+    let mut trace_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -190,6 +220,13 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| die("--out needs a path"))
                     .clone();
+            }
+            "--trace-out" => {
+                trace_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--trace-out needs a path"))
+                        .clone(),
+                );
             }
             other => die(&format!("unknown argument `{other}`")),
         }
@@ -249,7 +286,11 @@ fn main() {
          \"sim_nanos\": {},\n    \"wall_nanos\": {},\n    \"points_per_sec\": {:.1}\n  }},\n  \
          \"concurrent\": {{\n    \"jobs\": 2,\n    \"points_total\": {},\n    \
          \"wall_nanos\": {},\n    \"points_per_sec\": {:.1},\n    \
-         \"hi_wall_nanos\": {}\n  }}\n}}\n",
+         \"hi_wall_nanos\": {}\n  }},\n  \
+         \"telemetry\": {{\n    \"events_recorded\": {},\n    \
+         \"events_dropped\": {},\n    \"max_queue_depth\": {},\n    \
+         \"chunk_service\": {},\n    \"queue_wait\": {{\n      \
+         \"high\": {},\n      \"normal\": {},\n      \"low\": {}\n    }}\n  }}\n}}\n",
         vector.groups,
         m.points_total(),
         m.points_simulated,
@@ -289,9 +330,25 @@ fn main() {
         concurrent.wall_nanos,
         concurrent.points_per_sec,
         concurrent.hi_wall_nanos,
+        concurrent.telemetry.trace.events_recorded,
+        concurrent.telemetry.trace.events_dropped,
+        concurrent.telemetry.trace.max_queue_depth,
+        hist_json(&concurrent.telemetry.trace.chunk_service),
+        hist_json(&concurrent.telemetry.trace.queue_wait[0]),
+        hist_json(&concurrent.telemetry.trace.queue_wait[1]),
+        hist_json(&concurrent.telemetry.trace.queue_wait[2]),
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
     print!("{json}");
+    if let Some(path) = &trace_out {
+        let chrome = chrome_trace_json(&concurrent.trace_events);
+        std::fs::write(path, &chrome).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!(
+            "trace: {} events from the concurrent run written to {path} \
+             (load at chrome://tracing or ui.perfetto.dev)",
+            concurrent.trace_events.len(),
+        );
+    }
     eprintln!(
         "vector sweep: {} points in {:.1}ms ({:.1} points/sec); \
          probe {:.1}ms vs sim {:.1}ms; {} walks ({worlds_per_walk:.0} worlds/walk)",
@@ -369,6 +426,21 @@ fn main() {
         concurrent.lo_best, vector.best,
         "the low-priority concurrent sweep must reach the single-job answer"
     );
+    let t = &concurrent.telemetry.trace;
+    eprintln!(
+        "telemetry: {} events ({} dropped); chunk service p50/p95/p99 = \
+         {:.1}/{:.1}/{:.1}us; max queue depth {}",
+        t.events_recorded,
+        t.events_dropped,
+        t.chunk_service.p50() as f64 / 1e3,
+        t.chunk_service.p95() as f64 / 1e3,
+        t.chunk_service.p99() as f64 / 1e3,
+        t.max_queue_depth,
+    );
+    assert!(
+        t.events_recorded > 0 && t.chunk_service.count() > 0,
+        "the concurrent run keeps its flight recorder armed"
+    );
 }
 
 fn parse(arg: Option<&String>, flag: &str) -> usize {
@@ -378,6 +450,6 @@ fn parse(arg: Option<&String>, flag: &str) -> usize {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: sweep_smoke [--worlds N] [--threads N] [--out PATH]");
+    eprintln!("usage: sweep_smoke [--worlds N] [--threads N] [--out PATH] [--trace-out PATH]");
     std::process::exit(2);
 }

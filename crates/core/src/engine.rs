@@ -396,6 +396,7 @@ impl Engine {
                 m.column_fallbacks += stats.fallbacks;
                 m.probe_eval_nanos += start.elapsed_nanos();
                 m.fingerprint_time += start.elapsed();
+                m.probe_latency.record(start.elapsed_nanos());
             });
             return Ok(out);
         }
@@ -426,6 +427,7 @@ impl Engine {
             m.probe_evaluations += seeds.len() as u64;
             m.probe_eval_nanos += start.elapsed_nanos();
             m.fingerprint_time += start.elapsed();
+            m.probe_latency.record(start.elapsed_nanos());
         });
         Ok(per_col
             .into_iter()
@@ -567,6 +569,7 @@ impl Engine {
             m.columnar_kernels += stats.kernels;
             m.column_fallbacks += stats.fallbacks;
             m.simulation_time += start.elapsed();
+            m.sim_latency.record(start.elapsed_nanos());
         });
         Ok(out)
     }
@@ -639,6 +642,7 @@ impl Engine {
             m.columnar_kernels += stats.kernels;
             m.column_fallbacks += stats.fallbacks;
             m.simulation_time += start.elapsed();
+            m.sim_latency.record(start.elapsed_nanos());
         });
         Ok(out)
     }

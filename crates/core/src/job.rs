@@ -33,6 +33,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
+use prophet_mc::trace::{TraceEvent, TraceEventKind, Tracer, NO_CHUNK};
 use prophet_mc::{ParamPoint, SampleSet};
 
 use crate::engine::{Engine, EvalOutcome};
@@ -260,6 +261,10 @@ pub(crate) struct JobCore {
     /// Metrics snapshot taken at submit, so `progress().metrics` reports
     /// this job's work only.
     pub(crate) baseline: EngineMetrics,
+    /// The scheduler's flight recorder ([`Tracer::off`] when tracing is
+    /// disabled) — lets the handle read this job's events back and the
+    /// cancel path stamp its `job_cancel` marker.
+    pub(crate) tracer: Tracer,
 }
 
 impl JobCore {
@@ -329,6 +334,27 @@ impl JobHandle {
     /// unaffected.
     pub fn cancel(&self) {
         self.core.cancelled.store(true, Ordering::Release);
+        // Stamped *after* the flag is visible: any chunk that records a
+        // `chunk_run` event after this instant read the flag later than
+        // the store above, so it must have started before the cancel —
+        // in a sorted trace no chunk of this job begins after the
+        // `job_cancel` marker.
+        self.core
+            .tracer
+            .instant(TraceEventKind::JobCancel, self.core.id, NO_CHUNK);
+    }
+
+    /// This job's flight-recorder events (submit/start/finish markers,
+    /// chunk queue traffic, driver phase spans), sorted by timestamp.
+    /// Empty when the scheduler's [`TraceConfig`] is `Off` — and possibly
+    /// missing *oldest* events if the bounded ring wrapped; check
+    /// [`Tracer::telemetry`]'s `events_dropped` when completeness
+    /// matters. See `docs/OBSERVABILITY.md` for the event taxonomy.
+    ///
+    /// [`TraceConfig`]: prophet_mc::trace::TraceConfig
+    /// [`Tracer::telemetry`]: prophet_mc::trace::Tracer::telemetry
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        self.core.tracer.events_for_job(self.core.id)
     }
 
     /// Block until the next event. `None` once the job has ended and every

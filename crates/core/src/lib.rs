@@ -157,6 +157,20 @@
 //! work on the caller's thread (the blocking reference tier the scheduled
 //! pipeline is differentially tested against).
 //!
+//! ## Observability (0.8)
+//!
+//! The scheduler carries a zero-dependency flight recorder ([`trace`]):
+//! job lifecycle and chunk queue events, driver phase spans, store
+//! claim/wait/publish/evict markers, and log-bucketed latency histograms
+//! (chunk service time, queue wait by priority, match scans, in-flight
+//! waits). Read a job's events via [`JobHandle::trace`](job::JobHandle::trace),
+//! snapshot service-wide percentiles and gauges via
+//! [`Prophet::telemetry`](service::Prophet::telemetry), and export a
+//! `chrome://tracing`-loadable file via [`obs::chrome_trace_json`].
+//! Tracing observes, never decides: determinism contracts are untouched,
+//! and [`trace::TraceConfig::Off`] makes every recording call a no-op.
+//! `docs/OBSERVABILITY.md` carries the event taxonomy and clock model.
+//!
 //! [`Prophet::submit`]: service::Prophet::submit
 //! [`Prophet::basis_stats_all`]: service::Prophet::basis_stats_all
 //! [`OfflineOptimizer::run`]: offline::OfflineOptimizer::run
@@ -168,6 +182,7 @@ pub mod executor;
 pub mod exploration;
 pub mod job;
 pub mod metrics;
+pub mod obs;
 pub mod offline;
 pub mod render;
 pub mod scenario;
@@ -175,6 +190,7 @@ pub mod scheduler;
 pub mod service;
 pub mod session;
 pub mod sync;
+pub mod trace;
 
 pub use engine::{Engine, EngineConfig, EvalOutcome, ExecTier};
 pub use error::{ProphetError, ProphetResult};
@@ -183,11 +199,15 @@ pub use job::{
     ChunkUpdate, JobEvent, JobHandle, JobKind, JobOutput, JobProgress, JobSpec, Priority,
 };
 pub use metrics::EngineMetrics;
+pub use obs::{chrome_trace_json, TelemetrySnapshot};
 pub use offline::{OfflineOptimizer, OfflineReport, OptimizeAnswer};
 pub use scenario::Scenario;
 pub use scheduler::{Scheduler, SchedulerConfig};
 pub use service::{Prophet, ProphetBuilder};
 pub use session::{AdjustReport, OnlineSession, ProgressiveEstimate};
+pub use trace::{
+    LatencyHistogram, TraceConfig, TraceEvent, TraceEventKind, TraceTelemetry, Tracer,
+};
 
 /// Convenience re-exports for applications.
 pub mod prelude {
@@ -198,11 +218,15 @@ pub mod prelude {
         ChunkUpdate, JobEvent, JobHandle, JobKind, JobOutput, JobProgress, JobSpec, Priority,
     };
     pub use crate::metrics::EngineMetrics;
+    pub use crate::obs::{chrome_trace_json, TelemetrySnapshot};
     pub use crate::offline::{OfflineOptimizer, OfflineReport, OptimizeAnswer};
     pub use crate::scenario::Scenario;
     pub use crate::scheduler::{Scheduler, SchedulerConfig};
     pub use crate::service::{Prophet, ProphetBuilder};
     pub use crate::session::{AdjustReport, OnlineSession, ProgressiveEstimate};
+    pub use crate::trace::{
+        LatencyHistogram, TraceConfig, TraceEvent, TraceEventKind, TraceTelemetry, Tracer,
+    };
     pub use prophet_mc::guide::{Guide, GuideFactory};
     pub use prophet_mc::{ParamPoint, SharedBasisStore, StoreStatsSnapshot};
 }

@@ -7,6 +7,8 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use prophet_mc::trace::LatencyHistogram;
+
 /// A started wall-clock timer. This is the *only* place `crates/core`
 /// touches `Instant` (pinned by the `wall-clock` lint rule in
 /// `crates/analysis`): wall time is a metric, and keeping every reading
@@ -113,6 +115,16 @@ pub struct EngineMetrics {
     /// Time inside fingerprint probing + matching + mapping, summed across
     /// parallel workers.
     pub fingerprint_time: Duration,
+    /// Per-point fingerprint-probe latency distribution (one observation
+    /// per [`Engine::probe_fingerprints`](crate::engine::Engine) call),
+    /// log-bucketed so percentiles survive merging — the totals above say
+    /// how much work ran; this says how it was *distributed*, which is
+    /// where a slow tail hides.
+    pub probe_latency: LatencyHistogram,
+    /// Per-point full-simulation latency distribution (one observation
+    /// per simulated point), same bucket table as
+    /// [`probe_latency`](EngineMetrics::probe_latency).
+    pub sim_latency: LatencyHistogram,
 }
 
 impl EngineMetrics {
@@ -157,6 +169,8 @@ impl EngineMetrics {
         self.sim_nanos += other.sim_nanos;
         self.simulation_time += other.simulation_time;
         self.fingerprint_time += other.fingerprint_time;
+        self.probe_latency.merge(&other.probe_latency);
+        self.sim_latency.merge(&other.sim_latency);
     }
 
     /// Difference since an earlier snapshot (for per-operation reporting).
@@ -182,6 +196,8 @@ impl EngineMetrics {
             fingerprint_time: self
                 .fingerprint_time
                 .saturating_sub(earlier.fingerprint_time),
+            probe_latency: self.probe_latency.since(&earlier.probe_latency),
+            sim_latency: self.sim_latency.since(&earlier.sim_latency),
         }
     }
 }
@@ -204,11 +220,15 @@ impl EngineMetrics {
 /// a fixed order — so bench logs and snapshot diffs line up counter for
 /// counter across runs instead of drifting with ad-hoc prose. Times
 /// render as milliseconds with two decimals; rates as percentages with
-/// one. The exact format is pinned by a snapshot test.
+/// one; latency percentiles (the trailing block) as microseconds with
+/// two, reporting the log-bucket ceiling each percentile landed in (see
+/// `docs/OBSERVABILITY.md`). The exact format is pinned by a snapshot
+/// test.
 impl fmt::Display for EngineMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let ms = |nanos: u64| nanos as f64 / 1e6;
-        let rows: [(&str, String); 20] = [
+        let us = |nanos: u64| format!("{:.2}", nanos as f64 / 1e3);
+        let rows: [(&str, String); 26] = [
             ("points_simulated", self.points_simulated.to_string()),
             ("points_mapped", self.points_mapped.to_string()),
             ("points_cached", self.points_cached.to_string()),
@@ -235,6 +255,12 @@ impl fmt::Display for EngineMetrics {
                 "fingerprint_ms",
                 format!("{:.2}", self.fingerprint_time.as_secs_f64() * 1e3),
             ),
+            ("probe_p50_us", us(self.probe_latency.p50())),
+            ("probe_p90_us", us(self.probe_latency.p90())),
+            ("probe_p99_us", us(self.probe_latency.p99())),
+            ("sim_p50_us", us(self.sim_latency.p50())),
+            ("sim_p90_us", us(self.sim_latency.p90())),
+            ("sim_p99_us", us(self.sim_latency.p99())),
         ];
         for (i, (name, value)) in rows.iter().enumerate() {
             if i > 0 {
@@ -249,6 +275,14 @@ impl fmt::Display for EngineMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn hist(nanos: &[u64]) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for &n in nanos {
+            h.record(n);
+        }
+        h
+    }
 
     #[test]
     fn totals_and_reuse_fraction() {
@@ -384,6 +418,11 @@ mod tests {
             sim_nanos: 12_345_678,
             simulation_time: Duration::from_micros(15_500),
             fingerprint_time: Duration::from_micros(4_250),
+            // Log-bucketed: 800 and 1600 ns land in the 1023/2047 buckets,
+            // 200 µs in the 262143 bucket — so p50 reads 2047 ns (2.05 µs)
+            // and p90/p99 read 262143 ns (262.14 µs).
+            probe_latency: hist(&[800, 1_600, 200_000]),
+            sim_latency: hist(&[1_000_000, 2_000_000, 4_000_000]),
         };
         let expected = "\
 points_simulated                 5
@@ -405,11 +444,58 @@ batch_probes                     7
 probe_phase_ms                3.00
 sim_phase_ms                 12.35
 simulation_ms                15.50
-fingerprint_ms                4.25";
+fingerprint_ms                4.25
+probe_p50_us                  2.05
+probe_p90_us                262.14
+probe_p99_us                262.14
+sim_p50_us                 2097.15
+sim_p90_us                 4194.30
+sim_p99_us                 4194.30";
         assert_eq!(m.to_string(), expected);
         // Alignment invariant: every row is exactly 34 columns wide.
         for line in m.to_string().lines() {
             assert_eq!(line.len(), 34, "row {line:?} drifted");
         }
+    }
+
+    /// Completeness audit for `merge`/`since`: construct a metrics value
+    /// with **every** field nonzero (no `..Default::default()` — adding a
+    /// field to `EngineMetrics` breaks this constructor until the test is
+    /// updated), then check `(m + m) - m == m`. A counter dropped from
+    /// `merge` makes the doubled value too small; one dropped from `since`
+    /// leaves the difference too large — either way the round trip fails.
+    #[test]
+    fn merge_and_since_cover_every_field() {
+        let m = EngineMetrics {
+            points_cached: 1,
+            points_mapped: 2,
+            points_simulated: 3,
+            worlds_simulated: 4,
+            probe_evaluations: 5,
+            vector_walks: 6,
+            probe_eval_nanos: 7,
+            columnar_kernels: 8,
+            column_fallbacks: 9,
+            candidates_scanned: 10,
+            candidates_pruned: 11,
+            match_scan_nanos: 12,
+            inflight_waits: 13,
+            batch_probes: 14,
+            probe_nanos: 15,
+            sim_nanos: 16,
+            simulation_time: Duration::from_nanos(17),
+            fingerprint_time: Duration::from_nanos(18),
+            probe_latency: hist(&[19]),
+            sim_latency: hist(&[20, 1 << 20]),
+        };
+        assert_ne!(m, EngineMetrics::default(), "fixture must be nonzero");
+        let mut doubled = m;
+        doubled.merge(&m);
+        assert_ne!(doubled, m, "merge must change every-field-nonzero sums");
+        assert_eq!(
+            doubled.since(&m),
+            m,
+            "merge/since round trip dropped a field"
+        );
     }
 }

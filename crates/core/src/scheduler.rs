@@ -86,6 +86,19 @@
 //! claim/publish protocol, and the lint rules that pin thread spawning
 //! and raw lock construction to their sanctioned modules.
 //!
+//! # Observability
+//!
+//! The pool carries a [`Tracer`] (flight recorder + latency histograms,
+//! configured through [`SchedulerConfig::trace`]): job lifecycle and
+//! chunk queue events, driver phase spans, and queue-wait/service-time
+//! histograms all flow through it, and [`JobHandle::trace`] /
+//! [`Prophet::telemetry`](crate::service::Prophet::telemetry) read them
+//! back. Tracing *observes* scheduling — no control path reads the
+//! recorder — so the determinism argument above is untouched by it; the
+//! default service-tier configuration records into a bounded ring. See
+//! `docs/OBSERVABILITY.md` for the event taxonomy and clock model.
+//!
+//! [`JobHandle::trace`]: crate::job::JobHandle::trace
 //! [`Engine::evaluate_batch`]: crate::engine::Engine::evaluate_batch
 
 use std::cmp::Ordering as CmpOrdering;
@@ -97,6 +110,7 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 use prophet_fingerprint::{Fingerprint, Mapping};
+use prophet_mc::trace::{self, TraceConfig, TraceEventKind, Tracer, NO_CHUNK};
 use prophet_mc::{BasisHit, InflightGuard, ParamPoint, SampleSet, TryClaim, WaitHandle};
 
 use crate::engine::{Engine, EvalOutcome};
@@ -136,6 +150,15 @@ pub struct SchedulerConfig {
     /// injects seeded yields and chunk-pop shuffles at the scheduler's
     /// preemption points. `None` (the default) runs undisturbed.
     pub chaos_seed: Option<u64>,
+    /// Flight-recorder configuration for the pool's [`Tracer`]. The
+    /// service tier defaults to a bounded ring
+    /// ([`TraceConfig::ring`]) so [`JobHandle::trace`] and
+    /// [`Prophet::telemetry`](crate::service::Prophet::telemetry) work
+    /// out of the box; set [`TraceConfig::Off`] to compile every
+    /// recording call down to an `Option::None` check.
+    ///
+    /// [`JobHandle::trace`]: crate::job::JobHandle::trace
+    pub trace: TraceConfig,
 }
 
 impl SchedulerConfig {
@@ -160,6 +183,7 @@ impl Default for SchedulerConfig {
             workers: 0,
             chunk_points: DEFAULT_CHUNK_POINTS,
             chaos_seed: None,
+            trace: TraceConfig::ring(),
         }
     }
 }
@@ -217,6 +241,16 @@ struct QueuedTask {
     job: u64,
     seq: u64,
     run: Box<dyn FnOnce() + Send>,
+}
+
+/// Queue-wait histogram lane for a priority (index into
+/// [`TraceTelemetry::queue_wait`](prophet_mc::TraceTelemetry::queue_wait)).
+fn lane_of(priority: Priority) -> usize {
+    match priority {
+        Priority::High => 0,
+        Priority::Normal => 1,
+        Priority::Low => 2,
+    }
 }
 
 impl QueuedTask {
@@ -307,6 +341,9 @@ pub(crate) struct Inner {
     next_job: AtomicU64,
     /// Chaos-mode perturbation source; `None` outside chaos runs.
     chaos: Option<Chaos>,
+    /// The pool's flight recorder (shared with every [`JobCore`] and the
+    /// slot stores). Observation only: no scheduling decision reads it.
+    tracer: Tracer,
 }
 
 impl Inner {
@@ -333,6 +370,7 @@ impl Inner {
         for task in tasks {
             state.chunks.push(task);
         }
+        self.tracer.gauge_queue_depth(state.chunks.len());
         self.ready.notify_all();
     }
 
@@ -352,6 +390,7 @@ impl Inner {
                         return;
                     }
                     if let Some(task) = state.pop_chunk(self.chaos.as_ref()) {
+                        self.tracer.gauge_queue_depth(state.chunks.len());
                         break task;
                     }
                     state = self.ready.wait(state);
@@ -415,11 +454,19 @@ impl Scheduler {
             workers,
             next_job: AtomicU64::new(0),
             chaos: config.chaos_seed.map(Chaos::new),
+            tracer: Tracer::new(config.trace),
         });
         let handles = (0..workers)
-            .map(|_| {
+            .map(|i| {
                 let inner = Arc::clone(&inner);
-                std::thread::spawn(move || worker_loop(&inner))
+                std::thread::spawn(move || {
+                    // Stamp this thread's events with its pool index and
+                    // route its lock-wait edges (`--features check`) into
+                    // the pool's recorder.
+                    trace::set_worker(i as u32);
+                    trace::install(&inner.tracer);
+                    worker_loop(&inner)
+                })
             })
             .collect();
         Scheduler {
@@ -442,6 +489,12 @@ impl Scheduler {
     /// Jobs submitted and not yet finished (running or queued).
     pub fn active_jobs(&self) -> usize {
         self.inner.state.lock().active_jobs
+    }
+
+    /// The pool's flight recorder (shared with every job handle and slot
+    /// store).
+    pub(crate) fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
     }
 
     /// Block until every submitted job has finished — the way to observe
@@ -501,7 +554,11 @@ impl Scheduler {
             events: OrderedMutex::new(JOB_EVENTS, Some(tx)),
             engine,
             baseline,
+            tracer: self.inner.tracer.clone(),
         });
+        self.inner
+            .tracer
+            .instant(TraceEventKind::JobSubmit, id, NO_CHUNK);
         let driver_core = Arc::clone(&core);
         let driver_inner = Arc::clone(&self.inner);
         let task = QueuedTask {
@@ -509,6 +566,9 @@ impl Scheduler {
             job: id,
             seq: 0,
             run: Box::new(move || {
+                driver_inner
+                    .tracer
+                    .instant(TraceEventKind::JobStart, id, NO_CHUNK);
                 // A panicking driver must still fail the job: without this
                 // guard, `wait()` would block forever (the event sender
                 // never drops) and `wait_idle` would never settle.
@@ -553,6 +613,7 @@ fn worker_loop(inner: &Inner) {
             let mut state = inner.state.lock();
             loop {
                 if let Some(task) = state.pop_any(inner.chaos.as_ref()) {
+                    inner.tracer.gauge_queue_depth(state.chunks.len());
                     break task;
                 }
                 if state.shutdown {
@@ -564,7 +625,9 @@ fn worker_loop(inner: &Inner) {
         if let Some(chaos) = &inner.chaos {
             chaos.maybe_yield();
         }
+        inner.tracer.worker_busy();
         run_task(task);
+        inner.tracer.worker_idle();
     }
 }
 
@@ -594,6 +657,9 @@ impl Drop for DriverDone {
 /// Mark the job finished (whatever the outcome), close its event stream
 /// so the handle's iterator terminates, and wake idle-waiters.
 fn finish_job(inner: &Inner, core: &JobCore) {
+    inner
+        .tracer
+        .instant(TraceEventKind::JobFinish, core.id, NO_CHUNK);
     core.finished.store(true, Ordering::Release);
     core.close_events();
     let mut state = inner.state.lock();
@@ -750,9 +816,20 @@ where
     }
     let remaining = Arc::new(AtomicUsize::new(chunks.len()));
 
+    // One enqueue stamp for the whole dispatch (they go into the queue in
+    // one push). Read *before* the cancel check: if the flag read false,
+    // the stamp precedes any `job_cancel` marker — so a cancelled job's
+    // sorted trace never shows chunk traffic after its cancel event.
+    let enqueued = inner.tracer.now();
+    let dispatch_cancelled = core.is_cancelled();
     let mut tasks = Vec::with_capacity(chunks.len());
     for chunk in chunks {
         let seq = core.chunks_dispatched.fetch_add(1, Ordering::AcqRel) + 1;
+        if !dispatch_cancelled {
+            inner
+                .tracer
+                .instant_at(TraceEventKind::ChunkEnqueue, core.id, seq, enqueued);
+        }
         let guard = ChunkDone {
             remaining: Arc::clone(&remaining),
             core: Arc::clone(core),
@@ -770,18 +847,35 @@ where
                 if let Some(chaos) = &done.inner.chaos {
                     chaos.maybe_yield();
                 }
+                // Clock before flag: a chunk that passes the check below
+                // anchors all its events at `t0`, which then provably
+                // precedes any cancel marker (see `docs/OBSERVABILITY.md`).
+                let t0 = done.inner.tracer.now();
                 // Cancellation is chunk-granular: the flag is consulted
                 // once, before any work — an in-flight chunk always
                 // finishes every point it started.
                 if core.is_cancelled() {
                     return;
                 }
+                done.inner
+                    .tracer
+                    .instant_at(TraceEventKind::ChunkDequeue, core.id, seq, t0);
+                done.inner
+                    .tracer
+                    .record_queue_wait(lane_of(core.priority), t0.saturating_sub(enqueued));
                 let computed: Vec<(usize, T)> =
                     chunk.iter().map(|(i, item)| (*i, f(item))).collect();
-                let mut slots = results.lock();
-                for (i, value) in computed {
-                    slots[i] = Some(value);
+                {
+                    let mut slots = results.lock();
+                    for (i, value) in computed {
+                        slots[i] = Some(value);
+                    }
                 }
+                done.inner
+                    .tracer
+                    .span(TraceEventKind::ChunkRun, core.id, seq, t0);
+                let service = done.inner.tracer.now().saturating_sub(t0);
+                done.inner.tracer.record_chunk_service(service);
             }),
         });
     }
@@ -863,12 +957,16 @@ fn run_batch(
     let mut to_simulate: Vec<usize> = Vec::new();
     if use_fingerprints && !owned.is_empty() {
         let phase = Stopwatch::start();
+        let t_probe = inner.tracer.now();
         let probe_engine = Arc::clone(engine);
         let owned_points: Vec<ParamPoint> = owned.iter().map(|&i| unique[i].clone()).collect();
         let probe_chunk = inner.phase_chunk(owned_points.len());
         let probe_outputs = run_chunked(inner, core, owned_points, probe_chunk, move |p| {
             probe_engine.probe_fingerprints(p)
         });
+        inner
+            .tracer
+            .span(TraceEventKind::PhaseProbe, core.id, NO_CHUNK, t_probe);
         // A cancel during probing published nothing: every claim is simply
         // released (guards drop on return) and waiters recover.
         let Some(owned_probes) = collect_phase(core, probe_outputs)? else {
@@ -876,6 +974,7 @@ fn run_batch(
         };
         engine.bump(|m| m.batch_probes += owned.len() as u64);
 
+        let t_match = inner.tracer.now();
         let match_start = Stopwatch::start();
         let (hits, scan) = store.find_correlated_batch_scan(
             &owned_probes,
@@ -885,6 +984,12 @@ fn run_batch(
             engine.config().match_index,
         );
         let match_elapsed = match_start.elapsed();
+        inner
+            .tracer
+            .span(TraceEventKind::PhaseMatch, core.id, NO_CHUNK, t_match);
+        inner
+            .tracer
+            .record_match_scan(match_elapsed.as_nanos() as u64);
         engine.bump(|m| {
             m.fingerprint_time += match_elapsed;
             m.match_scan_nanos += match_elapsed.as_nanos() as u64;
@@ -905,6 +1010,7 @@ fn run_batch(
         }
         let remap_engine = Arc::clone(engine);
         let remap_chunk = inner.phase_chunk(hit_items.len());
+        let t_remap = inner.tracer.now();
         let remapped: Vec<Option<ProphetResult<RemappedHit>>> = run_chunked(
             inner,
             core,
@@ -917,6 +1023,10 @@ fn run_batch(
                 Ok((*i, mapped, hit.worlds, hit.source.clone(), exact))
             },
         );
+        inner
+            .tracer
+            .span(TraceEventKind::PhaseRemap, core.id, NO_CHUNK, t_remap);
+        let t_publish = inner.tracer.now();
         let mut cancelled_mid_remap = false;
         for slot in remapped {
             match slot {
@@ -948,6 +1058,9 @@ fn run_batch(
                 }
             }
         }
+        inner
+            .tracer
+            .span(TraceEventKind::PhasePublish, core.id, NO_CHUNK, t_publish);
         engine.bump(|m| m.probe_nanos += phase.elapsed_nanos());
         if cancelled_mid_remap || core.is_cancelled() {
             return Ok(BatchOut::Cancelled);
@@ -981,6 +1094,7 @@ fn run_batch(
         } else {
             inner.phase_chunk(miss_items.len())
         };
+        let t_sim = inner.tracer.now();
         let simulated = run_chunked(
             inner,
             core,
@@ -988,6 +1102,10 @@ fn run_batch(
             sim_chunk,
             move |(_, p): &(usize, ParamPoint)| sim_engine.simulate_full(p, world_parallel),
         );
+        inner
+            .tracer
+            .span(TraceEventKind::PhaseSimulate, core.id, NO_CHUNK, t_sim);
+        let t_publish = inner.tracer.now();
         let mut cancelled_mid_sim = false;
         for (&i, slot) in to_simulate.iter().zip(simulated) {
             match slot {
@@ -1017,6 +1135,9 @@ fn run_batch(
                 }
             }
         }
+        inner
+            .tracer
+            .span(TraceEventKind::PhasePublish, core.id, NO_CHUNK, t_publish);
         engine.bump(|m| m.sim_nanos += phase.elapsed_nanos());
         if cancelled_mid_sim {
             return Ok(BatchOut::Cancelled);

@@ -40,10 +40,12 @@ use prophet_vg::VgRegistry;
 use crate::engine::{Engine, EngineConfig};
 use crate::error::{ProphetError, ProphetResult};
 use crate::job::{JobHandle, JobKind, JobSpec};
+use crate::obs::TelemetrySnapshot;
 use crate::offline::{OfflineOptimizer, SweepPlan};
 use crate::scenario::Scenario;
 use crate::scheduler::{Scheduler, SchedulerConfig};
 use crate::session::OnlineSession;
+use crate::trace::{TraceConfig, TraceEvent};
 
 /// The default exploration strategy: [`PriorityGuide`] with neighbour
 /// prefetch, as the paper's online mode describes.
@@ -138,6 +140,17 @@ impl ProphetBuilder {
         self
     }
 
+    /// Configure the service's flight recorder (see `docs/OBSERVABILITY.md`).
+    /// Defaults to a bounded ring ([`TraceConfig::ring`]), so
+    /// [`JobHandle::trace`] and [`Prophet::telemetry`] work out of the
+    /// box; pass [`TraceConfig::Off`] to make every recording site a
+    /// no-op. Shorthand for setting [`SchedulerConfig::trace`] through
+    /// [`ProphetBuilder::scheduler`].
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.scheduler.trace = trace;
+        self
+    }
+
     /// Plug in an exploration strategy: the factory builds one fresh
     /// [`Guide`] per online session (guides are stateful and
     /// session-local). Defaults to the paper's priority queue with
@@ -159,14 +172,6 @@ impl ProphetBuilder {
                 "basis_capacity must be positive".into(),
             ));
         }
-        let mut slots: HashMap<String, Slot> = HashMap::with_capacity(self.scenarios.len());
-        for (name, scenario) in self.scenarios {
-            if slots.contains_key(&name) {
-                return Err(ProphetError::DuplicateScenario { name });
-            }
-            let store = SharedBasisStore::new(self.config.basis_capacity);
-            slots.insert(name, Slot { scenario, store });
-        }
         let registry = self
             .registry
             .unwrap_or_else(|| Arc::new(prophet_models::full_registry()));
@@ -185,6 +190,18 @@ impl ProphetBuilder {
             },
             ..self.scheduler
         }));
+        // Stores share the pool's recorder so claim/wait/publish/evict
+        // markers and in-flight wait latencies land in the same trace as
+        // the scheduler events.
+        let mut slots: HashMap<String, Slot> = HashMap::with_capacity(self.scenarios.len());
+        for (name, scenario) in self.scenarios {
+            if slots.contains_key(&name) {
+                return Err(ProphetError::DuplicateScenario { name });
+            }
+            let store = SharedBasisStore::new(self.config.basis_capacity)
+                .with_tracer(scheduler.tracer().clone());
+            slots.insert(name, Slot { scenario, store });
+        }
         Ok(Prophet {
             registry,
             config: self.config,
@@ -320,6 +337,31 @@ impl Prophet {
     /// [`wait_idle`](Scheduler::wait_idle) for detached jobs).
     pub fn scheduler(&self) -> &Scheduler {
         &self.scheduler
+    }
+
+    /// One coherent observation of the running service: the flight
+    /// recorder's latency histograms (chunk service time, queue wait by
+    /// priority, match scans, in-flight store waits) and gauges (queue
+    /// depth + watermark, busy workers), plus pool size and the open
+    /// in-flight claims summed across every scenario's shared store.
+    /// Cheap and non-blocking for job progress — all sources are atomics
+    /// or leaf locks. Histograms are all-zero when the service was built
+    /// with [`TraceConfig::Off`]. See `docs/OBSERVABILITY.md`.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            trace: self.scheduler.tracer().telemetry(),
+            workers_total: self.scheduler.workers(),
+            inflight_claims: self.slots.values().map(|s| s.store.inflight_len()).sum(),
+        }
+    }
+
+    /// Every event in the service's flight-recorder ring, merged across
+    /// shards and sorted by timestamp — the input
+    /// [`chrome_trace_json`](crate::obs::chrome_trace_json) expects.
+    /// Empty under [`TraceConfig::Off`]; bounded by the configured ring
+    /// capacity (oldest events overwritten first).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.scheduler.tracer().events()
     }
 
     /// Expand a refresh spec into its graph-axis batch, validating the

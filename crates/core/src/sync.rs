@@ -25,6 +25,7 @@
 //! | 60 | [`CHUNK_RESULTS`] — a chunked phase's result slots | this module |
 //! | 70 | [`ENGINE_METRICS`] — the engine's metrics ledger | this module |
 //! | 80 | [`SCHEDULER_HANDLES`] — worker join handles (drop only) | this module |
+//! | 90 | [`TRACE_RING`] — flight-recorder ring shards | `prophet_mc::trace` |
 //!
 //! The assignments encode the real nesting: claim/publish/clear hold the
 //! in-flight table (30) across slot-state (40) and entry-table (50)
@@ -32,13 +33,19 @@
 //! with nothing nested inside — so any rank would do, but giving each a
 //! distinct slot means an *accidental* future nesting is either proven
 //! harmless (ascending) or caught (inverted), instead of silently
-//! becoming a deadlock candidate. `docs/CONCURRENCY.md` carries the
-//! protocol-level discussion.
+//! becoming a deadlock candidate. [`TRACE_RING`] is deliberately the
+//! highest rank: recording a trace event must be legal while holding
+//! *any* other lock (events are emitted from deep inside the scheduler
+//! and store), and nothing may nest inside a ring shard. The
+//! `--features check` lock-wait hook skips ranks at or above it so the
+//! recorder never observes itself. `docs/CONCURRENCY.md` carries the
+//! protocol-level discussion; `docs/OBSERVABILITY.md` the recorder's.
 
 pub use prophet_mc::sync::{
     rank, ClaimLedger, LockRank, OrderedCondvar, OrderedMutex, OrderedMutexGuard, OrderedReadGuard,
     OrderedRwLock, OrderedWriteGuard,
 };
+pub use prophet_mc::trace::TRACE_RING;
 
 /// The scheduler's queue state (`drivers`/`chunks` heaps, shutdown flag)
 /// and its `ready` condvar. Held only to push/pop tasks and notify —
@@ -81,6 +88,7 @@ mod tests {
             CHUNK_RESULTS,
             ENGINE_METRICS,
             SCHEDULER_HANDLES,
+            TRACE_RING,
         ];
         for pair in table.windows(2) {
             assert!(

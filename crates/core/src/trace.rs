@@ -1,0 +1,18 @@
+//! Flight-recorder tracing — re-exported from [`prophet_mc::trace`].
+//!
+//! The recorder lives in `prophet-mc` so the shared basis store and the
+//! rank-ordered lock wrappers (both below this crate in the dependency
+//! order) can record into it; everything user-facing — configuring it via
+//! [`SchedulerConfig::trace`](crate::scheduler::SchedulerConfig::trace),
+//! reading a job's events back via
+//! [`JobHandle::trace`](crate::job::JobHandle::trace), snapshotting
+//! service telemetry via
+//! [`Prophet::telemetry`](crate::service::Prophet::telemetry) — goes
+//! through this crate. See `docs/OBSERVABILITY.md` for the event
+//! taxonomy, the clock/determinism argument, and the histogram bucket
+//! table.
+
+pub use prophet_mc::trace::{
+    LatencyHistogram, TraceConfig, TraceEvent, TraceEventKind, TraceTelemetry, Tracer, NO_CHUNK,
+    NO_JOB, NO_WORKER,
+};

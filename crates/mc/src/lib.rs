@@ -18,6 +18,9 @@
 //!   detection, and histograms.
 //! * [`series`] — per-X-axis series construction for the `GRAPH OVER`
 //!   directive.
+//! * [`trace`] — the flight recorder and latency-histogram telemetry
+//!   shared with the scheduler tier (re-exported as
+//!   `fuzzy_prophet::trace`; see `docs/OBSERVABILITY.md`).
 
 pub mod aggregate;
 pub mod batch;
@@ -27,6 +30,7 @@ pub mod materialize;
 pub mod series;
 pub mod store;
 pub mod sync;
+pub mod trace;
 
 pub use aggregate::{Histogram, SampleStats, Welford};
 pub use batch::{simulate_point, simulate_point_block, simulate_point_columnar, SampleSet};
@@ -37,4 +41,7 @@ pub use series::{Series, SeriesPoint};
 pub use store::{
     BasisHit, ColumnSamples, InflightGuard, MatchScanStats, SharedBasisStore, StoreStatsSnapshot,
     TryClaim, WaitHandle,
+};
+pub use trace::{
+    LatencyHistogram, TraceConfig, TraceEvent, TraceEventKind, TraceTelemetry, Tracer,
 };

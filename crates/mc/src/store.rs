@@ -49,6 +49,7 @@ use crate::sync::{
     rank, ClaimLedger, OrderedCondvar, OrderedMutex, OrderedReadGuard, OrderedRwLock,
     OrderedWriteGuard,
 };
+use crate::trace::{TraceEventKind, Tracer, NO_CHUNK, NO_JOB};
 
 /// Per-column Monte Carlo samples for one parameter point.
 pub type ColumnSamples = HashMap<String, Vec<f64>>;
@@ -235,6 +236,10 @@ impl InflightGuard {
             }
         }
         self.store.inflight.ledger.on_released(&self.point);
+        drop(slots);
+        self.store
+            .tracer
+            .instant(TraceEventKind::StorePublish, NO_JOB, NO_CHUNK);
         true
     }
 
@@ -271,6 +276,7 @@ impl Drop for InflightGuard {
 pub struct WaitHandle {
     slot: Arc<PendingSlot>,
     stats: Arc<StoreStats>,
+    tracer: Tracer,
 }
 
 impl WaitHandle {
@@ -279,19 +285,27 @@ impl WaitHandle {
     /// the simulation was abandoned (owner failure or a store clear) — the
     /// caller should re-claim and, if it becomes the owner, re-simulate.
     pub fn wait(self) -> Option<(Arc<ColumnSamples>, usize)> {
-        let mut state = self.slot.state.lock();
-        loop {
-            match &*state {
-                SlotState::Running => {
-                    state = self.slot.cv.wait(state);
+        let start = self.tracer.now();
+        let result = {
+            let mut state = self.slot.state.lock();
+            loop {
+                match &*state {
+                    SlotState::Running => {
+                        state = self.slot.cv.wait(state);
+                    }
+                    SlotState::Done { samples, worlds } => {
+                        self.stats.inflight_waits.fetch_add(1, Ordering::Relaxed);
+                        break Some((Arc::clone(samples), *worlds));
+                    }
+                    SlotState::Cancelled => break None,
                 }
-                SlotState::Done { samples, worlds } => {
-                    self.stats.inflight_waits.fetch_add(1, Ordering::Relaxed);
-                    return Some((Arc::clone(samples), *worlds));
-                }
-                SlotState::Cancelled => return None,
             }
-        }
+        };
+        self.tracer
+            .span(TraceEventKind::StoreWait, NO_JOB, NO_CHUNK, start);
+        self.tracer
+            .record_store_wait(self.tracer.now().saturating_sub(start));
+        result
     }
 }
 
@@ -320,6 +334,10 @@ pub struct SharedBasisStore {
     inflight: Arc<Inflight>,
     stats: Arc<StoreStats>,
     capacity: usize,
+    /// Flight recorder for claim/wait/publish/evict events; disabled
+    /// ([`Tracer::off`]) unless attached via
+    /// [`SharedBasisStore::with_tracer`]. Events observe, never decide.
+    tracer: Tracer,
 }
 
 #[derive(Default)]
@@ -557,7 +575,23 @@ impl SharedBasisStore {
             inflight: Arc::new(Inflight::default()),
             stats: Arc::new(StoreStats::default()),
             capacity,
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attach a flight recorder: claim, in-flight wait, publish, and
+    /// eviction events are recorded against it (plus the store-wait
+    /// latency histogram). The service facade attaches its scheduler's
+    /// tracer so store and scheduler events share one timeline.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached flight recorder (disabled unless
+    /// [`SharedBasisStore::with_tracer`] was used).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Maximum number of entries before eviction.
@@ -653,6 +687,8 @@ impl SharedBasisStore {
     /// * [`TryClaim::Pending`] — another session owns it; block on the
     ///   [`WaitHandle`] to reuse its result.
     pub fn try_claim(&self, point: &ParamPoint, min_worlds: usize) -> TryClaim {
+        self.tracer
+            .instant(TraceEventKind::StoreClaim, NO_JOB, NO_CHUNK);
         let mut slots = self.inflight.slots.lock();
         // Exact check under the in-flight lock so a concurrent complete()
         // cannot publish between the store check and slot registration.
@@ -671,6 +707,7 @@ impl SharedBasisStore {
             Entry::Occupied(e) => TryClaim::Pending(WaitHandle {
                 slot: Arc::clone(e.get()),
                 stats: Arc::clone(&self.stats),
+                tracer: self.tracer.clone(),
             }),
             Entry::Vacant(v) => {
                 let slot = Arc::new(PendingSlot::new());
@@ -721,6 +758,8 @@ impl SharedBasisStore {
                     if evicted.matchable {
                         inner.order.retain(|p| *p != victim);
                     }
+                    self.tracer
+                        .instant(TraceEventKind::StoreEvict, NO_JOB, NO_CHUNK);
                 }
             }
         }

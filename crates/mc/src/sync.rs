@@ -172,10 +172,28 @@ impl<T> OrderedMutex<T> {
 
     /// Acquire, checking rank order before blocking (a violation panics
     /// with both lock names instead of deadlocking).
+    ///
+    /// In checked builds the acquisition first tries the lock without
+    /// blocking; on contention the wait is reported to the thread's
+    /// installed tracer as a [`crate::trace::TraceEventKind::LockWait`]
+    /// span — the flight recorder's lock-wait edges. Unchecked builds
+    /// go straight to the blocking acquire.
     pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
         let token = RankToken::acquire(self.rank);
+        #[cfg(any(test, feature = "check"))]
+        let wait = match self.inner.try_lock() {
+            Ok(inner) => return OrderedMutexGuard { inner, token },
+            Err(std::sync::TryLockError::WouldBlock) => crate::trace::lock_wait_start(self.rank),
+            // Poisoned: fall through to the blocking acquire, which
+            // reports the poison with the lock's name.
+            Err(std::sync::TryLockError::Poisoned(_)) => None,
+        };
         match self.inner.lock() {
-            Ok(inner) => OrderedMutexGuard { inner, token },
+            Ok(inner) => {
+                #[cfg(any(test, feature = "check"))]
+                crate::trace::lock_wait_end(self.rank, wait);
+                OrderedMutexGuard { inner, token }
+            }
             Err(_) => poisoned(self.rank),
         }
     }

@@ -48,7 +48,7 @@ fn blocking_reference() -> SweepResult {
     (report, outcomes)
 }
 
-fn chaotic_service(workers: usize, seed: u64) -> Prophet {
+fn chaotic_service(workers: usize, seed: u64, trace: TraceConfig) -> Prophet {
     Prophet::builder()
         .scenario_sql("pricing", PRICING_WHATIF)
         .unwrap()
@@ -60,6 +60,7 @@ fn chaotic_service(workers: usize, seed: u64) -> Prophet {
                 // Tiny chunks: the most scheduling decisions per job, so
                 // each seed has the most opportunities to reorder.
                 chunk_points: 2,
+                trace,
                 ..SchedulerConfig::default()
             }
             .perturb(seed),
@@ -112,21 +113,57 @@ fn assert_bit_identical(label: &str, perturbed: &SweepResult, reference: &SweepR
     assert_eq!(a.batch_probes, b.batch_probes, "{label}: batch probes");
 }
 
-/// ≥32 seeds × {1, 8} workers: every perturbed schedule reproduces the
-/// blocking sweep bit-for-bit, with zero lock-rank or claim-ledger
-/// firings (any firing panics and fails this test under `check`).
+/// ≥32 seeds × {1, 8} workers, **with the flight recorder armed** (ring
+/// tracing, the service default): every perturbed schedule reproduces
+/// the blocking sweep bit-for-bit, with zero lock-rank or claim-ledger
+/// firings (any firing panics and fails this test under `check`). The
+/// recorder observing every queue pop, chunk run, and store publish must
+/// not perturb a single answer, source choice, or counter — tracing
+/// observes, never decides (`docs/OBSERVABILITY.md`).
 #[test]
 fn chaos_sweep_is_bit_identical_across_32_seeds_and_worker_counts() {
     let reference = blocking_reference();
     for seed in 0..32u64 {
         for workers in [1usize, 8] {
-            let prophet = chaotic_service(workers, seed);
+            let prophet = chaotic_service(workers, seed, TraceConfig::ring());
             let perturbed = run_perturbed_sweep(&prophet);
             assert_bit_identical(
                 &format!("seed {seed}, {workers} workers"),
                 &perturbed,
                 &reference,
             );
+            assert!(
+                !prophet.trace_events().is_empty(),
+                "seed {seed}, {workers} workers: the lane must actually trace"
+            );
+        }
+    }
+}
+
+/// The `Off` side of the tracing differential: a sample of perturbed
+/// schedules with the recorder disabled still matches the blocking
+/// reference bit-for-bit, and the disabled recorder is truly inert —
+/// zero events, zero histogram observations, zero ring accounting. (That
+/// `Off` also allocates no ring at all is pinned by the unit test in
+/// `prophet_mc::trace`.)
+#[test]
+fn chaos_sweep_with_tracing_off_is_identical_and_records_nothing() {
+    let reference = blocking_reference();
+    for seed in [0u64, 7, 13, 21] {
+        for workers in [1usize, 8] {
+            let prophet = chaotic_service(workers, seed, TraceConfig::Off);
+            let perturbed = run_perturbed_sweep(&prophet);
+            assert_bit_identical(
+                &format!("off, seed {seed}, {workers} workers"),
+                &perturbed,
+                &reference,
+            );
+            assert!(prophet.trace_events().is_empty(), "seed {seed}: no events");
+            let telemetry = prophet.telemetry();
+            assert_eq!(telemetry.trace.events_recorded, 0, "seed {seed}");
+            assert_eq!(telemetry.trace.events_dropped, 0, "seed {seed}");
+            assert_eq!(telemetry.trace.chunk_service.count(), 0, "seed {seed}");
+            assert_eq!(telemetry.trace.max_queue_depth, 0, "seed {seed}");
         }
     }
 }
@@ -141,7 +178,7 @@ fn chaos_sweep_is_bit_identical_across_32_seeds_and_worker_counts() {
 fn chaos_concurrent_jobs_share_the_store_correctly() {
     let reference = blocking_reference();
     for seed in [3u64, 17, 29, 31, 40, 41, 54, 63] {
-        let prophet = chaotic_service(8, seed);
+        let prophet = chaotic_service(8, seed, TraceConfig::ring());
         let first = prophet
             .submit(JobSpec::sweep("pricing").with_priority(Priority::Low))
             .unwrap();

@@ -1,0 +1,221 @@
+//! Flight-recorder integration (tier 2).
+//!
+//! End-to-end checks of the observability surface added in 0.8: a traced
+//! sweep records the full event taxonomy in stamp order, a cancelled
+//! job's trace shows the cancel marker with no chunk work after it (the
+//! ordering argument in `docs/OBSERVABILITY.md`), `Prophet::telemetry`
+//! exposes monotone percentiles, the Chrome exporter emits structurally
+//! sound JSON, and turning tracing on or off never changes an answer.
+//! The chaos suite (`tests/chaos.rs`) carries the 32-seed differential;
+//! this file carries the recorder's own contracts.
+
+use fuzzy_prophet::prelude::*;
+use prophet_models::full_registry;
+use prophet_models::scenarios::PRICING_WHATIF;
+
+fn service(workers: usize, trace: TraceConfig) -> Prophet {
+    Prophet::builder()
+        .scenario_sql("pricing", PRICING_WHATIF)
+        .unwrap()
+        .registry(full_registry())
+        .config(EngineConfig {
+            worlds_per_point: 8,
+            threads: 2,
+            ..EngineConfig::default()
+        })
+        .scheduler(SchedulerConfig {
+            workers,
+            // Tiny chunks: many queue events per job.
+            chunk_points: 2,
+            trace,
+            ..SchedulerConfig::default()
+        })
+        .build()
+        .unwrap()
+}
+
+fn run_sweep(prophet: &Prophet) -> OfflineReport {
+    let report = prophet
+        .submit(JobSpec::sweep("pricing"))
+        .unwrap()
+        .wait()
+        .unwrap()
+        .into_sweep()
+        .unwrap();
+    // `wait()` returns on the Final event, which the driver emits just
+    // *before* its `finish_job` bookkeeping (the `job_finish` stamp and
+    // the active-job decrement). Quiesce so the trace is complete.
+    prophet.scheduler().wait_idle();
+    report
+}
+
+/// One traced sweep exercises every layer of the taxonomy: job
+/// lifecycle, chunk queue flow, driver phases, and store traffic — and
+/// the merged view comes back sorted by stamp.
+#[test]
+fn traced_sweep_records_the_full_event_taxonomy_in_stamp_order() {
+    let prophet = service(2, TraceConfig::ring());
+    let report = run_sweep(&prophet);
+    assert!(report.best.is_some());
+
+    let events = prophet.trace_events();
+    let has = |kind: TraceEventKind| events.iter().any(|e| e.kind == kind);
+    // Job lifecycle.
+    assert!(has(TraceEventKind::JobSubmit), "job_submit");
+    assert!(has(TraceEventKind::JobStart), "job_start");
+    assert!(has(TraceEventKind::JobFinish), "job_finish");
+    // Chunk queue flow.
+    assert!(has(TraceEventKind::ChunkEnqueue), "chunk_enqueue");
+    assert!(has(TraceEventKind::ChunkDequeue), "chunk_dequeue");
+    assert!(has(TraceEventKind::ChunkRun), "chunk_run");
+    // Driver phases (PRICING_WHATIF has stochastic columns, so the
+    // fingerprint phase runs, and a cold sweep must simulate).
+    assert!(has(TraceEventKind::PhaseProbe), "phase_probe");
+    assert!(has(TraceEventKind::PhaseMatch), "phase_match");
+    assert!(has(TraceEventKind::PhaseRemap), "phase_remap");
+    assert!(has(TraceEventKind::PhaseSimulate), "phase_simulate");
+    assert!(has(TraceEventKind::PhasePublish), "phase_publish");
+    // Store traffic.
+    assert!(has(TraceEventKind::StoreClaim), "store_claim");
+    assert!(has(TraceEventKind::StorePublish), "store_publish");
+
+    // The merged view is sorted by monotonic stamp.
+    assert!(
+        events.windows(2).all(|w| w[0].nanos <= w[1].nanos),
+        "events() must come back in stamp order"
+    );
+    // Chunk events carry their chunk sequence; lifecycle events do not.
+    assert!(events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::ChunkRun))
+        .all(|e| e.chunk != u64::MAX));
+}
+
+/// `Prophet::telemetry` snapshots the histograms and gauges: percentiles
+/// are monotone (by bucket-ceiling construction), counts reflect the
+/// work done, and the queue-depth watermark saw at least one queued
+/// chunk.
+#[test]
+fn telemetry_snapshot_is_monotone_and_populated() {
+    let prophet = service(2, TraceConfig::ring());
+    run_sweep(&prophet);
+
+    let snapshot = prophet.telemetry();
+    assert_eq!(snapshot.workers_total, 2);
+    assert_eq!(snapshot.inflight_claims, 0, "nothing in flight at rest");
+
+    let t = &snapshot.trace;
+    assert!(t.events_recorded > 0);
+    assert!(t.chunk_service.count() > 0, "chunk service observed");
+    assert!(t.chunk_service.p50() <= t.chunk_service.p95());
+    assert!(t.chunk_service.p95() <= t.chunk_service.p99());
+    let queue_waits: u64 = t.queue_wait.iter().map(LatencyHistogram::count).sum();
+    assert!(queue_waits > 0, "queue waits observed");
+    assert!(t.match_scan.count() > 0, "match-scan waves observed");
+    assert!(t.max_queue_depth > 0, "watermark saw a queued chunk");
+    assert_eq!(t.queue_depth, 0, "queue drained at rest");
+    // The driver's worker may still be unwinding its `run_task` frame
+    // when the last job finishes, so "idle" is eventual — only bound it.
+    assert!(t.workers_busy <= snapshot.workers_total);
+}
+
+/// A cancelled job's trace contains the cancel marker, and no chunk
+/// event of that job is stamped after it: every chunk anchors its events
+/// at a clock read taken *before* its cancel-flag check, and the marker
+/// is stamped *after* the flag is stored, so sorted by stamp the cancel
+/// is last among them.
+#[test]
+fn cancelled_job_trace_shows_cancel_after_all_chunk_work() {
+    let prophet = service(1, TraceConfig::ring());
+    let handle = prophet.submit(JobSpec::sweep("pricing")).unwrap();
+
+    let mut cancelled = false;
+    for event in handle.events() {
+        match event {
+            JobEvent::Chunk(_) => {
+                if !cancelled {
+                    cancelled = true;
+                    handle.cancel();
+                }
+            }
+            JobEvent::Cancelled | JobEvent::Final(_) => break,
+            JobEvent::Failed(err) => panic!("{err:?}"),
+        }
+    }
+    assert!(cancelled, "sweep must stream at least one chunk");
+
+    let events = handle.trace();
+    assert!(!events.is_empty());
+    assert!(events.iter().all(|e| e.job == handle.id()));
+    let cancel = events
+        .iter()
+        .find(|e| e.kind == TraceEventKind::JobCancel)
+        .expect("cancel marker recorded");
+    for event in &events {
+        if matches!(
+            event.kind,
+            TraceEventKind::ChunkEnqueue | TraceEventKind::ChunkDequeue | TraceEventKind::ChunkRun
+        ) {
+            assert!(
+                event.nanos <= cancel.nanos,
+                "{} (chunk {}) stamped {} ns after job_cancel",
+                event.kind.name(),
+                event.chunk,
+                event.nanos - cancel.nanos
+            );
+        }
+    }
+}
+
+/// The Chrome exporter output is structurally sound: a JSON array with
+/// per-worker `thread_name` metadata, complete (`X`) spans, and (`i`)
+/// instants, with braces and brackets balanced.
+#[test]
+fn chrome_export_is_structurally_sound() {
+    let prophet = service(2, TraceConfig::ring());
+    run_sweep(&prophet);
+
+    let json = chrome_trace_json(&prophet.trace_events());
+    assert!(json.trim_start().starts_with('['));
+    assert!(json.trim_end().ends_with(']'));
+    assert!(json.contains("\"thread_name\""), "worker rows named");
+    assert!(json.contains("\"ph\":\"X\""), "spans present");
+    assert!(json.contains("\"ph\":\"i\""), "instants present");
+    assert!(json.contains("\"name\":\"chunk_run\""));
+    assert!(json.contains("\"name\":\"job_finish\""));
+    let balance = |open: char, close: char| {
+        json.chars().filter(|&c| c == open).count() == json.chars().filter(|&c| c == close).count()
+    };
+    assert!(balance('{', '}'), "braces balanced");
+    assert!(balance('[', ']'), "brackets balanced");
+}
+
+/// Tracing observes, never decides: the same sweep with the recorder
+/// off, ringed, and ringed-tiny (constant overwrite pressure) lands on
+/// identical answers and identical work counters.
+#[test]
+fn tracing_configuration_never_changes_answers() {
+    let configs = [
+        TraceConfig::Off,
+        TraceConfig::ring(),
+        // A 16-slot ring drops almost everything — overwrite pressure
+        // must not leak into scheduling either.
+        TraceConfig::Ring { capacity: 16 },
+    ];
+    let reports: Vec<OfflineReport> = configs
+        .iter()
+        .map(|&trace| run_sweep(&service(2, trace)))
+        .collect();
+    for report in &reports[1..] {
+        assert_eq!(report.answers, reports[0].answers);
+        assert_eq!(report.best, reports[0].best);
+        assert_eq!(
+            report.metrics.points_simulated,
+            reports[0].metrics.points_simulated
+        );
+        assert_eq!(
+            report.metrics.worlds_simulated,
+            reports[0].metrics.worlds_simulated
+        );
+    }
+}
