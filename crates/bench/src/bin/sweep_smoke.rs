@@ -24,10 +24,18 @@
 //! sweep twice as concurrent Low/High-priority jobs on one shared
 //! scheduler pool (two scenario slots, two stores) and records the
 //! combined throughput plus each job's wall clock — the interleaving cost
-//! of the asynchronous job API. The concurrent run keeps its flight
+//! of the asynchronous job API — and the `scaling` ratio of that combined
+//! throughput over the blocking tier's, which this binary asserts is at
+//! least 1.0 (the sharded store's contention headroom). A sixth,
+//! `cold_start{…}`, section warms a service, persists its basis with
+//! `save_basis`, and times the same sweep on a fresh service restored
+//! via `load_basis` — `points_simulated` must be zero, so the row is the
+//! pure serve-from-snapshot trajectory. The concurrent run keeps its flight
 //! recorder armed: a `telemetry{…}` section reports its chunk-service
-//! and per-priority queue-wait percentiles plus the queue-depth
-//! watermark (`docs/OBSERVABILITY.md`), and `--trace-out PATH`
+//! and per-priority queue-wait percentiles, the queue-depth watermark
+//! (`docs/OBSERVABILITY.md`), and a `store{…}` block with the coherent
+//! hit/miss/eviction/entry counters summed over both slots' sharded
+//! stores, and `--trace-out PATH`
 //! additionally dumps that run's event ring as a `chrome://tracing` /
 //! Perfetto-loadable JSON file. The single-job sweeps run on the
 //! blocking tier (no tracer), so their recorded throughput is untouched
@@ -117,6 +125,9 @@ struct ConcurrentRun {
     lo_best: String,
     /// Quiesced post-run snapshot of the pool's flight recorder.
     telemetry: TelemetrySnapshot,
+    /// Store counters summed across the run's two scenario slots, read
+    /// through the coherent one-lock snapshot (`basis_stats_all`).
+    store: StoreStatsSnapshot,
     /// The run's full event ring, for `--trace-out`.
     trace_events: Vec<TraceEvent>,
 }
@@ -168,6 +179,19 @@ fn run_concurrent_once(worlds: usize, threads: usize) -> ConcurrentRun {
     // just before the driver's finish bookkeeping lands in the ring.
     prophet.scheduler().wait_idle();
     let points_total = hi_report.metrics.points_total() + lo_report.metrics.points_total();
+    let store =
+        prophet
+            .basis_stats_all()
+            .into_iter()
+            .fold(StoreStatsSnapshot::default(), |acc, (_, s)| {
+                StoreStatsSnapshot {
+                    hits: acc.hits + s.hits,
+                    misses: acc.misses + s.misses,
+                    inflight_waits: acc.inflight_waits + s.inflight_waits,
+                    evictions: acc.evictions + s.evictions,
+                    entries: acc.entries + s.entries,
+                }
+            });
     ConcurrentRun {
         wall_nanos: wall.as_nanos(),
         points_per_sec: points_total as f64 / wall.as_secs_f64().max(1e-9),
@@ -176,8 +200,79 @@ fn run_concurrent_once(worlds: usize, threads: usize) -> ConcurrentRun {
         hi_best: best_str(&hi_report),
         lo_best: best_str(&lo_report),
         telemetry: prophet.telemetry(),
+        store,
         trace_events: prophet.trace_events(),
     }
+}
+
+struct ColdStartRun {
+    /// Entries restored from the snapshot file.
+    entries: usize,
+    /// Snapshot file size on disk.
+    snapshot_bytes: u64,
+    wall_nanos: u128,
+    points_per_sec: f64,
+    points_simulated: u64,
+    points_cached: u64,
+    best: String,
+}
+
+fn snapshot_service(worlds: usize, threads: usize) -> Prophet {
+    Prophet::builder()
+        .scenario("figure2", figure2_coarse(0.05))
+        .registry(prophet_models::demo_registry())
+        .config(EngineConfig {
+            worlds_per_point: worlds,
+            threads,
+            ..EngineConfig::default()
+        })
+        .build()
+        .expect("service construction")
+}
+
+/// The cold-start-from-snapshot split: warm one service with a full
+/// sweep, persist its basis via `save_basis`, then time the same sweep
+/// on fresh services that `load_basis` the file — every point must come
+/// back from the restored store (`points_simulated == 0`), so the row
+/// records pure serve-from-basis throughput. Median of [`REPEATS`]
+/// restored sweeps; the warm-up and save run once.
+fn run_cold_start(worlds: usize, threads: usize) -> ColdStartRun {
+    let path = std::env::temp_dir().join("fuzzy_prophet_bench_basis.fpbs");
+    let warm = snapshot_service(worlds, threads);
+    warm.submit(JobSpec::sweep("figure2"))
+        .expect("submit warm sweep")
+        .wait()
+        .expect("warm sweep completes");
+    let entries = warm.save_basis("figure2", &path).expect("save basis");
+    let snapshot_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let mut runs: Vec<ColdStartRun> = (0..REPEATS)
+        .map(|_| {
+            let cold = snapshot_service(worlds, threads);
+            let loaded = cold.load_basis("figure2", &path).expect("load basis");
+            assert_eq!(loaded, entries, "every entry crosses the snapshot");
+            let t0 = Instant::now();
+            let report = cold
+                .submit(JobSpec::sweep("figure2"))
+                .expect("submit restored sweep")
+                .wait()
+                .and_then(JobOutput::into_sweep)
+                .expect("restored sweep completes");
+            let wall = t0.elapsed();
+            let points = report.metrics.points_total();
+            ColdStartRun {
+                entries,
+                snapshot_bytes,
+                wall_nanos: wall.as_nanos(),
+                points_per_sec: points as f64 / wall.as_secs_f64().max(1e-9),
+                points_simulated: report.metrics.points_simulated,
+                points_cached: report.metrics.points_cached,
+                best: best_str(&report),
+            }
+        })
+        .collect();
+    let _ = std::fs::remove_file(&path);
+    runs.sort_by_key(|r| r.wall_nanos);
+    runs.swap_remove(REPEATS / 2)
 }
 
 /// One histogram as a JSON object: count plus p50/p95/p99 bucket
@@ -247,6 +342,7 @@ fn main() {
     let columnar = sweeps.pop().expect("four sweep configurations");
     let vector = sweeps.pop().expect("four sweep configurations");
     let concurrent = run_concurrent(worlds, threads);
+    let cold = run_cold_start(worlds, threads);
 
     let m = &vector.metrics;
     let c = &columnar.metrics;
@@ -265,6 +361,9 @@ fn main() {
             0.0
         }
     };
+    // Two concurrent jobs on the shared pool versus one blocking sweep:
+    // below 1.0, interleaving would cost more than it delivers.
+    let scaling = concurrent.points_per_sec / vector.points_per_sec.max(1e-9);
 
     let json = format!(
         "{{\n  \"workload\": \"figure2_coarse\",\n  \"worlds_per_point\": {worlds},\n  \
@@ -286,11 +385,16 @@ fn main() {
          \"sim_nanos\": {},\n    \"wall_nanos\": {},\n    \"points_per_sec\": {:.1}\n  }},\n  \
          \"concurrent\": {{\n    \"jobs\": 2,\n    \"points_total\": {},\n    \
          \"wall_nanos\": {},\n    \"points_per_sec\": {:.1},\n    \
-         \"hi_wall_nanos\": {}\n  }},\n  \
+         \"scaling\": {scaling:.3},\n    \"hi_wall_nanos\": {}\n  }},\n  \
+         \"cold_start\": {{\n    \"entries\": {},\n    \"snapshot_bytes\": {},\n    \
+         \"wall_nanos\": {},\n    \"points_per_sec\": {:.1},\n    \
+         \"points_simulated\": {},\n    \"points_cached\": {}\n  }},\n  \
          \"telemetry\": {{\n    \"events_recorded\": {},\n    \
          \"events_dropped\": {},\n    \"max_queue_depth\": {},\n    \
          \"chunk_service\": {},\n    \"queue_wait\": {{\n      \
-         \"high\": {},\n      \"normal\": {},\n      \"low\": {}\n    }}\n  }}\n}}\n",
+         \"high\": {},\n      \"normal\": {},\n      \"low\": {}\n    }},\n    \
+         \"store\": {{\"hits\": {}, \"misses\": {}, \"inflight_waits\": {}, \
+         \"evictions\": {}, \"entries\": {}}}\n  }}\n}}\n",
         vector.groups,
         m.points_total(),
         m.points_simulated,
@@ -330,6 +434,12 @@ fn main() {
         concurrent.wall_nanos,
         concurrent.points_per_sec,
         concurrent.hi_wall_nanos,
+        cold.entries,
+        cold.snapshot_bytes,
+        cold.wall_nanos,
+        cold.points_per_sec,
+        cold.points_simulated,
+        cold.points_cached,
         concurrent.telemetry.trace.events_recorded,
         concurrent.telemetry.trace.events_dropped,
         concurrent.telemetry.trace.max_queue_depth,
@@ -337,6 +447,11 @@ fn main() {
         hist_json(&concurrent.telemetry.trace.queue_wait[0]),
         hist_json(&concurrent.telemetry.trace.queue_wait[1]),
         hist_json(&concurrent.telemetry.trace.queue_wait[2]),
+        concurrent.store.hits,
+        concurrent.store.misses,
+        concurrent.store.inflight_waits,
+        concurrent.store.evictions,
+        concurrent.store.entries,
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
     print!("{json}");
@@ -410,8 +525,9 @@ fn main() {
         "the exhaustive scan must not prune anything"
     );
     eprintln!(
-        "concurrent jobs: {} points across 2 sweeps in {:.1}ms ({:.1} points/sec); \
-         high-priority job returned after {:.1}ms ({:.0}% of total wall)",
+        "concurrent jobs: {} points across 2 sweeps in {:.1}ms ({:.1} points/sec, \
+         {scaling:.2}x the blocking tier); high-priority job returned after {:.1}ms \
+         ({:.0}% of total wall)",
         concurrent.points_total,
         concurrent.wall_nanos as f64 / 1e6,
         concurrent.points_per_sec,
@@ -425,6 +541,35 @@ fn main() {
     assert_eq!(
         concurrent.lo_best, vector.best,
         "the low-priority concurrent sweep must reach the single-job answer"
+    );
+    assert!(
+        scaling >= 1.0,
+        "two concurrent jobs must not run slower than one blocking sweep \
+         (scaling {scaling:.3}: {:.1} vs {:.1} points/sec)",
+        concurrent.points_per_sec,
+        vector.points_per_sec,
+    );
+    eprintln!(
+        "cold start: {} entries restored from a {}-byte snapshot; sweep served \
+         entirely from the basis in {:.1}ms ({:.1} points/sec, {} simulated / {} cached)",
+        cold.entries,
+        cold.snapshot_bytes,
+        cold.wall_nanos as f64 / 1e6,
+        cold.points_per_sec,
+        cold.points_simulated,
+        cold.points_cached,
+    );
+    assert!(
+        cold.entries > 0,
+        "the warm sweep must publish basis entries"
+    );
+    assert_eq!(
+        cold.points_simulated, 0,
+        "a sweep on the restored basis must simulate nothing"
+    );
+    assert_eq!(
+        cold.best, vector.best,
+        "the restored sweep must reach the single-job answer"
     );
     let t = &concurrent.telemetry.trace;
     eprintln!(

@@ -121,6 +121,12 @@ pub struct EngineConfig {
     pub root_seed: u64,
     /// Maximum basis-store entries before FIFO eviction.
     pub basis_capacity: usize,
+    /// Shards the basis store's entry table splits across
+    /// (`1..=`[`prophet_mc::MAX_SHARDS`]). More shards means concurrent
+    /// jobs touching disjoint points stop contending on one lock; answers,
+    /// eviction order, and snapshot bytes are identical at every shard
+    /// count. Only consulted by the store-creating constructors.
+    pub store_shards: usize,
     /// Worker threads for world-level parallelism within a point
     /// (deterministic: world→sample assignment is thread-independent).
     pub threads: usize,
@@ -138,6 +144,7 @@ impl Default for EngineConfig {
             common_random_numbers: true,
             root_seed: 0xF1_2E_9A_77,
             basis_capacity: 8_192,
+            store_shards: prophet_mc::store::DEFAULT_SHARDS,
             threads: 1,
         }
     }
@@ -198,7 +205,14 @@ impl Engine {
                 "basis_capacity must be positive".into(),
             ));
         }
-        let basis = SharedBasisStore::new(config.basis_capacity);
+        if !(1..=prophet_mc::MAX_SHARDS).contains(&config.store_shards) {
+            return Err(ProphetError::InvalidConfig(format!(
+                "store_shards must be in 1..={} (got {})",
+                prophet_mc::MAX_SHARDS,
+                config.store_shards
+            )));
+        }
+        let basis = SharedBasisStore::with_shards(config.basis_capacity, config.store_shards);
         Engine::with_basis_store(scenario, registry, config, basis)
     }
 

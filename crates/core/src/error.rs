@@ -10,6 +10,7 @@
 use std::fmt;
 
 use prophet_data::DataError;
+use prophet_mc::SnapshotError;
 use prophet_sql::error::SqlError;
 
 /// Result alias for the `fuzzy-prophet` crate.
@@ -80,6 +81,10 @@ pub enum ProphetError {
     /// consumers see [`JobEvent::Cancelled`](crate::job::JobEvent)
     /// instead).
     JobCancelled,
+    /// A basis snapshot could not be saved or restored (corrupt bytes,
+    /// version/capacity mismatch, or filesystem failure); the store is
+    /// left untouched on a failed restore.
+    Snapshot(SnapshotError),
     /// An internal invariant violation (a bug, not user error).
     Internal(String),
 }
@@ -170,6 +175,7 @@ impl fmt::Display for ProphetError {
             ProphetError::JobCancelled => {
                 write!(f, "job cancelled before completion")
             }
+            ProphetError::Snapshot(e) => write!(f, "basis snapshot error: {e}"),
             ProphetError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -180,8 +186,15 @@ impl std::error::Error for ProphetError {
         match self {
             ProphetError::Sql(e) => Some(e),
             ProphetError::Data(e) => Some(e),
+            ProphetError::Snapshot(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<SnapshotError> for ProphetError {
+    fn from(err: SnapshotError) -> Self {
+        ProphetError::Snapshot(err)
     }
 }
 

@@ -228,5 +228,5 @@ pub mod prelude {
         LatencyHistogram, TraceConfig, TraceEvent, TraceEventKind, TraceTelemetry, Tracer,
     };
     pub use prophet_mc::guide::{Guide, GuideFactory};
-    pub use prophet_mc::{ParamPoint, SharedBasisStore, StoreStatsSnapshot};
+    pub use prophet_mc::{ParamPoint, SharedBasisStore, SnapshotError, StoreStatsSnapshot};
 }

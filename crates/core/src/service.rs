@@ -172,6 +172,13 @@ impl ProphetBuilder {
                 "basis_capacity must be positive".into(),
             ));
         }
+        if !(1..=prophet_mc::MAX_SHARDS).contains(&self.config.store_shards) {
+            return Err(ProphetError::InvalidConfig(format!(
+                "store_shards must be in 1..={} (got {})",
+                prophet_mc::MAX_SHARDS,
+                self.config.store_shards
+            )));
+        }
         let registry = self
             .registry
             .unwrap_or_else(|| Arc::new(prophet_models::full_registry()));
@@ -198,8 +205,9 @@ impl ProphetBuilder {
             if slots.contains_key(&name) {
                 return Err(ProphetError::DuplicateScenario { name });
             }
-            let store = SharedBasisStore::new(self.config.basis_capacity)
-                .with_tracer(scheduler.tracer().clone());
+            let store =
+                SharedBasisStore::with_shards(self.config.basis_capacity, self.config.store_shards)
+                    .with_tracer(scheduler.tracer().clone());
             slots.insert(name, Slot { scenario, store });
         }
         Ok(Prophet {
@@ -455,6 +463,37 @@ impl Prophet {
     /// everywhere).
     pub fn clear_basis(&self, name: &str) -> ProphetResult<()> {
         self.slot(name).map(|s| s.store.clear())
+    }
+
+    /// Snapshot `name`'s shared basis store to `path` — records, stamps,
+    /// matchability, checksummed (see
+    /// [`SharedBasisStore::snapshot_bytes`]). Returns the number of
+    /// entries written. A later [`Prophet::load_basis`] (on this or a
+    /// freshly built service) warms the store from disk instead of
+    /// re-simulating its basis population.
+    pub fn save_basis(
+        &self,
+        name: &str,
+        path: impl AsRef<std::path::Path>,
+    ) -> ProphetResult<usize> {
+        let slot = self.slot(name)?;
+        Ok(slot.store.save_to(path)?)
+    }
+
+    /// Restore `name`'s shared basis store from a [`Prophet::save_basis`]
+    /// snapshot. Returns the number of restored entries. Corrupt or
+    /// truncated snapshots are rejected with
+    /// [`ProphetError::Snapshot`] before any store state changes; a
+    /// successful restore cancels in-flight claims (their owners' results
+    /// are discarded) and resets the store's counters, exactly like
+    /// [`Prophet::clear_basis`] followed by replaying the snapshot.
+    pub fn load_basis(
+        &self,
+        name: &str,
+        path: impl AsRef<std::path::Path>,
+    ) -> ProphetResult<usize> {
+        let slot = self.slot(name)?;
+        Ok(slot.store.load_from(path)?)
     }
 
     fn slot(&self, name: &str) -> ProphetResult<&Slot> {

@@ -21,15 +21,21 @@
 //! | 20 | [`JOB_EVENTS`] — a job's event-sender cell | this module |
 //! | 30 | [`rank::INFLIGHT_TABLE`] — store pending-claim table | `prophet_mc::sync` |
 //! | 40 | [`rank::INFLIGHT_SLOT`] — one pending slot's state cell | `prophet_mc::sync` |
-//! | 50 | [`rank::STORE_INNER`] — basis-entry table (`RwLock`) | `prophet_mc::sync` |
-//! | 60 | [`CHUNK_RESULTS`] — a chunked phase's result slots | this module |
-//! | 70 | [`ENGINE_METRICS`] — the engine's metrics ledger | this module |
+//! | 45 | [`rank::STORE_META`] — store stamp/index/eviction metadata | `prophet_mc::sync` |
+//! | 50–65 | [`rank::STORE_SHARDS`] — basis entry-table shards (`RwLock` each) | `prophet_mc::sync` |
+//! | 67 | [`rank::STORE_STATS`] — store counter ledger | `prophet_mc::sync` |
+//! | 70 | [`CHUNK_RESULTS`] — a chunked phase's result slots | this module |
+//! | 75 | [`ENGINE_METRICS`] — the engine's metrics ledger | this module |
 //! | 80 | [`SCHEDULER_HANDLES`] — worker join handles (drop only) | this module |
 //! | 90 | [`TRACE_RING`] — flight-recorder ring shards | `prophet_mc::trace` |
 //!
 //! The assignments encode the real nesting: claim/publish/clear hold the
-//! in-flight table (30) across slot-state (40) and entry-table (50)
-//! acquisitions; everything else is leaf-like — acquired and released
+//! in-flight table (30) across slot-state (40), store-meta (45), and
+//! shard (50–65) acquisitions; inserts hold the meta lock across their
+//! shard pair, and multi-shard paths (the match scan's all-shard read,
+//! restore/clear) take shards strictly by ascending index; the counter
+//! ledger (67) sits above every shard so accounting is legal while shard
+//! guards are held. Everything else is leaf-like — acquired and released
 //! with nothing nested inside — so any rank would do, but giving each a
 //! distinct slot means an *accidental* future nesting is either proven
 //! harmless (ascending) or caught (inverted), instead of silently
@@ -43,7 +49,7 @@
 
 pub use prophet_mc::sync::{
     rank, ClaimLedger, LockRank, OrderedCondvar, OrderedMutex, OrderedMutexGuard, OrderedReadGuard,
-    OrderedRwLock, OrderedWriteGuard,
+    OrderedRwLock, OrderedWriteGuard, MAX_SHARDS,
 };
 pub use prophet_mc::trace::TRACE_RING;
 
@@ -60,11 +66,11 @@ pub const JOB_EVENTS: LockRank = LockRank::new(20, "job event sender");
 /// A chunked phase's result slots (`run_chunked`): each chunk briefly
 /// stores its computed values; the driver drains it once the phase
 /// completes.
-pub const CHUNK_RESULTS: LockRank = LockRank::new(60, "chunk result slots");
+pub const CHUNK_RESULTS: LockRank = LockRank::new(70, "chunk result slots");
 
 /// The engine's [`EngineMetrics`](crate::metrics::EngineMetrics) ledger:
 /// a leaf bumped after each primitive completes.
-pub const ENGINE_METRICS: LockRank = LockRank::new(70, "engine metrics");
+pub const ENGINE_METRICS: LockRank = LockRank::new(75, "engine metrics");
 
 /// The scheduler's worker join handles, taken only during `Drop`.
 pub const SCHEDULER_HANDLES: LockRank = LockRank::new(80, "scheduler worker handles");
@@ -84,12 +90,20 @@ mod tests {
             JOB_EVENTS,
             rank::INFLIGHT_TABLE,
             rank::INFLIGHT_SLOT,
-            rank::STORE_INNER,
+            rank::STORE_META,
+            rank::STORE_SHARDS[0],
+            rank::STORE_SHARDS[MAX_SHARDS - 1],
+            rank::STORE_STATS,
             CHUNK_RESULTS,
             ENGINE_METRICS,
             SCHEDULER_HANDLES,
             TRACE_RING,
         ];
+        // The shard ranks themselves are contiguous and strictly ascending,
+        // one per possible shard index.
+        for pair in rank::STORE_SHARDS.windows(2) {
+            assert!(pair[0].rank < pair[1].rank, "shard ranks out of order");
+        }
         for pair in table.windows(2) {
             assert!(
                 pair[0].rank < pair[1].rank,

@@ -6,7 +6,7 @@
 //! shares one store per scenario across *every* session, so a slider move in
 //! one session can re-map results another session simulated
 //! ([`SharedBasisStore`] is `Clone` + thread-safe: clones are handles onto
-//! the same `Arc<RwLock<…>>`-backed state).
+//! the same shared state).
 //!
 //! Beyond storage, the store coordinates *work*: per-point in-flight guards
 //! ([`SharedBasisStore::try_claim`]) guarantee that N concurrent sessions
@@ -15,20 +15,57 @@
 //! [`SharedBasisStore::find_correlated_batch`] probes many fingerprint sets
 //! against the candidate sources in one source-parallel scan.
 //!
-//! The match scan carries a **summary index**: every published matchable
-//! record stores per-column [`FingerprintSummary`] moments
-//! (`prophet_fingerprint::index`), and the scan walks candidates in
-//! insertion-stamp order in fixed-size waves, pruning every candidate whose
-//! summary bound proves it cannot beat the best match found in earlier
-//! waves (or cannot match at all) before paying for the entry-by-entry
-//! [`CorrelationDetector::detect_all`] comparison. Because the bound is a
-//! true lower bound and ties resolve to the earliest stamp, the chosen
-//! source is identical to the exhaustive scan's — and because pruning
-//! decisions consult only completed waves (a constant wave width,
-//! independent of `threads`), the scanned/pruned accounting is identical at
-//! every thread count. The index is maintained under publish, replace,
-//! eviction and clear; `find_correlated_batch_scan(…, use_index: false)`
-//! keeps the exhaustive scan available for differential testing.
+//! # Sharding
+//!
+//! Entries live in [`rank::STORE_SHARDS`]-ranked shards keyed by
+//! `ParamPoint::stable_hash() % shards`: exact lookups, claims, and inserts
+//! touch one shard's lock, so concurrent jobs evaluating disjoint points no
+//! longer serialize on a single store-wide `RwLock`. Cross-shard invariants
+//! — the global insertion-stamp counter, the point→(stamp, matchability)
+//! index, and the stamp-ordered eviction queues — live under one
+//! [`rank::STORE_META`] mutex that inserts hold *across* their shard
+//! acquisitions, so eviction decisions are global (a victim is the oldest
+//! entry in the whole store, never merely the oldest in one shard) and
+//! therefore identical at every shard count.
+//!
+//! The match scan stays globally deterministic by construction: it takes
+//! every shard's read lock (ascending, per the rank table), merges the
+//! per-shard stamp-ordered candidate lists into one list sorted by global
+//! insertion stamp — stamps are unique, so the merge reproduces the exact
+//! single-shard candidate order — and runs the wave scan over that merged
+//! list. Wave boundaries, pruning decisions, chosen sources, and the
+//! scanned/pruned accounting are all functions of the merged order alone,
+//! so they are bit-identical at any shard count and any thread count.
+//! (Running waves per shard instead would change which candidates get
+//! pruned as the shard count changes; the merge is what keeps
+//! [`MatchScanStats`] a pure function of store contents and probes.)
+//!
+//! # The summary index
+//!
+//! Every published matchable record stores per-column
+//! [`FingerprintSummary`] moments (`prophet_fingerprint::index`), and the
+//! scan walks candidates in insertion-stamp order in fixed-size waves,
+//! pruning every candidate whose summary bound proves it cannot beat the
+//! best match found in earlier waves (or cannot match at all) before paying
+//! for the entry-by-entry [`CorrelationDetector::detect_all`] comparison.
+//! Because the bound is a true lower bound and ties resolve to the earliest
+//! stamp, the chosen source is identical to the exhaustive scan's — and
+//! because pruning decisions consult only completed waves (a constant wave
+//! width, independent of `threads`), the scanned/pruned accounting is
+//! identical at every thread count. The index is maintained under publish,
+//! replace, eviction and clear; `find_correlated_batch_scan(…, use_index:
+//! false)` keeps the exhaustive scan available for differential testing.
+//!
+//! # Persistence
+//!
+//! A store's records — samples, fingerprints, stamps, matchability — are a
+//! self-contained serializable unit: [`SharedBasisStore::snapshot_bytes`]
+//! emits them in global stamp order (shard-count-independent bytes) and
+//! [`SharedBasisStore::restore_bytes`] rebuilds a store that scans, evicts,
+//! and stamps exactly like the original, so a service restart warms from
+//! disk instead of re-simulating its basis population. The format is
+//! checksummed and versioned; corrupt input is rejected with a typed
+//! [`SnapshotError`] before any store state is touched.
 //!
 //! This is the engine-level sibling of
 //! [`prophet_fingerprint::BasisStore`]: that store is generic and keyed by
@@ -37,8 +74,7 @@
 //! cycle needs.
 
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use prophet_fingerprint::index::{bound_all, summarize, FingerprintSummary, MatchBound};
@@ -47,12 +83,16 @@ use prophet_fingerprint::{CorrelationDetector, Fingerprint, Mapping};
 use crate::instance::ParamPoint;
 use crate::sync::{
     rank, ClaimLedger, OrderedCondvar, OrderedMutex, OrderedReadGuard, OrderedRwLock,
-    OrderedWriteGuard,
+    OrderedWriteGuard, MAX_SHARDS,
 };
 use crate::trace::{TraceEventKind, Tracer, NO_CHUNK, NO_JOB};
 
 /// Per-column Monte Carlo samples for one parameter point.
 pub type ColumnSamples = HashMap<String, Vec<f64>>;
+
+/// Default shard count of a [`SharedBasisStore`]; see
+/// [`SharedBasisStore::with_shards`] for the bounds.
+pub const DEFAULT_SHARDS: usize = 8;
 
 /// A successful correlated lookup: where the samples came from and how to
 /// map each stochastic column onto the queried parameterization.
@@ -87,15 +127,33 @@ struct Record {
     matchable: bool,
 }
 
+/// One shard of the entry table. `order` holds this shard's *matchable*
+/// entries keyed by insertion stamp — the shard's slice of the global
+/// candidate list, merged across shards (stamps are globally unique) at
+/// scan time.
 #[derive(Default)]
-struct Inner {
+struct Shard {
     entries: HashMap<ParamPoint, Record>,
-    /// Matchable entries in insertion-stamp order: the candidate list the
-    /// match scan walks. Maintained under insert/replace/evict/clear so no
-    /// scan ever has to snapshot-and-sort the entry table — and so the
-    /// index can never serve an evicted or cleared candidate.
-    order: Vec<ParamPoint>,
+    order: BTreeMap<u64, ParamPoint>,
+}
+
+/// Store-wide bookkeeping, held under [`rank::STORE_META`] *across* shard
+/// acquisitions: the stamp counter, the membership index, and the
+/// stamp-ordered eviction queues. Keeping eviction global — rather than
+/// per-shard — is what makes the surviving entry set independent of the
+/// shard count: the victim is always the globally oldest (unmatchable
+/// first), found in O(log n) off the queues instead of the old
+/// O(n)-per-insert full-table `min_by_key` scan.
+#[derive(Default)]
+struct Meta {
     next_stamp: u64,
+    /// Every stored point → (insertion stamp, matchable).
+    index: HashMap<ParamPoint, (u64, bool)>,
+    /// Unmatchable (mapped) entries by stamp: evicted first, oldest first.
+    unmatchable_queue: BTreeMap<u64, ParamPoint>,
+    /// Matchable (simulated) entries by stamp: evicted only when no
+    /// unmatchable entry remains.
+    matchable_queue: BTreeMap<u64, ParamPoint>,
 }
 
 /// State of one in-flight simulation slot.
@@ -103,7 +161,7 @@ enum SlotState {
     /// The owning session is still computing.
     Running,
     /// The owner published: waiters reuse these samples directly (immune to
-    /// store eviction — the hand-off does not go through `entries`).
+    /// store eviction — the hand-off does not go through the entry table).
     Done {
         samples: Arc<ColumnSamples>,
         worlds: usize,
@@ -275,7 +333,7 @@ impl Drop for InflightGuard {
 /// A ticket for a simulation owned by another session.
 pub struct WaitHandle {
     slot: Arc<PendingSlot>,
-    stats: Arc<StoreStats>,
+    stats: Arc<OrderedMutex<Counters>>,
     tracer: Tracer,
 }
 
@@ -294,7 +352,7 @@ impl WaitHandle {
                         state = self.slot.cv.wait(state);
                     }
                     SlotState::Done { samples, worlds } => {
-                        self.stats.inflight_waits.fetch_add(1, Ordering::Relaxed);
+                        self.stats.lock().inflight_waits += 1;
                         break Some((Arc::clone(samples), *worlds));
                     }
                     SlotState::Cancelled => break None,
@@ -319,32 +377,44 @@ pub struct StoreStatsSnapshot {
     /// Evaluations served by blocking on another session's in-flight
     /// simulation instead of running their own.
     pub inflight_waits: u64,
+    /// Entries dropped to make room for newer ones.
+    pub evictions: u64,
+    /// Entries currently stored.
+    pub entries: u64,
+}
+
+/// The store's counter ledger. One mutex (rank [`rank::STORE_STATS`], a
+/// leaf above every shard) instead of independent atomics: a snapshot is a
+/// single critical section, so its fields can never be mutually torn.
+#[derive(Default)]
+struct Counters {
+    hits: u64,
+    misses: u64,
+    inflight_waits: u64,
+    evictions: u64,
 }
 
 /// Thread-safe basis store shared between engines/sessions of one scenario.
 ///
 /// Cloning produces another handle onto the same store. Capacity is
-/// bounded; eviction drops the oldest *mapped* entry first, because
-/// simulated entries are the sources fingerprint matching lives on.
-/// In-flight claims live outside the bounded entry table, so eviction can
-/// never drop a pending simulation.
+/// bounded *globally* (not per shard); eviction drops the oldest *mapped*
+/// entry first, because simulated entries are the sources fingerprint
+/// matching lives on. In-flight claims live outside the bounded entry
+/// table, so eviction can never drop a pending simulation.
 #[derive(Clone)]
 pub struct SharedBasisStore {
-    inner: Arc<OrderedRwLock<Inner>>,
+    /// The entry-table shards, indexed by `stable_hash % len`. Each holds
+    /// the rank-table entry of its index ([`rank::STORE_SHARDS`]), so
+    /// multi-shard paths that acquire by ascending index are checker-clean.
+    shards: Arc<[OrderedRwLock<Shard>]>,
+    meta: Arc<OrderedMutex<Meta>>,
     inflight: Arc<Inflight>,
-    stats: Arc<StoreStats>,
+    stats: Arc<OrderedMutex<Counters>>,
     capacity: usize,
     /// Flight recorder for claim/wait/publish/evict events; disabled
     /// ([`Tracer::off`]) unless attached via
     /// [`SharedBasisStore::with_tracer`]. Events observe, never decide.
     tracer: Tracer,
-}
-
-#[derive(Default)]
-struct StoreStats {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    inflight_waits: AtomicU64,
 }
 
 /// Per-probe best match within one candidate slice: `(candidate index,
@@ -562,18 +632,267 @@ where
     })
 }
 
+// ------------------------------------------------------------- persistence
+
+/// Magic prefix of a basis snapshot ("FuzzyProphet Basis Snapshot").
+const SNAPSHOT_MAGIC: [u8; 4] = *b"FPBS";
+/// Current snapshot format version.
+const SNAPSHOT_VERSION: u16 = 1;
+
+/// Why a basis snapshot could not be produced or restored. Restore
+/// validates the *entire* byte stream — header, checksum, structure,
+/// capacity — before touching any store state, so a failed restore leaves
+/// the store exactly as it was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The byte stream ended before the structure it promised, or a field
+    /// held a structurally impossible value.
+    Truncated,
+    /// The leading magic was not `FPBS` — not a basis snapshot at all.
+    BadMagic,
+    /// The snapshot's format version is not one this build can read.
+    UnsupportedVersion(u16),
+    /// The trailing FNV-1a checksum did not match the body: the file was
+    /// corrupted after it was written.
+    ChecksumMismatch,
+    /// The snapshot holds more entries than this store's capacity — it was
+    /// written by a larger store and restoring it would immediately evict.
+    CapacityExceeded {
+        /// Entries the snapshot holds.
+        entries: usize,
+        /// This store's capacity.
+        capacity: usize,
+    },
+    /// Filesystem failure (the underlying `io::Error`, stringified so the
+    /// error stays `Clone` + `Eq` like every other `ProphetError` cause).
+    Io(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated or structurally malformed"),
+            SnapshotError::BadMagic => write!(f, "not a basis snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::CapacityExceeded { entries, capacity } => write!(
+                f,
+                "snapshot holds {entries} entries but the store's capacity is {capacity}"
+            ),
+            SnapshotError::Io(msg) => write!(f, "snapshot I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a over `bytes` — the platform-stable hash the snapshot trailer
+/// uses (same constants as `ParamPoint::stable_hash`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// One record's bytes, in a fixed field order with name-sorted column
+/// maps, so the serialization is a pure function of the record — byte
+/// stability is what lets the round-trip tests assert
+/// `restore(bytes).snapshot_bytes() == bytes` at any shard count.
+fn serialize_record(out: &mut Vec<u8>, point: &ParamPoint, record: &Record) {
+    let pairs: Vec<(&str, i64)> = point.iter().collect();
+    put_u32(out, pairs.len() as u32);
+    for (name, value) in pairs {
+        put_str(out, name);
+        put_i64(out, value);
+    }
+    put_u64(out, record.worlds as u64);
+    put_u64(out, record.stamp);
+    out.push(record.matchable as u8);
+    let mut fps: Vec<(&String, &Fingerprint)> = record.fingerprints.iter().collect();
+    fps.sort_by(|a, b| a.0.cmp(b.0));
+    put_u32(out, fps.len() as u32);
+    for (name, fp) in fps {
+        put_str(out, name);
+        let values = fp.values();
+        put_u32(out, values.len() as u32);
+        for &v in values {
+            put_f64(out, v);
+        }
+    }
+    let mut cols: Vec<(&String, &Vec<f64>)> = record.samples.iter().collect();
+    cols.sort_by(|a, b| a.0.cmp(b.0));
+    put_u32(out, cols.len() as u32);
+    for (name, values) in cols {
+        put_str(out, name);
+        put_u64(out, values.len() as u64);
+        for &v in values {
+            put_f64(out, v);
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader over a snapshot body. Every
+/// over-run is a [`SnapshotError::Truncated`].
+struct SnapshotReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapshotReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|e| *e <= self.buf.len())
+            .ok_or(SnapshotError::Truncated)?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("sized")))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+    }
+
+    fn i64(&mut self) -> Result<i64, SnapshotError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+    }
+
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, SnapshotError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::Truncated)
+    }
+}
+
+/// A fully parsed snapshot record, not yet installed in any store.
+struct ParsedRecord {
+    point: ParamPoint,
+    fingerprints: HashMap<String, Fingerprint>,
+    samples: ColumnSamples,
+    worlds: usize,
+    stamp: u64,
+    matchable: bool,
+}
+
+fn parse_record(r: &mut SnapshotReader<'_>) -> Result<ParsedRecord, SnapshotError> {
+    let npairs = r.u32()? as usize;
+    let mut pairs = Vec::with_capacity(npairs.min(64));
+    for _ in 0..npairs {
+        let name = r.string()?;
+        let value = r.i64()?;
+        pairs.push((name, value));
+    }
+    let point = ParamPoint::from_pairs(pairs);
+    let worlds = r.u64()? as usize;
+    let stamp = r.u64()?;
+    let matchable = match r.take(1)?[0] {
+        0 => false,
+        1 => true,
+        _ => return Err(SnapshotError::Truncated),
+    };
+    let nfps = r.u32()? as usize;
+    let mut fingerprints = HashMap::with_capacity(nfps.min(64));
+    for _ in 0..nfps {
+        let name = r.string()?;
+        let len = r.u32()? as usize;
+        let mut values = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            values.push(r.f64()?);
+        }
+        fingerprints.insert(name, Fingerprint::from_values(values));
+    }
+    let ncols = r.u32()? as usize;
+    let mut samples: ColumnSamples = HashMap::with_capacity(ncols.min(64));
+    for _ in 0..ncols {
+        let name = r.string()?;
+        let len = r.u64()? as usize;
+        let mut values = Vec::with_capacity(len.min(65_536));
+        for _ in 0..len {
+            values.push(r.f64()?);
+        }
+        samples.insert(name, values);
+    }
+    Ok(ParsedRecord {
+        point,
+        fingerprints,
+        samples,
+        worlds,
+        stamp,
+        matchable,
+    })
+}
+
 impl SharedBasisStore {
-    /// Create an empty store holding at most `capacity` entries.
+    /// Create an empty store holding at most `capacity` entries, with the
+    /// default shard count ([`DEFAULT_SHARDS`]).
     ///
     /// # Panics
     /// Panics if `capacity == 0` (a store that cannot hold anything is a
     /// configuration bug).
     pub fn new(capacity: usize) -> Self {
+        SharedBasisStore::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// Create an empty store with an explicit shard count. More shards
+    /// means less lock contention between jobs touching disjoint points;
+    /// answers, eviction order, scan accounting, and snapshot bytes are
+    /// identical at every shard count (see the module docs).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or `shards` is outside
+    /// `1..=`[`MAX_SHARDS`] (each shard needs its own rank-table entry).
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
         assert!(capacity > 0, "basis store capacity must be positive");
+        assert!(
+            (1..=MAX_SHARDS).contains(&shards),
+            "basis store shard count must be in 1..={MAX_SHARDS} (got {shards})"
+        );
+        let shard_vec: Vec<OrderedRwLock<Shard>> = (0..shards)
+            .map(|i| OrderedRwLock::new(rank::STORE_SHARDS[i], Shard::default()))
+            .collect();
         SharedBasisStore {
-            inner: Arc::new(OrderedRwLock::new(rank::STORE_INNER, Inner::default())),
+            shards: shard_vec.into(),
+            meta: Arc::new(OrderedMutex::new(rank::STORE_META, Meta::default())),
             inflight: Arc::new(Inflight::default()),
-            stats: Arc::new(StoreStats::default()),
+            stats: Arc::new(OrderedMutex::new(rank::STORE_STATS, Counters::default())),
             capacity,
             tracer: Tracer::off(),
         }
@@ -599,9 +918,22 @@ impl SharedBasisStore {
         self.capacity
     }
 
+    /// Number of shards the entry table is split across.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard holds `point`: `stable_hash % shard_count`. The hash is
+    /// platform-stable (FNV-1a), so a point's shard is reproducible — the
+    /// shard-tagged `StoreClaim`/`StoreEvict` trace events mean the same
+    /// thing on every machine.
+    pub fn shard_of(&self, point: &ParamPoint) -> usize {
+        (point.stable_hash() % self.shards.len() as u64) as usize
+    }
+
     /// Number of stored entries.
     pub fn len(&self) -> usize {
-        self.read().entries.len()
+        self.meta.lock().index.len()
     }
 
     /// True if nothing is stored.
@@ -631,30 +963,42 @@ impl SharedBasisStore {
             self.inflight.ledger.on_released(&point);
         }
         {
-            let mut inner = self.write();
-            inner.entries.clear();
-            inner.order.clear();
+            let mut meta = self.meta.lock();
+            let mut guards: Vec<OrderedWriteGuard<'_, Shard>> =
+                self.shards.iter().map(|s| s.write()).collect();
+            for guard in guards.iter_mut() {
+                guard.entries.clear();
+                guard.order.clear();
+            }
+            meta.index.clear();
+            meta.matchable_queue.clear();
+            meta.unmatchable_queue.clear();
+            // next_stamp is preserved: stamps stay globally unique across a
+            // clear, so later tie-breaks never collide with pre-clear ones.
         }
+        *self.stats.lock() = Counters::default();
         drop(slots);
-        self.stats.hits.store(0, Ordering::Relaxed);
-        self.stats.misses.store(0, Ordering::Relaxed);
-        self.stats.inflight_waits.store(0, Ordering::Relaxed);
     }
 
     /// `(hits, misses)` of correlated lookups so far.
     pub fn hit_stats(&self) -> (u64, u64) {
-        (
-            self.stats.hits.load(Ordering::Relaxed),
-            self.stats.misses.load(Ordering::Relaxed),
-        )
+        let counters = self.stats.lock();
+        (counters.hits, counters.misses)
     }
 
-    /// Snapshot of all cross-session counters.
+    /// Coherent snapshot of all cross-session counters: every field comes
+    /// from one critical section over the counter ledger (plus the entry
+    /// count under the meta lock held alongside it), so the fields can
+    /// never be mutually torn the way independent relaxed loads were.
     pub fn stats_snapshot(&self) -> StoreStatsSnapshot {
+        let meta = self.meta.lock();
+        let counters = self.stats.lock();
         StoreStatsSnapshot {
-            hits: self.stats.hits.load(Ordering::Relaxed),
-            misses: self.stats.misses.load(Ordering::Relaxed),
-            inflight_waits: self.stats.inflight_waits.load(Ordering::Relaxed),
+            hits: counters.hits,
+            misses: counters.misses,
+            inflight_waits: counters.inflight_waits,
+            evictions: counters.evictions,
+            entries: meta.index.len() as u64,
         }
     }
 
@@ -665,13 +1009,14 @@ impl SharedBasisStore {
 
     /// True if `other` is a handle onto the same underlying store.
     pub fn shares_storage_with(&self, other: &SharedBasisStore) -> bool {
-        Arc::ptr_eq(&self.inner, &other.inner)
+        Arc::ptr_eq(&self.meta, &other.meta)
     }
 
     /// Exact lookup: stored samples for `point`, provided they are backed by
-    /// at least `min_worlds` worlds.
+    /// at least `min_worlds` worlds. Touches only `point`'s shard.
     pub fn get_exact(&self, point: &ParamPoint, min_worlds: usize) -> Option<Arc<ColumnSamples>> {
-        self.read()
+        self.shards[self.shard_of(point)]
+            .read()
             .entries
             .get(point)
             .filter(|e| e.worlds >= min_worlds)
@@ -687,14 +1032,20 @@ impl SharedBasisStore {
     /// * [`TryClaim::Pending`] — another session owns it; block on the
     ///   [`WaitHandle`] to reuse its result.
     pub fn try_claim(&self, point: &ParamPoint, min_worlds: usize) -> TryClaim {
-        self.tracer
-            .instant(TraceEventKind::StoreClaim, NO_JOB, NO_CHUNK);
+        let shard = self.shard_of(point);
+        self.tracer.instant(
+            TraceEventKind::StoreClaim {
+                shard: shard as u16,
+            },
+            NO_JOB,
+            NO_CHUNK,
+        );
         let mut slots = self.inflight.slots.lock();
         // Exact check under the in-flight lock so a concurrent complete()
         // cannot publish between the store check and slot registration.
         {
-            let inner = self.read();
-            if let Some(e) = inner.entries.get(point) {
+            let guard = self.shards[shard].read();
+            if let Some(e) = guard.entries.get(point) {
                 if e.worlds >= min_worlds {
                     return TryClaim::Ready {
                         samples: Arc::clone(&e.samples),
@@ -725,9 +1076,17 @@ impl SharedBasisStore {
 
     /// Insert (or replace) the entry for `point`. `matchable` marks fully
     /// simulated entries that may serve as mapping sources; their
-    /// fingerprint summaries are computed here, so the match index is
-    /// maintained atomically with the entry table (publish, replace,
-    /// eviction and clear all hold the same write lock).
+    /// fingerprint summaries are computed here.
+    ///
+    /// The insert holds the meta lock across the shard acquisitions: stamp
+    /// allocation, the global eviction decision, and both shard mutations
+    /// (victim removal + entry insert) commit as one unit. Eviction is
+    /// O(log n): the victim is the head of the global stamp-ordered
+    /// unmatchable queue (else the matchable queue) — no entry-table scan.
+    /// The victim and target shard write locks are taken in ascending
+    /// shard-index order (equal ranks never coexist) and *both* before any
+    /// mutation, so the all-shard read scan can never observe an insert's
+    /// partial state.
     pub fn insert(
         &self,
         point: ParamPoint,
@@ -736,49 +1095,102 @@ impl SharedBasisStore {
         worlds: usize,
         matchable: bool,
     ) {
-        // Summarize outside the write lock — pure function of the inputs.
+        // Summarize outside the locks — pure function of the inputs.
         let summaries = if matchable {
             Arc::new(summarize(&fingerprints))
         } else {
             Arc::new(HashMap::new())
         };
-        let mut inner = self.write();
-        inner.next_stamp += 1;
-        let stamp = inner.next_stamp;
-        if inner.entries.len() >= self.capacity && !inner.entries.contains_key(&point) {
-            let victim = inner
-                .entries
-                .iter()
-                .filter(|(_, e)| !e.matchable)
-                .min_by_key(|(_, e)| e.stamp)
-                .or_else(|| inner.entries.iter().min_by_key(|(_, e)| e.stamp))
-                .map(|(k, _)| k.clone());
-            if let Some(victim) = victim {
-                if let Some(evicted) = inner.entries.remove(&victim) {
-                    if evicted.matchable {
-                        inner.order.retain(|p| *p != victim);
+        let target = self.shard_of(&point);
+        let mut evicted_shard: Option<u16> = None;
+        {
+            let mut meta = self.meta.lock();
+            meta.next_stamp += 1;
+            let stamp = meta.next_stamp;
+            // Global eviction decision: head of the stamp-ordered queues,
+            // unmatchable (mapped) entries first. Replacements never evict.
+            let mut victim: Option<(u64, ParamPoint, bool)> = None;
+            if meta.index.len() >= self.capacity && !meta.index.contains_key(&point) {
+                victim = meta
+                    .unmatchable_queue
+                    .first_key_value()
+                    .map(|(s, p)| (*s, p.clone(), false))
+                    .or_else(|| {
+                        meta.matchable_queue
+                            .first_key_value()
+                            .map(|(s, p)| (*s, p.clone(), true))
+                    });
+                if let Some((vstamp, vpoint, vmatchable)) = &victim {
+                    if *vmatchable {
+                        meta.matchable_queue.remove(vstamp);
+                    } else {
+                        meta.unmatchable_queue.remove(vstamp);
                     }
-                    self.tracer
-                        .instant(TraceEventKind::StoreEvict, NO_JOB, NO_CHUNK);
+                    meta.index.remove(vpoint);
                 }
             }
+            if let Some((old_stamp, old_matchable)) =
+                meta.index.insert(point.clone(), (stamp, matchable))
+            {
+                if old_matchable {
+                    meta.matchable_queue.remove(&old_stamp);
+                } else {
+                    meta.unmatchable_queue.remove(&old_stamp);
+                }
+            }
+            if matchable {
+                meta.matchable_queue.insert(stamp, point.clone());
+            } else {
+                meta.unmatchable_queue.insert(stamp, point.clone());
+            }
+
+            // Shard phase: acquire every needed write lock (ascending shard
+            // index = ascending rank) before mutating anything.
+            let victim_shard = victim.as_ref().map(|(_, p, _)| self.shard_of(p));
+            let (mut tguard, mut vguard) = match victim_shard {
+                None => (self.shards[target].write(), None),
+                Some(v) if v == target => (self.shards[target].write(), None),
+                Some(v) if v < target => {
+                    let vg = self.shards[v].write();
+                    (self.shards[target].write(), Some(vg))
+                }
+                Some(v) => {
+                    let tg = self.shards[target].write();
+                    (tg, Some(self.shards[v].write()))
+                }
+            };
+            if let Some((vstamp, vpoint, vmatchable)) = &victim {
+                let guard = vguard.as_mut().unwrap_or(&mut tguard);
+                guard.entries.remove(vpoint);
+                if *vmatchable {
+                    guard.order.remove(vstamp);
+                }
+                evicted_shard = Some(self.shard_of(vpoint) as u16);
+            }
+            let replaced = tguard.entries.insert(
+                point.clone(),
+                Record {
+                    fingerprints: Arc::new(fingerprints),
+                    summaries,
+                    samples,
+                    worlds,
+                    stamp,
+                    matchable,
+                },
+            );
+            if let Some(old) = replaced {
+                if old.matchable {
+                    tguard.order.remove(&old.stamp);
+                }
+            }
+            if matchable {
+                tguard.order.insert(stamp, point);
+            }
         }
-        let replaced = inner.entries.insert(
-            point.clone(),
-            Record {
-                fingerprints: Arc::new(fingerprints),
-                summaries,
-                samples,
-                worlds,
-                stamp,
-                matchable,
-            },
-        );
-        if replaced.is_some_and(|r| r.matchable) {
-            inner.order.retain(|p| *p != point);
-        }
-        if matchable {
-            inner.order.push(point);
+        if let Some(shard) = evicted_shard {
+            self.tracer
+                .instant(TraceEventKind::StoreEvict { shard }, NO_JOB, NO_CHUNK);
+            self.stats.lock().evictions += 1;
         }
     }
 
@@ -817,19 +1229,21 @@ impl SharedBasisStore {
     /// matchable entries in one scan. Result `i` is the best hit for
     /// `probes[i]`.
     ///
-    /// The scan runs under the store's read lock, walking the maintained
-    /// stamp-ordered candidate list — nothing is snapshotted, sorted, or
-    /// cloned except the winning hits. With `use_index` the scan is
-    /// branch-and-bound over summary bounds (see the module docs): only
-    /// candidates whose bound can still beat the best match of completed
-    /// waves run [`CorrelationDetector::detect_all`], and the surviving
-    /// comparisons of each wave fan out across up to `threads` workers.
-    /// Without it, candidates partition across workers and every pair is
-    /// compared (the exhaustive reference scan). Both paths pick the best
-    /// candidate by `(total error, insertion order)`, so the chosen source
-    /// is identical between them and independent of the thread count; with
-    /// the index, the returned [`MatchScanStats`] is thread-independent
-    /// too.
+    /// The scan takes every shard's read lock (ascending) and merges the
+    /// per-shard stamp-ordered candidate lists into one list in global
+    /// insertion-stamp order — the same candidate sequence a single-shard
+    /// store walks, so wave boundaries, pruning, chosen sources, and the
+    /// [`MatchScanStats`] accounting are independent of the shard count.
+    /// With `use_index` the scan is branch-and-bound over summary bounds
+    /// (see the module docs): only candidates whose bound can still beat
+    /// the best match of completed waves run
+    /// [`CorrelationDetector::detect_all`], and the surviving comparisons
+    /// of each wave fan out across up to `threads` workers. Without it,
+    /// candidates partition across workers and every pair is compared (the
+    /// exhaustive reference scan). Both paths pick the best candidate by
+    /// `(total error, insertion order)`, so the chosen source is identical
+    /// between them and independent of the thread count; with the index,
+    /// the returned [`MatchScanStats`] is thread-independent too.
     pub fn find_correlated_batch_scan(
         &self,
         probes: &[HashMap<String, Fingerprint>],
@@ -841,13 +1255,24 @@ impl SharedBasisStore {
         if probes.is_empty() {
             return (Vec::new(), MatchScanStats::default());
         }
-        let inner = self.read();
-        let candidates: Vec<(&ParamPoint, &Record)> = inner
-            .order
-            .iter()
-            .filter_map(|p| inner.entries.get(p).map(|r| (p, r)))
-            .filter(|(_, r)| !r.fingerprints.is_empty())
-            .collect();
+        let guards: Vec<OrderedReadGuard<'_, Shard>> =
+            self.shards.iter().map(|s| s.read()).collect();
+        // Merge the shards' stamp-ordered candidate lists. Stamps are
+        // globally unique, so sorting by stamp reproduces the exact global
+        // insertion order a 1-shard store maintains natively.
+        let mut stamped: Vec<(u64, &ParamPoint, &Record)> = Vec::new();
+        for guard in &guards {
+            for (stamp, point) in &guard.order {
+                if let Some(record) = guard.entries.get(point) {
+                    if !record.fingerprints.is_empty() {
+                        stamped.push((*stamp, point, record));
+                    }
+                }
+            }
+        }
+        stamped.sort_unstable_by_key(|(stamp, _, _)| *stamp);
+        let candidates: Vec<(&ParamPoint, &Record)> =
+            stamped.iter().map(|(_, p, r)| (*p, *r)).collect();
 
         let mut stats = MatchScanStats::default();
         let best = if use_index {
@@ -856,11 +1281,13 @@ impl SharedBasisStore {
             scan_exhaustive(&candidates, probes, columns, detector, threads, &mut stats)
         };
 
+        let mut hit_count = 0u64;
+        let mut miss_count = 0u64;
         let results: Vec<Option<BasisHit>> = best
             .into_iter()
             .map(|slot| match slot {
                 Some((ci, mappings, _)) => {
-                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    hit_count += 1;
                     let (point, record) = candidates[ci];
                     Some(BasisHit {
                         source: point.clone(),
@@ -870,21 +1297,186 @@ impl SharedBasisStore {
                     })
                 }
                 None => {
-                    self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                    miss_count += 1;
                     None
                 }
             })
             .collect();
-        drop(inner);
+        {
+            // One counter-ledger bump for the whole batch (rank 67 sits
+            // above the shard ranks, so this is legal under the guards).
+            let mut counters = self.stats.lock();
+            counters.hits += hit_count;
+            counters.misses += miss_count;
+        }
+        drop(guards);
         (results, stats)
     }
 
-    fn read(&self) -> OrderedReadGuard<'_, Inner> {
-        self.inner.read()
+    // --------------------------------------------------- snapshot / restore
+
+    /// Serialize every record in global stamp order. The byte stream is a
+    /// pure function of the store *contents* — never of the shard count or
+    /// insertion interleaving — which the differential tests pin by
+    /// comparing bytes across shard counts.
+    fn snapshot_with_count(&self) -> (Vec<u8>, usize) {
+        let meta = self.meta.lock();
+        let guards: Vec<OrderedReadGuard<'_, Shard>> =
+            self.shards.iter().map(|s| s.read()).collect();
+        let mut stamped: Vec<(u64, &ParamPoint)> =
+            meta.index.iter().map(|(p, (s, _))| (*s, p)).collect();
+        stamped.sort_unstable_by_key(|(stamp, _)| *stamp);
+        let mut out = Vec::new();
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        put_u64(&mut out, meta.next_stamp);
+        put_u64(&mut out, stamped.len() as u64);
+        for (_, point) in &stamped {
+            let record = guards[self.shard_of(point)]
+                .entries
+                .get(*point)
+                .expect("invariant: every meta index entry has a shard record");
+            serialize_record(&mut out, point, record);
+        }
+        let checksum = fnv1a(&out);
+        put_u64(&mut out, checksum);
+        (out, stamped.len())
     }
 
-    fn write(&self) -> OrderedWriteGuard<'_, Inner> {
-        self.inner.write()
+    /// Serialize the store — records (samples, fingerprints, stamps,
+    /// matchability), the stamp counter, a version header, and a trailing
+    /// checksum — into a byte vector [`SharedBasisStore::restore_bytes`]
+    /// accepts. Summaries are derived data and are *not* serialized; a
+    /// restore recomputes them. See `docs/CONCURRENCY.md` for the format.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        self.snapshot_with_count().0
+    }
+
+    /// Replace this store's contents with a snapshot's. Returns the number
+    /// of restored entries.
+    ///
+    /// The whole byte stream is validated — header, checksum, record
+    /// structure, capacity — *before* any store state changes, so a failed
+    /// restore leaves the store untouched. A successful restore behaves
+    /// like [`SharedBasisStore::clear`] followed by replaying the
+    /// snapshot's records with their original stamps: in-flight claims are
+    /// cancelled (waiters re-claim), counters reset, and the stamp counter
+    /// continues from the snapshot's, so post-restore inserts, evictions,
+    /// and match tie-breaks are bit-identical to the store that wrote it.
+    pub fn restore_bytes(&self, bytes: &[u8]) -> Result<usize, SnapshotError> {
+        const HEADER: usize = 4 + 2 + 8 + 8; // magic + version + next_stamp + count
+        const FOOTER: usize = 8; // FNV-1a checksum
+        if bytes.len() < HEADER + FOOTER {
+            return Err(SnapshotError::Truncated);
+        }
+        if bytes[..4] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let body = &bytes[..bytes.len() - FOOTER];
+        let stored_sum = u64::from_le_bytes(
+            bytes[bytes.len() - FOOTER..]
+                .try_into()
+                .expect("sized slice"),
+        );
+        if fnv1a(body) != stored_sum {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        let mut reader = SnapshotReader { buf: body, pos: 6 };
+        let next_stamp = reader.u64()?;
+        let count = reader.u64()? as usize;
+        let mut parsed = Vec::with_capacity(count.min(65_536));
+        for _ in 0..count {
+            parsed.push(parse_record(&mut reader)?);
+        }
+        if reader.pos != body.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        if count > self.capacity {
+            return Err(SnapshotError::CapacityExceeded {
+                entries: count,
+                capacity: self.capacity,
+            });
+        }
+        // Summaries are derived: recompute rather than trust the bytes.
+        let installed: Vec<(ParamPoint, Record)> = parsed
+            .into_iter()
+            .map(|r| {
+                let summaries = if r.matchable {
+                    Arc::new(summarize(&r.fingerprints))
+                } else {
+                    Arc::new(HashMap::new())
+                };
+                (
+                    r.point,
+                    Record {
+                        fingerprints: Arc::new(r.fingerprints),
+                        summaries,
+                        samples: Arc::new(r.samples),
+                        worlds: r.worlds,
+                        stamp: r.stamp,
+                        matchable: r.matchable,
+                    },
+                )
+            })
+            .collect();
+
+        // Swap in, following clear()'s protocol: cancel in-flight work
+        // under the table lock, then replace contents under meta + every
+        // shard write lock so no scan observes a half-restored store.
+        let mut slots = self.inflight.slots.lock();
+        for (point, slot) in slots.drain() {
+            slot.cancel();
+            self.inflight.ledger.on_released(&point);
+        }
+        {
+            let mut meta = self.meta.lock();
+            let mut guards: Vec<OrderedWriteGuard<'_, Shard>> =
+                self.shards.iter().map(|s| s.write()).collect();
+            for guard in guards.iter_mut() {
+                guard.entries.clear();
+                guard.order.clear();
+            }
+            meta.index.clear();
+            meta.matchable_queue.clear();
+            meta.unmatchable_queue.clear();
+            meta.next_stamp = next_stamp;
+            for (point, record) in installed {
+                let shard = self.shard_of(&point);
+                meta.index
+                    .insert(point.clone(), (record.stamp, record.matchable));
+                if record.matchable {
+                    meta.matchable_queue.insert(record.stamp, point.clone());
+                    guards[shard].order.insert(record.stamp, point.clone());
+                } else {
+                    meta.unmatchable_queue.insert(record.stamp, point.clone());
+                }
+                guards[shard].entries.insert(point, record);
+            }
+        }
+        *self.stats.lock() = Counters::default();
+        drop(slots);
+        Ok(count)
+    }
+
+    /// Write a snapshot to `path` (see
+    /// [`SharedBasisStore::snapshot_bytes`]). Returns the number of
+    /// serialized entries.
+    pub fn save_to(&self, path: impl AsRef<std::path::Path>) -> Result<usize, SnapshotError> {
+        let (bytes, count) = self.snapshot_with_count();
+        std::fs::write(path, bytes).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        Ok(count)
+    }
+
+    /// Read and restore a snapshot from `path` (see
+    /// [`SharedBasisStore::restore_bytes`]). Returns the number of
+    /// restored entries.
+    pub fn load_from(&self, path: impl AsRef<std::path::Path>) -> Result<usize, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        self.restore_bytes(&bytes)
     }
 }
 
@@ -892,12 +1484,14 @@ impl std::fmt::Debug for SharedBasisStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let stats = self.stats_snapshot();
         f.debug_struct("SharedBasisStore")
-            .field("len", &self.len())
+            .field("len", &stats.entries)
             .field("capacity", &self.capacity)
+            .field("shards", &self.shards.len())
             .field("inflight", &self.inflight_len())
             .field("hits", &stats.hits)
             .field("misses", &stats.misses)
             .field("inflight_waits", &stats.inflight_waits)
+            .field("evictions", &stats.evictions)
             .finish()
     }
 }
@@ -916,6 +1510,23 @@ mod tests {
 
     fn samples(v: f64) -> Arc<ColumnSamples> {
         Arc::new(HashMap::from([("y".to_owned(), vec![v, v + 1.0])]))
+    }
+
+    /// Capacity-4 store fed 12 mixed-matchability inserts: 8 evictions of
+    /// churn, identical contents expected at every shard count.
+    fn churn_store(shards: usize) -> SharedBasisStore {
+        let s = SharedBasisStore::with_shards(4, shards);
+        for i in 0..12i64 {
+            let vals: Vec<f64> = (0..4).map(|k| (i * 3 + k) as f64).collect();
+            s.insert(
+                point("p", i),
+                HashMap::from([("y".to_owned(), fp(&vals))]),
+                samples(i as f64),
+                10,
+                i % 3 != 0,
+            );
+        }
+        s
     }
 
     #[test]
@@ -1107,7 +1718,7 @@ mod tests {
     fn eviction_never_drops_a_pending_inflight_entry() {
         // Capacity 1: the pending point is claimed, then unrelated inserts
         // churn the bounded table. The waiter must still receive the
-        // published samples — the in-flight hand-off bypasses `entries`.
+        // published samples — the in-flight hand-off bypasses the entries.
         let s = SharedBasisStore::new(1);
         let p = point("x", 1);
         let TryClaim::Owner(guard) = s.try_claim(&p, 4) else {
@@ -1147,5 +1758,297 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = SharedBasisStore::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn oversized_shard_count_panics() {
+        let _ = SharedBasisStore::with_shards(8, MAX_SHARDS + 1);
+    }
+
+    /// The tentpole differential: shard counts {1, 4, 16} produce
+    /// bit-identical answers, chosen sources, samples, scanned/pruned
+    /// accounting, eviction outcomes, counters, and snapshot bytes, at
+    /// both thread counts and through both scan paths.
+    #[test]
+    fn shard_counts_are_bit_identical() {
+        let detector = CorrelationDetector::default();
+        let columns = ["y".to_owned()];
+        let reference = churn_store(1);
+        let ref_bytes = reference.snapshot_bytes();
+        let ref_snap = reference.stats_snapshot();
+        assert_eq!(ref_snap.entries, 4);
+        assert_eq!(ref_snap.evictions, 8);
+        let mut probes: Vec<HashMap<String, Fingerprint>> = (0..12i64)
+            .map(|i| {
+                let vals: Vec<f64> = (0..4).map(|k| (i * 3 + k) as f64 + 0.5).collect();
+                HashMap::from([("y".to_owned(), fp(&vals))])
+            })
+            .collect();
+        probes.push(HashMap::from([(
+            "y".to_owned(),
+            fp(&[0.3, 0.1, 0.4, 0.15]),
+        )]));
+        let (ref_hits, ref_stats) =
+            reference.find_correlated_batch_scan(&probes, &columns, &detector, 1, true);
+        for shards in [4, 16] {
+            let s = churn_store(shards);
+            assert_eq!(
+                s.snapshot_bytes(),
+                ref_bytes,
+                "{shards}-shard snapshot bytes diverge from single-shard"
+            );
+            assert_eq!(s.stats_snapshot(), ref_snap, "{shards}-shard counters");
+            for threads in [1, 8] {
+                for use_index in [true, false] {
+                    let (hits, stats) = s.find_correlated_batch_scan(
+                        &probes, &columns, &detector, threads, use_index,
+                    );
+                    assert_eq!(hits.len(), ref_hits.len());
+                    for (pi, (h, r)) in hits.iter().zip(&ref_hits).enumerate() {
+                        match (h, r) {
+                            (None, None) => {}
+                            (Some(h), Some(r)) => {
+                                assert_eq!(
+                                    h.source, r.source,
+                                    "probe {pi} source ({shards} shards, {threads} threads, index={use_index})"
+                                );
+                                assert_eq!(h.mappings, r.mappings, "probe {pi} mappings");
+                                assert_eq!(*h.samples, *r.samples, "probe {pi} samples");
+                                assert_eq!(h.worlds, r.worlds);
+                            }
+                            _ => panic!(
+                                "probe {pi} hit/miss divergence at {shards} shards, {threads} threads"
+                            ),
+                        }
+                    }
+                    if use_index {
+                        assert_eq!(
+                            stats, ref_stats,
+                            "scan accounting ({shards} shards, {threads} threads)"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Eviction comes off the global stamp-ordered queues — oldest
+    /// unmatchable first, then oldest matchable — and is counted.
+    #[test]
+    fn eviction_uses_stamp_order_and_counts() {
+        let s = SharedBasisStore::new(2);
+        s.insert(point("x", 1), HashMap::new(), samples(0.0), 10, true);
+        s.insert(point("x", 2), HashMap::new(), samples(0.0), 10, false);
+        s.insert(point("x", 3), HashMap::new(), samples(0.0), 10, true); // evicts x2
+        s.insert(point("x", 4), HashMap::new(), samples(0.0), 10, true); // evicts x1
+        let snap = s.stats_snapshot();
+        assert_eq!(snap.evictions, 2);
+        assert_eq!(snap.entries, 2);
+        assert!(
+            s.get_exact(&point("x", 1), 1).is_none(),
+            "oldest matchable evicted"
+        );
+        assert!(
+            s.get_exact(&point("x", 2), 1).is_none(),
+            "unmatchable evicted first"
+        );
+        assert!(s.get_exact(&point("x", 3), 1).is_some());
+        assert!(s.get_exact(&point("x", 4), 1).is_some());
+    }
+
+    /// Re-inserting a stored point is a replacement, never an eviction,
+    /// and refreshes the entry's stamp (it becomes the newest).
+    #[test]
+    fn replacement_does_not_evict_and_refreshes_stamp() {
+        let s = SharedBasisStore::new(2);
+        s.insert(point("x", 1), HashMap::new(), samples(1.0), 10, true);
+        s.insert(point("x", 2), HashMap::new(), samples(2.0), 10, true);
+        s.insert(point("x", 1), HashMap::new(), samples(9.0), 20, true);
+        assert_eq!(
+            s.stats_snapshot().evictions,
+            0,
+            "replacement is not eviction"
+        );
+        assert_eq!(s.len(), 2);
+        // x1's stamp was refreshed, so the next eviction takes x2.
+        s.insert(point("x", 3), HashMap::new(), samples(3.0), 10, true);
+        assert!(s.get_exact(&point("x", 2), 1).is_none());
+        assert!(
+            s.get_exact(&point("x", 1), 20).is_some(),
+            "refreshed entry survives"
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_under_eviction_churn() {
+        let src = churn_store(8);
+        let bytes = src.snapshot_bytes();
+        let dst = SharedBasisStore::with_shards(4, 2);
+        assert_eq!(dst.restore_bytes(&bytes), Ok(4));
+        assert_eq!(
+            dst.snapshot_bytes(),
+            bytes,
+            "snapshot of a restore is byte-identical"
+        );
+        assert_eq!(dst.len(), 4);
+        let snap = dst.stats_snapshot();
+        assert_eq!(
+            (snap.hits, snap.misses, snap.evictions, snap.inflight_waits),
+            (0, 0, 0, 0),
+            "restore resets counters"
+        );
+        // The restored store continues the stamp stream: the next insert
+        // evicts the same victim the source store evicts.
+        src.insert(point("q", 1), HashMap::new(), samples(0.5), 10, false);
+        dst.insert(point("q", 1), HashMap::new(), samples(0.5), 10, false);
+        assert_eq!(
+            dst.snapshot_bytes(),
+            src.snapshot_bytes(),
+            "post-restore eviction and stamping track the source store"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_malformed_snapshots() {
+        let src = SharedBasisStore::new(4);
+        src.insert(
+            point("x", 1),
+            HashMap::from([("y".to_owned(), fp(&[1.0, 2.0, 3.0]))]),
+            samples(1.0),
+            8,
+            true,
+        );
+        src.insert(point("x", 2), HashMap::new(), samples(2.0), 8, false);
+        let good = src.snapshot_bytes();
+
+        let fresh = SharedBasisStore::new(4);
+        assert_eq!(
+            fresh.restore_bytes(&good[..10]),
+            Err(SnapshotError::Truncated)
+        );
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            fresh.restore_bytes(&bad_magic),
+            Err(SnapshotError::BadMagic)
+        );
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert_eq!(
+            fresh.restore_bytes(&bad_version),
+            Err(SnapshotError::UnsupportedVersion(9))
+        );
+        let mut flipped = good.clone();
+        let mid = good.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert_eq!(
+            fresh.restore_bytes(&flipped),
+            Err(SnapshotError::ChecksumMismatch)
+        );
+        // A structurally short body behind a *recomputed* (valid) checksum
+        // still rejects: structure is validated, not just integrity.
+        let mut short = good[..good.len() - 8 - 3].to_vec();
+        let sum = fnv1a(&short);
+        short.extend_from_slice(&sum.to_le_bytes());
+        assert_eq!(fresh.restore_bytes(&short), Err(SnapshotError::Truncated));
+        // More entries than the target store can hold.
+        let tiny = SharedBasisStore::new(1);
+        assert_eq!(
+            tiny.restore_bytes(&good),
+            Err(SnapshotError::CapacityExceeded {
+                entries: 2,
+                capacity: 1
+            })
+        );
+        // Every rejection left the store untouched…
+        assert!(fresh.is_empty());
+        // …and the unmodified bytes still restore.
+        assert_eq!(fresh.restore_bytes(&good), Ok(2));
+        assert!(fresh.get_exact(&point("x", 1), 8).is_some());
+    }
+
+    #[test]
+    fn restore_cancels_inflight_and_resets_counters() {
+        let s = SharedBasisStore::new(4);
+        s.insert(
+            point("x", 1),
+            HashMap::from([("y".to_owned(), fp(&[1.0, 2.0, 3.0, 4.0]))]),
+            samples(1.0),
+            8,
+            true,
+        );
+        let probes = HashMap::from([("y".to_owned(), fp(&[2.0, 3.0, 4.0, 5.0]))]);
+        let _ = s.find_correlated(&probes, &["y".to_owned()], &CorrelationDetector::default());
+        assert_eq!(s.stats_snapshot().hits, 1);
+        let bytes = s.snapshot_bytes();
+        let TryClaim::Owner(guard) = s.try_claim(&point("x", 9), 1) else {
+            panic!("expected owner");
+        };
+        let TryClaim::Pending(handle) = s.try_claim(&point("x", 9), 1) else {
+            panic!("expected pending");
+        };
+        assert_eq!(s.restore_bytes(&bytes), Ok(1));
+        assert!(handle.wait().is_none(), "restore wakes waiters to re-claim");
+        assert!(
+            !guard.complete(HashMap::new(), samples(0.0), 1, true),
+            "stale completion after restore is discarded"
+        );
+        let snap = s.stats_snapshot();
+        assert_eq!((snap.hits, snap.misses, snap.evictions), (0, 0, 0));
+        assert_eq!(snap.entries, 1);
+    }
+
+    /// Out-of-order shard acquisition trips the rank checker like any
+    /// other inversion — the property the multi-shard insert/scan/restore
+    /// protocols lean on.
+    #[test]
+    fn shard_lock_rank_inversion_trips_the_checker() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let hi = OrderedRwLock::new(rank::STORE_SHARDS[1], ());
+        let lo = OrderedRwLock::new(rank::STORE_SHARDS[0], ());
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _a = hi.write();
+            let _b = lo.read();
+        }));
+        let payload = result.expect_err("inversion must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("lock-order violation"), "got: {msg}");
+        assert!(
+            msg.contains("basis store shard 1") && msg.contains("basis store shard 0"),
+            "got: {msg}"
+        );
+    }
+
+    #[test]
+    fn store_events_carry_shard_ids() {
+        use crate::trace::TraceConfig;
+        let tracer = Tracer::new(TraceConfig::Ring { capacity: 64 });
+        let s = SharedBasisStore::with_shards(1, 4).with_tracer(tracer.clone());
+        let p1 = point("x", 1);
+        let p2 = point("x", 2);
+        let TryClaim::Owner(guard) = s.try_claim(&p1, 1) else {
+            panic!("expected owner");
+        };
+        assert!(guard.complete(HashMap::new(), samples(1.0), 1, true));
+        s.insert(p2.clone(), HashMap::new(), samples(2.0), 1, true); // evicts p1
+        let events = tracer.events();
+        let claim = events.iter().find_map(|e| match e.kind {
+            TraceEventKind::StoreClaim { shard } => Some(shard),
+            _ => None,
+        });
+        assert_eq!(claim, Some(s.shard_of(&p1) as u16));
+        let evict = events.iter().find_map(|e| match e.kind {
+            TraceEventKind::StoreEvict { shard } => Some(shard),
+            _ => None,
+        });
+        assert_eq!(
+            evict,
+            Some(s.shard_of(&p1) as u16),
+            "eviction reports the victim's shard"
+        );
     }
 }

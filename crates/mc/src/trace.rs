@@ -129,14 +129,21 @@ pub enum TraceEventKind {
     /// Batch driver phase: in-order publication of results (span).
     PhasePublish,
     /// A store claim was taken or resolved (instant).
-    StoreClaim,
+    StoreClaim {
+        /// Which basis-store shard holds the claimed point
+        /// (`stable_hash % shard_count`, platform-stable).
+        shard: u16,
+    },
     /// A session blocked on another session's in-flight simulation
     /// (span: the wait).
     StoreWait,
     /// An owned claim published its samples to the store (instant).
     StorePublish,
     /// A basis entry was evicted to make room (instant).
-    StoreEvict,
+    StoreEvict {
+        /// Which basis-store shard the victim entry lived in.
+        shard: u16,
+    },
     /// A rank-ordered lock was contended (span: the wait). Only
     /// recorded under `cfg(any(test, feature = "check"))`, where the
     /// ordered wrappers try-lock first.
@@ -162,10 +169,10 @@ impl TraceEventKind {
             TraceEventKind::PhaseRemap => "phase_remap",
             TraceEventKind::PhaseSimulate => "phase_simulate",
             TraceEventKind::PhasePublish => "phase_publish",
-            TraceEventKind::StoreClaim => "store_claim",
+            TraceEventKind::StoreClaim { .. } => "store_claim",
             TraceEventKind::StoreWait => "store_wait",
             TraceEventKind::StorePublish => "store_publish",
-            TraceEventKind::StoreEvict => "store_evict",
+            TraceEventKind::StoreEvict { .. } => "store_evict",
             TraceEventKind::LockWait { .. } => "lock_wait",
         }
     }

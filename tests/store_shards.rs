@@ -1,0 +1,271 @@
+//! Sharded, persistent basis store (tier 2).
+//!
+//! Service-level enforcement of the two contracts the sharded store
+//! rewrite added in 0.9:
+//!
+//! * **Shard transparency** — the shard count is a throughput knob, never
+//!   a semantic one. A scheduled sweep at shard counts {1, 4, 16} ×
+//!   workers {1, 8} must land on bit-identical answers, chosen mapping
+//!   sources (streamed per-point outcomes, `Mapped { from }` included),
+//!   and work counters (`points_simulated` / `mapped` / `cached`,
+//!   `candidates_scanned` / `pruned`) versus the single-shard
+//!   single-worker reference. The global-stamp merge and global eviction
+//!   queues argued in `docs/CONCURRENCY.md` are what make this hold; this
+//!   file is the differential that would catch a regression.
+//! * **Snapshot fidelity** — `Prophet::save_basis` / `load_basis` move a
+//!   warmed basis across processes. A sweep on the restored service must
+//!   be bit-identical to a re-sweep on the warm one and simulate nothing
+//!   (`points_simulated == 0`); corrupt or truncated snapshot files are
+//!   rejected with typed [`ProphetError::Snapshot`] variants and leave
+//!   the store untouched.
+//!
+//! The store's own unit suite (`crates/mc/src/store.rs`) pins the byte
+//! format and the lock protocol; this file pins the end-to-end surface.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+
+use fuzzy_prophet::prelude::*;
+use prophet_models::scenarios::{figure2_coarse_sql, PRICING_WHATIF};
+use prophet_models::{demo_registry, full_registry};
+
+#[derive(Clone, Copy)]
+enum Reg {
+    Demo,
+    Full,
+}
+
+impl Reg {
+    fn build(self) -> prophet_vg::VgRegistry {
+        match self {
+            Reg::Demo => demo_registry(),
+            Reg::Full => full_registry(),
+        }
+    }
+}
+
+fn service(name: &str, src: &str, reg: Reg, shards: usize, workers: usize) -> Prophet {
+    Prophet::builder()
+        .scenario_sql(name, src)
+        .unwrap()
+        .registry(reg.build())
+        .config(EngineConfig {
+            worlds_per_point: 8,
+            threads: 2,
+            store_shards: shards,
+            ..EngineConfig::default()
+        })
+        .scheduler(SchedulerConfig {
+            workers,
+            // Tiny chunks: many concurrent claims per shard.
+            chunk_points: 2,
+            ..SchedulerConfig::default()
+        })
+        .build()
+        .unwrap()
+}
+
+/// Run a scheduled sweep, collecting the streamed per-point outcomes
+/// (the chosen mapping sources) and the final report.
+fn run_sweep(prophet: &Prophet, name: &str) -> (OfflineReport, HashMap<ParamPoint, EvalOutcome>) {
+    let handle = prophet.submit(JobSpec::sweep(name)).unwrap();
+    let mut outcomes = HashMap::new();
+    let mut report = None;
+    for event in handle.events() {
+        match event {
+            JobEvent::Chunk(update) => {
+                for (point, outcome) in update.results {
+                    outcomes.insert(point, outcome);
+                }
+            }
+            JobEvent::Final(output) => report = Some(output.into_sweep().unwrap()),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    (report.expect("sweep must finish"), outcomes)
+}
+
+fn assert_sweeps_identical(
+    label: &str,
+    run: &(OfflineReport, HashMap<ParamPoint, EvalOutcome>),
+    reference: &(OfflineReport, HashMap<ParamPoint, EvalOutcome>),
+) {
+    let (report, outcomes) = run;
+    let (want, want_outcomes) = reference;
+    assert_eq!(report.answers, want.answers, "{label}: per-group answers");
+    assert_eq!(report.best, want.best, "{label}: sweep optimum");
+    assert_eq!(
+        outcomes, want_outcomes,
+        "{label}: chosen mapping sources / samples per point"
+    );
+    let (a, b) = (&report.metrics, &want.metrics);
+    assert_eq!(a.points_simulated, b.points_simulated, "{label}");
+    assert_eq!(a.points_mapped, b.points_mapped, "{label}");
+    assert_eq!(a.points_cached, b.points_cached, "{label}");
+    assert_eq!(a.worlds_simulated, b.worlds_simulated, "{label}");
+    assert_eq!(a.candidates_scanned, b.candidates_scanned, "{label}");
+    assert_eq!(a.candidates_pruned, b.candidates_pruned, "{label}");
+}
+
+fn temp_path(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "fp_store_shards_{}_{label}.fpbs",
+        std::process::id()
+    ))
+}
+
+// --------------------------------------------------- shard transparency
+
+/// Shard counts {1, 4, 16} × workers {1, 8} versus the 1-shard
+/// 1-worker reference: answers, streamed outcomes, and every work
+/// counter bit-identical. PRICING_WHATIF has stochastic columns, so the
+/// fingerprint match path (scanned/pruned accounting over the merged
+/// stamp order) is exercised, not just exact cache hits.
+#[test]
+fn sweeps_are_bit_identical_across_shard_and_worker_counts() {
+    let reference = {
+        let prophet = service("pricing", PRICING_WHATIF, Reg::Full, 1, 1);
+        run_sweep(&prophet, "pricing")
+    };
+    for shards in [1, 4, 16] {
+        for workers in [1, 8] {
+            if shards == 1 && workers == 1 {
+                continue;
+            }
+            let prophet = service("pricing", PRICING_WHATIF, Reg::Full, shards, workers);
+            let run = run_sweep(&prophet, "pricing");
+            assert_sweeps_identical(
+                &format!("shards={shards} workers={workers}"),
+                &run,
+                &reference,
+            );
+        }
+    }
+}
+
+/// The shard knob is validated at build time, not discovered at the
+/// first insert.
+#[test]
+fn out_of_range_shard_counts_are_rejected_at_build() {
+    for shards in [0, prophet_mc::MAX_SHARDS + 1] {
+        let err = Prophet::builder()
+            .scenario_sql("pricing", PRICING_WHATIF)
+            .unwrap()
+            .registry(full_registry())
+            .config(EngineConfig {
+                store_shards: shards,
+                ..EngineConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        match err {
+            ProphetError::InvalidConfig(msg) => {
+                assert!(msg.contains("store_shards"), "{msg}");
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+}
+
+// --------------------------------------------------- snapshot fidelity
+
+/// Save a warmed basis, load it into a cold service with a *different*
+/// shard count, and sweep: the restored run simulates nothing and is
+/// bit-identical — answers, outcomes, counters — to a re-sweep on the
+/// warm service.
+#[test]
+fn restored_basis_serves_a_sweep_without_simulation() {
+    let src = figure2_coarse_sql(0.05);
+    let warm = service("figure2", &src, Reg::Demo, 4, 2);
+    let first = run_sweep(&warm, "figure2");
+    assert!(
+        first.0.metrics.points_simulated > 0,
+        "cold sweep must simulate"
+    );
+    // The all-cached reference: a second sweep on the warm store.
+    let rerun = run_sweep(&warm, "figure2");
+    assert_eq!(rerun.0.metrics.points_simulated, 0);
+
+    let path = temp_path("roundtrip");
+    let saved = warm.save_basis("figure2", &path).unwrap();
+    assert!(saved > 0, "warm store must have entries");
+
+    let cold = service("figure2", &src, Reg::Demo, 8, 2);
+    let loaded = cold.load_basis("figure2", &path).unwrap();
+    assert_eq!(loaded, saved, "every entry crosses the snapshot");
+    assert_eq!(cold.basis_len("figure2").unwrap(), saved);
+
+    let restored = run_sweep(&cold, "figure2");
+    assert_eq!(
+        restored.0.metrics.points_simulated, 0,
+        "restored run must not simulate"
+    );
+    assert_eq!(restored.0.metrics.worlds_simulated, 0);
+    assert_sweeps_identical("restored-vs-warm", &restored, &rerun);
+
+    let _ = fs::remove_file(&path);
+}
+
+/// Corrupt and truncated snapshot files are rejected with the matching
+/// typed variant, the target store is left untouched, and the pristine
+/// file still loads afterwards.
+#[test]
+fn corrupt_snapshots_are_rejected_with_typed_errors() {
+    let src = figure2_coarse_sql(0.05);
+    let warm = service("figure2", &src, Reg::Demo, 4, 2);
+    run_sweep(&warm, "figure2");
+    let path = temp_path("corrupt");
+    let saved = warm.save_basis("figure2", &path).unwrap();
+    let good = fs::read(&path).unwrap();
+    let len_before = warm.basis_len("figure2").unwrap();
+
+    // Wrong magic.
+    let mut bad = good.clone();
+    bad[0] ^= 0xFF;
+    fs::write(&path, &bad).unwrap();
+    match warm.load_basis("figure2", &path).unwrap_err() {
+        ProphetError::Snapshot(SnapshotError::BadMagic) => {}
+        other => panic!("wrong variant {other:?}"),
+    }
+
+    // Truncated mid-record. A naive cut trips the checksum first, so
+    // re-stamp a valid FNV-1a checksum over the shortened body — the
+    // structural parse must then run out of bytes.
+    let mut short = good[..good.len() / 2].to_vec();
+    let digest = short.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+    });
+    short.extend_from_slice(&digest.to_le_bytes());
+    fs::write(&path, &short).unwrap();
+    match warm.load_basis("figure2", &path).unwrap_err() {
+        ProphetError::Snapshot(SnapshotError::Truncated) => {}
+        other => panic!("wrong variant {other:?}"),
+    }
+
+    // A single flipped payload bit fails the checksum.
+    let mut bad = good.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x01;
+    fs::write(&path, &bad).unwrap();
+    match warm.load_basis("figure2", &path).unwrap_err() {
+        ProphetError::Snapshot(SnapshotError::ChecksumMismatch) => {}
+        other => panic!("wrong variant {other:?}"),
+    }
+
+    // A missing file surfaces as the Io variant.
+    let gone = temp_path("missing");
+    let _ = fs::remove_file(&gone);
+    match warm.load_basis("figure2", &gone).unwrap_err() {
+        ProphetError::Snapshot(SnapshotError::Io(_)) => {}
+        other => panic!("wrong variant {other:?}"),
+    }
+
+    // Every rejection left the warm store untouched…
+    assert_eq!(warm.basis_len("figure2").unwrap(), len_before);
+    // …and the pristine bytes still restore.
+    fs::write(&path, &good).unwrap();
+    assert_eq!(warm.load_basis("figure2", &path).unwrap(), saved);
+
+    let _ = fs::remove_file(&path);
+}
