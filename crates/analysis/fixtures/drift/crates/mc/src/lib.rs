@@ -1,0 +1,5 @@
+//! Drifted-rank-table fixture: the docs block below says rank 11, the
+//! source says 10. The analyzer must report exactly one rank-table
+//! drift finding inside `docs/CONCURRENCY.md`.
+
+pub const ONLY: LockRank = LockRank::new(10, "fixture only");

@@ -1,0 +1,34 @@
+//! Seeded-inversion fixture: `inverted` acquires `LOW` (rank 10) while
+//! holding `HIGH` (rank 90). The analyzer must report exactly one
+//! lock-order finding, on the `self.low.lock()` line.
+
+pub const LOW: LockRank = LockRank::new(10, "fixture low");
+pub const HIGH: LockRank = LockRank::new(90, "fixture high");
+
+pub struct Pair {
+    low: OrderedMutex<u32>,
+    high: OrderedMutex<u32>,
+}
+
+impl Pair {
+    pub fn fresh() -> Self {
+        Pair {
+            low: OrderedMutex::new(LOW, 0),
+            high: OrderedMutex::new(HIGH, 0),
+        }
+    }
+
+    /// Legal nesting: ascending ranks.
+    pub fn ascending(&self) -> u32 {
+        let g = self.low.lock();
+        let h = self.high.lock();
+        *g + *h
+    }
+
+    /// The seeded bug: descending acquisition.
+    pub fn inverted(&self) -> u32 {
+        let h = self.high.lock();
+        let g = self.low.lock(); // line 31: the one expected finding
+        *h + *g
+    }
+}

@@ -1,0 +1,17 @@
+//! Unsorted-map-leak fixture: `listing` publishes `HashMap` key order
+//! without sorting. The analyzer must report exactly one map-iter
+//! finding, on the `.keys()` line.
+
+use std::collections::HashMap;
+
+/// Deterministic: the collected keys are sorted in the next statement.
+pub fn sorted_listing(m: &HashMap<String, u64>) -> Vec<String> {
+    let mut names: Vec<String> = m.keys().cloned().collect();
+    names.sort();
+    names
+}
+
+/// The seeded leak: hash order escapes into the result.
+pub fn listing(m: &HashMap<String, u64>) -> Vec<String> {
+    m.keys().cloned().collect() // line 16: the one expected finding
+}

@@ -1,18 +1,54 @@
-//! The lint driver: `cargo run -p analysis -- [--root DIR] [--allowlist FILE]`.
+//! The analyzer driver:
+//! `cargo run -p analysis -- [--root DIR] [--allowlist FILE] [--json PATH] [--write-docs]`.
 //!
-//! Walks `crates/*/src/**/*.rs` and `src/**/*.rs` under the root, lints
-//! each file ([`analysis::lint_source`]), applies the checked-in
-//! allowlist, and exits nonzero on any violation *or* any stale
-//! allowlist entry. See the library docs for the rules.
+//! Walks `crates/*/src/**/*.rs` and `src/**/*.rs` under the root and runs
+//! the four passes (see the library docs and `docs/ANALYSIS.md`):
+//!
+//! 1. the conformance **lint** over every file, with the checked-in
+//!    allowlist;
+//! 2. the **rank-table** extractor — duplicate-rank detection plus a
+//!    drift check against `docs/CONCURRENCY.md` (`--write-docs`
+//!    regenerates the block in place instead of reporting drift);
+//! 3. the **lock-order** verifier over `crates/{mc,core,fingerprint}`;
+//! 4. the **map-iter** determinism audit over the result-affecting
+//!    crates (`mc`, `core`, `fingerprint`, `sql`, `vg`).
+//!
+//! Output is one line per finding in `file:line: [pass] message` form —
+//! the shape `.github/problem-matchers/analysis.json` matches — plus a
+//! summary. `--json PATH` additionally writes the machine-readable
+//! findings document the CI gate asserts on. Exit status: 0 clean, 1 on
+//! any active (non-allowed) finding or stale allowlist entry, 2 on
+//! usage/IO errors.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use analysis::{lint_source, Allowlist};
+use analysis::findings::{render_json, Finding};
+use analysis::{determinism, lint_source, lockgraph, ranktable, Allowlist};
+
+/// Crates whose lock acquisitions the lock-order pass proves.
+const LOCK_SCOPE: &[&str] = &[
+    "crates/mc/src/",
+    "crates/core/src/",
+    "crates/fingerprint/src/",
+];
+
+/// Crates whose outputs must not depend on hash-iteration order.
+const DETERMINISM_SCOPE: &[&str] = &[
+    "crates/mc/src/",
+    "crates/core/src/",
+    "crates/fingerprint/src/",
+    "crates/sql/src/",
+    "crates/vg/src/",
+];
+
+const DOCS_PATH: &str = "docs/CONCURRENCY.md";
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut allowlist_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut write_docs = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -24,6 +60,11 @@ fn main() -> ExitCode {
                 Some(file) => allowlist_path = Some(PathBuf::from(file)),
                 None => return usage("--allowlist requires a file"),
             },
+            "--json" => match args.next() {
+                Some(file) => json_path = Some(PathBuf::from(file)),
+                None => return usage("--json requires a file"),
+            },
+            "--write-docs" => write_docs = true,
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
@@ -37,10 +78,10 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut files = Vec::new();
-    collect_sources(&root, &mut files);
-    files.sort();
-    if files.is_empty() {
+    let mut paths = Vec::new();
+    collect_sources(&root, &mut paths);
+    paths.sort();
+    if paths.is_empty() {
         eprintln!(
             "error: no source files under {} — wrong --root?",
             root.display()
@@ -48,23 +89,89 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let mut violations = 0usize;
-    for file in &files {
-        let rel = rel_path(&root, file);
-        let src = match std::fs::read_to_string(file) {
-            Ok(src) => src,
+    // Read everything up front: the rank-table and lock passes are
+    // whole-program.
+    let mut files: Vec<(String, String)> = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let rel = rel_path(&root, path);
+        match std::fs::read_to_string(path) {
+            Ok(src) => files.push((rel, src)),
             Err(err) => {
                 eprintln!("error: reading {rel}: {err}");
                 return ExitCode::from(2);
             }
-        };
-        for v in lint_source(&rel, &src) {
-            if allowlist.allows(&rel, &v) {
-                continue;
-            }
-            println!("{rel}:{}: {v}", v.line);
-            violations += 1;
         }
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+
+    // ---- pass 1: conformance lint
+    for (rel, src) in &files {
+        for v in lint_source(rel, src) {
+            let allowed = allowlist.allows(rel, &v);
+            findings.push(Finding {
+                allowed,
+                ..Finding::new(v.rule.name(), rel, v.line, v.message.clone())
+            });
+        }
+    }
+
+    // ---- pass 2: rank table (duplicates + docs drift / regeneration)
+    let table = ranktable::extract(&files);
+    findings.extend(ranktable::duplicate_findings(&table));
+    let docs_file = root.join(DOCS_PATH);
+    match std::fs::read_to_string(&docs_file) {
+        Ok(docs) => {
+            if write_docs {
+                match ranktable::rewrite_docs(&docs, &table) {
+                    Some(rewritten) => {
+                        if rewritten != docs {
+                            if let Err(err) = std::fs::write(&docs_file, &rewritten) {
+                                eprintln!("error: writing {DOCS_PATH}: {err}");
+                                return ExitCode::from(2);
+                            }
+                            println!("{DOCS_PATH}: rank table regenerated");
+                        }
+                    }
+                    None => {
+                        findings.extend(ranktable::drift_finding(DOCS_PATH, &docs, &table));
+                    }
+                }
+            } else {
+                findings.extend(ranktable::drift_finding(DOCS_PATH, &docs, &table));
+            }
+        }
+        Err(err) => {
+            // The docs are part of the contract; a missing file is drift.
+            findings.push(Finding::new(
+                "rank-table",
+                DOCS_PATH,
+                1,
+                format!("cannot read the concurrency docs: {err}"),
+            ));
+        }
+    }
+
+    // ---- pass 3: static lock order
+    let lock_files: Vec<(String, String)> = files
+        .iter()
+        .filter(|(rel, _)| LOCK_SCOPE.iter().any(|p| rel.starts_with(p)))
+        .cloned()
+        .collect();
+    let model = lockgraph::build(&lock_files, &table);
+    findings.extend(model.build_findings.iter().cloned());
+    findings.extend(lockgraph::check(&model));
+
+    // ---- pass 4: determinism audit
+    for (rel, src) in &files {
+        if DETERMINISM_SCOPE.iter().any(|p| rel.starts_with(p)) {
+            determinism::audit(rel, src, &mut findings);
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
+    for f in &findings {
+        println!("{f}");
     }
 
     let stale = allowlist.stale();
@@ -78,17 +185,30 @@ fn main() -> ExitCode {
         );
     }
 
-    if violations > 0 || !stale.is_empty() {
+    if let Some(json_path) = &json_path {
+        let doc = render_json(&findings, files.len());
+        if let Err(err) = std::fs::write(json_path, doc) {
+            eprintln!("error: writing {}: {err}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let active = findings.iter().filter(|f| !f.allowed).count();
+    let allowed = findings.len() - active;
+    if active > 0 || !stale.is_empty() {
         println!(
-            "lint: {violations} violation(s), {} stale allowlist entr(ies) across {} files",
+            "analysis: {active} active finding(s), {allowed} allowed, {} stale allowlist \
+             entr(ies) across {} files",
             stale.len(),
             files.len()
         );
         ExitCode::FAILURE
     } else {
         println!(
-            "lint clean: {} files, {} allowlist grant(s) in use",
+            "analysis clean: {} files, {} rank(s) in the table, {allowed} allowed finding(s), \
+             {} allowlist grant(s) in use",
             files.len(),
+            table.entries.len(),
             allowlist.entries.len()
         );
         ExitCode::SUCCESS
@@ -96,7 +216,9 @@ fn main() -> ExitCode {
 }
 
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("error: {msg}\nusage: analysis [--root DIR] [--allowlist FILE]");
+    eprintln!(
+        "error: {msg}\nusage: analysis [--root DIR] [--allowlist FILE] [--json PATH] [--write-docs]"
+    );
     ExitCode::from(2)
 }
 

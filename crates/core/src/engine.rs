@@ -446,7 +446,7 @@ impl Engine {
         Ok(per_col
             .into_iter()
             .map(|(name, values)| (name, Fingerprint::from_values(values)))
-            .collect())
+            .collect::<HashMap<_, _>>())
     }
 
     /// Map the stochastic columns and recompute the derived ones per world.

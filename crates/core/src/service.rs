@@ -498,7 +498,9 @@ impl Prophet {
 
     fn slot(&self, name: &str) -> ProphetResult<&Slot> {
         self.slots.get(name).ok_or_else(|| {
-            ProphetError::unknown_scenario(name, self.slots.keys().cloned().collect())
+            let mut known: Vec<String> = self.slots.keys().cloned().collect();
+            known.sort();
+            ProphetError::unknown_scenario(name, known)
         })
     }
 

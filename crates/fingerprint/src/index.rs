@@ -284,7 +284,7 @@ pub fn summarize(
     fingerprints
         .iter()
         .map(|(name, fp)| (name.clone(), FingerprintSummary::of(fp)))
-        .collect()
+        .collect::<HashMap<_, _>>()
 }
 
 /// Bound a whole candidate against a whole probe across `columns` — the

@@ -85,6 +85,7 @@ impl SampleSet {
     /// refinement appends batches of worlds).
     pub fn absorb(&mut self, other: &SampleSet) {
         debug_assert_eq!(self.point, other.point, "absorb requires matching points");
+        // analysis:allow(map-iter): per-key merge — each column extends independently, so visit order is unobservable
         for (col, dst) in self.samples.iter_mut() {
             if let Some(src) = other.samples.get(col) {
                 dst.extend_from_slice(src);
@@ -134,7 +135,7 @@ pub fn simulate_point(
             };
             samples
                 .get_mut(&name)
-                .expect("executor returns exactly the declared aliases")
+                .expect("invariant: executor rows carry exactly the declared aliases")
                 .push(x);
         }
     }

@@ -461,6 +461,7 @@ fn scan_exhaustive(
         let mut best: PartialBest = vec![None; probes.len()];
         for (ci, (_, record)) in slice.iter().enumerate() {
             let mut all_exact = true;
+            // analysis:allow(map-iter): `probes` is a slice here — the name collides with a map param elsewhere in this file
             for (pi, probe) in probes.iter().enumerate() {
                 if matches!(&best[pi], Some((_, _, err)) if *err == 0.0) {
                     continue;
@@ -502,7 +503,10 @@ fn scan_exhaustive(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("probe worker panicked"))
+                .map(|h| {
+                    h.join()
+                        .expect("invariant: probe workers only read shared slices and cannot panic")
+                })
                 .collect()
         })
     };
@@ -547,6 +551,7 @@ fn scan_indexed(
     stats: &mut MatchScanStats,
 ) -> PartialBest {
     let probe_summaries: Vec<HashMap<String, FingerprintSummary>> =
+        // analysis:allow(map-iter): `probes` is a slice here — the name collides with a map param elsewhere in this file
         probes.iter().map(summarize).collect();
     let mut best: PartialBest = vec![None; probes.len()];
     for (wave_idx, wave) in candidates.chunks(MATCH_WAVE).enumerate() {
@@ -627,7 +632,10 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("match worker panicked"))
+            .flat_map(|h| {
+                h.join()
+                    .expect("invariant: match workers apply a pure fn and cannot panic")
+            })
             .collect()
     })
 }
@@ -780,15 +788,21 @@ impl<'a> SnapshotReader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("sized")))
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect(
+            "invariant: take() returned exactly the requested width",
+        )))
     }
 
     fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect(
+            "invariant: take() returned exactly the requested width",
+        )))
     }
 
     fn i64(&mut self) -> Result<i64, SnapshotError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect(
+            "invariant: take() returned exactly the requested width",
+        )))
     }
 
     fn f64(&mut self) -> Result<f64, SnapshotError> {
@@ -956,6 +970,7 @@ impl SharedBasisStore {
     /// discarded) — never a stale entry in a "cleared" store.
     pub fn clear(&self) {
         let mut slots = self.inflight.slots.lock();
+        // analysis:allow(map-iter): every drained slot gets the same cancel + release — visit order is unobservable
         for (point, slot) in slots.drain() {
             slot.cancel();
             // The detached owner's claim ends here: claimed → released
@@ -1149,13 +1164,18 @@ impl SharedBasisStore {
             let victim_shard = victim.as_ref().map(|(_, p, _)| self.shard_of(p));
             let (mut tguard, mut vguard) = match victim_shard {
                 None => (self.shards[target].write(), None),
+                // analysis:allow(lock-order): match arms are exclusive — the linear walk wrongly carries the arm above
                 Some(v) if v == target => (self.shards[target].write(), None),
                 Some(v) if v < target => {
+                    // analysis:allow(lock-order): match arms are exclusive — nothing from the arms above is held here
                     let vg = self.shards[v].write();
+                    // analysis:allow(lock-order): second shard acquired ascending — the arm guard proves v < target
                     (self.shards[target].write(), Some(vg))
                 }
                 Some(v) => {
+                    // analysis:allow(lock-order): match arms are exclusive — nothing from the arms above is held here
                     let tg = self.shards[target].write();
+                    // analysis:allow(lock-order): second shard acquired ascending — this arm implies target < v
                     (tg, Some(self.shards[v].write()))
                 }
             };
@@ -1380,7 +1400,7 @@ impl SharedBasisStore {
         let stored_sum = u64::from_le_bytes(
             bytes[bytes.len() - FOOTER..]
                 .try_into()
-                .expect("sized slice"),
+                .expect("invariant: FOOTER-wide slice converts to its array"),
         );
         if fnv1a(body) != stored_sum {
             return Err(SnapshotError::ChecksumMismatch);
@@ -1428,6 +1448,7 @@ impl SharedBasisStore {
         // under the table lock, then replace contents under meta + every
         // shard write lock so no scan observes a half-restored store.
         let mut slots = self.inflight.slots.lock();
+        // analysis:allow(map-iter): every drained slot gets the same cancel + release — visit order is unobservable
         for (point, slot) in slots.drain() {
             slot.cancel();
             self.inflight.ledger.on_released(&point);
